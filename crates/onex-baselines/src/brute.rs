@@ -1,0 +1,196 @@
+//! Standard DTW: brute-force exact search over every candidate subsequence.
+//!
+//! This is both the slowest timing baseline of Figs. 2–3 (in `naive` mode)
+//! and — because it is exact — the ground-truth oracle for the accuracy
+//! metric of Tables 2–3 (in fast-exact mode, where early abandoning skips
+//! candidates that provably cannot beat the best so far without changing
+//! the result).
+
+use crate::BaselineMatch;
+use onex_dist::{DtwBuffer, Window};
+use onex_ts::{Dataset, Decomposition, SubseqRef};
+
+/// Brute-force DTW search over a dataset.
+pub struct BruteForce<'a> {
+    dataset: &'a Dataset,
+    window: Window,
+    decomposition: Decomposition,
+    /// `true` = run every DTW to completion (the paper's Standard DTW cost
+    /// profile); `false` = early-abandon against the best-so-far (same
+    /// result, much faster — the oracle mode).
+    naive: bool,
+    /// Cross-length ranking for [`BruteForce::best_match_any`]: raw DTW
+    /// (default, the paper's behaviour — see `onex-core`'s
+    /// `OnexConfig::rank_normalized`) or Def. 6 normalized DTW.
+    pub rank_normalized: bool,
+    buf: DtwBuffer,
+}
+
+impl<'a> BruteForce<'a> {
+    /// Creates a brute-force searcher. See [`BruteForce`] for the meaning of
+    /// `naive`.
+    pub fn new(
+        dataset: &'a Dataset,
+        window: Window,
+        decomposition: Decomposition,
+        naive: bool,
+    ) -> Self {
+        BruteForce {
+            dataset,
+            window,
+            decomposition,
+            naive,
+            rank_normalized: false,
+            buf: DtwBuffer::new(),
+        }
+    }
+
+    /// Exact-oracle constructor: early abandoning on, full decomposition.
+    pub fn oracle(dataset: &'a Dataset, window: Window) -> Self {
+        Self::new(dataset, window, Decomposition::full(), false)
+    }
+
+    /// Best match over **all** subsequences of all decomposed lengths,
+    /// ranked by raw DTW (or Def. 6 normalized DTW when `rank_normalized`
+    /// is set). Returns `None` for an empty dataset.
+    pub fn best_match_any(&mut self, q: &[f64]) -> Option<BaselineMatch> {
+        let lengths: Vec<usize> = self.dataset.decomposed_lengths(&self.decomposition);
+        let mut best: Option<BaselineMatch> = None;
+        for len in lengths {
+            let cutoff = best.as_ref().map(|b| {
+                if self.rank_normalized {
+                    b.dist * 2.0 * q.len().max(len) as f64
+                } else {
+                    b.raw_dtw
+                }
+            });
+            if let Some(m) = self.best_at_length(q, len, cutoff) {
+                let better = best.as_ref().is_none_or(|b| {
+                    if self.rank_normalized {
+                        m.dist < b.dist
+                    } else {
+                        m.raw_dtw < b.raw_dtw
+                    }
+                });
+                if better {
+                    best = Some(m);
+                }
+            }
+        }
+        best
+    }
+
+    /// Best match restricted to subsequences of exactly the query's length
+    /// (the comparison mode Trillion supports).
+    pub fn best_match_same_length(&mut self, q: &[f64]) -> Option<BaselineMatch> {
+        self.best_at_length(q, q.len(), None)
+    }
+
+    /// Best match at one length; `cutoff_raw` (if any) seeds early
+    /// abandoning in fast-exact mode.
+    fn best_at_length(
+        &mut self,
+        q: &[f64],
+        len: usize,
+        cutoff_raw: Option<f64>,
+    ) -> Option<BaselineMatch> {
+        let mut best_raw = match cutoff_raw {
+            Some(d) if !self.naive => d,
+            _ => f64::INFINITY,
+        };
+        let mut best: Option<SubseqRef> = None;
+        let spec = self.decomposition;
+        for r in self.dataset.subseqs_of_len(len, &spec) {
+            let vals = self.dataset.subseq_unchecked(r);
+            let raw = if self.naive {
+                Some(self.buf.dist(q, vals, self.window))
+            } else {
+                self.buf.dist_early_abandon(q, vals, self.window, best_raw)
+            };
+            if let Some(raw) = raw {
+                if raw < best_raw {
+                    best_raw = raw;
+                    best = Some(r);
+                }
+            }
+        }
+        best.map(|r| BaselineMatch::new(r, best_raw, q.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_ts::{synth, TimeSeries};
+
+    fn data() -> Dataset {
+        synth::sine_mix(5, 16, 2, 13)
+    }
+
+    #[test]
+    fn naive_and_fast_exact_agree() {
+        let d = data();
+        let q: Vec<f64> = d.get(1).unwrap().values()[2..10].to_vec();
+        let mut naive = BruteForce::new(&d, Window::Unconstrained, Decomposition::full(), true);
+        let mut fast = BruteForce::new(&d, Window::Unconstrained, Decomposition::full(), false);
+        let a = naive.best_match_any(&q).unwrap();
+        let b = fast.best_match_any(&q).unwrap();
+        assert!((a.dist - b.dist).abs() < 1e-12, "{} vs {}", a.dist, b.dist);
+        // both find an exact occurrence (distance 0)
+        assert!(a.raw_dtw < 1e-9);
+    }
+
+    #[test]
+    fn same_length_restriction() {
+        let d = data();
+        let q: Vec<f64> = d.get(0).unwrap().values()[0..8].to_vec();
+        let mut bf = BruteForce::oracle(&d, Window::Unconstrained);
+        let m = bf.best_match_same_length(&q).unwrap();
+        assert_eq!(m.subseq.len, 8);
+        assert!(m.raw_dtw < 1e-9, "query is in the dataset");
+    }
+
+    #[test]
+    fn any_length_is_at_least_as_good_as_same_length() {
+        let d = data();
+        let q: Vec<f64> = d.get(2).unwrap().values()[1..9].to_vec();
+        let mut bf = BruteForce::oracle(&d, Window::Unconstrained);
+        let any = bf.best_match_any(&q).unwrap();
+        let same = bf.best_match_same_length(&q).unwrap();
+        assert!(any.dist <= same.dist + 1e-12);
+    }
+
+    #[test]
+    fn out_of_dataset_query_gets_closest() {
+        let d = Dataset::new(
+            "toy",
+            vec![
+                TimeSeries::new(vec![0.0, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+                TimeSeries::new(vec![1.0, 1.0, 1.0, 1.0, 1.0]).unwrap(),
+            ],
+        );
+        let q = vec![0.9, 0.9, 0.9];
+        let mut bf = BruteForce::oracle(&d, Window::Unconstrained);
+        let m = bf.best_match_same_length(&q).unwrap();
+        assert_eq!(m.subseq.series, 1, "closest series is the ones");
+        // DTW = sqrt(3 * 0.01)
+        assert!((m.raw_dtw - (3.0f64 * 0.01).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        let d = Dataset::new("empty", vec![]);
+        let mut bf = BruteForce::oracle(&d, Window::Unconstrained);
+        assert!(bf.best_match_any(&[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn normalized_distance_uses_longer_length() {
+        let d = data();
+        let q: Vec<f64> = d.get(0).unwrap().values()[0..4].to_vec();
+        let mut bf = BruteForce::oracle(&d, Window::Unconstrained);
+        let m = bf.best_match_any(&q).unwrap();
+        let n = q.len().max(m.subseq.len as usize) as f64;
+        assert!((m.dist - m.raw_dtw / (2.0 * n)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion ablations of the §5.3 optimizations: the intra-group walk vs
+//! the exhaustive scan, Trillion's lower-bound cascade, and the DTW window.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_baselines::Trillion;
+use onex_core::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex_dist::Window;
+use onex_ts::synth;
+
+fn bench_group_search(c: &mut Criterion) {
+    let data = synth::face(24, 48, 5);
+    let mut g = c.benchmark_group("group_search");
+    for (name, exhaustive) in [("walk", false), ("exhaustive", true)] {
+        let config = OnexConfig {
+            exhaustive_group_search: exhaustive,
+            threads: 4,
+            ..OnexConfig::default()
+        };
+        let base = OnexBase::build(&data, config).unwrap();
+        let query: Vec<f64> = base.dataset().series()[1].values()[4..28].to_vec();
+        g.bench_function(name, |b| {
+            let mut s = SimilarityQuery::new(&base);
+            b.iter(|| {
+                s.best_match(black_box(&query), MatchMode::Exact(24), None)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trillion_lbs(c: &mut Criterion) {
+    let data = synth::wafer(30, 64, 5);
+    let base = OnexBase::build(&data, OnexConfig { threads: 4, ..OnexConfig::default() }).unwrap();
+    let query: Vec<f64> = base.dataset().series()[2].values()[10..42].to_vec();
+    let mut g = c.benchmark_group("trillion_lbs");
+    for (name, use_lb) in [("cascade_on", true), ("cascade_off", false)] {
+        g.bench_function(name, |b| {
+            let mut t = Trillion::new(base.dataset(), base.config().window);
+            t.use_lower_bounds = use_lb;
+            b.iter(|| t.best_match(black_box(&query)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let data = synth::two_patterns(16, 64, 5);
+    let mut g = c.benchmark_group("window");
+    for (name, w) in [
+        ("unconstrained", Window::Unconstrained),
+        ("5pct", Window::Ratio(0.05)),
+        ("10pct", Window::Ratio(0.1)),
+        ("20pct", Window::Ratio(0.2)),
+    ] {
+        let config = OnexConfig {
+            window: w,
+            threads: 4,
+            ..OnexConfig::default()
+        };
+        let base = OnexBase::build(&data, config).unwrap();
+        let query: Vec<f64> = base.dataset().series()[0].values()[8..40].to_vec();
+        g.bench_with_input(BenchmarkId::new("onex_any", name), &w, |b, _| {
+            let mut s = SimilarityQuery::new(&base);
+            b.iter(|| s.best_match(black_box(&query), MatchMode::Any, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_group_search, bench_trillion_lbs, bench_windows
+}
+criterion_main!(benches);

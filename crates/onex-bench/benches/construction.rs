@@ -1,0 +1,79 @@
+//! Criterion benchmarks for ONEX-base construction (the offline phase of
+//! Fig. 5): sequential vs parallel, Strict vs Paper mode, and the ST sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_core::{BuildMode, OnexBase, OnexConfig};
+use onex_ts::synth;
+
+fn bench_build(c: &mut Criterion) {
+    let data = synth::sine_mix(12, 32, 2, 5);
+    let mut g = c.benchmark_group("construction");
+
+    for &threads in &[1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let config = OnexConfig {
+                    threads,
+                    ..OnexConfig::default()
+                };
+                b.iter(|| OnexBase::build(&data, config).unwrap())
+            },
+        );
+    }
+
+    for (name, mode) in [("strict", BuildMode::Strict), ("paper", BuildMode::Paper)] {
+        g.bench_with_input(BenchmarkId::new("mode", name), &mode, |b, &mode| {
+            let config = OnexConfig {
+                build_mode: mode,
+                ..OnexConfig::default()
+            };
+            b.iter(|| OnexBase::build(&data, config).unwrap())
+        });
+    }
+
+    for &st in &[0.1f64, 0.2, 0.5] {
+        g.bench_with_input(BenchmarkId::new("st", format!("{st}")), &st, |b, &st| {
+            let config = OnexConfig::with_st(st);
+            b.iter(|| OnexBase::build(&data, config).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let data = synth::sine_mix(10, 24, 2, 9);
+    let base = OnexBase::build(&data, OnexConfig::with_st(0.2)).unwrap();
+    let mut g = c.benchmark_group("refine");
+    g.bench_function("split_to_0.1", |b| {
+        b.iter(|| onex_core::refine::refine(&base, 0.1).unwrap())
+    });
+    g.bench_function("merge_to_0.4", |b| {
+        b.iter(|| onex_core::refine::refine(&base, 0.4).unwrap())
+    });
+    // refinement vs full rebuild at the target threshold
+    g.bench_function("full_rebuild_0.1", |b| {
+        b.iter(|| OnexBase::build(&data, OnexConfig::with_st(0.1)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let data = synth::sine_mix(10, 24, 2, 9);
+    let base = OnexBase::build(&data, OnexConfig::default()).unwrap();
+    let bytes = onex_core::snapshot::encode(&base);
+    let mut g = c.benchmark_group("snapshot");
+    g.bench_function("encode", |b| b.iter(|| onex_core::snapshot::encode(&base)));
+    g.bench_function("decode", |b| {
+        b.iter(|| onex_core::snapshot::decode(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_build, bench_refine, bench_snapshot
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the distance kernels: the per-call costs
+//! that the macro experiments (Figs. 2–3) aggregate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_dist::{
+    dtw, dtw_early_abandon, ed, lb_keogh, lb_kim_fl, paa, pdtw, DtwBuffer, Envelope, Window,
+};
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.17 + phase).sin() * 0.5 + 0.5).collect()
+}
+
+fn bench_pointwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointwise");
+    for &n in &[32usize, 128, 512] {
+        let x = series(n, 0.0);
+        let y = series(n, 0.9);
+        g.bench_with_input(BenchmarkId::new("ed", n), &n, |b, _| {
+            b.iter(|| ed(black_box(&x), black_box(&y)))
+        });
+        g.bench_with_input(BenchmarkId::new("lb_kim", n), &n, |b, _| {
+            b.iter(|| lb_kim_fl(black_box(&x), black_box(&y)))
+        });
+        let env = Envelope::build(&y, n / 10);
+        g.bench_with_input(BenchmarkId::new("lb_keogh", n), &n, |b, _| {
+            b.iter(|| lb_keogh(black_box(&x), black_box(&env)))
+        });
+        g.bench_with_input(BenchmarkId::new("envelope_build", n), &n, |b, _| {
+            b.iter(|| Envelope::build(black_box(&y), n / 10))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dtw");
+    for &n in &[32usize, 128, 512] {
+        let x = series(n, 0.0);
+        let y = series(n, 0.9);
+        g.bench_with_input(BenchmarkId::new("unconstrained", n), &n, |b, _| {
+            b.iter(|| dtw(black_box(&x), black_box(&y), Window::Unconstrained))
+        });
+        g.bench_with_input(BenchmarkId::new("band10pct", n), &n, |b, _| {
+            b.iter(|| dtw(black_box(&x), black_box(&y), Window::Ratio(0.1)))
+        });
+        // early abandoning with a tight cutoff: the common pruned case
+        let exact = dtw(&x, &y, Window::Ratio(0.1));
+        g.bench_with_input(BenchmarkId::new("early_abandon_tight", n), &n, |b, _| {
+            b.iter(|| {
+                dtw_early_abandon(
+                    black_box(&x),
+                    black_box(&y),
+                    Window::Ratio(0.1),
+                    exact * 0.3,
+                )
+            })
+        });
+        // reusable buffer vs fresh allocation
+        let mut buf = DtwBuffer::new();
+        g.bench_with_input(BenchmarkId::new("buffered", n), &n, |b, _| {
+            b.iter(|| buf.dist(black_box(&x), black_box(&y), Window::Ratio(0.1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_paa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paa");
+    let x = series(512, 0.0);
+    let y = series(512, 0.9);
+    for &f in &[4usize, 8, 16] {
+        let px = paa(&x, 512 / f);
+        let py = paa(&y, 512 / f);
+        g.bench_with_input(BenchmarkId::new("pdtw", f), &f, |b, _| {
+            b.iter(|| pdtw(black_box(&px), black_box(&py), Window::Ratio(0.1)))
+        });
+    }
+    g.bench_function("reduce_512_to_64", |b| {
+        b.iter(|| paa(black_box(&x), 64))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pointwise, bench_dtw, bench_paa
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the online query paths: ONEX vs the baselines
+//! on one fixed workload (the per-query costs behind Fig. 2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use onex_baselines::{BruteForce, PaaSearch, Trillion};
+use onex_core::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex_ts::{synth, Decomposition};
+
+fn bench_queries(c: &mut Criterion) {
+    let data = synth::ecg(20, 48, 3);
+    let base = OnexBase::build(&data, OnexConfig { threads: 4, ..OnexConfig::default() }).unwrap();
+    let window = base.config().window;
+    let query: Vec<f64> = base.dataset().series()[3].values()[8..32].to_vec();
+
+    let mut g = c.benchmark_group("query");
+    g.bench_function("onex_exact_len", |b| {
+        let mut s = SimilarityQuery::new(&base);
+        b.iter(|| {
+            s.best_match(black_box(&query), MatchMode::Exact(24), None)
+                .unwrap()
+        })
+    });
+    g.bench_function("onex_any_len", |b| {
+        let mut s = SimilarityQuery::new(&base);
+        b.iter(|| s.best_match(black_box(&query), MatchMode::Any, None).unwrap())
+    });
+    g.bench_function("onex_top5", |b| {
+        let mut s = SimilarityQuery::new(&base);
+        b.iter(|| {
+            s.top_k(black_box(&query), MatchMode::Exact(24), 5, None)
+                .unwrap()
+        })
+    });
+    g.bench_function("trillion_same_len", |b| {
+        let mut t = Trillion::new(base.dataset(), window);
+        b.iter(|| t.best_match(black_box(&query)).unwrap())
+    });
+    g.bench_function("paa_any_len", |b| {
+        let mut p = PaaSearch::new(base.dataset(), window, Decomposition::full(), 4);
+        b.iter(|| p.best_match_any(black_box(&query)).unwrap())
+    });
+    g.bench_function("brute_fast_exact_any", |b| {
+        let mut bf = BruteForce::oracle(base.dataset(), window);
+        b.iter(|| bf.best_match_any(black_box(&query)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("seasonal");
+    g.bench_function("sample_ts", |b| {
+        b.iter(|| onex_core::query::seasonal_for_series(&base, 3, 24, 2).unwrap())
+    });
+    g.bench_function("all_ts", |b| {
+        b.iter(|| onex_core::query::seasonal_all(&base, 24, 2).unwrap())
+    });
+    g.bench_function("recommend", |b| {
+        b.iter(|| onex_core::query::recommend(&base, None, None).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_queries
+}
+criterion_main!(benches);

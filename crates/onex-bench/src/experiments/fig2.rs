@@ -1,0 +1,88 @@
+//! **Fig. 2** — time response for similarity queries: ONEX vs Trillion vs
+//! PAA vs Standard DTW across the six evaluation datasets, averaged over 20
+//! queries (10 in-dataset, 10 out) × `runs` repetitions.
+//!
+//! Paper result: ONEX and Trillion answer in fractions of a second while
+//! PAA and Standard DTW are orders of magnitude slower (Fig. 2a, log
+//! scale); zoomed in, ONEX averages ~1.8× faster than Trillion, the gap
+//! growing with dataset size (Fig. 2b).
+
+use super::Ctx;
+use crate::harness::{self, build_timed, fmt_secs, make_queries};
+use onex_baselines::{BruteForce, PaaSearch, Spring, Trillion};
+use onex_core::{MatchMode, SimilarityQuery};
+use onex_ts::synth::PaperDataset;
+use onex_ts::Decomposition;
+
+/// Runs the experiment and prints the table.
+pub fn run(ctx: &Ctx) {
+    println!("\n== Fig. 2: similarity-query time response (scale {}) ==", ctx.scale);
+    println!(
+        "paper: ONEX fastest; Trillion close (ONEX ~1.8× faster on average, gap grows with size);"
+    );
+    println!("       PAA and Standard DTW orders of magnitude slower (log-scale chart).\n");
+    let widths = [12, 10, 10, 12, 12, 12, 14];
+    let mut table = harness::Table::new(
+        "fig2_similarity_time",
+        &["dataset", "ONEX", "Trillion", "PAA", "SPRING", "StdDTW", "ONEX/Trillion"],
+        &widths,
+    );
+    let mut ratios = Vec::new();
+    for ds in PaperDataset::EVALUATION {
+        let data = ds.generate_scaled(ctx.scale, ctx.seed);
+        let (base, _) = build_timed(&data, ctx.config());
+        let (n_in, n_out) = ctx.query_mix();
+        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+        let window = base.config().window;
+
+        let mut onex_times = Vec::new();
+        let mut trillion_times = Vec::new();
+        let mut paa_times = Vec::new();
+        let mut spring_times = Vec::new();
+        let mut std_times = Vec::new();
+        let mut search = SimilarityQuery::new(&base);
+        let mut trillion = Trillion::new(base.dataset(), window);
+        let mut paa = PaaSearch::new(base.dataset(), window, Decomposition::full(), 4);
+        let mut spring = Spring::new(base.dataset());
+        let mut brute = BruteForce::new(base.dataset(), window, Decomposition::full(), true);
+        for q in &queries {
+            onex_times.push(harness::time_avg(ctx.runs, || {
+                let _ = search.best_match(&q.values, MatchMode::Any, None);
+            }));
+            trillion_times.push(harness::time_avg(ctx.runs, || {
+                let _ = trillion.best_match(&q.values);
+            }));
+            paa_times.push(harness::time_avg(1, || {
+                let _ = paa.best_match_any(&q.values);
+            }));
+            spring_times.push(harness::time_avg(1, || {
+                let _ = spring.best_match(&q.values);
+            }));
+            std_times.push(harness::time_avg(1, || {
+                let _ = brute.best_match_any(&q.values);
+            }));
+        }
+        let (o, t, p, sp, s) = (
+            harness::mean(&onex_times),
+            harness::mean(&trillion_times),
+            harness::mean(&paa_times),
+            harness::mean(&spring_times),
+            harness::mean(&std_times),
+        );
+        ratios.push(t / o);
+        table.row(vec![
+            ds.name().to_string(),
+            fmt_secs(o),
+            fmt_secs(t),
+            fmt_secs(p),
+            fmt_secs(sp),
+            fmt_secs(s),
+            format!("{:.2}×", t / o),
+        ]);
+    }
+    table.finish(ctx.csv());
+    println!(
+        "\nmeasured: Trillion is on average {:.2}× slower than ONEX (paper: ~1.8×).",
+        harness::mean(&ratios)
+    );
+}

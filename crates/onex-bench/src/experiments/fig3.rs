@@ -1,0 +1,82 @@
+//! **Fig. 3** — scalability: similarity-query time as the number of series
+//! grows. StarLightCurves-like subsets of length-100 series, N from 1000 to
+//! 5000 (× scale) in five steps, same 20-query methodology.
+//!
+//! Paper result: Standard DTW and PAA grow steeply with N; ONEX and
+//! Trillion stay near-flat at this range (Fig. 3a), with Trillion up to 4×
+//! slower than ONEX in the zoomed view (Fig. 3b).
+
+use super::Ctx;
+use crate::harness::{self, build_timed, fmt_secs, make_queries};
+use onex_baselines::{BruteForce, PaaSearch, Spring, Trillion};
+use onex_core::{MatchMode, SimilarityQuery};
+use onex_ts::synth::PaperDataset;
+use onex_ts::Decomposition;
+
+/// Runs the experiment and prints one row per N.
+pub fn run(ctx: &Ctx) {
+    println!(
+        "\n== Fig. 3: scalability on StarLightCurves-like data, series length 100 (scale {}) ==",
+        ctx.scale
+    );
+    println!("paper: StdDTW/PAA grow steeply; ONEX & Trillion near-flat, Trillion up to 4× slower.\n");
+    let ds = PaperDataset::StarLightCurves;
+    let len = 100;
+    let widths = [8, 10, 10, 12, 12, 12, 14];
+    let mut table = harness::Table::new(
+        "fig3_scalability",
+        &["N", "ONEX", "Trillion", "PAA", "SPRING", "StdDTW", "ONEX/Trillion"],
+        &widths,
+    );
+    for step in 1..=5usize {
+        let n = ((1000 * step) as f64 * ctx.scale).round().max(8.0) as usize;
+        let data = ds.generate_with_shape(n, len, ctx.seed);
+        let (base, _) = build_timed(&data, ctx.config());
+        let (n_in, n_out) = ctx.query_mix();
+        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+        let window = base.config().window;
+
+        let mut search = SimilarityQuery::new(&base);
+        let mut trillion = Trillion::new(base.dataset(), window);
+        let mut paa = PaaSearch::new(base.dataset(), window, Decomposition::full(), 4);
+        let mut spring = Spring::new(base.dataset());
+        let mut brute = BruteForce::new(base.dataset(), window, Decomposition::full(), true);
+
+        let (mut to, mut tt, mut tp, mut tsp, mut ts) =
+            (vec![], vec![], vec![], vec![], vec![]);
+        for q in &queries {
+            to.push(harness::time_avg(ctx.runs, || {
+                let _ = search.best_match(&q.values, MatchMode::Any, None);
+            }));
+            tt.push(harness::time_avg(ctx.runs, || {
+                let _ = trillion.best_match(&q.values);
+            }));
+            tp.push(harness::time_avg(1, || {
+                let _ = paa.best_match_any(&q.values);
+            }));
+            tsp.push(harness::time_avg(1, || {
+                let _ = spring.best_match(&q.values);
+            }));
+            ts.push(harness::time_avg(1, || {
+                let _ = brute.best_match_any(&q.values);
+            }));
+        }
+        let (o, t, p, sp, s) = (
+            harness::mean(&to),
+            harness::mean(&tt),
+            harness::mean(&tp),
+            harness::mean(&tsp),
+            harness::mean(&ts),
+        );
+        table.row(vec![
+            format!("{n}"),
+            fmt_secs(o),
+            fmt_secs(t),
+            fmt_secs(p),
+            fmt_secs(sp),
+            fmt_secs(s),
+            format!("{:.2}×", t / o),
+        ]);
+    }
+    table.finish(ctx.csv());
+}

@@ -1,0 +1,67 @@
+//! **Fig. 4** — time response for seasonal-similarity queries, per dataset:
+//! the user-driven case (5 sample series × 5 lengths, averaged over `runs`)
+//! and the data-driven case (5 lengths).
+//!
+//! Paper result: both cases answer in tens to a few hundred milliseconds;
+//! the data-driven "all time series" variant costs more than the
+//! sample-restricted one because it materializes every group. Standard DTW,
+//! PAA and Trillion are omitted — they cannot answer this query class
+//! (§6.2.2).
+
+use super::Ctx;
+use crate::harness::{self, build_timed, fmt_secs};
+use onex_core::query::{seasonal_all, seasonal_for_series};
+use onex_ts::synth::PaperDataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the experiment and prints the two bars of Fig. 4 per dataset.
+pub fn run(ctx: &Ctx) {
+    println!(
+        "\n== Fig. 4: seasonal-similarity time response (scale {}) ==",
+        ctx.scale
+    );
+    println!("paper: both variants interactive (≤ ~0.3s); all-TS ≥ sample-TS.\n");
+    let widths = [12, 16, 14];
+    let mut table = harness::Table::new(
+        "fig4_seasonal_time",
+        &["dataset", "sample-TS", "all-TS"],
+        &widths,
+    );
+    for ds in PaperDataset::EVALUATION {
+        let data = ds.generate_scaled(ctx.scale, ctx.seed);
+        let (base, _) = build_timed(&data, ctx.config());
+        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x5EA5);
+        let max_len = base.dataset().max_series_len();
+        let lengths: Vec<usize> = (0..5)
+            .map(|i| (2 + i * (max_len - 2) / 4).clamp(2, max_len))
+            .collect();
+
+        // user-driven: 5 random sample series × the 5 lengths
+        let mut sample_times = Vec::new();
+        for _ in 0..5 {
+            let sid = rng.gen_range(0..base.dataset().len());
+            for &len in &lengths {
+                if len > base.dataset().series()[sid].len() {
+                    continue;
+                }
+                sample_times.push(harness::time_avg(ctx.runs, || {
+                    let _ = seasonal_for_series(&base, sid, len, 2);
+                }));
+            }
+        }
+        // data-driven: the 5 lengths
+        let mut all_times = Vec::new();
+        for &len in &lengths {
+            all_times.push(harness::time_avg(ctx.runs, || {
+                let _ = seasonal_all(&base, len, 2);
+            }));
+        }
+        table.row(vec![
+            ds.name().to_string(),
+            fmt_secs(harness::mean(&sample_times)),
+            fmt_secs(harness::mean(&all_times)),
+        ]);
+    }
+    table.finish(ctx.csv());
+}

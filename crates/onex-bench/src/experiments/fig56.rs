@@ -1,0 +1,50 @@
+//! **Figs. 5 & 6** — offline preprocessing as the similarity threshold
+//! varies: construction time (Fig. 5, log scale in the paper) and the size
+//! of the pregenerated information in number of representatives (Fig. 6).
+//!
+//! Paper result: low thresholds create many groups (slow construction, many
+//! representatives); construction time and representative count fall as ST
+//! grows and flatten once most subsequences merge.
+
+use super::Ctx;
+use crate::harness::{self, build_timed, fmt_secs};
+use onex_core::OnexConfig;
+use onex_ts::synth::PaperDataset;
+
+const THRESHOLDS: [f64; 6] = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Runs the ST sweep, printing construction time and #representatives.
+pub fn run(ctx: &Ctx) {
+    println!(
+        "\n== Figs. 5 & 6: offline construction time and #representatives vs ST (scale {}) ==",
+        ctx.scale
+    );
+    println!("paper: both fall monotonically with ST and flatten at high ST.\n");
+    let mut widths = vec![12usize];
+    widths.extend(std::iter::repeat_n(14, THRESHOLDS.len()));
+    let mut head = vec!["dataset".to_string()];
+    head.extend(THRESHOLDS.iter().map(|st| format!("ST={st}")));
+    let mut table = harness::Table::new(
+        "fig56_construction_vs_st",
+        &head.iter().map(String::as_str).collect::<Vec<_>>(),
+        &widths,
+    );
+    for ds in PaperDataset::EVALUATION {
+        let data = ds.generate_scaled(ctx.scale, ctx.seed);
+        let mut time_cells = vec![format!("{} (time)", ds.name())];
+        let mut rep_cells = vec![format!("{} (reps)", ds.name())];
+        for &st in &THRESHOLDS {
+            let config = OnexConfig {
+                st,
+                ..ctx.config()
+            };
+            let (base, took) = build_timed(&data, config);
+            time_cells.push(fmt_secs(took.as_secs_f64()));
+            rep_cells.push(format!("{}", base.stats().representatives));
+        }
+        table.row(time_cells);
+        table.row(rep_cells);
+    }
+    table.finish(ctx.csv());
+    println!("\n(Fig. 5 = the time rows; Fig. 6 = the reps rows.)");
+}

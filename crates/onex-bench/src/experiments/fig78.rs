@@ -1,0 +1,64 @@
+//! **Figs. 7 & 8** — the accuracy/time trade-off as ST varies, for
+//! ItalyPower, ECG (Fig. 7) and Face, Wafer (Fig. 8).
+//!
+//! Paper result: each dataset has a "balanced" threshold (≈ 0.2 for most)
+//! where accuracy is still near its plateau while query time has already
+//! fallen; this is how the paper picks the ST it uses everywhere else.
+
+use super::Ctx;
+use crate::harness::{self, accuracy_from_errors, build_timed, fmt_secs, make_queries};
+use onex_baselines::BruteForce;
+use onex_core::{MatchMode, OnexConfig, SimilarityQuery};
+use onex_ts::synth::PaperDataset;
+
+const THRESHOLDS: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
+const DATASETS: [PaperDataset; 4] = [
+    PaperDataset::ItalyPower,
+    PaperDataset::Ecg,
+    PaperDataset::Face,
+    PaperDataset::Wafer,
+];
+
+/// Runs the sweep: one row per (dataset, ST) with accuracy and query time.
+pub fn run(ctx: &Ctx) {
+    println!(
+        "\n== Figs. 7 & 8: accuracy vs time while varying ST (scale {}) ==",
+        ctx.scale
+    );
+    println!("paper: accuracy stays high across ST while time falls; ~0.2 balances both.\n");
+    let widths = [12, 6, 12, 12];
+    let mut table = harness::Table::new(
+        "fig78_accuracy_vs_st",
+        &["dataset", "ST", "accuracy %", "query time"],
+        &widths,
+    );
+    for ds in DATASETS {
+        let data = ds.generate_scaled(ctx.scale, ctx.seed);
+        for &st in &THRESHOLDS {
+            let config = OnexConfig { st, ..ctx.config() };
+            let (base, _) = build_timed(&data, config);
+            let (n_in, n_out) = ctx.query_mix();
+            let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+            let mut search = SimilarityQuery::new(&base);
+            let mut oracle = BruteForce::oracle(base.dataset(), base.config().window);
+            let mut errors = Vec::new();
+            let mut times = Vec::new();
+            for q in &queries {
+                let exact = oracle.best_match_any(&q.values).expect("non-empty");
+                times.push(harness::time_avg(ctx.runs, || {
+                    let _ = search.best_match(&q.values, MatchMode::Any, None);
+                }));
+                if let Ok(m) = search.best_match(&q.values, MatchMode::Any, None) {
+                    errors.push((m.raw_dtw - exact.raw_dtw).clamp(0.0, 1.0));
+                }
+            }
+            table.row(vec![
+                ds.name().to_string(),
+                format!("{st}"),
+                format!("{:.2}", accuracy_from_errors(&errors)),
+                fmt_secs(harness::mean(&times)),
+            ]);
+        }
+    }
+    table.finish(ctx.csv());
+}

@@ -1,0 +1,71 @@
+//! One module per paper table/figure (the experiment index of DESIGN.md §6).
+
+pub mod ablation;
+pub mod datasets;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig56;
+pub mod fig78;
+pub mod table1;
+pub mod table23;
+pub mod table4;
+
+use onex_core::OnexConfig;
+use onex_dist::Window;
+
+/// Shared experiment context (CLI flags of the `repro` binary).
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Fraction of the paper's dataset sizes (1.0 = full shapes; the paper's
+    /// Symbols at full scale holds 78.6M subsequences — hours of
+    /// construction — so default is 0.05).
+    pub scale: f64,
+    /// RNG seed for generators and query selection.
+    pub seed: u64,
+    /// Runs per query for timing averages (the paper uses 5).
+    pub runs: usize,
+    /// Construction threads.
+    pub threads: usize,
+    /// When set, every experiment table is also written as
+    /// `<dir>/<table>.csv` for plotting.
+    pub csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            scale: 0.05,
+            seed: 7,
+            runs: 5,
+            threads: 4,
+            csv_dir: None,
+        }
+    }
+}
+
+impl Ctx {
+    /// The CSV sink, if configured.
+    pub fn csv(&self) -> Option<&std::path::Path> {
+        self.csv_dir.as_deref()
+    }
+}
+
+impl Ctx {
+    /// The experiment-wide ONEX configuration: ST = 0.2 (the paper's §6.3
+    /// choice) and the 10% Sakoe-Chiba window stated in EXPERIMENTS.md.
+    pub fn config(&self) -> OnexConfig {
+        OnexConfig {
+            st: 0.2,
+            window: Window::Ratio(0.1),
+            threads: self.threads,
+            seed: self.seed,
+            ..OnexConfig::default()
+        }
+    }
+
+    /// Queries per dataset: the paper's 20 (10 in-dataset + 10 out).
+    pub fn query_mix(&self) -> (usize, usize) {
+        (10, 10)
+    }
+}

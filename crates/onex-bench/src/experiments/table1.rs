@@ -1,0 +1,72 @@
+//! **Table 1** — time response when the solution is restricted to the same
+//! length as the query: ONEX-S (ONEX searching only the query's length)
+//! against Trillion, which only supports this mode.
+//!
+//! Paper result (seconds): ONEX-S is ~3.8× faster on average.
+
+use super::Ctx;
+use crate::harness::{self, build_timed, fmt_secs, make_queries};
+use onex_baselines::Trillion;
+use onex_core::{MatchMode, SimilarityQuery};
+use onex_ts::synth::PaperDataset;
+
+/// The paper's Table 1 values, (ONEX-S, Trillion) seconds per dataset.
+pub const PAPER: [(f64, f64); 6] = [
+    (0.010, 0.040),
+    (0.024, 0.063),
+    (0.028, 0.110),
+    (0.042, 0.189),
+    (0.176, 0.439),
+    (0.109, 0.585),
+];
+
+/// Runs the experiment and prints the table.
+pub fn run(ctx: &Ctx) {
+    println!(
+        "\n== Table 1: same-length similarity time, ONEX-S vs Trillion (scale {}) ==\n",
+        ctx.scale
+    );
+    let widths = [12, 10, 10, 10, 14, 14];
+    let mut table = harness::Table::new(
+        "table1_same_length_time",
+        &["dataset", "ONEX-S", "Trillion", "speedup", "paper ONEX-S", "paper Trillion"],
+        &widths,
+    );
+    let mut speedups = Vec::new();
+    for (i, ds) in PaperDataset::EVALUATION.into_iter().enumerate() {
+        let data = ds.generate_scaled(ctx.scale, ctx.seed);
+        let (base, _) = build_timed(&data, ctx.config());
+        let (n_in, n_out) = ctx.query_mix();
+        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+        let mut search = SimilarityQuery::new(&base);
+        let mut trillion = Trillion::new(base.dataset(), base.config().window);
+        let mut onex_times = Vec::new();
+        let mut trillion_times = Vec::new();
+        for q in &queries {
+            let len = q.values.len();
+            onex_times.push(harness::time_avg(ctx.runs, || {
+                let _ = search.best_match(&q.values, MatchMode::Exact(len), None);
+            }));
+            trillion_times.push(harness::time_avg(ctx.runs, || {
+                let _ = trillion.best_match(&q.values);
+            }));
+        }
+        let o = harness::mean(&onex_times);
+        let t = harness::mean(&trillion_times);
+        speedups.push(t / o);
+        let (po, pt) = PAPER[i];
+        table.row(vec![
+            ds.name().to_string(),
+            fmt_secs(o),
+            fmt_secs(t),
+            format!("{:.2}×", t / o),
+            format!("{po}s"),
+            format!("{pt}s"),
+        ]);
+    }
+    table.finish(ctx.csv());
+    println!(
+        "\nmeasured: ONEX-S is {:.2}× faster than Trillion on average (paper: ~3.8×).",
+        harness::mean(&speedups)
+    );
+}

@@ -1,0 +1,300 @@
+//! The **ONEX base**: the compact knowledge base produced by the offline
+//! step (§4) — all similarity groups, the per-length GTI entries, and the
+//! SP-Space — plus the normalized dataset they index.
+
+use crate::build::{build_base, LengthGroups};
+use crate::index::LengthIndex;
+use crate::{Group, GroupId, OnexConfig, OnexError, Result, SpSpace};
+use onex_ts::normalize::{min_max, MinMaxParams};
+use onex_ts::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary statistics of a base — the quantities of the paper's Table 4 and
+/// Figs. 5–6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseStats {
+    /// Total number of representatives (= groups) across all lengths.
+    pub representatives: usize,
+    /// Total number of subsequences covered (members across all groups).
+    pub subsequences: usize,
+    /// Number of distinct lengths indexed.
+    pub lengths: usize,
+    /// GTI footprint in bytes (group-id vectors, `Dc` matrices, sum arrays,
+    /// thresholds).
+    pub gti_bytes: usize,
+    /// LSI footprint in bytes (member arrays, representatives, envelopes).
+    pub lsi_bytes: usize,
+}
+
+impl BaseStats {
+    /// Total index footprint in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.gti_bytes + self.lsi_bytes
+    }
+
+    /// Total index footprint in MB (as Table 4 reports it).
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Cardinality reduction factor: subsequences per representative.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.representatives == 0 {
+            0.0
+        } else {
+            self.subsequences as f64 / self.representatives as f64
+        }
+    }
+}
+
+/// The ONEX base: normalized dataset + similarity groups + indexes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnexBase {
+    dataset: Dataset,
+    norm: Option<MinMaxParams>,
+    config: OnexConfig,
+    groups: Vec<Group>,
+    lengths: BTreeMap<usize, LengthIndex>,
+    sp: SpSpace,
+}
+
+impl OnexBase {
+    /// Builds a base from *raw* data: min-max normalizes the dataset (§6.1)
+    /// and runs Algorithm 1 over the normalized copy. The normalization
+    /// parameters are retained so raw query sequences can be projected with
+    /// [`OnexBase::normalize_query`].
+    pub fn build(dataset: &Dataset, config: OnexConfig) -> Result<Self> {
+        config.validate()?;
+        let (normalized, params) = min_max(dataset)?;
+        let mut base = Self::build_prenormalized(normalized, config)?;
+        base.norm = Some(params);
+        Ok(base)
+    }
+
+    /// Builds a base over data that is *already* normalized (values expected
+    /// in `[0, 1]`, though nothing enforces it — the threshold semantics
+    /// simply assume it).
+    pub fn build_prenormalized(dataset: Dataset, config: OnexConfig) -> Result<Self> {
+        config.validate()?;
+        let per_length = build_base(&dataset, &config);
+        Ok(Self::assemble(dataset, None, config, per_length))
+    }
+
+    /// Assembles a base from per-length groups (shared by construction,
+    /// refinement and maintenance).
+    pub(crate) fn assemble(
+        dataset: Dataset,
+        norm: Option<MinMaxParams>,
+        config: OnexConfig,
+        per_length: Vec<LengthGroups>,
+    ) -> Self {
+        let mut groups: Vec<Group> = Vec::new();
+        let mut lengths = BTreeMap::new();
+        let mut local = BTreeMap::new();
+        for lg in per_length {
+            let first_id = groups.len() as GroupId;
+            let ids: Vec<GroupId> = (0..lg.groups.len())
+                .map(|i| first_id + i as GroupId)
+                .collect();
+            groups.extend(lg.groups);
+            let refs: Vec<&Group> = ids.iter().map(|&id| &groups[id as usize]).collect();
+            let idx = LengthIndex::build(lg.len, ids, &refs, config.st);
+            local.insert(lg.len, (idx.st_half, idx.st_final));
+            lengths.insert(lg.len, idx);
+        }
+        OnexBase {
+            dataset,
+            norm,
+            config,
+            groups,
+            lengths,
+            sp: SpSpace::new(local),
+        }
+    }
+
+    /// The (normalized) dataset the base indexes.
+    #[inline]
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The construction configuration.
+    #[inline]
+    pub fn config(&self) -> &OnexConfig {
+        &self.config
+    }
+
+    /// Normalization parameters, when the base was built from raw data.
+    #[inline]
+    pub fn normalizer(&self) -> Option<&MinMaxParams> {
+        self.norm.as_ref()
+    }
+
+    /// Projects a raw query sequence into the base's normalized value space
+    /// (identity when the base was built over pre-normalized data).
+    pub fn normalize_query(&self, raw: &[f64]) -> Vec<f64> {
+        match &self.norm {
+            Some(p) => p.apply_seq(raw),
+            None => raw.to_vec(),
+        }
+    }
+
+    /// All groups, indexed by [`GroupId`].
+    #[inline]
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// One group by id.
+    #[inline]
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id as usize]
+    }
+
+    /// The GTI entry for a length.
+    #[inline]
+    pub fn length_index(&self, len: usize) -> Option<&LengthIndex> {
+        self.lengths.get(&len)
+    }
+
+    /// All indexed lengths, ascending.
+    pub fn indexed_lengths(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lengths.keys().copied()
+    }
+
+    /// All GTI entries, ascending by length.
+    pub fn length_indexes(&self) -> impl Iterator<Item = &LengthIndex> {
+        self.lengths.values()
+    }
+
+    /// The Similarity Parameter Space (§4.2).
+    #[inline]
+    pub fn sp_space(&self) -> &SpSpace {
+        &self.sp
+    }
+
+    /// Validates that the base is non-empty, returning [`OnexError::EmptyBase`]
+    /// otherwise — query entry points call this.
+    pub fn ensure_nonempty(&self) -> Result<()> {
+        if self.groups.is_empty() {
+            Err(OnexError::EmptyBase)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Base statistics (Table 4 / Figs. 5–6 quantities).
+    pub fn stats(&self) -> BaseStats {
+        let representatives = self.groups.len();
+        let subsequences = self.groups.iter().map(Group::member_count).sum();
+        let gti_bytes = self.lengths.values().map(LengthIndex::size_bytes).sum();
+        let lsi_bytes = self.groups.iter().map(Group::size_bytes).sum();
+        BaseStats {
+            representatives,
+            subsequences,
+            lengths: self.lengths.len(),
+            gti_bytes,
+            lsi_bytes,
+        }
+    }
+
+    /// Consumes the base into its parts (used by refinement).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Dataset,
+        Option<MinMaxParams>,
+        OnexConfig,
+        Vec<Group>,
+        BTreeMap<usize, LengthIndex>,
+    ) {
+        (
+            self.dataset,
+            self.norm,
+            self.config,
+            self.groups,
+            self.lengths,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_ts::synth;
+
+    fn small_base() -> OnexBase {
+        let d = synth::sine_mix(6, 16, 2, 3);
+        OnexBase::build(&d, OnexConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn build_normalizes_and_indexes_every_length() {
+        let base = small_base();
+        assert!(base.normalizer().is_some());
+        // lengths 2..=16
+        let lengths: Vec<usize> = base.indexed_lengths().collect();
+        assert_eq!(lengths, (2..=16).collect::<Vec<_>>());
+        // normalized data in [0,1]
+        assert!(base.dataset().global_min() >= 0.0);
+        assert!(base.dataset().global_max() <= 1.0);
+        base.ensure_nonempty().unwrap();
+    }
+
+    #[test]
+    fn stats_account_for_every_subsequence() {
+        let base = small_base();
+        let stats = base.stats();
+        assert_eq!(
+            stats.subsequences,
+            base.dataset().subseq_count(&base.config().decomposition)
+        );
+        assert!(stats.representatives > 0);
+        assert!(stats.representatives <= stats.subsequences);
+        assert!(stats.gti_bytes > 0 && stats.lsi_bytes > 0);
+        assert!(stats.total_mb() > 0.0);
+        assert!(stats.reduction_factor() >= 1.0);
+    }
+
+    #[test]
+    fn group_ids_are_consistent_with_length_indexes() {
+        let base = small_base();
+        for idx in base.length_indexes() {
+            for &id in &idx.group_ids {
+                assert_eq!(base.group(id).len_of_members(), idx.len);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_query_round_trip() {
+        let base = small_base();
+        let raw = vec![0.0, 0.5, 1.0];
+        let q = base.normalize_query(&raw);
+        assert_eq!(q.len(), 3);
+        let p = base.normalizer().unwrap();
+        assert!((p.invert(q[1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let d = synth::sine_mix(4, 8, 2, 1);
+        assert!(OnexBase::build(&d, OnexConfig::with_st(-1.0)).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_fails_normalization() {
+        let d = Dataset::new("empty", vec![]);
+        assert!(OnexBase::build(&d, OnexConfig::default()).is_err());
+    }
+
+    #[test]
+    fn prenormalized_skips_normalization() {
+        let d = synth::sine_mix(4, 8, 2, 1);
+        let base = OnexBase::build_prenormalized(d, OnexConfig::default()).unwrap();
+        assert!(base.normalizer().is_none());
+        // query normalization becomes identity
+        assert_eq!(base.normalize_query(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,472 @@
+//! ONEX base construction — the paper's Algorithm 1.
+//!
+//! For every subsequence length, subsequences are visited in randomized
+//! order (RANDOMIZE-IN-PLACE, i.e. Fisher–Yates); each is assigned to the
+//! *closest* existing representative of its length provided the raw ED is
+//! within `√L · ST/2` (the raw-space equivalent of `ED̄ ≤ ST/2`), otherwise
+//! it seeds a new group and becomes its first representative.
+//! Representatives are running point-wise means, updated incrementally.
+//!
+//! Lengths are independent, so construction optionally fans out across
+//! threads (one length per task, `crossbeam` scoped threads); results are
+//! deterministic regardless of thread count because each length's shuffle is
+//! seeded independently.
+
+use crate::{BuildMode, Group, OnexConfig};
+use onex_dist::ed_early_abandon_sq;
+use onex_ts::{Dataset, SubseqRef};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum Strict-mode eviction/re-insertion rounds before stragglers are
+/// forced into singleton groups.
+const STRICT_ROUNDS: usize = 4;
+
+/// The groups built for one subsequence length.
+#[derive(Debug)]
+pub struct LengthGroups {
+    /// The subsequence length.
+    pub len: usize,
+    /// Finalized groups (representatives frozen, members sorted, envelopes
+    /// built).
+    pub groups: Vec<Group>,
+}
+
+/// Incremental assignment state for one length: groups plus their *live*
+/// means, kept separately so the ED hot loop reads a contiguous `Vec<f64>`
+/// per candidate representative.
+pub(crate) struct Assigner {
+    pub(crate) groups: Vec<Group>,
+    means: Vec<Vec<f64>>,
+    /// Raw-space admission threshold `√L · ST/2`.
+    limit_raw: f64,
+}
+
+impl Assigner {
+    pub(crate) fn new(len: usize, st: f64) -> Self {
+        Assigner {
+            groups: Vec::new(),
+            means: Vec::new(),
+            limit_raw: (len as f64).sqrt() * st / 2.0,
+        }
+    }
+
+    /// Seeds the assigner with existing groups (used by refinement and
+    /// maintenance, which extend an already-built base).
+    pub(crate) fn with_groups(len: usize, st: f64, groups: Vec<Group>) -> Self {
+        let mut means = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let mut m = Vec::new();
+            g.mean_into(&mut m);
+            means.push(m);
+        }
+        Assigner {
+            groups,
+            means,
+            limit_raw: (len as f64).sqrt() * st / 2.0,
+        }
+    }
+
+    /// Assigns one subsequence: joins the closest qualifying group or seeds
+    /// a new one (Algorithm 1, lines 12–20). Returns the group index.
+    pub(crate) fn assign(&mut self, dataset: &Dataset, r: SubseqRef) -> usize {
+        let values = dataset.subseq_unchecked(r);
+        let limit_sq = self.limit_raw * self.limit_raw;
+        let mut best: Option<(usize, f64)> = None;
+        let mut cutoff = limit_sq;
+        for (k, mean) in self.means.iter().enumerate() {
+            if let Some(d_sq) = ed_early_abandon_sq(values, mean, cutoff) {
+                if d_sq <= cutoff {
+                    best = Some((k, d_sq));
+                    cutoff = d_sq;
+                }
+            }
+        }
+        match best {
+            Some((k, _)) => {
+                self.groups[k].push(r, values);
+                // Incremental mean update: m += (x − m)/n.
+                let n = self.groups[k].member_count() as f64;
+                for (m, &v) in self.means[k].iter_mut().zip(values) {
+                    *m += (v - *m) / n;
+                }
+                k
+            }
+            None => {
+                self.groups.push(Group::seed(r, values));
+                self.means.push(values.to_vec());
+                self.groups.len() - 1
+            }
+        }
+    }
+
+    /// Strict-mode repair: evict members outside the limit of their group's
+    /// final mean and re-insert them, for up to [`STRICT_ROUNDS`] rounds.
+    /// Any subsequence still violating afterwards becomes a singleton group,
+    /// so the Def. 8 invariant holds unconditionally on return.
+    pub(crate) fn enforce_invariant(&mut self, dataset: &Dataset) {
+        for round in 0..STRICT_ROUNDS {
+            let mut evicted: Vec<SubseqRef> = Vec::new();
+            for g in self.groups.iter_mut() {
+                evicted.extend(g.evict_outside(dataset, self.limit_raw));
+            }
+            // Eviction changed means: rebuild the mean cache.
+            self.rebuild_means();
+            if evicted.is_empty() {
+                return;
+            }
+            if round + 1 == STRICT_ROUNDS {
+                // Final round: isolate stragglers instead of re-inserting.
+                for r in evicted {
+                    let values = dataset.subseq_unchecked(r);
+                    self.groups.push(Group::seed(r, values));
+                    self.means.push(values.to_vec());
+                }
+                return;
+            }
+            for r in evicted {
+                self.assign(dataset, r);
+            }
+        }
+    }
+
+    fn rebuild_means(&mut self) {
+        for (g, m) in self.groups.iter().zip(self.means.iter_mut()) {
+            g.mean_into(m);
+        }
+    }
+}
+
+/// Builds the similarity groups for a single length.
+pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -> LengthGroups {
+    // Collect and shuffle the subsequences of this length (Algorithm 1,
+    // lines 3–4). The seed mixes in the length so every length gets an
+    // independent, thread-schedule-free permutation.
+    let mut refs: Vec<SubseqRef> = dataset
+        .subseqs_of_len(len, &config.decomposition)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Fisher–Yates (the textbook RANDOMIZE-IN-PLACE the paper cites).
+    for i in (1..refs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        refs.swap(i, j);
+    }
+
+    let mut asg = Assigner::new(len, config.st);
+    for &r in &refs {
+        asg.assign(dataset, r);
+    }
+    if let crate::ClusterStrategy::KMeansRefined { iters } = config.cluster {
+        lloyd_refine(dataset, len, config, &refs, &mut asg, iters);
+    }
+    if config.build_mode == BuildMode::Strict {
+        asg.enforce_invariant(dataset);
+    }
+    let radius = config.window.resolve(len, len);
+    let mut groups = asg.groups;
+    for g in groups.iter_mut() {
+        g.finalize(dataset, radius);
+    }
+    LengthGroups { len, groups }
+}
+
+/// Lloyd refinement over the greedy groups (tech-report's alternative
+/// clustering): each iteration reassigns every subsequence to its *nearest*
+/// current mean (no radius test — the Strict pass afterwards restores the
+/// Def. 8 invariant), then rebuilds means; empty groups are dropped.
+fn lloyd_refine(
+    dataset: &Dataset,
+    len: usize,
+    config: &OnexConfig,
+    refs: &[SubseqRef],
+    asg: &mut Assigner,
+    iters: usize,
+) {
+    for _ in 0..iters {
+        // Snapshot the current means as fixed centroids.
+        let centroids: Vec<Vec<f64>> = asg
+            .groups
+            .iter()
+            .map(|g| {
+                let mut m = Vec::new();
+                g.mean_into(&mut m);
+                m
+            })
+            .collect();
+        if centroids.is_empty() {
+            return;
+        }
+        // Reassign all members to the nearest centroid.
+        let mut buckets: Vec<Vec<SubseqRef>> = vec![Vec::new(); centroids.len()];
+        for &r in refs {
+            let values = dataset.subseq_unchecked(r);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (k, c) in centroids.iter().enumerate() {
+                if let Some(d) = onex_dist::ed_early_abandon_sq(values, c, best_d) {
+                    if d < best_d {
+                        best_d = d;
+                        best = k;
+                    }
+                }
+            }
+            buckets[best].push(r);
+        }
+        // Rebuild groups from the buckets (dropping empties).
+        let mut groups = Vec::with_capacity(buckets.len());
+        for bucket in buckets {
+            let mut members = bucket.into_iter();
+            let Some(first) = members.next() else { continue };
+            let mut g = Group::seed(first, dataset.subseq_unchecked(first));
+            for r in members {
+                g.push(r, dataset.subseq_unchecked(r));
+            }
+            groups.push(g);
+        }
+        *asg = Assigner::with_groups(len, config.st, groups);
+    }
+}
+
+/// Builds groups for every decomposed length, optionally in parallel.
+/// Results are sorted by length and independent of `config.threads`.
+pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthGroups> {
+    let lengths = dataset.decomposed_lengths(&config.decomposition);
+    let mut out: Vec<LengthGroups> = if config.threads <= 1 || lengths.len() <= 1 {
+        lengths
+            .iter()
+            .map(|&len| build_length_groups(dataset, len, config))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<LengthGroups>> = Mutex::new(Vec::with_capacity(lengths.len()));
+        let workers = config.threads.min(lengths.len());
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&len) = lengths.get(i) else { break };
+                    let built = build_length_groups(dataset, len, config);
+                    results.lock().push(built);
+                });
+            }
+        })
+        .expect("construction worker panicked");
+        results.into_inner()
+    };
+    out.sort_by_key(|lg| lg.len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_dist::ed_normalized;
+    use onex_ts::{synth, Decomposition};
+
+    fn config(st: f64) -> OnexConfig {
+        OnexConfig {
+            st,
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_subsequence_lands_in_exactly_one_group() {
+        let d = synth::sine_mix(6, 16, 2, 1);
+        let cfg = config(0.2);
+        let built = build_base(&d, &cfg);
+        let total: usize = built
+            .iter()
+            .map(|lg| lg.groups.iter().map(Group::member_count).sum::<usize>())
+            .sum();
+        assert_eq!(total, d.subseq_count(&cfg.decomposition));
+        // no duplicates across groups of the same length
+        for lg in &built {
+            let mut seen = std::collections::HashSet::new();
+            for g in &lg.groups {
+                for &(r, _) in g.members() {
+                    assert!(seen.insert(r), "duplicate member {r:?}");
+                    assert_eq!(r.len as usize, lg.len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_upholds_def8_invariant() {
+        let d = synth::random_walk(5, 20, 3);
+        let cfg = config(0.15);
+        for lg in build_base(&d, &cfg) {
+            for g in &lg.groups {
+                for &(r, _) in g.members() {
+                    let dist = ed_normalized(d.subseq_unchecked(r), g.representative());
+                    assert!(
+                        dist <= cfg.st / 2.0 + 1e-9,
+                        "len {} member {:?}: ED̄ {} > ST/2 {}",
+                        lg.len,
+                        r,
+                        dist,
+                        cfg.st / 2.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_mode_admits_against_running_mean() {
+        // Paper mode still produces a full partition; invariant may drift
+        // slightly but every member was admitted within the limit at the time.
+        let d = synth::random_walk(4, 16, 7);
+        let cfg = OnexConfig {
+            build_mode: BuildMode::Paper,
+            ..config(0.15)
+        };
+        let built = build_base(&d, &cfg);
+        let total: usize = built
+            .iter()
+            .map(|lg| lg.groups.iter().map(Group::member_count).sum::<usize>())
+            .sum();
+        assert_eq!(total, d.subseq_count(&cfg.decomposition));
+    }
+
+    #[test]
+    fn looser_threshold_gives_fewer_or_equal_groups() {
+        let d = synth::sine_mix(8, 24, 2, 5);
+        let tight: usize = build_base(&d, &config(0.05))
+            .iter()
+            .map(|lg| lg.groups.len())
+            .sum();
+        let loose: usize = build_base(&d, &config(0.8))
+            .iter()
+            .map(|lg| lg.groups.len())
+            .sum();
+        assert!(
+            loose <= tight,
+            "loose ST produced {loose} groups, tight {tight}"
+        );
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let d = synth::sine_mix(6, 20, 2, 9);
+        let seq_cfg = config(0.2);
+        let par_cfg = OnexConfig {
+            threads: 4,
+            ..seq_cfg
+        };
+        let a = build_base(&d, &seq_cfg);
+        let b = build_base(&d, &par_cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len, y.len);
+            assert_eq!(x.groups, y.groups, "length {}", x.len);
+        }
+    }
+
+    #[test]
+    fn single_length_decomposition() {
+        let d = synth::sine_mix(4, 12, 2, 2);
+        let cfg = OnexConfig {
+            decomposition: Decomposition::single_length(8),
+            ..config(0.2)
+        };
+        let built = build_base(&d, &cfg);
+        assert_eq!(built.len(), 1);
+        assert_eq!(built[0].len, 8);
+        let members: usize = built[0].groups.iter().map(Group::member_count).sum();
+        assert_eq!(members, 4 * (12 - 8 + 1));
+    }
+
+    #[test]
+    fn kmeans_refinement_keeps_partition_and_invariant() {
+        let d = synth::sine_mix(6, 16, 2, 17);
+        let cfg = OnexConfig {
+            cluster: crate::ClusterStrategy::KMeansRefined { iters: 3 },
+            ..config(0.2)
+        };
+        let built = build_base(&d, &cfg);
+        let total: usize = built
+            .iter()
+            .map(|lg| lg.groups.iter().map(Group::member_count).sum::<usize>())
+            .sum();
+        assert_eq!(total, d.subseq_count(&cfg.decomposition));
+        // Strict mode still enforces Def. 8 after refinement.
+        for lg in &built {
+            for g in &lg.groups {
+                for &(r, _) in g.members() {
+                    let dist = ed_normalized(d.subseq_unchecked(r), g.representative());
+                    assert!(dist <= cfg.st / 2.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_refinement_does_not_increase_group_count_on_clean_data() {
+        // Lloyd consolidates the greedy pass's order-dependent fragments on
+        // well-clustered data.
+        let d = synth::sine_mix(8, 20, 2, 23);
+        let greedy: usize = build_base(&d, &config(0.3))
+            .iter()
+            .map(|lg| lg.groups.len())
+            .sum();
+        let cfg = OnexConfig {
+            cluster: crate::ClusterStrategy::KMeansRefined { iters: 3 },
+            ..config(0.3)
+        };
+        let refined: usize = build_base(&d, &cfg).iter().map(|lg| lg.groups.len()).sum();
+        assert!(
+            refined <= greedy + greedy / 10,
+            "refined {refined} vs greedy {greedy}"
+        );
+    }
+
+    #[test]
+    fn group_count_grows_sublinearly_in_data() {
+        // The paper's §4.1 probabilistic argument: expected groups ≈ O(√n),
+        // under its equal-likelihood assumption — i.e. on data with
+        // intra-class redundancy (uncorrelated random walks are the
+        // degenerate case where every subsequence founds its own group and
+        // growth is linear). Quadrupling a redundant dataset must grow the
+        // representative count much slower than the subsequence count.
+        let small = synth::sine_mix(4, 16, 2, 3);
+        let large = synth::sine_mix(16, 16, 2, 3);
+        let cfg = config(0.2);
+        let g_small: usize = build_base(&small, &cfg)
+            .iter()
+            .map(|lg| lg.groups.len())
+            .sum();
+        let g_large: usize = build_base(&large, &cfg)
+            .iter()
+            .map(|lg| lg.groups.len())
+            .sum();
+        let data_ratio = large.subseq_count(&cfg.decomposition) as f64
+            / small.subseq_count(&cfg.decomposition) as f64;
+        let group_ratio = g_large as f64 / g_small as f64;
+        assert!(
+            group_ratio < 0.75 * data_ratio,
+            "groups grew {group_ratio:.2}× for {data_ratio:.2}× more data"
+        );
+    }
+
+    #[test]
+    fn identical_subsequences_share_a_group() {
+        // Two identical flat series: every subsequence of a given length is
+        // identical, so each length should produce exactly one group (modulo
+        // value: all values equal 0.3/0.31 — within ST/2 for ST=0.2).
+        let d = onex_ts::Dataset::new(
+            "flat",
+            vec![
+                onex_ts::TimeSeries::new(vec![0.3; 10]).unwrap(),
+                onex_ts::TimeSeries::new(vec![0.31; 10]).unwrap(),
+            ],
+        );
+        for lg in build_base(&d, &config(0.2)) {
+            assert_eq!(lg.groups.len(), 1, "length {}", lg.len);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+use crate::{OnexError, Result};
+use onex_dist::Window;
+use onex_ts::Decomposition;
+use serde::{Deserialize, Serialize};
+
+/// Which clustering algorithm forms the similarity groups.
+///
+/// The paper's Algorithm 1 is a single greedy online pass; its tech-report
+/// discusses alternative clustering methods. [`ClusterStrategy::KMeansRefined`]
+/// runs Lloyd iterations (point-wise-mean centroids under ED — exactly the
+/// paper's representative definition) *after* the greedy pass, then
+/// re-enforces the Def. 8 radius invariant, trading construction time for
+/// tighter groups (fewer representatives at equal ST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterStrategy {
+    /// The paper's Algorithm 1: one greedy online pass (default).
+    OnlineGreedy,
+    /// Greedy pass followed by this many Lloyd refinement iterations and a
+    /// final invariant-enforcement pass.
+    KMeansRefined {
+        /// Lloyd iterations to run (each is one full reassignment sweep).
+        iters: usize,
+    },
+}
+
+/// How strictly the builder enforces the Def. 8 group invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuildMode {
+    /// Faithful Algorithm 1: members are admitted against the representative
+    /// *at admission time*; the representative then drifts as later members
+    /// shift the mean, so a few early members can end up slightly outside
+    /// `ST/2` of the final representative. This is what the paper runs.
+    Paper,
+    /// After the first pass, members violating `ED̄(member, rep) ≤ ST/2`
+    /// against the *final* representative are evicted and re-inserted
+    /// (bounded number of rounds; stragglers become singleton groups). The
+    /// Def. 8 invariant — and therefore Lemma 1/2 — holds exactly. Default.
+    Strict,
+}
+
+/// Configuration of an ONEX base and its query processor.
+///
+/// Defaults follow the paper's experimental choices: `ST = 0.2` (§6.3 finds
+/// ~0.2 balances accuracy/time/size on most datasets) and the full
+/// decomposition. The DTW window defaults to the classic 10% Sakoe-Chiba
+/// band used by the UCR-suite line of work the paper builds on; pass
+/// [`Window::Unconstrained`] for the paper's unconstrained-DTW theory setting
+/// (EXPERIMENTS.md states the setting used by every experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnexConfig {
+    /// Similarity threshold `ST` (on normalized distances; data is expected
+    /// min-max normalized into [0, 1]).
+    pub st: f64,
+    /// DTW warping window used by online queries.
+    pub window: Window,
+    /// Which subsequences the base covers.
+    pub decomposition: Decomposition,
+    /// Group-invariant enforcement (see [`BuildMode`]).
+    pub build_mode: BuildMode,
+    /// Clustering algorithm (see [`ClusterStrategy`]).
+    pub cluster: ClusterStrategy,
+    /// Intra-group best-match walk: number of consecutive non-improving
+    /// probes (per direction) before the walk stops (§5.3, third
+    /// optimization). Ignored when `exhaustive_group_search` is set.
+    pub walk_patience: usize,
+    /// Evaluate DTW against *every* member of the selected group instead of
+    /// walking outward from the predicted position. Slower, maximum
+    /// accuracy; used by ablations.
+    pub exhaustive_group_search: bool,
+    /// Any-length search order optimization (§5.3, first bullet): stop
+    /// visiting further lengths once some length produced a representative
+    /// with `DTW̄(q, rep) ≤ ST/2`.
+    pub stop_at_first_qualifying: bool,
+    /// How many best-matching groups to descend into per length (the paper
+    /// explores exactly 1; raising this is an accuracy/time ablation knob).
+    pub explore_top_groups: usize,
+    /// Cross-length ranking metric for `MATCH = Any` queries. `false`
+    /// (default) ranks candidates by **raw** DTW (Def. 3), under which the
+    /// optimum lies near the query's length — this is what makes the §5.3
+    /// query-length-first search order with early stopping both fast and
+    /// accurate, and matches the paper's reported behaviour. `true` ranks
+    /// by the Def. 6 normalized DTW `DTW/2n`, which systematically favours
+    /// long matches (the per-point cost grows like √n while the divisor
+    /// grows like n); with it, accurate any-length search must visit every
+    /// length. See DESIGN.md §5.
+    pub rank_normalized: bool,
+    /// Seed for the construction-time randomization (RANDOMIZE-IN-PLACE and
+    /// first-representative selection).
+    pub seed: u64,
+    /// Worker threads for construction; lengths are built independently.
+    /// `1` = sequential.
+    pub threads: usize,
+}
+
+impl Default for OnexConfig {
+    fn default() -> Self {
+        OnexConfig {
+            st: 0.2,
+            window: Window::Ratio(0.1),
+            decomposition: Decomposition::full(),
+            build_mode: BuildMode::Strict,
+            cluster: ClusterStrategy::OnlineGreedy,
+            walk_patience: 8,
+            exhaustive_group_search: false,
+            stop_at_first_qualifying: true,
+            explore_top_groups: 1,
+            rank_normalized: false,
+            seed: 0xA11CE,
+            threads: 1,
+        }
+    }
+}
+
+impl OnexConfig {
+    /// A config with the given similarity threshold and defaults elsewhere.
+    pub fn with_st(st: f64) -> Self {
+        OnexConfig {
+            st,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !self.st.is_finite() || self.st <= 0.0 {
+            return Err(OnexError::InvalidThreshold(self.st));
+        }
+        self.decomposition.validate()?;
+        if self.explore_top_groups == 0 {
+            return Err(OnexError::InvalidRefinement(
+                "explore_top_groups must be ≥ 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_choices() {
+        let c = OnexConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.st, 0.2);
+        assert_eq!(c.build_mode, BuildMode::Strict);
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        assert!(OnexConfig::with_st(0.0).validate().is_err());
+        assert!(OnexConfig::with_st(-1.0).validate().is_err());
+        assert!(OnexConfig::with_st(f64::NAN).validate().is_err());
+        assert!(OnexConfig::with_st(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_top_groups() {
+        let c = OnexConfig {
+            explore_top_groups: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,90 @@
+use onex_ts::TsError;
+use std::fmt;
+
+/// Errors produced by the ONEX system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnexError {
+    /// The similarity threshold must be a finite positive number (the paper's
+    /// normalized thresholds live in (0, 1], but larger values are accepted —
+    /// they simply merge everything).
+    InvalidThreshold(f64),
+    /// A query sequence was empty or shorter than the smallest decomposed
+    /// length.
+    QueryTooShort {
+        /// The query length supplied.
+        len: usize,
+        /// The minimum usable length.
+        min_len: usize,
+    },
+    /// A query sequence contained a non-finite value.
+    NonFiniteQuery {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// No similarity groups exist for the requested length.
+    NoGroupsForLength(usize),
+    /// A seasonal query referenced a series not present in the dataset.
+    UnknownSeries(usize),
+    /// The base holds no groups at all (empty dataset or degenerate
+    /// decomposition).
+    EmptyBase,
+    /// An error bubbled up from the time-series substrate.
+    Ts(TsError),
+    /// A snapshot could not be decoded.
+    SnapshotCorrupt(String),
+    /// Refinement was requested with an unusable target threshold.
+    InvalidRefinement(String),
+}
+
+impl fmt::Display for OnexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnexError::InvalidThreshold(st) => {
+                write!(f, "similarity threshold must be finite and > 0, got {st}")
+            }
+            OnexError::QueryTooShort { len, min_len } => {
+                write!(f, "query of length {len} is shorter than the minimum decomposed length {min_len}")
+            }
+            OnexError::NonFiniteQuery { index } => {
+                write!(f, "query contains a non-finite value at index {index}")
+            }
+            OnexError::NoGroupsForLength(len) => {
+                write!(f, "no similarity groups exist for length {len}")
+            }
+            OnexError::UnknownSeries(id) => write!(f, "series {id} is not in the dataset"),
+            OnexError::EmptyBase => write!(f, "the ONEX base contains no groups"),
+            OnexError::Ts(e) => write!(f, "substrate error: {e}"),
+            OnexError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+            OnexError::InvalidRefinement(msg) => write!(f, "invalid refinement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OnexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnexError::Ts(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TsError> for OnexError {
+    fn from(e: TsError) -> Self {
+        OnexError::Ts(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OnexError::QueryTooShort { len: 1, min_len: 2 };
+        assert!(e.to_string().contains("length 1"));
+        let e = OnexError::Ts(TsError::EmptySeries);
+        assert!(e.to_string().contains("substrate"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,69 @@
+//! # onex-core — the ONEX system
+//!
+//! The paper's primary contribution: a one-time preprocessing step that
+//! encodes similarity relationships between *all* subsequences of a dataset
+//! into a compact knowledge base (the **ONEX base**), plus an online query
+//! processor that runs time-warped (DTW) retrieval against the base instead
+//! of the raw data.
+//!
+//! ## Offline (§3–4)
+//!
+//! * [`build::build_base`] / [`OnexBase::build`] — Algorithm 1: decompose
+//!   every series into subsequences of every length, randomize, and grow
+//!   **similarity groups** per length under the normalized-ED invariant
+//!   `ED̄(member, representative) ≤ ST/2` (Def. 8). The representative is the
+//!   point-wise mean of the group (Def. 7).
+//! * [`index::LengthIndex`] — the paper's GTI entry for one length: group
+//!   ids, the pairwise Inter-Representative Distance matrix `Dc` (Def. 10),
+//!   the sum-ordered representative list driving the median-sum search
+//!   optimization (§5.3), and the per-length critical thresholds.
+//! * [`group::Group`] — the paper's LSI: members sorted by ED to the
+//!   representative, the representative itself, and its LB_Keogh envelope.
+//! * [`spspace::SpSpace`] — the Similarity Parameter Space (§4.2): per-length
+//!   and global `ST_half` / `ST_final` values and the Strict/Medium/Loose
+//!   similarity degrees.
+//!
+//! ## Online (§5)
+//!
+//! * [`query::SimilarityQuery`] — Class I queries (best match, exact or any
+//!   length) with every §5.3 optimization.
+//! * [`query::seasonal_all`] / [`query::seasonal_for_series`] — Class II queries
+//!   (recurring similarity patterns).
+//! * [`query::recommend`] — Class III queries (threshold recommendations).
+//! * [`refine`] — Algorithm 2.C: adapt the base to a *different* similarity
+//!   threshold by splitting or cascade-merging groups, without re-scanning
+//!   the raw subsequence space.
+//!
+//! ## Extensions beyond the paper's core
+//!
+//! * [`maintain`] — incremental insertion of new series into an existing
+//!   base (sketched in the paper's tech report).
+//! * [`snapshot`] — a versioned binary snapshot of the base (pure `bytes`,
+//!   no external format dependency).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod base;
+mod config;
+mod error;
+
+pub mod build;
+pub mod classify;
+pub mod group;
+pub mod index;
+pub mod maintain;
+pub mod query;
+pub mod refine;
+pub mod snapshot;
+pub mod spspace;
+
+pub use base::{BaseStats, OnexBase};
+pub use config::{BuildMode, ClusterStrategy, OnexConfig};
+pub use error::OnexError;
+pub use group::{Group, GroupId};
+pub use query::{Match, MatchMode, SeasonalResult, SimilarityQuery};
+pub use spspace::{SimilarityDegree, SpSpace, ThresholdRange};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OnexError>;

@@ -1,0 +1,160 @@
+//! Incremental maintenance of an existing base (the paper defers this to its
+//! tech report; the natural construction is implemented here): appending a
+//! new series re-runs the Algorithm-1 assignment *only for the new series'
+//! subsequences*, against the existing representatives — no re-clustering of
+//! the data already indexed. Affected per-length indexes (Dc, sum order,
+//! SP-Space) are rebuilt.
+//!
+//! Normalization caveat: when the base was built from raw data, the new
+//! series is projected with the *original* min-max parameters. Values
+//! outside the original range normalize outside `[0, 1]`; this mirrors
+//! streaming practice (re-normalizing would invalidate every stored
+//! distance) and is documented behaviour.
+
+use crate::build::{Assigner, LengthGroups};
+use crate::{BuildMode, Group, OnexBase, Result};
+use onex_ts::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Appends a series (raw units if the base was built from raw data) and
+/// returns the updated base together with the new series' index.
+pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, usize)> {
+    base.ensure_nonempty()?;
+    let config = *base.config();
+    let norm = base.normalizer().copied();
+    let (mut dataset, _, _, groups, length_map) = base.into_parts();
+
+    // Project into the base's value space.
+    let series = match &norm {
+        Some(p) => {
+            let values: Vec<f64> = series.values().iter().map(|&v| p.apply(v)).collect();
+            match series.label() {
+                Some(l) => TimeSeries::with_label(values, l)?,
+                None => TimeSeries::new(values)?,
+            }
+        }
+        None => series,
+    };
+    let new_index = dataset.push(series);
+
+    // Re-distribute the flat group table into per-length buckets, preserving
+    // the id order recorded in each LengthIndex.
+    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
+    let mut per_length: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
+    for (len, idx) in &length_map {
+        let bucket: Vec<Group> = idx
+            .group_ids
+            .iter()
+            .map(|&id| slots[id as usize].take().expect("group id unique"))
+            .collect();
+        per_length.insert(*len, bucket);
+    }
+
+    // Assign the new series' subsequences length by length. Lengths the base
+    // has never seen (the new series may be longer than any existing one)
+    // start from an empty assigner.
+    let new_len = dataset.get(new_index)?.len();
+    let mut rebuilt: Vec<LengthGroups> = Vec::new();
+    let mut touched: BTreeMap<usize, bool> = BTreeMap::new();
+    for len in config.decomposition.lengths_for(new_len) {
+        touched.insert(len, true);
+    }
+    let all_lengths: std::collections::BTreeSet<usize> = per_length
+        .keys()
+        .copied()
+        .chain(touched.keys().copied())
+        .collect();
+
+    for len in all_lengths {
+        let existing = per_length.remove(&len).unwrap_or_default();
+        if !touched.contains_key(&len) {
+            // Untouched length: groups pass through unchanged (already
+            // finalized).
+            rebuilt.push(LengthGroups {
+                len,
+                groups: existing,
+            });
+            continue;
+        }
+        let mut asg = Assigner::with_groups(len, config.st, existing);
+        let start_max = new_len - len;
+        let mut start = 0usize;
+        while start <= start_max {
+            let r = onex_ts::SubseqRef::new(new_index as u32, start as u32, len as u32);
+            asg.assign(&dataset, r);
+            start += config.decomposition.start_stride;
+        }
+        if config.build_mode == BuildMode::Strict {
+            asg.enforce_invariant(&dataset);
+        }
+        let radius = config.window.resolve(len, len);
+        let mut groups = asg.groups;
+        for g in groups.iter_mut() {
+            g.finalize(&dataset, radius);
+        }
+        rebuilt.push(LengthGroups { len, groups });
+    }
+    rebuilt.sort_by_key(|lg| lg.len);
+    Ok((OnexBase::assemble(dataset, norm, config, rebuilt), new_index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatchMode, OnexConfig, SimilarityQuery};
+    use onex_ts::synth;
+
+    #[test]
+    fn appended_series_is_queryable() {
+        let d = synth::sine_mix(5, 12, 2, 7);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let before = base.stats();
+        // a brand-new, distinctive series (raw units)
+        let novel = TimeSeries::new(vec![
+            10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0,
+        ])
+        .unwrap();
+        let (base, idx) = append_series(base, novel).unwrap();
+        assert_eq!(idx, 5);
+        let after = base.stats();
+        assert_eq!(
+            after.subsequences,
+            before.subsequences + 12 * 11 / 2,
+            "new series contributes n(n−1)/2 subsequences"
+        );
+        // query with a normalized slice of the new series finds it
+        let q: Vec<f64> = base.dataset().get(5).unwrap().values()[0..6].to_vec();
+        let mut proc = SimilarityQuery::new(&base);
+        let m = proc.best_match(&q, MatchMode::Exact(6), None).unwrap();
+        assert_eq!(m.subseq.series, 5);
+    }
+
+    #[test]
+    fn longer_series_creates_new_lengths() {
+        let d = synth::sine_mix(4, 8, 2, 7);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        assert_eq!(base.indexed_lengths().max().unwrap(), 8);
+        let long = TimeSeries::new((0..12).map(|i| i as f64 * 0.1).collect()).unwrap();
+        let (base, _) = append_series(base, long).unwrap();
+        assert_eq!(base.indexed_lengths().max().unwrap(), 12);
+        base.length_index(12).expect("new length indexed");
+    }
+
+    #[test]
+    fn strict_invariant_survives_maintenance() {
+        let d = synth::sine_mix(5, 10, 2, 9);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let extra = TimeSeries::new((0..10).map(|i| (i as f64 * 0.7).sin()).collect()).unwrap();
+        let (base, _) = append_series(base, extra).unwrap();
+        let st = base.config().st;
+        for g in base.groups() {
+            for &(m, _) in g.members() {
+                let d = onex_dist::ed_normalized(
+                    base.dataset().subseq_unchecked(m),
+                    g.representative(),
+                );
+                assert!(d <= st / 2.0 + 1e-9);
+            }
+        }
+    }
+}

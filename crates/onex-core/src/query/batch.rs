@@ -1,0 +1,155 @@
+//! Parallel batch querying: answer many similarity queries against one base
+//! concurrently. The base is immutable after construction, so each worker
+//! owns its private [`SimilarityQuery`] (DTW scratch buffers) and results
+//! are bitwise-identical to the sequential path — useful for dashboards
+//! that refresh many panels at once and for bulk evaluations like the
+//! experiment harness or `classify::evaluate_accuracy`.
+
+use super::{Match, MatchMode, SimilarityQuery};
+use crate::{OnexBase, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One query of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchQuery {
+    /// Query values (normalized space).
+    pub values: Vec<f64>,
+    /// Length mode.
+    pub mode: MatchMode,
+    /// Per-query similarity-threshold override (`None` = the base's ST).
+    pub st: Option<f64>,
+}
+
+impl BatchQuery {
+    /// Convenience constructor for an any-length query with default ST.
+    pub fn any(values: Vec<f64>) -> Self {
+        BatchQuery {
+            values,
+            mode: MatchMode::Any,
+            st: None,
+        }
+    }
+
+    /// Convenience constructor for an exact-length query with default ST.
+    pub fn exact(values: Vec<f64>) -> Self {
+        let mode = MatchMode::Exact(values.len());
+        BatchQuery {
+            values,
+            mode,
+            st: None,
+        }
+    }
+}
+
+/// Answers every query, fanning out across `threads` workers (1 =
+/// sequential). The output is index-aligned with the input and identical to
+/// running the queries one by one.
+pub fn best_match_batch(
+    base: &OnexBase,
+    queries: &[BatchQuery],
+    threads: usize,
+) -> Vec<Result<Match>> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads == 1 {
+        let mut search = SimilarityQuery::new(base);
+        return queries
+            .iter()
+            .map(|q| search.best_match(&q.values, q.mode, q.st))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Match>>>> =
+        (0..queries.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut search = SimilarityQuery::new(base);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(q) = queries.get(i) else { break };
+                    let result = search.best_match(&q.values, q.mode, q.st);
+                    *slots[i].lock() = Some(result);
+                }
+            });
+        }
+    })
+    .expect("batch query worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OnexConfig, OnexError};
+    use onex_ts::synth;
+
+    fn base() -> OnexBase {
+        let d = synth::sine_mix(8, 20, 2, 61);
+        OnexBase::build(&d, OnexConfig::default()).unwrap()
+    }
+
+    fn queries(base: &OnexBase) -> Vec<BatchQuery> {
+        (0..8)
+            .map(|i| {
+                let sid = i % base.dataset().len();
+                let values = base.dataset().series()[sid].values()[i..i + 10].to_vec();
+                if i % 2 == 0 {
+                    BatchQuery::any(values)
+                } else {
+                    BatchQuery::exact(values)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let b = base();
+        let qs = queries(&b);
+        let seq = best_match_batch(&b, &qs, 1);
+        let par = best_match_batch(&b, &qs, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.as_ref().unwrap(), p.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn per_query_errors_are_isolated() {
+        let b = base();
+        let mut qs = queries(&b);
+        qs.push(BatchQuery {
+            values: vec![],
+            mode: MatchMode::Any,
+            st: None,
+        });
+        qs.push(BatchQuery {
+            values: vec![0.5; 4],
+            mode: MatchMode::Exact(999),
+            st: None,
+        });
+        let out = best_match_batch(&b, &qs, 3);
+        assert!(out[..8].iter().all(Result::is_ok));
+        assert!(matches!(out[8], Err(OnexError::QueryTooShort { .. })));
+        assert!(matches!(out[9], Err(OnexError::NoGroupsForLength(999))));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = base();
+        assert!(best_match_batch(&b, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn thread_count_clamps() {
+        let b = base();
+        let qs = queries(&b);
+        // more threads than queries is fine
+        let out = best_match_batch(&b, &qs, 64);
+        assert_eq!(out.len(), qs.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! The ONEX online query processor (paper §5).
+//!
+//! * [`SimilarityQuery`] — Class I: best-match / top-k retrieval for a
+//!   sample sequence, exact-length or any-length (Algorithm 2.A), applying
+//!   the §5.3 optimizations: length-ordered search, median-sum
+//!   representative ordering, LB_Kim/LB_Keogh pruning, early-abandoning DTW,
+//!   and the ED-ordered intra-group walk.
+//! * [`seasonal_all`] / [`seasonal_for_series`] — Class II: recurring-similarity
+//!   queries (Algorithm 2.B).
+//! * [`recommend`] — Class III: similarity-threshold recommendations.
+
+mod batch;
+mod recommend;
+mod seasonal;
+mod similarity;
+
+pub use batch::{best_match_batch, BatchQuery};
+pub use recommend::recommend;
+pub use seasonal::{seasonal_all, seasonal_for_series, SeasonalResult};
+pub use similarity::{Match, MatchMode, QueryStats, SimilarityQuery};
+
+use crate::{OnexError, Result};
+
+/// Validates a query sequence: non-empty and finite.
+pub(crate) fn validate_query(q: &[f64]) -> Result<()> {
+    if q.is_empty() {
+        return Err(OnexError::QueryTooShort { len: 0, min_len: 2 });
+    }
+    for (index, &v) in q.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(OnexError::NonFiniteQuery { index });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_empty_and_nan() {
+        assert!(validate_query(&[]).is_err());
+        assert!(validate_query(&[1.0, f64::NAN]).is_err());
+        assert!(validate_query(&[1.0, 2.0]).is_ok());
+    }
+}

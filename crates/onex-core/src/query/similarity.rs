@@ -1,0 +1,744 @@
+//! Class I similarity queries (Algorithm 2.A): given a sample sequence,
+//! return the most similar subsequence(s) in the dataset — exact-length or
+//! any-length — by exploring the R-Space instead of the raw data.
+//!
+//! The three-step process of §5.2: (1) GTI lookup of the candidate lengths,
+//! (2) best-matching-representative search over each length's groups (DTW
+//! against representatives only, with LB pruning and early abandoning, in
+//! median-sum order), (3) best-match search *inside* the selected group,
+//! walking the ED-sorted member list outward from the predicted position.
+
+use super::validate_query;
+use crate::index::LengthIndex;
+use crate::{Group, GroupId, OnexBase, OnexError, Result};
+use onex_dist::{lb_keogh, lb_kim_fl, DtwBuffer};
+use onex_ts::SubseqRef;
+
+/// Which lengths a similarity query searches (the paper's `MATCH` clause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMode {
+    /// `MATCH = Exact(L)`: only subsequences of length `L`.
+    Exact(usize),
+    /// `MATCH = Any`: all decomposed lengths, ranked by normalized DTW.
+    Any,
+}
+
+/// A retrieved match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// The matched subsequence.
+    pub subseq: SubseqRef,
+    /// Normalized DTW `DTW/2n` (Def. 6) between query and match — the
+    /// cross-length-comparable score.
+    pub dist: f64,
+    /// Raw DTW between query and match.
+    pub raw_dtw: f64,
+    /// The group the match came from.
+    pub group: GroupId,
+    /// Normalized DTW between the query and that group's representative.
+    pub rep_dist: f64,
+}
+
+/// Instrumentation counters, exposed for the ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Representatives considered.
+    pub reps_examined: usize,
+    /// Representatives skipped by LB_Kim/LB_Keogh before any DTW work.
+    pub reps_lb_pruned: usize,
+    /// Full or early-abandoned DTW evaluations against representatives.
+    pub rep_dtw_evals: usize,
+    /// Group members evaluated with DTW.
+    pub members_examined: usize,
+    /// Lengths visited (any-length queries).
+    pub lengths_visited: usize,
+}
+
+/// Reusable similarity-query processor over one base. Owns the DTW scratch
+/// buffer so repeated queries allocate nothing.
+pub struct SimilarityQuery<'a> {
+    base: &'a OnexBase,
+    buf: DtwBuffer,
+    /// Counters from the most recent query.
+    pub stats: QueryStats,
+}
+
+/// Best-representative search result for one length.
+struct RepChoice {
+    group: GroupId,
+    /// Raw DTW between query and the representative.
+    raw: f64,
+}
+
+impl<'a> SimilarityQuery<'a> {
+    /// Creates a processor bound to a base.
+    pub fn new(base: &'a OnexBase) -> Self {
+        SimilarityQuery {
+            base,
+            buf: DtwBuffer::new(),
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Finds the best match for a (normalized) query sequence. `st` overrides
+    /// the base's similarity threshold for the qualifying-representative test
+    /// (the `WHERE Sim <= ST` clause); `None` uses the build-time threshold.
+    pub fn best_match(&mut self, q: &[f64], mode: MatchMode, st: Option<f64>) -> Result<Match> {
+        validate_query(q)?;
+        self.base.ensure_nonempty()?;
+        self.stats = QueryStats::default();
+        let st = st.unwrap_or(self.base.config().st);
+        match mode {
+            MatchMode::Exact(len) => self.best_match_at_length(q, len, None),
+            MatchMode::Any => self.best_match_any(q, st),
+        }
+    }
+
+    /// Top-`k` most similar subsequences. Within the selected group(s) every
+    /// member is evaluated (no walk cut-off) so the ranking is complete for
+    /// the explored groups; the paper's `getKSim` likewise reads the selected
+    /// group's LSI.
+    pub fn top_k(
+        &mut self,
+        q: &[f64],
+        mode: MatchMode,
+        k: usize,
+        st: Option<f64>,
+    ) -> Result<Vec<Match>> {
+        validate_query(q)?;
+        self.base.ensure_nonempty()?;
+        self.stats = QueryStats::default();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let st = st.unwrap_or(self.base.config().st);
+        let lengths: Vec<usize> = match mode {
+            MatchMode::Exact(len) => vec![len],
+            MatchMode::Any => self.length_order(q.len()),
+        };
+        let mut all: Vec<Match> = Vec::new();
+        for len in lengths {
+            let Some(idx) = self.base.length_index(len) else {
+                if matches!(mode, MatchMode::Exact(_)) {
+                    return Err(OnexError::NoGroupsForLength(len));
+                }
+                continue;
+            };
+            self.stats.lengths_visited += 1;
+            let choices = self.best_reps(q, idx, self.base.config().explore_top_groups.max(1));
+            let mut qualified = false;
+            for c in &choices {
+                let norm = c.raw / (2.0 * q.len().max(len) as f64);
+                if norm <= st / 2.0 {
+                    qualified = true;
+                }
+                let group = self.base.group(c.group);
+                for &(r, _) in group.members() {
+                    let vals = self.base.dataset().subseq_unchecked(r);
+                    let raw = self.buf.dist(q, vals, self.base.config().window);
+                    self.stats.members_examined += 1;
+                    all.push(Match {
+                        subseq: r,
+                        dist: raw / (2.0 * q.len().max(len) as f64),
+                        raw_dtw: raw,
+                        group: c.group,
+                        rep_dist: norm,
+                    });
+                }
+            }
+            if matches!(mode, MatchMode::Any)
+                && qualified
+                && self.base.config().stop_at_first_qualifying
+                && all.len() >= k
+            {
+                break;
+            }
+        }
+        if self.base.config().rank_normalized {
+            all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.subseq.cmp(&b.subseq)));
+        } else {
+            all.sort_by(|a, b| a.raw_dtw.total_cmp(&b.raw_dtw).then(a.subseq.cmp(&b.subseq)));
+        }
+        all.truncate(k);
+        if all.is_empty() {
+            return Err(OnexError::EmptyBase);
+        }
+        Ok(all)
+    }
+
+    /// Range query — the paper's Q1 with `WHERE Sim <= ST` instead of `min`:
+    /// every subsequence whose normalized DTW to the query is within `st`.
+    ///
+    /// Candidate groups are found by the Lemma-2 certificate: a
+    /// representative within `ST/2` (normalized DTW) guarantees *all* its
+    /// members are within `ST`. With `verify = false` the certified members
+    /// are returned as-is (no member-level DTW at all — the paper's fast
+    /// path, sound under the theory's unconstrained window but reporting
+    /// the representative's distance for each member). With `verify = true`
+    /// each member's true DTW is computed and filtered to `≤ st`, which
+    /// also finds members of *uncertified* boundary groups (reps in
+    /// `(ST/2, ST·1.5]`) that still qualify individually.
+    pub fn within_threshold(
+        &mut self,
+        q: &[f64],
+        mode: MatchMode,
+        st: Option<f64>,
+        verify: bool,
+    ) -> Result<Vec<Match>> {
+        validate_query(q)?;
+        self.base.ensure_nonempty()?;
+        self.stats = QueryStats::default();
+        let st = st.unwrap_or(self.base.config().st);
+        let lengths: Vec<usize> = match mode {
+            MatchMode::Exact(len) => {
+                if self.base.length_index(len).is_none() {
+                    return Err(OnexError::NoGroupsForLength(len));
+                }
+                vec![len]
+            }
+            MatchMode::Any => self.length_order(q.len()),
+        };
+        let window = self.base.config().window;
+        let mut out = Vec::new();
+        for len in lengths {
+            let Some(idx) = self.base.length_index(len) else {
+                continue;
+            };
+            self.stats.lengths_visited += 1;
+            let norm = 2.0 * q.len().max(len) as f64;
+            for local in idx.median_out_order() {
+                let gid = idx.group_ids[local];
+                let group = self.base.group(gid);
+                self.stats.reps_examined += 1;
+                // Reps beyond 1.5·ST can contain no qualifying member even
+                // under verification (member ≤ ST and Lemma-2-style bounds
+                // keep everything near the rep), so bound the scan there.
+                let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
+                let Some(raw) =
+                    self.buf
+                        .dist_early_abandon(q, group.representative(), window, scan_limit * norm)
+                else {
+                    continue;
+                };
+                self.stats.rep_dtw_evals += 1;
+                let rep_norm = raw / norm;
+                if rep_norm <= st / 2.0 && !verify {
+                    // Certified: every member qualifies (Lemma 2).
+                    for &(r, _) in group.members() {
+                        out.push(Match {
+                            subseq: r,
+                            dist: rep_norm,
+                            raw_dtw: raw,
+                            group: gid,
+                            rep_dist: rep_norm,
+                        });
+                    }
+                } else if rep_norm <= scan_limit && verify {
+                    for &(r, _) in group.members() {
+                        let vals = self.base.dataset().subseq_unchecked(r);
+                        self.stats.members_examined += 1;
+                        let Some(member_raw) =
+                            self.buf.dist_early_abandon(q, vals, window, st * norm)
+                        else {
+                            continue;
+                        };
+                        let d = member_raw / norm;
+                        if d <= st {
+                            out.push(Match {
+                                subseq: r,
+                                dist: d,
+                                raw_dtw: member_raw,
+                                group: gid,
+                                rep_dist: rep_norm,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.subseq.cmp(&b.subseq)));
+        Ok(out)
+    }
+
+    fn best_match_at_length(
+        &mut self,
+        q: &[f64],
+        len: usize,
+        cutoff_raw: Option<f64>,
+    ) -> Result<Match> {
+        let idx = self
+            .base
+            .length_index(len)
+            .ok_or(OnexError::NoGroupsForLength(len))?;
+        self.stats.lengths_visited += 1;
+        let top = self.base.config().explore_top_groups.max(1);
+        let choices = self.best_reps(q, idx, top);
+        let mut best: Option<Match> = None;
+        let mut cutoff = cutoff_raw.unwrap_or(f64::INFINITY);
+        for c in &choices {
+            let rep_norm = c.raw / (2.0 * q.len().max(len) as f64);
+            if let Some((r, raw)) = self.best_in_group(q, self.base.group(c.group), c.raw, cutoff)
+            {
+                if raw < cutoff {
+                    cutoff = raw;
+                    best = Some(Match {
+                        subseq: r,
+                        dist: raw / (2.0 * q.len().max(len) as f64),
+                        raw_dtw: raw,
+                        group: c.group,
+                        rep_dist: rep_norm,
+                    });
+                }
+            }
+        }
+        best.ok_or(OnexError::NoGroupsForLength(len))
+    }
+
+    /// Length search order for any-length queries (§5.3, first bullet):
+    /// query length first, then decreasing to the smallest, then increasing
+    /// above the query length.
+    fn length_order(&self, qlen: usize) -> Vec<usize> {
+        let lengths: Vec<usize> = self.base.indexed_lengths().collect();
+        let mut below: Vec<usize> = lengths.iter().copied().filter(|&l| l <= qlen).collect();
+        below.reverse(); // qlen, qlen-1, ..., min
+        let above: Vec<usize> = lengths.into_iter().filter(|&l| l > qlen).collect();
+        below.into_iter().chain(above).collect()
+    }
+
+    fn best_match_any(&mut self, q: &[f64], st: f64) -> Result<Match> {
+        let rank_normalized = self.base.config().rank_normalized;
+        let mut best: Option<Match> = None;
+        for len in self.length_order(q.len()) {
+            // Carry the best-so-far across lengths as a raw-DTW cutoff for
+            // early abandoning. Under raw ranking it transfers directly;
+            // under normalized ranking it is rescaled by this length's
+            // normalization factor.
+            let cutoff_raw = best.as_ref().map(|b| {
+                if rank_normalized {
+                    b.dist * 2.0 * q.len().max(len) as f64
+                } else {
+                    b.raw_dtw
+                }
+            });
+            let found = match self.best_match_at_length(q, len, cutoff_raw) {
+                Ok(m) => m,
+                Err(OnexError::NoGroupsForLength(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let better = best.as_ref().is_none_or(|b| {
+                if rank_normalized {
+                    found.dist < b.dist
+                } else {
+                    found.raw_dtw < b.raw_dtw
+                }
+            });
+            if better {
+                best = Some(found);
+            }
+            // §5.3: stop extending the length search once a representative
+            // within ST/2 has been found at some length.
+            if self.base.config().stop_at_first_qualifying {
+                if let Some(b) = &best {
+                    if b.rep_dist <= st / 2.0 {
+                        break;
+                    }
+                }
+            }
+        }
+        best.ok_or(OnexError::EmptyBase)
+    }
+
+    /// Best `top` representatives of a length by raw DTW to the query, in
+    /// median-sum order with LB pruning and early abandoning.
+    fn best_reps(&mut self, q: &[f64], idx: &LengthIndex, top: usize) -> Vec<RepChoice> {
+        let window = self.base.config().window;
+        let mut kept: Vec<RepChoice> = Vec::with_capacity(top + 1);
+        let mut cutoff = f64::INFINITY;
+        for local in idx.median_out_order() {
+            let gid = idx.group_ids[local];
+            let group = self.base.group(gid);
+            let rep = group.representative();
+            self.stats.reps_examined += 1;
+            if cutoff.is_finite() {
+                // Cascade: O(1) LB_Kim, then O(n) LB_Keogh when applicable.
+                if lb_kim_fl(q, rep) > cutoff {
+                    self.stats.reps_lb_pruned += 1;
+                    continue;
+                }
+                if q.len() == rep.len() {
+                    if let Some(env) = group.envelope() {
+                        if env.radius >= window.resolve(q.len(), rep.len())
+                            && lb_keogh(q, env) > cutoff
+                        {
+                            self.stats.reps_lb_pruned += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.stats.rep_dtw_evals += 1;
+            let Some(raw) = self.buf.dist_early_abandon(q, rep, window, cutoff) else {
+                continue;
+            };
+            if raw >= cutoff && kept.len() >= top {
+                continue;
+            }
+            kept.push(RepChoice { group: gid, raw });
+            kept.sort_by(|a, b| a.raw.total_cmp(&b.raw));
+            kept.truncate(top);
+            if kept.len() == top {
+                cutoff = kept.last().expect("non-empty").raw;
+            }
+        }
+        kept
+    }
+
+    /// Best member inside a group (§5.3, third optimization): members are
+    /// sorted by raw ED to the representative; start at the member whose ED
+    /// is closest to the query↔representative DTW and walk outward
+    /// alternately, early-abandoning each DTW against the best so far and
+    /// stopping a direction after `walk_patience` consecutive
+    /// non-improvements. `exhaustive_group_search` evaluates every member.
+    fn best_in_group(
+        &mut self,
+        q: &[f64],
+        group: &Group,
+        rep_raw_dtw: f64,
+        initial_cutoff: f64,
+    ) -> Option<(SubseqRef, f64)> {
+        let members = group.members();
+        if members.is_empty() {
+            return None;
+        }
+        let window = self.base.config().window;
+        let mut best: Option<(SubseqRef, f64)> = None;
+        let mut cutoff = initial_cutoff;
+        let probe = |this: &mut Self, i: usize, best: &mut Option<(SubseqRef, f64)>, cutoff: &mut f64| -> bool {
+            let (r, _) = members[i];
+            let vals = this.base.dataset().subseq_unchecked(r);
+            this.stats.members_examined += 1;
+            match this.buf.dist_early_abandon(q, vals, window, *cutoff) {
+                Some(raw) if raw < *cutoff || best.is_none() => {
+                    let improved = best.as_ref().is_none_or(|&(_, b)| raw < b);
+                    if improved {
+                        *best = Some((r, raw));
+                        *cutoff = cutoff.min(raw);
+                        return true;
+                    }
+                    false
+                }
+                _ => false,
+            }
+        };
+
+        if self.base.config().exhaustive_group_search {
+            for i in 0..members.len() {
+                probe(self, i, &mut best, &mut cutoff);
+            }
+            return best;
+        }
+
+        // Binary-search the ED-sorted member array for the position whose ED
+        // to the representative is closest to DTW(q, rep).
+        let start = match members
+            .binary_search_by(|&(_, d)| d.total_cmp(&rep_raw_dtw))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i >= members.len() {
+                    members.len() - 1
+                } else {
+                    // pick the closer neighbour
+                    let below = rep_raw_dtw - members[i - 1].1;
+                    let above = members[i].1 - rep_raw_dtw;
+                    if below <= above {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            }
+        };
+        probe(self, start, &mut best, &mut cutoff);
+        let patience = self.base.config().walk_patience.max(1);
+        let (mut left, mut right) = (start, start);
+        let mut left_bad = 0usize;
+        let mut right_bad = 0usize;
+        let mut go_left = true;
+        loop {
+            let can_left = left > 0 && left_bad < patience;
+            let can_right = right + 1 < members.len() && right_bad < patience;
+            if !can_left && !can_right {
+                break;
+            }
+            let take_left = match (can_left, can_right) {
+                (true, true) => go_left,
+                (true, false) => true,
+                _ => false,
+            };
+            go_left = !go_left;
+            if take_left {
+                left -= 1;
+                if probe(self, left, &mut best, &mut cutoff) {
+                    left_bad = 0;
+                } else {
+                    left_bad += 1;
+                }
+            } else {
+                right += 1;
+                if probe(self, right, &mut best, &mut cutoff) {
+                    right_bad = 0;
+                } else {
+                    right_bad += 1;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OnexConfig, OnexBase};
+    use onex_dist::{dtw_normalized, Window};
+    use onex_ts::{synth, Dataset, TimeSeries};
+
+    fn base() -> OnexBase {
+        let d = synth::sine_mix(8, 24, 2, 11);
+        OnexBase::build(&d, OnexConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn finds_exact_in_dataset_subsequence() {
+        let b = base();
+        // Take a subsequence that is literally in the dataset; the best
+        // match at its own length must have distance 0 (itself) or at worst
+        // the group-guarantee bound.
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[3..15].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let m = proc
+            .best_match(&q, MatchMode::Exact(12), None)
+            .unwrap();
+        assert_eq!(m.subseq.len, 12);
+        // The query itself lives in some group of length 12; its own group's
+        // representative is within ST/2, so the retrieved distance is small.
+        assert!(m.dist <= b.config().st, "dist {}", m.dist);
+        assert!(proc.stats.reps_examined > 0);
+    }
+
+    #[test]
+    fn self_query_returns_zero_distance_with_exhaustive_search() {
+        let d = synth::sine_mix(6, 16, 2, 3);
+        let cfg = OnexConfig {
+            exhaustive_group_search: true,
+            ..OnexConfig::default()
+        };
+        let b = OnexBase::build(&d, cfg).unwrap();
+        let q: Vec<f64> = b.dataset().get(2).unwrap().values()[1..9].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let m = proc.best_match(&q, MatchMode::Exact(8), None).unwrap();
+        // The query is a member of some group; exhaustive search inside the
+        // best group finds either itself (0) or something at least as close
+        // to the rep — distance must be tiny.
+        assert!(m.raw_dtw <= 1e-9, "raw {}", m.raw_dtw);
+    }
+
+    #[test]
+    fn any_length_query_returns_best_normalized() {
+        let b = base();
+        let q: Vec<f64> = b.dataset().get(1).unwrap().values()[0..10].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let m = proc.best_match(&q, MatchMode::Any, None).unwrap();
+        assert!(m.dist.is_finite());
+        // verify the reported normalized distance is consistent
+        let vals = b.dataset().subseq(m.subseq).unwrap();
+        let expect = dtw_normalized(&q, vals, b.config().window);
+        assert!((m.dist - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_mode_rejects_unknown_length() {
+        let b = base();
+        let mut proc = SimilarityQuery::new(&b);
+        let err = proc
+            .best_match(&[0.1, 0.2], MatchMode::Exact(999), None)
+            .unwrap_err();
+        assert_eq!(err, OnexError::NoGroupsForLength(999));
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let b = base();
+        let mut proc = SimilarityQuery::new(&b);
+        assert!(proc.best_match(&[], MatchMode::Any, None).is_err());
+        assert!(proc
+            .best_match(&[f64::NAN], MatchMode::Any, None)
+            .is_err());
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let b = base();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[0..12].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let ms = proc.top_k(&q, MatchMode::Exact(12), 5, None).unwrap();
+        assert!(!ms.is_empty() && ms.len() <= 5);
+        for w in ms.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert_eq!(proc.top_k(&q, MatchMode::Exact(12), 0, None).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn walk_finds_planted_best_match() {
+        // Hand-crafted dataset: many flat series at distinct levels plus one
+        // series containing the query pattern. The planted pattern must be
+        // retrieved even though its group has several members.
+        let mut series: Vec<TimeSeries> = (0..6)
+            .map(|i| TimeSeries::new(vec![0.1 * i as f64; 12]).unwrap())
+            .collect();
+        series.push(
+            TimeSeries::new(vec![
+                0.0, 0.1, 0.4, 0.9, 1.0, 0.9, 0.4, 0.1, 0.0, 0.0, 0.0, 0.0,
+            ])
+            .unwrap(),
+        );
+        let d = Dataset::new("planted", series);
+        let cfg = OnexConfig {
+            window: Window::Unconstrained,
+            ..OnexConfig::default()
+        };
+        let b = OnexBase::build_prenormalized(d, cfg).unwrap();
+        let q = vec![0.0, 0.1, 0.4, 0.9, 1.0, 0.9, 0.4, 0.1];
+        let mut proc = SimilarityQuery::new(&b);
+        let m = proc.best_match(&q, MatchMode::Exact(8), None).unwrap();
+        assert_eq!(m.subseq.series, 6, "must come from the planted series");
+        assert!(m.raw_dtw < 0.2, "raw {}", m.raw_dtw);
+    }
+
+    #[test]
+    fn range_query_verified_results_are_within_threshold() {
+        let d = synth::sine_mix(8, 20, 2, 13);
+        let cfg = OnexConfig {
+            window: Window::Unconstrained,
+            ..OnexConfig::default()
+        };
+        let b = OnexBase::build(&d, cfg).unwrap();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[2..12].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let st = 0.05;
+        let verified = proc
+            .within_threshold(&q, MatchMode::Exact(10), Some(st), true)
+            .unwrap();
+        assert!(!verified.is_empty(), "self-similar data yields matches");
+        for m in &verified {
+            assert!(m.dist <= st + 1e-9);
+            // reported distances are true DTW̄
+            let vals = b.dataset().subseq(m.subseq).unwrap();
+            let expect = dtw_normalized(&q, vals, Window::Unconstrained);
+            assert!((m.dist - expect).abs() < 1e-9);
+        }
+        // sorted ascending
+        for w in verified.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn range_query_certified_set_honours_lemma2() {
+        // Unverified (certified) members must actually lie within ST of the
+        // query — the Lemma 2 guarantee made executable.
+        let d = synth::sine_mix(6, 16, 2, 29);
+        let cfg = OnexConfig {
+            window: Window::Unconstrained,
+            ..OnexConfig::default()
+        };
+        let b = OnexBase::build(&d, cfg).unwrap();
+        let q: Vec<f64> = b.dataset().get(1).unwrap().values()[0..8].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let st = b.config().st;
+        let certified = proc
+            .within_threshold(&q, MatchMode::Exact(8), Some(st), false)
+            .unwrap();
+        for m in &certified {
+            let vals = b.dataset().subseq(m.subseq).unwrap();
+            let true_dist = dtw_normalized(&q, vals, Window::Unconstrained);
+            assert!(
+                true_dist <= st + 1e-9,
+                "certified member at DTW̄ {true_dist} > ST {st}"
+            );
+        }
+        // verification can only widen the result set (boundary groups) while
+        // keeping every returned distance within ST.
+        let verified = proc
+            .within_threshold(&q, MatchMode::Exact(8), Some(st), true)
+            .unwrap();
+        assert!(verified.len() >= certified.len());
+    }
+
+    #[test]
+    fn range_query_any_length_spans_lengths() {
+        let b = base();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[0..10].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let ms = proc
+            .within_threshold(&q, MatchMode::Any, Some(0.2), true)
+            .unwrap();
+        let lengths: std::collections::HashSet<u32> =
+            ms.iter().map(|m| m.subseq.len).collect();
+        assert!(lengths.len() > 1, "expected matches across lengths");
+    }
+
+    #[test]
+    fn query_stats_reflect_pruning_work() {
+        // On a workload with many representatives, the LB cascade must
+        // prune some of them and the stats must account for the work done.
+        let d = synth::face(24, 32, 5);
+        let b = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[4..20].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let _ = proc.best_match(&q, MatchMode::Exact(16), None).unwrap();
+        let s = proc.stats;
+        assert!(s.reps_examined > 0);
+        assert_eq!(s.lengths_visited, 1);
+        assert!(
+            s.rep_dtw_evals + s.reps_lb_pruned <= s.reps_examined,
+            "{s:?}"
+        );
+        assert!(s.members_examined >= 1);
+        // stats reset between queries
+        let _ = proc.best_match(&q, MatchMode::Exact(16), None).unwrap();
+        assert_eq!(proc.stats.lengths_visited, 1);
+    }
+
+    #[test]
+    fn st_override_changes_qualification_not_best_match() {
+        // The per-query ST only affects the qualifying/stop logic; the best
+        // match itself is a min and must be identical.
+        let b = base();
+        let q: Vec<f64> = b.dataset().get(2).unwrap().values()[1..13].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let a = proc.best_match(&q, MatchMode::Exact(12), None).unwrap();
+        let c = proc
+            .best_match(&q, MatchMode::Exact(12), Some(0.9))
+            .unwrap();
+        assert_eq!(a.subseq, c.subseq);
+        assert_eq!(a.raw_dtw, c.raw_dtw);
+    }
+
+    #[test]
+    fn length_order_matches_paper_strategy() {
+        let b = base();
+        let proc = SimilarityQuery::new(&b);
+        let order = proc.length_order(10);
+        // starts at query length, descends to min, then ascends above
+        assert_eq!(order[0], 10);
+        let min_pos = order.iter().position(|&l| l == 2).unwrap();
+        assert!(order[..=min_pos].windows(2).all(|w| w[0] > w[1]));
+        assert!(order[min_pos + 1..].windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(order.len(), b.indexed_lengths().count());
+    }
+}

@@ -1,0 +1,247 @@
+//! Algorithm 2.C: adapting a base to a *different* similarity threshold
+//! `ST'` without re-scanning the raw subsequence space (§5.2).
+//!
+//! * `ST' = ST` — the precomputed groups are reused as-is.
+//! * `ST' < ST` — every group still contains only similar sequences but may
+//!   be too coarse: each group is **split** by re-running the Algorithm-1
+//!   methodology over *its own members* with the tighter threshold.
+//! * `ST' > ST` — groups whose representatives are close enough may
+//!   **merge**: pairs with `ST' − ST ≥ Dc` are merged in random order with
+//!   cascading re-checks (a merge changes the representative, which can
+//!   enable further merges), exactly as §5.2 case 3.2a describes. Pairs with
+//!   `Dc > ST'` can never merge and are kept as-is (case 3.1).
+//!
+//! The result is a fresh [`OnexBase`] whose `config.st` is `ST'` and whose
+//! indexes (Dc, sum order, SP-Space) are rebuilt over the refined groups.
+
+use crate::build::{Assigner, LengthGroups};
+use crate::{BuildMode, Group, OnexBase, OnexError, Result};
+use onex_dist::ed_normalized;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Refines `base` to the new threshold `st_prime`, reusing the precomputed
+/// grouping (split or cascade-merge) instead of rebuilding from raw data.
+pub fn refine(base: &OnexBase, st_prime: f64) -> Result<OnexBase> {
+    if !st_prime.is_finite() || st_prime <= 0.0 {
+        return Err(OnexError::InvalidThreshold(st_prime));
+    }
+    base.ensure_nonempty()?;
+    let st = base.config().st;
+    if (st_prime - st).abs() < f64::EPSILON {
+        return Ok(base.clone());
+    }
+
+    // Pull the groups out per length.
+    let mut per_length: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
+    for idx in base.length_indexes() {
+        let groups: Vec<Group> = idx
+            .group_ids
+            .iter()
+            .map(|&id| base.group(id).clone())
+            .collect();
+        per_length.insert(idx.len, groups);
+    }
+
+    let mut new_config = *base.config();
+    new_config.st = st_prime;
+    let dataset = base.dataset().clone();
+    let mut rng = SmallRng::seed_from_u64(base.config().seed ^ st_prime.to_bits());
+
+    let refined: Vec<LengthGroups> = per_length
+        .into_iter()
+        .map(|(len, groups)| {
+            let groups = if st_prime < st {
+                split_groups(&dataset, len, groups, &new_config)
+            } else {
+                merge_groups(&dataset, len, groups, st, st_prime, &mut rng)
+            };
+            LengthGroups { len, groups }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(refined.len());
+    for mut lg in refined {
+        let radius = new_config.window.resolve(lg.len, lg.len);
+        for g in lg.groups.iter_mut() {
+            g.finalize(&dataset, radius);
+        }
+        out.push(lg);
+    }
+    Ok(OnexBase::assemble(
+        dataset,
+        base.normalizer().copied(),
+        new_config,
+        out,
+    ))
+}
+
+/// `ST' < ST`: split each group by re-clustering its members at the tighter
+/// threshold (members of different old groups never mix — the paper splits
+/// *within* precomputed groups).
+fn split_groups(
+    dataset: &onex_ts::Dataset,
+    len: usize,
+    groups: Vec<Group>,
+    config: &crate::OnexConfig,
+) -> Vec<Group> {
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut asg = Assigner::new(len, config.st);
+        for &(r, _) in g.members() {
+            asg.assign(dataset, r);
+        }
+        if config.build_mode == BuildMode::Strict {
+            asg.enforce_invariant(dataset);
+        }
+        out.extend(asg.groups);
+    }
+    out
+}
+
+/// `ST' > ST`: cascading merges of qualifying pairs in random order.
+fn merge_groups(
+    dataset: &onex_ts::Dataset,
+    _len: usize,
+    groups: Vec<Group>,
+    st: f64,
+    st_prime: f64,
+    rng: &mut SmallRng,
+) -> Vec<Group> {
+    let margin = st_prime - st;
+    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
+    let mut means: Vec<Option<Vec<f64>>> = slots
+        .iter()
+        .map(|s| {
+            s.as_ref().map(|g| {
+                let mut m = Vec::new();
+                g.mean_into(&mut m);
+                m
+            })
+        })
+        .collect();
+    loop {
+        // All currently-qualifying pairs (case 3.2a: ST' − ST ≥ Dc).
+        let alive: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_some()).collect();
+        let mut candidates = Vec::new();
+        for (ai, &i) in alive.iter().enumerate() {
+            for &j in &alive[ai + 1..] {
+                let (mi, mj) = (
+                    means[i].as_ref().expect("alive"),
+                    means[j].as_ref().expect("alive"),
+                );
+                if ed_normalized(mi, mj) <= margin {
+                    candidates.push((i, j));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // "We randomly choose a pair of qualifying groups and perform the
+        // merge", then cascade (§5.2 case 3.2a).
+        let (i, j) = candidates[rng.gen_range(0..candidates.len())];
+        let absorbed = slots[j].take().expect("alive");
+        means[j] = None;
+        let host = slots[i].as_mut().expect("alive");
+        host.absorb(absorbed);
+        let mut m = Vec::new();
+        host.mean_into(&mut m);
+        means[i] = Some(m);
+        let _ = dataset; // dataset is unused for merging (means are cached)
+    }
+    slots.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OnexConfig, SimilarityQuery, MatchMode};
+    use onex_dist::ed_normalized;
+    use onex_ts::synth;
+
+    fn base(st: f64) -> OnexBase {
+        let d = synth::sine_mix(6, 16, 2, 21);
+        OnexBase::build(&d, OnexConfig::with_st(st)).unwrap()
+    }
+
+    #[test]
+    fn same_threshold_returns_equal_base() {
+        let b = base(0.2);
+        let r = refine(&b, 0.2).unwrap();
+        assert_eq!(b, r);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let b = base(0.2);
+        assert!(refine(&b, 0.0).is_err());
+        assert!(refine(&b, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn splitting_preserves_membership_and_tightens_invariant() {
+        let b = base(0.4);
+        let r = refine(&b, 0.1).unwrap();
+        assert_eq!(r.config().st, 0.1);
+        // same total membership
+        assert_eq!(b.stats().subsequences, r.stats().subsequences);
+        // at least as many groups
+        assert!(r.stats().representatives >= b.stats().representatives);
+        // tightened invariant holds (Strict mode)
+        for g in r.groups() {
+            for &(m, _) in g.members() {
+                let d = ed_normalized(r.dataset().subseq_unchecked(m), g.representative());
+                assert!(d <= 0.05 + 1e-9, "ED̄ {d} > ST'/2");
+            }
+        }
+    }
+
+    #[test]
+    fn merging_reduces_group_count() {
+        let b = base(0.1);
+        let r = refine(&b, 0.6).unwrap();
+        assert_eq!(r.config().st, 0.6);
+        assert_eq!(b.stats().subsequences, r.stats().subsequences);
+        assert!(
+            r.stats().representatives <= b.stats().representatives,
+            "merge should not increase groups"
+        );
+        // far-apart groups (Dc > ST'−ST) must survive: check that at least
+        // one length still has > 1 group unless everything was truly close.
+        // (sine_mix has two well-separated classes, so expect > 1 group at
+        // moderate lengths.)
+        let any_multi = r
+            .length_indexes()
+            .any(|idx| idx.group_count() > 1);
+        assert!(any_multi, "distinct classes should not all merge at ST'=0.6");
+    }
+
+    #[test]
+    fn refined_base_answers_queries() {
+        let b = base(0.2);
+        let r = refine(&b, 0.35).unwrap();
+        let q: Vec<f64> = r.dataset().get(0).unwrap().values()[0..8].to_vec();
+        let mut proc = SimilarityQuery::new(&r);
+        let m = proc.best_match(&q, MatchMode::Exact(8), None).unwrap();
+        assert!(m.dist.is_finite());
+    }
+
+    #[test]
+    fn split_then_requery_is_consistent() {
+        // The split base must still cover every subsequence, so an exact
+        // self-query with exhaustive search returns distance ~0.
+        let d = synth::sine_mix(5, 12, 2, 33);
+        let cfg = OnexConfig {
+            exhaustive_group_search: true,
+            ..OnexConfig::with_st(0.4)
+        };
+        let b = OnexBase::build(&d, cfg).unwrap();
+        let r = refine(&b, 0.2).unwrap();
+        let q: Vec<f64> = r.dataset().get(1).unwrap().values()[2..8].to_vec();
+        let mut proc = SimilarityQuery::new(&r);
+        let m = proc.best_match(&q, MatchMode::Exact(6), None).unwrap();
+        assert!(m.raw_dtw <= 1e-9, "raw {}", m.raw_dtw);
+    }
+}

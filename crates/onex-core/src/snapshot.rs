@@ -1,0 +1,466 @@
+//! Versioned binary snapshot of an [`OnexBase`], so the expensive offline
+//! construction runs once and the base is reloaded across sessions — the
+//! "powerful one-time preprocessing step" of the paper's abstract made
+//! durable.
+//!
+//! The format is hand-rolled over the `bytes` crate (no external
+//! serialization format in the sanctioned dependency set): little-endian,
+//! length-prefixed, with a magic header and version byte. Group indexes
+//! (`Dc`, sum order, SP-Space) are *not* stored — they are deterministic
+//! functions of the groups and are rebuilt on load, which keeps snapshots
+//! small (the paper's Table 4 sizes count exactly these reconstructible
+//! structures).
+
+use crate::build::LengthGroups;
+use crate::{Group, OnexBase, OnexConfig, OnexError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use onex_dist::Window;
+use onex_ts::normalize::MinMaxParams;
+use onex_ts::{Dataset, Decomposition, SubseqRef, TimeSeries};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ONEX";
+const VERSION: u8 = 1;
+
+/// Serializes a base to bytes.
+pub fn encode(base: &OnexBase) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 << 16);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION);
+    encode_config(&mut out, base.config());
+    match base.normalizer() {
+        Some(p) => {
+            out.put_u8(1);
+            out.put_f64_le(p.min);
+            out.put_f64_le(p.max);
+        }
+        None => out.put_u8(0),
+    }
+    encode_dataset(&mut out, base.dataset());
+    // groups, bucketed by length in index order
+    let lengths: Vec<usize> = base.indexed_lengths().collect();
+    out.put_u64_le(lengths.len() as u64);
+    for len in lengths {
+        let idx = base.length_index(len).expect("indexed length");
+        out.put_u64_le(len as u64);
+        out.put_u64_le(idx.group_ids.len() as u64);
+        for &gid in &idx.group_ids {
+            encode_group(&mut out, base.group(gid));
+        }
+    }
+    out.freeze()
+}
+
+/// Deserializes a base from bytes.
+pub fn decode(mut buf: &[u8]) -> Result<OnexBase> {
+    let magic = take(&mut buf, 4)?;
+    if magic != MAGIC {
+        return Err(OnexError::SnapshotCorrupt("bad magic".to_string()));
+    }
+    let version = get_u8(&mut buf)?;
+    if version != VERSION {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let config = decode_config(&mut buf)?;
+    let norm = match get_u8(&mut buf)? {
+        0 => None,
+        1 => Some(MinMaxParams {
+            min: get_f64(&mut buf)?,
+            max: get_f64(&mut buf)?,
+        }),
+        t => {
+            return Err(OnexError::SnapshotCorrupt(format!(
+                "bad normalizer tag {t}"
+            )))
+        }
+    };
+    let dataset = decode_dataset(&mut buf)?;
+    // Each length entry needs at least its 16-byte header.
+    let n_lengths = {
+        let c = get_u64(&mut buf)?;
+        checked_count(buf, c, 16)?
+    };
+    let mut per_length = Vec::with_capacity(n_lengths);
+    for _ in 0..n_lengths {
+        let len = get_u64(&mut buf)? as usize;
+        // Each group needs at least a member count + one member + radius.
+        let n_groups = {
+            let c = get_u64(&mut buf)?;
+            checked_count(buf, c, 32)?
+        };
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            groups.push(decode_group(&mut buf, len, &dataset)?);
+        }
+        per_length.push(LengthGroups { len, groups });
+    }
+    if buf.has_remaining() {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(OnexBase::assemble(dataset, norm, config, per_length))
+}
+
+/// Writes a snapshot to a file.
+pub fn save(base: &OnexBase, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, encode(base)).map_err(|e| OnexError::Ts(e.into()))
+}
+
+/// Loads a snapshot from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<OnexBase> {
+    let data = std::fs::read(path).map_err(|e| OnexError::Ts(e.into()))?;
+    decode(&data)
+}
+
+// ---- component encoders/decoders ----
+
+fn encode_config(out: &mut BytesMut, c: &OnexConfig) {
+    out.put_f64_le(c.st);
+    match c.window {
+        Window::Unconstrained => out.put_u8(0),
+        Window::Band(r) => {
+            out.put_u8(1);
+            out.put_u64_le(r as u64);
+        }
+        Window::Ratio(f) => {
+            out.put_u8(2);
+            out.put_f64_le(f);
+        }
+    }
+    out.put_u64_le(c.decomposition.min_len as u64);
+    match c.decomposition.max_len {
+        Some(m) => {
+            out.put_u8(1);
+            out.put_u64_le(m as u64);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u64_le(c.decomposition.len_stride as u64);
+    out.put_u64_le(c.decomposition.start_stride as u64);
+    out.put_u8(match c.build_mode {
+        crate::BuildMode::Paper => 0,
+        crate::BuildMode::Strict => 1,
+    });
+    match c.cluster {
+        crate::ClusterStrategy::OnlineGreedy => out.put_u8(0),
+        crate::ClusterStrategy::KMeansRefined { iters } => {
+            out.put_u8(1);
+            out.put_u64_le(iters as u64);
+        }
+    }
+    out.put_u64_le(c.walk_patience as u64);
+    out.put_u8(c.exhaustive_group_search as u8);
+    out.put_u8(c.stop_at_first_qualifying as u8);
+    out.put_u64_le(c.explore_top_groups as u64);
+    out.put_u8(c.rank_normalized as u8);
+    out.put_u64_le(c.seed);
+    out.put_u64_le(c.threads as u64);
+}
+
+fn decode_config(buf: &mut &[u8]) -> Result<OnexConfig> {
+    let st = get_f64(buf)?;
+    let window = match get_u8(buf)? {
+        0 => Window::Unconstrained,
+        1 => Window::Band(get_u64(buf)? as usize),
+        2 => Window::Ratio(get_f64(buf)?),
+        t => return Err(OnexError::SnapshotCorrupt(format!("bad window tag {t}"))),
+    };
+    let min_len = get_u64(buf)? as usize;
+    let max_len = match get_u8(buf)? {
+        1 => Some(get_u64(buf)? as usize),
+        0 => None,
+        t => return Err(OnexError::SnapshotCorrupt(format!("bad max_len tag {t}"))),
+    };
+    let len_stride = get_u64(buf)? as usize;
+    let start_stride = get_u64(buf)? as usize;
+    let build_mode = match get_u8(buf)? {
+        0 => crate::BuildMode::Paper,
+        1 => crate::BuildMode::Strict,
+        t => return Err(OnexError::SnapshotCorrupt(format!("bad mode tag {t}"))),
+    };
+    let cluster = match get_u8(buf)? {
+        0 => crate::ClusterStrategy::OnlineGreedy,
+        1 => crate::ClusterStrategy::KMeansRefined {
+            iters: get_u64(buf)? as usize,
+        },
+        t => return Err(OnexError::SnapshotCorrupt(format!("bad cluster tag {t}"))),
+    };
+    Ok(OnexConfig {
+        st,
+        window,
+        decomposition: Decomposition {
+            min_len,
+            max_len,
+            len_stride,
+            start_stride,
+        },
+        build_mode,
+        cluster,
+        walk_patience: get_u64(buf)? as usize,
+        exhaustive_group_search: get_u8(buf)? != 0,
+        stop_at_first_qualifying: get_u8(buf)? != 0,
+        explore_top_groups: get_u64(buf)? as usize,
+        rank_normalized: get_u8(buf)? != 0,
+        seed: get_u64(buf)?,
+        threads: get_u64(buf)? as usize,
+    })
+}
+
+fn encode_dataset(out: &mut BytesMut, d: &Dataset) {
+    let name = d.name().as_bytes();
+    out.put_u64_le(name.len() as u64);
+    out.put_slice(name);
+    out.put_u64_le(d.len() as u64);
+    for ts in d.series() {
+        match ts.label() {
+            Some(l) => {
+                out.put_u8(1);
+                out.put_i32_le(l);
+            }
+            None => out.put_u8(0),
+        }
+        out.put_u64_le(ts.len() as u64);
+        for &v in ts.values() {
+            out.put_f64_le(v);
+        }
+    }
+}
+
+fn decode_dataset(buf: &mut &[u8]) -> Result<Dataset> {
+    let name_len = get_u64(buf)? as usize;
+    let name_bytes = take(buf, name_len)?;
+    let name = String::from_utf8(name_bytes.to_vec())
+        .map_err(|e| OnexError::SnapshotCorrupt(format!("dataset name: {e}")))?;
+    // Each series needs at least a label tag + length field.
+    let n = {
+        let c = get_u64(buf)?;
+        checked_count(buf, c, 9)?
+    };
+    let mut series = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = match get_u8(buf)? {
+            1 => Some(get_i32(buf)?),
+            0 => None,
+            t => return Err(OnexError::SnapshotCorrupt(format!("bad label tag {t}"))),
+        };
+        let len = {
+            let c = get_u64(buf)?;
+            checked_count(buf, c, 8)?
+        };
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(get_f64(buf)?);
+        }
+        let ts = match label {
+            Some(l) => TimeSeries::with_label(values, l),
+            None => TimeSeries::new(values),
+        }
+        .map_err(|e| OnexError::SnapshotCorrupt(e.to_string()))?;
+        series.push(ts);
+    }
+    Ok(Dataset::new(name, series))
+}
+
+fn encode_group(out: &mut BytesMut, g: &Group) {
+    out.put_u64_le(g.member_count() as u64);
+    for &(r, d) in g.members() {
+        out.put_u32_le(r.series);
+        out.put_u32_le(r.start);
+        out.put_f64_le(d);
+    }
+    for &v in g.representative() {
+        out.put_f64_le(v);
+    }
+    for &v in g.sum() {
+        out.put_f64_le(v);
+    }
+    out.put_u64_le(g.envelope().map_or(0, |e| e.radius) as u64);
+}
+
+fn decode_group(buf: &mut &[u8], len: usize, dataset: &Dataset) -> Result<Group> {
+    let n_members = {
+        let c = get_u64(buf)?;
+        checked_count(buf, c, 16)?
+    };
+    let mut members = Vec::with_capacity(n_members);
+    for _ in 0..n_members {
+        let series = get_u32(buf)?;
+        let start = get_u32(buf)?;
+        let d = get_finite_f64(buf)?;
+        let r = SubseqRef::new(series, start, len as u32);
+        // validate against the dataset so corrupt refs can't panic later
+        dataset
+            .subseq(r)
+            .map_err(|e| OnexError::SnapshotCorrupt(e.to_string()))?;
+        members.push((r, d));
+    }
+    if n_members == 0 {
+        return Err(OnexError::SnapshotCorrupt("empty group".to_string()));
+    }
+    // rep + sum need 16 bytes per point of the recorded group length.
+    let len = checked_count(buf, len as u64, 16)?;
+    let mut rep = Vec::with_capacity(len);
+    for _ in 0..len {
+        rep.push(get_finite_f64(buf)?);
+    }
+    let mut sum = Vec::with_capacity(len);
+    for _ in 0..len {
+        sum.push(get_finite_f64(buf)?);
+    }
+    let radius = get_u64(buf)? as usize;
+    Ok(Group::from_parts(len, sum, members, rep, radius))
+}
+
+/// Validates a decoded element count against the bytes actually remaining:
+/// every element needs at least `min_size` bytes, so a count that implies
+/// more data than the buffer holds is corruption — caught *before* any
+/// `Vec::with_capacity` call (a hostile count would otherwise abort with a
+/// capacity overflow or balloon memory).
+fn checked_count(buf: &[u8], count: u64, min_size: usize) -> Result<usize> {
+    let max = (buf.remaining() / min_size.max(1)) as u64;
+    if count > max {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "count {count} exceeds what {} remaining bytes can hold",
+            buf.remaining()
+        )));
+    }
+    Ok(count as usize)
+}
+
+// ---- checked primitive readers ----
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.remaining() < n {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "truncated: wanted {n} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    Ok(take(buf, 1)?[0])
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+}
+
+fn get_i32(buf: &mut &[u8]) -> Result<i32> {
+    Ok(i32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64> {
+    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+}
+
+/// `get_f64` that additionally rejects NaN/∞ — used for group state, whose
+/// finiteness every distance kernel relies on.
+fn get_finite_f64(buf: &mut &[u8]) -> Result<f64> {
+    let v = get_f64(buf)?;
+    if !v.is_finite() {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "non-finite value {v} in group data"
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatchMode, SimilarityQuery};
+    use onex_ts::synth;
+
+    fn base() -> OnexBase {
+        let d = synth::sine_mix(5, 12, 2, 17);
+        OnexBase::build(&d, OnexConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_base() {
+        let b = base();
+        let bytes = encode(&b);
+        let r = decode(&bytes).unwrap();
+        assert_eq!(b, r);
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let b = base();
+        let dir = std::env::temp_dir().join("onex_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.onex");
+        save(&b, &path).unwrap();
+        let r = load(&path).unwrap();
+        assert_eq!(b, r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_base_answers_queries_identically() {
+        let b = base();
+        let r = decode(&encode(&b)).unwrap();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[0..6].to_vec();
+        let m1 = SimilarityQuery::new(&b)
+            .best_match(&q, MatchMode::Exact(6), None)
+            .unwrap();
+        let m2 = SimilarityQuery::new(&r)
+            .best_match(&q, MatchMode::Exact(6), None)
+            .unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let b = base();
+        let bytes = encode(&b);
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode(&bad),
+            Err(OnexError::SnapshotCorrupt(_))
+        ));
+        // truncate at every eighth boundary: must never panic
+        for cut in (0..bytes.len().min(512)).step_by(8) {
+            let _ = decode(&bytes[..cut]);
+        }
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(OnexError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let b = base();
+        let mut bytes = encode(&b).to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes),
+            Err(OnexError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let b = base();
+        let mut bytes = encode(&b).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            decode(&bytes),
+            Err(OnexError::SnapshotCorrupt(_))
+        ));
+    }
+}

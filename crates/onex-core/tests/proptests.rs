@@ -1,0 +1,194 @@
+//! Property-based tests for the ONEX base: the Def. 8 invariants, the
+//! retrieval guarantee they imply, refinement consistency, and snapshot
+//! round-tripping, all over randomized datasets.
+
+use onex_core::{snapshot, BuildMode, MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex_dist::{dtw_normalized, ed_normalized};
+use onex_ts::{Dataset, Decomposition, TimeSeries};
+use proptest::prelude::*;
+
+/// A random dataset of 2–6 series, lengths 6–14, values in [0, 1].
+fn dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        prop::collection::vec(0.0..1.0f64, 6..=14),
+        2..=6,
+    )
+    .prop_map(|rows| {
+        let series = rows
+            .into_iter()
+            .map(|v| TimeSeries::new(v).expect("finite"))
+            .collect();
+        Dataset::new("prop", series)
+    })
+}
+
+fn config(st: f64, seed: u64) -> OnexConfig {
+    OnexConfig {
+        st,
+        seed,
+        ..OnexConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn base_partitions_all_subsequences(d in dataset(), seed in any::<u64>()) {
+        let cfg = config(0.2, seed);
+        let base = OnexBase::build_prenormalized(d.clone(), cfg).unwrap();
+        let covered: usize = base.groups().iter().map(|g| g.member_count()).sum();
+        prop_assert_eq!(covered, d.subseq_count(&Decomposition::full()));
+    }
+
+    #[test]
+    fn strict_mode_def8_invariant(d in dataset(), st in 0.05..0.6f64, seed in any::<u64>()) {
+        let base = OnexBase::build_prenormalized(d, config(st, seed)).unwrap();
+        for g in base.groups() {
+            for &(m, stored_ed) in g.members() {
+                let vals = base.dataset().subseq_unchecked(m);
+                let dist = ed_normalized(vals, g.representative());
+                prop_assert!(dist <= st / 2.0 + 1e-9, "ED̄ {} > ST/2 {}", dist, st / 2.0);
+                // stored raw ED matches recomputation
+                let raw = onex_dist::ed(vals, g.representative());
+                prop_assert!((stored_ed - raw).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_retrieval_guarantee(d in dataset(), seed in any::<u64>()) {
+        // For any query q and any length: if the best representative is
+        // within ST/2 (normalized DTW), every member of its group is within
+        // ST (normalized DTW) of q — the paper's core retrieval guarantee.
+        let st = 0.3;
+        let cfg = OnexConfig {
+            window: onex_dist::Window::Unconstrained,
+            ..config(st, seed)
+        };
+        let base = OnexBase::build_prenormalized(d, cfg).unwrap();
+        let q: Vec<f64> = base.dataset().get(0).unwrap().values()[..6].to_vec();
+        for idx in base.length_indexes().take(4) {
+            for &gid in idx.group_ids.iter().take(4) {
+                let g = base.group(gid);
+                let rep_d = dtw_normalized(&q, g.representative(), onex_dist::Window::Unconstrained);
+                if rep_d <= st / 2.0 {
+                    for &(m, _) in g.members() {
+                        let vals = base.dataset().subseq_unchecked(m);
+                        let d = dtw_normalized(&q, vals, onex_dist::Window::Unconstrained);
+                        prop_assert!(d <= st + 1e-9, "member at DTW̄ {} > ST {}", d, st);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip(d in dataset(), seed in any::<u64>()) {
+        let base = OnexBase::build_prenormalized(d, config(0.25, seed)).unwrap();
+        let restored = snapshot::decode(&snapshot::encode(&base)).unwrap();
+        prop_assert_eq!(&base, &restored);
+    }
+
+    #[test]
+    fn refine_preserves_membership_totals(d in dataset(), seed in any::<u64>(),
+                                          st in 0.15..0.4f64, delta in -0.1..0.3f64) {
+        let base = OnexBase::build_prenormalized(d, config(st, seed)).unwrap();
+        let st_prime = (st + delta).max(0.02);
+        let refined = onex_core::refine::refine(&base, st_prime).unwrap();
+        prop_assert_eq!(base.stats().subsequences, refined.stats().subsequences);
+        if st_prime < st {
+            prop_assert!(refined.stats().representatives >= base.stats().representatives);
+        } else if st_prime > st {
+            prop_assert!(refined.stats().representatives <= base.stats().representatives);
+        }
+    }
+
+    #[test]
+    fn query_never_panics_and_reports_consistent_distance(
+        d in dataset(), seed in any::<u64>(), qlen in 2..8usize,
+    ) {
+        let base = OnexBase::build_prenormalized(d, config(0.2, seed)).unwrap();
+        let src = base.dataset().get(0).unwrap();
+        prop_assume!(src.len() >= qlen);
+        let q: Vec<f64> = src.values()[..qlen].to_vec();
+        let mut proc = SimilarityQuery::new(&base);
+        let m = proc.best_match(&q, MatchMode::Any, None).unwrap();
+        let vals = base.dataset().subseq(m.subseq).unwrap();
+        let expect = dtw_normalized(&q, vals, base.config().window);
+        prop_assert!((m.dist - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_mode_builds_and_queries(d in dataset(), seed in any::<u64>()) {
+        let cfg = OnexConfig {
+            build_mode: BuildMode::Paper,
+            ..config(0.2, seed)
+        };
+        let base = OnexBase::build_prenormalized(d, cfg).unwrap();
+        let q: Vec<f64> = base.dataset().get(0).unwrap().values()[..4].to_vec();
+        let mut proc = SimilarityQuery::new(&base);
+        prop_assert!(proc.best_match(&q, MatchMode::Exact(4), None).is_ok());
+    }
+
+    #[test]
+    fn snapshot_decoding_never_panics_on_corruption(
+        d in dataset(), seed in any::<u64>(),
+        cut in 0..4096usize, flip in 0..4096usize, bit in 0..8u8,
+    ) {
+        // Fuzz the snapshot decoder: truncations and single-bit flips must
+        // produce Ok(equal) or Err(SnapshotCorrupt)/Err(Ts) — never a panic.
+        let base = OnexBase::build_prenormalized(d, config(0.3, seed)).unwrap();
+        let bytes = snapshot::encode(&base);
+        let cut = cut % (bytes.len() + 1);
+        let _ = snapshot::decode(&bytes[..cut]);
+        let mut mutated = bytes.to_vec();
+        let at = flip % mutated.len();
+        mutated[at] ^= 1 << bit;
+        let _ = snapshot::decode(&mutated);
+    }
+
+    #[test]
+    fn range_query_results_respect_threshold(d in dataset(), seed in any::<u64>()) {
+        let cfg = OnexConfig {
+            window: onex_dist::Window::Unconstrained,
+            ..config(0.25, seed)
+        };
+        let base = OnexBase::build_prenormalized(d, cfg).unwrap();
+        let q: Vec<f64> = base.dataset().get(0).unwrap().values()[..5].to_vec();
+        let mut proc = SimilarityQuery::new(&base);
+        let st = 0.15;
+        let hits = proc
+            .within_threshold(&q, MatchMode::Any, Some(st), true)
+            .unwrap();
+        for m in &hits {
+            prop_assert!(m.dist <= st + 1e-9);
+            let vals = base.dataset().subseq(m.subseq).unwrap();
+            let expect = dtw_normalized(&q, vals, onex_dist::Window::Unconstrained);
+            prop_assert!((m.dist - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_strategy_partitions(d in dataset(), seed in any::<u64>()) {
+        let cfg = OnexConfig {
+            cluster: onex_core::ClusterStrategy::KMeansRefined { iters: 2 },
+            ..config(0.2, seed)
+        };
+        let base = OnexBase::build_prenormalized(d.clone(), cfg).unwrap();
+        let covered: usize = base.groups().iter().map(|g| g.member_count()).sum();
+        prop_assert_eq!(covered, d.subseq_count(&Decomposition::full()));
+    }
+
+    #[test]
+    fn sp_space_ordering(d in dataset(), seed in any::<u64>()) {
+        let base = OnexBase::build_prenormalized(d, config(0.2, seed)).unwrap();
+        let sp = base.sp_space();
+        prop_assert!(sp.global_half() <= sp.global_final() + 1e-12);
+        for len in base.indexed_lengths() {
+            let (h, f) = sp.local(len).unwrap();
+            prop_assert!(h <= f + 1e-12);
+            prop_assert!(h >= base.config().st - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Dynamic Time Warping under the paper's conventions.
+//!
+//! Def. 3 defines the weight of a warping path `P` as `w(P) = √(Σ_t w²_{it,jt})`
+//! and `DTW(X, Y) = min_P w(P)`. Because `√` is monotone, the minimizing path
+//! is found by the classical dynamic program over *squared* point distances;
+//! the distance is the square root of the DP value. Def. 6 normalizes by the
+//! maximum path length: `DTW̄ = DTW / 2n` with `n` the longer series.
+//!
+//! Three execution strategies share one banded kernel:
+//! * [`dtw`] — O(n·m) time, O(m) space (two rolling rows),
+//! * [`dtw_early_abandon`] — row-minimum abandoning against a caller cutoff
+//!   (the "early abandoning of DTW" optimization of §5.3 / the UCR suite),
+//! * [`dtw_with_path`] — full matrix + backtracking when the alignment itself
+//!   is needed (visualization, diagnostics).
+//!
+//! Reusable buffers ([`DtwBuffer`]) keep the query processor allocation-free
+//! across candidate evaluations.
+
+use crate::Window;
+
+/// Reusable scratch space for rolling-row DTW evaluations.
+///
+/// The ONEX query processor evaluates DTW against many representatives per
+/// query; owning one buffer per processor avoids two heap allocations per
+/// candidate (see the perf-book guidance on reusing workhorse collections).
+#[derive(Debug, Default, Clone)]
+pub struct DtwBuffer {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl DtwBuffer {
+    /// Creates an empty buffer; rows grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.prev.clear();
+        self.prev.resize(m + 1, f64::INFINITY);
+        self.curr.clear();
+        self.curr.resize(m + 1, f64::INFINITY);
+    }
+
+    /// DTW distance between `x` and `y` under `window`.
+    ///
+    /// Returns 0 when both inputs are empty and ∞ when exactly one is (no
+    /// warping path exists).
+    pub fn dist(&mut self, x: &[f64], y: &[f64], window: Window) -> f64 {
+        self.dist_impl(x, y, window, f64::INFINITY)
+            .expect("infinite cutoff never abandons")
+    }
+
+    /// Early-abandoning DTW: returns `None` as soon as every cell of a row
+    /// exceeds `cutoff` (no path through that row can beat it), otherwise the
+    /// exact distance — which may itself exceed `cutoff` if only the final
+    /// value does.
+    pub fn dist_early_abandon(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        window: Window,
+        cutoff: f64,
+    ) -> Option<f64> {
+        self.dist_impl(x, y, window, cutoff)
+    }
+
+    /// Early-abandoning DTW augmented with a per-row *suffix* lower bound in
+    /// squared space: `suffix_sq[i]` must lower-bound the squared cost
+    /// contributed by rows `i..n` of `x` (e.g. [`crate::lb_keogh_cumulative`]
+    /// shifted by one). Abandons row `i` (1-based) when
+    /// `row_min + suffix_sq[i] > cutoff²` — the UCR suite's cascading use of
+    /// LB_Keogh inside DTW.
+    ///
+    /// # Panics
+    /// Panics if `suffix_sq.len() < x.len() + 1`.
+    pub fn dist_early_abandon_with_suffix(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        window: Window,
+        cutoff: f64,
+        suffix_sq: &[f64],
+    ) -> Option<f64> {
+        assert!(
+            suffix_sq.len() > x.len(),
+            "suffix bound must cover every row"
+        );
+        self.dist_full(x, y, window, cutoff, Some(suffix_sq))
+    }
+
+    fn dist_impl(&mut self, x: &[f64], y: &[f64], window: Window, cutoff: f64) -> Option<f64> {
+        self.dist_full(x, y, window, cutoff, None)
+    }
+
+    fn dist_full(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        window: Window,
+        cutoff: f64,
+        suffix_sq: Option<&[f64]>,
+    ) -> Option<f64> {
+        let n = x.len();
+        let m = y.len();
+        if n == 0 && m == 0 {
+            return Some(0.0);
+        }
+        if n == 0 || m == 0 {
+            return Some(f64::INFINITY);
+        }
+        let r = window.resolve(n, m);
+        let cutoff_sq = if cutoff.is_finite() {
+            cutoff * cutoff
+        } else {
+            f64::INFINITY
+        };
+        self.reset(m);
+        self.prev[0] = 0.0;
+        for i in 1..=n {
+            let jlo = i.saturating_sub(r).max(1);
+            let jhi = (i + r).min(m);
+            // The band shifts by at most one cell per row; clearing its two
+            // fringe cells keeps stale values from leaking into the min().
+            self.curr[jlo - 1] = f64::INFINITY;
+            if jhi < m {
+                self.curr[jhi + 1] = f64::INFINITY;
+            }
+            let xi = x[i - 1];
+            let mut row_min = f64::INFINITY;
+            for j in jlo..=jhi {
+                let d = xi - y[j - 1];
+                let best = self.prev[j].min(self.curr[j - 1]).min(self.prev[j - 1]);
+                let cell = d * d + best;
+                self.curr[j] = cell;
+                if cell < row_min {
+                    row_min = cell;
+                }
+            }
+            let rest = suffix_sq.map_or(0.0, |s| s[i]);
+            if row_min + rest > cutoff_sq {
+                return None;
+            }
+            std::mem::swap(&mut self.prev, &mut self.curr);
+        }
+        Some(self.prev[m].sqrt())
+    }
+}
+
+/// DTW distance (paper Def. 3). Convenience wrapper over [`DtwBuffer`].
+pub fn dtw(x: &[f64], y: &[f64], window: Window) -> f64 {
+    DtwBuffer::new().dist(x, y, window)
+}
+
+/// Normalized DTW `DTW/2n`, `n = max(len x, len y)` (paper Def. 6). Both
+/// inputs empty → 0.
+pub fn dtw_normalized(x: &[f64], y: &[f64], window: Window) -> f64 {
+    let n = x.len().max(y.len());
+    if n == 0 {
+        return 0.0;
+    }
+    dtw(x, y, window) / (2.0 * n as f64)
+}
+
+/// Early-abandoning DTW; see [`DtwBuffer::dist_early_abandon`].
+pub fn dtw_early_abandon(x: &[f64], y: &[f64], window: Window, cutoff: f64) -> Option<f64> {
+    DtwBuffer::new().dist_early_abandon(x, y, window, cutoff)
+}
+
+/// DTW with warping-path extraction. O(n·m) space: only for diagnostics and
+/// visualization, not the query hot path. The path runs from `(0, 0)` to
+/// `(n−1, m−1)` in 0-based sample indices.
+pub fn dtw_with_path(x: &[f64], y: &[f64], window: Window) -> (f64, Vec<(usize, usize)>) {
+    let n = x.len();
+    let m = y.len();
+    if n == 0 || m == 0 {
+        return (if n == m { 0.0 } else { f64::INFINITY }, Vec::new());
+    }
+    let r = window.resolve(n, m);
+    let width = m + 1;
+    let mut cost = vec![f64::INFINITY; (n + 1) * width];
+    cost[0] = 0.0;
+    for i in 1..=n {
+        let jlo = i.saturating_sub(r).max(1);
+        let jhi = (i + r).min(m);
+        for j in jlo..=jhi {
+            let d = x[i - 1] - y[j - 1];
+            let best = cost[(i - 1) * width + j]
+                .min(cost[i * width + j - 1])
+                .min(cost[(i - 1) * width + j - 1]);
+            cost[i * width + j] = d * d + best;
+        }
+    }
+    // Backtrack, preferring the diagonal on ties (shortest path).
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = cost[(i - 1) * width + j - 1];
+        let up = cost[(i - 1) * width + j];
+        let left = cost[i * width + j - 1];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    (cost[n * width + m].sqrt(), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ed;
+
+    const UNC: Window = Window::Unconstrained;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let x = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&x, &x, UNC), 0.0);
+        assert_eq!(dtw_normalized(&x, &x, UNC), 0.0);
+    }
+
+    #[test]
+    fn single_points() {
+        assert_eq!(dtw(&[1.0], &[4.0], UNC), 3.0);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // x=[0,0], y=[0,1]: best path aligns (1,1),(2,2) -> 0² + 1² = 1.
+        assert_eq!(dtw(&[0.0, 0.0], &[0.0, 1.0], UNC), 1.0);
+        // Time-shifted pattern: DTW warps it away, ED cannot.
+        let x = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+        let y = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0];
+        assert_eq!(dtw(&x, &y, UNC), 0.0);
+        assert!(ed(&x, &y) > 0.0);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_ed_on_equal_lengths() {
+        // The diagonal is itself a warping path, so DTW ≤ ED always.
+        let x = [0.3, 1.7, -0.2, 0.9, 2.2, -1.0];
+        let y = [1.3, 0.7, 0.2, -0.9, 1.2, 1.0];
+        assert!(dtw(&x, &y, UNC) <= ed(&x, &y) + 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [3.0, 1.0, 0.0];
+        let a = dtw(&x, &y, UNC);
+        let b = dtw(&y, &x, UNC);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_lengths_are_supported() {
+        let x = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let y = [0.0, 2.0, 0.0];
+        let d = dtw(&x, &y, UNC);
+        assert!(d.is_finite());
+        // one-to-many alignment of the shoulder points costs the two 1.0s
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banded_equals_unconstrained_when_band_covers() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.4).sin()).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.4 + 0.5).cos()).collect();
+        let full = dtw(&x, &y, UNC);
+        assert_eq!(dtw(&x, &y, Window::Band(20)), full);
+        assert_eq!(dtw(&x, &y, Window::Ratio(1.0)), full);
+    }
+
+    #[test]
+    fn tighter_band_never_decreases_distance() {
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i as f64 * 0.35).sin()).collect();
+        let mut last = 0.0;
+        for r in (1..=30).rev() {
+            let d = dtw(&x, &y, Window::Band(r));
+            assert!(d + 1e-12 >= last, "band {r}: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn banded_different_lengths_reaches_corner() {
+        let x = vec![0.0; 50];
+        let y = vec![0.0; 10];
+        // Band(1) must be widened to |n-m|=40 internally.
+        assert_eq!(dtw(&x, &y, Window::Band(1)), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_exact() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).sin()).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).cos()).collect();
+        let exact = dtw(&x, &y, UNC);
+        assert_eq!(dtw_early_abandon(&x, &y, UNC, exact + 1.0), Some(exact));
+        // A cutoff below the true distance may abandon or may return the
+        // exact value (if no full row exceeds it); either is correct, but a
+        // returned value must be the true distance.
+        if let Some(d) = dtw_early_abandon(&x, &y, UNC, exact * 0.5) {
+            assert!((d - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_abandon_fires_on_distant_sequences() {
+        let x = vec![0.0; 128];
+        let y = vec![100.0; 128];
+        assert_eq!(dtw_early_abandon(&x, &y, UNC, 1.0), None);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw(&[], &[], UNC), 0.0);
+        assert_eq!(dtw(&[1.0], &[], UNC), f64::INFINITY);
+        assert_eq!(dtw_normalized(&[], &[], UNC), 0.0);
+    }
+
+    #[test]
+    fn normalized_divides_by_twice_longer_length() {
+        let x = [0.0, 0.0, 0.0, 0.0];
+        let y = [2.0, 2.0];
+        let raw = dtw(&x, &y, UNC);
+        assert!((dtw_normalized(&x, &y, UNC) - raw / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let x = [0.0, 1.0, 2.0, 3.0, 2.0];
+        let y = [0.0, 2.0, 3.0, 2.0];
+        let (d, path) = dtw_with_path(&x, &y, UNC);
+        assert!((d - dtw(&x, &y, UNC)).abs() < 1e-12);
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (4, 3));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0);
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!(i1 + j1 > i0 + j0);
+        }
+    }
+
+    #[test]
+    fn path_weight_equals_distance() {
+        let x = [0.1, 0.9, 0.4, 0.7, 0.2, 0.95];
+        let y = [0.15, 0.8, 0.5, 0.6, 0.1, 1.0];
+        let (d, path) = dtw_with_path(&x, &y, UNC);
+        let weight: f64 = path
+            .iter()
+            .map(|&(i, j)| {
+                let w = x[i] - y[j];
+                w * w
+            })
+            .sum::<f64>()
+            .sqrt();
+        assert!((weight - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_reuse_is_consistent() {
+        let mut buf = DtwBuffer::new();
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 2.0, 2.0];
+        let first = buf.dist(&x, &y, UNC);
+        // Reuse across different shapes must not leak state.
+        let _ = buf.dist(&[1.0; 10], &[2.0; 7], UNC);
+        let again = buf.dist(&x, &y, UNC);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn banded_path_respects_band() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).sin()).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4 + 1.0).sin()).collect();
+        let r = 3;
+        let (d, path) = dtw_with_path(&x, &y, Window::Band(r));
+        assert!((d - dtw(&x, &y, Window::Band(r))).abs() < 1e-12);
+        for &(i, j) in &path {
+            assert!(i.abs_diff(j) <= r, "cell ({i},{j}) outside band {r}");
+        }
+    }
+
+    #[test]
+    fn path_length_bounds_hold() {
+        // Paper: path length T satisfies max(n,m) ≤ T ≤ n+m−1.
+        let x = [0.0, 0.5, 1.0, 0.5, 0.0, -0.5];
+        let y = [0.0, 1.0, 0.0];
+        let (_, path) = dtw_with_path(&x, &y, UNC);
+        assert!(path.len() >= 6 && path.len() <= 8, "T={}", path.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! Euclidean distance (paper Def. 2) and its normalized form (Def. 5).
+//!
+//! ED is the workhorse of the ONEX-base construction: every subsequence is
+//! compared against every representative of its length, so the squared and
+//! early-abandoning variants below avoid the `sqrt` and bail out of hopeless
+//! candidates after a few samples. All functions require equal-length inputs
+//! (ED is only defined for equal lengths; cross-length comparison is DTW's
+//! job) and panic on mismatch, which is a programming error rather than a
+//! data error.
+
+/// Squared Euclidean distance `Σ (x_i − y_i)²`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn ed_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
+    let mut acc = 0.0;
+    // Chunked loop: lets LLVM vectorize without a reduction dependency on
+    // every element.
+    let mut xi = x.chunks_exact(4);
+    let mut yi = y.chunks_exact(4);
+    for (cx, cy) in (&mut xi).zip(&mut yi) {
+        let d0 = cx[0] - cy[0];
+        let d1 = cx[1] - cy[1];
+        let d2 = cx[2] - cy[2];
+        let d3 = cx[3] - cy[3];
+        acc += d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+    }
+    for (a, b) in xi.remainder().iter().zip(yi.remainder()) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance `√(Σ (x_i − y_i)²)` (paper Def. 2).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn ed(x: &[f64], y: &[f64]) -> f64 {
+    ed_sq(x, y).sqrt()
+}
+
+/// Normalized Euclidean distance `ED/√n` (paper Def. 5). Empty inputs have
+/// distance 0 by convention.
+#[inline]
+pub fn ed_normalized(x: &[f64], y: &[f64]) -> f64 {
+    if x.is_empty() {
+        assert!(y.is_empty(), "ED requires equal lengths");
+        return 0.0;
+    }
+    ed(x, y) / (x.len() as f64).sqrt()
+}
+
+/// Early-abandoning squared ED: returns `None` as soon as the running sum
+/// exceeds `limit_sq`, otherwise `Some(ed²)`. Used in the construction loop
+/// where most candidates are far from most representatives.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn ed_early_abandon_sq(x: &[f64], y: &[f64], limit_sq: f64) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
+    let mut acc = 0.0;
+    // Check the abandon condition every 8 samples: frequent enough to save
+    // work, rare enough not to dominate the loop.
+    for (cx, cy) in x.chunks(8).zip(y.chunks(8)) {
+        for (a, b) in cx.iter().zip(cy) {
+            let d = a - b;
+            acc += d * d;
+        }
+        if acc > limit_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_definition() {
+        let x = [0.0, 0.0, 0.0];
+        let y = [1.0, 2.0, 2.0];
+        assert_eq!(ed_sq(&x, &y), 9.0);
+        assert_eq!(ed(&x, &y), 3.0);
+        assert!((ed_normalized(&x, &y) - 3.0 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let x = [1.5, -2.0, 0.25, 7.0, 1.0];
+        let y = [0.5, 2.0, 0.5, -7.0, 2.0];
+        assert_eq!(ed(&x, &x), 0.0);
+        assert_eq!(ed(&x, &y), ed(&y, &x));
+    }
+
+    #[test]
+    fn vectorized_path_matches_scalar_for_all_lengths() {
+        // Exercise remainder handling for lengths 1..=9.
+        for n in 1..=9usize {
+            let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.7).collect();
+            let y: Vec<f64> = (0..n).map(|i| 3.0 - i as f64).collect();
+            let scalar: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!((ed_sq(&x, &y) - scalar).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn early_abandon_agrees_when_not_abandoned() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 1.0, 1.0, 1.0];
+        let full = ed_sq(&x, &y);
+        assert_eq!(ed_early_abandon_sq(&x, &y, full + 0.1), Some(full));
+        assert_eq!(ed_early_abandon_sq(&x, &y, full), Some(full)); // not strictly greater
+    }
+
+    #[test]
+    fn early_abandon_bails() {
+        let x = vec![0.0; 64];
+        let y = vec![10.0; 64];
+        assert_eq!(ed_early_abandon_sq(&x, &y, 1.0), None);
+    }
+
+    #[test]
+    fn empty_normalized_is_zero() {
+        assert_eq!(ed_normalized(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        ed(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Edit distance with Real Penalty (Chen & Ng 2004, "On the marriage of
+//! Lp-norms and edit distance" — the paper's reference \[6\]). ERP is the
+//! metric member of the elastic-distance family: gaps are penalized against
+//! a constant reference value `g`, which restores the triangle inequality
+//! that DTW lacks. Provided as part of the extension surface.
+
+/// ERP distance with gap value `g` (L1 flavour, as in the original paper).
+pub fn erp(x: &[f64], y: &[f64], g: f64) -> f64 {
+    let n = x.len();
+    let m = y.len();
+    if n == 0 {
+        return y.iter().map(|&v| (v - g).abs()).sum();
+    }
+    if m == 0 {
+        return x.iter().map(|&v| (v - g).abs()).sum();
+    }
+    let mut prev: Vec<f64> = Vec::with_capacity(m + 1);
+    // Row 0: align all of y against gaps.
+    prev.push(0.0);
+    for j in 1..=m {
+        prev.push(prev[j - 1] + (y[j - 1] - g).abs());
+    }
+    let mut curr = vec![0.0; m + 1];
+    for i in 1..=n {
+        curr[0] = prev[0] + (x[i - 1] - g).abs();
+        for j in 1..=m {
+            let sub = prev[j - 1] + (x[i - 1] - y[j - 1]).abs();
+            let del = prev[j] + (x[i - 1] - g).abs();
+            let ins = curr[j - 1] + (y[j - 1] - g).abs();
+            curr[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_are_zero() {
+        let x = [0.3, 0.7, 0.1];
+        assert_eq!(erp(&x, &x, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_against_sequence_pays_gap_costs() {
+        let y = [1.0, -2.0];
+        assert_eq!(erp(&[], &y, 0.0), 3.0);
+        assert_eq!(erp(&y, &[], 0.0), 3.0);
+        assert_eq!(erp(&[], &[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [0.1, 0.5, 0.9, 0.2];
+        let y = [0.4, 0.6];
+        assert!((erp(&x, &y, 0.0) - erp(&y, &x, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // ERP is a metric (unlike DTW); spot-check the triangle inequality.
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.5, 1.5];
+        let c = [2.0, 2.0, 2.0, 2.0];
+        let ab = erp(&a, &b, 0.0);
+        let bc = erp(&b, &c, 0.0);
+        let ac = erp(&a, &c, 0.0);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // x=[0], y=[3], g=0: substitution costs 3, delete+insert costs 0+3=3
+        // via gaps? delete x (|0-0|=0) + insert y (|3-0|=3) = 3. Either way 3.
+        assert_eq!(erp(&[0.0], &[3.0], 0.0), 3.0);
+        // Gap value matters: g=3 makes deleting x cost 3 and inserting y 0.
+        assert_eq!(erp(&[0.0], &[3.0], 3.0), 3.0);
+    }
+
+    #[test]
+    fn gap_alignment_beats_substitution_when_cheaper() {
+        // x = [5, 0], y = [5]: aligning 5↔5 and gapping the 0 (g=0) is free.
+        assert_eq!(erp(&[5.0, 0.0], &[5.0], 0.0), 0.0);
+    }
+}

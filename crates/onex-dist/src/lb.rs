@@ -1,0 +1,252 @@
+//! Lower bounds for DTW — the pruning cascade of the UCR suite ("Trillion",
+//! Rakthanmanon et al. 2012) that the paper adopts in §5.3: cheap bounds are
+//! checked first and DTW is only run on candidates that survive.
+//!
+//! All bounds here are stated for the paper's DTW definition (square root of
+//! the minimal sum of squared point distances):
+//!
+//! * [`lb_kim_fl`] — O(1): the first and last matrix cells lie on every
+//!   warping path, so `√((x₁−y₁)² + (x_n−y_m)²) ≤ DTW`. Valid for any pair
+//!   of lengths and any window.
+//! * [`lb_keogh`] — O(n): distance from a candidate to the *envelope* of the
+//!   other sequence. Valid for equal-length sequences whenever the envelope
+//!   radius is ≥ the DTW band radius (a wider envelope only loosens the
+//!   bound). The two "roles" of the UCR suite — envelope around the query
+//!   (EQ) vs around the candidate (EC) — are the same function applied to
+//!   the appropriate envelope.
+//! * [`lb_keogh_sq_abandon`] — LB_Keogh in squared space with an optional
+//!   index permutation (the suite's *reordered* early abandoning) and a
+//!   cutoff.
+//! * [`lb_keogh_cumulative`] — suffix sums of the per-index contributions,
+//!   consumed by [`crate::dtw::DtwBuffer::dist_early_abandon_with_suffix`]
+//!   to abandon DTW itself earlier.
+
+use crate::Envelope;
+
+/// LB_Kim (first/last form): `√((x₀−y₀)² + (x_last−y_last)²)`.
+///
+/// Returns 0 for empty inputs (vacuously a lower bound).
+#[inline]
+pub fn lb_kim_fl(x: &[f64], y: &[f64]) -> f64 {
+    match (x.first(), y.first(), x.last(), y.last()) {
+        (Some(&xf), Some(&yf), Some(&xl), Some(&yl)) => {
+            let df = xf - yf;
+            let dl = xl - yl;
+            // For length-1 inputs the first and last cell coincide; count it
+            // once.
+            if x.len() == 1 && y.len() == 1 {
+                df.abs()
+            } else {
+                (df * df + dl * dl).sqrt()
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+/// Per-index LB_Keogh contribution of `c[i]` against the envelope, in
+/// squared space.
+#[inline]
+fn keogh_contrib(c: f64, upper: f64, lower: f64) -> f64 {
+    if c > upper {
+        let d = c - upper;
+        d * d
+    } else if c < lower {
+        let d = c - lower;
+        d * d
+    } else {
+        0.0
+    }
+}
+
+/// LB_Keogh: `√(Σ_i contrib(c_i))` where points above the upper envelope pay
+/// `(c_i − U_i)²`, below the lower pay `(c_i − L_i)²`, inside pay 0.
+///
+/// # Panics
+/// Panics when `c.len() != env.len()` — LB_Keogh is only defined for
+/// equal-length comparisons.
+pub fn lb_keogh(c: &[f64], env: &Envelope) -> f64 {
+    assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
+    c.iter()
+        .zip(env.upper.iter().zip(&env.lower))
+        .map(|(&ci, (&u, &l))| keogh_contrib(ci, u, l))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// LB_Keogh in *squared* space with early abandoning and an optional index
+/// order. `order`, when given, must be a permutation of `0..c.len()`; the
+/// UCR suite sorts indices by expected contribution so the sum crosses the
+/// cutoff sooner. Returns `None` once the partial sum exceeds `cutoff_sq`.
+///
+/// # Panics
+/// Panics on length mismatch between `c` and `env`.
+pub fn lb_keogh_sq_abandon(
+    c: &[f64],
+    env: &Envelope,
+    order: Option<&[usize]>,
+    cutoff_sq: f64,
+) -> Option<f64> {
+    assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
+    let mut acc = 0.0;
+    match order {
+        Some(order) => {
+            for &i in order {
+                acc += keogh_contrib(c[i], env.upper[i], env.lower[i]);
+                if acc > cutoff_sq {
+                    return None;
+                }
+            }
+        }
+        None => {
+            for (i, &ci) in c.iter().enumerate() {
+                acc += keogh_contrib(ci, env.upper[i], env.lower[i]);
+                if acc > cutoff_sq {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(acc)
+}
+
+/// Suffix sums of squared LB_Keogh contributions: `out[i] = Σ_{k ≥ i}
+/// contrib(c_k)`, with `out[c.len()] = 0`. During DTW on rows of `c`, the
+/// final cost is at least `(row-min at row i) + out[i+1]`, enabling earlier
+/// abandoning (the suite's "cascading" use of LB_Keogh inside DTW).
+pub fn lb_keogh_cumulative(c: &[f64], env: &Envelope) -> Vec<f64> {
+    assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
+    let n = c.len();
+    let mut out = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        out[i] = out[i + 1] + keogh_contrib(c[i], env.upper[i], env.lower[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dtw, Window};
+
+    fn series(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn lb_kim_is_a_lower_bound() {
+        let x = series(24, |i| (i as f64 * 0.3).sin());
+        let y = series(24, |i| (i as f64 * 0.35 + 1.0).sin());
+        let d = dtw(&x, &y, Window::Unconstrained);
+        assert!(lb_kim_fl(&x, &y) <= d + 1e-12);
+        // different lengths too
+        let z = series(10, |i| i as f64 * 0.1);
+        let d = dtw(&x, &z, Window::Unconstrained);
+        assert!(lb_kim_fl(&x, &z) <= d + 1e-12);
+    }
+
+    #[test]
+    fn lb_kim_edge_cases() {
+        assert_eq!(lb_kim_fl(&[], &[1.0]), 0.0);
+        assert_eq!(lb_kim_fl(&[3.0], &[1.0]), 2.0);
+    }
+
+    #[test]
+    fn lb_keogh_is_a_lower_bound_for_banded_dtw() {
+        let x = series(32, |i| (i as f64 * 0.4).sin() + 0.2);
+        let y = series(32, |i| (i as f64 * 0.45).cos());
+        for r in [1usize, 3, 8, 32] {
+            let env = Envelope::build(&y, r);
+            let lb = lb_keogh(&x, &env);
+            let d = dtw(&x, &y, Window::Band(r));
+            assert!(lb <= d + 1e-9, "r={r}: lb {lb} > dtw {d}");
+        }
+    }
+
+    #[test]
+    fn wider_envelope_is_still_sound_but_looser() {
+        let x = series(32, |i| (i as f64 * 0.4).sin() + 0.2);
+        let y = series(32, |i| (i as f64 * 0.45).cos());
+        let tight = lb_keogh(&x, &Envelope::build(&y, 2));
+        let loose = lb_keogh(&x, &Envelope::build(&y, 8));
+        assert!(loose <= tight + 1e-12);
+        // loose envelope still bounds banded DTW at r=2
+        assert!(loose <= dtw(&x, &y, Window::Band(2)) + 1e-9);
+    }
+
+    #[test]
+    fn inside_envelope_is_zero() {
+        let y = series(16, |i| i as f64);
+        let env = Envelope::build(&y, 2);
+        assert_eq!(lb_keogh(&y, &env), 0.0);
+    }
+
+    #[test]
+    fn abandon_variant_matches_full_sum() {
+        let x = series(16, |i| (i as f64).sqrt());
+        let y = series(16, |i| 2.0 - i as f64 * 0.2);
+        let env = Envelope::build(&y, 3);
+        let full = lb_keogh(&x, &env);
+        let sq = lb_keogh_sq_abandon(&x, &env, None, f64::INFINITY).unwrap();
+        assert!((sq.sqrt() - full).abs() < 1e-12);
+        // tiny cutoff abandons (distance is non-zero here)
+        assert!(full > 0.0);
+        assert_eq!(lb_keogh_sq_abandon(&x, &env, None, 1e-9), None);
+    }
+
+    #[test]
+    fn reordering_does_not_change_the_total() {
+        let x = series(12, |i| (i as f64 * 0.9).sin() * 3.0);
+        let y = series(12, |i| (i as f64 * 0.3).cos());
+        let env = Envelope::build(&y, 2);
+        let natural = lb_keogh_sq_abandon(&x, &env, None, f64::INFINITY).unwrap();
+        let order: Vec<usize> = (0..12).rev().collect();
+        let reordered = lb_keogh_sq_abandon(&x, &env, Some(&order), f64::INFINITY).unwrap();
+        assert!((natural - reordered).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_suffix_sums() {
+        let x = series(8, |i| i as f64);
+        let y = series(8, |_| 0.0);
+        let env = Envelope::build(&y, 1);
+        let cum = lb_keogh_cumulative(&x, &env);
+        assert_eq!(cum.len(), 9);
+        assert_eq!(cum[8], 0.0);
+        // total equals LB_Keogh²
+        let total = lb_keogh(&x, &env).powi(2);
+        assert!((cum[0] - total).abs() < 1e-9);
+        // suffix sums are non-increasing
+        for w in cum.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn keogh_length_mismatch_panics() {
+        let env = Envelope::build(&[0.0; 4], 1);
+        lb_keogh(&[0.0; 5], &env);
+    }
+
+    #[test]
+    fn suffix_augmented_dtw_is_exact_when_not_abandoned() {
+        use crate::dtw::DtwBuffer;
+        let x = series(24, |i| (i as f64 * 0.5).sin() * 2.0);
+        let y = series(24, |i| (i as f64 * 0.5).cos());
+        let r = 3;
+        let env_y = Envelope::build(&y, r);
+        let suffix = lb_keogh_cumulative(&x, &env_y);
+        let exact = dtw(&x, &y, Window::Band(r));
+        let mut buf = DtwBuffer::new();
+        let got = buf
+            .dist_early_abandon_with_suffix(&x, &y, Window::Band(r), exact + 1.0, &suffix)
+            .expect("cutoff above exact never abandons");
+        assert!((got - exact).abs() < 1e-12);
+        // And with a hopeless cutoff it abandons via the suffix bound.
+        assert_eq!(
+            buf.dist_early_abandon_with_suffix(&x, &y, Window::Band(r), 1e-6, &suffix),
+            None
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Longest Common Subsequence similarity (Vlachos et al. 2002), one of the
+//! related-work elastic measures (paper §7). Two samples "match" when they
+//! are within `epsilon` in value and (optionally) within `delta` in time.
+//! Provided as part of the extension surface: ONEX's grouping machinery is
+//! distance-agnostic as long as the exploration distance tolerates warping.
+
+/// Parameters of the LCSS match predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcssParams {
+    /// Maximum absolute value difference for two samples to match.
+    pub epsilon: f64,
+    /// Maximum index difference for two samples to match; `None` = no limit.
+    pub delta: Option<usize>,
+}
+
+impl Default for LcssParams {
+    fn default() -> Self {
+        LcssParams {
+            epsilon: 0.1,
+            delta: None,
+        }
+    }
+}
+
+/// Length of the longest common subsequence under the match predicate.
+pub fn lcss_len(x: &[f64], y: &[f64], params: LcssParams) -> usize {
+    let n = x.len();
+    let m = y.len();
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    // Rolling rows of the classical LCSS DP.
+    let mut prev = vec![0usize; m + 1];
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            let in_band = params
+                .delta
+                .is_none_or(|d| i.abs_diff(j) <= d);
+            if in_band && (x[i - 1] - y[j - 1]).abs() <= params.epsilon {
+                curr[j] = prev[j - 1] + 1;
+            } else {
+                curr[j] = prev[j].max(curr[j - 1]);
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr[0] = 0;
+    }
+    prev[m]
+}
+
+/// LCSS distance `1 − LCSS/min(n, m)` ∈ [0, 1]; 0 when one sequence is a
+/// value-wise match of a subsequence of the other, 1 when nothing matches.
+/// Empty inputs: distance 0 if both empty, else 1.
+pub fn lcss_dist(x: &[f64], y: &[f64], params: LcssParams) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    if x.is_empty() || y.is_empty() {
+        return 1.0;
+    }
+    1.0 - lcss_len(x, y, params) as f64 / x.len().min(y.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: LcssParams = LcssParams {
+        epsilon: 0.05,
+        delta: None,
+    };
+
+    #[test]
+    fn identical_sequences_match_fully() {
+        let x = [0.1, 0.5, 0.9, 0.5];
+        assert_eq!(lcss_len(&x, &x, P), 4);
+        assert_eq!(lcss_dist(&x, &x, P), 0.0);
+    }
+
+    #[test]
+    fn disjoint_values_do_not_match() {
+        let x = [0.0, 0.0];
+        let y = [1.0, 1.0];
+        assert_eq!(lcss_len(&x, &y, P), 0);
+        assert_eq!(lcss_dist(&x, &y, P), 1.0);
+    }
+
+    #[test]
+    fn subsequence_embedding() {
+        // y is x with junk injected: LCSS should recover all of x.
+        let x = [0.1, 0.2, 0.3];
+        let y = [9.0, 0.1, 9.0, 0.2, 0.3, 9.0];
+        assert_eq!(lcss_len(&x, &y, P), 3);
+        assert_eq!(lcss_dist(&x, &y, P), 0.0);
+    }
+
+    #[test]
+    fn epsilon_tolerance() {
+        let x = [0.10, 0.20];
+        let y = [0.14, 0.24];
+        assert_eq!(lcss_len(&x, &y, P), 2);
+        let tight = LcssParams {
+            epsilon: 0.01,
+            delta: None,
+        };
+        assert_eq!(lcss_len(&x, &y, tight), 0);
+    }
+
+    #[test]
+    fn delta_constrains_time() {
+        let x = [0.5, 0.0, 0.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 0.0, 0.0, 0.5];
+        // Unconstrained: 0.5 at position 0 can match position 4... but only
+        // respecting order; the zeros also match. LCSS = 4 (zeros).
+        assert_eq!(lcss_len(&x, &y, P), 4);
+        let banded = LcssParams {
+            epsilon: 0.05,
+            delta: Some(1),
+        };
+        // With |i-j|<=1 the 0.5s can't align; zeros still give 4 matches via
+        // near-diagonal alignment.
+        assert_eq!(lcss_len(&x, &y, banded), 4);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(lcss_dist(&[], &[], P), 0.0);
+        assert_eq!(lcss_dist(&[1.0], &[], P), 1.0);
+        assert_eq!(lcss_len(&[], &[1.0], P), 0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [0.1, 0.9, 0.3, 0.7];
+        let y = [0.2, 0.8, 0.35];
+        assert_eq!(lcss_len(&x, &y, P), lcss_len(&y, &x, P));
+    }
+}

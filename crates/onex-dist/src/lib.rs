@@ -1,0 +1,52 @@
+//! # onex-dist — similarity distance kernels for ONEX
+//!
+//! Implements every distance the paper defines or leans on, with the exact
+//! conventions of its Definitions 2–6:
+//!
+//! * [`ed()`](ed::ed) — Euclidean distance (Def. 2), its normalized form `ED/√n`
+//!   (Def. 5), squared and early-abandoning variants used in the ONEX-base
+//!   construction hot loop.
+//! * [`dtw()`](dtw::dtw) — Dynamic Time Warping with the paper's *path-weight* objective
+//!   (Def. 3: the weight of a warping path is `√(Σ w²)` and DTW is the
+//!   minimum weight), its normalized form `DTW/2n` (Def. 6), Sakoe-Chiba
+//!   banded and early-abandoning variants, and warping-path extraction.
+//! * [`envelope`] — upper/lower warping envelopes (Lemire's O(n) streaming
+//!   min/max), the ingredient of LB_Keogh.
+//! * [`lb`] — the cascading lower bounds of the UCR suite: LB_Kim(FL) and
+//!   LB_Keogh in both query/data roles, plus the cumulative variant that
+//!   powers reordered early abandoning.
+//! * [`paa()`](paa::paa) — Piecewise Aggregate Approximation and PDTW (Keogh & Pazzani
+//!   2000), the paper's "PAA" baseline.
+//! * [`lcss`] / [`erp`] — the related-work elastic measures (LCSS,
+//!   Edit distance with Real Penalty), provided for the extension surface.
+//!
+//! ## Windows
+//!
+//! Every DTW-family kernel takes a [`Window`]: `Unconstrained` (the paper's
+//! theory), an absolute Sakoe-Chiba band, or a length-relative band. For
+//! sequences of different lengths the effective band is widened to at least
+//! `|n − m|`, without which no monotone path exists.
+//!
+//! Inputs are expected to be finite (guaranteed by `onex-ts` validation);
+//! kernels are panic-free for any finite input, including empty slices where
+//! a distance is meaningful.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dtw;
+pub mod ed;
+pub mod envelope;
+pub mod erp;
+pub mod lb;
+pub mod lcss;
+pub mod lp;
+pub mod paa;
+mod window;
+
+pub use dtw::{dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, DtwBuffer};
+pub use ed::{ed, ed_early_abandon_sq, ed_normalized, ed_sq};
+pub use envelope::Envelope;
+pub use lb::{lb_keogh, lb_keogh_cumulative, lb_keogh_sq_abandon, lb_kim_fl};
+pub use paa::{paa, pdtw, Paa};
+pub use window::Window;

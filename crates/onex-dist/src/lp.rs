@@ -1,0 +1,94 @@
+//! Minkowski (Lp) distances for equal-length sequences — the family behind
+//! Yi & Faloutsos' "Fast time sequence indexing for arbitrary Lp norms"
+//! (the paper's reference \[31\]). ED is `L2`; `L1` (Manhattan) is robust to
+//! outlier samples; `L∞` (Chebyshev) bounds the worst-case point gap.
+//! Provided for the extension surface: ONEX grouping is distance-agnostic
+//! for the *offline* side as long as the chosen metric satisfies the
+//! triangle inequality (all Lp do).
+
+/// Which Lp norm to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LpNorm {
+    /// Manhattan distance (p = 1).
+    L1,
+    /// Euclidean distance (p = 2).
+    L2,
+    /// General finite p ≥ 1.
+    P(f64),
+    /// Chebyshev distance (p = ∞).
+    LInf,
+}
+
+/// Lp distance between equal-length sequences.
+///
+/// # Panics
+/// Panics if the slices differ in length or if `P(p)` has `p < 1`
+/// (not a metric below 1).
+pub fn lp(x: &[f64], y: &[f64], norm: LpNorm) -> f64 {
+    assert_eq!(x.len(), y.len(), "Lp requires equal lengths");
+    match norm {
+        LpNorm::L1 => x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum(),
+        LpNorm::L2 => crate::ed(x, y),
+        LpNorm::P(p) => {
+            assert!(p >= 1.0, "Lp is a metric only for p ≥ 1");
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| (a - b).abs().powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p)
+        }
+        LpNorm::LInf => x
+            .iter()
+            .zip(y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+    const Y: [f64; 4] = [1.0, 1.0, 0.0, 3.0];
+
+    #[test]
+    fn l1_is_sum_of_absolute_gaps() {
+        assert_eq!(lp(&X, &Y, LpNorm::L1), 1.0 + 0.0 + 2.0 + 0.0);
+    }
+
+    #[test]
+    fn l2_matches_ed() {
+        assert_eq!(lp(&X, &Y, LpNorm::L2), crate::ed(&X, &Y));
+        assert!((lp(&X, &Y, LpNorm::P(2.0)) - crate::ed(&X, &Y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_is_max_gap() {
+        assert_eq!(lp(&X, &Y, LpNorm::LInf), 2.0);
+    }
+
+    #[test]
+    fn norms_are_ordered() {
+        // For any pair: L∞ ≤ Lp ≤ L1 (p ≥ 1).
+        let l1 = lp(&X, &Y, LpNorm::L1);
+        let l2 = lp(&X, &Y, LpNorm::L2);
+        let l3 = lp(&X, &Y, LpNorm::P(3.0));
+        let li = lp(&X, &Y, LpNorm::LInf);
+        assert!(li <= l3 && l3 <= l2 && l2 <= l1);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        for norm in [LpNorm::L1, LpNorm::L2, LpNorm::P(3.0), LpNorm::LInf] {
+            assert_eq!(lp(&X, &X, norm), 0.0);
+            assert_eq!(lp(&X, &Y, norm), lp(&Y, &X, norm));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p ≥ 1")]
+    fn sub_one_p_rejected() {
+        lp(&X, &Y, LpNorm::P(0.5));
+    }
+}

@@ -1,0 +1,174 @@
+//! Piecewise Aggregate Approximation (Keogh & Pazzani 2000; Yi & Faloutsos
+//! 2000) — the paper's "PAA" baseline.
+//!
+//! PAA reduces an `n`-sample sequence to `m` segment means. The baseline of
+//! the paper ("Scaling up dynamic time warping for datamining applications")
+//! then runs DTW *on the reduced series* — "Piecewise DTW" / [`pdtw`] — which
+//! is `⌈n/m⌉²`-times cheaper but approximate: the paper's Table 3 shows PAA
+//! accuracy between Trillion's and ONEX's, at orders-of-magnitude slower
+//! query times than either (it still scans the whole dataset).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{dtw::DtwBuffer, Window};
+
+/// A PAA-reduced sequence: segment means plus the original length (needed to
+/// rescale distances back to raw-sequence units).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Paa {
+    /// Segment means.
+    pub segments: Vec<f64>,
+    /// Original (pre-reduction) length.
+    pub original_len: usize,
+}
+
+impl Paa {
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the reduction holds no segments (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Reconstructs an approximation of the original sequence by repeating
+    /// each segment mean over its span.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let n = self.original_len;
+        let m = self.segments.len();
+        if m == 0 || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| self.segments[i * m / n])
+            .collect()
+    }
+}
+
+/// Reduces `x` to `m` segments of (near-)equal width. When `n` is not a
+/// multiple of `m`, the general "frames" formulation is used: sample `i`
+/// belongs to segment `⌊i·m/n⌋`, so segments differ in width by at most one.
+/// `m` is clamped to `1..=n`.
+pub fn paa(x: &[f64], m: usize) -> Paa {
+    let n = x.len();
+    if n == 0 {
+        return Paa {
+            segments: Vec::new(),
+            original_len: 0,
+        };
+    }
+    let m = m.clamp(1, n);
+    let mut sums = vec![0.0; m];
+    let mut counts = vec![0usize; m];
+    for (i, &v) in x.iter().enumerate() {
+        let s = i * m / n;
+        sums[s] += v;
+        counts[s] += 1;
+    }
+    let segments = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| s / c as f64)
+        .collect();
+    Paa {
+        segments,
+        original_len: n,
+    }
+}
+
+/// Piecewise DTW: DTW between the two PAA reductions, scaled back to
+/// raw-sequence units by `√w` with `w` the mean segment width (each reduced
+/// cell stands for ~`w` raw cells of similar cost, and costs add in squared
+/// space). This is the Keogh & Pazzani approximation — *not* a lower bound —
+/// exactly as the paper uses it as an approximate competitor.
+pub fn pdtw(a: &Paa, b: &Paa, window: Window) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    let w_a = a.original_len as f64 / a.len() as f64;
+    let w_b = b.original_len as f64 / b.len() as f64;
+    let w = 0.5 * (w_a + w_b);
+    let mut buf = DtwBuffer::new();
+    buf.dist(&a.segments, &b.segments, window) * w.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw;
+
+    #[test]
+    fn exact_division_means() {
+        let x = [1.0, 3.0, 5.0, 7.0];
+        let p = paa(&x, 2);
+        assert_eq!(p.segments, vec![2.0, 6.0]);
+        assert_eq!(p.original_len, 4);
+    }
+
+    #[test]
+    fn uneven_division_spreads_samples() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = paa(&x, 2);
+        // segment of sample i is ⌊i·2/5⌋ -> [0,0,0,1,1]
+        assert_eq!(p.segments, vec![2.0, 4.5]);
+    }
+
+    #[test]
+    fn m_clamping() {
+        let x = [1.0, 2.0];
+        assert_eq!(paa(&x, 10).segments, vec![1.0, 2.0]);
+        assert_eq!(paa(&x, 0).segments, vec![1.5]);
+        assert!(paa(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn identity_reduction_preserves_sequence() {
+        let x = [0.5, 1.5, -0.5];
+        let p = paa(&x, 3);
+        assert_eq!(p.segments, x.to_vec());
+        assert_eq!(p.reconstruct(), x.to_vec());
+    }
+
+    #[test]
+    fn reconstruction_has_original_length() {
+        let x: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let p = paa(&x, 4);
+        let rec = p.reconstruct();
+        assert_eq!(rec.len(), 17);
+        // piecewise-constant: first segment's mean repeated over its span
+        assert_eq!(rec[0], rec[1]);
+    }
+
+    #[test]
+    fn pdtw_zero_for_identical_and_scales() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let p = paa(&x, 8);
+        assert_eq!(pdtw(&p, &p, Window::Unconstrained), 0.0);
+    }
+
+    #[test]
+    fn pdtw_approximates_dtw() {
+        // On smooth series the approximation should land within a factor of
+        // ~2 of true DTW (it is not a bound, just close).
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2 + 0.7).sin()).collect();
+        let exact = dtw(&x, &y, Window::Unconstrained);
+        let approx = pdtw(&paa(&x, 16), &paa(&y, 16), Window::Unconstrained);
+        assert!(approx > 0.25 * exact && approx < 4.0 * exact,
+            "approx {approx} vs exact {exact}");
+    }
+
+    #[test]
+    fn pdtw_empty_conventions() {
+        let e = paa(&[], 4);
+        let p = paa(&[1.0, 2.0], 2);
+        assert_eq!(pdtw(&e, &e, Window::Unconstrained), 0.0);
+        assert_eq!(pdtw(&e, &p, Window::Unconstrained), f64::INFINITY);
+    }
+}

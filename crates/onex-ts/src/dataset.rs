@@ -1,0 +1,468 @@
+use crate::{Result, TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+
+/// A lightweight reference to one subsequence `(X_p)^len_start` of a dataset:
+/// the paper's Def. 1, encoded as `(series p, start j, length i)`.
+///
+/// Subsequence references are 12 bytes and `Copy`, so the ONEX base can hold
+/// millions of them without duplicating sample data; the samples themselves
+/// are resolved against the [`Dataset`] on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubseqRef {
+    /// Index of the parent series in the dataset.
+    pub series: u32,
+    /// Start offset within the parent series.
+    pub start: u32,
+    /// Number of samples.
+    pub len: u32,
+}
+
+impl SubseqRef {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(series: u32, start: u32, len: u32) -> Self {
+        SubseqRef { series, start, len }
+    }
+
+    /// End offset (exclusive) within the parent series.
+    #[inline]
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+}
+
+/// Specification of how a dataset is decomposed into subsequences: which
+/// lengths are materialized and at what stride. The paper decomposes into
+/// *every* subsequence of every length ≥ 2 (Table 4 counts); the strides exist
+/// so that the benchmark harness can run the same code path on scaled-down
+/// workloads without changing its shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Smallest subsequence length considered (default 2; length-1
+    /// subsequences carry no trend information).
+    pub min_len: usize,
+    /// Largest subsequence length considered; `None` means "up to each
+    /// series' full length".
+    pub max_len: Option<usize>,
+    /// Step between consecutive lengths (default 1).
+    pub len_stride: usize,
+    /// Step between consecutive start offsets (default 1).
+    pub start_stride: usize,
+}
+
+impl Default for Decomposition {
+    fn default() -> Self {
+        Decomposition {
+            min_len: 2,
+            max_len: None,
+            len_stride: 1,
+            start_stride: 1,
+        }
+    }
+}
+
+impl Decomposition {
+    /// Full decomposition (the paper's setting): all lengths `2..=n`, all
+    /// starting positions.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Decomposition restricted to a single length.
+    pub fn single_length(len: usize) -> Self {
+        Decomposition {
+            min_len: len,
+            max_len: Some(len),
+            len_stride: 1,
+            start_stride: 1,
+        }
+    }
+
+    /// Validates the specification against a dataset.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_len < 2 {
+            return Err(TsError::InvalidDecomposition(format!(
+                "min_len must be ≥ 2, got {}",
+                self.min_len
+            )));
+        }
+        if let Some(max) = self.max_len {
+            if max < self.min_len {
+                return Err(TsError::InvalidDecomposition(format!(
+                    "max_len {} < min_len {}",
+                    max, self.min_len
+                )));
+            }
+        }
+        if self.len_stride == 0 || self.start_stride == 0 {
+            return Err(TsError::InvalidDecomposition(
+                "strides must be non-zero".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The lengths this decomposition materializes for a series of `n`
+    /// samples, ascending.
+    pub fn lengths_for(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        let max = self.max_len.unwrap_or(n).min(n);
+        (self.min_len..=max).step_by(self.len_stride)
+    }
+
+    /// Number of subsequences generated from a single series of `n` samples.
+    pub fn count_for(&self, n: usize) -> usize {
+        self.lengths_for(n)
+            .map(|len| (n - len) / self.start_stride + 1)
+            .sum()
+    }
+}
+
+/// A collection of time series: the paper's dataset `D = {X_1, …, X_N}`.
+///
+/// Series may have different lengths (the motivating example compares
+/// indicators reported over different intervals). The dataset owns its series;
+/// subsequences are referenced by [`SubseqRef`] and resolved with
+/// [`Dataset::subseq`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    series: Vec<TimeSeries>,
+    name: String,
+}
+
+impl Dataset {
+    /// Builds a dataset from series. Empty datasets are permitted (queries
+    /// against them return no results) but individual series are validated by
+    /// [`TimeSeries`] construction.
+    pub fn new(name: impl Into<String>, series: Vec<TimeSeries>) -> Self {
+        Dataset {
+            series,
+            name: name.into(),
+        }
+    }
+
+    /// The dataset's display name (used in experiment output).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of series `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when the dataset holds no series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// All series.
+    #[inline]
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// One series by index.
+    pub fn get(&self, index: usize) -> Result<&TimeSeries> {
+        self.series.get(index).ok_or(TsError::NoSuchSeries {
+            index,
+            dataset_len: self.series.len(),
+        })
+    }
+
+    /// Appends a series, returning its index. Used by the incremental
+    /// maintenance path of the ONEX base.
+    pub fn push(&mut self, ts: TimeSeries) -> usize {
+        self.series.push(ts);
+        self.series.len() - 1
+    }
+
+    /// Resolves a subsequence reference to its samples.
+    #[inline]
+    pub fn subseq(&self, r: SubseqRef) -> Result<&[f64]> {
+        let ts = self.get(r.series as usize)?;
+        ts.subsequence(r.series as usize, r.start as usize, r.len as usize)
+    }
+
+    /// Resolves a subsequence reference without bounds checks beyond slice
+    /// indexing; panics on an invalid reference. The ONEX base only stores
+    /// references it created itself, so the infallible accessor is used in
+    /// hot paths.
+    #[inline]
+    pub fn subseq_unchecked(&self, r: SubseqRef) -> &[f64] {
+        &self.series[r.series as usize].values()[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Length of the longest series.
+    pub fn max_series_len(&self) -> usize {
+        self.series.iter().map(TimeSeries::len).max().unwrap_or(0)
+    }
+
+    /// Length of the shortest series.
+    pub fn min_series_len(&self) -> usize {
+        self.series.iter().map(TimeSeries::len).min().unwrap_or(0)
+    }
+
+    /// Global minimum sample value across all series.
+    pub fn global_min(&self) -> f64 {
+        self.series
+            .iter()
+            .map(TimeSeries::min)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Global maximum sample value across all series.
+    pub fn global_max(&self) -> f64 {
+        self.series
+            .iter()
+            .map(TimeSeries::max)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total number of samples across all series.
+    pub fn total_samples(&self) -> usize {
+        self.series.iter().map(TimeSeries::len).sum()
+    }
+
+    /// Total number of subsequences a decomposition generates across the
+    /// dataset. With the default decomposition and N equal-length series of
+    /// length n this is `N · n(n−1)/2`, the cardinality the paper's Table 4
+    /// reports.
+    pub fn subseq_count(&self, spec: &Decomposition) -> usize {
+        self.series.iter().map(|ts| spec.count_for(ts.len())).sum()
+    }
+
+    /// Iterates all subsequences of a given length under a decomposition's
+    /// start stride, in canonical (series-major) order.
+    pub fn subseqs_of_len<'a>(&'a self, len: usize, spec: &Decomposition) -> SubseqIter<'a> {
+        SubseqIter {
+            dataset: self,
+            len,
+            start_stride: spec.start_stride,
+            series: 0,
+            start: 0,
+        }
+    }
+
+    /// Splits the dataset at series index `n`: `(first n, rest)`. Useful for
+    /// train/test protocols (see `onex-core::classify`); both halves keep
+    /// the dataset name with a suffix.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        let n = n.min(self.series.len());
+        (
+            Dataset::new(format!("{}-head", self.name), self.series[..n].to_vec()),
+            Dataset::new(format!("{}-tail", self.name), self.series[n..].to_vec()),
+        )
+    }
+
+    /// A new dataset containing only the series whose indices are in
+    /// `indices` (order preserved, invalid indices skipped).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let series = indices
+            .iter()
+            .filter_map(|&i| self.series.get(i).cloned())
+            .collect();
+        Dataset::new(format!("{}-sel", self.name), series)
+    }
+
+    /// The sorted set of all subsequence lengths a decomposition materializes
+    /// for this dataset.
+    pub fn decomposed_lengths(&self, spec: &Decomposition) -> Vec<usize> {
+        let mut lengths: Vec<usize> = Vec::new();
+        for ts in &self.series {
+            for len in spec.lengths_for(ts.len()) {
+                lengths.push(len);
+            }
+        }
+        lengths.sort_unstable();
+        lengths.dedup();
+        lengths
+    }
+}
+
+/// Iterator over all subsequences of a fixed length (series-major order).
+pub struct SubseqIter<'a> {
+    dataset: &'a Dataset,
+    len: usize,
+    start_stride: usize,
+    series: usize,
+    start: usize,
+}
+
+impl Iterator for SubseqIter<'_> {
+    type Item = SubseqRef;
+
+    fn next(&mut self) -> Option<SubseqRef> {
+        loop {
+            let ts = self.dataset.series.get(self.series)?;
+            if self.len <= ts.len() && self.start + self.len <= ts.len() {
+                let r = SubseqRef::new(self.series as u32, self.start as u32, self.len as u32);
+                self.start += self.start_stride;
+                return Some(r);
+            }
+            self.series += 1;
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                TimeSeries::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap(),
+                TimeSeries::new(vec![5.0, 6.0, 7.0]).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.max_series_len(), 4);
+        assert_eq!(d.min_series_len(), 3);
+        assert_eq!(d.global_min(), 0.0);
+        assert_eq!(d.global_max(), 7.0);
+        assert_eq!(d.total_samples(), 7);
+        assert!(d.get(2).is_err());
+    }
+
+    #[test]
+    fn subseq_resolution() {
+        let d = toy();
+        let r = SubseqRef::new(1, 1, 2);
+        assert_eq!(d.subseq(r).unwrap(), &[6.0, 7.0]);
+        assert_eq!(d.subseq_unchecked(r), &[6.0, 7.0]);
+        assert_eq!(r.end(), 3);
+        assert!(d.subseq(SubseqRef::new(1, 2, 2)).is_err());
+        assert!(d.subseq(SubseqRef::new(9, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn full_decomposition_counts_match_formula() {
+        // N series of length n contribute n(n-1)/2 subsequences for lengths 2..=n.
+        let d = toy();
+        let spec = Decomposition::full();
+        // series 0: n=4 -> 4*3/2 = 6 ; series 1: n=3 -> 3 ; total 9
+        assert_eq!(d.subseq_count(&spec), 9);
+        assert_eq!(spec.count_for(4), 6);
+        assert_eq!(spec.count_for(3), 3);
+    }
+
+    #[test]
+    fn decomposition_validation() {
+        assert!(Decomposition::full().validate().is_ok());
+        let bad = Decomposition {
+            min_len: 1,
+            ..Decomposition::full()
+        };
+        assert!(bad.validate().is_err());
+        let bad = Decomposition {
+            max_len: Some(1),
+            ..Decomposition::full()
+        };
+        assert!(bad.validate().is_err());
+        let bad = Decomposition {
+            len_stride: 0,
+            ..Decomposition::full()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn length_iteration_with_strides() {
+        let spec = Decomposition {
+            min_len: 2,
+            max_len: Some(10),
+            len_stride: 3,
+            start_stride: 1,
+        };
+        let lengths: Vec<usize> = spec.lengths_for(12).collect();
+        assert_eq!(lengths, vec![2, 5, 8]);
+        // capped by series length
+        let lengths: Vec<usize> = spec.lengths_for(6).collect();
+        assert_eq!(lengths, vec![2, 5]);
+    }
+
+    #[test]
+    fn subseq_iterator_enumerates_all_positions() {
+        let d = toy();
+        let spec = Decomposition::full();
+        let refs: Vec<SubseqRef> = d.subseqs_of_len(3, &spec).collect();
+        assert_eq!(
+            refs,
+            vec![
+                SubseqRef::new(0, 0, 3),
+                SubseqRef::new(0, 1, 3),
+                SubseqRef::new(1, 0, 3),
+            ]
+        );
+        // length longer than the short series only yields from the long one
+        let refs: Vec<SubseqRef> = d.subseqs_of_len(4, &spec).collect();
+        assert_eq!(refs, vec![SubseqRef::new(0, 0, 4)]);
+        // length longer than every series yields nothing
+        assert_eq!(d.subseqs_of_len(9, &spec).count(), 0);
+    }
+
+    #[test]
+    fn subseq_iterator_respects_start_stride() {
+        let d = Dataset::new(
+            "s",
+            vec![TimeSeries::new((0..10).map(f64::from).collect()).unwrap()],
+        );
+        let spec = Decomposition {
+            start_stride: 3,
+            ..Decomposition::full()
+        };
+        let refs: Vec<SubseqRef> = d.subseqs_of_len(2, &spec).collect();
+        assert_eq!(
+            refs.iter().map(|r| r.start).collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
+    }
+
+    #[test]
+    fn decomposed_lengths_union_over_series() {
+        let d = toy();
+        assert_eq!(
+            d.decomposed_lengths(&Decomposition::full()),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut d = toy();
+        let idx = d.push(TimeSeries::new(vec![1.0]).unwrap());
+        assert_eq!(idx, 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn split_and_select() {
+        let d = toy();
+        let (head, tail) = d.split_at(1);
+        assert_eq!(head.len(), 1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(head.get(0).unwrap(), d.get(0).unwrap());
+        assert_eq!(tail.get(0).unwrap(), d.get(1).unwrap());
+        // out-of-range split clamps
+        let (all, none) = d.split_at(99);
+        assert_eq!(all.len(), 2);
+        assert!(none.is_empty());
+        // select skips invalid indices and preserves order
+        let s = d.select(&[1, 5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0).unwrap(), d.get(1).unwrap());
+        assert_eq!(s.get(1).unwrap(), d.get(0).unwrap());
+    }
+}

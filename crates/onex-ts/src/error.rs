@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the time-series substrate.
+///
+/// The substrate validates eagerly: a [`crate::TimeSeries`] can only be
+/// constructed from finite, non-empty data, so downstream distance kernels and
+/// the ONEX base never have to re-check for NaN/∞ in hot loops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// A series was constructed from an empty sample vector.
+    EmptySeries,
+    /// A series contained a non-finite sample (NaN or ±∞) at the given index.
+    NonFinite {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
+    /// A subsequence reference fell outside its parent series.
+    SubseqOutOfBounds {
+        /// Series index in the dataset.
+        series: usize,
+        /// Requested start offset.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Actual series length.
+        series_len: usize,
+    },
+    /// A series index was not present in the dataset.
+    NoSuchSeries {
+        /// The requested index.
+        index: usize,
+        /// Number of series in the dataset.
+        dataset_len: usize,
+    },
+    /// A decomposition was requested with an invalid length range.
+    InvalidDecomposition(String),
+    /// The UCR file parser hit malformed input.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while loading a dataset file.
+    Io(String),
+    /// Normalization was requested on a dataset with zero value range
+    /// (max == min), which would divide by zero.
+    DegenerateRange,
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::EmptySeries => write!(f, "time series must contain at least one sample"),
+            TsError::NonFinite { index, value } => {
+                write!(f, "non-finite sample {value} at index {index}")
+            }
+            TsError::SubseqOutOfBounds {
+                series,
+                start,
+                len,
+                series_len,
+            } => write!(
+                f,
+                "subsequence [{start}, {start}+{len}) out of bounds for series {series} of length {series_len}"
+            ),
+            TsError::NoSuchSeries { index, dataset_len } => {
+                write!(f, "series index {index} out of range for dataset of {dataset_len} series")
+            }
+            TsError::InvalidDecomposition(msg) => write!(f, "invalid decomposition: {msg}"),
+            TsError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            TsError::Io(msg) => write!(f, "i/o error: {msg}"),
+            TsError::DegenerateRange => {
+                write!(f, "dataset value range is zero; min-max normalization undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e.to_string())
+    }
+}

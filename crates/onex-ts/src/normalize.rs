@@ -1,0 +1,179 @@
+//! Normalization, exactly as §6.1 of the paper: *"We normalize each sequence
+//! based on the maximum (max) and minimum (min) values in each dataset. For
+//! any sequence X, we compute the normalized values for each point x_i as
+//! (x_i − min)/(max − min)."*
+//!
+//! Dataset-level min-max normalization maps every sample into `[0, 1]`, which
+//! is what makes the paper's absolute similarity thresholds (ST ∈ [0, 1])
+//! meaningful across datasets. Per-series z-normalization (used by the UCR
+//! suite) is also provided for completeness and for ablations.
+
+use crate::{Dataset, Result, TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a dataset-level min-max normalization, kept so that raw
+/// query sequences supplied by an analyst can be projected into the same
+/// value space as the normalized dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxParams {
+    /// Global dataset minimum before normalization.
+    pub min: f64,
+    /// Global dataset maximum before normalization.
+    pub max: f64,
+}
+
+impl MinMaxParams {
+    /// Computes the parameters from a dataset.
+    pub fn fit(dataset: &Dataset) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(TsError::DegenerateRange);
+        }
+        let min = dataset.global_min();
+        let max = dataset.global_max();
+        if !(max - min).is_normal() || max <= min {
+            return Err(TsError::DegenerateRange);
+        }
+        Ok(MinMaxParams { min, max })
+    }
+
+    /// Projects a single value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        (x - self.min) / (self.max - self.min)
+    }
+
+    /// Projects a raw query sequence into normalized space.
+    pub fn apply_seq(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Inverse projection (normalized → raw), for presenting results in the
+    /// analyst's original units.
+    #[inline]
+    pub fn invert(&self, y: f64) -> f64 {
+        y * (self.max - self.min) + self.min
+    }
+}
+
+/// Min-max normalizes a dataset in one pass, returning the normalized dataset
+/// together with the fitted parameters.
+pub fn min_max(dataset: &Dataset) -> Result<(Dataset, MinMaxParams)> {
+    let params = MinMaxParams::fit(dataset)?;
+    let series = dataset
+        .series()
+        .iter()
+        .map(|ts| {
+            let values: Vec<f64> = ts.values().iter().map(|&v| params.apply(v)).collect();
+            match ts.label() {
+                Some(l) => TimeSeries::with_label(values, l),
+                None => TimeSeries::new(values),
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((Dataset::new(dataset.name().to_string(), series), params))
+}
+
+/// Z-normalizes one sequence: `(x_i − μ)/σ`. Constant sequences (σ = 0) are
+/// mapped to all-zeros, matching the UCR-suite convention.
+pub fn z_normalize(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs
+        .iter()
+        .map(|&x| {
+            let d = x - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|&x| (x - mean) / sd).collect()
+}
+
+/// Z-normalizes every series of a dataset independently.
+pub fn z_normalize_dataset(dataset: &Dataset) -> Result<Dataset> {
+    let series = dataset
+        .series()
+        .iter()
+        .map(|ts| {
+            let values = z_normalize(ts.values());
+            match ts.label() {
+                Some(l) => TimeSeries::with_label(values, l),
+                None => TimeSeries::new(values),
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Dataset::new(dataset.name().to_string(), series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                TimeSeries::with_label(vec![0.0, 5.0, 10.0], 1).unwrap(),
+                TimeSeries::new(vec![2.0, 4.0]).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn min_max_maps_into_unit_interval() {
+        let (norm, params) = min_max(&toy()).unwrap();
+        assert_eq!(params.min, 0.0);
+        assert_eq!(params.max, 10.0);
+        assert_eq!(norm.get(0).unwrap().values(), &[0.0, 0.5, 1.0]);
+        assert_eq!(norm.get(1).unwrap().values(), &[0.2, 0.4]);
+        // labels survive
+        assert_eq!(norm.get(0).unwrap().label(), Some(1));
+        assert_eq!(norm.get(1).unwrap().label(), None);
+    }
+
+    #[test]
+    fn min_max_round_trips() {
+        let (_, params) = min_max(&toy()).unwrap();
+        for &x in &[0.0, 3.3, 10.0] {
+            assert!((params.invert(params.apply(x)) - x).abs() < 1e-12);
+        }
+        assert_eq!(params.apply_seq(&[0.0, 10.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn degenerate_range_is_rejected() {
+        let flat = Dataset::new(
+            "flat",
+            vec![TimeSeries::new(vec![3.0, 3.0, 3.0]).unwrap()],
+        );
+        assert_eq!(min_max(&flat).unwrap_err(), TsError::DegenerateRange);
+        let empty = Dataset::new("empty", vec![]);
+        assert_eq!(min_max(&empty).unwrap_err(), TsError::DegenerateRange);
+    }
+
+    #[test]
+    fn z_normalize_zero_mean_unit_variance() {
+        let z = z_normalize(&[2.0, 4.0, 6.0, 8.0]);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|&v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_constant_sequence() {
+        assert_eq!(z_normalize(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn z_normalize_dataset_all_series() {
+        let d = z_normalize_dataset(&toy()).unwrap();
+        for ts in d.series() {
+            assert!(ts.mean().abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+use crate::{Result, TsError};
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// An immutable, validated time series: a non-empty sequence of finite `f64`
+/// samples, optionally carrying a class label (UCR archive datasets label
+/// every series; the label is carried through untouched so experiments can
+/// report per-class behaviour).
+///
+/// Invariants enforced at construction:
+/// * at least one sample,
+/// * every sample is finite (no NaN, no ±∞).
+///
+/// These invariants let every distance kernel in `onex-dist` skip per-sample
+/// checks, which matters in the O(n·m) DTW inner loops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Box<[f64]>,
+    label: Option<i32>,
+}
+
+impl TimeSeries {
+    /// Builds a series from raw samples, validating the invariants.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        Self::with_label_opt(values, None)
+    }
+
+    /// Builds a labelled series (UCR class labels are small integers).
+    pub fn with_label(values: Vec<f64>, label: i32) -> Result<Self> {
+        Self::with_label_opt(values, Some(label))
+    }
+
+    fn with_label_opt(values: Vec<f64>, label: Option<i32>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        for (index, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(TsError::NonFinite { index, value });
+            }
+        }
+        Ok(TimeSeries {
+            values: values.into_boxed_slice(),
+            label,
+        })
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// A series is never empty by construction, so this always returns false;
+    /// provided for API completeness (clippy's `len_without_is_empty`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The samples as a slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The class label, if the series carries one.
+    #[inline]
+    pub fn label(&self) -> Option<i32> {
+        self.label
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation of the samples.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|&v| {
+                let d = v - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Returns the subsequence `[start, start+len)` as a slice, or an error if
+    /// it falls outside the series. `series_index` is only used to produce a
+    /// useful error message.
+    pub fn subsequence(&self, series_index: usize, start: usize, len: usize) -> Result<&[f64]> {
+        if len == 0 || start + len > self.values.len() {
+            return Err(TsError::SubseqOutOfBounds {
+                series: series_index,
+                start,
+                len,
+                series_len: self.values.len(),
+            });
+        }
+        Ok(&self.values[start..start + len])
+    }
+
+    /// Consumes the series, returning its samples.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values.into_vec()
+    }
+}
+
+impl Index<usize> for TimeSeries {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    #[inline]
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl TryFrom<Vec<f64>> for TimeSeries {
+    type Error = TsError;
+
+    fn try_from(values: Vec<f64>) -> Result<Self> {
+        TimeSeries::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_valid_series() {
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(ts.label(), None);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(TimeSeries::new(vec![]).unwrap_err(), TsError::EmptySeries);
+    }
+
+    #[test]
+    fn rejects_nan_and_infinity() {
+        let err = TimeSeries::new(vec![0.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, TsError::NonFinite { index: 1, .. }));
+        let err = TimeSeries::new(vec![f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, TsError::NonFinite { index: 0, .. }));
+        let err = TimeSeries::new(vec![1.0, f64::NEG_INFINITY, 2.0]).unwrap_err();
+        assert!(matches!(err, TsError::NonFinite { index: 1, .. }));
+    }
+
+    #[test]
+    fn label_is_preserved() {
+        let ts = TimeSeries::with_label(vec![1.0], 7).unwrap();
+        assert_eq!(ts.label(), Some(7));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(ts.min(), 1.0);
+        assert_eq!(ts.max(), 4.0);
+        assert!((ts.mean() - 2.5).abs() < 1e-12);
+        // population std dev of 1..4 = sqrt(1.25)
+        assert!((ts.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsequence_bounds() {
+        let ts = TimeSeries::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ts.subsequence(0, 1, 2).unwrap(), &[1.0, 2.0]);
+        assert_eq!(ts.subsequence(0, 0, 4).unwrap(), &[0.0, 1.0, 2.0, 3.0]);
+        assert!(ts.subsequence(0, 3, 2).is_err());
+        assert!(ts.subsequence(0, 0, 0).is_err());
+        assert!(ts.subsequence(0, 4, 1).is_err());
+    }
+
+    #[test]
+    fn indexing_and_conversions() {
+        let ts = TimeSeries::new(vec![5.0, 6.0]).unwrap();
+        assert_eq!(ts[1], 6.0);
+        let back: Vec<f64> = ts.clone().into_values();
+        assert_eq!(back, vec![5.0, 6.0]);
+        let ts2: TimeSeries = vec![5.0, 6.0].try_into().unwrap();
+        assert_eq!(ts, ts2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared numeric helpers for the synthetic generators.
+
+use rand::Rng;
+
+/// Standard-normal sample via the Box–Muller transform. `rand` 0.8 without
+/// `rand_distr` has no normal distribution; two uniform draws are cheap at
+/// generator scale.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `count` evenly spaced points covering `[start, end]` inclusive.
+pub fn linspace(start: f64, end: f64, count: usize) -> Vec<f64> {
+    if count == 1 {
+        return vec![start];
+    }
+    let step = (end - start) / (count - 1) as f64;
+    (0..count).map(|i| start + step * i as f64).collect()
+}
+
+/// Centered moving-average smoothing with window `2k+1` (edges use the
+/// available window). Used to give generated curves the smoothness of real
+/// sensor traces.
+pub fn smooth(xs: &[f64], k: usize) -> Vec<f64> {
+    if k == 0 || xs.len() < 3 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k + 1).min(n);
+        let sum: f64 = xs[lo..hi].iter().sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Adds i.i.d. Gaussian noise of the given standard deviation in place.
+pub fn add_noise<R: Rng>(xs: &mut [f64], sd: f64, rng: &mut R) {
+    for x in xs.iter_mut() {
+        *x += sd * gaussian(rng);
+    }
+}
+
+/// An un-normalized Gaussian bump `amp · exp(−(t−center)²/(2·width²))`
+/// evaluated at `t`; building block for ECG waves and light-curve humps.
+#[inline]
+pub fn bump(t: f64, center: f64, width: f64, amp: f64) -> f64 {
+    let d = (t - center) / width;
+    amp * (-0.5 * d * d).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_has_roughly_standard_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let xs = linspace(0.0, 1.0, 5);
+        assert_eq!(xs, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(linspace(2.0, 3.0, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn smooth_preserves_constant_and_length() {
+        let xs = vec![4.0; 10];
+        assert_eq!(smooth(&xs, 2), xs);
+        let ys = smooth(&[1.0, 5.0, 1.0, 5.0, 1.0], 1);
+        assert_eq!(ys.len(), 5);
+        // interior point becomes local mean
+        assert!((ys[2] - (5.0 + 1.0 + 5.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_zero_window_is_identity() {
+        let xs = vec![1.0, 2.0, 3.0];
+        assert_eq!(smooth(&xs, 0), xs);
+    }
+
+    #[test]
+    fn bump_peaks_at_center() {
+        assert!((bump(5.0, 5.0, 1.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!(bump(9.0, 5.0, 1.0, 2.0) < 0.01);
+    }
+
+    #[test]
+    fn add_noise_changes_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut xs = vec![0.0; 8];
+        add_noise(&mut xs, 0.5, &mut rng);
+        assert!(xs.iter().any(|&x| x != 0.0));
+    }
+}

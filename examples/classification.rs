@@ -1,0 +1,58 @@
+//! 1-NN / k-NN time-series classification served from the ONEX base — the
+//! classic UCR evaluation protocol, answered from the compact R-Space
+//! instead of a full training-set scan (extension surface; the paper
+//! positions ONEX against classification-oriented condensation in §7).
+//!
+//! ```sh
+//! cargo run --release --example classification
+//! ```
+
+use onex::ts::synth::PaperDataset;
+use onex::ts::Dataset;
+use onex::{OnexBase, OnexConfig};
+
+fn main() {
+    // Train/test split from one generator stream (prefix-stable): the
+    // first 40 beats train, the next 20 are held out.
+    let ds = PaperDataset::Ecg;
+    let all = ds.generate_with_shape(60, 96, 2024);
+    let train = Dataset::new("ECG-train", all.series()[..40].to_vec());
+    let test: Vec<_> = all.series()[40..].to_vec();
+    println!(
+        "train: {} series; test: {} series; classes: normal vs abnormal beats",
+        train.len(),
+        test.len()
+    );
+
+    let t0 = std::time::Instant::now();
+    let base = OnexBase::build(&train, OnexConfig { threads: 4, ..OnexConfig::default() })
+        .expect("build");
+    println!(
+        "base: {} reps for {} windows in {:?}",
+        base.stats().representatives,
+        base.stats().subsequences,
+        t0.elapsed()
+    );
+
+    let norm = *base.normalizer().expect("built from raw data");
+    let labelled: Vec<(Vec<f64>, i32)> = test
+        .iter()
+        .map(|ts| (norm.apply_seq(ts.values()), ts.label().unwrap()))
+        .collect();
+
+    for k in [1usize, 3, 5] {
+        let t0 = std::time::Instant::now();
+        let acc = onex::core::classify::evaluate_accuracy(&base, &labelled, k).expect("classify");
+        println!(
+            "{k}-NN accuracy: {:.1}%  ({:?} for {} test series)",
+            acc * 100.0,
+            t0.elapsed(),
+            labelled.len()
+        );
+    }
+
+    // Show one prediction end to end.
+    let (values, truth) = &labelled[0];
+    let predicted = onex::core::classify::nearest_label(&base, values).expect("classify");
+    println!("test[0]: true class {truth}, predicted {predicted}");
+}

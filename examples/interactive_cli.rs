@@ -1,0 +1,202 @@
+//! A minimal interactive shell over the ONEX base — the "truly interactive
+//! exploration experience" of the paper's abstract, in terminal form.
+//!
+//! ```sh
+//! cargo run --release --example interactive_cli
+//! ```
+//!
+//! Commands (also printed at startup):
+//!   best <series> <from> <to> [len|any]   best match for a slice as query
+//!   design <v1,v2,...> [len|any]          best match for a designed query
+//!   seasonal <series> <len>               recurring patterns in a series
+//!   clusters <len>                        data-driven similarity clusters
+//!   recommend [len]                       threshold guidance
+//!   refine <st>                           re-threshold the base (Algo 2.C)
+//!   stats                                 base statistics
+//!   quit
+
+use onex::ts::synth;
+use onex::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use std::io::{BufRead, Write};
+
+fn print_help() {
+    println!("commands:");
+    println!("  best <series> <from> <to> [any]   best match for a dataset slice");
+    println!("  design <v1,v2,...> [any]          best match for designed values (raw units)");
+    println!("  seasonal <series> <len>           recurring patterns within a series");
+    println!("  clusters <len>                    data-driven similarity clusters");
+    println!("  recommend [len]                   threshold guidance");
+    println!("  refine <st>                       re-threshold the base");
+    println!("  stats | help | quit");
+}
+
+fn main() {
+    println!("loading ItalyPower-like dataset and building the ONEX base…");
+    let data = synth::italy_power(67, 24, 1);
+    let mut base = OnexBase::build(&data, OnexConfig { threads: 4, ..OnexConfig::default() })
+        .expect("build");
+    let s = base.stats();
+    println!(
+        "ready: {} series, {} subsequences → {} representatives ({:.2} MB)",
+        base.dataset().len(),
+        s.subsequences,
+        s.representatives,
+        s.total_mb()
+    );
+    print_help();
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("onex> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let t0 = std::time::Instant::now();
+        match parts.as_slice() {
+            [] => continue,
+            ["quit" | "exit" | "q"] => break,
+            ["help"] => print_help(),
+            ["stats"] => {
+                let s = base.stats();
+                println!(
+                    "ST={} reps={} subseqs={} lengths={} size={:.2} MB",
+                    base.config().st,
+                    s.representatives,
+                    s.subsequences,
+                    s.lengths,
+                    s.total_mb()
+                );
+            }
+            ["best", series, from, to, rest @ ..] => {
+                let (Ok(sid), Ok(a), Ok(b)) = (
+                    series.parse::<usize>(),
+                    from.parse::<usize>(),
+                    to.parse::<usize>(),
+                ) else {
+                    println!("usage: best <series> <from> <to> [any]");
+                    continue;
+                };
+                let Ok(ts) = base.dataset().get(sid) else {
+                    println!("no series {sid}");
+                    continue;
+                };
+                if a >= b || b > ts.len() {
+                    println!("bad range [{a}, {b}) for series of length {}", ts.len());
+                    continue;
+                }
+                let q: Vec<f64> = ts.values()[a..b].to_vec();
+                let mode = if rest.first() == Some(&"any") {
+                    MatchMode::Any
+                } else {
+                    MatchMode::Exact(q.len())
+                };
+                match SimilarityQuery::new(&base).best_match(&q, mode, None) {
+                    Ok(m) => println!(
+                        "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
+                        m.subseq.series,
+                        m.subseq.start,
+                        m.subseq.end(),
+                        m.dist,
+                        t0.elapsed()
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["design", values, rest @ ..] => {
+                let parsed: Result<Vec<f64>, _> =
+                    values.split(',').map(str::parse::<f64>).collect();
+                let Ok(raw) = parsed else {
+                    println!("could not parse values");
+                    continue;
+                };
+                let q = base.normalize_query(&raw);
+                let mode = if rest.first() == Some(&"any") {
+                    MatchMode::Any
+                } else {
+                    MatchMode::Exact(q.len())
+                };
+                match SimilarityQuery::new(&base).best_match(&q, mode, None) {
+                    Ok(m) => println!(
+                        "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
+                        m.subseq.series,
+                        m.subseq.start,
+                        m.subseq.end(),
+                        m.dist,
+                        t0.elapsed()
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["seasonal", series, len] => {
+                match (series.parse::<usize>(), len.parse::<usize>()) {
+                    (Ok(sid), Ok(l)) => {
+                        match onex::core::query::seasonal_for_series(&base, sid, l, 2) {
+                            Ok(cs) => {
+                                println!("{} recurring group(s) ({:?})", cs.len(), t0.elapsed());
+                                for c in cs.iter().take(5) {
+                                    let starts: Vec<u32> =
+                                        c.members.iter().map(|m| m.start).collect();
+                                    println!("  recurs {}× at {:?}", c.members.len(), starts);
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    _ => println!("usage: seasonal <series> <len>"),
+                }
+            }
+            ["clusters", len] => match len.parse::<usize>() {
+                Ok(l) => match onex::core::query::seasonal_all(&base, l, 2) {
+                    Ok(cs) => {
+                        println!("{} cluster(s) ({:?})", cs.len(), t0.elapsed());
+                        for c in cs.iter().take(5) {
+                            println!("  group {} with {} members", c.group, c.members.len());
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("usage: clusters <len>"),
+            },
+            ["recommend", rest @ ..] => {
+                let len = rest.first().and_then(|s| s.parse::<usize>().ok());
+                match onex::core::query::recommend(&base, None, len) {
+                    Ok(rs) => {
+                        for r in rs {
+                            match r.upper {
+                                Some(u) => println!(
+                                    "  {:?}: ST ∈ [{:.3}, {:.3}]",
+                                    r.degree, r.lower, u
+                                ),
+                                None => println!("  {:?}: ST ≥ {:.3}", r.degree, r.lower),
+                            }
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["refine", st] => match st.parse::<f64>() {
+                Ok(v) => match onex::core::refine::refine(&base, v) {
+                    Ok(nb) => {
+                        println!(
+                            "refined {} → {} reps ({:?})",
+                            base.stats().representatives,
+                            nb.stats().representatives,
+                            t0.elapsed()
+                        );
+                        base = nb;
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("usage: refine <st>"),
+            },
+            _ => {
+                println!("unrecognized command");
+                print_help();
+            }
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build an ONEX base over a dataset and run the three query
+//! classes. Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use onex::ts::synth;
+use onex::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+
+fn main() {
+    // 1. A dataset: 40 series, 64 samples each, two signal classes.
+    //    (Substitute `onex::ts::ucr::load_ucr_file("ECG_TRAIN")` for real
+    //    UCR archive files.)
+    let data = synth::sine_mix(40, 64, 2, 42);
+    println!("dataset: {} series × {} samples", data.len(), data.series()[0].len());
+
+    // 2. One-time preprocessing: decompose into all subsequences of all
+    //    lengths, cluster them into similarity groups under ED, index.
+    let t0 = std::time::Instant::now();
+    let base = OnexBase::build(&data, OnexConfig::default()).expect("build");
+    let stats = base.stats();
+    println!(
+        "ONEX base: {} subsequences → {} representatives ({:.0}× reduction) in {:?}, {:.2} MB",
+        stats.subsequences,
+        stats.representatives,
+        stats.reduction_factor(),
+        t0.elapsed(),
+        stats.total_mb(),
+    );
+
+    // 3. Class I — similarity query: best time-warped match for a sample.
+    //    The sample here is a slice of series 7 (an "in-dataset" query).
+    let query: Vec<f64> = base.dataset().series()[7].values()[10..42].to_vec();
+    let mut search = SimilarityQuery::new(&base);
+    let t0 = std::time::Instant::now();
+    let best = search.best_match(&query, MatchMode::Any, None).expect("query");
+    println!(
+        "best match: series {} [{}..{}] at normalized DTW {:.4} ({:?})",
+        best.subseq.series,
+        best.subseq.start,
+        best.subseq.end(),
+        best.dist,
+        t0.elapsed(),
+    );
+
+    // Top-5 of the same length as the query:
+    let top = search
+        .top_k(&query, MatchMode::Exact(query.len()), 5, None)
+        .expect("top-k");
+    println!("top-5 same-length matches:");
+    for m in &top {
+        println!(
+            "  series {:>2} [{:>2}..{:>2}]  DTW̄ = {:.4}",
+            m.subseq.series,
+            m.subseq.start,
+            m.subseq.end(),
+            m.dist
+        );
+    }
+
+    // 4. Class II — seasonal similarity: recurring windows of length 16
+    //    within series 0.
+    let clusters = onex::core::query::seasonal_for_series(&base, 0, 16, 2).expect("seasonal");
+    println!(
+        "series 0 has {} recurring length-16 pattern group(s); largest recurs {}×",
+        clusters.len(),
+        clusters.iter().map(|c| c.members.len()).max().unwrap_or(0),
+    );
+
+    // 5. Class III — threshold recommendation: what does "strict" mean here?
+    for r in onex::core::query::recommend(&base, None, None).expect("recommend") {
+        match r.upper {
+            Some(u) => println!("{:?} similarity: ST ∈ [{:.3}, {:.3}]", r.degree, r.lower, u),
+            None => println!("{:?} similarity: ST ≥ {:.3}", r.degree, r.lower),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Class II queries on a stock-market-style workload (the paper's §5.1 use
+//! case): *"an analyst can find all 30-day-long subsequences of the Apple
+//! stock having similar prices"* (user-driven), and *"retrieve all the
+//! stocks whose prices were similar to each other over any 30-day periods"*
+//! (data-driven).
+//!
+//! ```sh
+//! cargo run --release --example seasonal_patterns
+//! ```
+
+use onex::ts::{Dataset, TimeSeries};
+use onex::{OnexBase, OnexConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic daily closes for `n` tickers over `days` days. Every ticker
+/// follows a random walk; tickers in the same "sector" share a seasonal
+/// component (quarterly cycle), which is the recurring structure the
+/// seasonal queries should surface.
+fn tickers(n: usize, days: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(n);
+    for ticker in 0..n {
+        let sector = ticker % 3;
+        let mut price = 100.0 + 10.0 * ticker as f64;
+        let values: Vec<f64> = (0..days)
+            .map(|d| {
+                let season = match sector {
+                    0 => 3.0 * (d as f64 * std::f64::consts::TAU / 63.0).sin(), // quarterly
+                    1 => 2.0 * (d as f64 * std::f64::consts::TAU / 21.0).sin(), // monthly
+                    _ => 0.0,                                                   // pure walk
+                };
+                price += 0.4 * (rng.gen::<f64>() - 0.5);
+                price + season
+            })
+            .collect();
+        series.push(TimeSeries::with_label(values, sector as i32).expect("finite"));
+    }
+    Dataset::new("Tickers", series)
+}
+
+fn main() {
+    let data = tickers(12, 126, 11); // half a trading year
+    let base = OnexBase::build(
+        &data,
+        OnexConfig {
+            st: 0.15,
+            threads: 4,
+            ..OnexConfig::default()
+        },
+    )
+    .expect("build");
+    println!(
+        "indexed {} windows of {} tickers into {} groups",
+        base.stats().subsequences,
+        data.len(),
+        base.stats().representatives
+    );
+
+    // --- User-driven: recurring 30-day patterns inside ticker 0 ---
+    let window_len = 30;
+    let recurring =
+        onex::core::query::seasonal_for_series(&base, 0, window_len, 2).expect("seasonal");
+    println!(
+        "\nticker 0: {} recurring 30-day pattern group(s)",
+        recurring.len()
+    );
+    for (i, cluster) in recurring.iter().take(4).enumerate() {
+        let starts: Vec<u32> = cluster.members.iter().map(|m| m.start).collect();
+        println!(
+            "  pattern {}: recurs {}× at day offsets {:?}",
+            i,
+            cluster.members.len(),
+            &starts[..starts.len().min(8)]
+        );
+    }
+    // Quarterly seasonality → windows ~63 days apart should share a group.
+    let has_separated_recurrence = recurring.iter().any(|c| {
+        c.members
+            .iter()
+            .any(|a| c.members.iter().any(|b| a.start.abs_diff(b.start) >= 40))
+    });
+    println!("  → found recurrences ≥ 40 days apart: {has_separated_recurrence}");
+
+    // --- Data-driven: which tickers moved alike over any 30-day period? ---
+    let clusters = onex::core::query::seasonal_all(&base, window_len, 3).expect("seasonal all");
+    println!(
+        "\n{} cross-ticker clusters of similar 30-day windows (≥ 3 members)",
+        clusters.len()
+    );
+    let mut cross = 0;
+    for cluster in &clusters {
+        let mut tickers_in: Vec<u32> = cluster.members.iter().map(|m| m.series).collect();
+        tickers_in.sort_unstable();
+        tickers_in.dedup();
+        if tickers_in.len() > 1 {
+            cross += 1;
+        }
+    }
+    println!("  → {cross} clusters span more than one ticker");
+
+    // The biggest cluster, in detail:
+    if let Some(big) = clusters.iter().max_by_key(|c| c.members.len()) {
+        println!(
+            "  largest cluster: {} windows, e.g. {:?}",
+            big.members.len(),
+            &big.members[..big.members.len().min(5)]
+        );
+    }
+}

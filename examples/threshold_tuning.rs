@@ -1,0 +1,88 @@
+//! Class III queries and Algorithm 2.C in action: threshold recommendations
+//! and online refinement of the base to new thresholds — without rebuilding
+//! from raw data (§4.2, §5.2).
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use onex::ts::synth;
+use onex::{MatchMode, OnexBase, OnexConfig, SimilarityDegree, SimilarityQuery};
+
+fn main() {
+    let data = synth::ecg(30, 64, 21);
+    let base = OnexBase::build(
+        &data,
+        OnexConfig {
+            st: 0.2,
+            threads: 4,
+            ..OnexConfig::default()
+        },
+    )
+    .expect("build");
+    println!(
+        "base at ST = {}: {} representatives",
+        base.config().st,
+        base.stats().representatives
+    );
+
+    // --- Q3: translate "strict / medium / loose" into numbers ---
+    println!("\nglobal threshold guidance:");
+    for r in onex::core::query::recommend(&base, None, None).expect("recommend") {
+        match r.upper {
+            Some(u) => println!("  {:?}: ST ∈ [{:.3}, {:.3}]", r.degree, r.lower, u),
+            None => println!("  {:?}: ST ≥ {:.3}", r.degree, r.lower),
+        }
+    }
+    // Per-length guidance differs (short windows merge at lower thresholds):
+    for len in [8usize, 32] {
+        if let Some((half, fin)) = base.sp_space().local(len) {
+            println!("  length {len:>3}: ST_half = {half:.3}, ST_final = {fin:.3}");
+        }
+    }
+
+    // --- An analyst asks for STRICT similarity and gets a usable value ---
+    let strict = onex::core::query::recommend(&base, Some(SimilarityDegree::Strict), None)
+        .expect("recommend")[0];
+    let chosen_st = strict.upper.unwrap() / 2.0;
+    println!("\nanalyst picks strict ST = {chosen_st:.3}");
+
+    // --- Algorithm 2.C: refine the base instead of rebuilding ---
+    let t0 = std::time::Instant::now();
+    let tight = onex::core::refine::refine(&base, chosen_st).expect("refine tighter");
+    println!(
+        "refined (split) to ST' = {:.3} in {:?}: {} → {} representatives",
+        chosen_st,
+        t0.elapsed(),
+        base.stats().representatives,
+        tight.stats().representatives
+    );
+
+    let t0 = std::time::Instant::now();
+    let loose = onex::core::refine::refine(&base, 0.5).expect("refine looser");
+    println!(
+        "refined (merge) to ST' = 0.5 in {:?}: {} → {} representatives",
+        t0.elapsed(),
+        base.stats().representatives,
+        loose.stats().representatives
+    );
+
+    // --- Same query, three similarity regimes ---
+    let q: Vec<f64> = base.dataset().series()[5].values()[8..40].to_vec();
+    for (name, b) in [("strict", &tight), ("default", &base), ("loose", &loose)] {
+        let mut s = SimilarityQuery::new(b);
+        let m = s.best_match(&q, MatchMode::Any, None).expect("query");
+        println!(
+            "  {name:<8} (ST={:.3}): best match series {:>2} [{:>2}..{:>2}] DTW̄ {:.4}",
+            b.config().st,
+            m.subseq.series,
+            m.subseq.start,
+            m.subseq.end(),
+            m.dist
+        );
+    }
+    println!(
+        "\nsplitting tightens groups (more reps, finer answers); merging coarsens \
+         them (fewer reps, faster scans) — no raw-data re-clustering either way."
+    );
+}

@@ -1,0 +1,58 @@
+//! # ONEX — Online Exploration of Time Series
+//!
+//! A Rust reproduction of *"Interactive Time Series Exploration Powered by
+//! the Marriage of Similarity Distances"* (Neamtu et al., VLDB 2016).
+//!
+//! ONEX answers **time-warped similarity queries interactively** by pairing
+//! two distances: the cheap Euclidean distance clusters all subsequences of
+//! a dataset into compact *similarity groups* offline, and the robust (but
+//! expensive) Dynamic Time Warping distance then explores only the group
+//! **representatives** online. A proven ED↔DTW triangle inequality
+//! guarantees that what holds for a representative extends to its group.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use onex::{OnexBase, OnexConfig, SimilarityQuery, MatchMode};
+//! use onex::ts::synth;
+//!
+//! // A dataset (here: synthetic; see `onex::ts::ucr` for UCR archive files).
+//! let data = synth::sine_mix(20, 32, 2, 42);
+//!
+//! // One-time preprocessing: build the ONEX base (normalizes + clusters).
+//! let base = OnexBase::build(&data, OnexConfig::default()).unwrap();
+//!
+//! // Interactive exploration: best time-warped match for a sample sequence.
+//! let query = base.dataset().series()[0].values()[4..20].to_vec();
+//! let mut search = SimilarityQuery::new(&base);
+//! let best = search.best_match(&query, MatchMode::Any, None).unwrap();
+//! println!("best match: {:?} at normalized DTW {:.4}", best.subseq, best.dist);
+//! assert!(best.dist < 0.05);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`ts`] | time-series substrate: datasets, subsequences, normalization, UCR loader, synthetic generators |
+//! | [`dist`] | distance kernels: ED, DTW, LB_Kim/LB_Keogh, PAA/PDTW, LCSS, ERP, Lp |
+//! | [`core`] | the ONEX base, indexes, query processor (similarity / range / seasonal / recommend / batch), refinement, maintenance, classification, snapshots |
+//! | [`baselines`] | Standard DTW, PAA search, Trillion (UCR suite), SPRING |
+//!
+//! The most common types are re-exported at the crate root. The `repro`
+//! binary in `onex-bench` regenerates every table and figure of the paper's
+//! evaluation; see EXPERIMENTS.md for the recorded paper-vs-measured
+//! comparison.
+
+pub use onex_baselines as baselines;
+pub use onex_core as core;
+pub use onex_dist as dist;
+pub use onex_ts as ts;
+
+pub use onex_baselines::{BaselineMatch, BruteForce, PaaSearch, Spring, Trillion};
+pub use onex_core::{
+    BuildMode, Match, MatchMode, OnexBase, OnexConfig, OnexError, SimilarityDegree,
+    SimilarityQuery, SpSpace, ThresholdRange,
+};
+pub use onex_dist::Window;
+pub use onex_ts::{Dataset, Decomposition, SubseqRef, TimeSeries, TsError};

@@ -1,0 +1,252 @@
+//! End-to-end integration tests: the full pipeline — generate → normalize →
+//! build → query — across every synthetic dataset family, exercising the
+//! public API exactly as a downstream user would.
+
+use onex::ts::synth::{self, PaperDataset};
+use onex::{
+    Dataset, Decomposition, MatchMode, OnexBase, OnexConfig, SimilarityQuery, TimeSeries, Window,
+};
+
+fn small_config() -> OnexConfig {
+    OnexConfig {
+        st: 0.2,
+        window: Window::Ratio(0.1),
+        ..OnexConfig::default()
+    }
+}
+
+#[test]
+fn every_paper_dataset_builds_and_answers_queries() {
+    for ds in PaperDataset::EVALUATION {
+        let data = ds.generate_with_shape(10, 32, 7);
+        let base = OnexBase::build(&data, small_config())
+            .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
+        let stats = base.stats();
+        assert!(stats.representatives > 0, "{}", ds.name());
+        assert_eq!(
+            stats.subsequences,
+            data.subseq_count(&Decomposition::full()),
+            "{}",
+            ds.name()
+        );
+
+        // In-dataset query: normalized slice of series 3.
+        let q: Vec<f64> = base.dataset().series()[3].values()[5..21].to_vec();
+        let mut search = SimilarityQuery::new(&base);
+        let m = search
+            .best_match(&q, MatchMode::Exact(16), None)
+            .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
+        assert!(
+            m.dist <= base.config().st,
+            "{}: query in dataset must match within ST, got {}",
+            ds.name(),
+            m.dist
+        );
+
+        let any = search.best_match(&q, MatchMode::Any, None).unwrap();
+        assert!(any.dist.is_finite());
+    }
+}
+
+#[test]
+fn onex_matches_are_near_oracle_quality() {
+    // The headline accuracy claim, shrunk: ONEX's approximate answer must be
+    // close (in normalized DTW) to the brute-force exact answer.
+    let data = synth::sine_mix(12, 24, 3, 99);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let mut search = SimilarityQuery::new(&base);
+    let mut oracle =
+        onex::BruteForce::oracle(base.dataset(), base.config().window);
+    let mut total_err = 0.0;
+    let mut n = 0;
+    for (series, lo, hi) in [(0usize, 0usize, 12usize), (5, 3, 18), (11, 8, 20), (7, 0, 24)] {
+        let q: Vec<f64> = base.dataset().series()[series].values()[lo..hi].to_vec();
+        let got = search.best_match(&q, MatchMode::Any, None).unwrap();
+        let exact = oracle.best_match_any(&q).unwrap();
+        // Both rank by raw DTW (the default), so the oracle lower-bounds it.
+        assert!(got.raw_dtw + 1e-9 >= exact.raw_dtw, "oracle is a lower bound");
+        total_err += got.raw_dtw - exact.raw_dtw;
+        n += 1;
+    }
+    let avg_err = total_err / n as f64;
+    // The paper reports 97–99% accuracy, i.e. avg error of a few hundredths.
+    assert!(avg_err < 0.05, "avg raw-DTW error {avg_err}");
+}
+
+#[test]
+fn trillion_is_exact_for_same_length_and_onex_any_length_wins() {
+    let data = synth::two_patterns(10, 32, 3);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let q: Vec<f64> = base.dataset().series()[2].values()[4..20].to_vec();
+
+    let mut trillion = onex::Trillion::new(base.dataset(), base.config().window);
+    trillion.znorm = false; // compare in min-max space, like the oracle
+    let t = trillion.best_match(&q).unwrap();
+    let mut oracle = onex::BruteForce::oracle(base.dataset(), base.config().window);
+    let same = oracle.best_match_same_length(&q).unwrap();
+    assert!(
+        (t.raw_dtw - same.raw_dtw).abs() < 1e-9,
+        "Trillion must be exact for same-length"
+    );
+
+    // Any-length search can only improve on the same-length best.
+    let any = oracle.best_match_any(&q).unwrap();
+    assert!(any.dist <= same.dist + 1e-12);
+}
+
+#[test]
+fn spring_and_brute_force_agree_as_oracles() {
+    // Two independent exact algorithms over the same any-length window
+    // space must find optima of equal distance.
+    let data = synth::face(8, 24, 17);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let q: Vec<f64> = base.dataset().series()[3].values()[4..16].to_vec();
+    let mut spring = onex::Spring::new(base.dataset());
+    spring.min_len = 2;
+    let s = spring.best_match(&q).unwrap();
+    let mut brute = onex::BruteForce::new(
+        base.dataset(),
+        Window::Unconstrained,
+        Decomposition::full(),
+        false,
+    );
+    let b = brute.best_match_any(&q).unwrap();
+    assert!(
+        (s.raw_dtw - b.raw_dtw).abs() < 1e-9,
+        "spring {} vs brute {}",
+        s.raw_dtw,
+        b.raw_dtw
+    );
+}
+
+#[test]
+fn seasonal_queries_find_recurring_structure() {
+    // sine_mix series of the same class are near-identical, so groups at a
+    // given length should mix subsequences of many series.
+    let data = synth::sine_mix(8, 20, 2, 55);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let clusters = onex::core::query::seasonal_all(&base, 8, 2).unwrap();
+    assert!(!clusters.is_empty());
+    let biggest = clusters.iter().map(|c| c.members.len()).max().unwrap();
+    assert!(biggest >= 4, "expected a large recurring cluster, got {biggest}");
+
+    // user-driven: a periodic series repeats its own windows
+    let per_series = onex::core::query::seasonal_for_series(&base, 0, 8, 2).unwrap();
+    assert!(
+        per_series.iter().any(|c| c.members.len() >= 2),
+        "periodic series must recur"
+    );
+}
+
+#[test]
+fn threshold_recommendations_cover_the_axis() {
+    let data = synth::sine_mix(6, 16, 2, 77);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let ranges = onex::core::query::recommend(&base, None, None).unwrap();
+    assert_eq!(ranges.len(), 3);
+    assert_eq!(ranges[0].lower, 0.0);
+    assert_eq!(ranges[2].upper, None);
+    // classify a few points against the returned ranges
+    let sp = base.sp_space();
+    assert_eq!(
+        sp.classify(ranges[0].upper.unwrap() / 2.0, None),
+        onex::SimilarityDegree::Strict
+    );
+}
+
+#[test]
+fn refinement_round_trips_against_fresh_build() {
+    // refine(ST→ST') must produce a base with the same *membership totals*
+    // and a working query path; exact group equality with a fresh build is
+    // not guaranteed (different randomization), but coverage is.
+    let data = synth::sine_mix(6, 14, 2, 31);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    for &st_prime in &[0.1, 0.3, 0.5] {
+        let refined = onex::core::refine::refine(&base, st_prime).unwrap();
+        assert_eq!(
+            refined.stats().subsequences,
+            base.stats().subsequences,
+            "ST'={st_prime}"
+        );
+        let q: Vec<f64> = refined.dataset().series()[1].values()[2..10].to_vec();
+        let mut s = SimilarityQuery::new(&refined);
+        s.best_match(&q, MatchMode::Exact(8), None).unwrap();
+    }
+}
+
+#[test]
+fn snapshot_survives_full_pipeline() {
+    let data = synth::ecg(8, 32, 3);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let bytes = onex::core::snapshot::encode(&base);
+    let restored = onex::core::snapshot::decode(&bytes).unwrap();
+    assert_eq!(base, restored);
+    // the restored base answers a query identically
+    let q: Vec<f64> = base.dataset().series()[0].values()[4..16].to_vec();
+    let a = SimilarityQuery::new(&base)
+        .best_match(&q, MatchMode::Any, None)
+        .unwrap();
+    let b = SimilarityQuery::new(&restored)
+        .best_match(&q, MatchMode::Any, None)
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn maintenance_then_query_pipeline() {
+    let data = synth::wafer(8, 24, 3);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    let novel = TimeSeries::new((0..24).map(|i| (i as f64 * 0.6).sin() * 3.0).collect()).unwrap();
+    let (base, idx) = onex::core::maintain::append_series(base, novel).unwrap();
+    assert_eq!(idx, 8);
+    let q: Vec<f64> = base.dataset().series()[idx].values()[0..12].to_vec();
+    let mut s = SimilarityQuery::new(&base);
+    let m = s.best_match(&q, MatchMode::Exact(12), None).unwrap();
+    assert_eq!(m.subseq.series as usize, idx, "novel series matches itself");
+}
+
+#[test]
+fn raw_query_normalization_path() {
+    // Queries in raw units must be projected with the base's normalizer.
+    let raw_series: Vec<TimeSeries> = (0..6)
+        .map(|i| {
+            TimeSeries::new((0..16).map(|t| 100.0 + 10.0 * ((t + i) as f64 * 0.5).sin()).collect())
+                .unwrap()
+        })
+        .collect();
+    let data = Dataset::new("raw", raw_series);
+    let base = OnexBase::build(&data, small_config()).unwrap();
+    // raw query values around 100 — way outside [0,1]
+    let raw_q: Vec<f64> = (0..8).map(|t| 100.0 + 10.0 * (t as f64 * 0.5).sin()).collect();
+    let q = base.normalize_query(&raw_q);
+    assert!(q.iter().all(|&v| (-0.1..=1.1).contains(&v)));
+    let mut s = SimilarityQuery::new(&base);
+    let m = s.best_match(&q, MatchMode::Exact(8), None).unwrap();
+    assert!(m.dist < 0.2);
+}
+
+#[test]
+fn ucr_file_round_trip_through_pipeline() {
+    // Write a UCR-format file, load it, build, query.
+    let dir = std::env::temp_dir().join("onex_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("Synthetic_TRAIN");
+    let data = synth::italy_power(8, 24, 5);
+    let mut out = String::new();
+    for ts in data.series() {
+        out.push_str(&format!("{}", ts.label().unwrap()));
+        for v in ts.values() {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    std::fs::write(&path, out).unwrap();
+    let loaded = onex::ts::ucr::load_ucr_file(&path).unwrap();
+    assert_eq!(loaded.len(), 8);
+    let base = OnexBase::build(&loaded, small_config()).unwrap();
+    let q: Vec<f64> = base.dataset().series()[0].values()[0..12].to_vec();
+    SimilarityQuery::new(&base)
+        .best_match(&q, MatchMode::Exact(12), None)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+}
