@@ -171,10 +171,16 @@ impl<'a> Trillion<'a> {
                 self.stats.dtw_evals += 1;
                 let d = if self.use_lower_bounds {
                     let suffix = lb_keogh_cumulative(cand, &q_env);
-                    self.buf
-                        .dist_early_abandon_with_suffix(cand, &q_search, self.window, bsf, &suffix)
+                    self.buf.dist_early_abandon_with_suffix(
+                        cand,
+                        &q_search,
+                        self.window,
+                        bsf,
+                        &suffix,
+                    )
                 } else {
-                    self.buf.dist_early_abandon(cand, &q_search, self.window, bsf)
+                    self.buf
+                        .dist_early_abandon(cand, &q_search, self.window, bsf)
                 };
                 if let Some(d) = d {
                     if d < bsf {
@@ -303,8 +309,7 @@ mod tests {
             "shapes",
             vec![
                 onex_ts::TimeSeries::new(vec![0.2; 12]).unwrap(),
-                onex_ts::TimeSeries::new((0..12).map(|i| 0.7 + 0.02 * i as f64).collect())
-                    .unwrap(),
+                onex_ts::TimeSeries::new((0..12).map(|i| 0.7 + 0.02 * i as f64).collect()).unwrap(),
             ],
         );
         // query: a ramp near 0.2 — shape matches series 1, values match 0.

@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use onex_baselines::Trillion;
-use onex_core::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions};
 use onex_dist::Window;
 use onex_ts::synth;
 
@@ -16,12 +16,16 @@ fn bench_group_search(c: &mut Criterion) {
             threads: 4,
             ..OnexConfig::default()
         };
-        let base = OnexBase::build(&data, config).unwrap();
-        let query: Vec<f64> = base.dataset().series()[1].values()[4..28].to_vec();
+        let explorer = Explorer::from_base(OnexBase::build(&data, config).unwrap());
+        let query: Vec<f64> = explorer.base().dataset().series()[1].values()[4..28].to_vec();
         g.bench_function(name, |b| {
-            let mut s = SimilarityQuery::new(&base);
             b.iter(|| {
-                s.best_match(black_box(&query), MatchMode::Exact(24), None)
+                explorer
+                    .best_match(
+                        black_box(&query),
+                        MatchMode::Exact(24),
+                        QueryOptions::default(),
+                    )
                     .unwrap()
             })
         });
@@ -31,7 +35,14 @@ fn bench_group_search(c: &mut Criterion) {
 
 fn bench_trillion_lbs(c: &mut Criterion) {
     let data = synth::wafer(30, 64, 5);
-    let base = OnexBase::build(&data, OnexConfig { threads: 4, ..OnexConfig::default() }).unwrap();
+    let base = OnexBase::build(
+        &data,
+        OnexConfig {
+            threads: 4,
+            ..OnexConfig::default()
+        },
+    )
+    .unwrap();
     let query: Vec<f64> = base.dataset().series()[2].values()[10..42].to_vec();
     let mut g = c.benchmark_group("trillion_lbs");
     for (name, use_lb) in [("cascade_on", true), ("cascade_off", false)] {
@@ -58,11 +69,14 @@ fn bench_windows(c: &mut Criterion) {
             threads: 4,
             ..OnexConfig::default()
         };
-        let base = OnexBase::build(&data, config).unwrap();
-        let query: Vec<f64> = base.dataset().series()[0].values()[8..40].to_vec();
+        let explorer = Explorer::from_base(OnexBase::build(&data, config).unwrap());
+        let query: Vec<f64> = explorer.base().dataset().series()[0].values()[8..40].to_vec();
         g.bench_with_input(BenchmarkId::new("onex_any", name), &w, |b, _| {
-            let mut s = SimilarityQuery::new(&base);
-            b.iter(|| s.best_match(black_box(&query), MatchMode::Any, None).unwrap())
+            b.iter(|| {
+                explorer
+                    .best_match(black_box(&query), MatchMode::Any, QueryOptions::default())
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -7,7 +7,9 @@ use onex_dist::{
 };
 
 fn series(n: usize, phase: f64) -> Vec<f64> {
-    (0..n).map(|i| (i as f64 * 0.17 + phase).sin() * 0.5 + 0.5).collect()
+    (0..n)
+        .map(|i| (i as f64 * 0.17 + phase).sin() * 0.5 + 0.5)
+        .collect()
 }
 
 fn bench_pointwise(c: &mut Criterion) {
@@ -75,9 +77,7 @@ fn bench_paa(c: &mut Criterion) {
             b.iter(|| pdtw(black_box(&px), black_box(&py), Window::Ratio(0.1)))
         });
     }
-    g.bench_function("reduce_512_to_64", |b| {
-        b.iter(|| paa(black_box(&x), 64))
-    });
+    g.bench_function("reduce_512_to_64", |b| b.iter(|| paa(black_box(&x), 64)));
     g.finish();
 }
 

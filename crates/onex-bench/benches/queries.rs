@@ -1,33 +1,76 @@
-//! Criterion benchmarks for the online query paths: ONEX vs the baselines
-//! on one fixed workload (the per-query costs behind Fig. 2).
+//! Criterion benchmarks for the online query paths: the unified `Explorer`
+//! engine vs the baselines on one fixed workload (the per-query costs
+//! behind Fig. 2), plus the engine's batch fan-out and the legacy shim for
+//! regression tracking.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use onex_baselines::{BruteForce, PaaSearch, Trillion};
-use onex_core::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, OnexConfig, QueryOptions, QueryRequest};
 use onex_ts::{synth, Decomposition};
 
 fn bench_queries(c: &mut Criterion) {
     let data = synth::ecg(20, 48, 3);
-    let base = OnexBase::build(&data, OnexConfig { threads: 4, ..OnexConfig::default() }).unwrap();
+    let explorer = Explorer::build(
+        &data,
+        OnexConfig {
+            threads: 4,
+            ..OnexConfig::default()
+        },
+    )
+    .unwrap();
+    let base = explorer.base();
     let window = base.config().window;
     let query: Vec<f64> = base.dataset().series()[3].values()[8..32].to_vec();
 
     let mut g = c.benchmark_group("query");
-    g.bench_function("onex_exact_len", |b| {
-        let mut s = SimilarityQuery::new(&base);
+    g.bench_function("explorer_exact_len", |b| {
         b.iter(|| {
-            s.best_match(black_box(&query), MatchMode::Exact(24), None)
+            explorer
+                .best_match(
+                    black_box(&query),
+                    MatchMode::Exact(24),
+                    QueryOptions::default(),
+                )
                 .unwrap()
         })
     });
-    g.bench_function("onex_any_len", |b| {
-        let mut s = SimilarityQuery::new(&base);
-        b.iter(|| s.best_match(black_box(&query), MatchMode::Any, None).unwrap())
-    });
-    g.bench_function("onex_top5", |b| {
-        let mut s = SimilarityQuery::new(&base);
+    g.bench_function("explorer_any_len", |b| {
         b.iter(|| {
-            s.top_k(black_box(&query), MatchMode::Exact(24), 5, None)
+            explorer
+                .best_match(black_box(&query), MatchMode::Any, QueryOptions::default())
+                .unwrap()
+        })
+    });
+    g.bench_function("explorer_top5", |b| {
+        b.iter(|| {
+            explorer
+                .top_k(
+                    black_box(&query),
+                    MatchMode::Exact(24),
+                    5,
+                    QueryOptions::default(),
+                )
+                .unwrap()
+        })
+    });
+    // The full request/response path (request construction + response
+    // envelope + stats), to keep the dispatch overhead visible next to the
+    // convenience-method numbers above.
+    g.bench_function("explorer_request_response", |b| {
+        b.iter(|| {
+            explorer
+                .query(QueryRequest::best_match(
+                    black_box(query.clone()),
+                    MatchMode::Exact(24),
+                ))
+                .unwrap()
+        })
+    });
+    #[allow(deprecated)]
+    g.bench_function("legacy_shim_exact_len", |b| {
+        let mut s = onex_core::SimilarityQuery::new(base);
+        b.iter(|| {
+            s.best_match(black_box(&query), MatchMode::Exact(24), None)
                 .unwrap()
         })
     });
@@ -45,15 +88,37 @@ fn bench_queries(c: &mut Criterion) {
     });
     g.finish();
 
+    let mut g = c.benchmark_group("batch");
+    let requests: Vec<QueryRequest> = (0..16)
+        .map(|i| {
+            let sid = i % base.dataset().len();
+            let vals = base.dataset().series()[sid].values()[i..i + 16].to_vec();
+            QueryRequest::best_match(vals, MatchMode::Exact(16))
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        g.bench_function(format!("best_match_16x_threads_{threads}"), |b| {
+            b.iter(|| {
+                explorer
+                    .query(QueryRequest::Batch {
+                        requests: black_box(requests.clone()),
+                        threads,
+                    })
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("seasonal");
     g.bench_function("sample_ts", |b| {
-        b.iter(|| onex_core::query::seasonal_for_series(&base, 3, 24, 2).unwrap())
+        b.iter(|| explorer.seasonal_for_series(3, 24, 2).unwrap())
     });
     g.bench_function("all_ts", |b| {
-        b.iter(|| onex_core::query::seasonal_all(&base, 24, 2).unwrap())
+        b.iter(|| explorer.seasonal_all(24, 2).unwrap())
     });
     g.bench_function("recommend", |b| {
-        b.iter(|| onex_core::query::recommend(&base, None, None).unwrap())
+        b.iter(|| explorer.recommend(None, None).unwrap())
     });
     g.finish();
 }

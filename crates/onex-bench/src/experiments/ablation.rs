@@ -14,7 +14,7 @@
 use super::Ctx;
 use crate::harness::{self, accuracy_from_errors, build_timed, fmt_secs, make_queries};
 use onex_baselines::{BruteForce, Trillion};
-use onex_core::{BuildMode, ClusterStrategy, MatchMode, OnexConfig, SimilarityQuery};
+use onex_core::{BuildMode, ClusterStrategy, Explorer, MatchMode, OnexConfig, QueryOptions};
 use onex_dist::Window;
 use onex_ts::synth::PaperDataset;
 
@@ -22,18 +22,19 @@ fn eval_variant(name: &str, ctx: &Ctx, config: OnexConfig, table: &mut harness::
     let ds = PaperDataset::Ecg;
     let data = ds.generate_scaled(ctx.scale, ctx.seed);
     let (base, build_time) = build_timed(&data, config);
+    let explorer = Explorer::from_base(base);
+    let base = explorer.base();
     let (n_in, n_out) = ctx.query_mix();
-    let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
-    let mut search = SimilarityQuery::new(&base);
+    let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
     let mut oracle = BruteForce::oracle(base.dataset(), base.config().window);
     let mut times = Vec::new();
     let mut errors = Vec::new();
     for q in &queries {
         let exact = oracle.best_match_any(&q.values).expect("non-empty");
         times.push(harness::time_avg(ctx.runs, || {
-            let _ = search.best_match(&q.values, MatchMode::Any, None);
+            let _ = explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default());
         }));
-        if let Ok(m) = search.best_match(&q.values, MatchMode::Any, None) {
+        if let Ok(m) = explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default()) {
             errors.push((m.raw_dtw - exact.raw_dtw).clamp(0.0, 1.0));
         }
     }
@@ -48,7 +49,10 @@ fn eval_variant(name: &str, ctx: &Ctx, config: OnexConfig, table: &mut harness::
 
 /// Runs all ablations.
 pub fn run(ctx: &Ctx) {
-    println!("\n== Ablations (ECG-like workload, scale {}) ==\n", ctx.scale);
+    println!(
+        "\n== Ablations (ECG-like workload, scale {}) ==\n",
+        ctx.scale
+    );
     let widths = [26, 11, 11, 11, 8];
     let mut table = harness::Table::new(
         "ablation",
@@ -116,7 +120,15 @@ pub fn run(ctx: &Ctx) {
         ("window: 5% band", Window::Ratio(0.05)),
         ("window: 20% band", Window::Ratio(0.2)),
     ] {
-        eval_variant(name, ctx, OnexConfig { window: w, ..base_cfg }, &mut table);
+        eval_variant(
+            name,
+            ctx,
+            OnexConfig {
+                window: w,
+                ..base_cfg
+            },
+            &mut table,
+        );
     }
     table.finish(ctx.csv());
 

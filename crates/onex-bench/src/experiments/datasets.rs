@@ -19,7 +19,14 @@ pub fn run(ctx: &Ctx) {
     let widths = [12, 12, 12, 9, 14, 14];
     let mut table = harness::Table::new(
         "dataset_stats",
-        &["dataset", "N (full)", "len (full)", "classes", "subseqs(full)", "subseqs(scaled)"],
+        &[
+            "dataset",
+            "N (full)",
+            "len (full)",
+            "classes",
+            "subseqs(full)",
+            "subseqs(scaled)",
+        ],
         &widths,
     );
     for ds in PaperDataset::EVALUATION {

@@ -10,13 +10,16 @@
 use super::Ctx;
 use crate::harness::{self, build_timed, fmt_secs, make_queries};
 use onex_baselines::{BruteForce, PaaSearch, Spring, Trillion};
-use onex_core::{MatchMode, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, QueryOptions};
 use onex_ts::synth::PaperDataset;
 use onex_ts::Decomposition;
 
 /// Runs the experiment and prints the table.
 pub fn run(ctx: &Ctx) {
-    println!("\n== Fig. 2: similarity-query time response (scale {}) ==", ctx.scale);
+    println!(
+        "\n== Fig. 2: similarity-query time response (scale {}) ==",
+        ctx.scale
+    );
     println!(
         "paper: ONEX fastest; Trillion close (ONEX ~1.8× faster on average, gap grows with size);"
     );
@@ -24,15 +27,25 @@ pub fn run(ctx: &Ctx) {
     let widths = [12, 10, 10, 12, 12, 12, 14];
     let mut table = harness::Table::new(
         "fig2_similarity_time",
-        &["dataset", "ONEX", "Trillion", "PAA", "SPRING", "StdDTW", "ONEX/Trillion"],
+        &[
+            "dataset",
+            "ONEX",
+            "Trillion",
+            "PAA",
+            "SPRING",
+            "StdDTW",
+            "ONEX/Trillion",
+        ],
         &widths,
     );
     let mut ratios = Vec::new();
     for ds in PaperDataset::EVALUATION {
         let data = ds.generate_scaled(ctx.scale, ctx.seed);
         let (base, _) = build_timed(&data, ctx.config());
+        let explorer = Explorer::from_base(base);
+        let base = explorer.base();
         let (n_in, n_out) = ctx.query_mix();
-        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+        let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
         let window = base.config().window;
 
         let mut onex_times = Vec::new();
@@ -40,14 +53,13 @@ pub fn run(ctx: &Ctx) {
         let mut paa_times = Vec::new();
         let mut spring_times = Vec::new();
         let mut std_times = Vec::new();
-        let mut search = SimilarityQuery::new(&base);
         let mut trillion = Trillion::new(base.dataset(), window);
         let mut paa = PaaSearch::new(base.dataset(), window, Decomposition::full(), 4);
         let mut spring = Spring::new(base.dataset());
         let mut brute = BruteForce::new(base.dataset(), window, Decomposition::full(), true);
         for q in &queries {
             onex_times.push(harness::time_avg(ctx.runs, || {
-                let _ = search.best_match(&q.values, MatchMode::Any, None);
+                let _ = explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default());
             }));
             trillion_times.push(harness::time_avg(ctx.runs, || {
                 let _ = trillion.best_match(&q.values);

@@ -9,7 +9,7 @@
 use super::Ctx;
 use crate::harness::{self, build_timed, fmt_secs, make_queries};
 use onex_baselines::{BruteForce, PaaSearch, Spring, Trillion};
-use onex_core::{MatchMode, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, QueryOptions};
 use onex_ts::synth::PaperDataset;
 use onex_ts::Decomposition;
 
@@ -19,34 +19,44 @@ pub fn run(ctx: &Ctx) {
         "\n== Fig. 3: scalability on StarLightCurves-like data, series length 100 (scale {}) ==",
         ctx.scale
     );
-    println!("paper: StdDTW/PAA grow steeply; ONEX & Trillion near-flat, Trillion up to 4× slower.\n");
+    println!(
+        "paper: StdDTW/PAA grow steeply; ONEX & Trillion near-flat, Trillion up to 4× slower.\n"
+    );
     let ds = PaperDataset::StarLightCurves;
     let len = 100;
     let widths = [8, 10, 10, 12, 12, 12, 14];
     let mut table = harness::Table::new(
         "fig3_scalability",
-        &["N", "ONEX", "Trillion", "PAA", "SPRING", "StdDTW", "ONEX/Trillion"],
+        &[
+            "N",
+            "ONEX",
+            "Trillion",
+            "PAA",
+            "SPRING",
+            "StdDTW",
+            "ONEX/Trillion",
+        ],
         &widths,
     );
     for step in 1..=5usize {
         let n = ((1000 * step) as f64 * ctx.scale).round().max(8.0) as usize;
         let data = ds.generate_with_shape(n, len, ctx.seed);
         let (base, _) = build_timed(&data, ctx.config());
+        let explorer = Explorer::from_base(base);
+        let base = explorer.base();
         let (n_in, n_out) = ctx.query_mix();
-        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+        let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
         let window = base.config().window;
 
-        let mut search = SimilarityQuery::new(&base);
         let mut trillion = Trillion::new(base.dataset(), window);
         let mut paa = PaaSearch::new(base.dataset(), window, Decomposition::full(), 4);
         let mut spring = Spring::new(base.dataset());
         let mut brute = BruteForce::new(base.dataset(), window, Decomposition::full(), true);
 
-        let (mut to, mut tt, mut tp, mut tsp, mut ts) =
-            (vec![], vec![], vec![], vec![], vec![]);
+        let (mut to, mut tt, mut tp, mut tsp, mut ts) = (vec![], vec![], vec![], vec![], vec![]);
         for q in &queries {
             to.push(harness::time_avg(ctx.runs, || {
-                let _ = search.best_match(&q.values, MatchMode::Any, None);
+                let _ = explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default());
             }));
             tt.push(harness::time_avg(ctx.runs, || {
                 let _ = trillion.best_match(&q.values);

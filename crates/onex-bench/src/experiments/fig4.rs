@@ -10,7 +10,7 @@
 
 use super::Ctx;
 use crate::harness::{self, build_timed, fmt_secs};
-use onex_core::query::{seasonal_all, seasonal_for_series};
+use onex_core::Explorer;
 use onex_ts::synth::PaperDataset;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +31,8 @@ pub fn run(ctx: &Ctx) {
     for ds in PaperDataset::EVALUATION {
         let data = ds.generate_scaled(ctx.scale, ctx.seed);
         let (base, _) = build_timed(&data, ctx.config());
+        let explorer = Explorer::from_base(base);
+        let base = explorer.base();
         let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x5EA5);
         let max_len = base.dataset().max_series_len();
         let lengths: Vec<usize> = (0..5)
@@ -46,7 +48,7 @@ pub fn run(ctx: &Ctx) {
                     continue;
                 }
                 sample_times.push(harness::time_avg(ctx.runs, || {
-                    let _ = seasonal_for_series(&base, sid, len, 2);
+                    let _ = explorer.seasonal_for_series(sid, len, 2);
                 }));
             }
         }
@@ -54,7 +56,7 @@ pub fn run(ctx: &Ctx) {
         let mut all_times = Vec::new();
         for &len in &lengths {
             all_times.push(harness::time_avg(ctx.runs, || {
-                let _ = seasonal_all(&base, len, 2);
+                let _ = explorer.seasonal_all(len, 2);
             }));
         }
         table.row(vec![

@@ -34,10 +34,7 @@ pub fn run(ctx: &Ctx) {
         let mut time_cells = vec![format!("{} (time)", ds.name())];
         let mut rep_cells = vec![format!("{} (reps)", ds.name())];
         for &st in &THRESHOLDS {
-            let config = OnexConfig {
-                st,
-                ..ctx.config()
-            };
+            let config = OnexConfig { st, ..ctx.config() };
             let (base, took) = build_timed(&data, config);
             time_cells.push(fmt_secs(took.as_secs_f64()));
             rep_cells.push(format!("{}", base.stats().representatives));

@@ -8,7 +8,7 @@
 use super::Ctx;
 use crate::harness::{self, accuracy_from_errors, build_timed, fmt_secs, make_queries};
 use onex_baselines::BruteForce;
-use onex_core::{MatchMode, OnexConfig, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, OnexConfig, QueryOptions};
 use onex_ts::synth::PaperDataset;
 
 const THRESHOLDS: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
@@ -37,18 +37,21 @@ pub fn run(ctx: &Ctx) {
         for &st in &THRESHOLDS {
             let config = OnexConfig { st, ..ctx.config() };
             let (base, _) = build_timed(&data, config);
+            let explorer = Explorer::from_base(base);
+            let base = explorer.base();
             let (n_in, n_out) = ctx.query_mix();
-            let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
-            let mut search = SimilarityQuery::new(&base);
+            let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
             let mut oracle = BruteForce::oracle(base.dataset(), base.config().window);
             let mut errors = Vec::new();
             let mut times = Vec::new();
             for q in &queries {
                 let exact = oracle.best_match_any(&q.values).expect("non-empty");
                 times.push(harness::time_avg(ctx.runs, || {
-                    let _ = search.best_match(&q.values, MatchMode::Any, None);
+                    let _ = explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default());
                 }));
-                if let Ok(m) = search.best_match(&q.values, MatchMode::Any, None) {
+                if let Ok(m) =
+                    explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default())
+                {
                     errors.push((m.raw_dtw - exact.raw_dtw).clamp(0.0, 1.0));
                 }
             }

@@ -7,7 +7,7 @@
 use super::Ctx;
 use crate::harness::{self, build_timed, fmt_secs, make_queries};
 use onex_baselines::Trillion;
-use onex_core::{MatchMode, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, QueryOptions};
 use onex_ts::synth::PaperDataset;
 
 /// The paper's Table 1 values, (ONEX-S, Trillion) seconds per dataset.
@@ -29,23 +29,32 @@ pub fn run(ctx: &Ctx) {
     let widths = [12, 10, 10, 10, 14, 14];
     let mut table = harness::Table::new(
         "table1_same_length_time",
-        &["dataset", "ONEX-S", "Trillion", "speedup", "paper ONEX-S", "paper Trillion"],
+        &[
+            "dataset",
+            "ONEX-S",
+            "Trillion",
+            "speedup",
+            "paper ONEX-S",
+            "paper Trillion",
+        ],
         &widths,
     );
     let mut speedups = Vec::new();
     for (i, ds) in PaperDataset::EVALUATION.into_iter().enumerate() {
         let data = ds.generate_scaled(ctx.scale, ctx.seed);
         let (base, _) = build_timed(&data, ctx.config());
+        let explorer = Explorer::from_base(base);
+        let base = explorer.base();
         let (n_in, n_out) = ctx.query_mix();
-        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
-        let mut search = SimilarityQuery::new(&base);
+        let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
         let mut trillion = Trillion::new(base.dataset(), base.config().window);
         let mut onex_times = Vec::new();
         let mut trillion_times = Vec::new();
         for q in &queries {
             let len = q.values.len();
             onex_times.push(harness::time_avg(ctx.runs, || {
-                let _ = search.best_match(&q.values, MatchMode::Exact(len), None);
+                let _ =
+                    explorer.best_match(&q.values, MatchMode::Exact(len), QueryOptions::default());
             }));
             trillion_times.push(harness::time_avg(ctx.runs, || {
                 let _ = trillion.best_match(&q.values);

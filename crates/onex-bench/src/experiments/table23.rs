@@ -12,7 +12,7 @@
 use super::Ctx;
 use crate::harness::{self, accuracy_from_errors, build_timed, make_queries};
 use onex_baselines::{BruteForce, PaaSearch, Trillion};
-use onex_core::{MatchMode, SimilarityQuery};
+use onex_core::{Explorer, MatchMode, QueryOptions};
 use onex_ts::synth::PaperDataset;
 use onex_ts::Decomposition;
 
@@ -44,11 +44,12 @@ pub fn run(ctx: &Ctx) {
     for ds in PaperDataset::EVALUATION {
         let data = ds.generate_scaled(ctx.scale, ctx.seed);
         let (base, _) = build_timed(&data, ctx.config());
+        let explorer = Explorer::from_base(base);
+        let base = explorer.base();
         let (n_in, n_out) = ctx.query_mix();
-        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+        let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
         let window = base.config().window;
 
-        let mut search = SimilarityQuery::new(&base);
         let mut trillion = Trillion::new(base.dataset(), window);
         let mut paa = PaaSearch::new(base.dataset(), window, Decomposition::full(), 4);
         let mut oracle = BruteForce::oracle(base.dataset(), window);
@@ -69,7 +70,9 @@ pub fn run(ctx: &Ctx) {
 
             // Table 2: systems restricted to the query's length, scored
             // against the global optimum.
-            if let Ok(m) = search.best_match(&q.values, MatchMode::Exact(len), None) {
+            if let Ok(m) =
+                explorer.best_match(&q.values, MatchMode::Exact(len), QueryOptions::default())
+            {
                 e_onex_s.push(err(m.raw_dtw));
             }
             let t_match = trillion.best_match(&q.values);
@@ -78,7 +81,7 @@ pub fn run(ctx: &Ctx) {
             }
 
             // Table 3: any-length systems against the same oracle.
-            if let Ok(m) = search.best_match(&q.values, MatchMode::Any, None) {
+            if let Ok(m) = explorer.best_match(&q.values, MatchMode::Any, QueryOptions::default()) {
                 e_onex.push(err(m.raw_dtw));
             }
             if let Some(t) = t_match {
@@ -108,7 +111,13 @@ pub fn run(ctx: &Ctx) {
     let widths = [12, 9, 10, 14, 15];
     let mut table = harness::Table::new(
         "table2_same_length_accuracy",
-        &["dataset", "ONEX-S", "Trillion", "paper ONEX-S", "paper Trillion"],
+        &[
+            "dataset",
+            "ONEX-S",
+            "Trillion",
+            "paper ONEX-S",
+            "paper Trillion",
+        ],
         &widths,
     );
     for (i, (name, o, t)) in t2_rows.iter().enumerate() {
@@ -135,7 +144,15 @@ pub fn run(ctx: &Ctx) {
     let widths = [12, 9, 10, 8, 12, 15, 11];
     let mut table = harness::Table::new(
         "table3_any_length_accuracy",
-        &["dataset", "ONEX", "Trillion", "PAA", "paper ONEX", "paper Trillion", "paper PAA"],
+        &[
+            "dataset",
+            "ONEX",
+            "Trillion",
+            "PAA",
+            "paper ONEX",
+            "paper Trillion",
+            "paper PAA",
+        ],
         &widths,
     );
     for (i, (name, o, t, p)) in t3_rows.iter().enumerate() {

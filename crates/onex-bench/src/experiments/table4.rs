@@ -31,7 +31,13 @@ pub fn run(ctx: &Ctx) {
     let mut table = harness::Table::new(
         "table4_compactness",
         &[
-            "dataset", "reps", "subseqs", "MB", "reduction", "paper reps", "paper subseqs",
+            "dataset",
+            "reps",
+            "subseqs",
+            "MB",
+            "reduction",
+            "paper reps",
+            "paper subseqs",
             "paper MB",
         ],
         &widths,

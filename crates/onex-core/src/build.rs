@@ -8,17 +8,17 @@
 //! Representatives are running point-wise means, updated incrementally.
 //!
 //! Lengths are independent, so construction optionally fans out across
-//! threads (one length per task, `crossbeam` scoped threads); results are
+//! threads (one length per task, `std::thread` scoped threads); results are
 //! deterministic regardless of thread count because each length's shuffle is
 //! seeded independently.
 
 use crate::{BuildMode, Group, OnexConfig};
 use onex_dist::ed_early_abandon_sq;
 use onex_ts::{Dataset, SubseqRef};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maximum Strict-mode eviction/re-insertion rounds before stragglers are
 /// forced into singleton groups.
@@ -144,10 +144,9 @@ pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -
     // Collect and shuffle the subsequences of this length (Algorithm 1,
     // lines 3–4). The seed mixes in the length so every length gets an
     // independent, thread-schedule-free permutation.
-    let mut refs: Vec<SubseqRef> = dataset
-        .subseqs_of_len(len, &config.decomposition)
-        .collect();
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut refs: Vec<SubseqRef> = dataset.subseqs_of_len(len, &config.decomposition).collect();
+    let mut rng =
+        SmallRng::seed_from_u64(config.seed ^ (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Fisher–Yates (the textbook RANDOMIZE-IN-PLACE the paper cites).
     for i in (1..refs.len()).rev() {
         let j = rng.gen_range(0..=i);
@@ -218,7 +217,9 @@ fn lloyd_refine(
         let mut groups = Vec::with_capacity(buckets.len());
         for bucket in buckets {
             let mut members = bucket.into_iter();
-            let Some(first) = members.next() else { continue };
+            let Some(first) = members.next() else {
+                continue;
+            };
             let mut g = Group::seed(first, dataset.subseq_unchecked(first));
             for r in members {
                 g.push(r, dataset.subseq_unchecked(r));
@@ -242,18 +243,17 @@ pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthGroups> {
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<LengthGroups>> = Mutex::new(Vec::with_capacity(lengths.len()));
         let workers = config.threads.min(lengths.len());
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&len) = lengths.get(i) else { break };
                     let built = build_length_groups(dataset, len, config);
-                    results.lock().push(built);
+                    results.lock().expect("construction lock").push(built);
                 });
             }
-        })
-        .expect("construction worker panicked");
-        results.into_inner()
+        });
+        results.into_inner().expect("construction lock")
     };
     out.sort_by_key(|lg| lg.len);
     out

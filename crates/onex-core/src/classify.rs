@@ -11,15 +11,17 @@
 //! * [`knn_label`] — k-NN with majority vote over the top-k matches,
 //!   ties broken toward the nearer neighbour.
 
-use crate::{MatchMode, OnexBase, OnexError, Result, SimilarityQuery};
+use crate::query::similarity::{self, SearchCtx, SearchParams};
+use crate::{MatchMode, OnexBase, OnexError, Result};
 use std::collections::HashMap;
 
 /// Predicts the label of `query` (normalized space, same length protocol as
 /// the UCR evaluation: `MatchMode::Exact(query.len())`) by 1-NN.
 /// Returns `Err` if the dataset is unlabelled.
 pub fn nearest_label(base: &OnexBase, query: &[f64]) -> Result<i32> {
-    let mut search = SimilarityQuery::new(base);
-    let m = search.best_match(query, MatchMode::Exact(query.len()), None)?;
+    let p = SearchParams::from_config(base.config(), None);
+    let mut ctx = SearchCtx::default();
+    let m = similarity::best_match(base, query, MatchMode::Exact(query.len()), &p, &mut ctx)?;
     base.dataset()
         .get(m.subseq.series as usize)?
         .label()
@@ -32,8 +34,16 @@ pub fn nearest_label(base: &OnexBase, query: &[f64]) -> Result<i32> {
 /// parent series' labels). Vote weight is the count; ties break toward the
 /// label whose nearest member is closer.
 pub fn knn_label(base: &OnexBase, query: &[f64], k: usize) -> Result<i32> {
-    let mut search = SimilarityQuery::new(base);
-    let matches = search.top_k(query, MatchMode::Exact(query.len()), k.max(1), None)?;
+    let p = SearchParams::from_config(base.config(), None);
+    let mut ctx = SearchCtx::default();
+    let matches = similarity::top_k(
+        base,
+        query,
+        MatchMode::Exact(query.len()),
+        k.max(1),
+        &p,
+        &mut ctx,
+    )?;
     let mut votes: HashMap<i32, (usize, f64)> = HashMap::new();
     for m in &matches {
         let label = base
@@ -50,9 +60,7 @@ pub fn knn_label(base: &OnexBase, query: &[f64], k: usize) -> Result<i32> {
     votes
         .into_iter()
         .max_by(|a, b| {
-            (a.1 .0)
-                .cmp(&b.1 .0)
-                .then(b.1 .1.total_cmp(&a.1 .1)) // smaller distance wins ties
+            (a.1 .0).cmp(&b.1 .0).then(b.1 .1.total_cmp(&a.1 .1)) // smaller distance wins ties
         })
         .map(|(label, _)| label)
         .ok_or(OnexError::EmptyBase)
@@ -62,11 +70,7 @@ pub fn knn_label(base: &OnexBase, query: &[f64], k: usize) -> Result<i32> {
 /// series against the base and returns the fraction correct. Test series
 /// must be in the base's normalized value space (use
 /// [`OnexBase::normalize_query`] per series when coming from raw units).
-pub fn evaluate_accuracy(
-    base: &OnexBase,
-    test: &[(Vec<f64>, i32)],
-    k: usize,
-) -> Result<f64> {
+pub fn evaluate_accuracy(base: &OnexBase, test: &[(Vec<f64>, i32)], k: usize) -> Result<f64> {
     if test.is_empty() {
         return Ok(0.0);
     }

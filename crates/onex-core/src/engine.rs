@@ -1,0 +1,899 @@
+//! The unified ONEX query engine: one typed request/response surface for
+//! all three of the paper's interactive query classes, over a shared,
+//! thread-safe base.
+//!
+//! The paper's point is *interactive* exploration: Class I (similarity),
+//! Class II (seasonal) and Class III (threshold-recommendation) queries
+//! answered online against one precomputed [`OnexBase`]. An [`Explorer`]
+//! wraps the base in an [`Arc`], takes every query as a [`QueryRequest`],
+//! and answers with a [`QueryResponse`] that always carries uniform
+//! [`QueryStats`] — so a service can meter, trace, and budget every query
+//! class the same way.
+//!
+//! ## Concurrency
+//!
+//! `Explorer` is `Send + Sync` and all query methods take `&self`: clone
+//! the explorer (cheap — it clones the `Arc`) or share one instance across
+//! any number of threads. Per-query scratch (the DTW buffer) lives in a
+//! thread-local pool, so concurrent queries neither contend nor allocate
+//! on the hot path.
+//!
+//! ## Budgets
+//!
+//! [`QueryOptions`] carries a per-query warping-window override, a time
+//! budget, a cap on DTW evaluations, and pruning/exploration toggles.
+//! Budgeted searches have *anytime* semantics: when the budget expires the
+//! best answer found so far is returned and [`QueryStats::truncated`] is
+//! set.
+//!
+//! ```
+//! use onex_core::engine::{Explorer, QueryOptions, QueryRequest};
+//! use onex_core::{MatchMode, OnexBase, OnexConfig};
+//! use onex_ts::synth;
+//!
+//! let data = synth::sine_mix(10, 24, 2, 7);
+//! let explorer = Explorer::build(&data, OnexConfig::default()).unwrap();
+//! let q = explorer.base().dataset().series()[0].values()[2..14].to_vec();
+//!
+//! // Class I: best time-warped match.
+//! let resp = explorer
+//!     .query(QueryRequest::best_match(q, MatchMode::Any))
+//!     .unwrap();
+//! let best = resp.result.best_match().unwrap();
+//! assert!(best.dist < 0.1);
+//! assert!(resp.stats.dtw_evals > 0);
+//!
+//! // Class III: what thresholds mean on this dataset.
+//! let resp = explorer
+//!     .query(QueryRequest::Recommend {
+//!         degree: None,
+//!         len: None,
+//!         options: QueryOptions::default(),
+//!     })
+//!     .unwrap();
+//! assert_eq!(resp.result.recommendations().unwrap().len(), 3);
+//! ```
+
+use crate::query::similarity::{self, SearchCtx, SearchParams};
+use crate::query::{recommend_impl, seasonal_all_impl, seasonal_for_series_impl};
+use crate::{Match, MatchMode, OnexBase, OnexConfig, Result, SeasonalResult};
+use crate::{SimilarityDegree, ThresholdRange};
+use onex_dist::{DtwBuffer, Window};
+use onex_ts::Dataset;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Per-thread DTW scratch buffer: queries from `&self` stay
+    /// allocation-free on the hot path without any cross-thread state.
+    static SCRATCH: RefCell<DtwBuffer> = RefCell::new(DtwBuffer::new());
+}
+
+/// Work-stealing fan-out over scoped threads: runs `work(state, i)` for
+/// every `i in 0..n` across up to `threads` workers (each with its own
+/// `make_state()`), returning index-aligned results. `threads <= 1` runs
+/// sequentially on the caller's thread. Shared by [`QueryRequest::Batch`]
+/// and the deprecated `best_match_batch` shim so the pool mechanics live
+/// in exactly one place.
+pub(crate) fn fan_out<S, R, FS, FW>(n: usize, threads: usize, make_state: FS, work: FW) -> Vec<R>
+where
+    R: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let mut state = make_state();
+        return (0..n).map(|i| work(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = make_state();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = work(&mut state, i);
+                    *slots[i].lock().expect("fan-out slot lock") = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fan-out slot lock")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Per-query knobs shared by every [`QueryRequest`] variant.
+///
+/// `Default` reproduces the base's build-time behaviour exactly (no
+/// overrides, pruning on, no budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Similarity-threshold override for the qualifying test (`WHERE
+    /// Sim <= ST`); `None` uses the base's build-time `ST`.
+    pub st: Option<f64>,
+    /// DTW warping-window override; `None` uses the base's window.
+    pub window: Option<Window>,
+    /// Wall-clock budget for this query. When it expires the best answer
+    /// found so far is returned with [`QueryStats::truncated`] set.
+    pub time_budget: Option<Duration>,
+    /// Cap on total DTW evaluations (representatives + members), same
+    /// anytime semantics as `time_budget`.
+    pub max_dtw_evals: Option<usize>,
+    /// Apply the LB_Kim/LB_Keogh pruning cascade (default `true`; turning
+    /// it off changes work done, never answers).
+    pub lb_pruning: bool,
+    /// Override the base's `explore_top_groups` (how many best groups to
+    /// descend into per length).
+    pub explore_top_groups: Option<usize>,
+    /// Override the base's `exhaustive_group_search` toggle.
+    pub exhaustive_group_search: Option<bool>,
+    /// Override the base's `stop_at_first_qualifying` toggle (§5.3 early
+    /// stop across lengths).
+    pub stop_at_first_qualifying: Option<bool>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            st: None,
+            window: None,
+            time_budget: None,
+            max_dtw_evals: None,
+            lb_pruning: true,
+            explore_top_groups: None,
+            exhaustive_group_search: None,
+            stop_at_first_qualifying: None,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options with a similarity-threshold override.
+    pub fn with_st(st: f64) -> Self {
+        QueryOptions {
+            st: Some(st),
+            ..Default::default()
+        }
+    }
+
+    /// Options with a wall-clock budget.
+    pub fn with_time_budget(budget: Duration) -> Self {
+        QueryOptions {
+            time_budget: Some(budget),
+            ..Default::default()
+        }
+    }
+
+    /// Resolves these options against a base's configuration into concrete
+    /// search parameters.
+    fn resolve(&self, config: &OnexConfig) -> SearchParams {
+        let defaults = SearchParams::from_config(config, self.st);
+        SearchParams {
+            window: self.window.unwrap_or(defaults.window),
+            lb_pruning: self.lb_pruning,
+            deadline: self.time_budget.map(|b| Instant::now() + b),
+            max_dtw_evals: self.max_dtw_evals,
+            explore_top_groups: self
+                .explore_top_groups
+                .unwrap_or(defaults.explore_top_groups),
+            exhaustive_group_search: self
+                .exhaustive_group_search
+                .unwrap_or(defaults.exhaustive_group_search),
+            stop_at_first_qualifying: self
+                .stop_at_first_qualifying
+                .unwrap_or(defaults.stop_at_first_qualifying),
+            ..defaults
+        }
+    }
+}
+
+/// Which series a Class II (seasonal) query inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeasonalScope {
+    /// Data-driven: recurring groups across the whole dataset.
+    All,
+    /// User-driven: recurring groups within one series.
+    Series(usize),
+}
+
+/// A typed query — every class the paper defines, plus batch composition.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// Class I: single best time-warped match.
+    BestMatch {
+        /// Query values (in the base's normalized space).
+        values: Vec<f64>,
+        /// Length clause.
+        mode: MatchMode,
+        /// Shared per-query knobs.
+        options: QueryOptions,
+    },
+    /// Class I: the `k` most similar subsequences.
+    TopK {
+        /// Query values (in the base's normalized space).
+        values: Vec<f64>,
+        /// Length clause.
+        mode: MatchMode,
+        /// How many matches to return.
+        k: usize,
+        /// Shared per-query knobs.
+        options: QueryOptions,
+    },
+    /// Class I range form: everything within the similarity threshold.
+    WithinThreshold {
+        /// Query values (in the base's normalized space).
+        values: Vec<f64>,
+        /// Length clause.
+        mode: MatchMode,
+        /// Verify each member's true DTW (vs. the certified fast path).
+        verify: bool,
+        /// Shared per-query knobs (`options.st` is the threshold).
+        options: QueryOptions,
+    },
+    /// Class II: recurring similarity patterns.
+    Seasonal {
+        /// Whole dataset or one series.
+        scope: SeasonalScope,
+        /// Subsequence length to inspect.
+        len: usize,
+        /// Minimum members (data-driven) or recurrences (user-driven) for a
+        /// group to count as a pattern.
+        min_recurrence: usize,
+        /// Shared per-query knobs (none currently apply — accepted for
+        /// surface uniformity).
+        options: QueryOptions,
+    },
+    /// Class III: similarity-threshold recommendations.
+    Recommend {
+        /// Strict/Medium/Loose, or `None` for all three.
+        degree: Option<SimilarityDegree>,
+        /// Per-length recommendation, or `None` for global.
+        len: Option<usize>,
+        /// Shared per-query knobs (none currently apply — accepted for
+        /// surface uniformity).
+        options: QueryOptions,
+    },
+    /// Several requests answered as one unit, fanned out across threads.
+    Batch {
+        /// The requests; the response preserves order.
+        requests: Vec<QueryRequest>,
+        /// Worker threads (clamped to the batch size; `0`/`1` =
+        /// sequential).
+        threads: usize,
+    },
+}
+
+impl QueryRequest {
+    /// A best-match request with default options.
+    pub fn best_match(values: Vec<f64>, mode: MatchMode) -> Self {
+        QueryRequest::BestMatch {
+            values,
+            mode,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A top-`k` request with default options.
+    pub fn top_k(values: Vec<f64>, mode: MatchMode, k: usize) -> Self {
+        QueryRequest::TopK {
+            values,
+            mode,
+            k,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A data-driven seasonal request with default options.
+    pub fn seasonal_all(len: usize, min_members: usize) -> Self {
+        QueryRequest::Seasonal {
+            scope: SeasonalScope::All,
+            len,
+            min_recurrence: min_members,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A user-driven seasonal request with default options.
+    pub fn seasonal_for_series(series: usize, len: usize, min_recurrence: usize) -> Self {
+        QueryRequest::Seasonal {
+            scope: SeasonalScope::Series(series),
+            len,
+            min_recurrence,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A recommendation request with default options.
+    pub fn recommend(degree: Option<SimilarityDegree>, len: Option<usize>) -> Self {
+        QueryRequest::Recommend {
+            degree,
+            len,
+            options: QueryOptions::default(),
+        }
+    }
+}
+
+/// Uniform per-response instrumentation: the same counters for every query
+/// class, so a serving layer can meter them identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Total DTW evaluations (against representatives and members).
+    pub dtw_evals: usize,
+    /// Candidates skipped by the LB_Kim/LB_Keogh cascade.
+    pub lb_prunes: usize,
+    /// Similarity groups visited (representatives considered).
+    pub groups_visited: usize,
+    /// Group members evaluated with DTW.
+    pub members_examined: usize,
+    /// Distinct lengths visited.
+    pub lengths_visited: usize,
+    /// Wall-clock time spent answering.
+    pub elapsed: Duration,
+    /// Whether a time/evaluation budget stopped the search early (the
+    /// result is then the best found within budget).
+    pub truncated: bool,
+}
+
+impl QueryStats {
+    fn from_search(counters: similarity::QueryStats, truncated: bool, elapsed: Duration) -> Self {
+        QueryStats {
+            dtw_evals: counters.dtw_evals(),
+            lb_prunes: counters.reps_lb_pruned,
+            groups_visited: counters.reps_examined,
+            members_examined: counters.members_examined,
+            lengths_visited: counters.lengths_visited,
+            elapsed,
+            truncated,
+        }
+    }
+
+    /// Merges another response's counters into this one (batch roll-up).
+    /// `elapsed` is deliberately not summed: the batch response reports the
+    /// batch's own wall-clock time, and each child carries its own.
+    fn absorb(&mut self, other: &QueryStats) {
+        self.dtw_evals += other.dtw_evals;
+        self.lb_prunes += other.lb_prunes;
+        self.groups_visited += other.groups_visited;
+        self.members_examined += other.members_examined;
+        self.lengths_visited += other.lengths_visited;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// The payload of a [`QueryResponse`], one variant per request class.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// Answer to [`QueryRequest::BestMatch`].
+    BestMatch(Match),
+    /// Answer to [`QueryRequest::TopK`] (ascending by the ranking metric).
+    TopK(Vec<Match>),
+    /// Answer to [`QueryRequest::WithinThreshold`] (ascending by distance).
+    WithinThreshold(Vec<Match>),
+    /// Answer to [`QueryRequest::Seasonal`].
+    Seasonal(Vec<SeasonalResult>),
+    /// Answer to [`QueryRequest::Recommend`].
+    Recommend(Vec<ThresholdRange>),
+    /// Answers to [`QueryRequest::Batch`], index-aligned with the request;
+    /// per-query failures don't fail the batch.
+    Batch(Vec<Result<QueryResponse>>),
+}
+
+impl QueryResult {
+    /// The single best match, when this is a `BestMatch` response.
+    pub fn best_match(&self) -> Option<&Match> {
+        match self {
+            QueryResult::BestMatch(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The ranked matches, when this is a `TopK` or `WithinThreshold`
+    /// response.
+    pub fn matches(&self) -> Option<&[Match]> {
+        match self {
+            QueryResult::TopK(ms) | QueryResult::WithinThreshold(ms) => Some(ms),
+            _ => None,
+        }
+    }
+
+    /// The seasonal clusters, when this is a `Seasonal` response.
+    pub fn seasonal(&self) -> Option<&[SeasonalResult]> {
+        match self {
+            QueryResult::Seasonal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The recommended ranges, when this is a `Recommend` response.
+    pub fn recommendations(&self) -> Option<&[ThresholdRange]> {
+        match self {
+            QueryResult::Recommend(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The per-request responses, when this is a `Batch` response.
+    pub fn batch(&self) -> Option<&[Result<QueryResponse>]> {
+        match self {
+            QueryResult::Batch(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// A typed answer: the payload plus uniform instrumentation.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The answer payload.
+    pub result: QueryResult,
+    /// Uniform instrumentation, populated on every response.
+    pub stats: QueryStats,
+}
+
+/// The unified, thread-safe ONEX query engine.
+///
+/// Wraps an [`Arc<OnexBase>`]; cloning is cheap and every method takes
+/// `&self`, so one explorer (or clones of it) can serve concurrent callers
+/// directly. See the [module docs](self) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    base: Arc<OnexBase>,
+}
+
+impl Explorer {
+    /// Wraps an already-shared base.
+    pub fn new(base: Arc<OnexBase>) -> Self {
+        Explorer { base }
+    }
+
+    /// Wraps an owned base.
+    pub fn from_base(base: OnexBase) -> Self {
+        Explorer {
+            base: Arc::new(base),
+        }
+    }
+
+    /// Builds a base from raw data and wraps it (convenience for
+    /// [`OnexBase::build`] + [`Explorer::from_base`]).
+    pub fn build(dataset: &Dataset, config: OnexConfig) -> Result<Self> {
+        Ok(Self::from_base(OnexBase::build(dataset, config)?))
+    }
+
+    /// The shared base.
+    pub fn base(&self) -> &OnexBase {
+        &self.base
+    }
+
+    /// A clone of the inner [`Arc`], for callers that need to hold the base
+    /// beyond the explorer's lifetime.
+    pub fn base_arc(&self) -> Arc<OnexBase> {
+        Arc::clone(&self.base)
+    }
+
+    /// Answers any request. This is the single entry point every query
+    /// class goes through; the typed convenience methods below are thin
+    /// wrappers.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse> {
+        let started = Instant::now();
+        match request {
+            QueryRequest::BestMatch {
+                values,
+                mode,
+                options,
+            } => self.run_search(started, &options, |base, p, ctx| {
+                similarity::best_match(base, &values, mode, p, ctx).map(QueryResult::BestMatch)
+            }),
+            QueryRequest::TopK {
+                values,
+                mode,
+                k,
+                options,
+            } => self.run_search(started, &options, |base, p, ctx| {
+                similarity::top_k(base, &values, mode, k, p, ctx).map(QueryResult::TopK)
+            }),
+            QueryRequest::WithinThreshold {
+                values,
+                mode,
+                verify,
+                options,
+            } => self.run_search(started, &options, |base, p, ctx| {
+                similarity::within_threshold(base, &values, mode, verify, p, ctx)
+                    .map(QueryResult::WithinThreshold)
+            }),
+            QueryRequest::Seasonal {
+                scope,
+                len,
+                min_recurrence,
+                options: _,
+            } => {
+                let result = match scope {
+                    SeasonalScope::All => seasonal_all_impl(&self.base, len, min_recurrence)?,
+                    SeasonalScope::Series(series) => {
+                        seasonal_for_series_impl(&self.base, series, len, min_recurrence)?
+                    }
+                };
+                Ok(QueryResponse {
+                    result: QueryResult::Seasonal(result),
+                    stats: QueryStats {
+                        elapsed: started.elapsed(),
+                        ..QueryStats::default()
+                    },
+                })
+            }
+            QueryRequest::Recommend {
+                degree,
+                len,
+                options: _,
+            } => {
+                let ranges = recommend_impl(&self.base, degree, len)?;
+                Ok(QueryResponse {
+                    result: QueryResult::Recommend(ranges),
+                    stats: QueryStats {
+                        elapsed: started.elapsed(),
+                        ..QueryStats::default()
+                    },
+                })
+            }
+            QueryRequest::Batch { requests, threads } => self.run_batch(started, requests, threads),
+        }
+    }
+
+    /// Class I convenience: single best match. Borrows the query — no
+    /// per-call allocation beyond what the search itself needs.
+    pub fn best_match(
+        &self,
+        values: &[f64],
+        mode: MatchMode,
+        options: QueryOptions,
+    ) -> Result<Match> {
+        let resp = self.run_search(Instant::now(), &options, |base, p, ctx| {
+            similarity::best_match(base, values, mode, p, ctx).map(QueryResult::BestMatch)
+        })?;
+        match resp.result {
+            QueryResult::BestMatch(m) => Ok(m),
+            _ => unreachable!("BestMatch search produces BestMatch result"),
+        }
+    }
+
+    /// Class I convenience: top-`k` matches. Borrows the query.
+    pub fn top_k(
+        &self,
+        values: &[f64],
+        mode: MatchMode,
+        k: usize,
+        options: QueryOptions,
+    ) -> Result<Vec<Match>> {
+        let resp = self.run_search(Instant::now(), &options, |base, p, ctx| {
+            similarity::top_k(base, values, mode, k, p, ctx).map(QueryResult::TopK)
+        })?;
+        match resp.result {
+            QueryResult::TopK(ms) => Ok(ms),
+            _ => unreachable!("TopK search produces TopK result"),
+        }
+    }
+
+    /// Class I convenience: range query. Borrows the query.
+    pub fn within_threshold(
+        &self,
+        values: &[f64],
+        mode: MatchMode,
+        verify: bool,
+        options: QueryOptions,
+    ) -> Result<Vec<Match>> {
+        let resp = self.run_search(Instant::now(), &options, |base, p, ctx| {
+            similarity::within_threshold(base, values, mode, verify, p, ctx)
+                .map(QueryResult::WithinThreshold)
+        })?;
+        match resp.result {
+            QueryResult::WithinThreshold(ms) => Ok(ms),
+            _ => unreachable!("WithinThreshold search produces WithinThreshold result"),
+        }
+    }
+
+    /// Class II convenience: data-driven seasonal patterns.
+    pub fn seasonal_all(&self, len: usize, min_members: usize) -> Result<Vec<SeasonalResult>> {
+        seasonal_all_impl(&self.base, len, min_members)
+    }
+
+    /// Class II convenience: seasonal patterns within one series.
+    pub fn seasonal_for_series(
+        &self,
+        series: usize,
+        len: usize,
+        min_recurrence: usize,
+    ) -> Result<Vec<SeasonalResult>> {
+        seasonal_for_series_impl(&self.base, series, len, min_recurrence)
+    }
+
+    /// Class III convenience: threshold recommendations.
+    pub fn recommend(
+        &self,
+        degree: Option<SimilarityDegree>,
+        len: Option<usize>,
+    ) -> Result<Vec<ThresholdRange>> {
+        recommend_impl(&self.base, degree, len)
+    }
+
+    /// Runs one Class I search with thread-local scratch, stamping uniform
+    /// stats on the way out.
+    fn run_search<F>(
+        &self,
+        started: Instant,
+        options: &QueryOptions,
+        body: F,
+    ) -> Result<QueryResponse>
+    where
+        F: FnOnce(&OnexBase, &SearchParams, &mut SearchCtx) -> Result<QueryResult>,
+    {
+        let params = options.resolve(self.base.config());
+        SCRATCH.with(|cell| {
+            let mut ctx = SearchCtx {
+                buf: cell.take(),
+                ..SearchCtx::default()
+            };
+            let outcome = body(&self.base, &params, &mut ctx);
+            let stats = QueryStats::from_search(ctx.stats, ctx.truncated, started.elapsed());
+            cell.replace(ctx.buf);
+            outcome.map(|result| QueryResponse { result, stats })
+        })
+    }
+
+    /// Fans a batch out across scoped worker threads. Results are
+    /// index-aligned with the requests; each failure stays in its slot.
+    fn run_batch(
+        &self,
+        started: Instant,
+        requests: Vec<QueryRequest>,
+        threads: usize,
+    ) -> Result<QueryResponse> {
+        let n = requests.len();
+        // Requests are handed to workers by index; the Mutex<Option<_>>
+        // wrapper lets each be taken by value exactly once.
+        let requests: Vec<Mutex<Option<QueryRequest>>> =
+            requests.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        let responses: Vec<Result<QueryResponse>> = fan_out(
+            n,
+            threads,
+            || (),
+            |(), i| {
+                let request = requests[i]
+                    .lock()
+                    .expect("batch request lock")
+                    .take()
+                    .expect("each request taken once");
+                self.query(request)
+            },
+        );
+        let mut stats = QueryStats::default();
+        for r in responses.iter().flatten() {
+            stats.absorb(&r.stats);
+        }
+        stats.elapsed = started.elapsed();
+        Ok(QueryResponse {
+            result: QueryResult::Batch(responses),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OnexError;
+    use onex_ts::synth;
+
+    fn explorer() -> Explorer {
+        let d = synth::sine_mix(8, 24, 2, 11);
+        Explorer::build(&d, OnexConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn explorer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Explorer>();
+        assert_send_sync::<QueryRequest>();
+        assert_send_sync::<QueryResponse>();
+    }
+
+    #[test]
+    fn every_class_populates_stats() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[2..14].to_vec();
+
+        let best = e
+            .query(QueryRequest::best_match(q.clone(), MatchMode::Any))
+            .unwrap();
+        assert!(best.result.best_match().is_some());
+        assert!(best.stats.dtw_evals > 0);
+        assert!(best.stats.groups_visited > 0);
+        assert!(best.stats.lengths_visited > 0);
+
+        let topk = e
+            .query(QueryRequest::top_k(q.clone(), MatchMode::Exact(12), 3))
+            .unwrap();
+        assert!(!topk.result.matches().unwrap().is_empty());
+        assert!(topk.stats.members_examined > 0);
+
+        let seasonal = e.query(QueryRequest::seasonal_all(8, 2)).unwrap();
+        assert!(seasonal.result.seasonal().is_some());
+        assert_eq!(seasonal.stats.dtw_evals, 0, "Class II reads the LSI only");
+
+        let rec = e.query(QueryRequest::recommend(None, None)).unwrap();
+        assert_eq!(rec.result.recommendations().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_errors() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[0..10].to_vec();
+        let reqs = vec![
+            QueryRequest::best_match(q.clone(), MatchMode::Any),
+            QueryRequest::best_match(vec![], MatchMode::Any), // invalid
+            QueryRequest::recommend(None, None),
+            QueryRequest::best_match(q.clone(), MatchMode::Exact(999)), // unknown length
+            QueryRequest::seasonal_all(8, 2),
+        ];
+        let resp = e
+            .query(QueryRequest::Batch {
+                requests: reqs,
+                threads: 3,
+            })
+            .unwrap();
+        let batch = resp.result.batch().unwrap();
+        assert_eq!(batch.len(), 5);
+        assert!(batch[0].as_ref().unwrap().result.best_match().is_some());
+        assert!(matches!(
+            batch[1].as_ref().unwrap_err(),
+            OnexError::QueryTooShort { .. }
+        ));
+        assert!(batch[2]
+            .as_ref()
+            .unwrap()
+            .result
+            .recommendations()
+            .is_some());
+        assert!(matches!(
+            batch[3].as_ref().unwrap_err(),
+            OnexError::NoGroupsForLength(999)
+        ));
+        assert!(batch[4].as_ref().unwrap().result.seasonal().is_some());
+        // Roll-up covers the successful children.
+        assert!(resp.stats.dtw_evals > 0);
+    }
+
+    #[test]
+    fn batch_parallel_equals_sequential() {
+        let e = explorer();
+        let mk = |i: usize| {
+            let s = i % e.base().dataset().len();
+            let vals = e.base().dataset().series()[s].values()[i..i + 10].to_vec();
+            QueryRequest::best_match(vals, MatchMode::Any)
+        };
+        let reqs: Vec<QueryRequest> = (0..8).map(mk).collect();
+        let seq = e
+            .query(QueryRequest::Batch {
+                requests: reqs.clone(),
+                threads: 1,
+            })
+            .unwrap();
+        let par = e
+            .query(QueryRequest::Batch {
+                requests: reqs,
+                threads: 4,
+            })
+            .unwrap();
+        let (seq, par) = (seq.result.batch().unwrap(), par.result.batch().unwrap());
+        for (s, p) in seq.iter().zip(par) {
+            assert_eq!(
+                s.as_ref().unwrap().result.best_match().unwrap(),
+                p.as_ref().unwrap().result.best_match().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn window_override_changes_the_metric() {
+        let e = explorer();
+        let q = e.base().dataset().series()[1].values()[0..12].to_vec();
+        let narrow = e
+            .best_match(
+                &q,
+                MatchMode::Exact(12),
+                QueryOptions {
+                    window: Some(Window::Band(1)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let wide = e
+            .best_match(
+                &q,
+                MatchMode::Exact(12),
+                QueryOptions {
+                    window: Some(Window::Unconstrained),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // A tighter band can only raise (or keep) the optimal distance.
+        assert!(narrow.raw_dtw + 1e-12 >= wide.raw_dtw);
+    }
+
+    #[test]
+    fn time_budget_truncates_gracefully() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[0..12].to_vec();
+        let resp = e.query(QueryRequest::BestMatch {
+            values: q,
+            mode: MatchMode::Any,
+            options: QueryOptions {
+                time_budget: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        });
+        // Either nothing was found in zero time (a *budget* error, not a
+        // misleading empty-base one) or a truncated best-effort answer came
+        // back; never a panic, and stats say so.
+        match resp {
+            Ok(r) => assert!(r.stats.truncated),
+            Err(e) => assert_eq!(e, OnexError::BudgetExhausted),
+        }
+    }
+
+    #[test]
+    fn max_dtw_evals_bounds_work() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[0..12].to_vec();
+        let unbounded = e
+            .query(QueryRequest::best_match(q.clone(), MatchMode::Any))
+            .unwrap();
+        let capped = e.query(QueryRequest::BestMatch {
+            values: q,
+            mode: MatchMode::Any,
+            options: QueryOptions {
+                max_dtw_evals: Some(3),
+                ..Default::default()
+            },
+        });
+        match capped {
+            Ok(r) => {
+                assert!(r.stats.truncated);
+                assert!(r.stats.dtw_evals <= 4, "{:?}", r.stats);
+                assert!(r.stats.dtw_evals < unbounded.stats.dtw_evals);
+            }
+            Err(e) => assert_eq!(e, OnexError::BudgetExhausted),
+        }
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[2..14].to_vec();
+        let expected = e
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let got = e
+                        .best_match(&q, MatchMode::Any, QueryOptions::default())
+                        .unwrap();
+                    assert_eq!(got, expected);
+                });
+            }
+        });
+    }
+}

@@ -28,6 +28,11 @@ pub enum OnexError {
     /// The base holds no groups at all (empty dataset or degenerate
     /// decomposition).
     EmptyBase,
+    /// A per-query budget (time or DTW-evaluation cap) expired before any
+    /// candidate was evaluated, so there is no best-effort answer to
+    /// return. Budgets that expire *after* a candidate was found return
+    /// that candidate with `QueryStats::truncated` set instead.
+    BudgetExhausted,
     /// An error bubbled up from the time-series substrate.
     Ts(TsError),
     /// A snapshot could not be decoded.
@@ -43,7 +48,10 @@ impl fmt::Display for OnexError {
                 write!(f, "similarity threshold must be finite and > 0, got {st}")
             }
             OnexError::QueryTooShort { len, min_len } => {
-                write!(f, "query of length {len} is shorter than the minimum decomposed length {min_len}")
+                write!(
+                    f,
+                    "query of length {len} is shorter than the minimum decomposed length {min_len}"
+                )
             }
             OnexError::NonFiniteQuery { index } => {
                 write!(f, "query contains a non-finite value at index {index}")
@@ -53,6 +61,10 @@ impl fmt::Display for OnexError {
             }
             OnexError::UnknownSeries(id) => write!(f, "series {id} is not in the dataset"),
             OnexError::EmptyBase => write!(f, "the ONEX base contains no groups"),
+            OnexError::BudgetExhausted => write!(
+                f,
+                "query budget exhausted before any candidate was evaluated"
+            ),
             OnexError::Ts(e) => write!(f, "substrate error: {e}"),
             OnexError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
             OnexError::InvalidRefinement(msg) => write!(f, "invalid refinement: {msg}"),

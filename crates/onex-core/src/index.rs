@@ -60,8 +60,7 @@ impl LengthIndex {
             dc = vec![0.0; g * g];
             for i in 0..g {
                 for j in (i + 1)..g {
-                    let d =
-                        ed_normalized(groups[i].representative(), groups[j].representative());
+                    let d = ed_normalized(groups[i].representative(), groups[j].representative());
                     dc[i * g + j] = d;
                     dc[j * g + i] = d;
                 }
@@ -83,10 +82,7 @@ impl LengthIndex {
                     let s: f64 = sample
                         .iter()
                         .map(|&j| {
-                            ed_normalized(
-                                groups[i].representative(),
-                                groups[j].representative(),
-                            )
+                            ed_normalized(groups[i].representative(), groups[j].representative())
                         })
                         .sum();
                     (i as u32, s * scale)
@@ -290,11 +286,7 @@ mod tests {
 
     #[test]
     fn dc_matrix_is_symmetric_with_zero_diagonal() {
-        let (_d, groups) = groups_from(&[
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.5, 0.5],
-        ]);
+        let (_d, groups) = groups_from(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]]);
         let refs: Vec<&Group> = groups.iter().collect();
         let idx = LengthIndex::build(2, vec![0, 1, 2], &refs, 0.2);
         assert!(idx.dc_is_dense());
@@ -312,16 +304,16 @@ mod tests {
     #[test]
     fn critical_thresholds_from_merge_cascade() {
         // Reps at 0.0, 0.1, 1.0 (constant sequences): MST edges 0.1 and 0.9.
-        let (_d, groups) = groups_from(&[
-            vec![0.0, 0.0],
-            vec![0.1, 0.1],
-            vec![1.0, 1.0],
-        ]);
+        let (_d, groups) = groups_from(&[vec![0.0, 0.0], vec![0.1, 0.1], vec![1.0, 1.0]]);
         let refs: Vec<&Group> = groups.iter().collect();
         let idx = LengthIndex::build(2, vec![0, 1, 2], &refs, 0.2);
         // g=3: half merged after 1 merge -> ST + 0.1; all after 2 -> ST + 0.9.
         assert!((idx.st_half - 0.3).abs() < 1e-9, "st_half {}", idx.st_half);
-        assert!((idx.st_final - 1.1).abs() < 1e-9, "st_final {}", idx.st_final);
+        assert!(
+            (idx.st_final - 1.1).abs() < 1e-9,
+            "st_final {}",
+            idx.st_final
+        );
         assert!(idx.st_half <= idx.st_final);
     }
 

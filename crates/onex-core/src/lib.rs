@@ -25,11 +25,16 @@
 //!
 //! ## Online (§5)
 //!
-//! * [`query::SimilarityQuery`] — Class I queries (best match, exact or any
-//!   length) with every §5.3 optimization.
-//! * [`query::seasonal_all`] / [`query::seasonal_for_series`] — Class II queries
-//!   (recurring similarity patterns).
-//! * [`query::recommend`] — Class III queries (threshold recommendations).
+//! * [`engine::Explorer`] — **the unified query engine**: every query class
+//!   through one typed [`engine::QueryRequest`] → [`engine::QueryResponse`]
+//!   pair, thread-safe over a shared `Arc<OnexBase>`, with per-query
+//!   budgets and uniform [`engine::QueryStats`] on every response.
+//!   Class I (similarity) runs with every §5.3 optimization; Class II
+//!   (seasonal) and Class III (threshold recommendation) read the
+//!   precomputed LSI/SP-Space. The per-class entry points
+//!   (`query::SimilarityQuery`, `query::seasonal_*`, `query::recommend`,
+//!   `query::best_match_batch`) remain as deprecated shims over the same
+//!   internals.
 //! * [`refine`] — Algorithm 2.C: adapt the base to a *different* similarity
 //!   threshold by splitting or cascade-merging groups, without re-scanning
 //!   the raw subsequence space.
@@ -50,6 +55,7 @@ mod error;
 
 pub mod build;
 pub mod classify;
+pub mod engine;
 pub mod group;
 pub mod index;
 pub mod maintain;
@@ -60,9 +66,14 @@ pub mod spspace;
 
 pub use base::{BaseStats, OnexBase};
 pub use config::{BuildMode, ClusterStrategy, OnexConfig};
+pub use engine::{
+    Explorer, QueryOptions, QueryRequest, QueryResponse, QueryResult, QueryStats, SeasonalScope,
+};
 pub use error::OnexError;
 pub use group::{Group, GroupId};
-pub use query::{Match, MatchMode, SeasonalResult, SimilarityQuery};
+#[allow(deprecated)]
+pub use query::SimilarityQuery;
+pub use query::{Match, MatchMode, SeasonalResult};
 pub use spspace::{SimilarityDegree, SpSpace, ThresholdRange};
 
 /// Crate-wide result alias.

@@ -95,13 +95,17 @@ pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, us
         rebuilt.push(LengthGroups { len, groups });
     }
     rebuilt.sort_by_key(|lg| lg.len);
-    Ok((OnexBase::assemble(dataset, norm, config, rebuilt), new_index))
+    Ok((
+        OnexBase::assemble(dataset, norm, config, rebuilt),
+        new_index,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MatchMode, OnexConfig, SimilarityQuery};
+    use crate::engine::{Explorer, QueryOptions};
+    use crate::{MatchMode, OnexConfig};
     use onex_ts::synth;
 
     #[test]
@@ -124,8 +128,10 @@ mod tests {
         );
         // query with a normalized slice of the new series finds it
         let q: Vec<f64> = base.dataset().get(5).unwrap().values()[0..6].to_vec();
-        let mut proc = SimilarityQuery::new(&base);
-        let m = proc.best_match(&q, MatchMode::Exact(6), None).unwrap();
+        let explorer = Explorer::from_base(base);
+        let m = explorer
+            .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
+            .unwrap();
         assert_eq!(m.subseq.series, 5);
     }
 

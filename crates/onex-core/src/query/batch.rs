@@ -1,16 +1,19 @@
-//! Parallel batch querying: answer many similarity queries against one base
-//! concurrently. The base is immutable after construction, so each worker
-//! owns its private [`SimilarityQuery`] (DTW scratch buffers) and results
-//! are bitwise-identical to the sequential path — useful for dashboards
-//! that refresh many panels at once and for bulk evaluations like the
-//! experiment harness or `classify::evaluate_accuracy`.
+//! Legacy parallel batch querying, kept as a deprecated shim over the
+//! unified engine: [`crate::engine::QueryRequest::Batch`] fans any mix of
+//! query classes out across threads with the same index-aligned,
+//! error-isolating semantics, and additionally rolls uniform
+//! [`crate::engine::QueryStats`] up into the batch response.
 
-use super::{Match, MatchMode, SimilarityQuery};
+use super::similarity::{self, SearchCtx, SearchParams};
+use super::{Match, MatchMode};
+use crate::engine::fan_out;
 use crate::{OnexBase, Result};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One query of a batch.
+#[deprecated(
+    since = "0.2.0",
+    note = "use engine::QueryRequest (Batch variant) — it composes every query class, not just best-match"
+)]
 #[derive(Debug, Clone)]
 pub struct BatchQuery {
     /// Query values (normalized space).
@@ -21,6 +24,7 @@ pub struct BatchQuery {
     pub st: Option<f64>,
 }
 
+#[allow(deprecated)]
 impl BatchQuery {
     /// Convenience constructor for an any-length query with default ST.
     pub fn any(values: Vec<f64>) -> Self {
@@ -45,43 +49,28 @@ impl BatchQuery {
 /// Answers every query, fanning out across `threads` workers (1 =
 /// sequential). The output is index-aligned with the input and identical to
 /// running the queries one by one.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Explorer::query with QueryRequest::Batch — same fan-out, all query classes, uniform stats"
+)]
+#[allow(deprecated)]
 pub fn best_match_batch(
     base: &OnexBase,
     queries: &[BatchQuery],
     threads: usize,
 ) -> Vec<Result<Match>> {
-    let threads = threads.max(1).min(queries.len().max(1));
-    if threads == 1 {
-        let mut search = SimilarityQuery::new(base);
-        return queries
-            .iter()
-            .map(|q| search.best_match(&q.values, q.mode, q.st))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<Match>>>> =
-        (0..queries.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut search = SimilarityQuery::new(base);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(q) = queries.get(i) else { break };
-                    let result = search.best_match(&q.values, q.mode, q.st);
-                    *slots[i].lock() = Some(result);
-                }
-            });
-        }
+    // Runs the engine's search core directly over the borrowed base (the
+    // `Arc`-holding `Explorer` would require cloning the whole base here),
+    // through the engine's shared fan-out with a per-worker `SearchCtx`.
+    fan_out(queries.len(), threads, SearchCtx::default, |ctx, i| {
+        let q = &queries[i];
+        let p = SearchParams::from_config(base.config(), q.st);
+        similarity::best_match(base, &q.values, q.mode, &p, ctx)
     })
-    .expect("batch query worker panicked");
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
-        .collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{OnexConfig, OnexError};

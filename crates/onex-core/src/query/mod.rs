@@ -1,5 +1,11 @@
 //! The ONEX online query processor (paper §5).
 //!
+//! The unified entry point is [`crate::engine::Explorer`], which answers
+//! every query class through one typed request/response API from `&self`.
+//! This module holds the search core ([`similarity`]) and the legacy
+//! per-class entry points, kept as thin deprecated shims over the same
+//! internals:
+//!
 //! * [`SimilarityQuery`] — Class I: best-match / top-k retrieval for a
 //!   sample sequence, exact-length or any-length (Algorithm 2.A), applying
 //!   the §5.3 optimizations: length-ordered search, median-sum
@@ -12,19 +18,38 @@
 mod batch;
 mod recommend;
 mod seasonal;
-mod similarity;
+pub(crate) mod similarity;
 
+#[allow(deprecated)]
 pub use batch::{best_match_batch, BatchQuery};
+#[allow(deprecated)]
 pub use recommend::recommend;
-pub use seasonal::{seasonal_all, seasonal_for_series, SeasonalResult};
-pub use similarity::{Match, MatchMode, QueryStats, SimilarityQuery};
+pub use seasonal::SeasonalResult;
+#[allow(deprecated)]
+pub use seasonal::{seasonal_all, seasonal_for_series};
+#[allow(deprecated)]
+pub use similarity::SimilarityQuery;
+pub use similarity::{Match, MatchMode, QueryStats};
+
+pub(crate) use recommend::recommend_impl;
+pub(crate) use seasonal::{seasonal_all_impl, seasonal_for_series_impl};
 
 use crate::{OnexError, Result};
 
-/// Validates a query sequence: non-empty and finite.
+/// The shortest query any processor accepts. A length-1 "sequence" has no
+/// shape to warp, and no base can index below this either:
+/// `Decomposition::validate` (enforced by every `OnexBase` constructor via
+/// `OnexConfig::validate`) rejects `min_len < 2`.
+pub(crate) const MIN_QUERY_LEN: usize = 2;
+
+/// Validates a query sequence: at least [`MIN_QUERY_LEN`] samples, all
+/// finite.
 pub(crate) fn validate_query(q: &[f64]) -> Result<()> {
-    if q.is_empty() {
-        return Err(OnexError::QueryTooShort { len: 0, min_len: 2 });
+    if q.len() < MIN_QUERY_LEN {
+        return Err(OnexError::QueryTooShort {
+            len: q.len(),
+            min_len: MIN_QUERY_LEN,
+        });
     }
     for (index, &v) in q.iter().enumerate() {
         if !v.is_finite() {
@@ -43,5 +68,28 @@ mod tests {
         assert!(validate_query(&[]).is_err());
         assert!(validate_query(&[1.0, f64::NAN]).is_err());
         assert!(validate_query(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn validation_enforces_min_len_consistently() {
+        // Regression: the reported minimum and the enforced minimum must
+        // agree — length-1 queries used to pass validation while the error
+        // for empty input claimed `min_len: 2`.
+        let err = validate_query(&[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            OnexError::QueryTooShort {
+                len: 1,
+                min_len: MIN_QUERY_LEN
+            }
+        );
+        let err = validate_query(&[]).unwrap_err();
+        assert_eq!(
+            err,
+            OnexError::QueryTooShort {
+                len: 0,
+                min_len: MIN_QUERY_LEN
+            }
+        );
     }
 }

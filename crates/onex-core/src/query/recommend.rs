@@ -5,15 +5,15 @@
 //! (`MATCH = Exact(L)`) or globally (`MATCH = Any`). With no degree given
 //! (`simDegree = NULL`) all three ranges are returned, so the analyst can
 //! see exactly where changing ST will start changing their results.
+//!
+//! Issue these via [`crate::engine::Explorer`] with
+//! [`crate::engine::QueryRequest::Recommend`]; the free function below is a
+//! deprecated shim over the same implementation.
 
 use crate::{OnexBase, Result, SimilarityDegree, ThresholdRange};
 
-/// Answers a Class III query. `len = None` corresponds to `MATCH = Any`
-/// (global recommendations); `degree = None` to `simDegree = NULL`.
-///
-/// Returns one range per requested degree (three for `None`), each an
-/// interval of thresholds that realize that similarity strength.
-pub fn recommend(
+/// Shared implementation (see [`recommend`] for semantics).
+pub(crate) fn recommend_impl(
     base: &OnexBase,
     degree: Option<SimilarityDegree>,
     len: Option<usize>,
@@ -31,6 +31,23 @@ pub fn recommend(
     })
 }
 
+/// Answers a Class III query. `len = None` corresponds to `MATCH = Any`
+/// (global recommendations); `degree = None` to `simDegree = NULL`.
+///
+/// Returns one range per requested degree (three for `None`), each an
+/// interval of thresholds that realize that similarity strength.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Explorer::recommend (or QueryRequest::Recommend) — same results, uniform stats"
+)]
+pub fn recommend(
+    base: &OnexBase,
+    degree: Option<SimilarityDegree>,
+    len: Option<usize>,
+) -> Result<Vec<ThresholdRange>> {
+    recommend_impl(base, degree, len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,7 +62,7 @@ mod tests {
     #[test]
     fn strict_range_starts_at_zero() {
         let b = base();
-        let r = recommend(&b, Some(SimilarityDegree::Strict), None).unwrap();
+        let r = recommend_impl(&b, Some(SimilarityDegree::Strict), None).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].lower, 0.0);
         assert!(r[0].upper.unwrap() > 0.0);
@@ -54,7 +71,7 @@ mod tests {
     #[test]
     fn null_degree_returns_all_three_contiguously() {
         let b = base();
-        let rs = recommend(&b, None, Some(8)).unwrap();
+        let rs = recommend_impl(&b, None, Some(8)).unwrap();
         assert_eq!(rs.len(), 3);
         assert_eq!(rs[0].upper.unwrap(), rs[1].lower);
         assert_eq!(rs[1].upper.unwrap(), rs[2].lower);
@@ -64,7 +81,7 @@ mod tests {
     #[test]
     fn local_recommendation_uses_length_thresholds() {
         let b = base();
-        let local = recommend(&b, Some(SimilarityDegree::Strict), Some(4)).unwrap();
+        let local = recommend_impl(&b, Some(SimilarityDegree::Strict), Some(4)).unwrap();
         let (half, _) = b.sp_space().local(4).unwrap();
         assert_eq!(local[0].upper, Some(half));
     }
@@ -72,6 +89,16 @@ mod tests {
     #[test]
     fn unknown_length_is_an_error() {
         let b = base();
-        assert!(recommend(&b, None, Some(400)).is_err());
+        assert!(recommend_impl(&b, None, Some(400)).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_impl() {
+        let b = base();
+        assert_eq!(
+            recommend(&b, None, None).unwrap(),
+            recommend_impl(&b, None, None).unwrap()
+        );
     }
 }

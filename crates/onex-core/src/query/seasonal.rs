@@ -1,18 +1,20 @@
 //! Class II seasonal-similarity queries (Algorithm 2.B): surface *recurring*
 //! similarity rather than a single best match.
 //!
-//! * **User-driven** ([`seasonal_for_series`]): given a sample series and a
+//! * **User-driven** (`SeasonalScope::Series`): given a sample series and a
 //!   length, return the groups of that length restricted to the sample's own
 //!   subsequences — a group contributing ≥ 2 of them is a pattern that
 //!   recurs within the series (e.g. "all 30-day windows of the Apple stock
 //!   with similar prices").
-//! * **Data-driven** ([`seasonal_all`]): given only a length, return every
+//! * **Data-driven** (`SeasonalScope::All`): given only a length, return every
 //!   group of that length with at least `min_members` members — the clusters
 //!   of mutually similar subsequences across the whole dataset.
 //!
 //! Both run straight off the precomputed LSI: no distance computation at
 //! query time, which is why the paper reports near-constant response times
-//! (Fig. 4).
+//! (Fig. 4). Issue these via [`crate::engine::Explorer`] with
+//! [`crate::engine::QueryRequest::Seasonal`]; the free functions below are
+//! deprecated shims over the same implementation.
 
 use crate::{GroupId, OnexBase, OnexError, Result};
 use onex_ts::SubseqRef;
@@ -26,11 +28,9 @@ pub struct SeasonalResult {
     pub members: Vec<SubseqRef>,
 }
 
-/// User-driven seasonal similarity: groups of length `len` restricted to
-/// subsequences of `series`, keeping groups that contribute at least
-/// `min_recurrence` of them (2 = "recurring", the natural default; 1 returns
-/// every group the series participates in).
-pub fn seasonal_for_series(
+/// Shared implementation of the user-driven query (see
+/// [`seasonal_for_series`] for semantics).
+pub(crate) fn seasonal_for_series_impl(
     base: &OnexBase,
     series: usize,
     len: usize,
@@ -63,10 +63,13 @@ pub fn seasonal_for_series(
     Ok(out)
 }
 
-/// Data-driven seasonal similarity: every group of length `len` with at
-/// least `min_members` members (≥ 2 filters out the non-recurring
-/// singletons).
-pub fn seasonal_all(base: &OnexBase, len: usize, min_members: usize) -> Result<Vec<SeasonalResult>> {
+/// Shared implementation of the data-driven query (see [`seasonal_all`]
+/// for semantics).
+pub(crate) fn seasonal_all_impl(
+    base: &OnexBase,
+    len: usize,
+    min_members: usize,
+) -> Result<Vec<SeasonalResult>> {
     base.ensure_nonempty()?;
     let idx = base
         .length_index(len)
@@ -85,6 +88,38 @@ pub fn seasonal_all(base: &OnexBase, len: usize, min_members: usize) -> Result<V
     Ok(out)
 }
 
+/// User-driven seasonal similarity: groups of length `len` restricted to
+/// subsequences of `series`, keeping groups that contribute at least
+/// `min_recurrence` of them (2 = "recurring", the natural default; 1 returns
+/// every group the series participates in).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Explorer::seasonal_for_series (or QueryRequest::Seasonal) — same results, uniform stats"
+)]
+pub fn seasonal_for_series(
+    base: &OnexBase,
+    series: usize,
+    len: usize,
+    min_recurrence: usize,
+) -> Result<Vec<SeasonalResult>> {
+    seasonal_for_series_impl(base, series, len, min_recurrence)
+}
+
+/// Data-driven seasonal similarity: every group of length `len` with at
+/// least `min_members` members (≥ 2 filters out the non-recurring
+/// singletons).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Explorer::seasonal_all (or QueryRequest::Seasonal) — same results, uniform stats"
+)]
+pub fn seasonal_all(
+    base: &OnexBase,
+    len: usize,
+    min_members: usize,
+) -> Result<Vec<SeasonalResult>> {
+    seasonal_all_impl(base, len, min_members)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,9 +129,7 @@ mod tests {
     /// A series with an obvious recurring motif (two identical bumps) plus a
     /// flat distractor series.
     fn seasonal_base() -> OnexBase {
-        let motif = vec![
-            0.0, 0.8, 0.0, 0.1, 0.05, 0.1, 0.0, 0.8, 0.0, 0.1, 0.05, 0.1,
-        ];
+        let motif = vec![0.0, 0.8, 0.0, 0.1, 0.05, 0.1, 0.0, 0.8, 0.0, 0.1, 0.05, 0.1];
         let d = Dataset::new(
             "seasonal",
             vec![
@@ -111,12 +144,10 @@ mod tests {
     fn user_driven_finds_recurring_motif() {
         let b = seasonal_base();
         // length-3 windows: [0.0,0.8,0.0] occurs at starts 0 and 6.
-        let res = seasonal_for_series(&b, 0, 3, 2).unwrap();
-        let bump_group = res.iter().find(|r| {
-            r.members
-                .iter()
-                .any(|m| m.start == 0 && m.series == 0)
-        });
+        let res = seasonal_for_series_impl(&b, 0, 3, 2).unwrap();
+        let bump_group = res
+            .iter()
+            .find(|r| r.members.iter().any(|m| m.start == 0 && m.series == 0));
         let bump = bump_group.expect("recurring bump group exists");
         assert!(bump.members.iter().any(|m| m.start == 6));
         // every returned member is from series 0 at the right length
@@ -132,7 +163,7 @@ mod tests {
     #[test]
     fn min_recurrence_one_returns_all_participations() {
         let b = seasonal_base();
-        let all = seasonal_for_series(&b, 0, 3, 1).unwrap();
+        let all = seasonal_for_series_impl(&b, 0, 3, 1).unwrap();
         let total: usize = all.iter().map(|r| r.members.len()).sum();
         // series 0 has 10 subsequences of length 3
         assert_eq!(total, 10);
@@ -141,7 +172,7 @@ mod tests {
     #[test]
     fn data_driven_returns_groups_of_length() {
         let b = seasonal_base();
-        let res = seasonal_all(&b, 3, 2).unwrap();
+        let res = seasonal_all_impl(&b, 3, 2).unwrap();
         assert!(!res.is_empty());
         for r in &res {
             assert!(r.members.len() >= 2);
@@ -150,7 +181,7 @@ mod tests {
             }
         }
         // with min_members = 1 we get every group; counts cover all subseqs
-        let every = seasonal_all(&b, 3, 1).unwrap();
+        let every = seasonal_all_impl(&b, 3, 1).unwrap();
         let total: usize = every.iter().map(|r| r.members.len()).sum();
         assert_eq!(total, 10 + 10); // both series contribute 10 windows
     }
@@ -159,16 +190,30 @@ mod tests {
     fn unknown_series_and_length_are_rejected() {
         let b = seasonal_base();
         assert_eq!(
-            seasonal_for_series(&b, 99, 3, 2).unwrap_err(),
+            seasonal_for_series_impl(&b, 99, 3, 2).unwrap_err(),
             OnexError::UnknownSeries(99)
         );
         assert_eq!(
-            seasonal_for_series(&b, 0, 500, 2).unwrap_err(),
+            seasonal_for_series_impl(&b, 0, 500, 2).unwrap_err(),
             OnexError::NoGroupsForLength(500)
         );
         assert_eq!(
-            seasonal_all(&b, 500, 2).unwrap_err(),
+            seasonal_all_impl(&b, 500, 2).unwrap_err(),
             OnexError::NoGroupsForLength(500)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_impls() {
+        let b = seasonal_base();
+        assert_eq!(
+            seasonal_for_series(&b, 0, 3, 2).unwrap(),
+            seasonal_for_series_impl(&b, 0, 3, 2).unwrap()
+        );
+        assert_eq!(
+            seasonal_all(&b, 3, 2).unwrap(),
+            seasonal_all_impl(&b, 3, 2).unwrap()
         );
     }
 }

@@ -7,12 +7,20 @@
 //! against representatives only, with LB pruning and early abandoning, in
 //! median-sum order), (3) best-match search *inside* the selected group,
 //! walking the ED-sorted member list outward from the predicted position.
+//!
+//! The search core is a set of free functions over [`SearchParams`] (what
+//! to do) and a [`SearchCtx`] (per-call scratch: the DTW buffer and the
+//! instrumentation counters). Nothing is borrowed mutably from the base, so
+//! any number of threads can search one base concurrently, each with its
+//! own context — this is what [`crate::engine::Explorer`] builds on. The
+//! legacy [`SimilarityQuery`] wrapper owns one context and forwards.
 
 use super::validate_query;
 use crate::index::LengthIndex;
-use crate::{Group, GroupId, OnexBase, OnexError, Result};
-use onex_dist::{lb_keogh, lb_kim_fl, DtwBuffer};
+use crate::{Group, GroupId, OnexBase, OnexConfig, OnexError, Result};
+use onex_dist::{lb_keogh, lb_kim_fl, DtwBuffer, Window};
 use onex_ts::SubseqRef;
+use std::time::Instant;
 
 /// Which lengths a similarity query searches (the paper's `MATCH` clause).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +47,8 @@ pub struct Match {
     pub rep_dist: f64,
 }
 
-/// Instrumentation counters, exposed for the ablation experiments.
+/// Instrumentation counters, exposed for the ablation experiments and
+/// aggregated into [`crate::engine::QueryStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Representatives considered.
@@ -54,13 +63,100 @@ pub struct QueryStats {
     pub lengths_visited: usize,
 }
 
-/// Reusable similarity-query processor over one base. Owns the DTW scratch
-/// buffer so repeated queries allocate nothing.
-pub struct SimilarityQuery<'a> {
-    base: &'a OnexBase,
-    buf: DtwBuffer,
-    /// Counters from the most recent query.
+impl QueryStats {
+    /// Total DTW evaluations (representatives + members).
+    pub fn dtw_evals(&self) -> usize {
+        self.rep_dtw_evals + self.members_examined
+    }
+}
+
+/// Everything that *configures* one search: the base's build-time knobs,
+/// optionally overridden per query by [`crate::engine::QueryOptions`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SearchParams {
+    /// Similarity threshold for the qualifying-representative test.
+    pub st: f64,
+    /// DTW warping window.
+    pub window: Window,
+    /// Apply the LB_Kim/LB_Keogh pruning cascade before representative DTW.
+    pub lb_pruning: bool,
+    /// Absolute deadline; the search returns its best-so-far once passed.
+    pub deadline: Option<Instant>,
+    /// Cap on total DTW evaluations (representatives + members).
+    pub max_dtw_evals: Option<usize>,
+    /// How many best-matching groups to descend into per length.
+    pub explore_top_groups: usize,
+    /// Intra-group walk patience (consecutive non-improving probes).
+    pub walk_patience: usize,
+    /// Evaluate every member of the selected group.
+    pub exhaustive_group_search: bool,
+    /// Stop the any-length search at the first qualifying representative.
+    pub stop_at_first_qualifying: bool,
+    /// Rank any-length candidates by normalized (vs raw) DTW.
+    pub rank_normalized: bool,
+}
+
+impl SearchParams {
+    /// Parameters exactly matching the base's build-time configuration —
+    /// the legacy `SimilarityQuery` semantics.
+    pub fn from_config(config: &OnexConfig, st: Option<f64>) -> Self {
+        SearchParams {
+            st: st.unwrap_or(config.st),
+            window: config.window,
+            lb_pruning: true,
+            deadline: None,
+            max_dtw_evals: None,
+            explore_top_groups: config.explore_top_groups,
+            walk_patience: config.walk_patience,
+            exhaustive_group_search: config.exhaustive_group_search,
+            stop_at_first_qualifying: config.stop_at_first_qualifying,
+            rank_normalized: config.rank_normalized,
+        }
+    }
+}
+
+/// Per-call scratch state: the DTW buffer (so repeated queries allocate
+/// nothing) and the counters for the query in flight. One context per
+/// thread of execution; contexts are never shared.
+#[derive(Debug, Default)]
+pub(crate) struct SearchCtx {
+    /// DTW scratch rows, reused across evaluations.
+    pub buf: DtwBuffer,
+    /// Counters for the current query.
     pub stats: QueryStats,
+    /// Set when a deadline or evaluation cap stopped the search early; the
+    /// result is the best found within budget (anytime semantics).
+    pub truncated: bool,
+}
+
+impl SearchCtx {
+    /// Resets per-query state (the buffer is retained).
+    pub fn begin(&mut self) {
+        self.stats = QueryStats::default();
+        self.truncated = false;
+    }
+
+    /// Checks the time/evaluation budget, latching `truncated` once
+    /// exceeded. Called before each DTW evaluation; with no budget
+    /// configured this is two branch-predictable compares.
+    fn out_of_budget(&mut self, p: &SearchParams) -> bool {
+        if self.truncated {
+            return true;
+        }
+        if let Some(cap) = p.max_dtw_evals {
+            if self.stats.dtw_evals() >= cap {
+                self.truncated = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = p.deadline {
+            if Instant::now() >= deadline {
+                self.truncated = true;
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Best-representative search result for one length.
@@ -70,12 +166,512 @@ struct RepChoice {
     raw: f64,
 }
 
+/// Finds the best match for a (normalized) query sequence.
+pub(crate) fn best_match(
+    base: &OnexBase,
+    q: &[f64],
+    mode: MatchMode,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Result<Match> {
+    validate_query(q)?;
+    base.ensure_nonempty()?;
+    ctx.begin();
+    match mode {
+        MatchMode::Exact(len) => best_match_at_length(base, q, len, None, p, ctx),
+        MatchMode::Any => best_match_any(base, q, p, ctx),
+    }
+}
+
+/// Top-`k` most similar subsequences. Within the selected group(s) every
+/// member is evaluated (no walk cut-off) so the ranking is complete for
+/// the explored groups; the paper's `getKSim` likewise reads the selected
+/// group's LSI.
+pub(crate) fn top_k(
+    base: &OnexBase,
+    q: &[f64],
+    mode: MatchMode,
+    k: usize,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Result<Vec<Match>> {
+    validate_query(q)?;
+    base.ensure_nonempty()?;
+    ctx.begin();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let lengths: Vec<usize> = match mode {
+        MatchMode::Exact(len) => vec![len],
+        MatchMode::Any => length_order(base, q.len()),
+    };
+    let mut all: Vec<Match> = Vec::new();
+    for len in lengths {
+        let Some(idx) = base.length_index(len) else {
+            if matches!(mode, MatchMode::Exact(_)) {
+                return Err(OnexError::NoGroupsForLength(len));
+            }
+            continue;
+        };
+        ctx.stats.lengths_visited += 1;
+        let choices = best_reps(base, q, idx, p.explore_top_groups.max(1), p, ctx);
+        let mut qualified = false;
+        for c in &choices {
+            let norm = c.raw / (2.0 * q.len().max(len) as f64);
+            if norm <= p.st / 2.0 {
+                qualified = true;
+            }
+            let group = base.group(c.group);
+            for &(r, _) in group.members() {
+                if ctx.out_of_budget(p) {
+                    break;
+                }
+                let vals = base.dataset().subseq_unchecked(r);
+                let raw = ctx.buf.dist(q, vals, p.window);
+                ctx.stats.members_examined += 1;
+                all.push(Match {
+                    subseq: r,
+                    dist: raw / (2.0 * q.len().max(len) as f64),
+                    raw_dtw: raw,
+                    group: c.group,
+                    rep_dist: norm,
+                });
+            }
+        }
+        if ctx.truncated {
+            break;
+        }
+        if matches!(mode, MatchMode::Any)
+            && qualified
+            && p.stop_at_first_qualifying
+            && all.len() >= k
+        {
+            break;
+        }
+    }
+    if p.rank_normalized {
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.subseq.cmp(&b.subseq)));
+    } else {
+        all.sort_by(|a, b| {
+            a.raw_dtw
+                .total_cmp(&b.raw_dtw)
+                .then(a.subseq.cmp(&b.subseq))
+        });
+    }
+    all.truncate(k);
+    if all.is_empty() {
+        return Err(if ctx.truncated {
+            OnexError::BudgetExhausted
+        } else {
+            OnexError::EmptyBase
+        });
+    }
+    Ok(all)
+}
+
+/// Range query — the paper's Q1 with `WHERE Sim <= ST` instead of `min`:
+/// every subsequence whose normalized DTW to the query is within `st`.
+///
+/// Candidate groups are found by the Lemma-2 certificate: a
+/// representative within `ST/2` (normalized DTW) guarantees *all* its
+/// members are within `ST`. With `verify = false` the certified members
+/// are returned as-is (no member-level DTW at all — the paper's fast
+/// path, sound under the theory's unconstrained window but reporting
+/// the representative's distance for each member). With `verify = true`
+/// each member's true DTW is computed and filtered to `≤ st`, which
+/// also finds members of *uncertified* boundary groups (reps in
+/// `(ST/2, ST·1.5]`) that still qualify individually.
+pub(crate) fn within_threshold(
+    base: &OnexBase,
+    q: &[f64],
+    mode: MatchMode,
+    verify: bool,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Result<Vec<Match>> {
+    validate_query(q)?;
+    base.ensure_nonempty()?;
+    ctx.begin();
+    let st = p.st;
+    let lengths: Vec<usize> = match mode {
+        MatchMode::Exact(len) => {
+            if base.length_index(len).is_none() {
+                return Err(OnexError::NoGroupsForLength(len));
+            }
+            vec![len]
+        }
+        MatchMode::Any => length_order(base, q.len()),
+    };
+    let window = p.window;
+    let mut out = Vec::new();
+    'lengths: for len in lengths {
+        let Some(idx) = base.length_index(len) else {
+            continue;
+        };
+        ctx.stats.lengths_visited += 1;
+        let norm = 2.0 * q.len().max(len) as f64;
+        for local in idx.median_out_order() {
+            if ctx.out_of_budget(p) {
+                break 'lengths;
+            }
+            let gid = idx.group_ids[local];
+            let group = base.group(gid);
+            ctx.stats.reps_examined += 1;
+            // Reps beyond 1.5·ST can contain no qualifying member even
+            // under verification (member ≤ ST and Lemma-2-style bounds
+            // keep everything near the rep), so bound the scan there.
+            let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
+            let Some(raw) =
+                ctx.buf
+                    .dist_early_abandon(q, group.representative(), window, scan_limit * norm)
+            else {
+                continue;
+            };
+            ctx.stats.rep_dtw_evals += 1;
+            let rep_norm = raw / norm;
+            if rep_norm <= st / 2.0 && !verify {
+                // Certified: every member qualifies (Lemma 2).
+                for &(r, _) in group.members() {
+                    out.push(Match {
+                        subseq: r,
+                        dist: rep_norm,
+                        raw_dtw: raw,
+                        group: gid,
+                        rep_dist: rep_norm,
+                    });
+                }
+            } else if rep_norm <= scan_limit && verify {
+                for &(r, _) in group.members() {
+                    if ctx.out_of_budget(p) {
+                        break 'lengths;
+                    }
+                    let vals = base.dataset().subseq_unchecked(r);
+                    ctx.stats.members_examined += 1;
+                    let Some(member_raw) = ctx.buf.dist_early_abandon(q, vals, window, st * norm)
+                    else {
+                        continue;
+                    };
+                    let d = member_raw / norm;
+                    if d <= st {
+                        out.push(Match {
+                            subseq: r,
+                            dist: d,
+                            raw_dtw: member_raw,
+                            group: gid,
+                            rep_dist: rep_norm,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.subseq.cmp(&b.subseq)));
+    Ok(out)
+}
+
+fn best_match_at_length(
+    base: &OnexBase,
+    q: &[f64],
+    len: usize,
+    cutoff_raw: Option<f64>,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Result<Match> {
+    let idx = base
+        .length_index(len)
+        .ok_or(OnexError::NoGroupsForLength(len))?;
+    ctx.stats.lengths_visited += 1;
+    let top = p.explore_top_groups.max(1);
+    let choices = best_reps(base, q, idx, top, p, ctx);
+    let mut best: Option<Match> = None;
+    let mut cutoff = cutoff_raw.unwrap_or(f64::INFINITY);
+    for c in &choices {
+        let rep_norm = c.raw / (2.0 * q.len().max(len) as f64);
+        if let Some((r, raw)) = best_in_group(base, q, base.group(c.group), c.raw, cutoff, p, ctx) {
+            if raw < cutoff {
+                cutoff = raw;
+                best = Some(Match {
+                    subseq: r,
+                    dist: raw / (2.0 * q.len().max(len) as f64),
+                    raw_dtw: raw,
+                    group: c.group,
+                    rep_dist: rep_norm,
+                });
+            }
+        }
+    }
+    best.ok_or(if ctx.truncated {
+        OnexError::BudgetExhausted
+    } else {
+        OnexError::NoGroupsForLength(len)
+    })
+}
+
+/// Length search order for any-length queries (§5.3, first bullet):
+/// query length first, then decreasing to the smallest, then increasing
+/// above the query length.
+pub(crate) fn length_order(base: &OnexBase, qlen: usize) -> Vec<usize> {
+    let lengths: Vec<usize> = base.indexed_lengths().collect();
+    let mut below: Vec<usize> = lengths.iter().copied().filter(|&l| l <= qlen).collect();
+    below.reverse(); // qlen, qlen-1, ..., min
+    let above: Vec<usize> = lengths.into_iter().filter(|&l| l > qlen).collect();
+    below.into_iter().chain(above).collect()
+}
+
+fn best_match_any(
+    base: &OnexBase,
+    q: &[f64],
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Result<Match> {
+    let rank_normalized = p.rank_normalized;
+    let mut best: Option<Match> = None;
+    for len in length_order(base, q.len()) {
+        if ctx.out_of_budget(p) {
+            break;
+        }
+        // Carry the best-so-far across lengths as a raw-DTW cutoff for
+        // early abandoning. Under raw ranking it transfers directly;
+        // under normalized ranking it is rescaled by this length's
+        // normalization factor.
+        let cutoff_raw = best.as_ref().map(|b| {
+            if rank_normalized {
+                b.dist * 2.0 * q.len().max(len) as f64
+            } else {
+                b.raw_dtw
+            }
+        });
+        let found = match best_match_at_length(base, q, len, cutoff_raw, p, ctx) {
+            Ok(m) => m,
+            Err(OnexError::NoGroupsForLength(_)) => continue,
+            // Budget ran out inside this length: keep the best-so-far from
+            // earlier lengths (anytime semantics); the final ok_or reports
+            // exhaustion only when nothing was found at all.
+            Err(OnexError::BudgetExhausted) => break,
+            Err(e) => return Err(e),
+        };
+        let better = best.as_ref().is_none_or(|b| {
+            if rank_normalized {
+                found.dist < b.dist
+            } else {
+                found.raw_dtw < b.raw_dtw
+            }
+        });
+        if better {
+            best = Some(found);
+        }
+        // §5.3: stop extending the length search once a representative
+        // within ST/2 has been found at some length.
+        if p.stop_at_first_qualifying {
+            if let Some(b) = &best {
+                if b.rep_dist <= p.st / 2.0 {
+                    break;
+                }
+            }
+        }
+    }
+    best.ok_or(if ctx.truncated {
+        OnexError::BudgetExhausted
+    } else {
+        OnexError::EmptyBase
+    })
+}
+
+/// Best `top` representatives of a length by raw DTW to the query, in
+/// median-sum order with LB pruning and early abandoning.
+fn best_reps(
+    base: &OnexBase,
+    q: &[f64],
+    idx: &LengthIndex,
+    top: usize,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Vec<RepChoice> {
+    let window = p.window;
+    let mut kept: Vec<RepChoice> = Vec::with_capacity(top + 1);
+    let mut cutoff = f64::INFINITY;
+    for local in idx.median_out_order() {
+        if ctx.out_of_budget(p) {
+            break;
+        }
+        let gid = idx.group_ids[local];
+        let group = base.group(gid);
+        let rep = group.representative();
+        ctx.stats.reps_examined += 1;
+        if p.lb_pruning && cutoff.is_finite() {
+            // Cascade: O(1) LB_Kim, then O(n) LB_Keogh when applicable.
+            if lb_kim_fl(q, rep) > cutoff {
+                ctx.stats.reps_lb_pruned += 1;
+                continue;
+            }
+            if q.len() == rep.len() {
+                if let Some(env) = group.envelope() {
+                    if env.radius >= window.resolve(q.len(), rep.len()) && lb_keogh(q, env) > cutoff
+                    {
+                        ctx.stats.reps_lb_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        ctx.stats.rep_dtw_evals += 1;
+        let Some(raw) = ctx.buf.dist_early_abandon(q, rep, window, cutoff) else {
+            continue;
+        };
+        if raw >= cutoff && kept.len() >= top {
+            continue;
+        }
+        kept.push(RepChoice { group: gid, raw });
+        kept.sort_by(|a, b| a.raw.total_cmp(&b.raw));
+        kept.truncate(top);
+        if kept.len() == top {
+            cutoff = kept.last().expect("non-empty").raw;
+        }
+    }
+    kept
+}
+
+/// Best member inside a group (§5.3, third optimization): members are
+/// sorted by raw ED to the representative; start at the member whose ED
+/// is closest to the query↔representative DTW and walk outward
+/// alternately, early-abandoning each DTW against the best so far and
+/// stopping a direction after `walk_patience` consecutive
+/// non-improvements. `exhaustive_group_search` evaluates every member.
+fn best_in_group(
+    base: &OnexBase,
+    q: &[f64],
+    group: &Group,
+    rep_raw_dtw: f64,
+    initial_cutoff: f64,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+) -> Option<(SubseqRef, f64)> {
+    let members = group.members();
+    if members.is_empty() {
+        return None;
+    }
+    let window = p.window;
+    let mut best: Option<(SubseqRef, f64)> = None;
+    let mut cutoff = initial_cutoff;
+    let probe = |ctx: &mut SearchCtx,
+                 i: usize,
+                 best: &mut Option<(SubseqRef, f64)>,
+                 cutoff: &mut f64|
+     -> bool {
+        if ctx.out_of_budget(p) {
+            return false;
+        }
+        let (r, _) = members[i];
+        let vals = base.dataset().subseq_unchecked(r);
+        ctx.stats.members_examined += 1;
+        match ctx.buf.dist_early_abandon(q, vals, window, *cutoff) {
+            Some(raw) if raw < *cutoff || best.is_none() => {
+                let improved = best.as_ref().is_none_or(|&(_, b)| raw < b);
+                if improved {
+                    *best = Some((r, raw));
+                    *cutoff = cutoff.min(raw);
+                    return true;
+                }
+                false
+            }
+            _ => false,
+        }
+    };
+
+    if p.exhaustive_group_search {
+        for i in 0..members.len() {
+            probe(ctx, i, &mut best, &mut cutoff);
+        }
+        return best;
+    }
+
+    // Binary-search the ED-sorted member array for the position whose ED
+    // to the representative is closest to DTW(q, rep).
+    let start = match members.binary_search_by(|&(_, d)| d.total_cmp(&rep_raw_dtw)) {
+        Ok(i) => i,
+        Err(i) => {
+            if i == 0 {
+                0
+            } else if i >= members.len() {
+                members.len() - 1
+            } else {
+                // pick the closer neighbour
+                let below = rep_raw_dtw - members[i - 1].1;
+                let above = members[i].1 - rep_raw_dtw;
+                if below <= above {
+                    i - 1
+                } else {
+                    i
+                }
+            }
+        }
+    };
+    probe(ctx, start, &mut best, &mut cutoff);
+    let patience = p.walk_patience.max(1);
+    let (mut left, mut right) = (start, start);
+    let mut left_bad = 0usize;
+    let mut right_bad = 0usize;
+    let mut go_left = true;
+    loop {
+        if ctx.truncated {
+            break;
+        }
+        let can_left = left > 0 && left_bad < patience;
+        let can_right = right + 1 < members.len() && right_bad < patience;
+        if !can_left && !can_right {
+            break;
+        }
+        let take_left = match (can_left, can_right) {
+            (true, true) => go_left,
+            (true, false) => true,
+            _ => false,
+        };
+        go_left = !go_left;
+        if take_left {
+            left -= 1;
+            if probe(ctx, left, &mut best, &mut cutoff) {
+                left_bad = 0;
+            } else {
+                left_bad += 1;
+            }
+        } else {
+            right += 1;
+            if probe(ctx, right, &mut best, &mut cutoff) {
+                right_bad = 0;
+            } else {
+                right_bad += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Legacy reusable similarity-query processor over one base. Owns one
+/// [`SearchCtx`] (DTW scratch buffer + counters), so repeated queries
+/// allocate nothing — but the `&mut self` receiver serializes callers.
+///
+/// Deprecated: [`crate::engine::Explorer`] answers the same queries (and
+/// the other classes) through one typed request/response API, from `&self`,
+/// so one instance serves any number of threads. This type now forwards to
+/// the same search core and returns bit-identical results.
+#[deprecated(
+    since = "0.2.0",
+    note = "use onex_core::engine::Explorer — one typed, thread-safe API for all query classes"
+)]
+pub struct SimilarityQuery<'a> {
+    base: &'a OnexBase,
+    ctx: SearchCtx,
+    /// Counters from the most recent query.
+    pub stats: QueryStats,
+}
+
+#[allow(deprecated)]
 impl<'a> SimilarityQuery<'a> {
     /// Creates a processor bound to a base.
     pub fn new(base: &'a OnexBase) -> Self {
         SimilarityQuery {
             base,
-            buf: DtwBuffer::new(),
+            ctx: SearchCtx::default(),
             stats: QueryStats::default(),
         }
     }
@@ -84,20 +680,13 @@ impl<'a> SimilarityQuery<'a> {
     /// the base's similarity threshold for the qualifying-representative test
     /// (the `WHERE Sim <= ST` clause); `None` uses the build-time threshold.
     pub fn best_match(&mut self, q: &[f64], mode: MatchMode, st: Option<f64>) -> Result<Match> {
-        validate_query(q)?;
-        self.base.ensure_nonempty()?;
-        self.stats = QueryStats::default();
-        let st = st.unwrap_or(self.base.config().st);
-        match mode {
-            MatchMode::Exact(len) => self.best_match_at_length(q, len, None),
-            MatchMode::Any => self.best_match_any(q, st),
-        }
+        let p = SearchParams::from_config(self.base.config(), st);
+        let out = best_match(self.base, q, mode, &p, &mut self.ctx);
+        self.stats = self.ctx.stats;
+        out
     }
 
-    /// Top-`k` most similar subsequences. Within the selected group(s) every
-    /// member is evaluated (no walk cut-off) so the ranking is complete for
-    /// the explored groups; the paper's `getKSim` likewise reads the selected
-    /// group's LSI.
+    /// Top-`k` most similar subsequences; see [`top_k`].
     pub fn top_k(
         &mut self,
         q: &[f64],
@@ -105,79 +694,13 @@ impl<'a> SimilarityQuery<'a> {
         k: usize,
         st: Option<f64>,
     ) -> Result<Vec<Match>> {
-        validate_query(q)?;
-        self.base.ensure_nonempty()?;
-        self.stats = QueryStats::default();
-        if k == 0 {
-            return Ok(Vec::new());
-        }
-        let st = st.unwrap_or(self.base.config().st);
-        let lengths: Vec<usize> = match mode {
-            MatchMode::Exact(len) => vec![len],
-            MatchMode::Any => self.length_order(q.len()),
-        };
-        let mut all: Vec<Match> = Vec::new();
-        for len in lengths {
-            let Some(idx) = self.base.length_index(len) else {
-                if matches!(mode, MatchMode::Exact(_)) {
-                    return Err(OnexError::NoGroupsForLength(len));
-                }
-                continue;
-            };
-            self.stats.lengths_visited += 1;
-            let choices = self.best_reps(q, idx, self.base.config().explore_top_groups.max(1));
-            let mut qualified = false;
-            for c in &choices {
-                let norm = c.raw / (2.0 * q.len().max(len) as f64);
-                if norm <= st / 2.0 {
-                    qualified = true;
-                }
-                let group = self.base.group(c.group);
-                for &(r, _) in group.members() {
-                    let vals = self.base.dataset().subseq_unchecked(r);
-                    let raw = self.buf.dist(q, vals, self.base.config().window);
-                    self.stats.members_examined += 1;
-                    all.push(Match {
-                        subseq: r,
-                        dist: raw / (2.0 * q.len().max(len) as f64),
-                        raw_dtw: raw,
-                        group: c.group,
-                        rep_dist: norm,
-                    });
-                }
-            }
-            if matches!(mode, MatchMode::Any)
-                && qualified
-                && self.base.config().stop_at_first_qualifying
-                && all.len() >= k
-            {
-                break;
-            }
-        }
-        if self.base.config().rank_normalized {
-            all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.subseq.cmp(&b.subseq)));
-        } else {
-            all.sort_by(|a, b| a.raw_dtw.total_cmp(&b.raw_dtw).then(a.subseq.cmp(&b.subseq)));
-        }
-        all.truncate(k);
-        if all.is_empty() {
-            return Err(OnexError::EmptyBase);
-        }
-        Ok(all)
+        let p = SearchParams::from_config(self.base.config(), st);
+        let out = top_k(self.base, q, mode, k, &p, &mut self.ctx);
+        self.stats = self.ctx.stats;
+        out
     }
 
-    /// Range query — the paper's Q1 with `WHERE Sim <= ST` instead of `min`:
-    /// every subsequence whose normalized DTW to the query is within `st`.
-    ///
-    /// Candidate groups are found by the Lemma-2 certificate: a
-    /// representative within `ST/2` (normalized DTW) guarantees *all* its
-    /// members are within `ST`. With `verify = false` the certified members
-    /// are returned as-is (no member-level DTW at all — the paper's fast
-    /// path, sound under the theory's unconstrained window but reporting
-    /// the representative's distance for each member). With `verify = true`
-    /// each member's true DTW is computed and filtered to `≤ st`, which
-    /// also finds members of *uncertified* boundary groups (reps in
-    /// `(ST/2, ST·1.5]`) that still qualify individually.
+    /// Range query; see [`within_threshold`].
     pub fn within_threshold(
         &mut self,
         q: &[f64],
@@ -185,324 +708,18 @@ impl<'a> SimilarityQuery<'a> {
         st: Option<f64>,
         verify: bool,
     ) -> Result<Vec<Match>> {
-        validate_query(q)?;
-        self.base.ensure_nonempty()?;
-        self.stats = QueryStats::default();
-        let st = st.unwrap_or(self.base.config().st);
-        let lengths: Vec<usize> = match mode {
-            MatchMode::Exact(len) => {
-                if self.base.length_index(len).is_none() {
-                    return Err(OnexError::NoGroupsForLength(len));
-                }
-                vec![len]
-            }
-            MatchMode::Any => self.length_order(q.len()),
-        };
-        let window = self.base.config().window;
-        let mut out = Vec::new();
-        for len in lengths {
-            let Some(idx) = self.base.length_index(len) else {
-                continue;
-            };
-            self.stats.lengths_visited += 1;
-            let norm = 2.0 * q.len().max(len) as f64;
-            for local in idx.median_out_order() {
-                let gid = idx.group_ids[local];
-                let group = self.base.group(gid);
-                self.stats.reps_examined += 1;
-                // Reps beyond 1.5·ST can contain no qualifying member even
-                // under verification (member ≤ ST and Lemma-2-style bounds
-                // keep everything near the rep), so bound the scan there.
-                let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
-                let Some(raw) =
-                    self.buf
-                        .dist_early_abandon(q, group.representative(), window, scan_limit * norm)
-                else {
-                    continue;
-                };
-                self.stats.rep_dtw_evals += 1;
-                let rep_norm = raw / norm;
-                if rep_norm <= st / 2.0 && !verify {
-                    // Certified: every member qualifies (Lemma 2).
-                    for &(r, _) in group.members() {
-                        out.push(Match {
-                            subseq: r,
-                            dist: rep_norm,
-                            raw_dtw: raw,
-                            group: gid,
-                            rep_dist: rep_norm,
-                        });
-                    }
-                } else if rep_norm <= scan_limit && verify {
-                    for &(r, _) in group.members() {
-                        let vals = self.base.dataset().subseq_unchecked(r);
-                        self.stats.members_examined += 1;
-                        let Some(member_raw) =
-                            self.buf.dist_early_abandon(q, vals, window, st * norm)
-                        else {
-                            continue;
-                        };
-                        let d = member_raw / norm;
-                        if d <= st {
-                            out.push(Match {
-                                subseq: r,
-                                dist: d,
-                                raw_dtw: member_raw,
-                                group: gid,
-                                rep_dist: rep_norm,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.subseq.cmp(&b.subseq)));
-        Ok(out)
-    }
-
-    fn best_match_at_length(
-        &mut self,
-        q: &[f64],
-        len: usize,
-        cutoff_raw: Option<f64>,
-    ) -> Result<Match> {
-        let idx = self
-            .base
-            .length_index(len)
-            .ok_or(OnexError::NoGroupsForLength(len))?;
-        self.stats.lengths_visited += 1;
-        let top = self.base.config().explore_top_groups.max(1);
-        let choices = self.best_reps(q, idx, top);
-        let mut best: Option<Match> = None;
-        let mut cutoff = cutoff_raw.unwrap_or(f64::INFINITY);
-        for c in &choices {
-            let rep_norm = c.raw / (2.0 * q.len().max(len) as f64);
-            if let Some((r, raw)) = self.best_in_group(q, self.base.group(c.group), c.raw, cutoff)
-            {
-                if raw < cutoff {
-                    cutoff = raw;
-                    best = Some(Match {
-                        subseq: r,
-                        dist: raw / (2.0 * q.len().max(len) as f64),
-                        raw_dtw: raw,
-                        group: c.group,
-                        rep_dist: rep_norm,
-                    });
-                }
-            }
-        }
-        best.ok_or(OnexError::NoGroupsForLength(len))
-    }
-
-    /// Length search order for any-length queries (§5.3, first bullet):
-    /// query length first, then decreasing to the smallest, then increasing
-    /// above the query length.
-    fn length_order(&self, qlen: usize) -> Vec<usize> {
-        let lengths: Vec<usize> = self.base.indexed_lengths().collect();
-        let mut below: Vec<usize> = lengths.iter().copied().filter(|&l| l <= qlen).collect();
-        below.reverse(); // qlen, qlen-1, ..., min
-        let above: Vec<usize> = lengths.into_iter().filter(|&l| l > qlen).collect();
-        below.into_iter().chain(above).collect()
-    }
-
-    fn best_match_any(&mut self, q: &[f64], st: f64) -> Result<Match> {
-        let rank_normalized = self.base.config().rank_normalized;
-        let mut best: Option<Match> = None;
-        for len in self.length_order(q.len()) {
-            // Carry the best-so-far across lengths as a raw-DTW cutoff for
-            // early abandoning. Under raw ranking it transfers directly;
-            // under normalized ranking it is rescaled by this length's
-            // normalization factor.
-            let cutoff_raw = best.as_ref().map(|b| {
-                if rank_normalized {
-                    b.dist * 2.0 * q.len().max(len) as f64
-                } else {
-                    b.raw_dtw
-                }
-            });
-            let found = match self.best_match_at_length(q, len, cutoff_raw) {
-                Ok(m) => m,
-                Err(OnexError::NoGroupsForLength(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            let better = best.as_ref().is_none_or(|b| {
-                if rank_normalized {
-                    found.dist < b.dist
-                } else {
-                    found.raw_dtw < b.raw_dtw
-                }
-            });
-            if better {
-                best = Some(found);
-            }
-            // §5.3: stop extending the length search once a representative
-            // within ST/2 has been found at some length.
-            if self.base.config().stop_at_first_qualifying {
-                if let Some(b) = &best {
-                    if b.rep_dist <= st / 2.0 {
-                        break;
-                    }
-                }
-            }
-        }
-        best.ok_or(OnexError::EmptyBase)
-    }
-
-    /// Best `top` representatives of a length by raw DTW to the query, in
-    /// median-sum order with LB pruning and early abandoning.
-    fn best_reps(&mut self, q: &[f64], idx: &LengthIndex, top: usize) -> Vec<RepChoice> {
-        let window = self.base.config().window;
-        let mut kept: Vec<RepChoice> = Vec::with_capacity(top + 1);
-        let mut cutoff = f64::INFINITY;
-        for local in idx.median_out_order() {
-            let gid = idx.group_ids[local];
-            let group = self.base.group(gid);
-            let rep = group.representative();
-            self.stats.reps_examined += 1;
-            if cutoff.is_finite() {
-                // Cascade: O(1) LB_Kim, then O(n) LB_Keogh when applicable.
-                if lb_kim_fl(q, rep) > cutoff {
-                    self.stats.reps_lb_pruned += 1;
-                    continue;
-                }
-                if q.len() == rep.len() {
-                    if let Some(env) = group.envelope() {
-                        if env.radius >= window.resolve(q.len(), rep.len())
-                            && lb_keogh(q, env) > cutoff
-                        {
-                            self.stats.reps_lb_pruned += 1;
-                            continue;
-                        }
-                    }
-                }
-            }
-            self.stats.rep_dtw_evals += 1;
-            let Some(raw) = self.buf.dist_early_abandon(q, rep, window, cutoff) else {
-                continue;
-            };
-            if raw >= cutoff && kept.len() >= top {
-                continue;
-            }
-            kept.push(RepChoice { group: gid, raw });
-            kept.sort_by(|a, b| a.raw.total_cmp(&b.raw));
-            kept.truncate(top);
-            if kept.len() == top {
-                cutoff = kept.last().expect("non-empty").raw;
-            }
-        }
-        kept
-    }
-
-    /// Best member inside a group (§5.3, third optimization): members are
-    /// sorted by raw ED to the representative; start at the member whose ED
-    /// is closest to the query↔representative DTW and walk outward
-    /// alternately, early-abandoning each DTW against the best so far and
-    /// stopping a direction after `walk_patience` consecutive
-    /// non-improvements. `exhaustive_group_search` evaluates every member.
-    fn best_in_group(
-        &mut self,
-        q: &[f64],
-        group: &Group,
-        rep_raw_dtw: f64,
-        initial_cutoff: f64,
-    ) -> Option<(SubseqRef, f64)> {
-        let members = group.members();
-        if members.is_empty() {
-            return None;
-        }
-        let window = self.base.config().window;
-        let mut best: Option<(SubseqRef, f64)> = None;
-        let mut cutoff = initial_cutoff;
-        let probe = |this: &mut Self, i: usize, best: &mut Option<(SubseqRef, f64)>, cutoff: &mut f64| -> bool {
-            let (r, _) = members[i];
-            let vals = this.base.dataset().subseq_unchecked(r);
-            this.stats.members_examined += 1;
-            match this.buf.dist_early_abandon(q, vals, window, *cutoff) {
-                Some(raw) if raw < *cutoff || best.is_none() => {
-                    let improved = best.as_ref().is_none_or(|&(_, b)| raw < b);
-                    if improved {
-                        *best = Some((r, raw));
-                        *cutoff = cutoff.min(raw);
-                        return true;
-                    }
-                    false
-                }
-                _ => false,
-            }
-        };
-
-        if self.base.config().exhaustive_group_search {
-            for i in 0..members.len() {
-                probe(self, i, &mut best, &mut cutoff);
-            }
-            return best;
-        }
-
-        // Binary-search the ED-sorted member array for the position whose ED
-        // to the representative is closest to DTW(q, rep).
-        let start = match members
-            .binary_search_by(|&(_, d)| d.total_cmp(&rep_raw_dtw))
-        {
-            Ok(i) => i,
-            Err(i) => {
-                if i == 0 {
-                    0
-                } else if i >= members.len() {
-                    members.len() - 1
-                } else {
-                    // pick the closer neighbour
-                    let below = rep_raw_dtw - members[i - 1].1;
-                    let above = members[i].1 - rep_raw_dtw;
-                    if below <= above {
-                        i - 1
-                    } else {
-                        i
-                    }
-                }
-            }
-        };
-        probe(self, start, &mut best, &mut cutoff);
-        let patience = self.base.config().walk_patience.max(1);
-        let (mut left, mut right) = (start, start);
-        let mut left_bad = 0usize;
-        let mut right_bad = 0usize;
-        let mut go_left = true;
-        loop {
-            let can_left = left > 0 && left_bad < patience;
-            let can_right = right + 1 < members.len() && right_bad < patience;
-            if !can_left && !can_right {
-                break;
-            }
-            let take_left = match (can_left, can_right) {
-                (true, true) => go_left,
-                (true, false) => true,
-                _ => false,
-            };
-            go_left = !go_left;
-            if take_left {
-                left -= 1;
-                if probe(self, left, &mut best, &mut cutoff) {
-                    left_bad = 0;
-                } else {
-                    left_bad += 1;
-                }
-            } else {
-                right += 1;
-                if probe(self, right, &mut best, &mut cutoff) {
-                    right_bad = 0;
-                } else {
-                    right_bad += 1;
-                }
-            }
-        }
-        best
+        let p = SearchParams::from_config(self.base.config(), st);
+        let out = within_threshold(self.base, q, mode, verify, &p, &mut self.ctx);
+        self.stats = self.ctx.stats;
+        out
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::{OnexConfig, OnexBase};
+    use crate::{OnexBase, OnexConfig};
     use onex_dist::{dtw_normalized, Window};
     use onex_ts::{synth, Dataset, TimeSeries};
 
@@ -519,9 +736,7 @@ mod tests {
         // the group-guarantee bound.
         let q: Vec<f64> = b.dataset().get(0).unwrap().values()[3..15].to_vec();
         let mut proc = SimilarityQuery::new(&b);
-        let m = proc
-            .best_match(&q, MatchMode::Exact(12), None)
-            .unwrap();
+        let m = proc.best_match(&q, MatchMode::Exact(12), None).unwrap();
         assert_eq!(m.subseq.len, 12);
         // The query itself lives in some group of length 12; its own group's
         // representative is within ST/2, so the retrieved distance is small.
@@ -575,7 +790,7 @@ mod tests {
         let mut proc = SimilarityQuery::new(&b);
         assert!(proc.best_match(&[], MatchMode::Any, None).is_err());
         assert!(proc
-            .best_match(&[f64::NAN], MatchMode::Any, None)
+            .best_match(&[f64::NAN, 0.0], MatchMode::Any, None)
             .is_err());
     }
 
@@ -589,7 +804,10 @@ mod tests {
         for w in ms.windows(2) {
             assert!(w[0].dist <= w[1].dist);
         }
-        assert_eq!(proc.top_k(&q, MatchMode::Exact(12), 0, None).unwrap(), vec![]);
+        assert_eq!(
+            proc.top_k(&q, MatchMode::Exact(12), 0, None).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -687,8 +905,7 @@ mod tests {
         let ms = proc
             .within_threshold(&q, MatchMode::Any, Some(0.2), true)
             .unwrap();
-        let lengths: std::collections::HashSet<u32> =
-            ms.iter().map(|m| m.subseq.len).collect();
+        let lengths: std::collections::HashSet<u32> = ms.iter().map(|m| m.subseq.len).collect();
         assert!(lengths.len() > 1, "expected matches across lengths");
     }
 
@@ -709,6 +926,7 @@ mod tests {
             "{s:?}"
         );
         assert!(s.members_examined >= 1);
+        assert_eq!(s.dtw_evals(), s.rep_dtw_evals + s.members_examined);
         // stats reset between queries
         let _ = proc.best_match(&q, MatchMode::Exact(16), None).unwrap();
         assert_eq!(proc.stats.lengths_visited, 1);
@@ -732,13 +950,63 @@ mod tests {
     #[test]
     fn length_order_matches_paper_strategy() {
         let b = base();
-        let proc = SimilarityQuery::new(&b);
-        let order = proc.length_order(10);
+        let order = length_order(&b, 10);
         // starts at query length, descends to min, then ascends above
         assert_eq!(order[0], 10);
         let min_pos = order.iter().position(|&l| l == 2).unwrap();
         assert!(order[..=min_pos].windows(2).all(|w| w[0] > w[1]));
         assert!(order[min_pos + 1..].windows(2).all(|w| w[0] < w[1]));
         assert_eq!(order.len(), b.indexed_lengths().count());
+    }
+
+    #[test]
+    fn lb_pruning_toggle_preserves_result() {
+        // Disabling the LB cascade changes work done, never the answer.
+        let d = synth::face(16, 32, 9);
+        let b = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let q: Vec<f64> = b.dataset().get(1).unwrap().values()[2..18].to_vec();
+        let mut with = SearchCtx::default();
+        let mut without = SearchCtx::default();
+        let p_on = SearchParams::from_config(b.config(), None);
+        let p_off = SearchParams {
+            lb_pruning: false,
+            ..p_on
+        };
+        let m_on = best_match(&b, &q, MatchMode::Exact(16), &p_on, &mut with).unwrap();
+        let m_off = best_match(&b, &q, MatchMode::Exact(16), &p_off, &mut without).unwrap();
+        assert_eq!(m_on, m_off);
+        assert_eq!(without.stats.reps_lb_pruned, 0);
+        assert!(without.stats.rep_dtw_evals >= with.stats.rep_dtw_evals);
+    }
+
+    #[test]
+    fn max_dtw_cap_truncates_but_returns() {
+        let b = base();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[0..12].to_vec();
+        let p = SearchParams {
+            max_dtw_evals: Some(2),
+            ..SearchParams::from_config(b.config(), None)
+        };
+        let mut ctx = SearchCtx::default();
+        let m = best_match(&b, &q, MatchMode::Exact(12), &p, &mut ctx);
+        assert!(ctx.truncated, "a 2-eval budget must truncate this search");
+        // Anytime semantics: whatever was found within budget is returned.
+        if let Ok(m) = m {
+            assert!(m.dist.is_finite());
+        }
+        assert!(ctx.stats.dtw_evals() <= 3, "{:?}", ctx.stats);
+    }
+
+    #[test]
+    fn expired_deadline_latches_truncated() {
+        let b = base();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[0..12].to_vec();
+        let p = SearchParams {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..SearchParams::from_config(b.config(), None)
+        };
+        let mut ctx = SearchCtx::default();
+        let _ = best_match(&b, &q, MatchMode::Exact(12), &p, &mut ctx);
+        assert!(ctx.truncated);
     }
 }

@@ -157,7 +157,8 @@ fn merge_groups(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{OnexConfig, SimilarityQuery, MatchMode};
+    use crate::engine::{Explorer, QueryOptions};
+    use crate::{MatchMode, OnexConfig};
     use onex_dist::ed_normalized;
     use onex_ts::synth;
 
@@ -212,10 +213,11 @@ mod tests {
         // one length still has > 1 group unless everything was truly close.
         // (sine_mix has two well-separated classes, so expect > 1 group at
         // moderate lengths.)
-        let any_multi = r
-            .length_indexes()
-            .any(|idx| idx.group_count() > 1);
-        assert!(any_multi, "distinct classes should not all merge at ST'=0.6");
+        let any_multi = r.length_indexes().any(|idx| idx.group_count() > 1);
+        assert!(
+            any_multi,
+            "distinct classes should not all merge at ST'=0.6"
+        );
     }
 
     #[test]
@@ -223,8 +225,10 @@ mod tests {
         let b = base(0.2);
         let r = refine(&b, 0.35).unwrap();
         let q: Vec<f64> = r.dataset().get(0).unwrap().values()[0..8].to_vec();
-        let mut proc = SimilarityQuery::new(&r);
-        let m = proc.best_match(&q, MatchMode::Exact(8), None).unwrap();
+        let explorer = Explorer::from_base(r);
+        let m = explorer
+            .best_match(&q, MatchMode::Exact(8), QueryOptions::default())
+            .unwrap();
         assert!(m.dist.is_finite());
     }
 
@@ -240,8 +244,10 @@ mod tests {
         let b = OnexBase::build(&d, cfg).unwrap();
         let r = refine(&b, 0.2).unwrap();
         let q: Vec<f64> = r.dataset().get(1).unwrap().values()[2..8].to_vec();
-        let mut proc = SimilarityQuery::new(&r);
-        let m = proc.best_match(&q, MatchMode::Exact(6), None).unwrap();
+        let explorer = Explorer::from_base(r);
+        let m = explorer
+            .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
+            .unwrap();
         assert!(m.raw_dtw <= 1e-9, "raw {}", m.raw_dtw);
     }
 }

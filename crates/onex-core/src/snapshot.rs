@@ -350,19 +350,27 @@ fn get_u8(buf: &mut &[u8]) -> Result<u8> {
 }
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32> {
-    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(
+        take(buf, 4)?.try_into().expect("4 bytes"),
+    ))
 }
 
 fn get_i32(buf: &mut &[u8]) -> Result<i32> {
-    Ok(i32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+    Ok(i32::from_le_bytes(
+        take(buf, 4)?.try_into().expect("4 bytes"),
+    ))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64> {
-    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+    Ok(u64::from_le_bytes(
+        take(buf, 8)?.try_into().expect("8 bytes"),
+    ))
 }
 
 fn get_f64(buf: &mut &[u8]) -> Result<f64> {
-    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+    Ok(f64::from_le_bytes(
+        take(buf, 8)?.try_into().expect("8 bytes"),
+    ))
 }
 
 /// `get_f64` that additionally rejects NaN/∞ — used for group state, whose
@@ -380,7 +388,8 @@ fn get_finite_f64(buf: &mut &[u8]) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MatchMode, SimilarityQuery};
+    use crate::engine::{Explorer, QueryOptions};
+    use crate::MatchMode;
     use onex_ts::synth;
 
     fn base() -> OnexBase {
@@ -413,11 +422,11 @@ mod tests {
         let b = base();
         let r = decode(&encode(&b)).unwrap();
         let q: Vec<f64> = b.dataset().get(0).unwrap().values()[0..6].to_vec();
-        let m1 = SimilarityQuery::new(&b)
-            .best_match(&q, MatchMode::Exact(6), None)
+        let m1 = Explorer::from_base(b)
+            .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
             .unwrap();
-        let m2 = SimilarityQuery::new(&r)
-            .best_match(&q, MatchMode::Exact(6), None)
+        let m2 = Explorer::from_base(r)
+            .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
             .unwrap();
         assert_eq!(m1, m2);
     }
@@ -428,10 +437,7 @@ mod tests {
         let bytes = encode(&b);
         let mut bad = bytes.to_vec();
         bad[0] = b'X';
-        assert!(matches!(
-            decode(&bad),
-            Err(OnexError::SnapshotCorrupt(_))
-        ));
+        assert!(matches!(decode(&bad), Err(OnexError::SnapshotCorrupt(_))));
         // truncate at every eighth boundary: must never panic
         for cut in (0..bytes.len().min(512)).step_by(8) {
             let _ = decode(&bytes[..cut]);
@@ -447,10 +453,7 @@ mod tests {
         let b = base();
         let mut bytes = encode(&b).to_vec();
         bytes.push(0);
-        assert!(matches!(
-            decode(&bytes),
-            Err(OnexError::SnapshotCorrupt(_))
-        ));
+        assert!(matches!(decode(&bytes), Err(OnexError::SnapshotCorrupt(_))));
     }
 
     #[test]
@@ -458,9 +461,6 @@ mod tests {
         let b = base();
         let mut bytes = encode(&b).to_vec();
         bytes[4] = 99;
-        assert!(matches!(
-            decode(&bytes),
-            Err(OnexError::SnapshotCorrupt(_))
-        ));
+        assert!(matches!(decode(&bytes), Err(OnexError::SnapshotCorrupt(_))));
     }
 }

@@ -45,14 +45,8 @@ pub struct SpSpace {
 impl SpSpace {
     /// Assembles the space from per-length `(ST_half, ST_final)` pairs.
     pub fn new(local: BTreeMap<usize, (f64, f64)>) -> Self {
-        let global_half = local
-            .values()
-            .map(|&(h, _)| h)
-            .fold(0.0f64, f64::max);
-        let global_final = local
-            .values()
-            .map(|&(_, f)| f)
-            .fold(0.0f64, f64::max);
+        let global_half = local.values().map(|&(h, _)| h).fold(0.0f64, f64::max);
+        let global_final = local.values().map(|&(_, f)| f).fold(0.0f64, f64::max);
         SpSpace {
             local,
             global_half,
@@ -78,7 +72,9 @@ impl SpSpace {
     /// Classifies a threshold for a given length (`None` = globally).
     pub fn classify(&self, st: f64, len: Option<usize>) -> SimilarityDegree {
         let (half, fin) = match len {
-            Some(l) => self.local(l).unwrap_or((self.global_half, self.global_final)),
+            Some(l) => self
+                .local(l)
+                .unwrap_or((self.global_half, self.global_final)),
             None => (self.global_half, self.global_final),
         };
         if st < half {
@@ -94,7 +90,9 @@ impl SpSpace {
     /// — the answer to a Class III query with an explicit degree.
     pub fn range_for(&self, degree: SimilarityDegree, len: Option<usize>) -> ThresholdRange {
         let (half, fin) = match len {
-            Some(l) => self.local(l).unwrap_or((self.global_half, self.global_final)),
+            Some(l) => self
+                .local(l)
+                .unwrap_or((self.global_half, self.global_final)),
             None => (self.global_half, self.global_final),
         };
         match degree {

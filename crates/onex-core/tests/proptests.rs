@@ -2,18 +2,15 @@
 //! retrieval guarantee they imply, refinement consistency, and snapshot
 //! round-tripping, all over randomized datasets.
 
-use onex_core::{snapshot, BuildMode, MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex_core::engine::{Explorer, QueryOptions};
+use onex_core::{snapshot, BuildMode, MatchMode, OnexBase, OnexConfig};
 use onex_dist::{dtw_normalized, ed_normalized};
 use onex_ts::{Dataset, Decomposition, TimeSeries};
 use proptest::prelude::*;
 
 /// A random dataset of 2–6 series, lengths 6–14, values in [0, 1].
 fn dataset() -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(
-        prop::collection::vec(0.0..1.0f64, 6..=14),
-        2..=6,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, 6..=14), 2..=6).prop_map(|rows| {
         let series = rows
             .into_iter()
             .map(|v| TimeSeries::new(v).expect("finite"))
@@ -112,8 +109,10 @@ proptest! {
         let src = base.dataset().get(0).unwrap();
         prop_assume!(src.len() >= qlen);
         let q: Vec<f64> = src.values()[..qlen].to_vec();
-        let mut proc = SimilarityQuery::new(&base);
-        let m = proc.best_match(&q, MatchMode::Any, None).unwrap();
+        let explorer = Explorer::from_base(base.clone());
+        let m = explorer
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
         let vals = base.dataset().subseq(m.subseq).unwrap();
         let expect = dtw_normalized(&q, vals, base.config().window);
         prop_assert!((m.dist - expect).abs() < 1e-9);
@@ -127,8 +126,10 @@ proptest! {
         };
         let base = OnexBase::build_prenormalized(d, cfg).unwrap();
         let q: Vec<f64> = base.dataset().get(0).unwrap().values()[..4].to_vec();
-        let mut proc = SimilarityQuery::new(&base);
-        prop_assert!(proc.best_match(&q, MatchMode::Exact(4), None).is_ok());
+        let explorer = Explorer::from_base(base);
+        prop_assert!(explorer
+            .best_match(&q, MatchMode::Exact(4), QueryOptions::default())
+            .is_ok());
     }
 
     #[test]
@@ -156,10 +157,10 @@ proptest! {
         };
         let base = OnexBase::build_prenormalized(d, cfg).unwrap();
         let q: Vec<f64> = base.dataset().get(0).unwrap().values()[..5].to_vec();
-        let mut proc = SimilarityQuery::new(&base);
+        let explorer = Explorer::from_base(base.clone());
         let st = 0.15;
-        let hits = proc
-            .within_threshold(&q, MatchMode::Any, Some(st), true)
+        let hits = explorer
+            .within_threshold(&q, MatchMode::Any, true, QueryOptions::with_st(st))
             .unwrap();
         for m in &hits {
             prop_assert!(m.dist <= st + 1e-9);

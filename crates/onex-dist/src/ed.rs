@@ -105,11 +105,7 @@ mod tests {
         for n in 1..=9usize {
             let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.7).collect();
             let y: Vec<f64> = (0..n).map(|i| 3.0 - i as f64).collect();
-            let scalar: f64 = x
-                .iter()
-                .zip(&y)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let scalar: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!((ed_sq(&x, &y) - scalar).abs() < 1e-12, "n={n}");
         }
     }

@@ -34,9 +34,7 @@ pub fn lcss_len(x: &[f64], y: &[f64], params: LcssParams) -> usize {
     let mut curr = vec![0usize; m + 1];
     for i in 1..=n {
         for j in 1..=m {
-            let in_band = params
-                .delta
-                .is_none_or(|d| i.abs_diff(j) <= d);
+            let in_band = params.delta.is_none_or(|d| i.abs_diff(j) <= d);
             if in_band && (x[i - 1] - y[j - 1]).abs() <= params.epsilon {
                 curr[j] = prev[j - 1] + 1;
             } else {

@@ -41,9 +41,7 @@ impl Paa {
         if m == 0 || n == 0 {
             return Vec::new();
         }
-        (0..n)
-            .map(|i| self.segments[i * m / n])
-            .collect()
+        (0..n).map(|i| self.segments[i * m / n]).collect()
     }
 }
 
@@ -160,8 +158,10 @@ mod tests {
         let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2 + 0.7).sin()).collect();
         let exact = dtw(&x, &y, Window::Unconstrained);
         let approx = pdtw(&paa(&x, 16), &paa(&y, 16), Window::Unconstrained);
-        assert!(approx > 0.25 * exact && approx < 4.0 * exact,
-            "approx {approx} vs exact {exact}");
+        assert!(
+            approx > 0.25 * exact && approx < 4.0 * exact,
+            "approx {approx} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! randomized inputs rather than hand-picked examples.
 
 use onex_dist::{
-    dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, ed, ed_early_abandon_sq,
-    ed_normalized, ed_sq, lb_keogh, lb_kim_fl, paa, pdtw, Envelope, Window,
+    dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, ed, ed_early_abandon_sq, ed_normalized,
+    ed_sq, lb_keogh, lb_kim_fl, paa, pdtw, Envelope, Window,
 };
 use proptest::prelude::*;
 

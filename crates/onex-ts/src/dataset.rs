@@ -433,10 +433,7 @@ mod tests {
     #[test]
     fn decomposed_lengths_union_over_series() {
         let d = toy();
-        assert_eq!(
-            d.decomposed_lengths(&Decomposition::full()),
-            vec![2, 3, 4]
-        );
+        assert_eq!(d.decomposed_lengths(&Decomposition::full()), vec![2, 3, 4]);
     }
 
     #[test]

@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn degenerate_range_is_rejected() {
-        let flat = Dataset::new(
-            "flat",
-            vec![TimeSeries::new(vec![3.0, 3.0, 3.0]).unwrap()],
-        );
+        let flat = Dataset::new("flat", vec![TimeSeries::new(vec![3.0, 3.0, 3.0]).unwrap()]);
         assert_eq!(min_max(&flat).unwrap_err(), TsError::DegenerateRange);
         let empty = Dataset::new("empty", vec![]);
         assert_eq!(min_max(&empty).unwrap_err(), TsError::DegenerateRange);

@@ -26,7 +26,10 @@ fn beat(len: usize, abnormal: bool, rng: &mut SmallRng) -> Vec<f64> {
         v += bump(t, 0.46, 0.012, -0.30 * amp); // S
         if abnormal {
             // ST elevation and a flattened, widened, slightly inverted T.
-            v += 0.12 * amp * ((t - 0.48).max(0.0) * 8.0).min(1.0) * (1.0 - ((t - 0.75) * 6.0).clamp(0.0, 1.0));
+            v += 0.12
+                * amp
+                * ((t - 0.48).max(0.0) * 8.0).min(1.0)
+                * (1.0 - ((t - 0.75) * 6.0).clamp(0.0, 1.0));
             v += bump(t, 0.70, 0.07, -0.15 * amp); // inverted T
         } else {
             v += bump(t, 0.68, 0.045, 0.35 * amp); // normal T
@@ -62,17 +65,17 @@ mod tests {
     fn r_peak_dominates() {
         let d = ecg(10, 97, 9);
         for ts in d.series() {
-            let (argmax, _) = ts
-                .values()
-                .iter()
-                .enumerate()
-                .fold((0, f64::NEG_INFINITY), |(ai, av), (i, &v)| {
-                    if v > av {
-                        (i, v)
-                    } else {
-                        (ai, av)
-                    }
-                });
+            let (argmax, _) =
+                ts.values()
+                    .iter()
+                    .enumerate()
+                    .fold((0, f64::NEG_INFINITY), |(ai, av), (i, &v)| {
+                        if v > av {
+                            (i, v)
+                        } else {
+                            (ai, av)
+                        }
+                    });
             // R peak at ~0.42 of the window
             let frac = argmax as f64 / ts.len() as f64;
             assert!((frac - 0.42).abs() < 0.08, "R peak at {frac}");

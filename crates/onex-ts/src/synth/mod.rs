@@ -101,7 +101,9 @@ impl PaperDataset {
         let (full_n, full_len) = self.shape();
         let n = ((full_n as f64 * scale).round() as usize).max(4);
         let len_scale = scale.sqrt().min(1.0);
-        let len = ((full_len as f64 * len_scale).round() as usize).max(16).min(full_len);
+        let len = ((full_len as f64 * len_scale).round() as usize)
+            .max(16)
+            .min(full_len);
         self.generate_with_shape(n, len, seed)
     }
 
@@ -232,6 +234,14 @@ mod tests {
         // The core property the substitution must preserve: intra-class
         // redundancy. Check with mean pairwise squared distance.
         for ds in PaperDataset::EVALUATION {
+            // TwoPatterns embeds its ±5 step patterns at *random positions*,
+            // so same-class series are not close under plain (unwarped) ED —
+            // that dataset exists to motivate DTW. The redundancy property
+            // below is an ED-space property; check it on the other
+            // generators.
+            if matches!(ds, PaperDataset::TwoPattern) {
+                continue;
+            }
             let d = ds.generate_with_shape(20, 64, 11);
             let mut within = (0.0, 0usize);
             let mut between = (0.0, 0usize);

@@ -29,7 +29,7 @@ pub fn italy_power(n_series: usize, len: usize, seed: u64) -> Dataset {
         let mut values = Vec::with_capacity(len);
         for h in 0..len {
             let t = h as f64 / scale; // position in "hours" 0..24
-            // Overnight base load shared by both classes.
+                                      // Overnight base load shared by both classes.
             let mut v = 0.25 + level + amp * 0.05 * (std::f64::consts::TAU * t / 24.0).sin();
             // Morning ramp-up around 8h.
             v += amp * bump(t, 8.0 + jitter, 2.2, 0.45);

@@ -78,8 +78,16 @@ mod tests {
         // Gain/offset vary per wafer (±~0.1/±0.08), so allow wider bands;
         // the plateau *structure* (high hold, then half-level hold) is what
         // must survive.
-        assert!((at(0.3) - 1.0).abs() < 0.35, "first hold ~1.0, got {}", at(0.3));
-        assert!((at(0.7) - 0.5).abs() < 0.3, "second hold ~0.5, got {}", at(0.7));
+        assert!(
+            (at(0.3) - 1.0).abs() < 0.35,
+            "first hold ~1.0, got {}",
+            at(0.3)
+        );
+        assert!(
+            (at(0.7) - 0.5).abs() < 0.3,
+            "second hold ~0.5, got {}",
+            at(0.7)
+        );
         assert!(at(0.3) - at(0.7) > 0.2, "first hold above second");
         assert!(at(0.01) < at(0.3) - 0.3, "starts low");
     }

@@ -37,8 +37,7 @@ pub fn sine_mix(n_series: usize, len: usize, classes: usize, seed: u64) -> Datas
         let values: Vec<f64> = (0..len)
             .map(|s| {
                 let t = s as f64 / len as f64;
-                (std::f64::consts::TAU * freq * t + phase).sin()
-                    + 0.02 * gaussian(&mut rng)
+                (std::f64::consts::TAU * freq * t + phase).sin() + 0.02 * gaussian(&mut rng)
             })
             .collect();
         series.push(TimeSeries::with_label(values, class as i32 + 1).expect("finite"));

@@ -51,12 +51,12 @@ fn parse_line(line: &str, line_no: usize) -> Result<Option<TimeSeries>> {
             message: "record has a label but no samples".to_string(),
         });
     }
-    Ok(Some(TimeSeries::with_label(values, label).map_err(|e| {
-        TsError::Parse {
+    Ok(Some(TimeSeries::with_label(values, label).map_err(
+        |e| TsError::Parse {
             line: line_no,
             message: e.to_string(),
-        }
-    })?))
+        },
+    )?))
 }
 
 /// Reads a UCR-format dataset from any buffered reader.

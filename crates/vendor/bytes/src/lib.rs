@@ -1,0 +1,178 @@
+//! Offline stand-in for the `bytes` crate, covering the subset the snapshot
+//! codec uses: `BytesMut` as an append-only builder with the little-endian
+//! `put_*` family, `freeze()` into an immutable `Bytes`, and the `Buf`
+//! reader view over `&[u8]`. Backed by `Vec<u8>`; no refcounted slices —
+//! nothing here needs zero-copy splitting.
+
+use std::ops::Deref;
+
+/// Immutable byte container (stand-in for `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer (stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write side (stand-in for `bytes::BufMut`, little-endian subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read side (stand-in for `bytes::Buf`, the subset the codec uses).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"AB");
+        b.put_u8(7);
+        b.put_u32_le(0x01020304);
+        b.put_i32_le(-5);
+        b.put_u64_le(42);
+        b.put_f64_le(1.5);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..2], b"AB");
+        assert_eq!(frozen[2], 7);
+        assert_eq!(
+            u32::from_le_bytes(frozen[3..7].try_into().unwrap()),
+            0x01020304
+        );
+        assert_eq!(i32::from_le_bytes(frozen[7..11].try_into().unwrap()), -5);
+        assert_eq!(u64::from_le_bytes(frozen[11..19].try_into().unwrap()), 42);
+        assert_eq!(f64::from_le_bytes(frozen[19..27].try_into().unwrap()), 1.5);
+        assert_eq!(frozen.len(), 27);
+        assert_eq!(frozen.to_vec().len(), 27);
+    }
+
+    #[test]
+    fn buf_remaining_tracks_slice() {
+        let data = [1u8, 2, 3];
+        let mut s: &[u8] = &data;
+        assert_eq!(Buf::remaining(&s), 3);
+        assert!(Buf::has_remaining(&s));
+        s = &s[3..];
+        assert!(!Buf::has_remaining(&s));
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `rand` crate, covering the API surface this
+//! workspace uses: `SmallRng::seed_from_u64`, `Rng::gen::<f64>()`, and
+//! `Rng::gen_range` over integer and float ranges.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets. Determinism per
+//! seed is all the workspace relies on (dataset synthesis, shuffle order,
+//! query sampling); no claim of statistical equivalence with upstream
+//! `rand` is made, and streams differ from upstream's.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (stand-in for `rand::Rng`).
+pub trait Rng {
+    /// The core 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, integers uniform over their domain, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from a range; panics when the range is empty,
+    /// matching upstream behaviour.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types samplable from the standard distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn from (stand-in for `rand::distributions`'
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = f64::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        let u: f64 = f64::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Named generators (stand-in for `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator: xoshiro256++ with splitmix64
+    /// seeding (the construction upstream `SmallRng` uses on 64-bit).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace treats `StdRng` and `SmallRng` identically.
+    pub type StdRng = SmallRng;
+}
+
+pub use rngs::SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(0..=5usize);
+            assert!(w <= 5);
+            let f = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_distribution_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..600 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -25,8 +25,14 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let base = OnexBase::build(&train, OnexConfig { threads: 4, ..OnexConfig::default() })
-        .expect("build");
+    let base = OnexBase::build(
+        &train,
+        OnexConfig {
+            threads: 4,
+            ..OnexConfig::default()
+        },
+    )
+    .expect("build");
     println!(
         "base: {} reps for {} windows in {:?}",
         base.stats().representatives,

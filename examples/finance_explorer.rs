@@ -10,7 +10,7 @@
 //! ```
 
 use onex::ts::{Dataset, TimeSeries};
-use onex::{MatchMode, OnexBase, OnexConfig, SimilarityQuery, Window};
+use onex::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions, Window};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,8 +29,8 @@ fn state_indicators(n: usize, seed: u64) -> Dataset {
         for q in 0..len {
             let t = q as f64;
             let drift = match regime {
-                0 => 0.02,                                  // steady growth
-                1 => 0.9 * (t * 0.35).sin() * 0.1,          // boom–bust
+                0 => 0.02,                         // steady growth
+                1 => 0.9 * (t * 0.35).sin() * 0.1, // boom–bust
                 _ => {
                     // recession mid-series, then recovery
                     if (len / 3..len / 2).contains(&q) {
@@ -66,7 +66,8 @@ fn main() {
         ..OnexConfig::default()
     };
     let t0 = std::time::Instant::now();
-    let base = OnexBase::build(&data, config).expect("build");
+    let explorer = Explorer::from_base(OnexBase::build(&data, config).expect("build"));
+    let base = explorer.base();
     println!(
         "base built in {:?}: {} reps for {} windows",
         t0.elapsed(),
@@ -90,10 +91,9 @@ fn main() {
     // Project the hypothetical into the dataset's normalized space.
     let designed = base.normalize_query(&designed_raw);
 
-    let mut search = SimilarityQuery::new(&base);
     let t0 = std::time::Instant::now();
-    let hits = search
-        .top_k(&designed, MatchMode::Any, 5, None)
+    let hits = explorer
+        .top_k(&designed, MatchMode::Any, 5, QueryOptions::default())
         .expect("query");
     println!(
         "\ndesigned recession-recovery pattern — top matches ({:?}):",
@@ -116,14 +116,18 @@ fn main() {
         .iter()
         .filter(|m| data.series()[m.subseq.series as usize].label() == Some(2))
         .count();
-    println!("  → {}/{} hits from recession-recovery states", regime2, hits.len());
+    println!(
+        "  → {}/{} hits from recession-recovery states",
+        regime2,
+        hits.len()
+    );
 
     // "Short-term impact" comparison (§1.1 point 3): same pattern, but only
     // 2-year windows — exact-length query.
     let short_raw: Vec<f64> = designed_raw[..8].to_vec();
     let short = base.normalize_query(&short_raw);
-    let m = search
-        .best_match(&short, MatchMode::Exact(8), None)
+    let m = explorer
+        .best_match(&short, MatchMode::Exact(8), QueryOptions::default())
         .expect("exact-length query");
     println!(
         "\nbest 8-quarter match: state {} quarters {}..{} (DTW̄ {:.4})",
@@ -136,7 +140,7 @@ fn main() {
     // Domain-specific thresholds (§1.1 point 4): what counts as "similar
     // growth" in this dataset?
     println!("\nthreshold guidance for this dataset:");
-    for r in onex::core::query::recommend(&base, None, None).expect("recommend") {
+    for r in explorer.recommend(None, None).expect("recommend") {
         match r.upper {
             Some(u) => println!("  {:?}: ST ∈ [{:.3}, {:.3}]", r.degree, r.lower, u),
             None => println!("  {:?}: ST ≥ {:.3}", r.degree, r.lower),

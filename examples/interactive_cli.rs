@@ -16,7 +16,7 @@
 //!   quit
 
 use onex::ts::synth;
-use onex::{MatchMode, OnexBase, OnexConfig, SimilarityQuery};
+use onex::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions};
 use std::io::{BufRead, Write};
 
 fn print_help() {
@@ -33,12 +33,20 @@ fn print_help() {
 fn main() {
     println!("loading ItalyPower-like dataset and building the ONEX base…");
     let data = synth::italy_power(67, 24, 1);
-    let mut base = OnexBase::build(&data, OnexConfig { threads: 4, ..OnexConfig::default() })
-        .expect("build");
-    let s = base.stats();
+    let mut explorer = Explorer::from_base(
+        OnexBase::build(
+            &data,
+            OnexConfig {
+                threads: 4,
+                ..OnexConfig::default()
+            },
+        )
+        .expect("build"),
+    );
+    let s = explorer.base().stats();
     println!(
         "ready: {} series, {} subsequences → {} representatives ({:.2} MB)",
-        base.dataset().len(),
+        explorer.base().dataset().len(),
         s.subsequences,
         s.representatives,
         s.total_mb()
@@ -60,10 +68,10 @@ fn main() {
             ["quit" | "exit" | "q"] => break,
             ["help"] => print_help(),
             ["stats"] => {
-                let s = base.stats();
+                let s = explorer.base().stats();
                 println!(
                     "ST={} reps={} subseqs={} lengths={} size={:.2} MB",
-                    base.config().st,
+                    explorer.base().config().st,
                     s.representatives,
                     s.subsequences,
                     s.lengths,
@@ -79,7 +87,7 @@ fn main() {
                     println!("usage: best <series> <from> <to> [any]");
                     continue;
                 };
-                let Ok(ts) = base.dataset().get(sid) else {
+                let Ok(ts) = explorer.base().dataset().get(sid) else {
                     println!("no series {sid}");
                     continue;
                 };
@@ -93,7 +101,7 @@ fn main() {
                 } else {
                     MatchMode::Exact(q.len())
                 };
-                match SimilarityQuery::new(&base).best_match(&q, mode, None) {
+                match explorer.best_match(&q, mode, QueryOptions::default()) {
                     Ok(m) => println!(
                         "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
                         m.subseq.series,
@@ -112,13 +120,13 @@ fn main() {
                     println!("could not parse values");
                     continue;
                 };
-                let q = base.normalize_query(&raw);
+                let q = explorer.base().normalize_query(&raw);
                 let mode = if rest.first() == Some(&"any") {
                     MatchMode::Any
                 } else {
                     MatchMode::Exact(q.len())
                 };
-                match SimilarityQuery::new(&base).best_match(&q, mode, None) {
+                match explorer.best_match(&q, mode, QueryOptions::default()) {
                     Ok(m) => println!(
                         "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
                         m.subseq.series,
@@ -130,26 +138,21 @@ fn main() {
                     Err(e) => println!("error: {e}"),
                 }
             }
-            ["seasonal", series, len] => {
-                match (series.parse::<usize>(), len.parse::<usize>()) {
-                    (Ok(sid), Ok(l)) => {
-                        match onex::core::query::seasonal_for_series(&base, sid, l, 2) {
-                            Ok(cs) => {
-                                println!("{} recurring group(s) ({:?})", cs.len(), t0.elapsed());
-                                for c in cs.iter().take(5) {
-                                    let starts: Vec<u32> =
-                                        c.members.iter().map(|m| m.start).collect();
-                                    println!("  recurs {}× at {:?}", c.members.len(), starts);
-                                }
-                            }
-                            Err(e) => println!("error: {e}"),
+            ["seasonal", series, len] => match (series.parse::<usize>(), len.parse::<usize>()) {
+                (Ok(sid), Ok(l)) => match explorer.seasonal_for_series(sid, l, 2) {
+                    Ok(cs) => {
+                        println!("{} recurring group(s) ({:?})", cs.len(), t0.elapsed());
+                        for c in cs.iter().take(5) {
+                            let starts: Vec<u32> = c.members.iter().map(|m| m.start).collect();
+                            println!("  recurs {}× at {:?}", c.members.len(), starts);
                         }
                     }
-                    _ => println!("usage: seasonal <series> <len>"),
-                }
-            }
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("usage: seasonal <series> <len>"),
+            },
             ["clusters", len] => match len.parse::<usize>() {
-                Ok(l) => match onex::core::query::seasonal_all(&base, l, 2) {
+                Ok(l) => match explorer.seasonal_all(l, 2) {
                     Ok(cs) => {
                         println!("{} cluster(s) ({:?})", cs.len(), t0.elapsed());
                         for c in cs.iter().take(5) {
@@ -162,14 +165,13 @@ fn main() {
             },
             ["recommend", rest @ ..] => {
                 let len = rest.first().and_then(|s| s.parse::<usize>().ok());
-                match onex::core::query::recommend(&base, None, len) {
+                match explorer.recommend(None, len) {
                     Ok(rs) => {
                         for r in rs {
                             match r.upper {
-                                Some(u) => println!(
-                                    "  {:?}: ST ∈ [{:.3}, {:.3}]",
-                                    r.degree, r.lower, u
-                                ),
+                                Some(u) => {
+                                    println!("  {:?}: ST ∈ [{:.3}, {:.3}]", r.degree, r.lower, u)
+                                }
                                 None => println!("  {:?}: ST ≥ {:.3}", r.degree, r.lower),
                             }
                         }
@@ -178,15 +180,15 @@ fn main() {
                 }
             }
             ["refine", st] => match st.parse::<f64>() {
-                Ok(v) => match onex::core::refine::refine(&base, v) {
+                Ok(v) => match onex::core::refine::refine(explorer.base(), v) {
                     Ok(nb) => {
                         println!(
                             "refined {} → {} reps ({:?})",
-                            base.stats().representatives,
+                            explorer.base().stats().representatives,
                             nb.stats().representatives,
                             t0.elapsed()
                         );
-                        base = nb;
+                        explorer = Explorer::from_base(nb);
                     }
                     Err(e) => println!("error: {e}"),
                 },

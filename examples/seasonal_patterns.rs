@@ -9,7 +9,7 @@
 //! ```
 
 use onex::ts::{Dataset, TimeSeries};
-use onex::{OnexBase, OnexConfig};
+use onex::{Explorer, OnexConfig, QueryRequest};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,7 +41,7 @@ fn tickers(n: usize, days: usize, seed: u64) -> Dataset {
 
 fn main() {
     let data = tickers(12, 126, 11); // half a trading year
-    let base = OnexBase::build(
+    let explorer = Explorer::build(
         &data,
         OnexConfig {
             st: 0.15,
@@ -52,15 +52,18 @@ fn main() {
     .expect("build");
     println!(
         "indexed {} windows of {} tickers into {} groups",
-        base.stats().subsequences,
+        explorer.base().stats().subsequences,
         data.len(),
-        base.stats().representatives
+        explorer.base().stats().representatives
     );
 
     // --- User-driven: recurring 30-day patterns inside ticker 0 ---
     let window_len = 30;
-    let recurring =
-        onex::core::query::seasonal_for_series(&base, 0, window_len, 2).expect("seasonal");
+    let resp = explorer
+        .query(QueryRequest::seasonal_for_series(0, window_len, 2))
+        .expect("seasonal");
+    let recurring = resp.result.seasonal().expect("seasonal payload").to_vec();
+    println!("  (answered from the LSI in {:?})", resp.stats.elapsed);
     println!(
         "\nticker 0: {} recurring 30-day pattern group(s)",
         recurring.len()
@@ -83,7 +86,7 @@ fn main() {
     println!("  → found recurrences ≥ 40 days apart: {has_separated_recurrence}");
 
     // --- Data-driven: which tickers moved alike over any 30-day period? ---
-    let clusters = onex::core::query::seasonal_all(&base, window_len, 3).expect("seasonal all");
+    let clusters = explorer.seasonal_all(window_len, 3).expect("seasonal all");
     println!(
         "\n{} cross-ticker clusters of similar 30-day windows (≥ 3 members)",
         clusters.len()

@@ -7,7 +7,7 @@
 //! ```
 
 use onex::ts::synth;
-use onex::{MatchMode, OnexBase, OnexConfig, SimilarityDegree, SimilarityQuery};
+use onex::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions, SimilarityDegree};
 
 fn main() {
     let data = synth::ecg(30, 64, 21);
@@ -28,7 +28,9 @@ fn main() {
 
     // --- Q3: translate "strict / medium / loose" into numbers ---
     println!("\nglobal threshold guidance:");
-    for r in onex::core::query::recommend(&base, None, None).expect("recommend") {
+    let explorer = Explorer::from_base(base);
+    let base = explorer.base();
+    for r in explorer.recommend(None, None).expect("recommend") {
         match r.upper {
             Some(u) => println!("  {:?}: ST ∈ [{:.3}, {:.3}]", r.degree, r.lower, u),
             None => println!("  {:?}: ST ≥ {:.3}", r.degree, r.lower),
@@ -42,14 +44,15 @@ fn main() {
     }
 
     // --- An analyst asks for STRICT similarity and gets a usable value ---
-    let strict = onex::core::query::recommend(&base, Some(SimilarityDegree::Strict), None)
+    let strict = explorer
+        .recommend(Some(SimilarityDegree::Strict), None)
         .expect("recommend")[0];
     let chosen_st = strict.upper.unwrap() / 2.0;
     println!("\nanalyst picks strict ST = {chosen_st:.3}");
 
     // --- Algorithm 2.C: refine the base instead of rebuilding ---
     let t0 = std::time::Instant::now();
-    let tight = onex::core::refine::refine(&base, chosen_st).expect("refine tighter");
+    let tight = onex::core::refine::refine(base, chosen_st).expect("refine tighter");
     println!(
         "refined (split) to ST' = {:.3} in {:?}: {} → {} representatives",
         chosen_st,
@@ -59,7 +62,7 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let loose = onex::core::refine::refine(&base, 0.5).expect("refine looser");
+    let loose = onex::core::refine::refine(base, 0.5).expect("refine looser");
     println!(
         "refined (merge) to ST' = 0.5 in {:?}: {} → {} representatives",
         t0.elapsed(),
@@ -69,9 +72,11 @@ fn main() {
 
     // --- Same query, three similarity regimes ---
     let q: Vec<f64> = base.dataset().series()[5].values()[8..40].to_vec();
-    for (name, b) in [("strict", &tight), ("default", &base), ("loose", &loose)] {
-        let mut s = SimilarityQuery::new(b);
-        let m = s.best_match(&q, MatchMode::Any, None).expect("query");
+    for (name, b) in [("strict", &tight), ("default", base), ("loose", &loose)] {
+        let e = Explorer::from_base(b.clone());
+        let m = e
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .expect("query");
         println!(
             "  {name:<8} (ST={:.3}): best match series {:>2} [{:>2}..{:>2}] DTW̄ {:.4}",
             b.config().st,

@@ -12,23 +12,69 @@
 //!
 //! ## Quick start
 //!
+//! All three of the paper's query classes are answered by one engine, the
+//! [`Explorer`]: build a base once, then issue typed requests from any
+//! number of threads.
+//!
 //! ```
-//! use onex::{OnexBase, OnexConfig, SimilarityQuery, MatchMode};
+//! use onex::{Explorer, MatchMode, OnexConfig, QueryOptions, QueryRequest};
 //! use onex::ts::synth;
 //!
 //! // A dataset (here: synthetic; see `onex::ts::ucr` for UCR archive files).
 //! let data = synth::sine_mix(20, 32, 2, 42);
 //!
-//! // One-time preprocessing: build the ONEX base (normalizes + clusters).
-//! let base = OnexBase::build(&data, OnexConfig::default()).unwrap();
+//! // One-time preprocessing: build the ONEX base (normalizes + clusters)
+//! // and wrap it in the thread-safe engine.
+//! let explorer = Explorer::build(&data, OnexConfig::default()).unwrap();
 //!
-//! // Interactive exploration: best time-warped match for a sample sequence.
-//! let query = base.dataset().series()[0].values()[4..20].to_vec();
-//! let mut search = SimilarityQuery::new(&base);
-//! let best = search.best_match(&query, MatchMode::Any, None).unwrap();
-//! println!("best match: {:?} at normalized DTW {:.4}", best.subseq, best.dist);
+//! // Class I: best time-warped match for a sample sequence.
+//! let query = explorer.base().dataset().series()[0].values()[4..20].to_vec();
+//! let resp = explorer
+//!     .query(QueryRequest::best_match(query.clone(), MatchMode::Any))
+//!     .unwrap();
+//! let best = resp.result.best_match().unwrap();
+//! println!(
+//!     "best match: {:?} at normalized DTW {:.4}  ({} DTW evals, {:?})",
+//!     best.subseq, best.dist, resp.stats.dtw_evals, resp.stats.elapsed
+//! );
 //! assert!(best.dist < 0.05);
+//!
+//! // Class II: recurring (seasonal) patterns of length 16.
+//! let seasonal = explorer.seasonal_all(16, 2).unwrap();
+//! assert!(!seasonal.is_empty());
+//!
+//! // Class III: what "strict / medium / loose" similarity means here.
+//! let ranges = explorer.recommend(None, None).unwrap();
+//! assert_eq!(ranges.len(), 3);
+//!
+//! // Typed convenience methods skip the request enum when you want the
+//! // payload directly; options carry per-query budgets and overrides.
+//! let top = explorer
+//!     .top_k(&query, MatchMode::Exact(16), 3, QueryOptions::default())
+//!     .unwrap();
+//! assert!(top.len() <= 3);
 //! ```
+//!
+//! The explorer is `Send + Sync`: share one instance (or cheap clones of
+//! it) across threads, no locking required. Per-query [`QueryOptions`]
+//! carry a warping-window override, a wall-clock budget, a DTW-evaluation
+//! cap, and pruning toggles; every [`QueryResponse`] reports uniform
+//! [`QueryStats`].
+//!
+//! ## Migrating from the per-class entry points
+//!
+//! The pre-engine entry points still compile but are deprecated shims over
+//! the same internals:
+//!
+//! | deprecated | replacement |
+//! |------------|-------------|
+//! | `SimilarityQuery::best_match/top_k/within_threshold` | [`Explorer::best_match`] / [`Explorer::top_k`] / [`Explorer::within_threshold`] |
+//! | `query::seasonal_all` / `query::seasonal_for_series` | [`Explorer::seasonal_all`] / [`Explorer::seasonal_for_series`] |
+//! | `query::recommend` | [`Explorer::recommend`] |
+//! | `query::best_match_batch` | [`QueryRequest::Batch`] via [`Explorer::query`] |
+//!
+//! The deprecated paths return bit-identical results; they differ only in
+//! taking `&mut self` (serializing callers) and in lacking budgets/stats.
 //!
 //! ## Crate map
 //!
@@ -36,7 +82,7 @@
 //! |--------|----------|
 //! | [`ts`] | time-series substrate: datasets, subsequences, normalization, UCR loader, synthetic generators |
 //! | [`dist`] | distance kernels: ED, DTW, LB_Kim/LB_Keogh, PAA/PDTW, LCSS, ERP, Lp |
-//! | [`core`] | the ONEX base, indexes, query processor (similarity / range / seasonal / recommend / batch), refinement, maintenance, classification, snapshots |
+//! | [`core`] | the ONEX base, the `Explorer` engine, indexes, refinement, maintenance, classification, snapshots |
 //! | [`baselines`] | Standard DTW, PAA search, Trillion (UCR suite), SPRING |
 //!
 //! The most common types are re-exported at the crate root. The `repro`
@@ -50,9 +96,12 @@ pub use onex_dist as dist;
 pub use onex_ts as ts;
 
 pub use onex_baselines::{BaselineMatch, BruteForce, PaaSearch, Spring, Trillion};
+#[allow(deprecated)]
+pub use onex_core::SimilarityQuery;
 pub use onex_core::{
-    BuildMode, Match, MatchMode, OnexBase, OnexConfig, OnexError, SimilarityDegree,
-    SimilarityQuery, SpSpace, ThresholdRange,
+    BuildMode, Explorer, Match, MatchMode, OnexBase, OnexConfig, OnexError, QueryOptions,
+    QueryRequest, QueryResponse, QueryResult, QueryStats, SeasonalScope, SimilarityDegree, SpSpace,
+    ThresholdRange,
 };
 pub use onex_dist::Window;
 pub use onex_ts::{Dataset, Decomposition, SubseqRef, TimeSeries, TsError};

@@ -4,7 +4,8 @@
 
 use onex::ts::synth::{self, PaperDataset};
 use onex::{
-    Dataset, Decomposition, MatchMode, OnexBase, OnexConfig, SimilarityQuery, TimeSeries, Window,
+    Dataset, Decomposition, Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions, TimeSeries,
+    Window,
 };
 
 fn small_config() -> OnexConfig {
@@ -19,8 +20,8 @@ fn small_config() -> OnexConfig {
 fn every_paper_dataset_builds_and_answers_queries() {
     for ds in PaperDataset::EVALUATION {
         let data = ds.generate_with_shape(10, 32, 7);
-        let base = OnexBase::build(&data, small_config())
-            .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
+        let base =
+            OnexBase::build(&data, small_config()).unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
         let stats = base.stats();
         assert!(stats.representatives > 0, "{}", ds.name());
         assert_eq!(
@@ -32,9 +33,10 @@ fn every_paper_dataset_builds_and_answers_queries() {
 
         // In-dataset query: normalized slice of series 3.
         let q: Vec<f64> = base.dataset().series()[3].values()[5..21].to_vec();
-        let mut search = SimilarityQuery::new(&base);
-        let m = search
-            .best_match(&q, MatchMode::Exact(16), None)
+        let explorer = Explorer::from_base(base);
+        let base = explorer.base();
+        let m = explorer
+            .best_match(&q, MatchMode::Exact(16), QueryOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
         assert!(
             m.dist <= base.config().st,
@@ -43,7 +45,9 @@ fn every_paper_dataset_builds_and_answers_queries() {
             m.dist
         );
 
-        let any = search.best_match(&q, MatchMode::Any, None).unwrap();
+        let any = explorer
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
         assert!(any.dist.is_finite());
     }
 }
@@ -53,18 +57,27 @@ fn onex_matches_are_near_oracle_quality() {
     // The headline accuracy claim, shrunk: ONEX's approximate answer must be
     // close (in normalized DTW) to the brute-force exact answer.
     let data = synth::sine_mix(12, 24, 3, 99);
-    let base = OnexBase::build(&data, small_config()).unwrap();
-    let mut search = SimilarityQuery::new(&base);
-    let mut oracle =
-        onex::BruteForce::oracle(base.dataset(), base.config().window);
+    let explorer = Explorer::from_base(OnexBase::build(&data, small_config()).unwrap());
+    let base = explorer.base();
+    let mut oracle = onex::BruteForce::oracle(base.dataset(), base.config().window);
     let mut total_err = 0.0;
     let mut n = 0;
-    for (series, lo, hi) in [(0usize, 0usize, 12usize), (5, 3, 18), (11, 8, 20), (7, 0, 24)] {
+    for (series, lo, hi) in [
+        (0usize, 0usize, 12usize),
+        (5, 3, 18),
+        (11, 8, 20),
+        (7, 0, 24),
+    ] {
         let q: Vec<f64> = base.dataset().series()[series].values()[lo..hi].to_vec();
-        let got = search.best_match(&q, MatchMode::Any, None).unwrap();
+        let got = explorer
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
         let exact = oracle.best_match_any(&q).unwrap();
         // Both rank by raw DTW (the default), so the oracle lower-bounds it.
-        assert!(got.raw_dtw + 1e-9 >= exact.raw_dtw, "oracle is a lower bound");
+        assert!(
+            got.raw_dtw + 1e-9 >= exact.raw_dtw,
+            "oracle is a lower bound"
+        );
         total_err += got.raw_dtw - exact.raw_dtw;
         n += 1;
     }
@@ -125,13 +138,17 @@ fn seasonal_queries_find_recurring_structure() {
     // given length should mix subsequences of many series.
     let data = synth::sine_mix(8, 20, 2, 55);
     let base = OnexBase::build(&data, small_config()).unwrap();
-    let clusters = onex::core::query::seasonal_all(&base, 8, 2).unwrap();
+    let explorer = Explorer::from_base(base);
+    let clusters = explorer.seasonal_all(8, 2).unwrap();
     assert!(!clusters.is_empty());
     let biggest = clusters.iter().map(|c| c.members.len()).max().unwrap();
-    assert!(biggest >= 4, "expected a large recurring cluster, got {biggest}");
+    assert!(
+        biggest >= 4,
+        "expected a large recurring cluster, got {biggest}"
+    );
 
     // user-driven: a periodic series repeats its own windows
-    let per_series = onex::core::query::seasonal_for_series(&base, 0, 8, 2).unwrap();
+    let per_series = explorer.seasonal_for_series(0, 8, 2).unwrap();
     assert!(
         per_series.iter().any(|c| c.members.len() >= 2),
         "periodic series must recur"
@@ -142,7 +159,9 @@ fn seasonal_queries_find_recurring_structure() {
 fn threshold_recommendations_cover_the_axis() {
     let data = synth::sine_mix(6, 16, 2, 77);
     let base = OnexBase::build(&data, small_config()).unwrap();
-    let ranges = onex::core::query::recommend(&base, None, None).unwrap();
+    let explorer = Explorer::from_base(base);
+    let base = explorer.base();
+    let ranges = explorer.recommend(None, None).unwrap();
     assert_eq!(ranges.len(), 3);
     assert_eq!(ranges[0].lower, 0.0);
     assert_eq!(ranges[2].upper, None);
@@ -169,8 +188,9 @@ fn refinement_round_trips_against_fresh_build() {
             "ST'={st_prime}"
         );
         let q: Vec<f64> = refined.dataset().series()[1].values()[2..10].to_vec();
-        let mut s = SimilarityQuery::new(&refined);
-        s.best_match(&q, MatchMode::Exact(8), None).unwrap();
+        Explorer::from_base(refined)
+            .best_match(&q, MatchMode::Exact(8), QueryOptions::default())
+            .unwrap();
     }
 }
 
@@ -183,11 +203,11 @@ fn snapshot_survives_full_pipeline() {
     assert_eq!(base, restored);
     // the restored base answers a query identically
     let q: Vec<f64> = base.dataset().series()[0].values()[4..16].to_vec();
-    let a = SimilarityQuery::new(&base)
-        .best_match(&q, MatchMode::Any, None)
+    let a = Explorer::from_base(base)
+        .best_match(&q, MatchMode::Any, QueryOptions::default())
         .unwrap();
-    let b = SimilarityQuery::new(&restored)
-        .best_match(&q, MatchMode::Any, None)
+    let b = Explorer::from_base(restored)
+        .best_match(&q, MatchMode::Any, QueryOptions::default())
         .unwrap();
     assert_eq!(a, b);
 }
@@ -200,8 +220,9 @@ fn maintenance_then_query_pipeline() {
     let (base, idx) = onex::core::maintain::append_series(base, novel).unwrap();
     assert_eq!(idx, 8);
     let q: Vec<f64> = base.dataset().series()[idx].values()[0..12].to_vec();
-    let mut s = SimilarityQuery::new(&base);
-    let m = s.best_match(&q, MatchMode::Exact(12), None).unwrap();
+    let m = Explorer::from_base(base)
+        .best_match(&q, MatchMode::Exact(12), QueryOptions::default())
+        .unwrap();
     assert_eq!(m.subseq.series as usize, idx, "novel series matches itself");
 }
 
@@ -210,18 +231,25 @@ fn raw_query_normalization_path() {
     // Queries in raw units must be projected with the base's normalizer.
     let raw_series: Vec<TimeSeries> = (0..6)
         .map(|i| {
-            TimeSeries::new((0..16).map(|t| 100.0 + 10.0 * ((t + i) as f64 * 0.5).sin()).collect())
-                .unwrap()
+            TimeSeries::new(
+                (0..16)
+                    .map(|t| 100.0 + 10.0 * ((t + i) as f64 * 0.5).sin())
+                    .collect(),
+            )
+            .unwrap()
         })
         .collect();
     let data = Dataset::new("raw", raw_series);
     let base = OnexBase::build(&data, small_config()).unwrap();
     // raw query values around 100 — way outside [0,1]
-    let raw_q: Vec<f64> = (0..8).map(|t| 100.0 + 10.0 * (t as f64 * 0.5).sin()).collect();
+    let raw_q: Vec<f64> = (0..8)
+        .map(|t| 100.0 + 10.0 * (t as f64 * 0.5).sin())
+        .collect();
     let q = base.normalize_query(&raw_q);
     assert!(q.iter().all(|&v| (-0.1..=1.1).contains(&v)));
-    let mut s = SimilarityQuery::new(&base);
-    let m = s.best_match(&q, MatchMode::Exact(8), None).unwrap();
+    let m = Explorer::from_base(base)
+        .best_match(&q, MatchMode::Exact(8), QueryOptions::default())
+        .unwrap();
     assert!(m.dist < 0.2);
 }
 
@@ -245,8 +273,8 @@ fn ucr_file_round_trip_through_pipeline() {
     assert_eq!(loaded.len(), 8);
     let base = OnexBase::build(&loaded, small_config()).unwrap();
     let q: Vec<f64> = base.dataset().series()[0].values()[0..12].to_vec();
-    SimilarityQuery::new(&base)
-        .best_match(&q, MatchMode::Exact(12), None)
+    Explorer::from_base(base)
+        .best_match(&q, MatchMode::Exact(12), QueryOptions::default())
         .unwrap();
     std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,243 @@
+//! The unified-engine contract, tested from the outside:
+//!
+//! 1. **Equivalence** — `Explorer` must return *byte-identical* answers to
+//!    the legacy per-class entry points (`SimilarityQuery`, `seasonal_*`,
+//!    `recommend`, `best_match_batch`) for every query class, across a
+//!    spread of queries on a synthetic dataset. The engine reroutes the
+//!    same internals, so any drift is a bug.
+//! 2. **Concurrency** — one shared `Arc<OnexBase>` must serve queries from
+//!    many threads simultaneously, each answer identical to the
+//!    single-threaded one.
+#![allow(deprecated)]
+
+use onex::ts::synth;
+use onex::{
+    Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions, QueryRequest, SimilarityDegree,
+    SimilarityQuery,
+};
+use std::sync::Arc;
+
+fn base() -> OnexBase {
+    let d = synth::sine_mix(10, 24, 2, 2024);
+    OnexBase::build(&d, OnexConfig::default()).unwrap()
+}
+
+/// A spread of in-dataset queries across series, offsets, and lengths.
+fn queries(base: &OnexBase) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for (sid, lo, hi) in [
+        (0usize, 0usize, 12usize),
+        (1, 3, 9),
+        (2, 5, 21),
+        (3, 0, 24),
+        (4, 8, 16),
+        (5, 2, 20),
+        (6, 0, 6),
+        (7, 10, 22),
+        (8, 1, 17),
+        (9, 4, 12),
+    ] {
+        out.push(base.dataset().series()[sid].values()[lo..hi].to_vec());
+    }
+    out
+}
+
+#[test]
+fn best_match_identical_to_legacy_in_both_modes() {
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b.clone()));
+    let mut legacy = SimilarityQuery::new(&b);
+    for q in queries(&b) {
+        for mode in [MatchMode::Any, MatchMode::Exact(q.len())] {
+            let old = legacy.best_match(&q, mode, None).unwrap();
+            let new = explorer
+                .best_match(&q, mode, QueryOptions::default())
+                .unwrap();
+            assert_eq!(old, new, "mode {mode:?}, qlen {}", q.len());
+        }
+        // And with an ST override.
+        let old = legacy.best_match(&q, MatchMode::Any, Some(0.4)).unwrap();
+        let new = explorer
+            .best_match(&q, MatchMode::Any, QueryOptions::with_st(0.4))
+            .unwrap();
+        assert_eq!(old, new);
+    }
+}
+
+#[test]
+fn top_k_and_range_identical_to_legacy() {
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b.clone()));
+    let mut legacy = SimilarityQuery::new(&b);
+    for q in queries(&b) {
+        for k in [1usize, 3, 10] {
+            let old = legacy
+                .top_k(&q, MatchMode::Exact(q.len()), k, None)
+                .unwrap();
+            let new = explorer
+                .top_k(&q, MatchMode::Exact(q.len()), k, QueryOptions::default())
+                .unwrap();
+            assert_eq!(old, new, "k={k}");
+        }
+        for verify in [false, true] {
+            let old = legacy
+                .within_threshold(&q, MatchMode::Any, Some(0.15), verify)
+                .unwrap();
+            let new = explorer
+                .within_threshold(&q, MatchMode::Any, verify, QueryOptions::with_st(0.15))
+                .unwrap();
+            assert_eq!(old, new, "verify={verify}");
+        }
+    }
+}
+
+#[test]
+fn seasonal_and_recommend_identical_to_legacy() {
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b.clone()));
+    for len in [2usize, 8, 16, 24] {
+        assert_eq!(
+            onex::core::query::seasonal_all(&b, len, 2).unwrap(),
+            explorer.seasonal_all(len, 2).unwrap(),
+            "len={len}"
+        );
+        for sid in 0..b.dataset().len() {
+            assert_eq!(
+                onex::core::query::seasonal_for_series(&b, sid, len, 2).unwrap(),
+                explorer.seasonal_for_series(sid, len, 2).unwrap(),
+                "sid={sid} len={len}"
+            );
+        }
+    }
+    for degree in [
+        None,
+        Some(SimilarityDegree::Strict),
+        Some(SimilarityDegree::Medium),
+        Some(SimilarityDegree::Loose),
+    ] {
+        for len in [None, Some(8usize), Some(16)] {
+            assert_eq!(
+                onex::core::query::recommend(&b, degree, len).unwrap(),
+                explorer.recommend(degree, len).unwrap(),
+                "degree={degree:?} len={len:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_shim_identical_to_engine_batch() {
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b.clone()));
+    let qs: Vec<onex::core::query::BatchQuery> = queries(&b)
+        .into_iter()
+        .map(onex::core::query::BatchQuery::any)
+        .collect();
+    let legacy = onex::core::query::best_match_batch(&b, &qs, 4);
+    let requests: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::best_match(q.values.clone(), MatchMode::Any))
+        .collect();
+    let resp = explorer
+        .query(QueryRequest::Batch {
+            requests,
+            threads: 4,
+        })
+        .unwrap();
+    let engine = resp.result.batch().unwrap();
+    assert_eq!(legacy.len(), engine.len());
+    for (old, new) in legacy.iter().zip(engine) {
+        assert_eq!(
+            old.as_ref().unwrap(),
+            new.as_ref().unwrap().result.best_match().unwrap()
+        );
+    }
+}
+
+#[test]
+fn concurrent_queries_from_many_threads_over_one_shared_base() {
+    const THREADS: usize = 6;
+    let b = base();
+    let shared = Arc::new(b);
+    let explorer = Explorer::new(Arc::clone(&shared));
+    let qs = queries(&shared);
+
+    // Ground truth, single-threaded.
+    let expected: Vec<_> = qs
+        .iter()
+        .map(|q| {
+            (
+                explorer
+                    .best_match(q, MatchMode::Any, QueryOptions::default())
+                    .unwrap(),
+                explorer
+                    .top_k(q, MatchMode::Exact(q.len()), 3, QueryOptions::default())
+                    .unwrap(),
+            )
+        })
+        .collect();
+    let seasonal_expected = explorer.seasonal_all(8, 2).unwrap();
+    let recommend_expected = explorer.recommend(None, None).unwrap();
+
+    // Hammer the same explorer from THREADS threads at once; every thread
+    // issues every query class, interleaved, and must see identical
+    // answers.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let explorer = explorer.clone();
+            let qs = &qs;
+            let expected = &expected;
+            let seasonal_expected = &seasonal_expected;
+            let recommend_expected = &recommend_expected;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for i in 0..qs.len() {
+                        // Stagger the order per thread so threads are
+                        // genuinely interleaved, not lockstepped.
+                        let i = (i + t + round) % qs.len();
+                        let q = &qs[i];
+                        let got = explorer
+                            .best_match(q, MatchMode::Any, QueryOptions::default())
+                            .unwrap();
+                        assert_eq!(got, expected[i].0, "thread {t} query {i}");
+                        let got = explorer
+                            .top_k(q, MatchMode::Exact(q.len()), 3, QueryOptions::default())
+                            .unwrap();
+                        assert_eq!(got, expected[i].1, "thread {t} query {i}");
+                    }
+                    assert_eq!(&explorer.seasonal_all(8, 2).unwrap(), seasonal_expected);
+                    assert_eq!(&explorer.recommend(None, None).unwrap(), recommend_expected);
+                }
+            });
+        }
+    });
+
+    // The base is still shared (explorer clones + our handle).
+    assert!(Arc::strong_count(&shared) >= 2);
+}
+
+#[test]
+fn concurrent_mixed_request_batch() {
+    // The Batch variant itself runs on worker threads over one shared
+    // base, mixing all three classes.
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b));
+    let mut requests = Vec::new();
+    for q in queries(explorer.base()) {
+        requests.push(QueryRequest::best_match(q, MatchMode::Any));
+    }
+    requests.push(QueryRequest::seasonal_all(8, 2));
+    requests.push(QueryRequest::recommend(None, None));
+    let n = requests.len();
+    let resp = explorer
+        .query(QueryRequest::Batch {
+            requests,
+            threads: 4,
+        })
+        .unwrap();
+    let batch = resp.result.batch().unwrap();
+    assert_eq!(batch.len(), n);
+    assert!(batch.iter().all(|r| r.is_ok()));
+    assert!(resp.stats.dtw_evals > 0);
+    assert!(resp.stats.elapsed > std::time::Duration::ZERO);
+}
