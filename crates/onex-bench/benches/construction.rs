@@ -46,9 +46,15 @@ fn bench_refine(c: &mut Criterion) {
     let data = synth::sine_mix(10, 24, 2, 9);
     let base = OnexBase::build(&data, OnexConfig::with_st(0.2)).unwrap();
     let mut g = c.benchmark_group("refine");
+    // The refinement construction itself — what Explorer::refine_to runs
+    // off-line before its O(1) hot-swap. The deprecated free function is
+    // the same code path without the swap plumbing, so it isolates the
+    // construction cost per iteration.
+    #[allow(deprecated)]
     g.bench_function("split_to_0.1", |b| {
         b.iter(|| onex_core::refine::refine(&base, 0.1).unwrap())
     });
+    #[allow(deprecated)]
     g.bench_function("merge_to_0.4", |b| {
         b.iter(|| onex_core::refine::refine(&base, 0.4).unwrap())
     });
@@ -63,10 +69,19 @@ fn bench_snapshot(c: &mut Criterion) {
     let data = synth::sine_mix(10, 24, 2, 9);
     let base = OnexBase::build(&data, OnexConfig::default()).unwrap();
     let bytes = onex_core::snapshot::encode(&base);
+    let v1 = onex_core::snapshot::encode_v1(&base);
     let mut g = c.benchmark_group("snapshot");
-    g.bench_function("encode", |b| b.iter(|| onex_core::snapshot::encode(&base)));
-    g.bench_function("decode", |b| {
+    g.bench_function("encode_v2", |b| {
+        b.iter(|| onex_core::snapshot::encode(&base))
+    });
+    g.bench_function("encode_v1", |b| {
+        b.iter(|| onex_core::snapshot::encode_v1(&base))
+    });
+    g.bench_function("decode_v2_checksummed", |b| {
         b.iter(|| onex_core::snapshot::decode(&bytes).unwrap())
+    });
+    g.bench_function("decode_v1", |b| {
+        b.iter(|| onex_core::snapshot::decode(&v1).unwrap())
     });
     g.finish();
 }

@@ -68,7 +68,7 @@ fn bench_queries(c: &mut Criterion) {
     });
     #[allow(deprecated)]
     g.bench_function("legacy_shim_exact_len", |b| {
-        let mut s = onex_core::SimilarityQuery::new(base);
+        let mut s = onex_core::SimilarityQuery::new(&base);
         b.iter(|| {
             s.best_match(black_box(&query), MatchMode::Exact(24), None)
                 .unwrap()

@@ -25,7 +25,7 @@ fn eval_variant(name: &str, ctx: &Ctx, config: OnexConfig, table: &mut harness::
     let explorer = Explorer::from_base(base);
     let base = explorer.base();
     let (n_in, n_out) = ctx.query_mix();
-    let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
+    let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
     let mut oracle = BruteForce::oracle(base.dataset(), base.config().window);
     let mut times = Vec::new();
     let mut errors = Vec::new();

@@ -45,7 +45,7 @@ pub fn run(ctx: &Ctx) {
         let explorer = Explorer::from_base(base);
         let base = explorer.base();
         let (n_in, n_out) = ctx.query_mix();
-        let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
+        let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
         let window = base.config().window;
 
         let mut onex_times = Vec::new();

@@ -40,7 +40,7 @@ pub fn run(ctx: &Ctx) {
             let explorer = Explorer::from_base(base);
             let base = explorer.base();
             let (n_in, n_out) = ctx.query_mix();
-            let queries = make_queries(ds, base, n_in, n_out, ctx.seed);
+            let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
             let mut oracle = BruteForce::oracle(base.dataset(), base.config().window);
             let mut errors = Vec::new();
             let mut times = Vec::new();

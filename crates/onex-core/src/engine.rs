@@ -1,22 +1,36 @@
 //! The unified ONEX query engine: one typed request/response surface for
 //! all three of the paper's interactive query classes, over a shared,
-//! thread-safe base.
+//! thread-safe base — plus the full dataset lifecycle around it:
+//! **build → serve → mutate → persist**.
 //!
 //! The paper's point is *interactive* exploration: Class I (similarity),
 //! Class II (seasonal) and Class III (threshold-recommendation) queries
 //! answered online against one precomputed [`OnexBase`]. An [`Explorer`]
-//! wraps the base in an [`Arc`], takes every query as a [`QueryRequest`],
-//! and answers with a [`QueryResponse`] that always carries uniform
-//! [`QueryStats`] — so a service can meter, trace, and budget every query
-//! class the same way.
+//! owns the base, takes every query as a [`QueryRequest`], and answers
+//! with a [`QueryResponse`] that always carries uniform [`QueryStats`] —
+//! so a service can meter, trace, and budget every query class the same
+//! way. Construction goes through [`ExplorerBuilder`] (from a dataset, a
+//! snapshot file, or a UCR/CSV file).
 //!
-//! ## Concurrency
+//! ## Concurrency and epochs
 //!
-//! `Explorer` is `Send + Sync` and all query methods take `&self`: clone
-//! the explorer (cheap — it clones the `Arc`) or share one instance across
-//! any number of threads. Per-query scratch (the DTW buffer) lives in a
-//! thread-local pool, so concurrent queries neither contend nor allocate
-//! on the hot path.
+//! `Explorer` is `Send + Sync` and all methods take `&self`: clone the
+//! explorer (cheap — clones share the same live base) or share one
+//! instance across any number of threads. Per-query scratch (the DTW
+//! buffer) lives in a thread-local pool, so concurrent queries neither
+//! contend nor allocate on the hot path.
+//!
+//! The base itself is held behind an epoch-stamped slot. Every query
+//! *pins* the current `(base, epoch)` pair — an `Arc` clone under a lock
+//! held only for that pointer copy — and then evaluates entirely
+//! lock-free. Maintenance ([`Explorer::append_series`],
+//! [`Explorer::remove_series`], [`Explorer::refine_to`]) constructs the
+//! successor base **off-line** and atomically hot-swaps it, bumping the
+//! epoch: in-flight queries finish on the base they pinned, new queries
+//! see the new one, and no reader ever blocks on a writer (writers
+//! serialize among themselves). [`QueryStats::epoch`] reports which
+//! generation answered; [`Explorer::pin`] hands out a [`PinnedExplorer`]
+//! for multi-query read consistency across swaps.
 //!
 //! ## Budgets
 //!
@@ -56,11 +70,13 @@
 
 use crate::query::similarity::{self, SearchCtx, SearchParams};
 use crate::query::{recommend_impl, seasonal_all_impl, seasonal_for_series_impl};
+use crate::{maintain, refine, snapshot};
 use crate::{Match, MatchMode, OnexBase, OnexConfig, Result, SeasonalResult};
 use crate::{SimilarityDegree, ThresholdRange};
 use onex_dist::{DtwBuffer, Window};
-use onex_ts::Dataset;
+use onex_ts::{Dataset, Decomposition, TimeSeries};
 use std::cell::RefCell;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -345,10 +361,21 @@ pub struct QueryStats {
     /// Whether a time/evaluation budget stopped the search early (the
     /// result is then the best found within budget).
     pub truncated: bool,
+    /// Generation of the base that answered: starts at 0 and is bumped by
+    /// every maintenance hot-swap ([`Explorer::append_series`],
+    /// [`Explorer::remove_series`], [`Explorer::refine_to`]). All children
+    /// of one [`QueryRequest::Batch`] share an epoch — the whole batch is
+    /// answered on a single pinned base.
+    pub epoch: u64,
 }
 
 impl QueryStats {
-    fn from_search(counters: similarity::QueryStats, truncated: bool, elapsed: Duration) -> Self {
+    fn from_search(
+        counters: similarity::QueryStats,
+        truncated: bool,
+        elapsed: Duration,
+        epoch: u64,
+    ) -> Self {
         QueryStats {
             dtw_evals: counters.dtw_evals(),
             lb_prunes: counters.reps_lb_pruned,
@@ -357,6 +384,7 @@ impl QueryStats {
             lengths_visited: counters.lengths_visited,
             elapsed,
             truncated,
+            epoch,
         }
     }
 
@@ -443,112 +471,177 @@ pub struct QueryResponse {
     pub stats: QueryStats,
 }
 
-/// The unified, thread-safe ONEX query engine.
+/// The live `(base, epoch)` pair. Readers copy both under the slot lock
+/// (an `Arc` clone — a pointer and a refcount bump); writers replace both
+/// under the same lock. The lock is never held across query evaluation or
+/// successor construction.
+#[derive(Debug)]
+struct Slot {
+    base: Arc<OnexBase>,
+    epoch: u64,
+}
+
+/// The unified, thread-safe ONEX query engine — and the owner of the
+/// dataset lifecycle around it.
 ///
-/// Wraps an [`Arc<OnexBase>`]; cloning is cheap and every method takes
-/// `&self`, so one explorer (or clones of it) can serve concurrent callers
-/// directly. See the [module docs](self) for an end-to-end example.
+/// Cloning is cheap and clones *share* the live base: a maintenance
+/// hot-swap through any clone is immediately visible to all of them. Every
+/// method takes `&self`, so one explorer (or clones of it) serves
+/// concurrent callers directly while [`Explorer::append_series`],
+/// [`Explorer::remove_series`] and [`Explorer::refine_to`] evolve the base
+/// underneath them. See the [module docs](self) for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct Explorer {
-    base: Arc<OnexBase>,
+    slot: Arc<Mutex<Slot>>,
+    /// Serializes maintenance operations (held across successor
+    /// construction so concurrent writers can't lose each other's updates);
+    /// never touched by the query path.
+    writer: Arc<Mutex<()>>,
 }
 
 impl Explorer {
-    /// Wraps an already-shared base.
+    /// Wraps an already-shared base at epoch 0.
     pub fn new(base: Arc<OnexBase>) -> Self {
-        Explorer { base }
+        Self::with_epoch(base, 0)
     }
 
-    /// Wraps an owned base.
+    /// Wraps an owned base at epoch 0.
     pub fn from_base(base: OnexBase) -> Self {
-        Explorer {
-            base: Arc::new(base),
-        }
+        Self::new(Arc::new(base))
     }
 
     /// Builds a base from raw data and wraps it (convenience for
-    /// [`OnexBase::build`] + [`Explorer::from_base`]).
+    /// [`OnexBase::build`] + [`Explorer::from_base`]; see
+    /// [`ExplorerBuilder`] for the full construction surface).
     pub fn build(dataset: &Dataset, config: OnexConfig) -> Result<Self> {
         Ok(Self::from_base(OnexBase::build(dataset, config)?))
     }
 
-    /// The shared base.
-    pub fn base(&self) -> &OnexBase {
-        &self.base
+    /// A builder over every construction path: config knobs plus
+    /// build-from-dataset / from-snapshot / from-CSV terminals.
+    pub fn builder() -> ExplorerBuilder {
+        ExplorerBuilder::new()
     }
 
-    /// A clone of the inner [`Arc`], for callers that need to hold the base
-    /// beyond the explorer's lifetime.
-    pub fn base_arc(&self) -> Arc<OnexBase> {
-        Arc::clone(&self.base)
+    fn with_epoch(base: Arc<OnexBase>, epoch: u64) -> Self {
+        Explorer {
+            slot: Arc::new(Mutex::new(Slot { base, epoch })),
+            writer: Arc::new(Mutex::new(())),
+        }
     }
+
+    /// A snapshot of the current base. The returned [`Arc`] stays valid
+    /// (and unchanged) for as long as the caller holds it, even across
+    /// maintenance hot-swaps; re-call to observe the newest generation. For
+    /// several queries that must all see one generation, use
+    /// [`Explorer::pin`].
+    pub fn base(&self) -> Arc<OnexBase> {
+        self.pin_parts().0
+    }
+
+    /// A clone of the current inner [`Arc`] (alias of [`Explorer::base`],
+    /// kept for source compatibility).
+    pub fn base_arc(&self) -> Arc<OnexBase> {
+        self.base()
+    }
+
+    /// The current maintenance epoch: 0 at construction (or the epoch
+    /// recorded in the snapshot for [`Explorer::load`]), +1 per hot-swap.
+    pub fn epoch(&self) -> u64 {
+        self.pin_parts().1
+    }
+
+    /// Pins the current `(base, epoch)` into a session handle: every query
+    /// issued through the returned [`PinnedExplorer`] is answered by this
+    /// exact generation, regardless of concurrent maintenance.
+    pub fn pin(&self) -> PinnedExplorer {
+        let (base, epoch) = self.pin_parts();
+        PinnedExplorer { base, epoch }
+    }
+
+    fn pin_parts(&self) -> (Arc<OnexBase>, u64) {
+        let slot = self.slot.lock().expect("explorer slot lock");
+        (Arc::clone(&slot.base), slot.epoch)
+    }
+
+    /// Installs a successor base, bumping the epoch; returns the new epoch.
+    fn install(&self, next: OnexBase) -> u64 {
+        let mut slot = self.slot.lock().expect("explorer slot lock");
+        slot.base = Arc::new(next);
+        slot.epoch += 1;
+        slot.epoch
+    }
+
+    // ---- live maintenance ----
+
+    /// Appends a series (raw units if the base was built from raw data),
+    /// returning its index in the dataset. The successor base is
+    /// constructed off-line — only the new series' subsequences are
+    /// re-assigned, against the existing representatives — and then
+    /// atomically hot-swapped: queries in flight finish on the old base,
+    /// queries issued afterwards see the new series.
+    pub fn append_series(&self, series: TimeSeries) -> Result<usize> {
+        let _writer = self.writer.lock().expect("explorer writer lock");
+        let current = self.base();
+        let (next, index) = maintain::append_series_impl((*current).clone(), series)?;
+        self.install(next);
+        Ok(index)
+    }
+
+    /// Removes the series at `index`, returning it. The inverse of
+    /// [`Explorer::append_series`]: the series' subsequences leave their
+    /// groups, emptied groups are retired, shrunk groups re-elect their
+    /// representative, and surviving references are remapped — then the
+    /// successor is atomically hot-swapped. Note that series indices above
+    /// `index` shift down by one, exactly as in `Vec::remove`.
+    pub fn remove_series(&self, index: usize) -> Result<TimeSeries> {
+        let _writer = self.writer.lock().expect("explorer writer lock");
+        let current = self.base();
+        let (next, removed) = maintain::remove_series_impl((*current).clone(), index)?;
+        self.install(next);
+        Ok(removed)
+    }
+
+    /// Re-thresholds the base to `st_prime` (the paper's Algorithm 2.C:
+    /// groups split under a tighter threshold, cascade-merge under a looser
+    /// one — no raw-data re-clustering), then atomically hot-swaps the
+    /// refined base. Returns the new epoch.
+    pub fn refine_to(&self, st_prime: f64) -> Result<u64> {
+        let _writer = self.writer.lock().expect("explorer writer lock");
+        let current = self.base();
+        let next = refine::refine_impl(&current, st_prime)?;
+        Ok(self.install(next))
+    }
+
+    // ---- persistence ----
+
+    /// Writes the current base to `path` as a v2 snapshot: checksummed
+    /// (CRC-32 footer) and stamped with the current epoch, so
+    /// [`Explorer::load`] resumes the generation count.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let (base, epoch) = self.pin_parts();
+        snapshot::write_snapshot(&base, epoch, path)
+    }
+
+    /// Loads a snapshot (v1 or v2) from `path`, restoring the recorded
+    /// epoch (0 for v1 snapshots, which predate epochs).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let (base, epoch) = snapshot::read_snapshot(path)?;
+        Ok(Self::with_epoch(Arc::new(base), epoch))
+    }
+
+    // ---- queries ----
+    //
+    // Every query method pins the current generation and delegates to the
+    // identical [`PinnedExplorer`] surface, so the two stay in lockstep by
+    // construction.
 
     /// Answers any request. This is the single entry point every query
     /// class goes through; the typed convenience methods below are thin
-    /// wrappers.
+    /// wrappers. The whole request — including every child of a
+    /// [`QueryRequest::Batch`] — is answered on one pinned base.
     pub fn query(&self, request: QueryRequest) -> Result<QueryResponse> {
-        let started = Instant::now();
-        match request {
-            QueryRequest::BestMatch {
-                values,
-                mode,
-                options,
-            } => self.run_search(started, &options, |base, p, ctx| {
-                similarity::best_match(base, &values, mode, p, ctx).map(QueryResult::BestMatch)
-            }),
-            QueryRequest::TopK {
-                values,
-                mode,
-                k,
-                options,
-            } => self.run_search(started, &options, |base, p, ctx| {
-                similarity::top_k(base, &values, mode, k, p, ctx).map(QueryResult::TopK)
-            }),
-            QueryRequest::WithinThreshold {
-                values,
-                mode,
-                verify,
-                options,
-            } => self.run_search(started, &options, |base, p, ctx| {
-                similarity::within_threshold(base, &values, mode, verify, p, ctx)
-                    .map(QueryResult::WithinThreshold)
-            }),
-            QueryRequest::Seasonal {
-                scope,
-                len,
-                min_recurrence,
-                options: _,
-            } => {
-                let result = match scope {
-                    SeasonalScope::All => seasonal_all_impl(&self.base, len, min_recurrence)?,
-                    SeasonalScope::Series(series) => {
-                        seasonal_for_series_impl(&self.base, series, len, min_recurrence)?
-                    }
-                };
-                Ok(QueryResponse {
-                    result: QueryResult::Seasonal(result),
-                    stats: QueryStats {
-                        elapsed: started.elapsed(),
-                        ..QueryStats::default()
-                    },
-                })
-            }
-            QueryRequest::Recommend {
-                degree,
-                len,
-                options: _,
-            } => {
-                let ranges = recommend_impl(&self.base, degree, len)?;
-                Ok(QueryResponse {
-                    result: QueryResult::Recommend(ranges),
-                    stats: QueryStats {
-                        elapsed: started.elapsed(),
-                        ..QueryStats::default()
-                    },
-                })
-            }
-            QueryRequest::Batch { requests, threads } => self.run_batch(started, requests, threads),
-        }
+        self.pin().query(request)
     }
 
     /// Class I convenience: single best match. Borrows the query — no
@@ -559,13 +652,7 @@ impl Explorer {
         mode: MatchMode,
         options: QueryOptions,
     ) -> Result<Match> {
-        let resp = self.run_search(Instant::now(), &options, |base, p, ctx| {
-            similarity::best_match(base, values, mode, p, ctx).map(QueryResult::BestMatch)
-        })?;
-        match resp.result {
-            QueryResult::BestMatch(m) => Ok(m),
-            _ => unreachable!("BestMatch search produces BestMatch result"),
-        }
+        self.pin().best_match(values, mode, options)
     }
 
     /// Class I convenience: top-`k` matches. Borrows the query.
@@ -576,13 +663,7 @@ impl Explorer {
         k: usize,
         options: QueryOptions,
     ) -> Result<Vec<Match>> {
-        let resp = self.run_search(Instant::now(), &options, |base, p, ctx| {
-            similarity::top_k(base, values, mode, k, p, ctx).map(QueryResult::TopK)
-        })?;
-        match resp.result {
-            QueryResult::TopK(ms) => Ok(ms),
-            _ => unreachable!("TopK search produces TopK result"),
-        }
+        self.pin().top_k(values, mode, k, options)
     }
 
     /// Class I convenience: range query. Borrows the query.
@@ -593,10 +674,131 @@ impl Explorer {
         verify: bool,
         options: QueryOptions,
     ) -> Result<Vec<Match>> {
-        let resp = self.run_search(Instant::now(), &options, |base, p, ctx| {
-            similarity::within_threshold(base, values, mode, verify, p, ctx)
-                .map(QueryResult::WithinThreshold)
-        })?;
+        self.pin().within_threshold(values, mode, verify, options)
+    }
+
+    /// Class II convenience: data-driven seasonal patterns.
+    pub fn seasonal_all(&self, len: usize, min_members: usize) -> Result<Vec<SeasonalResult>> {
+        self.pin().seasonal_all(len, min_members)
+    }
+
+    /// Class II convenience: seasonal patterns within one series.
+    pub fn seasonal_for_series(
+        &self,
+        series: usize,
+        len: usize,
+        min_recurrence: usize,
+    ) -> Result<Vec<SeasonalResult>> {
+        self.pin().seasonal_for_series(series, len, min_recurrence)
+    }
+
+    /// Class III convenience: threshold recommendations.
+    pub fn recommend(
+        &self,
+        degree: Option<SimilarityDegree>,
+        len: Option<usize>,
+    ) -> Result<Vec<ThresholdRange>> {
+        self.pin().recommend(degree, len)
+    }
+}
+
+/// A pinned `(base, epoch)` session handle from [`Explorer::pin`].
+///
+/// Every query through this handle is answered by the generation that was
+/// live at pin time — maintenance hot-swaps on the originating explorer
+/// don't affect it, giving a multi-query session read consistency (and
+/// keeping the old base alive until the last pin drops). Cloning shares
+/// the pin.
+#[derive(Debug, Clone)]
+pub struct PinnedExplorer {
+    base: Arc<OnexBase>,
+    epoch: u64,
+}
+
+impl PinnedExplorer {
+    /// The pinned base.
+    pub fn base(&self) -> &OnexBase {
+        &self.base
+    }
+
+    /// A clone of the pinned [`Arc`].
+    pub fn base_arc(&self) -> Arc<OnexBase> {
+        Arc::clone(&self.base)
+    }
+
+    /// The epoch this handle pinned.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Answers any request against the pinned generation.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse> {
+        exec(&self.base, self.epoch, request)
+    }
+
+    /// Class I convenience: single best match, on the pinned generation.
+    /// Borrows the query — no per-call allocation beyond what the search
+    /// itself needs.
+    pub fn best_match(
+        &self,
+        values: &[f64],
+        mode: MatchMode,
+        options: QueryOptions,
+    ) -> Result<Match> {
+        let resp = run_search(
+            &self.base,
+            self.epoch,
+            Instant::now(),
+            &options,
+            |base, p, ctx| {
+                similarity::best_match(base, values, mode, p, ctx).map(QueryResult::BestMatch)
+            },
+        )?;
+        match resp.result {
+            QueryResult::BestMatch(m) => Ok(m),
+            _ => unreachable!("BestMatch search produces BestMatch result"),
+        }
+    }
+
+    /// Class I convenience: top-`k` matches, on the pinned generation.
+    pub fn top_k(
+        &self,
+        values: &[f64],
+        mode: MatchMode,
+        k: usize,
+        options: QueryOptions,
+    ) -> Result<Vec<Match>> {
+        let resp = run_search(
+            &self.base,
+            self.epoch,
+            Instant::now(),
+            &options,
+            |base, p, ctx| similarity::top_k(base, values, mode, k, p, ctx).map(QueryResult::TopK),
+        )?;
+        match resp.result {
+            QueryResult::TopK(ms) => Ok(ms),
+            _ => unreachable!("TopK search produces TopK result"),
+        }
+    }
+
+    /// Class I convenience: range query, on the pinned generation.
+    pub fn within_threshold(
+        &self,
+        values: &[f64],
+        mode: MatchMode,
+        verify: bool,
+        options: QueryOptions,
+    ) -> Result<Vec<Match>> {
+        let resp = run_search(
+            &self.base,
+            self.epoch,
+            Instant::now(),
+            &options,
+            |base, p, ctx| {
+                similarity::within_threshold(base, values, mode, verify, p, ctx)
+                    .map(QueryResult::WithinThreshold)
+            },
+        )?;
         match resp.result {
             QueryResult::WithinThreshold(ms) => Ok(ms),
             _ => unreachable!("WithinThreshold search produces WithinThreshold result"),
@@ -626,66 +828,248 @@ impl Explorer {
     ) -> Result<Vec<ThresholdRange>> {
         recommend_impl(&self.base, degree, len)
     }
+}
 
-    /// Runs one Class I search with thread-local scratch, stamping uniform
-    /// stats on the way out.
-    fn run_search<F>(
-        &self,
-        started: Instant,
-        options: &QueryOptions,
-        body: F,
-    ) -> Result<QueryResponse>
-    where
-        F: FnOnce(&OnexBase, &SearchParams, &mut SearchCtx) -> Result<QueryResult>,
-    {
-        let params = options.resolve(self.base.config());
-        SCRATCH.with(|cell| {
-            let mut ctx = SearchCtx {
-                buf: cell.take(),
-                ..SearchCtx::default()
+// ---- execution core (shared by Explorer and PinnedExplorer) ----
+
+/// Answers one request against a fixed `(base, epoch)`.
+fn exec(base: &OnexBase, epoch: u64, request: QueryRequest) -> Result<QueryResponse> {
+    let started = Instant::now();
+    match request {
+        QueryRequest::BestMatch {
+            values,
+            mode,
+            options,
+        } => run_search(base, epoch, started, &options, |base, p, ctx| {
+            similarity::best_match(base, &values, mode, p, ctx).map(QueryResult::BestMatch)
+        }),
+        QueryRequest::TopK {
+            values,
+            mode,
+            k,
+            options,
+        } => run_search(base, epoch, started, &options, |base, p, ctx| {
+            similarity::top_k(base, &values, mode, k, p, ctx).map(QueryResult::TopK)
+        }),
+        QueryRequest::WithinThreshold {
+            values,
+            mode,
+            verify,
+            options,
+        } => run_search(base, epoch, started, &options, |base, p, ctx| {
+            similarity::within_threshold(base, &values, mode, verify, p, ctx)
+                .map(QueryResult::WithinThreshold)
+        }),
+        QueryRequest::Seasonal {
+            scope,
+            len,
+            min_recurrence,
+            options: _,
+        } => {
+            let result = match scope {
+                SeasonalScope::All => seasonal_all_impl(base, len, min_recurrence)?,
+                SeasonalScope::Series(series) => {
+                    seasonal_for_series_impl(base, series, len, min_recurrence)?
+                }
             };
-            let outcome = body(&self.base, &params, &mut ctx);
-            let stats = QueryStats::from_search(ctx.stats, ctx.truncated, started.elapsed());
-            cell.replace(ctx.buf);
-            outcome.map(|result| QueryResponse { result, stats })
-        })
+            Ok(QueryResponse {
+                result: QueryResult::Seasonal(result),
+                stats: QueryStats {
+                    elapsed: started.elapsed(),
+                    epoch,
+                    ..QueryStats::default()
+                },
+            })
+        }
+        QueryRequest::Recommend {
+            degree,
+            len,
+            options: _,
+        } => {
+            let ranges = recommend_impl(base, degree, len)?;
+            Ok(QueryResponse {
+                result: QueryResult::Recommend(ranges),
+                stats: QueryStats {
+                    elapsed: started.elapsed(),
+                    epoch,
+                    ..QueryStats::default()
+                },
+            })
+        }
+        QueryRequest::Batch { requests, threads } => {
+            run_batch(base, epoch, started, requests, threads)
+        }
+    }
+}
+
+/// Runs one Class I search with thread-local scratch, stamping uniform
+/// stats on the way out. No lock is held anywhere on this path.
+fn run_search<F>(
+    base: &OnexBase,
+    epoch: u64,
+    started: Instant,
+    options: &QueryOptions,
+    body: F,
+) -> Result<QueryResponse>
+where
+    F: FnOnce(&OnexBase, &SearchParams, &mut SearchCtx) -> Result<QueryResult>,
+{
+    let params = options.resolve(base.config());
+    SCRATCH.with(|cell| {
+        let mut ctx = SearchCtx {
+            buf: cell.take(),
+            ..SearchCtx::default()
+        };
+        let outcome = body(base, &params, &mut ctx);
+        let stats = QueryStats::from_search(ctx.stats, ctx.truncated, started.elapsed(), epoch);
+        cell.replace(ctx.buf);
+        outcome.map(|result| QueryResponse { result, stats })
+    })
+}
+
+/// Fans a batch out across scoped worker threads, every child on the same
+/// pinned base. Results are index-aligned with the requests; each failure
+/// stays in its slot.
+fn run_batch(
+    base: &OnexBase,
+    epoch: u64,
+    started: Instant,
+    requests: Vec<QueryRequest>,
+    threads: usize,
+) -> Result<QueryResponse> {
+    let n = requests.len();
+    // Requests are handed to workers by index; the Mutex<Option<_>>
+    // wrapper lets each be taken by value exactly once.
+    let requests: Vec<Mutex<Option<QueryRequest>>> =
+        requests.into_iter().map(|r| Mutex::new(Some(r))).collect();
+    let responses: Vec<Result<QueryResponse>> = fan_out(
+        n,
+        threads,
+        || (),
+        |(), i| {
+            let request = requests[i]
+                .lock()
+                .expect("batch request lock")
+                .take()
+                .expect("each request taken once");
+            exec(base, epoch, request)
+        },
+    );
+    let mut stats = QueryStats {
+        epoch,
+        ..QueryStats::default()
+    };
+    for r in responses.iter().flatten() {
+        stats.absorb(&r.stats);
+    }
+    stats.elapsed = started.elapsed();
+    Ok(QueryResponse {
+        result: QueryResult::Batch(responses),
+        stats,
+    })
+}
+
+/// Builder over every [`Explorer`] construction path, replacing the
+/// scattered entry points (`OnexBase::build` + `from_base`,
+/// `build_prenormalized`, snapshot loading, UCR/CSV loading) with one
+/// fluent surface:
+///
+/// ```
+/// use onex_core::engine::ExplorerBuilder;
+/// use onex_ts::synth;
+///
+/// let data = synth::sine_mix(8, 24, 2, 7);
+/// let explorer = ExplorerBuilder::new()
+///     .st(0.25)
+///     .threads(2)
+///     .build(&data)
+///     .unwrap();
+/// assert_eq!(explorer.base().config().st, 0.25);
+/// assert_eq!(explorer.epoch(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExplorerBuilder {
+    config: OnexConfig,
+    prenormalized: bool,
+}
+
+impl ExplorerBuilder {
+    /// A builder with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Fans a batch out across scoped worker threads. Results are
-    /// index-aligned with the requests; each failure stays in its slot.
-    fn run_batch(
-        &self,
-        started: Instant,
-        requests: Vec<QueryRequest>,
-        threads: usize,
-    ) -> Result<QueryResponse> {
-        let n = requests.len();
-        // Requests are handed to workers by index; the Mutex<Option<_>>
-        // wrapper lets each be taken by value exactly once.
-        let requests: Vec<Mutex<Option<QueryRequest>>> =
-            requests.into_iter().map(|r| Mutex::new(Some(r))).collect();
-        let responses: Vec<Result<QueryResponse>> = fan_out(
-            n,
-            threads,
-            || (),
-            |(), i| {
-                let request = requests[i]
-                    .lock()
-                    .expect("batch request lock")
-                    .take()
-                    .expect("each request taken once");
-                self.query(request)
-            },
-        );
-        let mut stats = QueryStats::default();
-        for r in responses.iter().flatten() {
-            stats.absorb(&r.stats);
-        }
-        stats.elapsed = started.elapsed();
-        Ok(QueryResponse {
-            result: QueryResult::Batch(responses),
-            stats,
-        })
+    /// Replaces the whole configuration (targeted setters below override
+    /// individual fields afterwards).
+    pub fn config(mut self, config: OnexConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the similarity threshold `ST`.
+    pub fn st(mut self, st: f64) -> Self {
+        self.config.st = st;
+        self
+    }
+
+    /// Sets the DTW warping window.
+    pub fn window(mut self, window: Window) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Sets which subsequences the base covers.
+    pub fn decomposition(mut self, decomposition: Decomposition) -> Self {
+        self.config.decomposition = decomposition;
+        self
+    }
+
+    /// Sets the construction worker-thread count (lengths build
+    /// independently; results are identical at any thread count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the construction randomization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Declares the input data already normalized into `[0, 1]`: min-max
+    /// normalization is skipped and queries are taken verbatim. Default
+    /// `false` (data is normalized and the parameters retained for
+    /// `OnexBase::normalize_query`).
+    pub fn prenormalized(mut self, prenormalized: bool) -> Self {
+        self.prenormalized = prenormalized;
+        self
+    }
+
+    /// Builds the base from a dataset and wraps it at epoch 0.
+    pub fn build(&self, dataset: &Dataset) -> Result<Explorer> {
+        let base = if self.prenormalized {
+            OnexBase::build_prenormalized(dataset.clone(), self.config)?
+        } else {
+            OnexBase::build(dataset, self.config)?
+        };
+        Ok(Explorer::from_base(base))
+    }
+
+    /// Loads a snapshot (v1 or v2) instead of building: the configuration
+    /// recorded in the snapshot wins over the builder's knobs (they
+    /// configure *construction*, which a snapshot already did), and the
+    /// recorded epoch is restored.
+    pub fn from_snapshot(&self, path: impl AsRef<Path>) -> Result<Explorer> {
+        Explorer::load(path)
+    }
+
+    /// Loads a UCR-format text file (one series per line: class label then
+    /// samples, comma- or whitespace-separated) and builds from it with the
+    /// builder's configuration.
+    pub fn from_csv(&self, path: impl AsRef<Path>) -> Result<Explorer> {
+        let dataset = onex_ts::ucr::load_ucr_file(path)?;
+        self.build(&dataset)
     }
 }
 
@@ -704,8 +1088,165 @@ mod tests {
     fn explorer_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Explorer>();
+        assert_send_sync::<PinnedExplorer>();
+        assert_send_sync::<ExplorerBuilder>();
         assert_send_sync::<QueryRequest>();
         assert_send_sync::<QueryResponse>();
+    }
+
+    #[test]
+    fn epoch_is_stamped_on_every_class_and_bumped_by_maintenance() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[2..14].to_vec();
+        assert_eq!(e.epoch(), 0);
+        let resp = e
+            .query(QueryRequest::best_match(q.clone(), MatchMode::Any))
+            .unwrap();
+        assert_eq!(resp.stats.epoch, 0);
+        assert_eq!(
+            e.query(QueryRequest::seasonal_all(8, 2))
+                .unwrap()
+                .stats
+                .epoch,
+            0
+        );
+
+        let new_epoch = e.refine_to(0.3).unwrap();
+        assert_eq!(new_epoch, 1);
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.base().config().st, 0.3);
+        let resp = e
+            .query(QueryRequest::best_match(q, MatchMode::Any))
+            .unwrap();
+        assert_eq!(resp.stats.epoch, 1);
+
+        // Clones share the live slot: a swap through one is visible in the
+        // other.
+        let clone = e.clone();
+        let extra =
+            onex_ts::TimeSeries::new((0..12).map(|i| (i as f64 * 0.4).sin()).collect()).unwrap();
+        let idx = clone.append_series(extra).unwrap();
+        assert_eq!(e.epoch(), 2);
+        assert_eq!(e.base().dataset().len(), idx + 1);
+    }
+
+    #[test]
+    fn append_then_remove_round_trips_through_the_explorer() {
+        let e = explorer();
+        let before = e.base().stats();
+        let extra = onex_ts::TimeSeries::new(vec![
+            5.0, 0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0,
+        ])
+        .unwrap();
+        let idx = e.append_series(extra).unwrap();
+        // The appended series is immediately queryable.
+        let base = e.base();
+        let q: Vec<f64> = base.dataset().get(idx).unwrap().values()[0..6].to_vec();
+        let m = e
+            .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
+            .unwrap();
+        assert_eq!(m.subseq.series as usize, idx);
+        // Removing it restores the original coverage.
+        let removed = e.remove_series(idx).unwrap();
+        assert_eq!(removed.len(), 12);
+        assert_eq!(e.base().stats().subsequences, before.subsequences);
+        assert_eq!(e.epoch(), 2);
+    }
+
+    #[test]
+    fn pin_keeps_its_generation_across_swaps() {
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[2..14].to_vec();
+        let pinned = e.pin();
+        assert_eq!(pinned.epoch(), 0);
+        let before = pinned
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
+
+        e.refine_to(0.5).unwrap();
+        // The pinned handle still answers on the old generation…
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.base().config().st, 0.2);
+        let after = pinned
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
+        assert_eq!(before, after);
+        assert_eq!(
+            pinned
+                .query(QueryRequest::best_match(q, MatchMode::Any))
+                .unwrap()
+                .stats
+                .epoch,
+            0
+        );
+        // …while the explorer has moved on.
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.base().config().st, 0.5);
+    }
+
+    #[test]
+    fn builder_covers_dataset_snapshot_and_csv_paths() {
+        let d = synth::sine_mix(6, 16, 2, 13);
+        let built = ExplorerBuilder::new()
+            .st(0.25)
+            .seed(9)
+            .threads(2)
+            .build(&d)
+            .unwrap();
+        assert_eq!(built.base().config().st, 0.25);
+        assert!(built.base().normalizer().is_some());
+
+        // prenormalized skips min-max
+        let pre = ExplorerBuilder::new()
+            .prenormalized(true)
+            .build(&d)
+            .unwrap();
+        assert!(pre.base().normalizer().is_none());
+
+        // snapshot round trip through the builder
+        let dir = std::env::temp_dir().join(format!("onex_builder_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("builder.onex");
+        built.refine_to(0.3).unwrap();
+        built.save(&snap).unwrap();
+        let reloaded = ExplorerBuilder::new().from_snapshot(&snap).unwrap();
+        assert_eq!(reloaded.epoch(), 1, "epoch survives the snapshot");
+        assert_eq!(*reloaded.base(), *built.base());
+
+        // CSV (UCR format) ingestion
+        let csv = dir.join("builder.csv");
+        std::fs::write(
+            &csv,
+            "1,0.1,0.2,0.3,0.4,0.5,0.6\n2,0.9,0.8,0.7,0.6,0.5,0.4\n",
+        )
+        .unwrap();
+        let from_csv = ExplorerBuilder::new().st(0.3).from_csv(&csv).unwrap();
+        assert_eq!(from_csv.base().dataset().len(), 2);
+        assert_eq!(from_csv.base().config().st, 0.3);
+        assert!(ExplorerBuilder::new()
+            .from_csv(dir.join("missing.csv"))
+            .is_err());
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn writers_serialize_and_epochs_stay_monotone() {
+        let e = explorer();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let e = e.clone();
+                s.spawn(move || {
+                    let extra = onex_ts::TimeSeries::new(
+                        (0..12).map(|i| ((i + t) as f64 * 0.3).sin()).collect(),
+                    )
+                    .unwrap();
+                    e.append_series(extra).unwrap();
+                });
+            }
+        });
+        assert_eq!(e.epoch(), 4);
+        assert_eq!(e.base().dataset().len(), 12);
     }
 
     #[test]

@@ -35,10 +35,14 @@ pub enum OnexError {
     BudgetExhausted,
     /// An error bubbled up from the time-series substrate.
     Ts(TsError),
-    /// A snapshot could not be decoded.
+    /// A snapshot could not be decoded: structural damage, a truncation, or
+    /// (v2) a CRC-32 checksum mismatch. The message states which.
     SnapshotCorrupt(String),
     /// Refinement was requested with an unusable target threshold.
     InvalidRefinement(String),
+    /// A lifecycle file operation (snapshot save/load, CSV ingest) failed at
+    /// the filesystem level; the message carries the path and OS error.
+    Io(String),
 }
 
 impl fmt::Display for OnexError {
@@ -68,6 +72,7 @@ impl fmt::Display for OnexError {
             OnexError::Ts(e) => write!(f, "substrate error: {e}"),
             OnexError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
             OnexError::InvalidRefinement(msg) => write!(f, "invalid refinement: {msg}"),
+            OnexError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

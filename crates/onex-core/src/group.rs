@@ -128,6 +128,45 @@ impl Group {
         evicted
     }
 
+    /// Removes every member belonging to `series`, subtracting its values
+    /// from the running sum (resolved against the dataset *before* the
+    /// series is removed from it). Returns how many members were dropped;
+    /// when any were, the frozen representative and envelope are cleared and
+    /// the caller must re-[`Group::finalize`] (or retire the group if it is
+    /// now empty). Member order is preserved.
+    pub(crate) fn drop_series_members(&mut self, dataset: &Dataset, series: u32) -> usize {
+        let before = self.members.len();
+        let sum = &mut self.sum;
+        self.members.retain(|&(r, _)| {
+            if r.series == series {
+                let values = dataset.subseq_unchecked(r);
+                for (s, v) in sum.iter_mut().zip(values) {
+                    *s -= v;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let dropped = before - self.members.len();
+        if dropped > 0 {
+            self.rep.clear();
+            self.envelope = None;
+        }
+        dropped
+    }
+
+    /// Shifts every member reference above a removed series index down by
+    /// one. The remap is monotone, so the LSI's ED-then-ref ordering is
+    /// preserved and a finalized group stays finalized.
+    pub(crate) fn remap_series_down(&mut self, removed: u32) {
+        for (r, _) in self.members.iter_mut() {
+            if r.series > removed {
+                r.series -= 1;
+            }
+        }
+    }
+
     /// Freezes the representative at the current mean, computes and sorts
     /// member EDs, and builds the envelope with the given radius.
     pub fn finalize(&mut self, dataset: &Dataset, envelope_radius: usize) {
@@ -280,6 +319,44 @@ mod tests {
         assert!(a.envelope().is_none());
         a.finalize(&d, 1);
         assert_eq!(a.representative(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn drop_series_members_updates_sum_and_clears_finalization() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4); // zeros
+        let r1 = SubseqRef::new(1, 0, 4); // ones
+        let r2 = SubseqRef::new(2, 0, 4); // halves
+        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
+        g.push(r1, d.subseq_unchecked(r1));
+        g.push(r2, d.subseq_unchecked(r2));
+        g.finalize(&d, 1);
+        assert_eq!(g.drop_series_members(&d, 1), 1);
+        assert_eq!(g.member_count(), 2);
+        assert!(g.envelope().is_none());
+        let mut mean = Vec::new();
+        g.mean_into(&mut mean);
+        assert_eq!(mean, vec![0.25, 0.25, 0.25, 0.25]);
+        // dropping a series with no members is a no-op that keeps state
+        g.finalize(&d, 1);
+        assert_eq!(g.drop_series_members(&d, 1), 0);
+        assert!(g.envelope().is_some());
+        // dropping everything empties the group (caller retires it)
+        assert_eq!(g.drop_series_members(&d, 0), 1);
+        assert_eq!(g.drop_series_members(&d, 2), 1);
+        assert_eq!(g.member_count(), 0);
+    }
+
+    #[test]
+    fn remap_series_down_shifts_only_later_series() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4);
+        let r2 = SubseqRef::new(2, 0, 4);
+        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
+        g.push(r2, d.subseq_unchecked(r2));
+        g.remap_series_down(1);
+        assert_eq!(g.members()[0].0.series, 0);
+        assert_eq!(g.members()[1].0.series, 1);
     }
 
     #[test]

@@ -25,26 +25,35 @@
 //!
 //! ## Online (§5)
 //!
-//! * [`engine::Explorer`] — **the unified query engine**: every query class
-//!   through one typed [`engine::QueryRequest`] → [`engine::QueryResponse`]
-//!   pair, thread-safe over a shared `Arc<OnexBase>`, with per-query
-//!   budgets and uniform [`engine::QueryStats`] on every response.
-//!   Class I (similarity) runs with every §5.3 optimization; Class II
-//!   (seasonal) and Class III (threshold recommendation) read the
-//!   precomputed LSI/SP-Space. The per-class entry points
-//!   (`query::SimilarityQuery`, `query::seasonal_*`, `query::recommend`,
-//!   `query::best_match_batch`) remain as deprecated shims over the same
+//! * [`engine::Explorer`] — **the unified query engine and lifecycle
+//!   owner**: every query class through one typed [`engine::QueryRequest`]
+//!   → [`engine::QueryResponse`] pair, thread-safe over an epoch-stamped
+//!   hot-swappable base, with per-query budgets and uniform
+//!   [`engine::QueryStats`] (including the answering epoch) on every
+//!   response. Class I (similarity) runs with every §5.3 optimization;
+//!   Class II (seasonal) and Class III (threshold recommendation) read the
+//!   precomputed LSI/SP-Space. Construction goes through
+//!   [`engine::ExplorerBuilder`]; [`engine::Explorer::pin`] gives
+//!   multi-query read consistency across maintenance swaps. The per-class
+//!   entry points (`query::SimilarityQuery`, `query::seasonal_*`,
+//!   `query::recommend`, `query::best_match_batch`) and the lifecycle free
+//!   functions (`maintain::append_series`, `refine::refine`,
+//!   `snapshot::save`/`load`) remain as deprecated shims over the same
 //!   internals.
 //! * [`refine`] — Algorithm 2.C: adapt the base to a *different* similarity
 //!   threshold by splitting or cascade-merging groups, without re-scanning
-//!   the raw subsequence space.
+//!   the raw subsequence space. Served live by
+//!   [`engine::Explorer::refine_to`].
 //!
 //! ## Extensions beyond the paper's core
 //!
-//! * [`maintain`] — incremental insertion of new series into an existing
-//!   base (sketched in the paper's tech report).
+//! * [`maintain`] — incremental insertion and removal of series in an
+//!   existing base (sketched in the paper's tech report), served live by
+//!   [`engine::Explorer::append_series`] /
+//!   [`engine::Explorer::remove_series`] with atomic epoch hot-swap.
 //! * [`snapshot`] — a versioned binary snapshot of the base (pure `bytes`,
-//!   no external format dependency).
+//!   no external format dependency); v2 adds an epoch stamp and a CRC-32
+//!   integrity footer, and v1 snapshots still load.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -67,7 +76,8 @@ pub mod spspace;
 pub use base::{BaseStats, OnexBase};
 pub use config::{BuildMode, ClusterStrategy, OnexConfig};
 pub use engine::{
-    Explorer, QueryOptions, QueryRequest, QueryResponse, QueryResult, QueryStats, SeasonalScope,
+    Explorer, ExplorerBuilder, PinnedExplorer, QueryOptions, QueryRequest, QueryResponse,
+    QueryResult, QueryStats, SeasonalScope,
 };
 pub use error::OnexError;
 pub use group::{Group, GroupId};

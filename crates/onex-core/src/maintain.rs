@@ -2,24 +2,45 @@
 //! tech report; the natural construction is implemented here): appending a
 //! new series re-runs the Algorithm-1 assignment *only for the new series'
 //! subsequences*, against the existing representatives — no re-clustering of
-//! the data already indexed. Affected per-length indexes (Dc, sum order,
-//! SP-Space) are rebuilt.
+//! the data already indexed. Removing a series is the inverse: its
+//! subsequences are dropped from their groups, emptied groups are retired,
+//! shrunk groups re-elect their representative (the point-wise mean of the
+//! survivors), and only the touched per-length indexes are rebuilt.
 //!
-//! Normalization caveat: when the base was built from raw data, the new
-//! series is projected with the *original* min-max parameters. Values
-//! outside the original range normalize outside `[0, 1]`; this mirrors
-//! streaming practice (re-normalizing would invalidate every stored
-//! distance) and is documented behaviour.
+//! The public surface is [`crate::engine::Explorer::append_series`] /
+//! [`crate::engine::Explorer::remove_series`], which run these constructions
+//! off-line and atomically hot-swap the successor base under an epoch. The
+//! free function [`append_series`] remains as a deprecated by-value shim
+//! over the same internals.
+//!
+//! Normalization caveat: when the base was built from raw data, an appended
+//! series is projected with the *original* min-max parameters, and removing
+//! a series keeps them. Values outside the original range normalize outside
+//! `[0, 1]`; this mirrors streaming practice (re-normalizing would
+//! invalidate every stored distance) and is documented behaviour.
 
 use crate::build::{Assigner, LengthGroups};
 use crate::{BuildMode, Group, OnexBase, Result};
 use onex_ts::TimeSeries;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Appends a series (raw units if the base was built from raw data) and
 /// returns the updated base together with the new series' index.
+#[deprecated(
+    since = "0.3.0",
+    note = "use Explorer::append_series — same construction, plus atomic epoch hot-swap under live traffic"
+)]
 pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, usize)> {
-    base.ensure_nonempty()?;
+    append_series_impl(base, series)
+}
+
+/// Shared construction behind [`append_series`] and
+/// [`crate::engine::Explorer::append_series`].
+///
+/// Appending into an *empty* base (every series removed) is allowed and
+/// repopulates it: each length starts from an empty assigner, so the base
+/// is never locked into the empty state.
+pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, usize)> {
     let config = *base.config();
     let norm = base.normalizer().copied();
     let (mut dataset, _, _, groups, length_map) = base.into_parts();
@@ -37,37 +58,23 @@ pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, us
     };
     let new_index = dataset.push(series);
 
-    // Re-distribute the flat group table into per-length buckets, preserving
-    // the id order recorded in each LengthIndex.
-    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
-    let mut per_length: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
-    for (len, idx) in &length_map {
-        let bucket: Vec<Group> = idx
-            .group_ids
-            .iter()
-            .map(|&id| slots[id as usize].take().expect("group id unique"))
-            .collect();
-        per_length.insert(*len, bucket);
-    }
+    let mut per_length = bucket_by_length(groups, &length_map);
 
     // Assign the new series' subsequences length by length. Lengths the base
     // has never seen (the new series may be longer than any existing one)
     // start from an empty assigner.
     let new_len = dataset.get(new_index)?.len();
-    let mut rebuilt: Vec<LengthGroups> = Vec::new();
-    let mut touched: BTreeMap<usize, bool> = BTreeMap::new();
-    for len in config.decomposition.lengths_for(new_len) {
-        touched.insert(len, true);
-    }
-    let all_lengths: std::collections::BTreeSet<usize> = per_length
+    let mut touched: BTreeSet<usize> = config.decomposition.lengths_for(new_len).collect();
+    let all_lengths: BTreeSet<usize> = per_length
         .keys()
         .copied()
-        .chain(touched.keys().copied())
+        .chain(touched.iter().copied())
         .collect();
 
+    let mut rebuilt: Vec<LengthGroups> = Vec::new();
     for len in all_lengths {
         let existing = per_length.remove(&len).unwrap_or_default();
-        if !touched.contains_key(&len) {
+        if !touched.remove(&len) {
             // Untouched length: groups pass through unchanged (already
             // finalized).
             rebuilt.push(LengthGroups {
@@ -84,15 +91,7 @@ pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, us
             asg.assign(&dataset, r);
             start += config.decomposition.start_stride;
         }
-        if config.build_mode == BuildMode::Strict {
-            asg.enforce_invariant(&dataset);
-        }
-        let radius = config.window.resolve(len, len);
-        let mut groups = asg.groups;
-        for g in groups.iter_mut() {
-            g.finalize(&dataset, radius);
-        }
-        rebuilt.push(LengthGroups { len, groups });
+        rebuilt.push(finish_length(len, asg, &dataset, &config));
     }
     rebuilt.sort_by_key(|lg| lg.len);
     Ok((
@@ -101,11 +100,117 @@ pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, us
     ))
 }
 
+/// Removes the series at `index` and returns the updated base together with
+/// the removed series: the inverse of [`append_series_impl`]. The series'
+/// subsequences are dropped from their groups (running sums corrected),
+/// groups left empty are retired, shrunk groups re-elect their
+/// representative, and every surviving member reference is remapped past the
+/// removed slot. Only the groups that actually shrank are re-finalized
+/// (and, in [`BuildMode::Strict`], re-repaired — members evicted during the
+/// repair re-insert among the shrunk groups of that length); untouched
+/// groups pass through finalized, and lengths that only the removed series
+/// reached disappear from the index entirely.
+///
+/// Removing the last series yields an empty base: structurally valid, and
+/// repopulatable via [`append_series_impl`], but every query against it
+/// reports [`crate::OnexError::EmptyBase`].
+pub(crate) fn remove_series_impl(base: OnexBase, index: usize) -> Result<(OnexBase, TimeSeries)> {
+    let config = *base.config();
+    let norm = base.normalizer().copied();
+    let (mut dataset, _, _, groups, length_map) = base.into_parts();
+    // Validate before touching any group state.
+    dataset.get(index)?;
+    let series = index as u32;
+
+    // Drop the series' members while the dataset still resolves them,
+    // retiring groups that emptied and splitting each length bucket into
+    // untouched groups (still finalized) and shrunk ones.
+    let mut per_length: BTreeMap<usize, (Vec<Group>, Vec<Group>)> = BTreeMap::new();
+    for (len, bucket) in bucket_by_length(groups, &length_map) {
+        let (mut untouched, mut shrunk) = (Vec::new(), Vec::new());
+        for mut g in bucket {
+            let dropped = g.drop_series_members(&dataset, series);
+            if g.member_count() == 0 {
+                continue; // retired
+            }
+            if dropped > 0 {
+                shrunk.push(g);
+            } else {
+                untouched.push(g);
+            }
+        }
+        per_length.insert(len, (untouched, shrunk));
+    }
+
+    let removed = dataset.remove(index)?;
+
+    // Remap surviving references past the removed slot. The remap is
+    // monotone, so finalized (untouched) groups stay correctly ordered.
+    for (untouched, shrunk) in per_length.values_mut() {
+        for g in untouched.iter_mut().chain(shrunk.iter_mut()) {
+            g.remap_series_down(series);
+        }
+    }
+
+    let mut rebuilt: Vec<LengthGroups> = Vec::new();
+    for (len, (mut groups, shrunk)) in per_length {
+        if !shrunk.is_empty() {
+            // Shrunk groups: means moved, so re-repair (Strict) and
+            // re-finalize exactly like the append path — but only them.
+            let asg = Assigner::with_groups(len, config.st, shrunk);
+            groups.extend(finish_length(len, asg, &dataset, &config).groups);
+        }
+        if groups.is_empty() {
+            continue; // the removed series was the only one this long
+        }
+        rebuilt.push(LengthGroups { len, groups });
+    }
+    Ok((OnexBase::assemble(dataset, norm, config, rebuilt), removed))
+}
+
+/// Re-distributes the flat group table into per-length buckets, preserving
+/// the id order recorded in each LengthIndex.
+fn bucket_by_length(
+    groups: Vec<Group>,
+    length_map: &BTreeMap<usize, crate::index::LengthIndex>,
+) -> BTreeMap<usize, Vec<Group>> {
+    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
+    let mut per_length: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
+    for (len, idx) in length_map {
+        let bucket: Vec<Group> = idx
+            .group_ids
+            .iter()
+            .map(|&id| slots[id as usize].take().expect("group id unique"))
+            .collect();
+        per_length.insert(*len, bucket);
+    }
+    per_length
+}
+
+/// Invariant repair + finalization for one touched length (shared by the
+/// append and remove paths).
+fn finish_length(
+    len: usize,
+    mut asg: Assigner,
+    dataset: &onex_ts::Dataset,
+    config: &crate::OnexConfig,
+) -> LengthGroups {
+    if config.build_mode == BuildMode::Strict {
+        asg.enforce_invariant(dataset);
+    }
+    let radius = config.window.resolve(len, len);
+    let mut groups = asg.groups;
+    for g in groups.iter_mut() {
+        g.finalize(dataset, radius);
+    }
+    LengthGroups { len, groups }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{Explorer, QueryOptions};
-    use crate::{MatchMode, OnexConfig};
+    use crate::{MatchMode, OnexConfig, OnexError};
     use onex_ts::synth;
 
     #[test]
@@ -118,7 +223,7 @@ mod tests {
             10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0,
         ])
         .unwrap();
-        let (base, idx) = append_series(base, novel).unwrap();
+        let (base, idx) = append_series_impl(base, novel).unwrap();
         assert_eq!(idx, 5);
         let after = base.stats();
         assert_eq!(
@@ -141,7 +246,7 @@ mod tests {
         let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
         assert_eq!(base.indexed_lengths().max().unwrap(), 8);
         let long = TimeSeries::new((0..12).map(|i| i as f64 * 0.1).collect()).unwrap();
-        let (base, _) = append_series(base, long).unwrap();
+        let (base, _) = append_series_impl(base, long).unwrap();
         assert_eq!(base.indexed_lengths().max().unwrap(), 12);
         base.length_index(12).expect("new length indexed");
     }
@@ -151,7 +256,7 @@ mod tests {
         let d = synth::sine_mix(5, 10, 2, 9);
         let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
         let extra = TimeSeries::new((0..10).map(|i| (i as f64 * 0.7).sin()).collect()).unwrap();
-        let (base, _) = append_series(base, extra).unwrap();
+        let (base, _) = append_series_impl(base, extra).unwrap();
         let st = base.config().st;
         for g in base.groups() {
             for &(m, _) in g.members() {
@@ -162,5 +267,124 @@ mod tests {
                 assert!(d <= st / 2.0 + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn remove_undoes_append_coverage() {
+        let d = synth::sine_mix(5, 12, 2, 7);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let before = base.stats();
+        let novel = TimeSeries::new(vec![
+            9.0, 0.0, 9.0, 0.0, 9.0, 0.0, 9.0, 0.0, 9.0, 0.0, 9.0, 0.0,
+        ])
+        .unwrap();
+        let (base, idx) = append_series_impl(base, novel).unwrap();
+        let (base, removed) = remove_series_impl(base, idx).unwrap();
+        assert_eq!(removed.len(), 12);
+        let after = base.stats();
+        assert_eq!(after.subsequences, before.subsequences);
+        assert_eq!(base.dataset().len(), 5);
+        // Every surviving member resolves and respects the Strict invariant.
+        for g in base.groups() {
+            for &(m, _) in g.members() {
+                assert!((m.series as usize) < base.dataset().len());
+                let dist = onex_dist::ed_normalized(
+                    base.dataset().subseq_unchecked(m),
+                    g.representative(),
+                );
+                assert!(dist <= base.config().st / 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_retires_lengths_only_the_removed_series_had() {
+        let d = synth::sine_mix(4, 8, 2, 7);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let long = TimeSeries::new((0..12).map(|i| i as f64 * 0.1).collect()).unwrap();
+        let (base, idx) = append_series_impl(base, long).unwrap();
+        assert_eq!(base.indexed_lengths().max().unwrap(), 12);
+        let (base, _) = remove_series_impl(base, idx).unwrap();
+        assert_eq!(base.indexed_lengths().max().unwrap(), 8);
+        assert!(base.length_index(12).is_none());
+    }
+
+    #[test]
+    fn remove_middle_series_remaps_references() {
+        let d = synth::sine_mix(5, 10, 2, 11);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let kept: Vec<Vec<f64>> = [0usize, 1, 3, 4]
+            .iter()
+            .map(|&i| base.dataset().get(i).unwrap().values().to_vec())
+            .collect();
+        let (base, _) = remove_series_impl(base, 2).unwrap();
+        assert_eq!(base.dataset().len(), 4);
+        for (i, values) in kept.iter().enumerate() {
+            assert_eq!(base.dataset().get(i).unwrap().values(), &values[..]);
+        }
+        // Queries still resolve against the remapped references.
+        let q: Vec<f64> = base.dataset().get(3).unwrap().values()[0..6].to_vec();
+        let m = Explorer::from_base(base)
+            .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
+            .unwrap();
+        assert!(m.dist.is_finite());
+    }
+
+    #[test]
+    fn remove_rejects_bad_index_and_emptied_base_can_be_repopulated() {
+        let d = synth::sine_mix(2, 8, 2, 3);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        assert!(remove_series_impl(base.clone(), 2).is_err());
+        let (base, _) = remove_series_impl(base, 1).unwrap();
+        let (base, _) = remove_series_impl(base, 0).unwrap();
+        assert!(base.dataset().is_empty());
+        assert_eq!(base.ensure_nonempty(), Err(OnexError::EmptyBase));
+        // Emptying is not a dead end: appending starts fresh groups.
+        let fresh = TimeSeries::new((0..8).map(|i| (i as f64 * 0.5).sin()).collect()).unwrap();
+        let (base, idx) = append_series_impl(base, fresh).unwrap();
+        assert_eq!(idx, 0);
+        base.ensure_nonempty().unwrap();
+        assert_eq!(base.stats().subsequences, 8 * 7 / 2);
+        let q: Vec<f64> = base.dataset().get(0).unwrap().values()[0..4].to_vec();
+        let m = Explorer::from_base(base)
+            .best_match(&q, MatchMode::Exact(4), QueryOptions::default())
+            .unwrap();
+        assert_eq!(m.subseq.series, 0);
+    }
+
+    #[test]
+    fn remove_leaves_untouched_groups_finalized_in_place() {
+        // Groups with no member from the removed series must pass through
+        // byte-identically (same members, same representative, same order
+        // of stored EDs) — only shrunk groups are re-finalized.
+        let d = synth::sine_mix(6, 12, 2, 19);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let removed_series = 4u32;
+        let before: Vec<Group> = base
+            .groups()
+            .iter()
+            .filter(|g| g.members().iter().all(|&(r, _)| r.series != removed_series))
+            .cloned()
+            .collect();
+        let (after, _) = remove_series_impl(base, removed_series as usize).unwrap();
+        for mut g in before {
+            g.remap_series_down(removed_series);
+            assert!(
+                after.groups().contains(&g),
+                "untouched group must survive unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn deprecated_shim_matches_impl() {
+        let d = synth::sine_mix(4, 10, 2, 5);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let extra = TimeSeries::new((0..10).map(|i| (i as f64 * 0.3).cos()).collect()).unwrap();
+        #[allow(deprecated)]
+        let (a, ia) = append_series(base.clone(), extra.clone()).unwrap();
+        let (b, ib) = append_series_impl(base, extra).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(a, b);
     }
 }

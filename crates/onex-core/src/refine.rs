@@ -23,7 +23,18 @@ use std::collections::BTreeMap;
 
 /// Refines `base` to the new threshold `st_prime`, reusing the precomputed
 /// grouping (split or cascade-merge) instead of rebuilding from raw data.
+#[deprecated(
+    since = "0.3.0",
+    note = "use Explorer::refine_to — same refinement, plus atomic epoch hot-swap under live traffic"
+)]
 pub fn refine(base: &OnexBase, st_prime: f64) -> Result<OnexBase> {
+    refine_impl(base, st_prime)
+}
+
+/// Shared refinement behind [`refine`] and
+/// [`crate::engine::Explorer::refine_to`]. Deterministic for a given base:
+/// the merge order is seeded from `config.seed ^ st_prime.to_bits()`.
+pub(crate) fn refine_impl(base: &OnexBase, st_prime: f64) -> Result<OnexBase> {
     if !st_prime.is_finite() || st_prime <= 0.0 {
         return Err(OnexError::InvalidThreshold(st_prime));
     }
@@ -170,21 +181,21 @@ mod tests {
     #[test]
     fn same_threshold_returns_equal_base() {
         let b = base(0.2);
-        let r = refine(&b, 0.2).unwrap();
+        let r = refine_impl(&b, 0.2).unwrap();
         assert_eq!(b, r);
     }
 
     #[test]
     fn invalid_threshold_rejected() {
         let b = base(0.2);
-        assert!(refine(&b, 0.0).is_err());
-        assert!(refine(&b, f64::NAN).is_err());
+        assert!(refine_impl(&b, 0.0).is_err());
+        assert!(refine_impl(&b, f64::NAN).is_err());
     }
 
     #[test]
     fn splitting_preserves_membership_and_tightens_invariant() {
         let b = base(0.4);
-        let r = refine(&b, 0.1).unwrap();
+        let r = refine_impl(&b, 0.1).unwrap();
         assert_eq!(r.config().st, 0.1);
         // same total membership
         assert_eq!(b.stats().subsequences, r.stats().subsequences);
@@ -202,7 +213,7 @@ mod tests {
     #[test]
     fn merging_reduces_group_count() {
         let b = base(0.1);
-        let r = refine(&b, 0.6).unwrap();
+        let r = refine_impl(&b, 0.6).unwrap();
         assert_eq!(r.config().st, 0.6);
         assert_eq!(b.stats().subsequences, r.stats().subsequences);
         assert!(
@@ -223,7 +234,7 @@ mod tests {
     #[test]
     fn refined_base_answers_queries() {
         let b = base(0.2);
-        let r = refine(&b, 0.35).unwrap();
+        let r = refine_impl(&b, 0.35).unwrap();
         let q: Vec<f64> = r.dataset().get(0).unwrap().values()[0..8].to_vec();
         let explorer = Explorer::from_base(r);
         let m = explorer
@@ -242,7 +253,7 @@ mod tests {
             ..OnexConfig::with_st(0.4)
         };
         let b = OnexBase::build(&d, cfg).unwrap();
-        let r = refine(&b, 0.2).unwrap();
+        let r = refine_impl(&b, 0.2).unwrap();
         let q: Vec<f64> = r.dataset().get(1).unwrap().values()[2..8].to_vec();
         let explorer = Explorer::from_base(r);
         let m = explorer

@@ -10,6 +10,21 @@
 //! functions of the groups and are rebuilt on load, which keeps snapshots
 //! small (the paper's Table 4 sizes count exactly these reconstructible
 //! structures).
+//!
+//! Two versions exist on disk:
+//!
+//! * **v1** — `magic · version · payload`. No integrity protection beyond
+//!   structural validation; still fully readable.
+//! * **v2** (current) — `magic · version · epoch(u64) · payload ·
+//!   crc32(u32)`. The epoch records the writing
+//!   [`crate::engine::Explorer`]'s generation so a reloaded service resumes
+//!   its epoch numbering, and the CRC-32 footer (IEEE polynomial, computed
+//!   over every preceding byte including the header) turns silent bit rot
+//!   into a clean [`OnexError::SnapshotCorrupt`].
+//!
+//! The file-level entry points are [`crate::engine::Explorer::save`] /
+//! [`crate::engine::Explorer::load`]; the free functions [`save`]/[`load`]
+//! remain as deprecated shims over the same codec.
 
 use crate::build::LengthGroups;
 use crate::{Group, OnexBase, OnexConfig, OnexError, Result};
@@ -20,14 +35,125 @@ use onex_ts::{Dataset, Decomposition, SubseqRef, TimeSeries};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ONEX";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
+/// v2 fixed overhead: magic + version + epoch + crc footer.
+const V2_OVERHEAD: usize = 4 + 1 + 8 + 4;
 
-/// Serializes a base to bytes.
+/// Serializes a base to bytes in the current (v2) format with epoch 0.
 pub fn encode(base: &OnexBase) -> Bytes {
+    encode_with_epoch(base, 0)
+}
+
+/// Serializes a base to bytes in the current (v2) format, stamping the
+/// writer's epoch and appending the CRC-32 integrity footer.
+pub fn encode_with_epoch(base: &OnexBase, epoch: u64) -> Bytes {
     let mut out = BytesMut::with_capacity(1 << 16);
     out.put_slice(MAGIC);
-    out.put_u8(VERSION);
-    encode_config(&mut out, base.config());
+    out.put_u8(VERSION_V2);
+    out.put_u64_le(epoch);
+    encode_payload(&mut out, base);
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out.freeze()
+}
+
+/// Serializes a base in the legacy v1 format (no epoch, no checksum). Kept
+/// so read-compatibility with pre-v2 snapshots stays testable and a v1
+/// consumer can still be fed; new code should use [`encode_with_epoch`].
+pub fn encode_v1(base: &OnexBase) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 << 16);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION_V1);
+    encode_payload(&mut out, base);
+    out.freeze()
+}
+
+/// Deserializes a base from bytes (either version), discarding the epoch.
+pub fn decode(buf: &[u8]) -> Result<OnexBase> {
+    decode_with_epoch(buf).map(|(base, _)| base)
+}
+
+/// Deserializes a base from bytes, returning the stored epoch (0 for v1
+/// snapshots, which predate epochs). v2 inputs are checksum-verified before
+/// any structural parsing; a mismatch is reported as
+/// [`OnexError::SnapshotCorrupt`].
+pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
+    let mut cur = buf;
+    let magic = take(&mut cur, 4)?;
+    if magic != MAGIC {
+        return Err(OnexError::SnapshotCorrupt("bad magic".to_string()));
+    }
+    match get_u8(&mut cur)? {
+        VERSION_V1 => Ok((decode_payload(&mut cur)?, 0)),
+        VERSION_V2 => {
+            if buf.len() < V2_OVERHEAD {
+                return Err(OnexError::SnapshotCorrupt(format!(
+                    "truncated v2 snapshot: {} bytes, need at least {V2_OVERHEAD}",
+                    buf.len()
+                )));
+            }
+            let (body, footer) = buf.split_at(buf.len() - 4);
+            let stored = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+            let computed = crc32(body);
+            if stored != computed {
+                return Err(OnexError::SnapshotCorrupt(format!(
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
+            let epoch = get_u64(&mut cur)?;
+            let mut payload = &cur[..cur.len() - 4];
+            Ok((decode_payload(&mut payload)?, epoch))
+        }
+        version => Err(OnexError::SnapshotCorrupt(format!(
+            "unsupported version {version}"
+        ))),
+    }
+}
+
+/// Writes a snapshot to a file (current format, epoch 0).
+///
+/// Filesystem failures now surface as [`OnexError::Io`] (with the path in
+/// the message) instead of the pre-v2 `OnexError::Ts` wrapping.
+#[deprecated(
+    since = "0.3.0",
+    note = "use Explorer::save — same bytes, plus the explorer's live epoch in the header (file errors are now OnexError::Io)"
+)]
+pub fn save(base: &OnexBase, path: impl AsRef<Path>) -> Result<()> {
+    write_snapshot(base, 0, path)
+}
+
+/// Loads a snapshot from a file (either version).
+///
+/// Filesystem failures now surface as [`OnexError::Io`] (with the path in
+/// the message) instead of the pre-v2 `OnexError::Ts` wrapping.
+#[deprecated(
+    since = "0.3.0",
+    note = "use Explorer::load (or ExplorerBuilder::from_snapshot) — same decoding, epoch restored (file errors are now OnexError::Io)"
+)]
+pub fn load(path: impl AsRef<Path>) -> Result<OnexBase> {
+    read_snapshot(path).map(|(base, _)| base)
+}
+
+/// Shared file writer behind [`save`] and [`crate::engine::Explorer::save`].
+pub(crate) fn write_snapshot(base: &OnexBase, epoch: u64, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    std::fs::write(path, encode_with_epoch(base, epoch))
+        .map_err(|e| OnexError::Io(format!("writing snapshot {}: {e}", path.display())))
+}
+
+/// Shared file reader behind [`load`] and [`crate::engine::Explorer::load`].
+pub(crate) fn read_snapshot(path: impl AsRef<Path>) -> Result<(OnexBase, u64)> {
+    let path = path.as_ref();
+    let data = std::fs::read(path)
+        .map_err(|e| OnexError::Io(format!("reading snapshot {}: {e}", path.display())))?;
+    decode_with_epoch(&data)
+}
+
+/// Encodes everything after the header: config, normalizer, dataset, and
+/// the per-length group table (shared by both format versions).
+fn encode_payload(out: &mut BytesMut, base: &OnexBase) {
+    encode_config(out, base.config());
     match base.normalizer() {
         Some(p) => {
             out.put_u8(1);
@@ -36,7 +162,7 @@ pub fn encode(base: &OnexBase) -> Bytes {
         }
         None => out.put_u8(0),
     }
-    encode_dataset(&mut out, base.dataset());
+    encode_dataset(out, base.dataset());
     // groups, bucketed by length in index order
     let lengths: Vec<usize> = base.indexed_lengths().collect();
     out.put_u64_le(lengths.len() as u64);
@@ -45,30 +171,19 @@ pub fn encode(base: &OnexBase) -> Bytes {
         out.put_u64_le(len as u64);
         out.put_u64_le(idx.group_ids.len() as u64);
         for &gid in &idx.group_ids {
-            encode_group(&mut out, base.group(gid));
+            encode_group(out, base.group(gid));
         }
     }
-    out.freeze()
 }
 
-/// Deserializes a base from bytes.
-pub fn decode(mut buf: &[u8]) -> Result<OnexBase> {
-    let magic = take(&mut buf, 4)?;
-    if magic != MAGIC {
-        return Err(OnexError::SnapshotCorrupt("bad magic".to_string()));
-    }
-    let version = get_u8(&mut buf)?;
-    if version != VERSION {
-        return Err(OnexError::SnapshotCorrupt(format!(
-            "unsupported version {version}"
-        )));
-    }
-    let config = decode_config(&mut buf)?;
-    let norm = match get_u8(&mut buf)? {
+/// Decodes a payload, requiring it to be fully consumed.
+fn decode_payload(buf: &mut &[u8]) -> Result<OnexBase> {
+    let config = decode_config(buf)?;
+    let norm = match get_u8(buf)? {
         0 => None,
         1 => Some(MinMaxParams {
-            min: get_f64(&mut buf)?,
-            max: get_f64(&mut buf)?,
+            min: get_f64(buf)?,
+            max: get_f64(buf)?,
         }),
         t => {
             return Err(OnexError::SnapshotCorrupt(format!(
@@ -76,23 +191,23 @@ pub fn decode(mut buf: &[u8]) -> Result<OnexBase> {
             )))
         }
     };
-    let dataset = decode_dataset(&mut buf)?;
+    let dataset = decode_dataset(buf)?;
     // Each length entry needs at least its 16-byte header.
     let n_lengths = {
-        let c = get_u64(&mut buf)?;
+        let c = get_u64(buf)?;
         checked_count(buf, c, 16)?
     };
     let mut per_length = Vec::with_capacity(n_lengths);
     for _ in 0..n_lengths {
-        let len = get_u64(&mut buf)? as usize;
+        let len = get_u64(buf)? as usize;
         // Each group needs at least a member count + one member + radius.
         let n_groups = {
-            let c = get_u64(&mut buf)?;
+            let c = get_u64(buf)?;
             checked_count(buf, c, 32)?
         };
         let mut groups = Vec::with_capacity(n_groups);
         for _ in 0..n_groups {
-            groups.push(decode_group(&mut buf, len, &dataset)?);
+            groups.push(decode_group(buf, len, &dataset)?);
         }
         per_length.push(LengthGroups { len, groups });
     }
@@ -105,15 +220,35 @@ pub fn decode(mut buf: &[u8]) -> Result<OnexBase> {
     Ok(OnexBase::assemble(dataset, norm, config, per_length))
 }
 
-/// Writes a snapshot to a file.
-pub fn save(base: &OnexBase, path: impl AsRef<Path>) -> Result<()> {
-    std::fs::write(path, encode(base)).map_err(|e| OnexError::Ts(e.into()))
+/// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), table-driven with the
+/// table computed at compile time — no dependency needed.
+fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
-/// Loads a snapshot from a file.
-pub fn load(path: impl AsRef<Path>) -> Result<OnexBase> {
-    let data = std::fs::read(path).map_err(|e| OnexError::Ts(e.into()))?;
-    decode(&data)
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
 }
 
 // ---- component encoders/decoders ----
@@ -406,15 +541,70 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_via_file() {
+    fn round_trip_via_file_carries_epoch() {
         let b = base();
-        let dir = std::env::temp_dir().join("onex_snapshot_test");
+        let dir = std::env::temp_dir().join(format!("onex_snapshot_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("base.onex");
+        write_snapshot(&b, 7, &path).unwrap();
+        let (r, epoch) = read_snapshot(&path).unwrap();
+        assert_eq!(b, r);
+        assert_eq!(epoch, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deprecated_save_matches_epoch_zero_encoding() {
+        let b = base();
+        let dir = std::env::temp_dir().join(format!("onex_snapshot_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy-save.onex");
+        #[allow(deprecated)]
         save(&b, &path).unwrap();
+        let written = std::fs::read(&path).unwrap();
+        assert_eq!(&written[..], &encode_with_epoch(&b, 0)[..]);
+        #[allow(deprecated)]
         let r = load(&path).unwrap();
         assert_eq!(b, r);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        let b = base();
+        let v1 = encode_v1(&b);
+        assert_eq!(v1[4], VERSION_V1);
+        let (r, epoch) = decode_with_epoch(&v1).unwrap();
+        assert_eq!(b, r);
+        assert_eq!(epoch, 0, "v1 predates epochs");
+    }
+
+    #[test]
+    fn v2_checksum_catches_every_single_bit_flip() {
+        let b = base();
+        let bytes = encode_with_epoch(&b, 3).to_vec();
+        // CRC-32 detects all single-bit errors; sample positions across the
+        // whole snapshot including header, epoch, payload and footer.
+        for at in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+            for bit in [0u8, 7] {
+                let mut mutated = bytes.clone();
+                mutated[at] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        decode_with_epoch(&mutated),
+                        Err(OnexError::SnapshotCorrupt(_))
+                    ),
+                    "flip at byte {at} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

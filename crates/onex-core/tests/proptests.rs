@@ -92,7 +92,10 @@ proptest! {
                                           st in 0.15..0.4f64, delta in -0.1..0.3f64) {
         let base = OnexBase::build_prenormalized(d, config(st, seed)).unwrap();
         let st_prime = (st + delta).max(0.02);
-        let refined = onex_core::refine::refine(&base, st_prime).unwrap();
+        let explorer = Explorer::from_base(base.clone());
+        explorer.refine_to(st_prime).unwrap();
+        let refined = explorer.base();
+        prop_assert_eq!(explorer.epoch(), 1);
         prop_assert_eq!(base.stats().subsequences, refined.stats().subsequences);
         if st_prime < st {
             prop_assert!(refined.stats().representatives >= base.stats().representatives);
@@ -137,16 +140,64 @@ proptest! {
         d in dataset(), seed in any::<u64>(),
         cut in 0..4096usize, flip in 0..4096usize, bit in 0..8u8,
     ) {
-        // Fuzz the snapshot decoder: truncations and single-bit flips must
-        // produce Ok(equal) or Err(SnapshotCorrupt)/Err(Ts) — never a panic.
+        // Fuzz the v2 decoder: any truncation or single-bit flip must be
+        // *rejected* (the CRC-32 footer catches what structural validation
+        // can't) — and must never panic.
         let base = OnexBase::build_prenormalized(d, config(0.3, seed)).unwrap();
         let bytes = snapshot::encode(&base);
+        let cut = cut % bytes.len(); // strictly shorter than the full snapshot
+        prop_assert!(snapshot::decode(&bytes[..cut]).is_err(), "truncation at {} accepted", cut);
+        let mut mutated = bytes.to_vec();
+        let at = flip % mutated.len();
+        mutated[at] ^= 1 << bit;
+        prop_assert!(snapshot::decode(&mutated).is_err(), "bit flip at {} accepted", at);
+    }
+
+    #[test]
+    fn v1_snapshot_corruption_never_panics(
+        d in dataset(), seed in any::<u64>(),
+        cut in 0..4096usize, flip in 0..4096usize, bit in 0..8u8,
+    ) {
+        // The legacy format has no checksum, so corruption may decode —
+        // but must produce Ok or Err(SnapshotCorrupt), never panic.
+        let base = OnexBase::build_prenormalized(d, config(0.3, seed)).unwrap();
+        let bytes = snapshot::encode_v1(&base);
         let cut = cut % (bytes.len() + 1);
         let _ = snapshot::decode(&bytes[..cut]);
         let mut mutated = bytes.to_vec();
         let at = flip % mutated.len();
         mutated[at] ^= 1 << bit;
         let _ = snapshot::decode(&mutated);
+    }
+
+    #[test]
+    fn snapshot_round_trip_reproduces_query_results(
+        d in dataset(), seed in any::<u64>(), epoch in any::<u64>(), qlen in 2..6usize,
+    ) {
+        // decode(encode(base)) must answer queries identically to the
+        // original — for both format versions — and v2 must carry the
+        // epoch through.
+        let base = OnexBase::build_prenormalized(d, config(0.25, seed)).unwrap();
+        let src = base.dataset().get(0).unwrap();
+        prop_assume!(src.len() >= qlen);
+        let q: Vec<f64> = src.values()[..qlen].to_vec();
+        let expected = Explorer::from_base(base.clone())
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
+
+        let (v2, restored_epoch) =
+            snapshot::decode_with_epoch(&snapshot::encode_with_epoch(&base, epoch)).unwrap();
+        prop_assert_eq!(restored_epoch, epoch);
+        let got = Explorer::from_base(v2)
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
+        prop_assert_eq!(&got, &expected);
+
+        let v1 = snapshot::decode(&snapshot::encode_v1(&base)).unwrap();
+        let got = Explorer::from_base(v1)
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .unwrap();
+        prop_assert_eq!(&got, &expected);
     }
 
     #[test]

@@ -179,6 +179,20 @@ impl Dataset {
         self.series.len() - 1
     }
 
+    /// Removes and returns the series at `index`, shifting every later
+    /// series down by one. Used by the incremental maintenance path of the
+    /// ONEX base; callers holding [`SubseqRef`]s must remap the series
+    /// indices themselves.
+    pub fn remove(&mut self, index: usize) -> Result<TimeSeries> {
+        if index >= self.series.len() {
+            return Err(TsError::NoSuchSeries {
+                index,
+                dataset_len: self.series.len(),
+            });
+        }
+        Ok(self.series.remove(index))
+    }
+
     /// Resolves a subsequence reference to its samples.
     #[inline]
     pub fn subseq(&self, r: SubseqRef) -> Result<&[f64]> {
@@ -442,6 +456,19 @@ mod tests {
         let idx = d.push(TimeSeries::new(vec![1.0]).unwrap());
         assert_eq!(idx, 2);
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn remove_shifts_later_series() {
+        let mut d = toy();
+        let removed = d.remove(0).unwrap();
+        assert_eq!(removed.values(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(0).unwrap().values(), &[5.0, 6.0, 7.0]);
+        assert!(d.remove(1).is_err());
+        d.remove(0).unwrap();
+        assert!(d.is_empty());
+        assert!(d.remove(0).is_err());
     }
 
     #[test]

@@ -1,22 +1,28 @@
 //! A minimal interactive shell over the ONEX base — the "truly interactive
-//! exploration experience" of the paper's abstract, in terminal form.
+//! exploration experience" of the paper's abstract, in terminal form, now
+//! over the full dataset lifecycle: the base evolves *in place* (append /
+//! remove / refine hot-swap it under a new epoch) and persists to a
+//! checksummed snapshot, all through one `Explorer`.
 //!
 //! ```sh
 //! cargo run --release --example interactive_cli
 //! ```
 //!
 //! Commands (also printed at startup):
-//!   best <series> <from> <to> [len|any]   best match for a slice as query
-//!   design <v1,v2,...> [len|any]          best match for a designed query
-//!   seasonal <series> <len>               recurring patterns in a series
-//!   clusters <len>                        data-driven similarity clusters
-//!   recommend [len]                       threshold guidance
-//!   refine <st>                           re-threshold the base (Algo 2.C)
-//!   stats                                 base statistics
+//!   best <series> <from> <to> [any]   best match for a slice as query
+//!   design <v1,v2,...> [any]          best match for a designed query
+//!   seasonal <series> <len>           recurring patterns in a series
+//!   clusters <len>                    data-driven similarity clusters
+//!   recommend [len]                   threshold guidance
+//!   refine <st>                       re-threshold live (Algo 2.C hot-swap)
+//!   append <v1,v2,...>                stream a new series in (raw units)
+//!   remove <series>                   drop a series from the base
+//!   save <path> | load <path>         snapshot v2 out / back in
+//!   stats                             base statistics + epoch
 //!   quit
 
 use onex::ts::synth;
-use onex::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions};
+use onex::{Explorer, ExplorerBuilder, MatchMode, QueryOptions};
 use std::io::{BufRead, Write};
 
 fn print_help() {
@@ -26,23 +32,27 @@ fn print_help() {
     println!("  seasonal <series> <len>           recurring patterns within a series");
     println!("  clusters <len>                    data-driven similarity clusters");
     println!("  recommend [len]                   threshold guidance");
-    println!("  refine <st>                       re-threshold the base");
+    println!("  refine <st>                       re-threshold the live base (hot-swap)");
+    println!("  append <v1,v2,...>                append a new series (raw units)");
+    println!("  remove <series>                   remove a series");
+    println!("  save <path> | load <path>         persist / restore the base");
     println!("  stats | help | quit");
+}
+
+fn parse_values(csv: &str) -> Option<Vec<f64>> {
+    csv.split(',')
+        .map(str::parse::<f64>)
+        .collect::<Result<Vec<f64>, _>>()
+        .ok()
 }
 
 fn main() {
     println!("loading ItalyPower-like dataset and building the ONEX base…");
     let data = synth::italy_power(67, 24, 1);
-    let mut explorer = Explorer::from_base(
-        OnexBase::build(
-            &data,
-            OnexConfig {
-                threads: 4,
-                ..OnexConfig::default()
-            },
-        )
-        .expect("build"),
-    );
+    let mut explorer = ExplorerBuilder::new()
+        .threads(4)
+        .build(&data)
+        .expect("build");
     let s = explorer.base().stats();
     println!(
         "ready: {} series, {} subsequences → {} representatives ({:.2} MB)",
@@ -68,10 +78,12 @@ fn main() {
             ["quit" | "exit" | "q"] => break,
             ["help"] => print_help(),
             ["stats"] => {
-                let s = explorer.base().stats();
+                let base = explorer.base();
+                let s = base.stats();
                 println!(
-                    "ST={} reps={} subseqs={} lengths={} size={:.2} MB",
-                    explorer.base().config().st,
+                    "epoch={} ST={} reps={} subseqs={} lengths={} size={:.2} MB",
+                    explorer.epoch(),
+                    base.config().st,
                     s.representatives,
                     s.subsequences,
                     s.lengths,
@@ -87,7 +99,8 @@ fn main() {
                     println!("usage: best <series> <from> <to> [any]");
                     continue;
                 };
-                let Ok(ts) = explorer.base().dataset().get(sid) else {
+                let base = explorer.base();
+                let Ok(ts) = base.dataset().get(sid) else {
                     println!("no series {sid}");
                     continue;
                 };
@@ -114,9 +127,7 @@ fn main() {
                 }
             }
             ["design", values, rest @ ..] => {
-                let parsed: Result<Vec<f64>, _> =
-                    values.split(',').map(str::parse::<f64>).collect();
-                let Ok(raw) = parsed else {
+                let Some(raw) = parse_values(values) else {
                     println!("could not parse values");
                     continue;
                 };
@@ -180,19 +191,67 @@ fn main() {
                 }
             }
             ["refine", st] => match st.parse::<f64>() {
-                Ok(v) => match onex::core::refine::refine(explorer.base(), v) {
-                    Ok(nb) => {
-                        println!(
-                            "refined {} → {} reps ({:?})",
+                Ok(v) => {
+                    let before = explorer.base().stats().representatives;
+                    match explorer.refine_to(v) {
+                        Ok(epoch) => println!(
+                            "refined {} → {} reps, now epoch {} ({:?})",
+                            before,
                             explorer.base().stats().representatives,
-                            nb.stats().representatives,
+                            epoch,
                             t0.elapsed()
-                        );
-                        explorer = Explorer::from_base(nb);
+                        ),
+                        Err(e) => println!("error: {e}"),
                     }
+                }
+                _ => println!("usage: refine <st>"),
+            },
+            ["append", values] => {
+                let Some(raw) = parse_values(values) else {
+                    println!("could not parse values");
+                    continue;
+                };
+                match onex::TimeSeries::new(raw)
+                    .map_err(onex::OnexError::from)
+                    .and_then(|ts| explorer.append_series(ts))
+                {
+                    Ok(idx) => println!(
+                        "appended as series {} — now epoch {} ({:?})",
+                        idx,
+                        explorer.epoch(),
+                        t0.elapsed()
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["remove", series] => match series.parse::<usize>() {
+                Ok(sid) => match explorer.remove_series(sid) {
+                    Ok(removed) => println!(
+                        "removed series {} ({} samples) — now epoch {} ({:?})",
+                        sid,
+                        removed.len(),
+                        explorer.epoch(),
+                        t0.elapsed()
+                    ),
                     Err(e) => println!("error: {e}"),
                 },
-                _ => println!("usage: refine <st>"),
+                _ => println!("usage: remove <series>"),
+            },
+            ["save", path] => match explorer.save(path) {
+                Ok(()) => println!("saved snapshot to {path} ({:?})", t0.elapsed()),
+                Err(e) => println!("error: {e}"),
+            },
+            ["load", path] => match Explorer::load(path) {
+                Ok(loaded) => {
+                    println!(
+                        "loaded {} series at epoch {} ({:?})",
+                        loaded.base().dataset().len(),
+                        loaded.epoch(),
+                        t0.elapsed()
+                    );
+                    explorer = loaded;
+                }
+                Err(e) => println!("error: {e}"),
             },
             _ => {
                 println!("unrecognized command");

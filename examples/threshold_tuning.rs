@@ -1,35 +1,50 @@
-//! Class III queries and Algorithm 2.C in action: threshold recommendations
-//! and online refinement of the base to new thresholds — without rebuilding
-//! from raw data (§4.2, §5.2).
+//! Class III queries and Algorithm 2.C in action — **live**: threshold
+//! recommendations, then online re-thresholding of a *serving* explorer via
+//! [`Explorer::refine_to`] (§4.2, §5.2). No rebuild from raw data, no
+//! downtime: each refinement constructs the successor base off-line and
+//! atomically hot-swaps it under a new epoch, while a pinned session keeps
+//! answering on the generation it started with.
 //!
 //! ```sh
 //! cargo run --release --example threshold_tuning
 //! ```
 
 use onex::ts::synth;
-use onex::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions, SimilarityDegree};
+use onex::{Explorer, ExplorerBuilder, MatchMode, QueryOptions, QueryRequest, SimilarityDegree};
+
+fn best_of(explorer: &Explorer, q: &[f64]) {
+    let resp = explorer
+        .query(QueryRequest::best_match(q.to_vec(), MatchMode::Any))
+        .expect("query");
+    let m = resp.result.best_match().unwrap();
+    let base = explorer.base();
+    println!(
+        "  epoch {} (ST={:.3}): best match series {:>2} [{:>2}..{:>2}] DTW̄ {:.4}",
+        resp.stats.epoch,
+        base.config().st,
+        m.subseq.series,
+        m.subseq.start,
+        m.subseq.end(),
+        m.dist
+    );
+}
 
 fn main() {
     let data = synth::ecg(30, 64, 21);
-    let base = OnexBase::build(
-        &data,
-        OnexConfig {
-            st: 0.2,
-            threads: 4,
-            ..OnexConfig::default()
-        },
-    )
-    .expect("build");
+    let explorer = ExplorerBuilder::new()
+        .st(0.2)
+        .threads(4)
+        .build(&data)
+        .expect("build");
     println!(
-        "base at ST = {}: {} representatives",
-        base.config().st,
-        base.stats().representatives
+        "base at ST = {}: {} representatives (epoch {})",
+        explorer.base().config().st,
+        explorer.base().stats().representatives,
+        explorer.epoch()
     );
 
     // --- Q3: translate "strict / medium / loose" into numbers ---
     println!("\nglobal threshold guidance:");
-    let explorer = Explorer::from_base(base);
-    let base = explorer.base();
     for r in explorer.recommend(None, None).expect("recommend") {
         match r.upper {
             Some(u) => println!("  {:?}: ST ∈ [{:.3}, {:.3}]", r.degree, r.lower, u),
@@ -37,6 +52,7 @@ fn main() {
         }
     }
     // Per-length guidance differs (short windows merge at lower thresholds):
+    let base = explorer.base();
     for len in [8usize, 32] {
         if let Some((half, fin)) = base.sp_space().local(len) {
             println!("  length {len:>3}: ST_half = {half:.3}, ST_final = {fin:.3}");
@@ -50,44 +66,51 @@ fn main() {
     let chosen_st = strict.upper.unwrap() / 2.0;
     println!("\nanalyst picks strict ST = {chosen_st:.3}");
 
-    // --- Algorithm 2.C: refine the base instead of rebuilding ---
+    // A long-running session pins the current generation first: its answers
+    // stay consistent no matter how the threshold is tuned underneath.
+    let session = explorer.pin();
+    let q: Vec<f64> = base.dataset().series()[5].values()[8..40].to_vec();
+
+    // --- Algorithm 2.C, live: refine the serving explorer in place ---
+    let reps_before = base.stats().representatives;
     let t0 = std::time::Instant::now();
-    let tight = onex::core::refine::refine(base, chosen_st).expect("refine tighter");
+    let epoch = explorer.refine_to(chosen_st).expect("refine tighter");
     println!(
-        "refined (split) to ST' = {:.3} in {:?}: {} → {} representatives",
+        "refined (split) to ST' = {:.3} in {:?}: {} → {} representatives, epoch {}",
         chosen_st,
         t0.elapsed(),
-        base.stats().representatives,
-        tight.stats().representatives
+        reps_before,
+        explorer.base().stats().representatives,
+        epoch
     );
+    println!("\nsame query, strict regime vs the pinned session:");
+    best_of(&explorer, &q);
 
     let t0 = std::time::Instant::now();
-    let loose = onex::core::refine::refine(base, 0.5).expect("refine looser");
+    let epoch = explorer.refine_to(0.5).expect("refine looser");
     println!(
-        "refined (merge) to ST' = 0.5 in {:?}: {} → {} representatives",
+        "\nrefined (merge) to ST' = 0.5 in {:?}: now {} representatives, epoch {}",
         t0.elapsed(),
-        base.stats().representatives,
-        loose.stats().representatives
+        explorer.base().stats().representatives,
+        epoch
     );
+    println!("\nsame query, loose regime:");
+    best_of(&explorer, &q);
 
-    // --- Same query, three similarity regimes ---
-    let q: Vec<f64> = base.dataset().series()[5].values()[8..40].to_vec();
-    for (name, b) in [("strict", &tight), ("default", base), ("loose", &loose)] {
-        let e = Explorer::from_base(b.clone());
-        let m = e
-            .best_match(&q, MatchMode::Any, QueryOptions::default())
-            .expect("query");
-        println!(
-            "  {name:<8} (ST={:.3}): best match series {:>2} [{:>2}..{:>2}] DTW̄ {:.4}",
-            b.config().st,
-            m.subseq.series,
-            m.subseq.start,
-            m.subseq.end(),
-            m.dist
-        );
-    }
+    // The pinned session still sees the original ST = 0.2 base.
+    let m = session
+        .best_match(&q, MatchMode::Any, QueryOptions::default())
+        .expect("pinned query");
+    println!(
+        "\npinned session (epoch {}, ST={:.3}): best match series {:>2} DTW̄ {:.4}",
+        session.epoch(),
+        session.base().config().st,
+        m.subseq.series,
+        m.dist
+    );
     println!(
         "\nsplitting tightens groups (more reps, finer answers); merging coarsens \
-         them (fewer reps, faster scans) — no raw-data re-clustering either way."
+         them (fewer reps, faster scans) — no raw-data re-clustering, no downtime, \
+         and in-flight sessions finish on the generation they pinned."
     );
 }

@@ -59,9 +59,44 @@
 //! it) across threads, no locking required. Per-query [`QueryOptions`]
 //! carry a warping-window override, a wall-clock budget, a DTW-evaluation
 //! cap, and pruning toggles; every [`QueryResponse`] reports uniform
-//! [`QueryStats`].
+//! [`QueryStats`], including the **epoch** of the base generation that
+//! answered.
 //!
-//! ## Migrating from the per-class entry points
+//! ## Lifecycle: build → serve → mutate → persist
+//!
+//! The explorer owns the whole dataset lifecycle. Construction goes
+//! through [`ExplorerBuilder`] (from a dataset, a snapshot file, or a
+//! UCR/CSV file); the base then evolves *while serving*:
+//!
+//! ```
+//! use onex::{ExplorerBuilder, MatchMode, QueryOptions, TimeSeries};
+//! use onex::ts::synth;
+//!
+//! let data = synth::sine_mix(12, 24, 2, 42);
+//! let explorer = ExplorerBuilder::new().st(0.2).threads(2).build(&data).unwrap();
+//!
+//! // Live maintenance: the successor base is built off-line and atomically
+//! // hot-swapped — queries in flight finish on the generation they pinned.
+//! let novel = TimeSeries::new((0..24).map(|i| (i as f64 * 0.5).sin()).collect()).unwrap();
+//! let idx = explorer.append_series(novel).unwrap();      // epoch 0 → 1
+//! explorer.refine_to(0.3).unwrap();                      // epoch 1 → 2
+//! assert_eq!(explorer.epoch(), 2);
+//!
+//! // A pinned session keeps one generation for multi-query consistency.
+//! let session = explorer.pin();
+//! explorer.remove_series(idx).unwrap();                  // epoch 2 → 3
+//! assert_eq!(session.epoch(), 2);                        // unaffected
+//! assert_eq!(explorer.epoch(), 3);
+//!
+//! // Persistence: checksummed snapshot v2 carrying the epoch.
+//! let path = std::env::temp_dir().join(format!("onex-doc-lifecycle-{}.onex", std::process::id()));
+//! explorer.save(&path).unwrap();
+//! let reloaded = onex::Explorer::load(&path).unwrap();
+//! assert_eq!(reloaded.epoch(), 3);
+//! std::fs::remove_file(&path).ok();
+//! ```
+//!
+//! ## Migrating from the per-class and free-function entry points
 //!
 //! The pre-engine entry points still compile but are deprecated shims over
 //! the same internals:
@@ -72,9 +107,15 @@
 //! | `query::seasonal_all` / `query::seasonal_for_series` | [`Explorer::seasonal_all`] / [`Explorer::seasonal_for_series`] |
 //! | `query::recommend` | [`Explorer::recommend`] |
 //! | `query::best_match_batch` | [`QueryRequest::Batch`] via [`Explorer::query`] |
+//! | `maintain::append_series` | [`Explorer::append_series`] (plus the new [`Explorer::remove_series`]) |
+//! | `refine::refine` | [`Explorer::refine_to`] |
+//! | `snapshot::save` / `snapshot::load` | [`Explorer::save`] / [`Explorer::load`] (or [`ExplorerBuilder::from_snapshot`]) |
 //!
 //! The deprecated paths return bit-identical results; they differ only in
-//! taking `&mut self` (serializing callers) and in lacking budgets/stats.
+//! taking the base by `&`/value (no epoch hot-swap, callers serialize
+//! themselves) and in lacking budgets/stats. Snapshots written by the
+//! deprecated `save` are v2 at epoch 0; v1 files from older builds still
+//! load everywhere.
 //!
 //! ## Crate map
 //!
@@ -99,9 +140,9 @@ pub use onex_baselines::{BaselineMatch, BruteForce, PaaSearch, Spring, Trillion}
 #[allow(deprecated)]
 pub use onex_core::SimilarityQuery;
 pub use onex_core::{
-    BuildMode, Explorer, Match, MatchMode, OnexBase, OnexConfig, OnexError, QueryOptions,
-    QueryRequest, QueryResponse, QueryResult, QueryStats, SeasonalScope, SimilarityDegree, SpSpace,
-    ThresholdRange,
+    BuildMode, Explorer, ExplorerBuilder, Match, MatchMode, OnexBase, OnexConfig, OnexError,
+    PinnedExplorer, QueryOptions, QueryRequest, QueryResponse, QueryResult, QueryStats,
+    SeasonalScope, SimilarityDegree, SpSpace, ThresholdRange,
 };
 pub use onex_dist::Window;
 pub use onex_ts::{Dataset, Decomposition, SubseqRef, TimeSeries, TsError};

@@ -175,20 +175,22 @@ fn threshold_recommendations_cover_the_axis() {
 
 #[test]
 fn refinement_round_trips_against_fresh_build() {
-    // refine(ST→ST') must produce a base with the same *membership totals*
+    // refine_to(ST') must produce a base with the same *membership totals*
     // and a working query path; exact group equality with a fresh build is
     // not guaranteed (different randomization), but coverage is.
     let data = synth::sine_mix(6, 14, 2, 31);
     let base = OnexBase::build(&data, small_config()).unwrap();
     for &st_prime in &[0.1, 0.3, 0.5] {
-        let refined = onex::core::refine::refine(&base, st_prime).unwrap();
+        let explorer = Explorer::from_base(base.clone());
+        explorer.refine_to(st_prime).unwrap();
+        let refined = explorer.base();
         assert_eq!(
             refined.stats().subsequences,
             base.stats().subsequences,
             "ST'={st_prime}"
         );
         let q: Vec<f64> = refined.dataset().series()[1].values()[2..10].to_vec();
-        Explorer::from_base(refined)
+        explorer
             .best_match(&q, MatchMode::Exact(8), QueryOptions::default())
             .unwrap();
     }
@@ -215,15 +217,21 @@ fn snapshot_survives_full_pipeline() {
 #[test]
 fn maintenance_then_query_pipeline() {
     let data = synth::wafer(8, 24, 3);
-    let base = OnexBase::build(&data, small_config()).unwrap();
+    let explorer = Explorer::from_base(OnexBase::build(&data, small_config()).unwrap());
     let novel = TimeSeries::new((0..24).map(|i| (i as f64 * 0.6).sin() * 3.0).collect()).unwrap();
-    let (base, idx) = onex::core::maintain::append_series(base, novel).unwrap();
+    let idx = explorer.append_series(novel).unwrap();
     assert_eq!(idx, 8);
-    let q: Vec<f64> = base.dataset().series()[idx].values()[0..12].to_vec();
-    let m = Explorer::from_base(base)
+    assert_eq!(explorer.epoch(), 1);
+    let q: Vec<f64> = explorer.base().dataset().series()[idx].values()[0..12].to_vec();
+    let m = explorer
         .best_match(&q, MatchMode::Exact(12), QueryOptions::default())
         .unwrap();
     assert_eq!(m.subseq.series as usize, idx, "novel series matches itself");
+    // The inverse: removing the novel series restores the original shape.
+    let removed = explorer.remove_series(idx).unwrap();
+    assert_eq!(removed.len(), 24);
+    assert_eq!(explorer.base().dataset().len(), 8);
+    assert_eq!(explorer.epoch(), 2);
 }
 
 #[test]

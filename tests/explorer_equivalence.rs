@@ -223,7 +223,7 @@ fn concurrent_mixed_request_batch() {
     let b = base();
     let explorer = Explorer::new(Arc::new(b));
     let mut requests = Vec::new();
-    for q in queries(explorer.base()) {
+    for q in queries(&explorer.base()) {
         requests.push(QueryRequest::best_match(q, MatchMode::Any));
     }
     requests.push(QueryRequest::seasonal_all(8, 2));

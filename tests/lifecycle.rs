@@ -1,0 +1,276 @@
+//! The lifecycle contract, tested from the outside:
+//!
+//! 1. **Live maintenance under load** — one shared `Explorer` serves
+//!    queries from many reader threads nonstop while a writer appends
+//!    series and re-thresholds the base. No reader ever errors, every
+//!    reader observes a monotone epoch sequence, and queries issued after
+//!    the swaps see the appended data.
+//! 2. **Shim equivalence** — the deprecated lifecycle free functions
+//!    (`maintain::append_series`, `refine::refine`, `snapshot::save`) must
+//!    produce results *byte-identical* to the new `Explorer` methods.
+//! 3. **Snapshot compatibility** — a v1 snapshot written before this
+//!    format revision still loads, and v2 round-trips carry the epoch.
+
+use onex::core::{maintain, refine, snapshot};
+use onex::ts::synth;
+use onex::{
+    Explorer, ExplorerBuilder, MatchMode, OnexBase, OnexConfig, QueryOptions, QueryRequest,
+    TimeSeries,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn base() -> OnexBase {
+    let d = synth::sine_mix(8, 24, 2, 4242);
+    OnexBase::build(&d, OnexConfig::default()).unwrap()
+}
+
+/// Per-process scratch dir so concurrent test runs on one machine don't
+/// clobber each other's snapshot files.
+fn test_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("onex_lifecycle_test_{}", std::process::id()))
+}
+
+/// A distinctive raw-unit series no sine_mix class resembles: a square wave
+/// far outside the original value range, phase-shifted per `i` so appended
+/// copies differ.
+fn novel_series(i: usize) -> TimeSeries {
+    TimeSeries::new(
+        (0..24)
+            .map(|t| {
+                if (t + i) % 4 < 2 {
+                    40.0 + i as f64
+                } else {
+                    -40.0
+                }
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn readers_never_block_or_fail_while_writer_appends_and_refines() {
+    const READERS: usize = 5;
+    const WRITER_OPS: usize = 4;
+    let explorer = Explorer::from_base(base());
+    let queries: Vec<Vec<f64>> = (0..4)
+        .map(|s| explorer.base().dataset().series()[s].values()[s..s + 12].to_vec())
+        .collect();
+    let writer_done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Writer: interleave appends and refinements, each an off-line
+        // construction followed by an atomic hot-swap. The flag is set via
+        // a drop guard so the reader loops terminate (and the test fails
+        // cleanly) even if the writer panics.
+        scope.spawn(|| {
+            struct Done<'a>(&'a AtomicBool);
+            impl Drop for Done<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+            let _done = Done(&writer_done);
+            for i in 0..WRITER_OPS {
+                let idx = explorer.append_series(novel_series(i)).unwrap();
+                assert_eq!(idx, 8 + i);
+                let st = if i % 2 == 0 { 0.25 } else { 0.2 };
+                explorer.refine_to(st).unwrap();
+            }
+        });
+
+        // Readers: hammer every query class until the writer finishes,
+        // asserting success and per-reader epoch monotonicity throughout.
+        for t in 0..READERS {
+            let explorer = explorer.clone();
+            let queries = &queries;
+            let writer_done = &writer_done;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut rounds = 0usize;
+                while !writer_done.load(Ordering::Acquire) || rounds < 3 {
+                    let q = &queries[(t + rounds) % queries.len()];
+                    let resp = explorer
+                        .query(QueryRequest::best_match(q.clone(), MatchMode::Any))
+                        .unwrap_or_else(|e| panic!("reader {t} round {rounds} failed: {e}"));
+                    assert!(
+                        resp.stats.epoch >= last_epoch,
+                        "reader {t} saw epoch go backwards: {} after {}",
+                        resp.stats.epoch,
+                        last_epoch
+                    );
+                    last_epoch = resp.stats.epoch;
+                    // Mix in the other classes (answered off the same pin).
+                    explorer.seasonal_all(8, 2).unwrap();
+                    explorer.recommend(None, None).unwrap();
+                    rounds += 1;
+                }
+            });
+        }
+    });
+
+    // Every writer op landed: 2 swaps per iteration.
+    assert_eq!(explorer.epoch(), 2 * WRITER_OPS as u64);
+    let final_base = explorer.base();
+    assert_eq!(final_base.dataset().len(), 8 + WRITER_OPS);
+    assert_eq!(final_base.config().st, 0.2);
+
+    // Post-swap queries see the appended series: an exact slice of the last
+    // appended series matches itself (distance ~0) in the new generation.
+    let q: Vec<f64> = final_base.dataset().series()[8 + WRITER_OPS - 1].values()[0..12].to_vec();
+    let m = explorer
+        .best_match(&q, MatchMode::Exact(12), QueryOptions::default())
+        .unwrap();
+    assert!(
+        m.dist < 1e-9,
+        "appended series must self-match, got {}",
+        m.dist
+    );
+    assert!(
+        m.subseq.series as usize >= 8,
+        "match must come from appended data, got series {}",
+        m.subseq.series
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_append_series_is_byte_identical_to_explorer_method() {
+    let b = base();
+    let novel = novel_series(1);
+    let (via_free, idx_free) = maintain::append_series(b.clone(), novel.clone()).unwrap();
+    let explorer = Explorer::from_base(b);
+    let idx_new = explorer.append_series(novel).unwrap();
+    assert_eq!(idx_free, idx_new);
+    assert_eq!(
+        snapshot::encode(&via_free).to_vec(),
+        snapshot::encode(&explorer.base()).to_vec(),
+        "append shim and Explorer::append_series must produce identical bases"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_refine_is_byte_identical_to_refine_to() {
+    let b = base();
+    for st_prime in [0.1, 0.35] {
+        let via_free = refine::refine(&b, st_prime).unwrap();
+        let explorer = Explorer::from_base(b.clone());
+        explorer.refine_to(st_prime).unwrap();
+        assert_eq!(
+            snapshot::encode(&via_free).to_vec(),
+            snapshot::encode(&explorer.base()).to_vec(),
+            "refine shim and Explorer::refine_to must produce identical bases (ST'={st_prime})"
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_save_writes_the_same_bytes_as_explorer_save() {
+    let b = base();
+    let dir = test_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let p_free = dir.join("free.onex");
+    let p_new = dir.join("new.onex");
+    snapshot::save(&b, &p_free).unwrap();
+    // A fresh explorer is at epoch 0, exactly what the deprecated path
+    // stamps.
+    Explorer::from_base(b.clone()).save(&p_new).unwrap();
+    assert_eq!(
+        std::fs::read(&p_free).unwrap(),
+        std::fs::read(&p_new).unwrap(),
+        "snapshot::save and Explorer::save at epoch 0 must write identical files"
+    );
+    // And the deprecated loader reads what the new writer wrote.
+    assert_eq!(snapshot::load(&p_new).unwrap(), b);
+    std::fs::remove_file(&p_free).ok();
+    std::fs::remove_file(&p_new).ok();
+}
+
+#[test]
+#[allow(deprecated)]
+fn v1_snapshot_written_before_this_revision_still_loads() {
+    let b = base();
+    // Byte-for-byte what the previous revision's `snapshot::save` wrote.
+    let dir = test_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pre-v2.onex");
+    std::fs::write(&path, snapshot::encode_v1(&b)).unwrap();
+
+    // Loads through every current entry point, at epoch 0.
+    assert_eq!(snapshot::load(&path).unwrap(), b);
+    let explorer = Explorer::load(&path).unwrap();
+    assert_eq!(explorer.epoch(), 0);
+    assert_eq!(*explorer.base(), b);
+    let via_builder = ExplorerBuilder::new().from_snapshot(&path).unwrap();
+    assert_eq!(*via_builder.base(), b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn save_load_resumes_epoch_and_answers_identically() {
+    let explorer = Explorer::from_base(base());
+    explorer.refine_to(0.3).unwrap();
+    explorer.append_series(novel_series(0)).unwrap();
+    let q: Vec<f64> = explorer.base().dataset().series()[2].values()[3..15].to_vec();
+    let expected = explorer
+        .best_match(&q, MatchMode::Any, QueryOptions::default())
+        .unwrap();
+
+    let dir = test_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.onex");
+    explorer.save(&path).unwrap();
+    let reloaded = Explorer::load(&path).unwrap();
+    assert_eq!(reloaded.epoch(), 2, "epoch must survive the snapshot");
+    let got = reloaded
+        .best_match(&q, MatchMode::Any, QueryOptions::default())
+        .unwrap();
+    assert_eq!(got, expected);
+    // Maintenance on the reloaded explorer continues the numbering.
+    reloaded.refine_to(0.25).unwrap();
+    assert_eq!(reloaded.epoch(), 3);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_snapshot_is_rejected_with_a_clear_error() {
+    let explorer = Explorer::from_base(base());
+    let dir = test_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.onex");
+    explorer.save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Explorer::load(&path).unwrap_err();
+    assert!(
+        matches!(err, onex::OnexError::SnapshotCorrupt(_)),
+        "expected SnapshotCorrupt, got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn remove_series_shrinks_the_live_base() {
+    let explorer = Explorer::from_base(base());
+    let total_before = explorer.base().stats().subsequences;
+    let removed = explorer.remove_series(3).unwrap();
+    assert_eq!(removed.len(), 24);
+    let after = explorer.base();
+    assert_eq!(after.dataset().len(), 7);
+    assert_eq!(
+        after.stats().subsequences,
+        total_before - 24 * 23 / 2,
+        "removed series takes its n(n−1)/2 subsequences with it"
+    );
+    // Remaining series still answer; indices above the removed one shifted.
+    let q: Vec<f64> = after.dataset().series()[5].values()[0..10].to_vec();
+    let m = explorer
+        .best_match(&q, MatchMode::Exact(10), QueryOptions::default())
+        .unwrap();
+    assert!(m.dist.is_finite());
+    assert!(explorer.remove_series(7).is_err(), "index now out of range");
+}
