@@ -6,16 +6,28 @@
 //! ```
 //!
 //! Experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation
-//! datasets all
+//! perf datasets all
 //! Flags: `--scale <f64>` (default 0.05), `--seed <u64>`, `--runs <usize>`,
-//! `--threads <usize>`, `--csv <dir>` (also write each table as CSV).
+//! `--threads <usize>`, `--csv <dir>` (also write each table as CSV),
+//! `--json <path>` (perf: write the machine-readable counter baseline),
+//! `--check-against <path>` (perf: exit non-zero when best-match DTW
+//! evaluations regress >2x versus the checked-in baseline — the CI smoke).
+//!
+//! ```sh
+//! # regenerate the checked-in perf baseline (the baseline records its
+//! # scale/seed; the check refuses to compare across different flags)
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr3.json
+//! # CI regression gate (counters, not wall-clock)
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --check-against BENCH_pr3.json
+//! ```
 
 use onex_bench::experiments::{self, Ctx};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale f] [--seed n] [--runs n] [--threads n] [--csv dir]\n\
-         experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation datasets all"
+         \x20                     [--json path] [--check-against path]\n\
+         experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation perf datasets all"
     );
     std::process::exit(2);
 }
@@ -37,6 +49,8 @@ fn main() {
             "--runs" => ctx.runs = value.parse().unwrap_or_else(|_| usage()),
             "--threads" => ctx.threads = value.parse().unwrap_or_else(|_| usage()),
             "--csv" => ctx.csv_dir = Some(value.into()),
+            "--json" => ctx.json_out = Some(value.into()),
+            "--check-against" => ctx.check_against = Some(value.into()),
             _ => usage(),
         }
         i += 2;
@@ -51,7 +65,9 @@ fn main() {
         ctx.scale, ctx.seed, ctx.runs, ctx.threads
     );
     let t0 = std::time::Instant::now();
+    let mut ok = true;
     match exp.as_str() {
+        "perf" => ok = experiments::perf::run(&ctx),
         "fig2" => experiments::fig2::run(&ctx),
         "fig3" => experiments::fig3::run(&ctx),
         "fig4" => experiments::fig4::run(&ctx),
@@ -73,8 +89,12 @@ fn main() {
             experiments::table4::run(&ctx);
             experiments::fig78::run(&ctx);
             experiments::ablation::run(&ctx);
+            ok = experiments::perf::run(&ctx);
         }
         _ => usage(),
     }
     println!("\ntotal harness time: {:?}", t0.elapsed());
+    if !ok {
+        std::process::exit(1);
+    }
 }

@@ -8,13 +8,17 @@
 //! * exploring 1 vs 3 best groups per length,
 //! * `Strict` vs `Paper` group-invariant enforcement,
 //! * stop-at-first-qualifying length search on/off,
+//! * the engine's cascaded lower-bound pipeline, per tier (LB_Kim /
+//!   query-side LB_Keogh / candidate-side LB_Keogh / suffix abandon),
 //! * Trillion with vs without its lower-bound cascade,
 //! * DTW warping-window width.
 
 use super::Ctx;
 use crate::harness::{self, accuracy_from_errors, build_timed, fmt_secs, make_queries};
 use onex_baselines::{BruteForce, Trillion};
-use onex_core::{BuildMode, ClusterStrategy, Explorer, MatchMode, OnexConfig, QueryOptions};
+use onex_core::{
+    BuildMode, ClusterStrategy, Explorer, MatchMode, OnexConfig, QueryOptions, QueryRequest,
+};
 use onex_dist::Window;
 use onex_ts::synth::PaperDataset;
 
@@ -132,13 +136,80 @@ pub fn run(ctx: &Ctx) {
     }
     table.finish(ctx.csv());
 
-    // Trillion's lower-bound cascade.
-    println!("\nTrillion lower-bound cascade:");
+    // The engine's cascaded lower-bound pipeline, tier by tier: how many
+    // DTW candidates each filter kills (Kim / query-side Keogh /
+    // candidate-side Keogh) and how many surviving DTWs the suffix bound
+    // abandons, for identical answers at every level.
+    println!("\nEngine LB cascade (best-match any-length, counters summed over queries):");
     let ds = PaperDataset::Ecg;
     let data = ds.generate_scaled(ctx.scale, ctx.seed);
     let (base, _) = build_timed(&data, base_cfg);
+    let explorer = Explorer::from_base(base);
+    let base = explorer.base();
     let (n_in, n_out) = ctx.query_mix();
     let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+    let widths = [14, 10, 8, 9, 9, 15, 14, 11];
+    let mut cascade_table = harness::Table::new(
+        "ablation_lb_cascade",
+        &[
+            "variant",
+            "dtw evals",
+            "kim",
+            "keogh_eq",
+            "keogh_ec",
+            "suffix-abandon",
+            "member prunes",
+            "query time",
+        ],
+        &widths,
+    );
+    for (name, options) in [
+        ("full cascade", QueryOptions::default()),
+        (
+            "rep-only LB",
+            QueryOptions {
+                cascade: false,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "no LB",
+            QueryOptions {
+                lb_pruning: false,
+                ..QueryOptions::default()
+            },
+        ),
+    ] {
+        let mut sum = onex_core::QueryStats::default();
+        let mut times = Vec::new();
+        for q in &queries {
+            let resp = explorer
+                .query(QueryRequest::BestMatch {
+                    values: q.values.clone(),
+                    mode: MatchMode::Any,
+                    options,
+                })
+                .expect("ablation query answers");
+            sum.absorb(&resp.stats);
+            times.push(harness::time_avg(ctx.runs, || {
+                let _ = explorer.best_match(&q.values, MatchMode::Any, options);
+            }));
+        }
+        cascade_table.row(vec![
+            name.to_string(),
+            format!("{}", sum.dtw_evals),
+            format!("{}", sum.pruned_kim),
+            format!("{}", sum.pruned_keogh_eq),
+            format!("{}", sum.pruned_keogh_ec),
+            format!("{}", sum.early_abandons),
+            format!("{}", sum.members_lb_pruned),
+            fmt_secs(harness::mean(&times)),
+        ]);
+    }
+    cascade_table.finish(ctx.csv());
+
+    // Trillion's lower-bound cascade.
+    println!("\nTrillion lower-bound cascade:");
     for use_lb in [true, false] {
         let mut trillion = Trillion::new(base.dataset(), base_cfg.window);
         trillion.use_lower_bounds = use_lb;

@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig56;
 pub mod fig78;
+pub mod perf;
 pub mod table1;
 pub mod table23;
 pub mod table4;
@@ -30,6 +31,13 @@ pub struct Ctx {
     /// When set, every experiment table is also written as
     /// `<dir>/<table>.csv` for plotting.
     pub csv_dir: Option<std::path::PathBuf>,
+    /// When set, the `perf` experiment writes its machine-readable
+    /// baseline (counters + latency per query class) to this file.
+    pub json_out: Option<std::path::PathBuf>,
+    /// When set, the `perf` experiment compares its fresh counters to
+    /// this checked-in baseline and fails on a >2x best-match DTW-eval
+    /// regression (the CI perf smoke).
+    pub check_against: Option<std::path::PathBuf>,
 }
 
 impl Default for Ctx {
@@ -40,6 +48,8 @@ impl Default for Ctx {
             runs: 5,
             threads: 4,
             csv_dir: None,
+            json_out: None,
+            check_against: None,
         }
     }
 }

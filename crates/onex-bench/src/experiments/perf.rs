@@ -1,0 +1,342 @@
+//! **Perf baseline** — the first machine-readable performance record of
+//! the query engine: per-query-class latency, DTW-evaluation, and
+//! prune-rate counters on the synthetic datasets, emitted as JSON so
+//! future changes have a trajectory to compare against (`BENCH_pr3.json`
+//! is the checked-in baseline) and CI can fail on counter regressions.
+//!
+//! Three variants per class isolate the lower-bound pipeline:
+//! `cascade` (the default full pipeline), `rep_only` (LB_Kim + the plain
+//! representative-envelope check, the pre-cascade engine), and
+//! `unpruned` (no lower bounds at all). Counters are exact and
+//! deterministic for a given `--scale`/`--seed`, which is what makes the
+//! CI check stable on shared runners; latency is reported for humans but
+//! never gated on.
+
+use super::Ctx;
+use crate::harness::{self, build_timed, fmt_secs, make_queries, Query};
+use crate::json::Json;
+use onex_core::{Explorer, MatchMode, QueryOptions, QueryRequest, QueryStats};
+use onex_ts::synth::PaperDataset;
+use std::path::Path;
+
+/// The datasets the baseline records (small + mid-sized keeps the CI
+/// smoke fast while still exercising multi-length bases).
+const DATASETS: [PaperDataset; 2] = [PaperDataset::ItalyPower, PaperDataset::Ecg];
+
+/// Maximum allowed growth in `cascade`-variant best-match DTW evaluations
+/// relative to the checked-in baseline before the CI check fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// One (class, variant) cell: counters summed over all queries (via
+/// [`QueryStats::absorb`], the same roll-up the batch path uses), latency
+/// averaged.
+#[derive(Default, Clone, Copy)]
+struct Cell {
+    queries: usize,
+    avg_latency_s: f64,
+    stats: QueryStats,
+}
+
+impl Cell {
+    fn absorb(&mut self, stats: &QueryStats) {
+        self.queries += 1;
+        self.stats.absorb(stats);
+    }
+
+    /// Fraction of DTW candidates killed before the kernel ran.
+    fn prune_rate(&self) -> f64 {
+        let total = self.stats.dtw_evals + self.stats.lb_prunes;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.lb_prunes as f64 / total as f64
+        }
+    }
+
+    fn into_json(self, variant: &str) -> Json {
+        Json::obj(vec![
+            ("variant", Json::str(variant)),
+            ("queries", Json::num(self.queries)),
+            (
+                "avg_latency_us",
+                Json::Num((self.avg_latency_s * 1e6 * 100.0).round() / 100.0),
+            ),
+            ("dtw_evals", Json::num(self.stats.dtw_evals)),
+            ("lb_prunes", Json::num(self.stats.lb_prunes)),
+            ("members_lb_pruned", Json::num(self.stats.members_lb_pruned)),
+            ("lb_keogh_evals", Json::num(self.stats.lb_keogh_evals)),
+            ("early_abandons", Json::num(self.stats.early_abandons)),
+            ("pruned_kim", Json::num(self.stats.pruned_kim)),
+            ("pruned_keogh_eq", Json::num(self.stats.pruned_keogh_eq)),
+            ("pruned_keogh_ec", Json::num(self.stats.pruned_keogh_ec)),
+            (
+                "prune_rate",
+                Json::Num((self.prune_rate() * 1e4).round() / 1e4),
+            ),
+        ])
+    }
+}
+
+/// The three pruning variants, in baseline order.
+fn variants() -> [(&'static str, QueryOptions); 3] {
+    [
+        ("cascade", QueryOptions::default()),
+        (
+            "rep_only",
+            QueryOptions {
+                cascade: false,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "unpruned",
+            QueryOptions {
+                lb_pruning: false,
+                ..QueryOptions::default()
+            },
+        ),
+    ]
+}
+
+fn request(class: &str, q: &Query, options: QueryOptions) -> QueryRequest {
+    let exact = MatchMode::Exact(q.values.len());
+    match class {
+        "best_match_exact" => QueryRequest::BestMatch {
+            values: q.values.clone(),
+            mode: exact,
+            options,
+        },
+        "best_match_any" => QueryRequest::BestMatch {
+            values: q.values.clone(),
+            mode: MatchMode::Any,
+            options,
+        },
+        "top_k_10_exact" => QueryRequest::TopK {
+            values: q.values.clone(),
+            mode: exact,
+            k: 10,
+            options,
+        },
+        "range_verified_exact" => QueryRequest::WithinThreshold {
+            values: q.values.clone(),
+            mode: exact,
+            verify: true,
+            options,
+        },
+        other => unreachable!("unknown query class {other}"),
+    }
+}
+
+const CLASSES: [&str; 4] = [
+    "best_match_exact",
+    "best_match_any",
+    "top_k_10_exact",
+    "range_verified_exact",
+];
+
+fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
+    let data = ds.generate_scaled(ctx.scale, ctx.seed);
+    let (base, build_time) = build_timed(&data, ctx.config());
+    let explorer = Explorer::from_base(base);
+    let base = explorer.base();
+    let (n_in, n_out) = ctx.query_mix();
+    let queries = make_queries(ds, &base, n_in, n_out, ctx.seed);
+    let stats = base.stats();
+    println!(
+        "\n  {} (scale {}): {} series, {} subsequences, {} reps  (build {})",
+        ds.name(),
+        ctx.scale,
+        base.dataset().len(),
+        stats.subsequences,
+        stats.representatives,
+        fmt_secs(build_time.as_secs_f64())
+    );
+    let widths = [22, 9, 11, 10, 9, 9, 9, 9, 9];
+    let mut table = harness::Table::new(
+        &format!("perf_{}", ds.name()),
+        &[
+            "class/variant",
+            "latency",
+            "dtw evals",
+            "prune %",
+            "kim",
+            "keogh_eq",
+            "keogh_ec",
+            "suffix",
+            "lb_keogh",
+        ],
+        &widths,
+    );
+    let mut class_objs = Vec::new();
+    for class in CLASSES {
+        let mut variant_objs = Vec::new();
+        for (variant, options) in variants() {
+            let mut cell = Cell::default();
+            let mut latencies = Vec::new();
+            for q in &queries {
+                let req = request(class, q, options);
+                let resp = explorer.query(req).expect("benchmark query answers");
+                cell.absorb(&resp.stats);
+                latencies.push(harness::time_avg(ctx.runs, || {
+                    let _ = explorer.query(request(class, q, options));
+                }));
+            }
+            cell.avg_latency_s = harness::mean(&latencies);
+            table.row(vec![
+                format!("{class}/{variant}"),
+                fmt_secs(cell.avg_latency_s),
+                format!("{}", cell.stats.dtw_evals),
+                format!("{:.1}", cell.prune_rate() * 100.0),
+                format!("{}", cell.stats.pruned_kim),
+                format!("{}", cell.stats.pruned_keogh_eq),
+                format!("{}", cell.stats.pruned_keogh_ec),
+                format!("{}", cell.stats.early_abandons),
+                format!("{}", cell.stats.lb_keogh_evals),
+            ]);
+            variant_objs.push(cell.into_json(variant));
+        }
+        class_objs.push(Json::obj(vec![
+            ("class", Json::str(class)),
+            ("variants", Json::Arr(variant_objs)),
+        ]));
+    }
+    table.finish(ctx.csv());
+    Json::obj(vec![
+        ("name", Json::str(ds.name())),
+        ("series", Json::num(base.dataset().len())),
+        ("subsequences", Json::num(stats.subsequences)),
+        ("representatives", Json::num(stats.representatives)),
+        ("classes", Json::Arr(class_objs)),
+    ])
+}
+
+/// Runs the perf baseline; writes JSON to `ctx.json_out` when set and, when
+/// `ctx.check_against` names a checked-in baseline, compares against it.
+/// Returns `false` when the regression check fails.
+pub fn run(ctx: &Ctx) -> bool {
+    println!("\n== Perf baseline (counters are exact; latency informational) ==");
+    let mut datasets = Vec::new();
+    for ds in DATASETS {
+        datasets.push(measure_dataset(ds, ctx));
+    }
+    let config = ctx.config();
+    let doc = Json::obj(vec![
+        ("version", Json::num(1)),
+        ("scale", Json::Num(ctx.scale)),
+        ("seed", Json::num(ctx.seed as usize)),
+        ("runs", Json::num(ctx.runs)),
+        ("window", Json::Str(format!("{:?}", config.window))),
+        ("st", Json::Num(config.st)),
+        ("datasets", Json::Arr(datasets)),
+    ]);
+    if let Some(path) = &ctx.json_out {
+        match std::fs::write(path, doc.render()) {
+            Ok(()) => println!("\n(json written to {})", path.display()),
+            Err(e) => {
+                eprintln!("json: cannot write {}: {e}", path.display());
+                return false;
+            }
+        }
+    }
+    if let Some(baseline) = &ctx.check_against {
+        return check_against(&doc, baseline);
+    }
+    true
+}
+
+/// Looks up `datasets[name].classes[class].variants[variant]` in a
+/// baseline document.
+fn find_cell<'a>(doc: &'a Json, name: &str, class: &str, variant: &str) -> Option<&'a Json> {
+    let ds = doc
+        .get("datasets")?
+        .as_arr()?
+        .iter()
+        .find(|d| d.get("name").and_then(Json::as_str) == Some(name))?;
+    let cl = ds
+        .get("classes")?
+        .as_arr()?
+        .iter()
+        .find(|c| c.get("class").and_then(Json::as_str) == Some(class))?;
+    cl.get("variants")?
+        .as_arr()?
+        .iter()
+        .find(|v| v.get("variant").and_then(Json::as_str) == Some(variant))
+}
+
+/// The CI regression gate: best-match DTW evaluations under the default
+/// cascade must not exceed [`REGRESSION_FACTOR`] × the checked-in
+/// baseline. Counter-based, so it is immune to shared-runner noise.
+fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf check: cannot read {}: {e}", baseline_path.display());
+            return false;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "perf check: {} is not valid JSON: {e}",
+                baseline_path.display()
+            );
+            return false;
+        }
+    };
+    for key in ["scale", "seed"] {
+        let (f, b) = (
+            fresh.get(key).and_then(Json::as_f64),
+            baseline.get(key).and_then(Json::as_f64),
+        );
+        if f != b {
+            eprintln!("perf check: {key} mismatch (fresh {f:?} vs baseline {b:?}); rerun with the baseline's flags");
+            return false;
+        }
+    }
+    let mut ok = true;
+    let mut compared = 0;
+    println!("\nperf check against {}:", baseline_path.display());
+    for ds in DATASETS {
+        for class in CLASSES.iter().filter(|c| c.starts_with("best_match")) {
+            let fresh_evals = find_cell(fresh, ds.name(), class, "cascade")
+                .and_then(|c| c.get("dtw_evals"))
+                .and_then(Json::as_f64);
+            let base_evals = find_cell(&baseline, ds.name(), class, "cascade")
+                .and_then(|c| c.get("dtw_evals"))
+                .and_then(Json::as_f64);
+            let (Some(fresh_evals), Some(base_evals)) = (fresh_evals, base_evals) else {
+                eprintln!("  {}/{class}: missing from baseline — skipped", ds.name());
+                continue;
+            };
+            compared += 1;
+            let factor = if base_evals > 0.0 {
+                fresh_evals / base_evals
+            } else if fresh_evals == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+            let verdict = if factor > REGRESSION_FACTOR {
+                ok = false;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {}/{class}: {fresh_evals} vs {base_evals} DTW evals ({factor:.2}x) {verdict}",
+                ds.name()
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf check: nothing compared — baseline format mismatch?");
+        return false;
+    }
+    if !ok {
+        eprintln!(
+            "perf check FAILED: best-match DTW evaluations regressed more than {REGRESSION_FACTOR}x"
+        );
+    }
+    ok
+}

@@ -18,5 +18,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 
 pub use harness::{accuracy_from_errors, make_queries, mean, Query};

@@ -3,7 +3,7 @@
 //! fig3, table23, ablation — are covered by the recorded `repro` runs; they
 //! include the naive Standard DTW scan, too slow for a unit test).
 
-use onex_bench::experiments::{fig4, fig56, table1, table4, Ctx};
+use onex_bench::experiments::{fig4, fig56, perf, table1, table4, Ctx};
 
 fn tiny() -> Ctx {
     Ctx {
@@ -12,6 +12,8 @@ fn tiny() -> Ctx {
         runs: 1,
         threads: 2,
         csv_dir: Some(std::env::temp_dir().join("onex_smoke_csv")),
+        json_out: None,
+        check_against: None,
     }
 }
 
@@ -33,6 +35,26 @@ fn fig4_runs() {
 #[test]
 fn fig56_runs() {
     fig56::run(&tiny());
+}
+
+#[test]
+fn perf_baseline_emits_parseable_json_and_self_checks() {
+    // The perf experiment must write a baseline the bundled JSON reader
+    // can parse, and a fresh run checked against its own output must pass
+    // (counters are deterministic for a fixed scale/seed).
+    let dir = std::env::temp_dir().join("onex_smoke_perf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+    let mut ctx = tiny();
+    ctx.json_out = Some(path.clone());
+    assert!(perf::run(&ctx), "perf run with --json must succeed");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = onex_bench::json::Json::parse(&text).unwrap();
+    assert_eq!(doc.get("version").and_then(|v| v.as_f64()), Some(1.0));
+    assert!(!doc.get("datasets").unwrap().as_arr().unwrap().is_empty());
+    ctx.json_out = None;
+    ctx.check_against = Some(path);
+    assert!(perf::run(&ctx), "self-check must never regress");
 }
 
 #[test]

@@ -163,6 +163,22 @@ impl OnexBase {
         self.lengths.keys().copied()
     }
 
+    /// Indexed lengths in the §5.3 any-length search order for a query of
+    /// `qlen` samples: the query length (when indexed) first, then
+    /// decreasing to the smallest, then increasing above the query length.
+    /// Walks the length index directly — no allocation on the query path.
+    pub fn lengths_query_order(&self, qlen: usize) -> impl Iterator<Item = usize> + '_ {
+        use std::ops::Bound;
+        self.lengths
+            .range(..=qlen)
+            .rev()
+            .chain(
+                self.lengths
+                    .range((Bound::Excluded(qlen), Bound::Unbounded)),
+            )
+            .map(|(&len, _)| len)
+    }
+
     /// All GTI entries, ascending by length.
     pub fn length_indexes(&self) -> impl Iterator<Item = &LengthIndex> {
         self.lengths.values()

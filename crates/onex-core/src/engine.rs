@@ -148,9 +148,19 @@ pub struct QueryOptions {
     /// Cap on total DTW evaluations (representatives + members), same
     /// anytime semantics as `time_budget`.
     pub max_dtw_evals: Option<usize>,
-    /// Apply the LB_Kim/LB_Keogh pruning cascade (default `true`; turning
-    /// it off changes work done, never answers).
+    /// Apply lower-bound pruning at all (default `true`; turning it off
+    /// changes work done, never answers). This is the master switch; see
+    /// `cascade` for the per-tier pipeline it enables.
     pub lb_pruning: bool,
+    /// Run every DTW candidate — representative *and* member — through the
+    /// full cascaded pipeline: LB_Kim → query-envelope LB_Keogh
+    /// (reordered, squared, early-abandoning) → candidate-envelope
+    /// LB_Keogh → suffix-seeded early-abandoned DTW (default `true`).
+    /// With `cascade: false` (and `lb_pruning` on) only the pre-cascade
+    /// representative-level LB_Kim + envelope check runs — the ablation
+    /// point isolating the member-level tiers. Results are identical
+    /// either way.
+    pub cascade: bool,
     /// Override the base's `explore_top_groups` (how many best groups to
     /// descend into per length).
     pub explore_top_groups: Option<usize>,
@@ -169,6 +179,7 @@ impl Default for QueryOptions {
             time_budget: None,
             max_dtw_evals: None,
             lb_pruning: true,
+            cascade: true,
             explore_top_groups: None,
             exhaustive_group_search: None,
             stop_at_first_qualifying: None,
@@ -200,6 +211,7 @@ impl QueryOptions {
         SearchParams {
             window: self.window.unwrap_or(defaults.window),
             lb_pruning: self.lb_pruning,
+            cascade: self.cascade,
             deadline: self.time_budget.map(|b| Instant::now() + b),
             max_dtw_evals: self.max_dtw_evals,
             explore_top_groups: self
@@ -348,12 +360,28 @@ impl QueryRequest {
 pub struct QueryStats {
     /// Total DTW evaluations (against representatives and members).
     pub dtw_evals: usize,
-    /// Candidates skipped by the LB_Kim/LB_Keogh cascade.
+    /// Candidates (representatives + members) skipped by the lower-bound
+    /// cascade; always the sum of the three per-tier counters below.
     pub lb_prunes: usize,
     /// Similarity groups visited (representatives considered).
     pub groups_visited: usize,
     /// Group members evaluated with DTW.
     pub members_examined: usize,
+    /// Group members killed by the cascade before any DTW work.
+    pub members_lb_pruned: usize,
+    /// LB_Keogh evaluations (query-envelope + candidate-envelope tiers),
+    /// whether or not they pruned.
+    pub lb_keogh_evals: usize,
+    /// DTW evaluations abandoned early (cutoff or suffix bound); these
+    /// still count inside `dtw_evals`.
+    pub early_abandons: usize,
+    /// Candidates killed by cascade tier 1, LB_Kim.
+    pub pruned_kim: usize,
+    /// Candidates killed by tier 2, LB_Keogh against the query envelope.
+    pub pruned_keogh_eq: usize,
+    /// Candidates killed by tier 3, LB_Keogh against the candidate's own
+    /// stored envelope.
+    pub pruned_keogh_ec: usize,
     /// Distinct lengths visited.
     pub lengths_visited: usize,
     /// Wall-clock time spent answering.
@@ -378,9 +406,15 @@ impl QueryStats {
     ) -> Self {
         QueryStats {
             dtw_evals: counters.dtw_evals(),
-            lb_prunes: counters.reps_lb_pruned,
+            lb_prunes: counters.lb_pruned(),
             groups_visited: counters.reps_examined,
             members_examined: counters.members_examined,
+            members_lb_pruned: counters.members_lb_pruned,
+            lb_keogh_evals: counters.lb_keogh_evals,
+            early_abandons: counters.early_abandons,
+            pruned_kim: counters.pruned_kim,
+            pruned_keogh_eq: counters.pruned_keogh_eq,
+            pruned_keogh_ec: counters.pruned_keogh_ec,
             lengths_visited: counters.lengths_visited,
             elapsed,
             truncated,
@@ -388,14 +422,21 @@ impl QueryStats {
         }
     }
 
-    /// Merges another response's counters into this one (batch roll-up).
+    /// Merges another response's counters into this one (batch roll-up;
+    /// also used by the bench harness to aggregate across queries).
     /// `elapsed` is deliberately not summed: the batch response reports the
     /// batch's own wall-clock time, and each child carries its own.
-    fn absorb(&mut self, other: &QueryStats) {
+    pub fn absorb(&mut self, other: &QueryStats) {
         self.dtw_evals += other.dtw_evals;
         self.lb_prunes += other.lb_prunes;
         self.groups_visited += other.groups_visited;
         self.members_examined += other.members_examined;
+        self.members_lb_pruned += other.members_lb_pruned;
+        self.lb_keogh_evals += other.lb_keogh_evals;
+        self.early_abandons += other.early_abandons;
+        self.pruned_kim += other.pruned_kim;
+        self.pruned_keogh_eq += other.pruned_keogh_eq;
+        self.pruned_keogh_ec += other.pruned_keogh_ec;
         self.lengths_visited += other.lengths_visited;
         self.truncated |= other.truncated;
     }

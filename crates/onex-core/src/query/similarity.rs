@@ -14,11 +14,30 @@
 //! any number of threads can search one base concurrently, each with its
 //! own context — this is what [`crate::engine::Explorer`] builds on. The
 //! legacy [`SimilarityQuery`] wrapper owns one context and forwards.
+//!
+//! ## The cascaded lower-bound pipeline
+//!
+//! Every DTW candidate — representative *and* group member — runs through
+//! [`cascade_eval`], the UCR-suite filter cascade ported from the trillion
+//! baseline: (1) O(1) LB_Kim, (2) LB_Keogh of the candidate against the
+//! *query's* envelope in squared space with contribution-ordered early
+//! abandoning, (3) LB_Keogh of the query against the *candidate's* stored
+//! envelope where one exists (group representatives), (4) early-abandoned
+//! DTW seeded with the query-envelope suffix bound. The query's envelope
+//! and contribution order are built lazily once per `(query, resolved
+//! radius)` in a [`SearchCtx`]-owned cache, so the per-candidate cost of
+//! tiers 2 and 4 is O(n) with zero allocation. Tiers 2–4 require equal
+//! lengths (LB_Keogh is undefined otherwise) and only fire when the
+//! running cutoff is finite; every prune uses a strictly-greater test, so
+//! a pruned candidate can never be (or tie into) the true answer — the
+//! cascade changes work done, never results.
 
 use super::validate_query;
 use crate::index::LengthIndex;
 use crate::{Group, GroupId, OnexBase, OnexConfig, OnexError, Result};
-use onex_dist::{lb_keogh, lb_kim_fl, DtwBuffer, Window};
+use onex_dist::{
+    lb_keogh, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl, DtwBuffer, Envelope, Window,
+};
 use onex_ts::SubseqRef;
 use std::time::Instant;
 
@@ -53,12 +72,27 @@ pub struct Match {
 pub struct QueryStats {
     /// Representatives considered.
     pub reps_examined: usize,
-    /// Representatives skipped by LB_Kim/LB_Keogh before any DTW work.
+    /// Representatives skipped by the LB cascade before any DTW work.
     pub reps_lb_pruned: usize,
     /// Full or early-abandoned DTW evaluations against representatives.
     pub rep_dtw_evals: usize,
-    /// Group members evaluated with DTW.
+    /// Group members evaluated with DTW (full or early-abandoned).
     pub members_examined: usize,
+    /// Group members skipped by the LB cascade before any DTW work.
+    pub members_lb_pruned: usize,
+    /// LB_Keogh evaluations (query-envelope and candidate-envelope tiers),
+    /// including ones that did not prune.
+    pub lb_keogh_evals: usize,
+    /// DTW evaluations abandoned early (cutoff or suffix bound), counted
+    /// inside `rep_dtw_evals`/`members_examined`.
+    pub early_abandons: usize,
+    /// Candidates (representatives + members) killed by tier 1, LB_Kim.
+    pub pruned_kim: usize,
+    /// Candidates killed by tier 2, LB_Keogh against the query's envelope.
+    pub pruned_keogh_eq: usize,
+    /// Candidates killed by tier 3, LB_Keogh against the candidate's own
+    /// stored envelope.
+    pub pruned_keogh_ec: usize,
     /// Lengths visited (any-length queries).
     pub lengths_visited: usize,
 }
@@ -67,6 +101,12 @@ impl QueryStats {
     /// Total DTW evaluations (representatives + members).
     pub fn dtw_evals(&self) -> usize {
         self.rep_dtw_evals + self.members_examined
+    }
+
+    /// Total candidates killed by the LB cascade (representatives +
+    /// members); always equals the sum of the per-tier prune counters.
+    pub fn lb_pruned(&self) -> usize {
+        self.reps_lb_pruned + self.members_lb_pruned
     }
 }
 
@@ -78,8 +118,16 @@ pub(crate) struct SearchParams {
     pub st: f64,
     /// DTW warping window.
     pub window: Window,
-    /// Apply the LB_Kim/LB_Keogh pruning cascade before representative DTW.
+    /// Apply lower-bound pruning (the master switch): `false` disables
+    /// every LB tier and evaluates candidates with plain early-abandoned
+    /// DTW — the reference for the equivalence tests and ablations.
     pub lb_pruning: bool,
+    /// Apply the full per-candidate cascade (query-envelope LB_Keogh with
+    /// contribution-ordered abandoning, squared-space candidate-envelope
+    /// LB_Keogh, suffix-seeded DTW abandoning) on top of `lb_pruning`.
+    /// `false` falls back to LB_Kim plus the plain representative-envelope
+    /// check only. Ignored when `lb_pruning` is off.
+    pub cascade: bool,
     /// Absolute deadline; the search returns its best-so-far once passed.
     pub deadline: Option<Instant>,
     /// Cap on total DTW evaluations (representatives + members).
@@ -104,6 +152,7 @@ impl SearchParams {
             st: st.unwrap_or(config.st),
             window: config.window,
             lb_pruning: true,
+            cascade: true,
             deadline: None,
             max_dtw_evals: None,
             explore_top_groups: config.explore_top_groups,
@@ -112,6 +161,49 @@ impl SearchParams {
             stop_at_first_qualifying: config.stop_at_first_qualifying,
             rank_normalized: config.rank_normalized,
         }
+    }
+}
+
+/// Lazily built, per-query envelope state for the cascade's query-side
+/// tiers: the query's LB_Keogh envelope plus the UCR-suite contribution
+/// order (indices sorted by |deviation from the query mean|, largest
+/// first). The query-side tiers only fire for candidates of the query's
+/// own length, so one search resolves exactly one band radius and a
+/// single slot suffices; the build cost amortizes across every group and
+/// member evaluated at that length. The slot rebuilds defensively if a
+/// different radius is ever requested.
+#[derive(Debug, Default)]
+pub(crate) struct QueryEnvelopeCache {
+    entry: Option<QueryEnvelope>,
+}
+
+#[derive(Debug)]
+struct QueryEnvelope {
+    radius: usize,
+    env: Envelope,
+    order: Vec<usize>,
+}
+
+impl QueryEnvelopeCache {
+    /// Drops the previous query's entry.
+    fn begin(&mut self) {
+        self.entry = None;
+    }
+
+    /// The entry for `radius`, building it on first request.
+    fn entry(&mut self, q: &[f64], radius: usize) -> &QueryEnvelope {
+        if self.entry.as_ref().is_none_or(|e| e.radius != radius) {
+            let env = Envelope::build(q, radius);
+            let mean = q.iter().sum::<f64>() / q.len().max(1) as f64;
+            let mut order: Vec<usize> = (0..q.len()).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let da = (q[a] - mean).abs();
+                let db = (q[b] - mean).abs();
+                db.total_cmp(&da)
+            });
+            self.entry = Some(QueryEnvelope { radius, env, order });
+        }
+        self.entry.as_ref().expect("just built")
     }
 }
 
@@ -127,13 +219,18 @@ pub(crate) struct SearchCtx {
     /// Set when a deadline or evaluation cap stopped the search early; the
     /// result is the best found within budget (anytime semantics).
     pub truncated: bool,
+    /// Query envelope + contribution order, built lazily per query.
+    pub qenv: QueryEnvelopeCache,
+    /// Scratch for the per-candidate LB_Keogh suffix array.
+    pub suffix: Vec<f64>,
 }
 
 impl SearchCtx {
-    /// Resets per-query state (the buffer is retained).
+    /// Resets per-query state (the buffers are retained).
     pub fn begin(&mut self) {
         self.stats = QueryStats::default();
         self.truncated = false;
+        self.qenv.begin();
     }
 
     /// Checks the time/evaluation budget, latching `truncated` once
@@ -164,6 +261,141 @@ struct RepChoice {
     group: GroupId,
     /// Raw DTW between query and the representative.
     raw: f64,
+}
+
+/// Which counters a [`cascade_eval`] charges its work to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Candidate {
+    /// A group representative (stores an envelope, enabling tier 3).
+    Rep,
+    /// A group member (no stored envelope).
+    Member,
+}
+
+/// Evaluates one candidate through the cascaded lower-bound pipeline:
+///
+/// 1. **LB_Kim** (O(1), any lengths),
+/// 2. **query-envelope LB_Keogh** — candidate against the cached query
+///    envelope, squared space, contribution-ordered early abandoning
+///    (equal lengths, `cascade` only),
+/// 3. **candidate-envelope LB_Keogh** — query against `cand_env` when one
+///    is stored and at least as wide as the band,
+/// 4. **DTW**, early-abandoned against `cutoff` and (under `cascade`)
+///    additionally seeded with the query-envelope suffix bound.
+///
+/// Returns `Some(exact raw DTW)` when the candidate survives; `None` when
+/// a bound proved `DTW > cutoff` or the DTW itself was abandoned. All
+/// prune tests are strictly-greater, so with any `cutoff` that the caller
+/// only ever *lowers* to accepted distances, a pruned candidate can never
+/// be the true answer nor displace a tie. With `lb_pruning` off (or an
+/// infinite cutoff) this degrades to plain early-abandoned DTW.
+///
+/// With `cascade` off, members get **no** lower bounds at all — only the
+/// pre-cascade engine's representative-level LB_Kim + plain envelope
+/// check remains — so the `cascade: false` ablation point measures the
+/// pre-cascade engine's lower-bound configuration. (The intra-group
+/// walk's patience signal is strict-improvement at every pruning level —
+/// see [`best_in_group`] — which is the one deliberate heuristic change
+/// from the pre-cascade engine; it is what makes the walk's trajectory
+/// independent of pruning.)
+fn cascade_eval(
+    q: &[f64],
+    cand: &[f64],
+    cand_env: Option<&Envelope>,
+    cutoff: f64,
+    p: &SearchParams,
+    ctx: &mut SearchCtx,
+    kind: Candidate,
+) -> Option<f64> {
+    let SearchCtx {
+        ref mut buf,
+        ref mut stats,
+        ref mut qenv,
+        ref mut suffix,
+        ..
+    } = *ctx;
+    let lb_active = p.lb_pruning && cutoff.is_finite() && (p.cascade || kind == Candidate::Rep);
+    let equal_len = cand.len() == q.len();
+    let radius = p.window.resolve(q.len(), cand.len());
+    let mut q_entry: Option<&QueryEnvelope> = None;
+    // Tier 4 only pays for the suffix array when tier 2 proved it can
+    // contribute: a candidate fully inside the query envelope has an
+    // all-zero suffix, which can never tighten the in-matrix abandon.
+    let mut suffix_useful = false;
+    if lb_active {
+        // Tier 1: LB_Kim.
+        if lb_kim_fl(q, cand) > cutoff {
+            stats.pruned_kim += 1;
+            match kind {
+                Candidate::Rep => stats.reps_lb_pruned += 1,
+                Candidate::Member => stats.members_lb_pruned += 1,
+            }
+            return None;
+        }
+        let cutoff_sq = cutoff * cutoff;
+        // Tier 2: candidate vs the query's envelope (reordered, squared,
+        // early-abandoning). Built at most once per (query, radius).
+        if p.cascade && equal_len {
+            let entry = qenv.entry(q, radius);
+            stats.lb_keogh_evals += 1;
+            match lb_keogh_sq_abandon(cand, &entry.env, Some(&entry.order), cutoff_sq) {
+                Some(eq_sq) if eq_sq <= cutoff_sq => suffix_useful = eq_sq > 0.0,
+                _ => {
+                    stats.pruned_keogh_eq += 1;
+                    match kind {
+                        Candidate::Rep => stats.reps_lb_pruned += 1,
+                        Candidate::Member => stats.members_lb_pruned += 1,
+                    }
+                    return None;
+                }
+            }
+            q_entry = Some(entry);
+        }
+        // Tier 3: query vs the candidate's stored envelope, valid when it
+        // is at least as wide as the band.
+        if let Some(env) = cand_env {
+            if equal_len && env.radius >= radius {
+                stats.lb_keogh_evals += 1;
+                let pruned = if p.cascade {
+                    !matches!(
+                        lb_keogh_sq_abandon(q, env, q_entry.map(|e| e.order.as_slice()), cutoff_sq),
+                        Some(ec_sq) if ec_sq <= cutoff_sq
+                    )
+                } else {
+                    lb_keogh(q, env) > cutoff
+                };
+                if pruned {
+                    stats.pruned_keogh_ec += 1;
+                    match kind {
+                        Candidate::Rep => stats.reps_lb_pruned += 1,
+                        Candidate::Member => stats.members_lb_pruned += 1,
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+    // Tier 4: DTW. With the query envelope at hand, its suffix sums let
+    // the kernel abandon rows that provably cannot beat the cutoff even
+    // before the remaining point costs accrue. Argument order is flipped
+    // there (candidate rows against the query) because the suffix bounds
+    // the candidate's contributions; DTW's DP is transpose-symmetric, so
+    // the value is bit-identical either way.
+    match kind {
+        Candidate::Rep => stats.rep_dtw_evals += 1,
+        Candidate::Member => stats.members_examined += 1,
+    }
+    let d = match q_entry {
+        Some(entry) if suffix_useful => {
+            lb_keogh_cumulative_into(cand, &entry.env, suffix);
+            buf.dist_early_abandon_with_suffix(cand, q, p.window, cutoff, suffix)
+        }
+        _ => buf.dist_early_abandon(q, cand, p.window, cutoff),
+    };
+    if d.is_none() {
+        stats.early_abandons += 1;
+    }
+    d
 }
 
 /// Finds the best match for a (normalized) query sequence.
@@ -201,12 +433,14 @@ pub(crate) fn top_k(
     if k == 0 {
         return Ok(Vec::new());
     }
-    let lengths: Vec<usize> = match mode {
-        MatchMode::Exact(len) => vec![len],
-        MatchMode::Any => length_order(base, q.len()),
-    };
     let mut all: Vec<Match> = Vec::new();
-    for len in lengths {
+    // The k smallest ranking keys seen so far, ascending. Once full, the
+    // worst key becomes the member cutoff for the cascade: a member whose
+    // lower bound strictly exceeds it cannot enter the final top-k (ties
+    // are never pruned, preserving the subseq tie-break), so the truncated
+    // ranking is identical to the unpruned scan's.
+    let mut topk_keys: Vec<f64> = Vec::with_capacity(k);
+    for len in length_schedule(base, q.len(), mode) {
         let Some(idx) = base.length_index(len) else {
             if matches!(mode, MatchMode::Exact(_)) {
                 return Err(OnexError::NoGroupsForLength(len));
@@ -217,7 +451,8 @@ pub(crate) fn top_k(
         let choices = best_reps(base, q, idx, p.explore_top_groups.max(1), p, ctx);
         let mut qualified = false;
         for c in &choices {
-            let norm = c.raw / (2.0 * q.len().max(len) as f64);
+            let scale = 2.0 * q.len().max(len) as f64;
+            let norm = c.raw / scale;
             if norm <= p.st / 2.0 {
                 qualified = true;
             }
@@ -227,11 +462,32 @@ pub(crate) fn top_k(
                     break;
                 }
                 let vals = base.dataset().subseq_unchecked(r);
-                let raw = ctx.buf.dist(q, vals, p.window);
-                ctx.stats.members_examined += 1;
+                // The k-th-best cutoff (and with it any member-level
+                // pruning or abandoning) belongs to the cascade; without
+                // it the member scan is the pre-cascade full evaluation.
+                let cutoff = if !(p.lb_pruning && p.cascade) || topk_keys.len() < k {
+                    f64::INFINITY
+                } else if p.rank_normalized {
+                    topk_keys[k - 1] * scale
+                } else {
+                    topk_keys[k - 1]
+                };
+                let Some(raw) = cascade_eval(q, vals, None, cutoff, p, ctx, Candidate::Member)
+                else {
+                    continue;
+                };
+                let dist = raw / scale;
+                let key = if p.rank_normalized { dist } else { raw };
+                let pos = topk_keys.partition_point(|&x| x <= key);
+                if pos < k {
+                    if topk_keys.len() == k {
+                        topk_keys.pop();
+                    }
+                    topk_keys.insert(pos, key);
+                }
                 all.push(Match {
                     subseq: r,
-                    dist: raw / (2.0 * q.len().max(len) as f64),
+                    dist,
                     raw_dtw: raw,
                     group: c.group,
                     rep_dist: norm,
@@ -275,12 +531,17 @@ pub(crate) fn top_k(
 /// Candidate groups are found by the Lemma-2 certificate: a
 /// representative within `ST/2` (normalized DTW) guarantees *all* its
 /// members are within `ST`. With `verify = false` the certified members
-/// are returned as-is (no member-level DTW at all — the paper's fast
-/// path, sound under the theory's unconstrained window but reporting
-/// the representative's distance for each member). With `verify = true`
-/// each member's true DTW is computed and filtered to `≤ st`, which
-/// also finds members of *uncertified* boundary groups (reps in
-/// `(ST/2, ST·1.5]`) that still qualify individually.
+/// are returned as-is — no member-level DTW at all, the paper's fast
+/// path, sound under the theory's unconstrained window. **On that
+/// certified path every member's [`Match::dist`] and [`Match::raw_dtw`]
+/// are rep-derived**: they carry the *representative's* normalized/raw
+/// DTW to the query (equal to [`Match::rep_dist`] in normalized form),
+/// because the member itself was never evaluated. With `verify = true`
+/// each member's true DTW is computed (through the lower-bound cascade,
+/// with `st` as the cutoff) and filtered to `≤ st`, which also finds
+/// members of *uncertified* boundary groups (reps in `(ST/2, ST·1.5]`)
+/// that still qualify individually — and then `raw_dtw` is the member's
+/// own.
 pub(crate) fn within_threshold(
     base: &OnexBase,
     q: &[f64],
@@ -293,18 +554,13 @@ pub(crate) fn within_threshold(
     base.ensure_nonempty()?;
     ctx.begin();
     let st = p.st;
-    let lengths: Vec<usize> = match mode {
-        MatchMode::Exact(len) => {
-            if base.length_index(len).is_none() {
-                return Err(OnexError::NoGroupsForLength(len));
-            }
-            vec![len]
+    if let MatchMode::Exact(len) = mode {
+        if base.length_index(len).is_none() {
+            return Err(OnexError::NoGroupsForLength(len));
         }
-        MatchMode::Any => length_order(base, q.len()),
-    };
-    let window = p.window;
+    }
     let mut out = Vec::new();
-    'lengths: for len in lengths {
+    'lengths: for len in length_schedule(base, q.len(), mode) {
         let Some(idx) = base.length_index(len) else {
             continue;
         };
@@ -321,16 +577,21 @@ pub(crate) fn within_threshold(
             // under verification (member ≤ ST and Lemma-2-style bounds
             // keep everything near the rep), so bound the scan there.
             let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
-            let Some(raw) =
-                ctx.buf
-                    .dist_early_abandon(q, group.representative(), window, scan_limit * norm)
-            else {
+            let Some(raw) = cascade_eval(
+                q,
+                group.representative(),
+                group.envelope(),
+                scan_limit * norm,
+                p,
+                ctx,
+                Candidate::Rep,
+            ) else {
                 continue;
             };
-            ctx.stats.rep_dtw_evals += 1;
             let rep_norm = raw / norm;
             if rep_norm <= st / 2.0 && !verify {
-                // Certified: every member qualifies (Lemma 2).
+                // Certified: every member qualifies (Lemma 2). `dist` and
+                // `raw_dtw` are the representative's — see the fn docs.
                 for &(r, _) in group.members() {
                     out.push(Match {
                         subseq: r,
@@ -346,8 +607,8 @@ pub(crate) fn within_threshold(
                         break 'lengths;
                     }
                     let vals = base.dataset().subseq_unchecked(r);
-                    ctx.stats.members_examined += 1;
-                    let Some(member_raw) = ctx.buf.dist_early_abandon(q, vals, window, st * norm)
+                    let Some(member_raw) =
+                        cascade_eval(q, vals, None, st * norm, p, ctx, Candidate::Member)
                     else {
                         continue;
                     };
@@ -407,15 +668,35 @@ fn best_match_at_length(
     })
 }
 
-/// Length search order for any-length queries (§5.3, first bullet):
-/// query length first, then decreasing to the smallest, then increasing
-/// above the query length.
-pub(crate) fn length_order(base: &OnexBase, qlen: usize) -> Vec<usize> {
-    let lengths: Vec<usize> = base.indexed_lengths().collect();
-    let mut below: Vec<usize> = lengths.iter().copied().filter(|&l| l <= qlen).collect();
-    below.reverse(); // qlen, qlen-1, ..., min
-    let above: Vec<usize> = lengths.into_iter().filter(|&l| l > qlen).collect();
-    below.into_iter().chain(above).collect()
+/// The lengths one query visits: a single exact length or the §5.3
+/// any-length order ([`OnexBase::lengths_query_order`]: query length
+/// first, then decreasing to the smallest, then increasing above) —
+/// allocation-free in both cases.
+enum LengthSchedule<I> {
+    One(std::iter::Once<usize>),
+    Ordered(I),
+}
+
+impl<I: Iterator<Item = usize>> Iterator for LengthSchedule<I> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            LengthSchedule::One(it) => it.next(),
+            LengthSchedule::Ordered(it) => it.next(),
+        }
+    }
+}
+
+fn length_schedule(
+    base: &OnexBase,
+    qlen: usize,
+    mode: MatchMode,
+) -> LengthSchedule<impl Iterator<Item = usize> + '_> {
+    match mode {
+        MatchMode::Exact(len) => LengthSchedule::One(std::iter::once(len)),
+        MatchMode::Any => LengthSchedule::Ordered(base.lengths_query_order(qlen)),
+    }
 }
 
 fn best_match_any(
@@ -426,7 +707,7 @@ fn best_match_any(
 ) -> Result<Match> {
     let rank_normalized = p.rank_normalized;
     let mut best: Option<Match> = None;
-    for len in length_order(base, q.len()) {
+    for len in base.lengths_query_order(q.len()) {
         if ctx.out_of_budget(p) {
             break;
         }
@@ -478,7 +759,8 @@ fn best_match_any(
 }
 
 /// Best `top` representatives of a length by raw DTW to the query, in
-/// median-sum order with LB pruning and early abandoning.
+/// median-sum order, each run through the full [`cascade_eval`] pipeline
+/// against the running `top`-th-best cutoff.
 fn best_reps(
     base: &OnexBase,
     q: &[f64],
@@ -487,7 +769,6 @@ fn best_reps(
     p: &SearchParams,
     ctx: &mut SearchCtx,
 ) -> Vec<RepChoice> {
-    let window = p.window;
     let mut kept: Vec<RepChoice> = Vec::with_capacity(top + 1);
     let mut cutoff = f64::INFINITY;
     for local in idx.median_out_order() {
@@ -498,24 +779,8 @@ fn best_reps(
         let group = base.group(gid);
         let rep = group.representative();
         ctx.stats.reps_examined += 1;
-        if p.lb_pruning && cutoff.is_finite() {
-            // Cascade: O(1) LB_Kim, then O(n) LB_Keogh when applicable.
-            if lb_kim_fl(q, rep) > cutoff {
-                ctx.stats.reps_lb_pruned += 1;
-                continue;
-            }
-            if q.len() == rep.len() {
-                if let Some(env) = group.envelope() {
-                    if env.radius >= window.resolve(q.len(), rep.len()) && lb_keogh(q, env) > cutoff
-                    {
-                        ctx.stats.reps_lb_pruned += 1;
-                        continue;
-                    }
-                }
-            }
-        }
-        ctx.stats.rep_dtw_evals += 1;
-        let Some(raw) = ctx.buf.dist_early_abandon(q, rep, window, cutoff) else {
+        let Some(raw) = cascade_eval(q, rep, group.envelope(), cutoff, p, ctx, Candidate::Rep)
+        else {
             continue;
         };
         if raw >= cutoff && kept.len() >= top {
@@ -534,9 +799,11 @@ fn best_reps(
 /// Best member inside a group (§5.3, third optimization): members are
 /// sorted by raw ED to the representative; start at the member whose ED
 /// is closest to the query↔representative DTW and walk outward
-/// alternately, early-abandoning each DTW against the best so far and
-/// stopping a direction after `walk_patience` consecutive
-/// non-improvements. `exhaustive_group_search` evaluates every member.
+/// alternately, running each member through the [`cascade_eval`] pipeline
+/// against the best so far and stopping a direction after `walk_patience`
+/// consecutive non-improvements (an LB-pruned member is provably
+/// non-improving, so pruning never changes the walk's trajectory).
+/// `exhaustive_group_search` evaluates every member.
 fn best_in_group(
     base: &OnexBase,
     q: &[f64],
@@ -550,7 +817,6 @@ fn best_in_group(
     if members.is_empty() {
         return None;
     }
-    let window = p.window;
     let mut best: Option<(SubseqRef, f64)> = None;
     let mut cutoff = initial_cutoff;
     let probe = |ctx: &mut SearchCtx,
@@ -563,16 +829,25 @@ fn best_in_group(
         }
         let (r, _) = members[i];
         let vals = base.dataset().subseq_unchecked(r);
-        ctx.stats.members_examined += 1;
-        match ctx.buf.dist_early_abandon(q, vals, window, *cutoff) {
-            Some(raw) if raw < *cutoff || best.is_none() => {
-                let improved = best.as_ref().is_none_or(|&(_, b)| raw < b);
-                if improved {
-                    *best = Some((r, raw));
-                    *cutoff = cutoff.min(raw);
-                    return true;
-                }
-                false
+        // A probe "improves" only on a strict beat of the running cutoff.
+        // This is deliberately the *only* signal: LB-pruned, abandoned,
+        // and completed-but-not-better evaluations all report false, so
+        // the patience counters — and with them the walk's trajectory —
+        // are identical whether or not pruning is enabled (a pruned
+        // member has DTW > cutoff, provably not an improvement). A
+        // candidate at or above the carried-in cutoff is never recorded:
+        // the caller discards such group bests anyway. Note this is a
+        // (slight, deliberate) heuristic change from the pre-cascade
+        // engine, which reset patience on a group's first *completed*
+        // member even at or above the carried cutoff — a signal a pruned
+        // evaluation cannot reproduce, so it had to go for pruning to be
+        // trajectory-neutral. The walk was always a patience-bounded
+        // heuristic; which members it probes is not part of any contract.
+        match cascade_eval(q, vals, None, *cutoff, p, ctx, Candidate::Member) {
+            Some(raw) if raw < *cutoff => {
+                *best = Some((r, raw));
+                *cutoff = raw;
+                true
             }
             _ => false,
         }
@@ -950,7 +1225,7 @@ mod tests {
     #[test]
     fn length_order_matches_paper_strategy() {
         let b = base();
-        let order = length_order(&b, 10);
+        let order: Vec<usize> = b.lengths_query_order(10).collect();
         // starts at query length, descends to min, then ascends above
         assert_eq!(order[0], 10);
         let min_pos = order.iter().position(|&l| l == 2).unwrap();
@@ -977,6 +1252,114 @@ mod tests {
         assert_eq!(m_on, m_off);
         assert_eq!(without.stats.reps_lb_pruned, 0);
         assert!(without.stats.rep_dtw_evals >= with.stats.rep_dtw_evals);
+    }
+
+    #[test]
+    fn cascade_toggle_preserves_results_and_reduces_work() {
+        // The three pruning levels — full cascade, representative-only LB,
+        // no LB at all — must return identical answers for every Class I
+        // query form, while total DTW evaluations are monotone in how much
+        // of the pipeline is enabled.
+        let d = synth::face(24, 32, 5);
+        let b = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let p_full = SearchParams::from_config(b.config(), None);
+        let p_rep_only = SearchParams {
+            cascade: false,
+            ..p_full
+        };
+        let p_off = SearchParams {
+            lb_pruning: false,
+            ..p_full
+        };
+        for (sid, lo, hi) in [(0usize, 4usize, 20usize), (5, 0, 16), (11, 8, 24)] {
+            let q: Vec<f64> = b.dataset().get(sid).unwrap().values()[lo..hi].to_vec();
+            for mode in [MatchMode::Exact(q.len()), MatchMode::Any] {
+                let mut evals = Vec::new();
+                let mut results = Vec::new();
+                for p in [&p_full, &p_rep_only, &p_off] {
+                    let mut ctx = SearchCtx::default();
+                    results.push((
+                        best_match(&b, &q, mode, p, &mut ctx).unwrap(),
+                        top_k(&b, &q, mode, 5, p, &mut ctx).unwrap(),
+                        within_threshold(&b, &q, mode, true, p, &mut ctx).unwrap(),
+                    ));
+                    let mut ctx = SearchCtx::default();
+                    let _ = best_match(&b, &q, mode, p, &mut ctx).unwrap();
+                    evals.push(ctx.stats.dtw_evals());
+                }
+                assert_eq!(results[0], results[1], "cascade vs rep-only, {mode:?}");
+                assert_eq!(results[0], results[2], "cascade vs unpruned, {mode:?}");
+                assert!(
+                    evals[0] <= evals[1] && evals[1] <= evals[2],
+                    "evals not monotone in pruning level: {evals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_tier_counters_are_consistent_and_fire() {
+        let d = synth::face(24, 32, 5);
+        let b = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[4..20].to_vec();
+        let p = SearchParams::from_config(b.config(), None);
+        let mut ctx = SearchCtx::default();
+        let _ = top_k(&b, &q, MatchMode::Exact(16), 3, &p, &mut ctx).unwrap();
+        let s = ctx.stats;
+        // Per-tier counts always account exactly for the aggregate prunes.
+        assert_eq!(
+            s.lb_pruned(),
+            s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec,
+            "{s:?}"
+        );
+        assert_eq!(s.lb_pruned(), s.reps_lb_pruned + s.members_lb_pruned);
+        // On this workload the pipeline does real work at both levels.
+        assert!(s.lb_keogh_evals > 0, "{s:?}");
+        assert!(s.lb_pruned() > 0, "{s:?}");
+        assert!(s.early_abandons <= s.dtw_evals());
+        // And disabling LB zeroes every cascade counter.
+        let mut off = SearchCtx::default();
+        let p_off = SearchParams {
+            lb_pruning: false,
+            ..p
+        };
+        let _ = top_k(&b, &q, MatchMode::Exact(16), 3, &p_off, &mut off).unwrap();
+        let s = off.stats;
+        assert_eq!(s.lb_pruned(), 0);
+        assert_eq!(s.lb_keogh_evals, 0);
+        assert_eq!(s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec, 0);
+    }
+
+    #[test]
+    fn certified_range_query_reports_rep_derived_distances() {
+        // Regression pin for the certified (verify = false) fast path:
+        // each member's `dist`/`raw_dtw` are the *representative's* DTW to
+        // the query (the member itself is never evaluated — Lemma 2
+        // certifies it), so `dist == rep_dist` exactly and `raw_dtw`
+        // recomputes as DTW(q, representative), not DTW(q, member).
+        let d = synth::sine_mix(6, 16, 2, 29);
+        let cfg = OnexConfig {
+            window: Window::Unconstrained,
+            ..OnexConfig::default()
+        };
+        let b = OnexBase::build(&d, cfg).unwrap();
+        let q: Vec<f64> = b.dataset().get(1).unwrap().values()[0..8].to_vec();
+        let mut proc = SimilarityQuery::new(&b);
+        let certified = proc
+            .within_threshold(&q, MatchMode::Exact(8), None, false)
+            .unwrap();
+        assert!(!certified.is_empty(), "self-similar data certifies groups");
+        for m in &certified {
+            assert_eq!(m.dist, m.rep_dist, "certified dist is the rep's");
+            let rep = b.group(m.group).representative();
+            let rep_raw = onex_dist::dtw(&q, rep, Window::Unconstrained);
+            assert!(
+                (m.raw_dtw - rep_raw).abs() < 1e-9,
+                "certified raw_dtw {} must be the rep's raw DTW {}",
+                m.raw_dtw,
+                rep_raw
+            );
+        }
     }
 
     #[test]

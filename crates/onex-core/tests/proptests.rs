@@ -201,6 +201,37 @@ proptest! {
     }
 
     #[test]
+    fn cascade_byte_identical_to_unpruned_on_random_bases(
+        d in dataset(), seed in any::<u64>(), qlen in 2..8usize,
+    ) {
+        // Soundness of the cascaded lower-bound pipeline, stated as the
+        // user-visible contract: best-match, top-k and range results with
+        // the cascade enabled are byte-identical to a fully unpruned
+        // search, on arbitrary random bases and queries.
+        let base = OnexBase::build_prenormalized(d, config(0.2, seed)).unwrap();
+        let src = base.dataset().get(0).unwrap();
+        prop_assume!(src.len() >= qlen);
+        let q: Vec<f64> = src.values()[..qlen].to_vec();
+        let explorer = Explorer::from_base(base);
+        let unpruned = QueryOptions { lb_pruning: false, ..QueryOptions::default() };
+        for mode in [MatchMode::Any, MatchMode::Exact(qlen)] {
+            let on = explorer.best_match(&q, mode, QueryOptions::default());
+            let off = explorer.best_match(&q, mode, unpruned);
+            prop_assert_eq!(&on, &off);
+            let t_on = explorer.top_k(&q, mode, 4, QueryOptions::default()).unwrap();
+            let t_off = explorer.top_k(&q, mode, 4, unpruned).unwrap();
+            prop_assert_eq!(&t_on, &t_off);
+            for verify in [false, true] {
+                let w_on = explorer
+                    .within_threshold(&q, mode, verify, QueryOptions::default())
+                    .unwrap();
+                let w_off = explorer.within_threshold(&q, mode, verify, unpruned).unwrap();
+                prop_assert_eq!(&w_on, &w_off);
+            }
+        }
+    }
+
+    #[test]
     fn range_query_results_respect_threshold(d in dataset(), seed in any::<u64>()) {
         let cfg = OnexConfig {
             window: onex_dist::Window::Unconstrained,

@@ -115,13 +115,22 @@ pub fn lb_keogh_sq_abandon(
 /// final cost is at least `(row-min at row i) + out[i+1]`, enabling earlier
 /// abandoning (the suite's "cascading" use of LB_Keogh inside DTW).
 pub fn lb_keogh_cumulative(c: &[f64], env: &Envelope) -> Vec<f64> {
+    let mut out = Vec::new();
+    lb_keogh_cumulative_into(c, env, &mut out);
+    out
+}
+
+/// [`lb_keogh_cumulative`] writing into a caller-provided buffer, so a query
+/// processor evaluating thousands of candidates per query allocates the
+/// suffix array once. The buffer is cleared and refilled to `c.len() + 1`.
+pub fn lb_keogh_cumulative_into(c: &[f64], env: &Envelope, out: &mut Vec<f64>) {
     assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
     let n = c.len();
-    let mut out = vec![0.0; n + 1];
+    out.clear();
+    out.resize(n + 1, 0.0);
     for i in (0..n).rev() {
         out[i] = out[i + 1] + keogh_contrib(c[i], env.upper[i], env.lower[i]);
     }
-    out
 }
 
 #[cfg(test)]

@@ -47,6 +47,8 @@ mod window;
 pub use dtw::{dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, DtwBuffer};
 pub use ed::{ed, ed_early_abandon_sq, ed_normalized, ed_sq};
 pub use envelope::Envelope;
-pub use lb::{lb_keogh, lb_keogh_cumulative, lb_keogh_sq_abandon, lb_kim_fl};
+pub use lb::{
+    lb_keogh, lb_keogh_cumulative, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl,
+};
 pub use paa::{paa, pdtw, Paa};
 pub use window::Window;

@@ -4,7 +4,8 @@
 
 use onex_dist::{
     dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, ed, ed_early_abandon_sq, ed_normalized,
-    ed_sq, lb_keogh, lb_kim_fl, paa, pdtw, Envelope, Window,
+    ed_sq, lb_keogh, lb_keogh_cumulative, lb_keogh_sq_abandon, lb_kim_fl, paa, pdtw, DtwBuffer,
+    Envelope, Window,
 };
 use proptest::prelude::*;
 
@@ -148,6 +149,59 @@ proptest! {
         let lb = lb_keogh(&x, &env);
         let d = dtw(&x, &y, Window::Band(r));
         prop_assert!(lb <= d + 1e-9, "lb {} > dtw {}", lb, d);
+    }
+
+    #[test]
+    fn cascade_tiers_all_lower_bound_banded_dtw(
+        (x, y) in seq_pair_equal(24), r in 1..24usize, seed in any::<u64>(),
+    ) {
+        // Every tier of the query-processor cascade (LB_Kim → reordered
+        // squared LB_Keogh → cumulative suffix bound) must lower-bound the
+        // banded DTW it prunes against, for any random pair, band, and
+        // index permutation — the soundness obligation of the Explorer's
+        // pruning pipeline.
+        let d = dtw(&x, &y, Window::Band(r));
+        prop_assert!(lb_kim_fl(&x, &y) <= d + 1e-9);
+        let env = Envelope::build(&y, r);
+        let eq_sq = lb_keogh_sq_abandon(&x, &env, None, f64::INFINITY).unwrap();
+        prop_assert!(eq_sq.sqrt() <= d + 1e-9, "LB_Keogh {} > dtw {}", eq_sq.sqrt(), d);
+        // A random permutation changes the abandon order, never the total.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let reordered = lb_keogh_sq_abandon(&x, &env, Some(&order), f64::INFINITY).unwrap();
+        prop_assert!((reordered - eq_sq).abs() < 1e-9);
+        // The suffix array totals to LB_Keogh² and is a valid per-row bound:
+        // suffix-augmented DTW with a cutoff above the true distance never
+        // abandons and returns the exact value.
+        let cum = lb_keogh_cumulative(&x, &env);
+        prop_assert!((cum[0] - eq_sq).abs() < 1e-9);
+        let mut buf = DtwBuffer::new();
+        let got = buf
+            .dist_early_abandon_with_suffix(&x, &y, Window::Band(r), d + 1.0, &cum)
+            .expect("cutoff above exact distance never abandons");
+        prop_assert!((got - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suffix_abandon_never_misreports(
+        (x, y) in seq_pair_equal(24), r in 1..24usize, frac in 0.0..1.5f64,
+    ) {
+        // For an arbitrary cutoff, the suffix-augmented kernel either
+        // abandons (only legal when the true distance exceeds the cutoff)
+        // or returns the exact distance.
+        let d = dtw(&x, &y, Window::Band(r));
+        let env = Envelope::build(&y, r);
+        let cum = lb_keogh_cumulative(&x, &env);
+        let cutoff = d * frac;
+        let mut buf = DtwBuffer::new();
+        match buf.dist_early_abandon_with_suffix(&x, &y, Window::Band(r), cutoff, &cum) {
+            Some(got) => prop_assert!((got - d).abs() < 1e-9),
+            None => prop_assert!(d > cutoff - 1e-9, "abandoned although d {} <= cutoff {}", d, cutoff),
+        }
     }
 
     #[test]

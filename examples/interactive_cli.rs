@@ -22,8 +22,39 @@
 //!   quit
 
 use onex::ts::synth;
-use onex::{Explorer, ExplorerBuilder, MatchMode, QueryOptions};
+use onex::{Explorer, ExplorerBuilder, MatchMode, QueryOptions, QueryRequest};
 use std::io::{BufRead, Write};
+
+/// Answers one best-match request and prints the match together with the
+/// cascade counters (DTW evaluations, per-tier lower-bound prunes, early
+/// abandons) — the work the pipeline saved, per query.
+fn run_best(explorer: &Explorer, q: Vec<f64>, mode: MatchMode) {
+    let resp = explorer.query(QueryRequest::BestMatch {
+        values: q,
+        mode,
+        options: QueryOptions::default(),
+    });
+    match resp {
+        Ok(resp) => {
+            let m = resp.result.best_match().expect("best-match response");
+            let s = &resp.stats;
+            println!(
+                "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
+                m.subseq.series,
+                m.subseq.start,
+                m.subseq.end(),
+                m.dist,
+                s.elapsed
+            );
+            println!(
+                "      {} DTW evals ({} abandoned early) | pruned kim/keogh_eq/keogh_ec = {}/{}/{} | {} LB_Keogh evals",
+                s.dtw_evals, s.early_abandons, s.pruned_kim, s.pruned_keogh_eq, s.pruned_keogh_ec,
+                s.lb_keogh_evals
+            );
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
 
 fn print_help() {
     println!("commands:");
@@ -114,17 +145,7 @@ fn main() {
                 } else {
                     MatchMode::Exact(q.len())
                 };
-                match explorer.best_match(&q, mode, QueryOptions::default()) {
-                    Ok(m) => println!(
-                        "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
-                        m.subseq.series,
-                        m.subseq.start,
-                        m.subseq.end(),
-                        m.dist,
-                        t0.elapsed()
-                    ),
-                    Err(e) => println!("error: {e}"),
-                }
+                run_best(&explorer, q, mode);
             }
             ["design", values, rest @ ..] => {
                 let Some(raw) = parse_values(values) else {
@@ -137,17 +158,7 @@ fn main() {
                 } else {
                     MatchMode::Exact(q.len())
                 };
-                match explorer.best_match(&q, mode, QueryOptions::default()) {
-                    Ok(m) => println!(
-                        "best: series {} [{}..{}] DTW̄={:.4}  ({:?})",
-                        m.subseq.series,
-                        m.subseq.start,
-                        m.subseq.end(),
-                        m.dist,
-                        t0.elapsed()
-                    ),
-                    Err(e) => println!("error: {e}"),
-                }
+                run_best(&explorer, q, mode);
             }
             ["seasonal", series, len] => match (series.parse::<usize>(), len.parse::<usize>()) {
                 (Ok(sid), Ok(l)) => match explorer.seasonal_for_series(sid, l, 2) {

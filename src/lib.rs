@@ -96,6 +96,46 @@
 //! std::fs::remove_file(&path).ok();
 //! ```
 //!
+//! ## Performance
+//!
+//! The Class I hot path runs **every** DTW candidate — representative
+//! *and* group member, across best-match, top-k, and verified range
+//! queries — through a cascaded lower-bound pipeline (the UCR-suite
+//! cascade the paper adopts in §5.3, applied engine-wide):
+//!
+//! 1. **LB_Kim** — O(1), valid for any pair of lengths.
+//! 2. **Query-envelope LB_Keogh** — the candidate against the query's
+//!    envelope, in squared space with contribution-ordered early
+//!    abandoning. The envelope and index order are built lazily once per
+//!    `(query, resolved band radius)` and reused for every representative
+//!    and member met at that length.
+//! 3. **Candidate-envelope LB_Keogh** — the query against the stored
+//!    representative envelope, where one exists.
+//! 4. **Early-abandoned DTW**, seeded with the query-envelope suffix
+//!    bound so hopeless evaluations stop mid-matrix.
+//!
+//! Every prune tests strictly-greater against the running cutoff, so
+//! answers are byte-identical with the pipeline on or off — proven by
+//! equivalence tests and property tests over random bases; only the work
+//! changes. Two [`QueryOptions`] knobs expose the ablation points:
+//! `lb_pruning: false` disables every lower bound, and `cascade: false`
+//! keeps only the pre-cascade representative-level check. Each
+//! [`QueryStats`] reports what the pipeline did: `dtw_evals`, the
+//! per-tier kills (`pruned_kim`, `pruned_keogh_eq`, `pruned_keogh_ec`),
+//! `early_abandons`, `members_lb_pruned`, and `lb_keogh_evals`.
+//!
+//! The machine-readable performance baseline lives in `BENCH_pr3.json`
+//! (per-query-class latency, DTW-evaluation, and prune-rate counters on
+//! the synthetic datasets). Regenerate or inspect it with:
+//!
+//! ```sh
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr3.json
+//! ```
+//!
+//! CI replays the same run with `--check-against BENCH_pr3.json` and
+//! fails when best-match DTW evaluations regress more than 2× — exact
+//! counters, not wall-clock, so the gate is stable on shared runners.
+//!
 //! ## Migrating from the per-class and free-function entry points
 //!
 //! The pre-engine entry points still compile but are deprecated shims over

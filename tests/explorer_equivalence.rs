@@ -92,6 +92,93 @@ fn top_k_and_range_identical_to_legacy() {
 }
 
 #[test]
+fn cascade_results_byte_identical_to_unpruned_search() {
+    // The cascaded lower-bound pipeline (LB_Kim → query-envelope LB_Keogh
+    // → candidate-envelope LB_Keogh → suffix-abandoned DTW) changes work
+    // done, never answers: every Class I query form must return results
+    // byte-identical to a search with all pruning disabled, and the
+    // intermediate "representative-only LB" ablation point must agree too.
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b.clone()));
+    let unpruned = QueryOptions {
+        lb_pruning: false,
+        ..QueryOptions::default()
+    };
+    let rep_only = QueryOptions {
+        cascade: false,
+        ..QueryOptions::default()
+    };
+    for q in queries(&b) {
+        for mode in [MatchMode::Any, MatchMode::Exact(q.len())] {
+            let on = explorer
+                .best_match(&q, mode, QueryOptions::default())
+                .unwrap();
+            assert_eq!(on, explorer.best_match(&q, mode, unpruned).unwrap());
+            assert_eq!(on, explorer.best_match(&q, mode, rep_only).unwrap());
+            for k in [1usize, 3, 10] {
+                let tk = explorer
+                    .top_k(&q, mode, k, QueryOptions::default())
+                    .unwrap();
+                assert_eq!(tk, explorer.top_k(&q, mode, k, unpruned).unwrap(), "k={k}");
+                assert_eq!(tk, explorer.top_k(&q, mode, k, rep_only).unwrap(), "k={k}");
+            }
+            for verify in [false, true] {
+                let wt = explorer
+                    .within_threshold(&q, mode, verify, QueryOptions::default())
+                    .unwrap();
+                assert_eq!(
+                    wt,
+                    explorer
+                        .within_threshold(&q, mode, verify, unpruned)
+                        .unwrap(),
+                    "verify={verify}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cascade_reduces_dtw_evaluations() {
+    // The point of the pipeline: fewer DTW evaluations for the same
+    // answers. Summed over a spread of queries, the cascade must do
+    // strictly less DTW work than the unpruned search, and per-tier prune
+    // counters must account exactly for the total.
+    let b = base();
+    let explorer = Explorer::new(Arc::new(b.clone()));
+    let unpruned = QueryOptions {
+        lb_pruning: false,
+        ..QueryOptions::default()
+    };
+    let mut evals_on = 0usize;
+    let mut evals_off = 0usize;
+    for q in queries(&b) {
+        for (opts, evals) in [
+            (QueryOptions::default(), &mut evals_on),
+            (unpruned, &mut evals_off),
+        ] {
+            let resp = explorer
+                .query(QueryRequest::TopK {
+                    values: q.clone(),
+                    mode: MatchMode::Exact(q.len()),
+                    k: 3,
+                    options: opts,
+                })
+                .unwrap();
+            *evals += resp.stats.dtw_evals;
+            assert_eq!(
+                resp.stats.lb_prunes,
+                resp.stats.pruned_kim + resp.stats.pruned_keogh_eq + resp.stats.pruned_keogh_ec
+            );
+        }
+    }
+    assert!(
+        evals_on < evals_off,
+        "cascade must cut DTW work: {evals_on} vs {evals_off}"
+    );
+}
+
+#[test]
 fn seasonal_and_recommend_identical_to_legacy() {
     let b = base();
     let explorer = Explorer::new(Arc::new(b.clone()));
