@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the per-length representative scan over
+//! the **columnar group store** — the layer the PR-4 slab refactor makes
+//! cache-resident. Three views of the same hot loop:
+//!
+//! * `slab_ed` — a pure linear ED sweep over the contiguous rep slab
+//!   (`chunks_exact(len)`), the memory-bound lower bound of any scan.
+//! * `envelope_tier` — the LB_Keogh candidate-envelope tier read straight
+//!   off the slab's lo/hi planes via `EnvelopeRef` (no owned `Envelope`).
+//! * `best_match` — the full cascaded best-match query at the same length,
+//!   tying the micro numbers to the end-to-end path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_core::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions};
+use onex_dist::{ed, lb_keogh};
+use onex_ts::synth::PaperDataset;
+
+/// The baseline workload: ECG at the BENCH_pr4 scale/seed, multi-length.
+fn base() -> OnexBase {
+    let data = PaperDataset::Ecg.generate_scaled(0.25, 7);
+    OnexBase::build(&data, OnexConfig::default()).unwrap()
+}
+
+fn bench_rep_scan(c: &mut Criterion) {
+    let base = base();
+    let mut g = c.benchmark_group("rep_scan");
+    for &len in &[8usize, 16, 24] {
+        let Some(slab) = base.slab(len) else { continue };
+        let q: Vec<f64> = base.dataset().series()[0].values()[..len].to_vec();
+        let groups = slab.group_count();
+
+        // Pure columnar sweep: ED of the query against every rep row, read
+        // as contiguous chunks of the one slab allocation.
+        g.bench_with_input(
+            BenchmarkId::new(format!("slab_ed_{groups}g"), len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    let mut best = f64::INFINITY;
+                    for rep in slab.rep_slab().chunks_exact(len) {
+                        let d = ed(black_box(&q), rep);
+                        if d < best {
+                            best = d;
+                        }
+                    }
+                    best
+                })
+            },
+        );
+
+        // Envelope tier: LB_Keogh of the query against each stored
+        // representative envelope, served as borrowed plane views.
+        g.bench_with_input(
+            BenchmarkId::new(format!("envelope_tier_{groups}g"), len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for local in 0..slab.group_count() {
+                        let env = slab.envelope_ref(local).expect("finalized");
+                        acc += lb_keogh(black_box(&q), env);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let explorer = Explorer::from_base(base());
+    let mut g = c.benchmark_group("rep_scan_end_to_end");
+    for &len in &[16usize, 24] {
+        let q: Vec<f64> = explorer.base().dataset().series()[1].values()[..len].to_vec();
+        g.bench_with_input(BenchmarkId::new("best_match", len), &len, |b, _| {
+            b.iter(|| {
+                explorer
+                    .best_match(
+                        black_box(&q),
+                        MatchMode::Exact(len),
+                        QueryOptions::default(),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rep_scan, bench_end_to_end);
+criterion_main!(benches);

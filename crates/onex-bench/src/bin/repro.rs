@@ -10,15 +10,16 @@
 //! Flags: `--scale <f64>` (default 0.05), `--seed <u64>`, `--runs <usize>`,
 //! `--threads <usize>`, `--csv <dir>` (also write each table as CSV),
 //! `--json <path>` (perf: write the machine-readable counter baseline),
-//! `--check-against <path>` (perf: exit non-zero when best-match DTW
-//! evaluations regress >2x versus the checked-in baseline — the CI smoke).
+//! `--check-against <path>` (perf: exit non-zero when best-match or top-k
+//! DTW evaluations regress >2x versus the checked-in baseline — the CI
+//! smoke).
 //!
 //! ```sh
 //! # regenerate the checked-in perf baseline (the baseline records its
 //! # scale/seed; the check refuses to compare across different flags)
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr3.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr4.json
 //! # CI regression gate (counters, not wall-clock)
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --check-against BENCH_pr3.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --check-against BENCH_pr4.json
 //! ```
 
 use onex_bench::experiments::{self, Ctx};

@@ -1,9 +1,9 @@
 //! The **ONEX base**: the compact knowledge base produced by the offline
-//! step (§4) — all similarity groups, the per-length GTI entries, and the
-//! SP-Space — plus the normalized dataset they index.
+//! step (§4) — the columnar group store, the per-length GTI entries, and
+//! the SP-Space — plus the normalized dataset they index.
 
-use crate::build::{build_base, LengthGroups};
 use crate::index::LengthIndex;
+use crate::store::{GroupStore, LengthSlab, StoreFootprint};
 use crate::{Group, GroupId, OnexConfig, OnexError, Result, SpSpace};
 use onex_ts::normalize::{min_max, MinMaxParams};
 use onex_ts::Dataset;
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Summary statistics of a base — the quantities of the paper's Table 4 and
-/// Figs. 5–6.
+/// Figs. 5–6, plus the columnar-store accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BaseStats {
     /// Total number of representatives (= groups) across all lengths.
@@ -23,8 +23,16 @@ pub struct BaseStats {
     /// GTI footprint in bytes (group-id vectors, `Dc` matrices, sum arrays,
     /// thresholds).
     pub gti_bytes: usize,
-    /// LSI footprint in bytes (member arrays, representatives, envelopes).
+    /// LSI footprint in bytes (member lists, representative/envelope/sum
+    /// slabs).
     pub lsi_bytes: usize,
+    /// Bytes held in the contiguous per-length f64 slabs (representatives,
+    /// envelope planes, running sums) — the cache-resident scan surface.
+    pub slab_bytes: usize,
+    /// Heap allocations backing the group store. The columnar layout pays
+    /// a handful per *length*; the old array-of-structs layout paid ~5 per
+    /// *group*.
+    pub store_allocations: usize,
 }
 
 impl BaseStats {
@@ -48,13 +56,13 @@ impl BaseStats {
     }
 }
 
-/// The ONEX base: normalized dataset + similarity groups + indexes.
+/// The ONEX base: normalized dataset + columnar group store + indexes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OnexBase {
     dataset: Dataset,
     norm: Option<MinMaxParams>,
     config: OnexConfig,
-    groups: Vec<Group>,
+    store: GroupStore,
     lengths: BTreeMap<usize, LengthIndex>,
     sp: SpSpace,
 }
@@ -77,37 +85,38 @@ impl OnexBase {
     /// simply assume it).
     pub fn build_prenormalized(dataset: Dataset, config: OnexConfig) -> Result<Self> {
         config.validate()?;
-        let per_length = build_base(&dataset, &config);
-        Ok(Self::assemble(dataset, None, config, per_length))
+        let slabs = crate::build::build_base(&dataset, &config);
+        Ok(Self::assemble(dataset, None, config, slabs))
     }
 
-    /// Assembles a base from per-length groups (shared by construction,
-    /// refinement and maintenance).
+    /// Assembles a base from per-length slabs (shared by construction,
+    /// refinement and maintenance). Group ids are assigned contiguously in
+    /// ascending-length, local order.
     pub(crate) fn assemble(
         dataset: Dataset,
         norm: Option<MinMaxParams>,
         config: OnexConfig,
-        per_length: Vec<LengthGroups>,
+        slabs: Vec<LengthSlab>,
     ) -> Self {
-        let mut groups: Vec<Group> = Vec::new();
+        let store = GroupStore::from_slabs(slabs);
         let mut lengths = BTreeMap::new();
         let mut local = BTreeMap::new();
-        for lg in per_length {
-            let first_id = groups.len() as GroupId;
-            let ids: Vec<GroupId> = (0..lg.groups.len())
+        let mut first_id: GroupId = 0;
+        for slab in store.slabs() {
+            let len = slab.subseq_len();
+            let ids: Vec<GroupId> = (0..slab.group_count())
                 .map(|i| first_id + i as GroupId)
                 .collect();
-            groups.extend(lg.groups);
-            let refs: Vec<&Group> = ids.iter().map(|&id| &groups[id as usize]).collect();
-            let idx = LengthIndex::build(lg.len, ids, &refs, config.st);
-            local.insert(lg.len, (idx.st_half, idx.st_final));
-            lengths.insert(lg.len, idx);
+            first_id += slab.group_count() as GroupId;
+            let idx = LengthIndex::build(len, ids, slab, config.st);
+            local.insert(len, (idx.st_half, idx.st_final));
+            lengths.insert(len, idx);
         }
         OnexBase {
             dataset,
             norm,
             config,
-            groups,
+            store,
             lengths,
             sp: SpSpace::new(local),
         }
@@ -140,16 +149,28 @@ impl OnexBase {
         }
     }
 
-    /// All groups, indexed by [`GroupId`].
+    /// The columnar group store.
     #[inline]
-    pub fn groups(&self) -> &[Group] {
-        &self.groups
+    pub fn store(&self) -> &GroupStore {
+        &self.store
+    }
+
+    /// The group slab for one subsequence length — the contiguous scan
+    /// surface the query hot loops walk.
+    #[inline]
+    pub fn slab(&self, len: usize) -> Option<&LengthSlab> {
+        self.store.slab_for_len(len)
+    }
+
+    /// Views of all groups, in [`GroupId`] order.
+    pub fn groups(&self) -> impl Iterator<Item = Group<'_>> {
+        self.store.groups()
     }
 
     /// One group by id.
     #[inline]
-    pub fn group(&self, id: GroupId) -> &Group {
-        &self.groups[id as usize]
+    pub fn group(&self, id: GroupId) -> Group<'_> {
+        self.store.group(id)
     }
 
     /// The GTI entry for a length.
@@ -193,43 +214,52 @@ impl OnexBase {
     /// Validates that the base is non-empty, returning [`OnexError::EmptyBase`]
     /// otherwise — query entry points call this.
     pub fn ensure_nonempty(&self) -> Result<()> {
-        if self.groups.is_empty() {
+        if self.store.group_count() == 0 {
             Err(OnexError::EmptyBase)
         } else {
             Ok(())
         }
     }
 
-    /// Base statistics (Table 4 / Figs. 5–6 quantities).
+    /// Base statistics (Table 4 / Figs. 5–6 quantities plus store
+    /// accounting).
     pub fn stats(&self) -> BaseStats {
-        let representatives = self.groups.len();
-        let subsequences = self.groups.iter().map(Group::member_count).sum();
+        let fp = self.store.footprint();
         let gti_bytes = self.lengths.values().map(LengthIndex::size_bytes).sum();
-        let lsi_bytes = self.groups.iter().map(Group::size_bytes).sum();
         BaseStats {
-            representatives,
-            subsequences,
+            representatives: self.store.group_count(),
+            subsequences: fp.per_length.iter().map(|l| l.members).sum(),
             lengths: self.lengths.len(),
             gti_bytes,
-            lsi_bytes,
+            lsi_bytes: fp.total_bytes(),
+            slab_bytes: fp.slab_bytes(),
+            store_allocations: fp.allocations(),
         }
     }
 
-    /// Consumes the base into its parts (used by refinement).
+    /// Detailed per-length memory accounting of the columnar store: slab
+    /// bytes per plane, member bytes, and allocation counts, one entry per
+    /// indexed length.
+    pub fn footprint(&self) -> StoreFootprint {
+        self.store.footprint()
+    }
+
+    /// Consumes the base into its parts (used by refinement and
+    /// maintenance).
     pub(crate) fn into_parts(
         self,
     ) -> (
         Dataset,
         Option<MinMaxParams>,
         OnexConfig,
-        Vec<Group>,
+        GroupStore,
         BTreeMap<usize, LengthIndex>,
     ) {
         (
             self.dataset,
             self.norm,
             self.config,
-            self.groups,
+            self.store,
             self.lengths,
         )
     }
@@ -271,6 +301,28 @@ mod tests {
         assert!(stats.gti_bytes > 0 && stats.lsi_bytes > 0);
         assert!(stats.total_mb() > 0.0);
         assert!(stats.reduction_factor() >= 1.0);
+        // columnar accounting: slabs are a subset of the LSI bytes, and the
+        // whole store costs a handful of allocations per length plus one
+        // per member list.
+        assert!(stats.slab_bytes > 0 && stats.slab_bytes <= stats.lsi_bytes);
+        assert!(stats.store_allocations >= 7 * stats.lengths);
+        assert!(stats.store_allocations <= 7 * stats.lengths + stats.representatives + 2);
+    }
+
+    #[test]
+    fn footprint_covers_every_indexed_length() {
+        let base = small_base();
+        let fp = base.footprint();
+        assert_eq!(fp.per_length.len(), base.indexed_lengths().count());
+        for (entry, len) in fp.per_length.iter().zip(base.indexed_lengths()) {
+            assert_eq!(entry.len, len);
+            assert!(entry.groups > 0);
+            // each rep row is len f64s; the slab holds groups of them
+            assert!(entry.rep_slab_bytes >= entry.groups * len * 8);
+            assert!(entry.envelope_slab_bytes >= 2 * entry.groups * len * 8);
+        }
+        assert_eq!(fp.groups(), base.stats().representatives);
+        assert_eq!(fp.total_bytes(), base.stats().lsi_bytes);
     }
 
     #[test]
@@ -281,6 +333,21 @@ mod tests {
                 assert_eq!(base.group(id).len_of_members(), idx.len);
             }
         }
+    }
+
+    #[test]
+    fn slab_lookup_matches_length_index() {
+        let base = small_base();
+        for idx in base.length_indexes() {
+            let slab = base.slab(idx.len).expect("indexed length has a slab");
+            assert_eq!(slab.group_count(), idx.group_count());
+            assert_eq!(slab.subseq_len(), idx.len);
+            // id-addressed view and slab rows agree
+            for (local, &gid) in idx.group_ids.iter().enumerate() {
+                assert_eq!(base.group(gid).representative(), slab.rep_row(local));
+            }
+        }
+        assert!(base.slab(999).is_none());
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! ONEX base construction — the paper's Algorithm 1.
+//! ONEX base construction — the paper's Algorithm 1, writing straight into
+//! the columnar per-length store.
 //!
 //! For every subsequence length, subsequences are visited in randomized
 //! order (RANDOMIZE-IN-PLACE, i.e. Fisher–Yates); each is assigned to the
 //! *closest* existing representative of its length provided the raw ED is
 //! within `√L · ST/2` (the raw-space equivalent of `ED̄ ≤ ST/2`), otherwise
 //! it seeds a new group and becomes its first representative.
-//! Representatives are running point-wise means, updated incrementally.
+//! Representatives are running point-wise means, updated incrementally —
+//! and kept in a single flat slab (stride = length), so the assignment hot
+//! loop scans one contiguous block of memory instead of chasing a `Vec`
+//! pointer per candidate group.
 //!
 //! Lengths are independent, so construction optionally fans out across
 //! threads (one length per task, `std::thread` scoped threads); results are
 //! deterministic regardless of thread count because each length's shuffle is
 //! seeded independently.
 
-use crate::{BuildMode, Group, OnexConfig};
+use crate::store::LengthSlab;
+use crate::{BuildMode, OnexConfig};
 use onex_dist::ed_early_abandon_sq;
 use onex_ts::{Dataset, SubseqRef};
 use rand::rngs::SmallRng;
@@ -24,22 +29,14 @@ use std::sync::Mutex;
 /// forced into singleton groups.
 const STRICT_ROUNDS: usize = 4;
 
-/// The groups built for one subsequence length.
-#[derive(Debug)]
-pub struct LengthGroups {
-    /// The subsequence length.
-    pub len: usize,
-    /// Finalized groups (representatives frozen, members sorted, envelopes
-    /// built).
-    pub groups: Vec<Group>,
-}
-
-/// Incremental assignment state for one length: groups plus their *live*
-/// means, kept separately so the ED hot loop reads a contiguous `Vec<f64>`
-/// per candidate representative.
+/// Incremental assignment state for one length: the group slab under
+/// construction plus the *live* means, kept in a parallel flat slab so the
+/// ED hot loop walks contiguous rows.
 pub(crate) struct Assigner {
-    pub(crate) groups: Vec<Group>,
-    means: Vec<Vec<f64>>,
+    pub(crate) slab: LengthSlab,
+    /// Live means, row-major with the same stride/order as the slab.
+    means: Vec<f64>,
+    len: usize,
     /// Raw-space admission threshold `√L · ST/2`.
     limit_raw: f64,
 }
@@ -47,24 +44,27 @@ pub(crate) struct Assigner {
 impl Assigner {
     pub(crate) fn new(len: usize, st: f64) -> Self {
         Assigner {
-            groups: Vec::new(),
+            slab: LengthSlab::new(len),
             means: Vec::new(),
+            len,
             limit_raw: (len as f64).sqrt() * st / 2.0,
         }
     }
 
-    /// Seeds the assigner with existing groups (used by refinement and
+    /// Seeds the assigner with an existing slab (used by refinement and
     /// maintenance, which extend an already-built base).
-    pub(crate) fn with_groups(len: usize, st: f64, groups: Vec<Group>) -> Self {
-        let mut means = Vec::with_capacity(groups.len());
-        for g in &groups {
-            let mut m = Vec::new();
-            g.mean_into(&mut m);
-            means.push(m);
+    pub(crate) fn with_slab(st: f64, slab: LengthSlab) -> Self {
+        let len = slab.subseq_len();
+        let mut means = Vec::with_capacity(slab.group_count() * len);
+        let mut row = Vec::new();
+        for local in 0..slab.group_count() {
+            slab.mean_into(local, &mut row);
+            means.extend_from_slice(&row);
         }
         Assigner {
-            groups,
+            slab,
             means,
+            len,
             limit_raw: (len as f64).sqrt() * st / 2.0,
         }
     }
@@ -76,7 +76,7 @@ impl Assigner {
         let limit_sq = self.limit_raw * self.limit_raw;
         let mut best: Option<(usize, f64)> = None;
         let mut cutoff = limit_sq;
-        for (k, mean) in self.means.iter().enumerate() {
+        for (k, mean) in self.means.chunks_exact(self.len).enumerate() {
             if let Some(d_sq) = ed_early_abandon_sq(values, mean, cutoff) {
                 if d_sq <= cutoff {
                     best = Some((k, d_sq));
@@ -86,18 +86,19 @@ impl Assigner {
         }
         match best {
             Some((k, _)) => {
-                self.groups[k].push(r, values);
+                self.slab.push_member(k, r, values);
                 // Incremental mean update: m += (x − m)/n.
-                let n = self.groups[k].member_count() as f64;
-                for (m, &v) in self.means[k].iter_mut().zip(values) {
+                let n = self.slab.member_count(k) as f64;
+                let row = &mut self.means[k * self.len..(k + 1) * self.len];
+                for (m, &v) in row.iter_mut().zip(values) {
                     *m += (v - *m) / n;
                 }
                 k
             }
             None => {
-                self.groups.push(Group::seed(r, values));
-                self.means.push(values.to_vec());
-                self.groups.len() - 1
+                let k = self.slab.seed(r, values);
+                self.means.extend_from_slice(values);
+                k
             }
         }
     }
@@ -109,10 +110,10 @@ impl Assigner {
     pub(crate) fn enforce_invariant(&mut self, dataset: &Dataset) {
         for round in 0..STRICT_ROUNDS {
             let mut evicted: Vec<SubseqRef> = Vec::new();
-            for g in self.groups.iter_mut() {
-                evicted.extend(g.evict_outside(dataset, self.limit_raw));
+            for local in 0..self.slab.group_count() {
+                evicted.extend(self.slab.evict_outside(local, dataset, self.limit_raw));
             }
-            // Eviction changed means: rebuild the mean cache.
+            // Eviction changed means: rebuild the mean slab.
             self.rebuild_means();
             if evicted.is_empty() {
                 return;
@@ -121,8 +122,8 @@ impl Assigner {
                 // Final round: isolate stragglers instead of re-inserting.
                 for r in evicted {
                     let values = dataset.subseq_unchecked(r);
-                    self.groups.push(Group::seed(r, values));
-                    self.means.push(values.to_vec());
+                    self.slab.seed(r, values);
+                    self.means.extend_from_slice(values);
                 }
                 return;
             }
@@ -133,14 +134,16 @@ impl Assigner {
     }
 
     fn rebuild_means(&mut self) {
-        for (g, m) in self.groups.iter().zip(self.means.iter_mut()) {
-            g.mean_into(m);
+        let mut row = Vec::new();
+        for local in 0..self.slab.group_count() {
+            self.slab.mean_into(local, &mut row);
+            self.means[local * self.len..(local + 1) * self.len].copy_from_slice(&row);
         }
     }
 }
 
-/// Builds the similarity groups for a single length.
-pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -> LengthGroups {
+/// Builds the similarity-group slab for a single length.
+pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -> LengthSlab {
     // Collect and shuffle the subsequences of this length (Algorithm 1,
     // lines 3–4). The seed mixes in the length so every length gets an
     // independent, thread-schedule-free permutation.
@@ -164,11 +167,9 @@ pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -
         asg.enforce_invariant(dataset);
     }
     let radius = config.window.resolve(len, len);
-    let mut groups = asg.groups;
-    for g in groups.iter_mut() {
-        g.finalize(dataset, radius);
-    }
-    LengthGroups { len, groups }
+    let mut slab = asg.slab;
+    slab.finalize_all(dataset, radius);
+    slab
 }
 
 /// Lloyd refinement over the greedy groups (tech-report's alternative
@@ -185,25 +186,23 @@ fn lloyd_refine(
 ) {
     for _ in 0..iters {
         // Snapshot the current means as fixed centroids.
-        let centroids: Vec<Vec<f64>> = asg
-            .groups
-            .iter()
-            .map(|g| {
-                let mut m = Vec::new();
-                g.mean_into(&mut m);
-                m
-            })
-            .collect();
-        if centroids.is_empty() {
+        let g = asg.slab.group_count();
+        if g == 0 {
             return;
         }
+        let mut centroids = Vec::with_capacity(g * len);
+        let mut row = Vec::new();
+        for local in 0..g {
+            asg.slab.mean_into(local, &mut row);
+            centroids.extend_from_slice(&row);
+        }
         // Reassign all members to the nearest centroid.
-        let mut buckets: Vec<Vec<SubseqRef>> = vec![Vec::new(); centroids.len()];
+        let mut buckets: Vec<Vec<SubseqRef>> = vec![Vec::new(); g];
         for &r in refs {
             let values = dataset.subseq_unchecked(r);
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
-            for (k, c) in centroids.iter().enumerate() {
+            for (k, c) in centroids.chunks_exact(len).enumerate() {
                 if let Some(d) = onex_dist::ed_early_abandon_sq(values, c, best_d) {
                     if d < best_d {
                         best_d = d;
@@ -213,35 +212,35 @@ fn lloyd_refine(
             }
             buckets[best].push(r);
         }
-        // Rebuild groups from the buckets (dropping empties).
-        let mut groups = Vec::with_capacity(buckets.len());
+        // Rebuild the slab from the buckets (dropping empties).
+        let mut slab = LengthSlab::new(len);
         for bucket in buckets {
             let mut members = bucket.into_iter();
             let Some(first) = members.next() else {
                 continue;
             };
-            let mut g = Group::seed(first, dataset.subseq_unchecked(first));
+            let local = slab.seed(first, dataset.subseq_unchecked(first));
             for r in members {
-                g.push(r, dataset.subseq_unchecked(r));
+                slab.push_member(local, r, dataset.subseq_unchecked(r));
             }
-            groups.push(g);
         }
-        *asg = Assigner::with_groups(len, config.st, groups);
+        *asg = Assigner::with_slab(config.st, slab);
     }
 }
 
-/// Builds groups for every decomposed length, optionally in parallel.
-/// Results are sorted by length and independent of `config.threads`.
-pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthGroups> {
+/// Builds the per-length slabs for every decomposed length, optionally in
+/// parallel. Results are sorted by length and independent of
+/// `config.threads`.
+pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthSlab> {
     let lengths = dataset.decomposed_lengths(&config.decomposition);
-    let mut out: Vec<LengthGroups> = if config.threads <= 1 || lengths.len() <= 1 {
+    let mut out: Vec<LengthSlab> = if config.threads <= 1 || lengths.len() <= 1 {
         lengths
             .iter()
             .map(|&len| build_length_groups(dataset, len, config))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<LengthGroups>> = Mutex::new(Vec::with_capacity(lengths.len()));
+        let results: Mutex<Vec<LengthSlab>> = Mutex::new(Vec::with_capacity(lengths.len()));
         let workers = config.threads.min(lengths.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -255,7 +254,7 @@ pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthGroups> {
         });
         results.into_inner().expect("construction lock")
     };
-    out.sort_by_key(|lg| lg.len);
+    out.sort_by_key(LengthSlab::subseq_len);
     out
 }
 
@@ -278,18 +277,15 @@ mod tests {
         let d = synth::sine_mix(6, 16, 2, 1);
         let cfg = config(0.2);
         let built = build_base(&d, &cfg);
-        let total: usize = built
-            .iter()
-            .map(|lg| lg.groups.iter().map(Group::member_count).sum::<usize>())
-            .sum();
+        let total: usize = built.iter().map(LengthSlab::total_members).sum();
         assert_eq!(total, d.subseq_count(&cfg.decomposition));
         // no duplicates across groups of the same length
-        for lg in &built {
+        for slab in &built {
             let mut seen = std::collections::HashSet::new();
-            for g in &lg.groups {
-                for &(r, _) in g.members() {
+            for local in 0..slab.group_count() {
+                for &(r, _) in slab.members(local) {
                     assert!(seen.insert(r), "duplicate member {r:?}");
-                    assert_eq!(r.len as usize, lg.len);
+                    assert_eq!(r.len as usize, slab.subseq_len());
                 }
             }
         }
@@ -299,14 +295,14 @@ mod tests {
     fn strict_mode_upholds_def8_invariant() {
         let d = synth::random_walk(5, 20, 3);
         let cfg = config(0.15);
-        for lg in build_base(&d, &cfg) {
-            for g in &lg.groups {
-                for &(r, _) in g.members() {
-                    let dist = ed_normalized(d.subseq_unchecked(r), g.representative());
+        for slab in build_base(&d, &cfg) {
+            for local in 0..slab.group_count() {
+                for &(r, _) in slab.members(local) {
+                    let dist = ed_normalized(d.subseq_unchecked(r), slab.rep_row(local));
                     assert!(
                         dist <= cfg.st / 2.0 + 1e-9,
                         "len {} member {:?}: ED̄ {} > ST/2 {}",
-                        lg.len,
+                        slab.subseq_len(),
                         r,
                         dist,
                         cfg.st / 2.0
@@ -326,10 +322,7 @@ mod tests {
             ..config(0.15)
         };
         let built = build_base(&d, &cfg);
-        let total: usize = built
-            .iter()
-            .map(|lg| lg.groups.iter().map(Group::member_count).sum::<usize>())
-            .sum();
+        let total: usize = built.iter().map(LengthSlab::total_members).sum();
         assert_eq!(total, d.subseq_count(&cfg.decomposition));
     }
 
@@ -338,11 +331,11 @@ mod tests {
         let d = synth::sine_mix(8, 24, 2, 5);
         let tight: usize = build_base(&d, &config(0.05))
             .iter()
-            .map(|lg| lg.groups.len())
+            .map(LengthSlab::group_count)
             .sum();
         let loose: usize = build_base(&d, &config(0.8))
             .iter()
-            .map(|lg| lg.groups.len())
+            .map(LengthSlab::group_count)
             .sum();
         assert!(
             loose <= tight,
@@ -362,8 +355,8 @@ mod tests {
         let b = build_base(&d, &par_cfg);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.len, y.len);
-            assert_eq!(x.groups, y.groups, "length {}", x.len);
+            assert_eq!(x.subseq_len(), y.subseq_len());
+            assert_eq!(x, y, "length {}", x.subseq_len());
         }
     }
 
@@ -376,9 +369,8 @@ mod tests {
         };
         let built = build_base(&d, &cfg);
         assert_eq!(built.len(), 1);
-        assert_eq!(built[0].len, 8);
-        let members: usize = built[0].groups.iter().map(Group::member_count).sum();
-        assert_eq!(members, 4 * (12 - 8 + 1));
+        assert_eq!(built[0].subseq_len(), 8);
+        assert_eq!(built[0].total_members(), 4 * (12 - 8 + 1));
     }
 
     #[test]
@@ -389,16 +381,13 @@ mod tests {
             ..config(0.2)
         };
         let built = build_base(&d, &cfg);
-        let total: usize = built
-            .iter()
-            .map(|lg| lg.groups.iter().map(Group::member_count).sum::<usize>())
-            .sum();
+        let total: usize = built.iter().map(LengthSlab::total_members).sum();
         assert_eq!(total, d.subseq_count(&cfg.decomposition));
         // Strict mode still enforces Def. 8 after refinement.
-        for lg in &built {
-            for g in &lg.groups {
-                for &(r, _) in g.members() {
-                    let dist = ed_normalized(d.subseq_unchecked(r), g.representative());
+        for slab in &built {
+            for local in 0..slab.group_count() {
+                for &(r, _) in slab.members(local) {
+                    let dist = ed_normalized(d.subseq_unchecked(r), slab.rep_row(local));
                     assert!(dist <= cfg.st / 2.0 + 1e-9);
                 }
             }
@@ -412,13 +401,16 @@ mod tests {
         let d = synth::sine_mix(8, 20, 2, 23);
         let greedy: usize = build_base(&d, &config(0.3))
             .iter()
-            .map(|lg| lg.groups.len())
+            .map(LengthSlab::group_count)
             .sum();
         let cfg = OnexConfig {
             cluster: crate::ClusterStrategy::KMeansRefined { iters: 3 },
             ..config(0.3)
         };
-        let refined: usize = build_base(&d, &cfg).iter().map(|lg| lg.groups.len()).sum();
+        let refined: usize = build_base(&d, &cfg)
+            .iter()
+            .map(LengthSlab::group_count)
+            .sum();
         assert!(
             refined <= greedy + greedy / 10,
             "refined {refined} vs greedy {greedy}"
@@ -438,11 +430,11 @@ mod tests {
         let cfg = config(0.2);
         let g_small: usize = build_base(&small, &cfg)
             .iter()
-            .map(|lg| lg.groups.len())
+            .map(LengthSlab::group_count)
             .sum();
         let g_large: usize = build_base(&large, &cfg)
             .iter()
-            .map(|lg| lg.groups.len())
+            .map(LengthSlab::group_count)
             .sum();
         let data_ratio = large.subseq_count(&cfg.decomposition) as f64
             / small.subseq_count(&cfg.decomposition) as f64;
@@ -465,8 +457,8 @@ mod tests {
                 onex_ts::TimeSeries::new(vec![0.31; 10]).unwrap(),
             ],
         );
-        for lg in build_base(&d, &config(0.2)) {
-            assert_eq!(lg.groups.len(), 1, "length {}", lg.len);
+        for slab in build_base(&d, &config(0.2)) {
+            assert_eq!(slab.group_count(), 1, "length {}", slab.subseq_len());
         }
     }
 }

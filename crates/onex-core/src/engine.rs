@@ -654,9 +654,19 @@ impl Explorer {
         Ok(self.install(next))
     }
 
+    // ---- observability ----
+
+    /// Detailed per-length memory accounting of the live base's columnar
+    /// group store: slab bytes per plane (representatives, envelopes,
+    /// sums), member bytes, and heap-allocation counts. The coarse totals
+    /// are also on [`crate::BaseStats`] via `base().stats()`.
+    pub fn footprint(&self) -> crate::StoreFootprint {
+        self.base().footprint()
+    }
+
     // ---- persistence ----
 
-    /// Writes the current base to `path` as a v2 snapshot: checksummed
+    /// Writes the current base to `path` as a v3 snapshot: checksummed
     /// (CRC-32 footer) and stamped with the current epoch, so
     /// [`Explorer::load`] resumes the generation count.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
@@ -664,7 +674,7 @@ impl Explorer {
         snapshot::write_snapshot(&base, epoch, path)
     }
 
-    /// Loads a snapshot (v1 or v2) from `path`, restoring the recorded
+    /// Loads a snapshot (v1, v2 or v3) from `path`, restoring the recorded
     /// epoch (0 for v1 snapshots, which predate epochs).
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let (base, epoch) = snapshot::read_snapshot(path)?;

@@ -1,370 +1,125 @@
-//! ONEX similarity groups (paper Def. 7–8) and their per-group index — the
-//! paper's **Local Sequence Index** (LSI, §4.3): members sorted by ED to the
-//! representative, the representative vector, and its LB_Keogh envelope.
+//! ONEX similarity groups (paper Def. 7–8) — as lightweight **views** over
+//! the columnar [`crate::store::GroupStore`].
+//!
+//! A group used to own its member array, representative, running sum and
+//! envelope as separate heap vectors. Those now live row-major in the
+//! per-length slabs of a [`crate::store::LengthSlab`]; [`Group`] is a
+//! `(slab, local position)` handle exposing the same read surface (the
+//! paper's **Local Sequence Index**: members sorted by ED to the
+//! representative, the representative vector, and its LB_Keogh envelope).
+//! All mutation happens through the slab itself.
 
-use onex_dist::{ed, Envelope};
-use onex_ts::{Dataset, SubseqRef};
-use serde::{Deserialize, Serialize};
+use crate::store::LengthSlab;
+use onex_dist::EnvelopeRef;
+use onex_ts::SubseqRef;
 
-/// Identifier of a group within an [`crate::OnexBase`] (index into the flat
-/// group table).
+/// Identifier of a group within an [`crate::OnexBase`] (index into the
+/// store's flat group directory).
 pub type GroupId = u32;
 
-/// One similarity group `G^i_k`: equal-length subsequences whose normalized
-/// ED to the group representative is at most `ST/2`.
-///
-/// During construction the representative is the *running point-wise mean*
-/// of the members (maintained incrementally from the sum); [`Group::finalize`]
-/// then freezes it, sorts members by their ED to it (the LSI ordering that
-/// drives the §5.3 intra-group walk) and builds the pruning envelope.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Group {
-    /// Subsequence length `i` shared by every member.
-    len: usize,
-    /// Point-wise sum of member values (construction state for the
-    /// incremental mean).
-    sum: Vec<f64>,
-    /// Members, paired after finalization with their raw ED to the final
-    /// representative and sorted ascending by it.
-    members: Vec<(SubseqRef, f64)>,
-    /// The frozen representative (empty until finalized).
-    rep: Vec<f64>,
-    /// LB_Keogh envelope around the representative (radius recorded inside).
-    envelope: Option<Envelope>,
+/// A borrowed view of one similarity group `G^i_k`: equal-length
+/// subsequences whose normalized ED to the group representative is at most
+/// `ST/2`. Copyable and cheap — two words.
+#[derive(Debug, Clone, Copy)]
+pub struct Group<'a> {
+    slab: &'a LengthSlab,
+    local: usize,
 }
 
-impl Group {
-    /// Creates a group seeded with its first member, which doubles as the
-    /// initial representative (Algorithm 1, lines 7–10).
-    pub fn seed(r: SubseqRef, values: &[f64]) -> Self {
-        debug_assert_eq!(values.len(), r.len as usize);
-        Group {
-            len: values.len(),
-            sum: values.to_vec(),
-            members: vec![(r, 0.0)],
-            rep: Vec::new(),
-            envelope: None,
-        }
+impl<'a> Group<'a> {
+    /// A view of the group at `local` within `slab`.
+    #[inline]
+    pub(crate) fn new(slab: &'a LengthSlab, local: usize) -> Self {
+        Group { slab, local }
     }
 
     /// Member length.
     #[inline]
     pub fn len_of_members(&self) -> usize {
-        self.len
+        self.slab.subseq_len()
     }
 
     /// Number of members.
     #[inline]
     pub fn member_count(&self) -> usize {
-        self.members.len()
+        self.slab.member_count(self.local)
     }
 
-    /// Adds a member, updating the running sum (Algorithm 1, lines 16–17).
-    pub fn push(&mut self, r: SubseqRef, values: &[f64]) {
-        debug_assert_eq!(values.len(), self.len);
-        for (s, v) in self.sum.iter_mut().zip(values) {
-            *s += v;
-        }
-        self.members.push((r, 0.0));
-    }
-
-    /// The current mean (the live representative during construction).
-    /// Writes into `out` to avoid allocation in the assignment hot loop.
-    pub fn mean_into(&self, out: &mut Vec<f64>) {
-        out.clear();
-        let inv = 1.0 / self.members.len() as f64;
-        out.extend(self.sum.iter().map(|s| s * inv));
-    }
-
-    /// The frozen representative. Empty slice before finalization.
+    /// The frozen representative (its slab row). Empty slice before
+    /// finalization, mirroring the pre-columnar semantics.
     #[inline]
-    pub fn representative(&self) -> &[f64] {
-        &self.rep
+    pub fn representative(&self) -> &'a [f64] {
+        if self.slab.is_finalized(self.local) {
+            self.slab.rep_row(self.local)
+        } else {
+            &[]
+        }
     }
 
     /// Members with their raw ED to the final representative, sorted
-    /// ascending (the LSI's `EDk` array). Before finalization the distances
-    /// are zero placeholders.
+    /// ascending (the LSI's `EDk` array). Before finalization the
+    /// distances are zero placeholders.
     #[inline]
-    pub fn members(&self) -> &[(SubseqRef, f64)] {
-        &self.members
+    pub fn members(&self) -> &'a [(SubseqRef, f64)] {
+        self.slab.members(self.local)
     }
 
-    /// The representative's envelope, available after finalization.
+    /// The representative's envelope planes, available after finalization.
     #[inline]
-    pub fn envelope(&self) -> Option<&Envelope> {
-        self.envelope.as_ref()
+    pub fn envelope(&self) -> Option<EnvelopeRef<'a>> {
+        self.slab.envelope_ref(self.local)
     }
 
     /// The running point-wise sum of member values (snapshot support).
     #[inline]
-    pub(crate) fn sum(&self) -> &[f64] {
-        &self.sum
+    pub(crate) fn sum(&self) -> &'a [f64] {
+        self.slab.sum_row(self.local)
     }
 
-    /// Removes and returns members whose raw ED to the *current mean*
-    /// exceeds `limit_raw` — the eviction step of [`crate::BuildMode::Strict`].
-    pub fn evict_outside(&mut self, dataset: &Dataset, limit_raw: f64) -> Vec<SubseqRef> {
-        let mut mean = Vec::new();
-        self.mean_into(&mut mean);
-        let mut evicted = Vec::new();
-        let mut i = 0;
-        while i < self.members.len() {
-            let (r, _) = self.members[i];
-            let d = ed(dataset.subseq_unchecked(r), &mean);
-            if d > limit_raw && self.members.len() > 1 {
-                self.members.swap_remove(i);
-                let vals = dataset.subseq_unchecked(r);
-                for (s, v) in self.sum.iter_mut().zip(vals) {
-                    *s -= v;
-                }
-                evicted.push(r);
-                // mean changed; recompute for subsequent checks
-                self.mean_into(&mut mean);
-            } else {
-                i += 1;
-            }
-        }
-        evicted
-    }
-
-    /// Removes every member belonging to `series`, subtracting its values
-    /// from the running sum (resolved against the dataset *before* the
-    /// series is removed from it). Returns how many members were dropped;
-    /// when any were, the frozen representative and envelope are cleared and
-    /// the caller must re-[`Group::finalize`] (or retire the group if it is
-    /// now empty). Member order is preserved.
-    pub(crate) fn drop_series_members(&mut self, dataset: &Dataset, series: u32) -> usize {
-        let before = self.members.len();
-        let sum = &mut self.sum;
-        self.members.retain(|&(r, _)| {
-            if r.series == series {
-                let values = dataset.subseq_unchecked(r);
-                for (s, v) in sum.iter_mut().zip(values) {
-                    *s -= v;
-                }
-                false
-            } else {
-                true
-            }
-        });
-        let dropped = before - self.members.len();
-        if dropped > 0 {
-            self.rep.clear();
-            self.envelope = None;
-        }
-        dropped
-    }
-
-    /// Shifts every member reference above a removed series index down by
-    /// one. The remap is monotone, so the LSI's ED-then-ref ordering is
-    /// preserved and a finalized group stays finalized.
-    pub(crate) fn remap_series_down(&mut self, removed: u32) {
-        for (r, _) in self.members.iter_mut() {
-            if r.series > removed {
-                r.series -= 1;
-            }
-        }
-    }
-
-    /// Freezes the representative at the current mean, computes and sorts
-    /// member EDs, and builds the envelope with the given radius.
-    pub fn finalize(&mut self, dataset: &Dataset, envelope_radius: usize) {
-        let mut rep = Vec::new();
-        self.mean_into(&mut rep);
-        for (r, d) in self.members.iter_mut() {
-            *d = ed(dataset.subseq_unchecked(*r), &rep);
-        }
-        self.members
-            .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        self.envelope = Some(Envelope::build(&rep, envelope_radius));
-        self.rep = rep;
+    /// The envelope radius recorded for this group (0 until finalized).
+    #[inline]
+    pub(crate) fn env_radius(&self) -> usize {
+        self.slab.env_radius(self.local)
     }
 
     /// Maximum raw ED of any member to the final representative (0 for a
     /// singleton). Used by invariant checks and tests.
+    #[inline]
     pub fn max_member_ed(&self) -> f64 {
-        self.members.last().map_or(0.0, |&(_, d)| d)
-    }
-
-    /// Merges another group into this one (used by Algorithm 2.C cascading
-    /// merges and by incremental maintenance): sums and members combine; the
-    /// caller must re-[`Group::finalize`] afterwards.
-    pub fn absorb(&mut self, other: Group) {
-        debug_assert_eq!(self.len, other.len);
-        for (s, o) in self.sum.iter_mut().zip(&other.sum) {
-            *s += o;
-        }
-        self.members.extend(other.members);
-        self.rep.clear();
-        self.envelope = None;
-    }
-
-    /// Reassembles a finalized group from snapshot parts. The members must
-    /// already be sorted by ED and the representative frozen; the envelope
-    /// is rebuilt from the representative.
-    pub(crate) fn from_parts(
-        len: usize,
-        sum: Vec<f64>,
-        members: Vec<(SubseqRef, f64)>,
-        rep: Vec<f64>,
-        envelope_radius: usize,
-    ) -> Self {
-        let envelope = Some(Envelope::build(&rep, envelope_radius));
-        Group {
-            len,
-            sum,
-            members,
-            rep,
-            envelope,
-        }
-    }
-
-    /// Approximate heap footprint in bytes (Table 4 index-size accounting):
-    /// member array + representative + sum + envelope.
-    pub fn size_bytes(&self) -> usize {
-        self.members.capacity() * std::mem::size_of::<(SubseqRef, f64)>()
-            + (self.rep.capacity() + self.sum.capacity()) * std::mem::size_of::<f64>()
-            + self.envelope.as_ref().map_or(0, Envelope::size_bytes)
+        self.slab.max_member_ed(self.local)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use onex_ts::TimeSeries;
+    use onex_ts::{Dataset, TimeSeries};
 
-    fn dataset() -> Dataset {
-        Dataset::new(
+    #[test]
+    fn view_exposes_the_lsi_read_surface() {
+        let d = Dataset::new(
             "g",
             vec![
                 TimeSeries::new(vec![0.0, 0.0, 0.0, 0.0]).unwrap(),
                 TimeSeries::new(vec![1.0, 1.0, 1.0, 1.0]).unwrap(),
-                TimeSeries::new(vec![0.5, 0.5, 0.5, 0.5]).unwrap(),
             ],
-        )
-    }
-
-    #[test]
-    fn seed_and_incremental_mean() {
-        let d = dataset();
+        );
         let r0 = SubseqRef::new(0, 0, 4);
         let r1 = SubseqRef::new(1, 0, 4);
-        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
-        assert_eq!(g.member_count(), 1);
-        g.push(r1, d.subseq_unchecked(r1));
-        let mut mean = Vec::new();
-        g.mean_into(&mut mean);
-        assert_eq!(mean, vec![0.5, 0.5, 0.5, 0.5]);
-    }
-
-    #[test]
-    fn finalize_sorts_members_by_ed() {
-        let d = dataset();
-        let r0 = SubseqRef::new(0, 0, 4); // zeros: ED 1.0 to mean [0.5..]
-        let r1 = SubseqRef::new(1, 0, 4); // ones: ED 1.0
-        let r2 = SubseqRef::new(2, 0, 4); // halves: ED 0
-        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
-        g.push(r1, d.subseq_unchecked(r1));
-        g.push(r2, d.subseq_unchecked(r2));
-        g.finalize(&d, 1);
-        assert_eq!(g.representative(), &[0.5, 0.5, 0.5, 0.5]);
-        assert_eq!(g.members()[0].0, r2);
-        assert_eq!(g.members()[0].1, 0.0);
-        assert!((g.max_member_ed() - 1.0).abs() < 1e-12);
-        assert!(g.envelope().is_some());
-    }
-
-    #[test]
-    fn eviction_restores_invariant() {
-        let d = dataset();
-        let r0 = SubseqRef::new(2, 0, 4); // halves
-        let r1 = SubseqRef::new(1, 0, 4); // ones — far away
-        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
-        g.push(r1, d.subseq_unchecked(r1));
-        // mean is 0.75; ones are at raw ED 0.5, halves at 0.5.
-        let evicted = g.evict_outside(&d, 0.4);
-        assert_eq!(evicted.len(), 1);
-        assert_eq!(g.member_count(), 1);
-        // remaining member is within the limit of the new mean
-        let mut mean = Vec::new();
-        g.mean_into(&mut mean);
-        let (r, _) = g.members()[0];
-        assert!(ed(d.subseq_unchecked(r), &mean) <= 0.4);
-    }
-
-    #[test]
-    fn eviction_never_empties_group() {
-        let d = dataset();
-        let r1 = SubseqRef::new(1, 0, 4);
-        let mut g = Group::seed(r1, d.subseq_unchecked(r1));
-        let evicted = g.evict_outside(&d, 0.0);
-        assert!(evicted.is_empty());
-        assert_eq!(g.member_count(), 1);
-    }
-
-    #[test]
-    fn absorb_merges_sums_and_members() {
-        let d = dataset();
-        let r0 = SubseqRef::new(0, 0, 4);
-        let r1 = SubseqRef::new(1, 0, 4);
-        let mut a = Group::seed(r0, d.subseq_unchecked(r0));
-        let b = Group::seed(r1, d.subseq_unchecked(r1));
-        a.absorb(b);
-        assert_eq!(a.member_count(), 2);
-        let mut mean = Vec::new();
-        a.mean_into(&mut mean);
-        assert_eq!(mean, vec![0.5, 0.5, 0.5, 0.5]);
-        // finalize required again
-        assert!(a.envelope().is_none());
-        a.finalize(&d, 1);
-        assert_eq!(a.representative(), &[0.5, 0.5, 0.5, 0.5]);
-    }
-
-    #[test]
-    fn drop_series_members_updates_sum_and_clears_finalization() {
-        let d = dataset();
-        let r0 = SubseqRef::new(0, 0, 4); // zeros
-        let r1 = SubseqRef::new(1, 0, 4); // ones
-        let r2 = SubseqRef::new(2, 0, 4); // halves
-        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
-        g.push(r1, d.subseq_unchecked(r1));
-        g.push(r2, d.subseq_unchecked(r2));
-        g.finalize(&d, 1);
-        assert_eq!(g.drop_series_members(&d, 1), 1);
-        assert_eq!(g.member_count(), 2);
-        assert!(g.envelope().is_none());
-        let mut mean = Vec::new();
-        g.mean_into(&mut mean);
-        assert_eq!(mean, vec![0.25, 0.25, 0.25, 0.25]);
-        // dropping a series with no members is a no-op that keeps state
-        g.finalize(&d, 1);
-        assert_eq!(g.drop_series_members(&d, 1), 0);
-        assert!(g.envelope().is_some());
-        // dropping everything empties the group (caller retires it)
-        assert_eq!(g.drop_series_members(&d, 0), 1);
-        assert_eq!(g.drop_series_members(&d, 2), 1);
-        assert_eq!(g.member_count(), 0);
-    }
-
-    #[test]
-    fn remap_series_down_shifts_only_later_series() {
-        let d = dataset();
-        let r0 = SubseqRef::new(0, 0, 4);
-        let r2 = SubseqRef::new(2, 0, 4);
-        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
-        g.push(r2, d.subseq_unchecked(r2));
-        g.remap_series_down(1);
-        assert_eq!(g.members()[0].0.series, 0);
-        assert_eq!(g.members()[1].0.series, 1);
-    }
-
-    #[test]
-    fn size_accounting() {
-        let d = dataset();
-        let r0 = SubseqRef::new(0, 0, 4);
-        let mut g = Group::seed(r0, d.subseq_unchecked(r0));
-        g.finalize(&d, 1);
-        assert!(g.size_bytes() > 0);
+        let mut slab = LengthSlab::new(4);
+        let g = slab.seed(r0, d.subseq_unchecked(r0));
+        slab.push_member(g, r1, d.subseq_unchecked(r1));
+        // Before finalization the view reports an empty rep / no envelope.
+        let view = Group::new(&slab, g);
+        assert!(view.representative().is_empty());
+        assert!(view.envelope().is_none());
+        assert_eq!(view.member_count(), 2);
+        slab.finalize(g, &d, 1);
+        let view = Group::new(&slab, g);
+        assert_eq!(view.len_of_members(), 4);
+        assert_eq!(view.representative(), &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(view.members().len(), 2);
+        assert!(view.envelope().is_some());
+        assert!((view.max_member_ed() - 1.0).abs() < 1e-12);
     }
 }

@@ -12,7 +12,8 @@
 //! threshold is far below the dataset's intrinsic spread and exact merge
 //! cascades over a multi-gigabyte matrix would be pointless (DESIGN.md §5).
 
-use crate::{Group, GroupId};
+use crate::store::LengthSlab;
+use crate::GroupId;
 use onex_dist::ed_normalized;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -46,11 +47,12 @@ pub struct LengthIndex {
 }
 
 impl LengthIndex {
-    /// Builds the entry from this length's groups. `st` is the base's
+    /// Builds the entry from this length's group slab (the representatives
+    /// are read straight off the contiguous rep slab). `st` is the base's
     /// construction threshold (critical thresholds are `ST + merge-distance`).
-    pub fn build(len: usize, group_ids: Vec<GroupId>, groups: &[&Group], st: f64) -> Self {
-        debug_assert_eq!(group_ids.len(), groups.len());
-        let g = groups.len();
+    pub fn build(len: usize, group_ids: Vec<GroupId>, slab: &LengthSlab, st: f64) -> Self {
+        debug_assert_eq!(group_ids.len(), slab.group_count());
+        let g = slab.group_count();
         let dense = g <= DC_DENSE_LIMIT;
 
         let mut dc = Vec::new();
@@ -60,7 +62,7 @@ impl LengthIndex {
             dc = vec![0.0; g * g];
             for i in 0..g {
                 for j in (i + 1)..g {
-                    let d = ed_normalized(groups[i].representative(), groups[j].representative());
+                    let d = ed_normalized(slab.rep_row(i), slab.rep_row(j));
                     dc[i * g + j] = d;
                     dc[j * g + i] = d;
                 }
@@ -81,21 +83,14 @@ impl LengthIndex {
                 .map(|i| {
                     let s: f64 = sample
                         .iter()
-                        .map(|&j| {
-                            ed_normalized(groups[i].representative(), groups[j].representative())
-                        })
+                        .map(|&j| ed_normalized(slab.rep_row(i), slab.rep_row(j)))
                         .sum();
                     (i as u32, s * scale)
                 })
                 .collect();
             let m = sample.len();
             let (h, f) = critical_thresholds(
-                |a, b| {
-                    ed_normalized(
-                        groups[sample[a]].representative(),
-                        groups[sample[b]].representative(),
-                    )
-                },
+                |a, b| ed_normalized(slab.rep_row(sample[a]), slab.rep_row(sample[b])),
                 m,
                 st,
             );
@@ -263,32 +258,27 @@ mod tests {
     use super::*;
     use onex_ts::{Dataset, SubseqRef, TimeSeries};
 
-    /// Builds finalized single-member groups with the given representative
-    /// values (each rep is its own member).
-    fn groups_from(reps: &[Vec<f64>]) -> (Dataset, Vec<Group>) {
+    /// Builds a slab of finalized single-member groups with the given
+    /// representative values (each rep is its own member).
+    fn groups_from(reps: &[Vec<f64>]) -> (Dataset, LengthSlab) {
         let series: Vec<TimeSeries> = reps
             .iter()
             .map(|r| TimeSeries::new(r.clone()).unwrap())
             .collect();
         let d = Dataset::new("idx", series);
-        let groups: Vec<Group> = reps
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let rf = SubseqRef::new(i as u32, 0, r.len() as u32);
-                let mut g = Group::seed(rf, d.subseq_unchecked(rf));
-                g.finalize(&d, 1);
-                g
-            })
-            .collect();
-        (d, groups)
+        let mut slab = LengthSlab::new(reps[0].len());
+        for (i, r) in reps.iter().enumerate() {
+            let rf = SubseqRef::new(i as u32, 0, r.len() as u32);
+            let local = slab.seed(rf, d.subseq_unchecked(rf));
+            slab.finalize(local, &d, 1);
+        }
+        (d, slab)
     }
 
     #[test]
     fn dc_matrix_is_symmetric_with_zero_diagonal() {
-        let (_d, groups) = groups_from(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, vec![0, 1, 2], &refs, 0.2);
+        let (_d, slab) = groups_from(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]]);
+        let idx = LengthIndex::build(2, vec![0, 1, 2], &slab, 0.2);
         assert!(idx.dc_is_dense());
         for i in 0..3 {
             assert_eq!(idx.dc(i, i), Some(0.0));
@@ -304,9 +294,8 @@ mod tests {
     #[test]
     fn critical_thresholds_from_merge_cascade() {
         // Reps at 0.0, 0.1, 1.0 (constant sequences): MST edges 0.1 and 0.9.
-        let (_d, groups) = groups_from(&[vec![0.0, 0.0], vec![0.1, 0.1], vec![1.0, 1.0]]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, vec![0, 1, 2], &refs, 0.2);
+        let (_d, slab) = groups_from(&[vec![0.0, 0.0], vec![0.1, 0.1], vec![1.0, 1.0]]);
+        let idx = LengthIndex::build(2, vec![0, 1, 2], &slab, 0.2);
         // g=3: half merged after 1 merge -> ST + 0.1; all after 2 -> ST + 0.9.
         assert!((idx.st_half - 0.3).abs() < 1e-9, "st_half {}", idx.st_half);
         assert!(
@@ -319,24 +308,22 @@ mod tests {
 
     #[test]
     fn single_group_thresholds_collapse_to_st() {
-        let (_d, groups) = groups_from(&[vec![0.0, 0.0]]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, vec![0], &refs, 0.25);
+        let (_d, slab) = groups_from(&[vec![0.0, 0.0]]);
+        let idx = LengthIndex::build(2, vec![0], &slab, 0.25);
         assert_eq!(idx.st_half, 0.25);
         assert_eq!(idx.st_final, 0.25);
     }
 
     #[test]
     fn median_out_visits_every_group_once() {
-        let (_d, groups) = groups_from(&[
+        let (_d, slab) = groups_from(&[
             vec![0.0, 0.0],
             vec![0.2, 0.2],
             vec![0.4, 0.4],
             vec![0.9, 0.9],
             vec![1.0, 1.0],
         ]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, (0..5).collect(), &refs, 0.2);
+        let idx = LengthIndex::build(2, (0..5).collect(), &slab, 0.2);
         let visited: Vec<usize> = idx.median_out_order().collect();
         assert_eq!(visited.len(), 5);
         let mut sorted = visited.clone();
@@ -346,15 +333,14 @@ mod tests {
 
     #[test]
     fn median_out_starts_at_median_sum() {
-        let (_d, groups) = groups_from(&[
+        let (_d, slab) = groups_from(&[
             vec![0.0, 0.0],
             vec![0.2, 0.2],
             vec![0.4, 0.4],
             vec![0.9, 0.9],
             vec![1.0, 1.0],
         ]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, (0..5).collect(), &refs, 0.2);
+        let idx = LengthIndex::build(2, (0..5).collect(), &slab, 0.2);
         let first = idx.median_out_order().next().unwrap();
         let sums: Vec<f64> = (0..5)
             .map(|i| (0..5).map(|j| idx.dc(i, j).unwrap()).sum::<f64>())
@@ -377,9 +363,8 @@ mod tests {
 
     #[test]
     fn median_out_empty_and_singleton() {
-        let (_d, groups) = groups_from(&[vec![0.0, 0.0]]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, vec![0], &refs, 0.2);
+        let (_d, slab) = groups_from(&[vec![0.0, 0.0]]);
+        let idx = LengthIndex::build(2, vec![0], &slab, 0.2);
         assert_eq!(idx.median_out_order().collect::<Vec<_>>(), vec![0]);
     }
 
@@ -395,9 +380,8 @@ mod tests {
                 vec![v, v]
             })
             .collect();
-        let (_d, groups) = groups_from(&reps);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, (0..n as u32).collect(), &refs, 0.2);
+        let (_d, slab) = groups_from(&reps);
+        let idx = LengthIndex::build(2, (0..n as u32).collect(), &slab, 0.2);
         assert!(!idx.dc_is_dense());
         assert_eq!(idx.dc(0, 1), None);
         // derived quantities still usable
@@ -410,9 +394,8 @@ mod tests {
 
     #[test]
     fn size_accounting() {
-        let (_d, groups) = groups_from(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
-        let refs: Vec<&Group> = groups.iter().collect();
-        let idx = LengthIndex::build(2, vec![0, 1], &refs, 0.2);
+        let (_d, slab) = groups_from(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let idx = LengthIndex::build(2, vec![0, 1], &slab, 0.2);
         assert!(idx.size_bytes() >= 4 * 8);
     }
 }

@@ -17,8 +17,13 @@
 //!   ids, the pairwise Inter-Representative Distance matrix `Dc` (Def. 10),
 //!   the sum-ordered representative list driving the median-sum search
 //!   optimization (§5.3), and the per-length critical thresholds.
-//! * [`group::Group`] — the paper's LSI: members sorted by ED to the
-//!   representative, the representative itself, and its LB_Keogh envelope.
+//! * [`store::GroupStore`] / [`store::LengthSlab`] — the paper's LSI made
+//!   **columnar**: per length, all representatives packed row-major in one
+//!   contiguous slab (stride = length), envelope lo/hi planes and running
+//!   sums in parallel slabs, member lists in parallel arrays.
+//!   [`group::Group`] is a lightweight view over one slab row: members
+//!   sorted by ED to the representative, the representative itself, and
+//!   its LB_Keogh envelope.
 //! * [`spspace::SpSpace`] — the Similarity Parameter Space (§4.2): per-length
 //!   and global `ST_half` / `ST_final` values and the Strict/Medium/Loose
 //!   similarity degrees.
@@ -72,6 +77,7 @@ pub mod query;
 pub mod refine;
 pub mod snapshot;
 pub mod spspace;
+pub mod store;
 
 pub use base::{BaseStats, OnexBase};
 pub use config::{BuildMode, ClusterStrategy, OnexConfig};
@@ -85,6 +91,7 @@ pub use group::{Group, GroupId};
 pub use query::SimilarityQuery;
 pub use query::{Match, MatchMode, SeasonalResult};
 pub use spspace::{SimilarityDegree, SpSpace, ThresholdRange};
+pub use store::{GroupStore, LengthFootprint, LengthSlab, StoreFootprint};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, OnexError>;

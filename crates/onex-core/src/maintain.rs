@@ -5,7 +5,9 @@
 //! the data already indexed. Removing a series is the inverse: its
 //! subsequences are dropped from their groups, emptied groups are retired,
 //! shrunk groups re-elect their representative (the point-wise mean of the
-//! survivors), and only the touched per-length indexes are rebuilt.
+//! survivors), and only the touched per-length slabs are rebuilt. All of it
+//! mutates the columnar [`LengthSlab`]s in place — untouched lengths pass
+//! through without copying a single row.
 //!
 //! The public surface is [`crate::engine::Explorer::append_series`] /
 //! [`crate::engine::Explorer::remove_series`], which run these constructions
@@ -19,8 +21,9 @@
 //! `[0, 1]`; this mirrors streaming practice (re-normalizing would
 //! invalidate every stored distance) and is documented behaviour.
 
-use crate::build::{Assigner, LengthGroups};
-use crate::{BuildMode, Group, OnexBase, Result};
+use crate::build::Assigner;
+use crate::store::LengthSlab;
+use crate::{BuildMode, OnexBase, Result};
 use onex_ts::TimeSeries;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,7 +46,7 @@ pub fn append_series(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, us
 pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(OnexBase, usize)> {
     let config = *base.config();
     let norm = base.normalizer().copied();
-    let (mut dataset, _, _, groups, length_map) = base.into_parts();
+    let (mut dataset, _, _, store, _) = base.into_parts();
 
     // Project into the base's value space.
     let series = match &norm {
@@ -58,11 +61,15 @@ pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(
     };
     let new_index = dataset.push(series);
 
-    let mut per_length = bucket_by_length(groups, &length_map);
+    let mut per_length: BTreeMap<usize, LengthSlab> = store
+        .into_slabs()
+        .into_iter()
+        .map(|s| (s.subseq_len(), s))
+        .collect();
 
     // Assign the new series' subsequences length by length. Lengths the base
     // has never seen (the new series may be longer than any existing one)
-    // start from an empty assigner.
+    // start from an empty slab.
     let new_len = dataset.get(new_index)?.len();
     let mut touched: BTreeSet<usize> = config.decomposition.lengths_for(new_len).collect();
     let all_lengths: BTreeSet<usize> = per_length
@@ -71,19 +78,18 @@ pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(
         .chain(touched.iter().copied())
         .collect();
 
-    let mut rebuilt: Vec<LengthGroups> = Vec::new();
+    let mut rebuilt: Vec<LengthSlab> = Vec::new();
     for len in all_lengths {
-        let existing = per_length.remove(&len).unwrap_or_default();
+        let existing = per_length
+            .remove(&len)
+            .unwrap_or_else(|| LengthSlab::new(len));
         if !touched.remove(&len) {
-            // Untouched length: groups pass through unchanged (already
+            // Untouched length: the slab passes through unchanged (already
             // finalized).
-            rebuilt.push(LengthGroups {
-                len,
-                groups: existing,
-            });
+            rebuilt.push(existing);
             continue;
         }
-        let mut asg = Assigner::with_groups(len, config.st, existing);
+        let mut asg = Assigner::with_slab(config.st, existing);
         let start_max = new_len - len;
         let mut start = 0usize;
         while start <= start_max {
@@ -91,9 +97,9 @@ pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(
             asg.assign(&dataset, r);
             start += config.decomposition.start_stride;
         }
-        rebuilt.push(finish_length(len, asg, &dataset, &config));
+        rebuilt.push(finish_length(asg, &dataset, &config));
     }
-    rebuilt.sort_by_key(|lg| lg.len);
+    rebuilt.sort_by_key(LengthSlab::subseq_len);
     Ok((
         OnexBase::assemble(dataset, norm, config, rebuilt),
         new_index,
@@ -102,7 +108,7 @@ pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(
 
 /// Removes the series at `index` and returns the updated base together with
 /// the removed series: the inverse of [`append_series_impl`]. The series'
-/// subsequences are dropped from their groups (running sums corrected),
+/// subsequences are dropped from their groups (running sum rows corrected),
 /// groups left empty are retired, shrunk groups re-elect their
 /// representative, and every surviving member reference is remapped past the
 /// removed slot. Only the groups that actually shrank are re-finalized
@@ -117,26 +123,27 @@ pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(
 pub(crate) fn remove_series_impl(base: OnexBase, index: usize) -> Result<(OnexBase, TimeSeries)> {
     let config = *base.config();
     let norm = base.normalizer().copied();
-    let (mut dataset, _, _, groups, length_map) = base.into_parts();
+    let (mut dataset, _, _, store, _) = base.into_parts();
     // Validate before touching any group state.
     dataset.get(index)?;
     let series = index as u32;
 
     // Drop the series' members while the dataset still resolves them,
-    // retiring groups that emptied and splitting each length bucket into
+    // retiring groups that emptied and splitting each length into
     // untouched groups (still finalized) and shrunk ones.
-    let mut per_length: BTreeMap<usize, (Vec<Group>, Vec<Group>)> = BTreeMap::new();
-    for (len, bucket) in bucket_by_length(groups, &length_map) {
-        let (mut untouched, mut shrunk) = (Vec::new(), Vec::new());
-        for mut g in bucket {
-            let dropped = g.drop_series_members(&dataset, series);
-            if g.member_count() == 0 {
+    let mut per_length: BTreeMap<usize, (LengthSlab, LengthSlab)> = BTreeMap::new();
+    for mut slab in store.into_slabs() {
+        let len = slab.subseq_len();
+        let (mut untouched, mut shrunk) = (LengthSlab::new(len), LengthSlab::new(len));
+        for local in 0..slab.group_count() {
+            let dropped = slab.drop_series_members(local, &dataset, series);
+            if slab.member_count(local) == 0 {
                 continue; // retired
             }
             if dropped > 0 {
-                shrunk.push(g);
+                slab.move_group_into(local, &mut shrunk);
             } else {
-                untouched.push(g);
+                slab.move_group_into(local, &mut untouched);
             }
         }
         per_length.insert(len, (untouched, shrunk));
@@ -147,63 +154,41 @@ pub(crate) fn remove_series_impl(base: OnexBase, index: usize) -> Result<(OnexBa
     // Remap surviving references past the removed slot. The remap is
     // monotone, so finalized (untouched) groups stay correctly ordered.
     for (untouched, shrunk) in per_length.values_mut() {
-        for g in untouched.iter_mut().chain(shrunk.iter_mut()) {
-            g.remap_series_down(series);
-        }
+        untouched.remap_series_down(series);
+        shrunk.remap_series_down(series);
     }
 
-    let mut rebuilt: Vec<LengthGroups> = Vec::new();
-    for (len, (mut groups, shrunk)) in per_length {
+    let mut rebuilt: Vec<LengthSlab> = Vec::new();
+    for (_, (mut slab, shrunk)) in per_length {
         if !shrunk.is_empty() {
             // Shrunk groups: means moved, so re-repair (Strict) and
             // re-finalize exactly like the append path — but only them.
-            let asg = Assigner::with_groups(len, config.st, shrunk);
-            groups.extend(finish_length(len, asg, &dataset, &config).groups);
+            let asg = Assigner::with_slab(config.st, shrunk);
+            slab.extend_from(finish_length(asg, &dataset, &config));
         }
-        if groups.is_empty() {
+        if slab.is_empty() {
             continue; // the removed series was the only one this long
         }
-        rebuilt.push(LengthGroups { len, groups });
+        rebuilt.push(slab);
     }
     Ok((OnexBase::assemble(dataset, norm, config, rebuilt), removed))
-}
-
-/// Re-distributes the flat group table into per-length buckets, preserving
-/// the id order recorded in each LengthIndex.
-fn bucket_by_length(
-    groups: Vec<Group>,
-    length_map: &BTreeMap<usize, crate::index::LengthIndex>,
-) -> BTreeMap<usize, Vec<Group>> {
-    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
-    let mut per_length: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
-    for (len, idx) in length_map {
-        let bucket: Vec<Group> = idx
-            .group_ids
-            .iter()
-            .map(|&id| slots[id as usize].take().expect("group id unique"))
-            .collect();
-        per_length.insert(*len, bucket);
-    }
-    per_length
 }
 
 /// Invariant repair + finalization for one touched length (shared by the
 /// append and remove paths).
 fn finish_length(
-    len: usize,
     mut asg: Assigner,
     dataset: &onex_ts::Dataset,
     config: &crate::OnexConfig,
-) -> LengthGroups {
+) -> LengthSlab {
     if config.build_mode == BuildMode::Strict {
         asg.enforce_invariant(dataset);
     }
+    let mut slab = asg.slab;
+    let len = slab.subseq_len();
     let radius = config.window.resolve(len, len);
-    let mut groups = asg.groups;
-    for g in groups.iter_mut() {
-        g.finalize(dataset, radius);
-    }
-    LengthGroups { len, groups }
+    slab.finalize_all(dataset, radius);
+    slab
 }
 
 #[cfg(test)]
@@ -211,7 +196,7 @@ mod tests {
     use super::*;
     use crate::engine::{Explorer, QueryOptions};
     use crate::{MatchMode, OnexConfig, OnexError};
-    use onex_ts::synth;
+    use onex_ts::{synth, SubseqRef};
 
     #[test]
     fn appended_series_is_queryable() {
@@ -360,19 +345,32 @@ mod tests {
         let d = synth::sine_mix(6, 12, 2, 19);
         let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
         let removed_series = 4u32;
-        let before: Vec<Group> = base
+        // Snapshot the untouched groups' state (with the monotone remap
+        // applied by hand) before the removal.
+        let remap = |r: SubseqRef| {
+            let mut r = r;
+            if r.series > removed_series {
+                r.series -= 1;
+            }
+            r
+        };
+        type GroupState = (Vec<(SubseqRef, f64)>, Vec<f64>);
+        let before: Vec<GroupState> = base
             .groups()
-            .iter()
             .filter(|g| g.members().iter().all(|&(r, _)| r.series != removed_series))
-            .cloned()
+            .map(|g| {
+                (
+                    g.members().iter().map(|&(r, d)| (remap(r), d)).collect(),
+                    g.representative().to_vec(),
+                )
+            })
             .collect();
         let (after, _) = remove_series_impl(base, removed_series as usize).unwrap();
-        for mut g in before {
-            g.remap_series_down(removed_series);
-            assert!(
-                after.groups().contains(&g),
-                "untouched group must survive unchanged"
-            );
+        for (members, rep) in before {
+            let survived = after
+                .groups()
+                .any(|g| g.members() == &members[..] && g.representative() == &rep[..]);
+            assert!(survived, "untouched group must survive unchanged");
         }
     }
 

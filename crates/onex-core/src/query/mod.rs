@@ -2,7 +2,7 @@
 //!
 //! The unified entry point is [`crate::engine::Explorer`], which answers
 //! every query class through one typed request/response API from `&self`.
-//! This module holds the search core ([`similarity`]) and the legacy
+//! This module holds the search core (the `similarity` submodule) and the legacy
 //! per-class entry points, kept as thin deprecated shims over the same
 //! internals:
 //!

@@ -34,9 +34,11 @@
 
 use super::validate_query;
 use crate::index::LengthIndex;
-use crate::{Group, GroupId, OnexBase, OnexConfig, OnexError, Result};
+use crate::store::LengthSlab;
+use crate::{GroupId, OnexBase, OnexConfig, OnexError, Result};
 use onex_dist::{
-    lb_keogh, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl, DtwBuffer, Envelope, Window,
+    lb_keogh, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl, DtwBuffer, Envelope,
+    EnvelopeRef, Window,
 };
 use onex_ts::SubseqRef;
 use std::time::Instant;
@@ -259,6 +261,8 @@ impl SearchCtx {
 /// Best-representative search result for one length.
 struct RepChoice {
     group: GroupId,
+    /// Local position within the length's slab.
+    local: usize,
     /// Raw DTW between query and the representative.
     raw: f64,
 }
@@ -301,7 +305,7 @@ enum Candidate {
 fn cascade_eval(
     q: &[f64],
     cand: &[f64],
-    cand_env: Option<&Envelope>,
+    cand_env: Option<EnvelopeRef<'_>>,
     cutoff: f64,
     p: &SearchParams,
     ctx: &mut SearchCtx,
@@ -447,8 +451,9 @@ pub(crate) fn top_k(
             }
             continue;
         };
+        let slab = base.slab(len).expect("indexed length has a slab");
         ctx.stats.lengths_visited += 1;
-        let choices = best_reps(base, q, idx, p.explore_top_groups.max(1), p, ctx);
+        let choices = best_reps(q, idx, slab, p.explore_top_groups.max(1), p, ctx);
         let mut qualified = false;
         for c in &choices {
             let scale = 2.0 * q.len().max(len) as f64;
@@ -456,8 +461,7 @@ pub(crate) fn top_k(
             if norm <= p.st / 2.0 {
                 qualified = true;
             }
-            let group = base.group(c.group);
-            for &(r, _) in group.members() {
+            for &(r, _) in slab.members(c.local) {
                 if ctx.out_of_budget(p) {
                     break;
                 }
@@ -564,6 +568,7 @@ pub(crate) fn within_threshold(
         let Some(idx) = base.length_index(len) else {
             continue;
         };
+        let slab = base.slab(len).expect("indexed length has a slab");
         ctx.stats.lengths_visited += 1;
         let norm = 2.0 * q.len().max(len) as f64;
         for local in idx.median_out_order() {
@@ -571,7 +576,6 @@ pub(crate) fn within_threshold(
                 break 'lengths;
             }
             let gid = idx.group_ids[local];
-            let group = base.group(gid);
             ctx.stats.reps_examined += 1;
             // Reps beyond 1.5·ST can contain no qualifying member even
             // under verification (member ≤ ST and Lemma-2-style bounds
@@ -579,8 +583,8 @@ pub(crate) fn within_threshold(
             let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
             let Some(raw) = cascade_eval(
                 q,
-                group.representative(),
-                group.envelope(),
+                slab.rep_row(local),
+                slab.envelope_ref(local),
                 scan_limit * norm,
                 p,
                 ctx,
@@ -592,7 +596,7 @@ pub(crate) fn within_threshold(
             if rep_norm <= st / 2.0 && !verify {
                 // Certified: every member qualifies (Lemma 2). `dist` and
                 // `raw_dtw` are the representative's — see the fn docs.
-                for &(r, _) in group.members() {
+                for &(r, _) in slab.members(local) {
                     out.push(Match {
                         subseq: r,
                         dist: rep_norm,
@@ -602,7 +606,7 @@ pub(crate) fn within_threshold(
                     });
                 }
             } else if rep_norm <= scan_limit && verify {
-                for &(r, _) in group.members() {
+                for &(r, _) in slab.members(local) {
                     if ctx.out_of_budget(p) {
                         break 'lengths;
                     }
@@ -641,14 +645,15 @@ fn best_match_at_length(
     let idx = base
         .length_index(len)
         .ok_or(OnexError::NoGroupsForLength(len))?;
+    let slab = base.slab(len).ok_or(OnexError::NoGroupsForLength(len))?;
     ctx.stats.lengths_visited += 1;
     let top = p.explore_top_groups.max(1);
-    let choices = best_reps(base, q, idx, top, p, ctx);
+    let choices = best_reps(q, idx, slab, top, p, ctx);
     let mut best: Option<Match> = None;
     let mut cutoff = cutoff_raw.unwrap_or(f64::INFINITY);
     for c in &choices {
         let rep_norm = c.raw / (2.0 * q.len().max(len) as f64);
-        if let Some((r, raw)) = best_in_group(base, q, base.group(c.group), c.raw, cutoff, p, ctx) {
+        if let Some((r, raw)) = best_in_group(base, q, slab, c.local, c.raw, cutoff, p, ctx) {
             if raw < cutoff {
                 cutoff = raw;
                 best = Some(Match {
@@ -760,11 +765,13 @@ fn best_match_any(
 
 /// Best `top` representatives of a length by raw DTW to the query, in
 /// median-sum order, each run through the full [`cascade_eval`] pipeline
-/// against the running `top`-th-best cutoff.
+/// against the running `top`-th-best cutoff. The representative vectors
+/// and envelope planes are read straight off the length's columnar slab —
+/// contiguous rows, no per-group pointer chase.
 fn best_reps(
-    base: &OnexBase,
     q: &[f64],
     idx: &LengthIndex,
+    slab: &LengthSlab,
     top: usize,
     p: &SearchParams,
     ctx: &mut SearchCtx,
@@ -776,17 +783,27 @@ fn best_reps(
             break;
         }
         let gid = idx.group_ids[local];
-        let group = base.group(gid);
-        let rep = group.representative();
+        let rep = slab.rep_row(local);
         ctx.stats.reps_examined += 1;
-        let Some(raw) = cascade_eval(q, rep, group.envelope(), cutoff, p, ctx, Candidate::Rep)
-        else {
+        let Some(raw) = cascade_eval(
+            q,
+            rep,
+            slab.envelope_ref(local),
+            cutoff,
+            p,
+            ctx,
+            Candidate::Rep,
+        ) else {
             continue;
         };
         if raw >= cutoff && kept.len() >= top {
             continue;
         }
-        kept.push(RepChoice { group: gid, raw });
+        kept.push(RepChoice {
+            group: gid,
+            local,
+            raw,
+        });
         kept.sort_by(|a, b| a.raw.total_cmp(&b.raw));
         kept.truncate(top);
         if kept.len() == top {
@@ -804,16 +821,18 @@ fn best_reps(
 /// consecutive non-improvements (an LB-pruned member is provably
 /// non-improving, so pruning never changes the walk's trajectory).
 /// `exhaustive_group_search` evaluates every member.
+#[allow(clippy::too_many_arguments)]
 fn best_in_group(
     base: &OnexBase,
     q: &[f64],
-    group: &Group,
+    slab: &LengthSlab,
+    local: usize,
     rep_raw_dtw: f64,
     initial_cutoff: f64,
     p: &SearchParams,
     ctx: &mut SearchCtx,
 ) -> Option<(SubseqRef, f64)> {
-    let members = group.members();
+    let members = slab.members(local);
     if members.is_empty() {
         return None;
     }
@@ -922,7 +941,7 @@ fn best_in_group(
 }
 
 /// Legacy reusable similarity-query processor over one base. Owns one
-/// [`SearchCtx`] (DTW scratch buffer + counters), so repeated queries
+/// `SearchCtx` (DTW scratch buffer + counters), so repeated queries
 /// allocate nothing — but the `&mut self` receiver serializes callers.
 ///
 /// Deprecated: [`crate::engine::Explorer`] answers the same queries (and
@@ -961,7 +980,7 @@ impl<'a> SimilarityQuery<'a> {
         out
     }
 
-    /// Top-`k` most similar subsequences; see [`top_k`].
+    /// Top-`k` most similar subsequences; see the module-level `top_k`.
     pub fn top_k(
         &mut self,
         q: &[f64],
@@ -975,7 +994,7 @@ impl<'a> SimilarityQuery<'a> {
         out
     }
 
-    /// Range query; see [`within_threshold`].
+    /// Range query; see the module-level `within_threshold`.
     pub fn within_threshold(
         &mut self,
         q: &[f64],

@@ -11,15 +11,18 @@
 //!   enable further merges), exactly as §5.2 case 3.2a describes. Pairs with
 //!   `Dc > ST'` can never merge and are kept as-is (case 3.1).
 //!
-//! The result is a fresh [`OnexBase`] whose `config.st` is `ST'` and whose
-//! indexes (Dc, sum order, SP-Space) are rebuilt over the refined groups.
+//! Both directions mutate the per-length [`LengthSlab`]s in place (splits
+//! rebuild a fresh slab per source group; merges combine sum rows and
+//! member lists, then compact). The result is a fresh [`OnexBase`] whose
+//! `config.st` is `ST'` and whose indexes (Dc, sum order, SP-Space) are
+//! rebuilt over the refined slabs.
 
-use crate::build::{Assigner, LengthGroups};
-use crate::{BuildMode, Group, OnexBase, OnexError, Result};
+use crate::build::Assigner;
+use crate::store::LengthSlab;
+use crate::{BuildMode, OnexBase, OnexError, Result};
 use onex_dist::ed_normalized;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// Refines `base` to the new threshold `st_prime`, reusing the precomputed
 /// grouping (split or cascade-merge) instead of rebuilding from raw data.
@@ -44,41 +47,34 @@ pub(crate) fn refine_impl(base: &OnexBase, st_prime: f64) -> Result<OnexBase> {
         return Ok(base.clone());
     }
 
-    // Pull the groups out per length.
-    let mut per_length: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
-    for idx in base.length_indexes() {
-        let groups: Vec<Group> = idx
-            .group_ids
-            .iter()
-            .map(|&id| base.group(id).clone())
-            .collect();
-        per_length.insert(idx.len, groups);
-    }
-
     let mut new_config = *base.config();
     new_config.st = st_prime;
     let dataset = base.dataset().clone();
     let mut rng = SmallRng::seed_from_u64(base.config().seed ^ st_prime.to_bits());
 
-    let refined: Vec<LengthGroups> = per_length
-        .into_iter()
-        .map(|(len, groups)| {
-            let groups = if st_prime < st {
-                split_groups(&dataset, len, groups, &new_config)
+    // Per-length slabs, cloned out of the store (ascending by length, the
+    // same order the old per-length map iterated).
+    let refined: Vec<LengthSlab> = base
+        .store()
+        .slabs()
+        .iter()
+        .cloned()
+        .map(|slab| {
+            if st_prime < st {
+                split_groups(&dataset, slab, &new_config)
             } else {
-                merge_groups(&dataset, len, groups, st, st_prime, &mut rng)
-            };
-            LengthGroups { len, groups }
+                merge_groups(slab, st, st_prime, &mut rng)
+            }
         })
         .collect();
 
     let mut out = Vec::with_capacity(refined.len());
-    for mut lg in refined {
-        let radius = new_config.window.resolve(lg.len, lg.len);
-        for g in lg.groups.iter_mut() {
-            g.finalize(&dataset, radius);
-        }
-        out.push(lg);
+    for mut slab in refined {
+        let radius = new_config
+            .window
+            .resolve(slab.subseq_len(), slab.subseq_len());
+        slab.finalize_all(&dataset, radius);
+        out.push(slab);
     }
     Ok(OnexBase::assemble(
         dataset,
@@ -93,51 +89,43 @@ pub(crate) fn refine_impl(base: &OnexBase, st_prime: f64) -> Result<OnexBase> {
 /// *within* precomputed groups).
 fn split_groups(
     dataset: &onex_ts::Dataset,
-    len: usize,
-    groups: Vec<Group>,
+    slab: LengthSlab,
     config: &crate::OnexConfig,
-) -> Vec<Group> {
-    let mut out = Vec::with_capacity(groups.len());
-    for g in groups {
+) -> LengthSlab {
+    let len = slab.subseq_len();
+    let mut out = LengthSlab::new(len);
+    for local in 0..slab.group_count() {
         let mut asg = Assigner::new(len, config.st);
-        for &(r, _) in g.members() {
+        for &(r, _) in slab.members(local) {
             asg.assign(dataset, r);
         }
         if config.build_mode == BuildMode::Strict {
             asg.enforce_invariant(dataset);
         }
-        out.extend(asg.groups);
+        out.extend_from(asg.slab);
     }
     out
 }
 
-/// `ST' > ST`: cascading merges of qualifying pairs in random order.
-fn merge_groups(
-    dataset: &onex_ts::Dataset,
-    _len: usize,
-    groups: Vec<Group>,
-    st: f64,
-    st_prime: f64,
-    rng: &mut SmallRng,
-) -> Vec<Group> {
+/// `ST' > ST`: cascading merges of qualifying pairs in random order,
+/// in place over the slab's sum rows and member lists.
+fn merge_groups(mut slab: LengthSlab, st: f64, st_prime: f64, rng: &mut SmallRng) -> LengthSlab {
     let margin = st_prime - st;
-    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
-    let mut means: Vec<Option<Vec<f64>>> = slots
-        .iter()
-        .map(|s| {
-            s.as_ref().map(|g| {
-                let mut m = Vec::new();
-                g.mean_into(&mut m);
-                m
-            })
+    let g = slab.group_count();
+    let mut alive = vec![true; g];
+    let mut means: Vec<Option<Vec<f64>>> = (0..g)
+        .map(|local| {
+            let mut m = Vec::new();
+            slab.mean_into(local, &mut m);
+            Some(m)
         })
         .collect();
     loop {
         // All currently-qualifying pairs (case 3.2a: ST' − ST ≥ Dc).
-        let alive: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_some()).collect();
+        let live: Vec<usize> = (0..g).filter(|&i| alive[i]).collect();
         let mut candidates = Vec::new();
-        for (ai, &i) in alive.iter().enumerate() {
-            for &j in &alive[ai + 1..] {
+        for (ai, &i) in live.iter().enumerate() {
+            for &j in &live[ai + 1..] {
                 let (mi, mj) = (
                     means[i].as_ref().expect("alive"),
                     means[j].as_ref().expect("alive"),
@@ -153,16 +141,15 @@ fn merge_groups(
         // "We randomly choose a pair of qualifying groups and perform the
         // merge", then cascade (§5.2 case 3.2a).
         let (i, j) = candidates[rng.gen_range(0..candidates.len())];
-        let absorbed = slots[j].take().expect("alive");
+        slab.absorb(i, j);
+        alive[j] = false;
         means[j] = None;
-        let host = slots[i].as_mut().expect("alive");
-        host.absorb(absorbed);
         let mut m = Vec::new();
-        host.mean_into(&mut m);
+        slab.mean_into(i, &mut m);
         means[i] = Some(m);
-        let _ = dataset; // dataset is unused for merging (means are cached)
     }
-    slots.into_iter().flatten().collect()
+    slab.retain_groups(|local| alive[local]);
+    slab
 }
 
 #[cfg(test)]

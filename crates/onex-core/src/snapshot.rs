@@ -6,28 +6,35 @@
 //! The format is hand-rolled over the `bytes` crate (no external
 //! serialization format in the sanctioned dependency set): little-endian,
 //! length-prefixed, with a magic header and version byte. Group indexes
-//! (`Dc`, sum order, SP-Space) are *not* stored — they are deterministic
-//! functions of the groups and are rebuilt on load, which keeps snapshots
-//! small (the paper's Table 4 sizes count exactly these reconstructible
-//! structures).
+//! (`Dc`, sum order, SP-Space) and envelopes are *not* stored — they are
+//! deterministic functions of the groups and are rebuilt on load, which
+//! keeps snapshots small (the paper's Table 4 sizes count exactly these
+//! reconstructible structures).
 //!
-//! Two versions exist on disk:
+//! Three versions exist on disk:
 //!
-//! * **v1** — `magic · version · payload`. No integrity protection beyond
-//!   structural validation; still fully readable.
-//! * **v2** (current) — `magic · version · epoch(u64) · payload ·
-//!   crc32(u32)`. The epoch records the writing
-//!   [`crate::engine::Explorer`]'s generation so a reloaded service resumes
-//!   its epoch numbering, and the CRC-32 footer (IEEE polynomial, computed
-//!   over every preceding byte including the header) turns silent bit rot
-//!   into a clean [`OnexError::SnapshotCorrupt`].
+//! * **v1** — `magic · version · payload`. Per-group records, no integrity
+//!   protection beyond structural validation; still fully readable.
+//! * **v2** — `magic · version · epoch(u64) · payload · crc32(u32)`. Same
+//!   per-group payload as v1, plus the writer's epoch and a CRC-32 footer
+//!   (IEEE polynomial, computed over every preceding byte including the
+//!   header) that turns silent bit rot into a clean
+//!   [`OnexError::SnapshotCorrupt`]. Still fully readable; write it with
+//!   [`encode_v2_with_epoch`] for downgrade scenarios.
+//! * **v3** (current) — v2's envelope (epoch + CRC-32 footer) around a
+//!   *columnar* payload mirroring the in-memory
+//!   [`crate::store::GroupStore`]: per length, the member counts, envelope
+//!   radii and member entries as bulk arrays followed by the representative
+//!   and running-sum slabs as single contiguous `f64` blocks. Decoding
+//!   reassembles each [`crate::store::LengthSlab`] with bulk extends
+//!   instead of thousands of per-group vector builds.
 //!
 //! The file-level entry points are [`crate::engine::Explorer::save`] /
 //! [`crate::engine::Explorer::load`]; the free functions [`save`]/[`load`]
 //! remain as deprecated shims over the same codec.
 
-use crate::build::LengthGroups;
-use crate::{Group, OnexBase, OnexConfig, OnexError, Result};
+use crate::store::LengthSlab;
+use crate::{OnexBase, OnexConfig, OnexError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use onex_dist::Window;
 use onex_ts::normalize::MinMaxParams;
@@ -37,22 +44,38 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"ONEX";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
-/// v2 fixed overhead: magic + version + epoch + crc footer.
-const V2_OVERHEAD: usize = 4 + 1 + 8 + 4;
+const VERSION_V3: u8 = 3;
+/// v2/v3 fixed overhead: magic + version + epoch + crc footer.
+const FOOTER_OVERHEAD: usize = 4 + 1 + 8 + 4;
 
-/// Serializes a base to bytes in the current (v2) format with epoch 0.
+/// Serializes a base to bytes in the current (v3) format with epoch 0.
 pub fn encode(base: &OnexBase) -> Bytes {
     encode_with_epoch(base, 0)
 }
 
-/// Serializes a base to bytes in the current (v2) format, stamping the
-/// writer's epoch and appending the CRC-32 integrity footer.
+/// Serializes a base to bytes in the current (v3, columnar) format,
+/// stamping the writer's epoch and appending the CRC-32 integrity footer.
 pub fn encode_with_epoch(base: &OnexBase, epoch: u64) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 << 16);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION_V3);
+    out.put_u64_le(epoch);
+    encode_header(&mut out, base);
+    encode_store_v3(&mut out, base);
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out.freeze()
+}
+
+/// Serializes a base in the legacy v2 format (per-group records, epoch +
+/// CRC-32 footer). Kept so a v2 consumer can still be fed and the
+/// cross-version load-equivalence tests have a writer.
+pub fn encode_v2_with_epoch(base: &OnexBase, epoch: u64) -> Bytes {
     let mut out = BytesMut::with_capacity(1 << 16);
     out.put_slice(MAGIC);
     out.put_u8(VERSION_V2);
     out.put_u64_le(epoch);
-    encode_payload(&mut out, base);
+    encode_payload_grouped(&mut out, base);
     let crc = crc32(&out);
     out.put_u32_le(crc);
     out.freeze()
@@ -65,18 +88,18 @@ pub fn encode_v1(base: &OnexBase) -> Bytes {
     let mut out = BytesMut::with_capacity(1 << 16);
     out.put_slice(MAGIC);
     out.put_u8(VERSION_V1);
-    encode_payload(&mut out, base);
+    encode_payload_grouped(&mut out, base);
     out.freeze()
 }
 
-/// Deserializes a base from bytes (either version), discarding the epoch.
+/// Deserializes a base from bytes (any version), discarding the epoch.
 pub fn decode(buf: &[u8]) -> Result<OnexBase> {
     decode_with_epoch(buf).map(|(base, _)| base)
 }
 
 /// Deserializes a base from bytes, returning the stored epoch (0 for v1
-/// snapshots, which predate epochs). v2 inputs are checksum-verified before
-/// any structural parsing; a mismatch is reported as
+/// snapshots, which predate epochs). v2/v3 inputs are checksum-verified
+/// before any structural parsing; a mismatch is reported as
 /// [`OnexError::SnapshotCorrupt`].
 pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
     let mut cur = buf;
@@ -85,11 +108,11 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
         return Err(OnexError::SnapshotCorrupt("bad magic".to_string()));
     }
     match get_u8(&mut cur)? {
-        VERSION_V1 => Ok((decode_payload(&mut cur)?, 0)),
-        VERSION_V2 => {
-            if buf.len() < V2_OVERHEAD {
+        VERSION_V1 => Ok((decode_payload_grouped(&mut cur)?, 0)),
+        version @ (VERSION_V2 | VERSION_V3) => {
+            if buf.len() < FOOTER_OVERHEAD {
                 return Err(OnexError::SnapshotCorrupt(format!(
-                    "truncated v2 snapshot: {} bytes, need at least {V2_OVERHEAD}",
+                    "truncated v{version} snapshot: {} bytes, need at least {FOOTER_OVERHEAD}",
                     buf.len()
                 )));
             }
@@ -103,7 +126,12 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
             }
             let epoch = get_u64(&mut cur)?;
             let mut payload = &cur[..cur.len() - 4];
-            Ok((decode_payload(&mut payload)?, epoch))
+            let base = if version == VERSION_V2 {
+                decode_payload_grouped(&mut payload)?
+            } else {
+                decode_payload_v3(&mut payload)?
+            };
+            Ok((base, epoch))
         }
         version => Err(OnexError::SnapshotCorrupt(format!(
             "unsupported version {version}"
@@ -123,7 +151,7 @@ pub fn save(base: &OnexBase, path: impl AsRef<Path>) -> Result<()> {
     write_snapshot(base, 0, path)
 }
 
-/// Loads a snapshot from a file (either version).
+/// Loads a snapshot from a file (any version).
 ///
 /// Filesystem failures now surface as [`OnexError::Io`] (with the path in
 /// the message) instead of the pre-v2 `OnexError::Ts` wrapping.
@@ -150,9 +178,9 @@ pub(crate) fn read_snapshot(path: impl AsRef<Path>) -> Result<(OnexBase, u64)> {
     decode_with_epoch(&data)
 }
 
-/// Encodes everything after the header: config, normalizer, dataset, and
-/// the per-length group table (shared by both format versions).
-fn encode_payload(out: &mut BytesMut, base: &OnexBase) {
+/// Encodes the shared prefix of every payload version: config, normalizer
+/// and dataset.
+fn encode_header(out: &mut BytesMut, base: &OnexBase) {
     encode_config(out, base.config());
     match base.normalizer() {
         Some(p) => {
@@ -163,21 +191,10 @@ fn encode_payload(out: &mut BytesMut, base: &OnexBase) {
         None => out.put_u8(0),
     }
     encode_dataset(out, base.dataset());
-    // groups, bucketed by length in index order
-    let lengths: Vec<usize> = base.indexed_lengths().collect();
-    out.put_u64_le(lengths.len() as u64);
-    for len in lengths {
-        let idx = base.length_index(len).expect("indexed length");
-        out.put_u64_le(len as u64);
-        out.put_u64_le(idx.group_ids.len() as u64);
-        for &gid in &idx.group_ids {
-            encode_group(out, base.group(gid));
-        }
-    }
 }
 
-/// Decodes a payload, requiring it to be fully consumed.
-fn decode_payload(buf: &mut &[u8]) -> Result<OnexBase> {
+/// Decodes the shared payload prefix.
+fn decode_header(buf: &mut &[u8]) -> Result<(OnexConfig, Option<MinMaxParams>, Dataset)> {
     let config = decode_config(buf)?;
     let norm = match get_u8(buf)? {
         0 => None,
@@ -192,12 +209,50 @@ fn decode_payload(buf: &mut &[u8]) -> Result<OnexBase> {
         }
     };
     let dataset = decode_dataset(buf)?;
+    Ok((config, norm, dataset))
+}
+
+// ---- v1/v2 payload: per-group records ----
+
+/// Encodes the legacy per-group payload (v1 and v2): header, then for each
+/// length its groups one record at a time.
+fn encode_payload_grouped(out: &mut BytesMut, base: &OnexBase) {
+    encode_header(out, base);
+    let lengths: Vec<usize> = base.indexed_lengths().collect();
+    out.put_u64_le(lengths.len() as u64);
+    for len in lengths {
+        let idx = base.length_index(len).expect("indexed length");
+        out.put_u64_le(len as u64);
+        out.put_u64_le(idx.group_ids.len() as u64);
+        for &gid in &idx.group_ids {
+            let g = base.group(gid);
+            out.put_u64_le(g.member_count() as u64);
+            for &(r, d) in g.members() {
+                out.put_u32_le(r.series);
+                out.put_u32_le(r.start);
+                out.put_f64_le(d);
+            }
+            for &v in g.representative() {
+                out.put_f64_le(v);
+            }
+            for &v in g.sum() {
+                out.put_f64_le(v);
+            }
+            out.put_u64_le(g.env_radius() as u64);
+        }
+    }
+}
+
+/// Decodes a legacy per-group payload (v1/v2), requiring it to be fully
+/// consumed.
+fn decode_payload_grouped(buf: &mut &[u8]) -> Result<OnexBase> {
+    let (config, norm, dataset) = decode_header(buf)?;
     // Each length entry needs at least its 16-byte header.
     let n_lengths = {
         let c = get_u64(buf)?;
         checked_count(buf, c, 16)?
     };
-    let mut per_length = Vec::with_capacity(n_lengths);
+    let mut slabs = Vec::with_capacity(n_lengths);
     for _ in 0..n_lengths {
         let len = get_u64(buf)? as usize;
         // Each group needs at least a member count + one member + radius.
@@ -205,11 +260,11 @@ fn decode_payload(buf: &mut &[u8]) -> Result<OnexBase> {
             let c = get_u64(buf)?;
             checked_count(buf, c, 32)?
         };
-        let mut groups = Vec::with_capacity(n_groups);
+        let mut slab = LengthSlab::new(len);
         for _ in 0..n_groups {
-            groups.push(decode_group(buf, len, &dataset)?);
+            decode_group_into(buf, len, &dataset, &mut slab)?;
         }
-        per_length.push(LengthGroups { len, groups });
+        slabs.push(slab);
     }
     if buf.has_remaining() {
         return Err(OnexError::SnapshotCorrupt(format!(
@@ -217,7 +272,172 @@ fn decode_payload(buf: &mut &[u8]) -> Result<OnexBase> {
             buf.remaining()
         )));
     }
-    Ok(OnexBase::assemble(dataset, norm, config, per_length))
+    Ok(OnexBase::assemble(dataset, norm, config, slabs))
+}
+
+/// Decodes `count` member entries (series, start, raw ED), validating each
+/// reference against the dataset so corrupt refs can't panic later. Shared
+/// by the per-group (v1/v2) and columnar (v3) payload decoders.
+fn decode_members(
+    buf: &mut &[u8],
+    count: usize,
+    len: usize,
+    dataset: &Dataset,
+) -> Result<Vec<(SubseqRef, f64)>> {
+    let mut members = Vec::with_capacity(count);
+    for _ in 0..count {
+        let series = get_u32(buf)?;
+        let start = get_u32(buf)?;
+        let d = get_finite_f64(buf)?;
+        let r = SubseqRef::new(series, start, len as u32);
+        dataset
+            .subseq(r)
+            .map_err(|e| OnexError::SnapshotCorrupt(e.to_string()))?;
+        members.push((r, d));
+    }
+    Ok(members)
+}
+
+fn decode_group_into(
+    buf: &mut &[u8],
+    len: usize,
+    dataset: &Dataset,
+    slab: &mut LengthSlab,
+) -> Result<()> {
+    let n_members = {
+        let c = get_u64(buf)?;
+        checked_count(buf, c, 16)?
+    };
+    let members = decode_members(buf, n_members, len, dataset)?;
+    if n_members == 0 {
+        return Err(OnexError::SnapshotCorrupt("empty group".to_string()));
+    }
+    // rep + sum need 16 bytes per point of the recorded group length.
+    let len = checked_count(buf, len as u64, 16)?;
+    let mut rep = Vec::with_capacity(len);
+    for _ in 0..len {
+        rep.push(get_finite_f64(buf)?);
+    }
+    let mut sum = Vec::with_capacity(len);
+    for _ in 0..len {
+        sum.push(get_finite_f64(buf)?);
+    }
+    let radius = get_radius(buf)?;
+    slab.push_from_parts(members, rep, sum, radius);
+    Ok(())
+}
+
+// ---- v3 payload: columnar slab blocks ----
+
+/// Encodes the store as bulk per-length blocks: member counts, envelope
+/// radii and member entries as arrays, then the representative and
+/// running-sum slabs as single contiguous `f64` blocks — the on-disk mirror
+/// of the in-memory columnar layout.
+fn encode_store_v3(out: &mut BytesMut, base: &OnexBase) {
+    let slabs = base.store().slabs();
+    out.put_u64_le(slabs.len() as u64);
+    for slab in slabs {
+        let len = slab.subseq_len();
+        let g = slab.group_count();
+        out.put_u64_le(len as u64);
+        out.put_u64_le(g as u64);
+        for local in 0..g {
+            out.put_u64_le(slab.member_count(local) as u64);
+        }
+        for local in 0..g {
+            out.put_u64_le(slab.env_radius(local) as u64);
+        }
+        for local in 0..g {
+            for &(r, d) in slab.members(local) {
+                out.put_u32_le(r.series);
+                out.put_u32_le(r.start);
+                out.put_f64_le(d);
+            }
+        }
+        for &v in slab.rep_slab() {
+            out.put_f64_le(v);
+        }
+        for local in 0..g {
+            for &v in slab.sum_row(local) {
+                out.put_f64_le(v);
+            }
+        }
+    }
+}
+
+/// Decodes a v3 columnar payload, requiring it to be fully consumed.
+fn decode_payload_v3(buf: &mut &[u8]) -> Result<OnexBase> {
+    let (config, norm, dataset) = decode_header(buf)?;
+    // Each length block needs at least len + group count.
+    let n_lengths = {
+        let c = get_u64(buf)?;
+        checked_count(buf, c, 16)?
+    };
+    let mut slabs = Vec::with_capacity(n_lengths);
+    for _ in 0..n_lengths {
+        // Bound the slab length against the remaining bytes (a group's rep
+        // + sum rows cost 16 bytes per point and every slab holds at least
+        // one group), exactly like the v1/v2 per-group decoder — a hostile
+        // length would otherwise overflow the cell-count multiply below or
+        // panic slicing the rep slab.
+        let len = {
+            let c = get_u64(buf)?;
+            checked_count(buf, c, 16)?
+        };
+        if len == 0 {
+            return Err(OnexError::SnapshotCorrupt("zero slab length".to_string()));
+        }
+        // Each group costs at least its count + radius entries (16 bytes).
+        let n_groups = {
+            let c = get_u64(buf)?;
+            checked_count(buf, c, 16)?
+        };
+        let mut counts = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let c = get_u64(buf)?;
+            if c == 0 {
+                return Err(OnexError::SnapshotCorrupt("empty group".to_string()));
+            }
+            counts.push(checked_count(buf, c, 16)?);
+        }
+        let mut radii = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            radii.push(get_radius(buf)?);
+        }
+        let mut member_lists = Vec::with_capacity(n_groups);
+        for &count in &counts {
+            member_lists.push(decode_members(buf, count, len, &dataset)?);
+        }
+        // The two contiguous slabs: n_groups·len f64 each. Both factors are
+        // bounded by the remaining-byte checks above, but reject a product
+        // overflow explicitly rather than trusting that arithmetic.
+        let cells = n_groups
+            .checked_mul(len)
+            .ok_or_else(|| OnexError::SnapshotCorrupt("slab cell count overflow".to_string()))?;
+        let cells = checked_count(buf, cells as u64, 8)?;
+        let mut reps = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            reps.push(get_finite_f64(buf)?);
+        }
+        let mut sums = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            sums.push(get_finite_f64(buf)?);
+        }
+        slabs.push(LengthSlab::from_bulk_parts(
+            len,
+            member_lists,
+            radii,
+            reps,
+            sums,
+        ));
+    }
+    if buf.has_remaining() {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(OnexBase::assemble(dataset, norm, config, slabs))
 }
 
 /// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), table-driven with the
@@ -400,56 +620,6 @@ fn decode_dataset(buf: &mut &[u8]) -> Result<Dataset> {
     Ok(Dataset::new(name, series))
 }
 
-fn encode_group(out: &mut BytesMut, g: &Group) {
-    out.put_u64_le(g.member_count() as u64);
-    for &(r, d) in g.members() {
-        out.put_u32_le(r.series);
-        out.put_u32_le(r.start);
-        out.put_f64_le(d);
-    }
-    for &v in g.representative() {
-        out.put_f64_le(v);
-    }
-    for &v in g.sum() {
-        out.put_f64_le(v);
-    }
-    out.put_u64_le(g.envelope().map_or(0, |e| e.radius) as u64);
-}
-
-fn decode_group(buf: &mut &[u8], len: usize, dataset: &Dataset) -> Result<Group> {
-    let n_members = {
-        let c = get_u64(buf)?;
-        checked_count(buf, c, 16)?
-    };
-    let mut members = Vec::with_capacity(n_members);
-    for _ in 0..n_members {
-        let series = get_u32(buf)?;
-        let start = get_u32(buf)?;
-        let d = get_finite_f64(buf)?;
-        let r = SubseqRef::new(series, start, len as u32);
-        // validate against the dataset so corrupt refs can't panic later
-        dataset
-            .subseq(r)
-            .map_err(|e| OnexError::SnapshotCorrupt(e.to_string()))?;
-        members.push((r, d));
-    }
-    if n_members == 0 {
-        return Err(OnexError::SnapshotCorrupt("empty group".to_string()));
-    }
-    // rep + sum need 16 bytes per point of the recorded group length.
-    let len = checked_count(buf, len as u64, 16)?;
-    let mut rep = Vec::with_capacity(len);
-    for _ in 0..len {
-        rep.push(get_finite_f64(buf)?);
-    }
-    let mut sum = Vec::with_capacity(len);
-    for _ in 0..len {
-        sum.push(get_finite_f64(buf)?);
-    }
-    let radius = get_u64(buf)? as usize;
-    Ok(Group::from_parts(len, sum, members, rep, radius))
-}
-
 /// Validates a decoded element count against the bytes actually remaining:
 /// every element needs at least `min_size` bytes, so a count that implies
 /// more data than the buffer holds is corruption — caught *before* any
@@ -508,6 +678,21 @@ fn get_f64(buf: &mut &[u8]) -> Result<f64> {
     ))
 }
 
+/// Reads an envelope radius, rejecting values that cannot round-trip
+/// through the store's u32 radius column. No legitimate writer produces
+/// them (subsequence lengths are u32-bounded and band radii are resolved
+/// against them), so anything larger is corruption — caught here rather
+/// than silently truncated or handed to the envelope builder.
+fn get_radius(buf: &mut &[u8]) -> Result<usize> {
+    let r = get_u64(buf)?;
+    if r > u32::MAX as u64 {
+        return Err(OnexError::SnapshotCorrupt(format!(
+            "envelope radius {r} out of range"
+        )));
+    }
+    Ok(r as usize)
+}
+
 /// `get_f64` that additionally rejects NaN/∞ — used for group state, whose
 /// finiteness every distance kernel relies on.
 fn get_finite_f64(buf: &mut &[u8]) -> Result<f64> {
@@ -536,6 +721,7 @@ mod tests {
     fn round_trip_preserves_base() {
         let b = base();
         let bytes = encode(&b);
+        assert_eq!(bytes[4], VERSION_V3);
         let r = decode(&bytes).unwrap();
         assert_eq!(b, r);
     }
@@ -580,22 +766,36 @@ mod tests {
     }
 
     #[test]
-    fn v2_checksum_catches_every_single_bit_flip() {
+    fn v2_snapshots_still_load() {
         let b = base();
-        let bytes = encode_with_epoch(&b, 3).to_vec();
-        // CRC-32 detects all single-bit errors; sample positions across the
-        // whole snapshot including header, epoch, payload and footer.
-        for at in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
-            for bit in [0u8, 7] {
-                let mut mutated = bytes.clone();
-                mutated[at] ^= 1 << bit;
-                assert!(
-                    matches!(
-                        decode_with_epoch(&mutated),
-                        Err(OnexError::SnapshotCorrupt(_))
-                    ),
-                    "flip at byte {at} bit {bit} must be rejected"
-                );
+        let v2 = encode_v2_with_epoch(&b, 5);
+        assert_eq!(v2[4], VERSION_V2);
+        let (r, epoch) = decode_with_epoch(&v2).unwrap();
+        assert_eq!(b, r);
+        assert_eq!(epoch, 5);
+    }
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip_in_v2_and_v3() {
+        let b = base();
+        for bytes in [
+            encode_with_epoch(&b, 3).to_vec(),
+            encode_v2_with_epoch(&b, 3).to_vec(),
+        ] {
+            // CRC-32 detects all single-bit errors; sample positions across
+            // the whole snapshot including header, epoch, payload, footer.
+            for at in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+                for bit in [0u8, 7] {
+                    let mut mutated = bytes.clone();
+                    mutated[at] ^= 1 << bit;
+                    assert!(
+                        matches!(
+                            decode_with_epoch(&mutated),
+                            Err(OnexError::SnapshotCorrupt(_))
+                        ),
+                        "flip at byte {at} bit {bit} must be rejected"
+                    );
+                }
             }
         }
     }
@@ -619,6 +819,17 @@ mod tests {
             .best_match(&q, MatchMode::Exact(6), QueryOptions::default())
             .unwrap();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn all_versions_decode_to_the_same_base() {
+        let b = base();
+        let from_v1 = decode(&encode_v1(&b)).unwrap();
+        let from_v2 = decode(&encode_v2_with_epoch(&b, 0)).unwrap();
+        let from_v3 = decode(&encode(&b)).unwrap();
+        assert_eq!(from_v1, from_v3, "v1 → v3 load equivalence");
+        assert_eq!(from_v2, from_v3, "v2 → v3 load equivalence");
+        assert_eq!(b, from_v3);
     }
 
     #[test]
@@ -652,5 +863,52 @@ mod tests {
         let mut bytes = encode(&b).to_vec();
         bytes[4] = 99;
         assert!(matches!(decode(&bytes), Err(OnexError::SnapshotCorrupt(_))));
+    }
+
+    #[test]
+    fn v3_rejects_hostile_slab_length_with_valid_crc() {
+        // A crafted v3 snapshot whose CRC is *valid* but whose first slab
+        // length is absurd must be rejected as corrupt, not overflow the
+        // cell-count multiply or panic slicing the rep slab. (`len as u32`
+        // can still alias a real subsequence length, which is exactly why
+        // the length needs its own remaining-bytes bound.)
+        let b = base();
+        let mut bytes = encode_with_epoch(&b, 1).to_vec();
+        // Locate the first slab's `len` field: it follows the fixed header
+        // (magic + version + epoch), the config/norm/dataset prefix, and
+        // the u64 length count.
+        let mut prefix = BytesMut::with_capacity(1 << 12);
+        encode_header(&mut prefix, &b);
+        let len_at = 4 + 1 + 8 + prefix.len() + 8;
+        let huge = (1u64 << 62) + 2; // `as u32` == 2, a real indexed length
+        bytes[len_at..len_at + 8].copy_from_slice(&huge.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_with_epoch(&bytes),
+            Err(OnexError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn no_valid_crc_u64_patch_can_panic_the_v3_decoder() {
+        // Adversarial robustness sweep: overwrite every u64-aligned payload
+        // position with u64::MAX, *recompute the CRC* (so the integrity
+        // footer passes), and decode. Every outcome must be a clean
+        // `Result` — hostile counts, lengths, radii or refs may yield
+        // `SnapshotCorrupt`, but never a panic or overflow.
+        let b = base();
+        let bytes = encode_with_epoch(&b, 1).to_vec();
+        let payload = 4 + 1 + 8..bytes.len() - 4;
+        for at in payload.step_by(8) {
+            let mut mutated = bytes.clone();
+            let end = (at + 8).min(mutated.len() - 4);
+            mutated[at..end].fill(0xFF);
+            let body_end = mutated.len() - 4;
+            let crc = crc32(&mutated[..body_end]);
+            mutated[body_end..].copy_from_slice(&crc.to_le_bytes());
+            let _ = decode_with_epoch(&mutated); // must not panic
+        }
     }
 }

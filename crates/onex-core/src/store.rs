@@ -1,0 +1,881 @@
+//! The **columnar group store**: struct-of-arrays storage for every
+//! similarity group of one subsequence length, plus the cross-length
+//! directory that resolves a flat [`GroupId`].
+//!
+//! The query hot path (the per-length representative scan and the LB_Keogh
+//! envelope tiers in front of every DTW) used to chase a pointer per group:
+//! each `Group` owned its own `rep: Vec<f64>`, `sum: Vec<f64>` and envelope
+//! vectors, scattering thousands of small heap allocations across the
+//! address space. A [`LengthSlab`] packs all of a length's representatives
+//! **row-major in one contiguous `Vec<f64>`** (stride = the subsequence
+//! length), the envelope lower/upper planes in two parallel slabs, the
+//! running point-wise sums in another, and the per-group metadata (member
+//! lists, envelope radii, finalized flags) in parallel arrays indexed by
+//! the group's *local* position. Tier scans become linear walks over
+//! contiguous memory — cache-resident, prefetchable, and ready for future
+//! SIMD kernels.
+//!
+//! [`crate::Group`] survives as a lightweight **view** over one slab row
+//! (see [`crate::group`]); construction, refinement and maintenance mutate
+//! the slabs in place through the methods here, with arithmetic kept in
+//! the exact order of the previous per-group implementation so results
+//! stay byte-identical.
+
+use onex_dist::{Envelope, EnvelopeRef};
+use onex_ts::{Dataset, SubseqRef};
+use serde::{Deserialize, Serialize};
+
+use crate::group::{Group, GroupId};
+
+/// All similarity groups of one subsequence length, stored columnar.
+///
+/// Rows (one per group, addressed by the group's local position) live in
+/// four `f64` slabs of stride [`LengthSlab::subseq_len`]:
+///
+/// * `reps` — the frozen representative (zeros until finalized),
+/// * `env_lo` / `env_hi` — the representative's LB_Keogh envelope planes,
+/// * `sums` — the running point-wise member sum (construction state).
+///
+/// Per-group metadata sits in parallel arrays: the member list (the LSI's
+/// ED-sorted `(ref, ED)` pairs), the envelope radius, and the finalized
+/// flag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LengthSlab {
+    /// Subsequence length shared by every member (the slab stride).
+    len: usize,
+    /// Representative rows, row-major; a row is all zeros until its group
+    /// is finalized.
+    reps: Vec<f64>,
+    /// Lower envelope plane rows (zeros until finalized).
+    env_lo: Vec<f64>,
+    /// Upper envelope plane rows (zeros until finalized).
+    env_hi: Vec<f64>,
+    /// Running point-wise sum rows.
+    sums: Vec<f64>,
+    /// Envelope band half-width per group (meaningful once finalized).
+    env_radius: Vec<u32>,
+    /// Member lists: after finalization, pairs of (subsequence, raw ED to
+    /// the representative) sorted ascending by ED.
+    members: Vec<Vec<(SubseqRef, f64)>>,
+    /// Whether the group's representative/envelope rows are frozen.
+    finalized: Vec<bool>,
+}
+
+impl LengthSlab {
+    /// An empty slab for groups of length `len`.
+    pub fn new(len: usize) -> Self {
+        LengthSlab {
+            len,
+            reps: Vec::new(),
+            env_lo: Vec::new(),
+            env_hi: Vec::new(),
+            sums: Vec::new(),
+            env_radius: Vec::new(),
+            members: Vec::new(),
+            finalized: Vec::new(),
+        }
+    }
+
+    /// The subsequence length every group in this slab covers (= stride).
+    #[inline]
+    pub fn subseq_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of groups in the slab.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the slab holds no groups.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    #[inline]
+    fn row(&self, local: usize) -> std::ops::Range<usize> {
+        local * self.len..(local + 1) * self.len
+    }
+
+    /// Seeds a new group with its first member, which doubles as the
+    /// initial representative (Algorithm 1, lines 7–10). Returns the new
+    /// group's local position.
+    pub fn seed(&mut self, r: SubseqRef, values: &[f64]) -> usize {
+        debug_assert_eq!(values.len(), self.len);
+        self.sums.extend_from_slice(values);
+        self.reps.resize(self.reps.len() + self.len, 0.0);
+        self.env_lo.resize(self.env_lo.len() + self.len, 0.0);
+        self.env_hi.resize(self.env_hi.len() + self.len, 0.0);
+        self.env_radius.push(0);
+        self.members.push(vec![(r, 0.0)]);
+        self.finalized.push(false);
+        self.members.len() - 1
+    }
+
+    /// Adds a member to group `local`, updating its running sum row
+    /// (Algorithm 1, lines 16–17).
+    pub fn push_member(&mut self, local: usize, r: SubseqRef, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.len);
+        let row = self.row(local);
+        for (s, v) in self.sums[row].iter_mut().zip(values) {
+            *s += v;
+        }
+        self.members[local].push((r, 0.0));
+    }
+
+    /// The current mean of group `local` (the live representative during
+    /// construction), written into `out` to avoid allocation in hot loops.
+    pub fn mean_into(&self, local: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let inv = 1.0 / self.members[local].len() as f64;
+        let row = self.row(local);
+        out.extend(self.sums[row].iter().map(|s| s * inv));
+    }
+
+    /// The frozen representative row of group `local` — the raw slab row,
+    /// regardless of finalization (zeros when not yet finalized). The
+    /// [`Group`] view adds the "empty until finalized" semantics.
+    #[inline]
+    pub fn rep_row(&self, local: usize) -> &[f64] {
+        &self.reps[self.row(local)]
+    }
+
+    /// The whole representative slab, row-major with stride
+    /// [`LengthSlab::subseq_len`] — the contiguous scan surface the
+    /// rep-scan benchmarks and future SIMD kernels walk.
+    #[inline]
+    pub fn rep_slab(&self) -> &[f64] {
+        &self.reps
+    }
+
+    /// The running point-wise sum row of group `local`.
+    #[inline]
+    pub fn sum_row(&self, local: usize) -> &[f64] {
+        &self.sums[self.row(local)]
+    }
+
+    /// The representative envelope of group `local` as a borrowed view
+    /// over the lo/hi planes, available once finalized.
+    #[inline]
+    pub fn envelope_ref(&self, local: usize) -> Option<EnvelopeRef<'_>> {
+        if self.finalized[local] {
+            let row = self.row(local);
+            Some(EnvelopeRef {
+                upper: &self.env_hi[row.clone()],
+                lower: &self.env_lo[row],
+                radius: self.env_radius[local] as usize,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Members of group `local` with their raw ED to the final
+    /// representative, sorted ascending (the LSI's `EDk` array). Zero
+    /// placeholders before finalization.
+    #[inline]
+    pub fn members(&self, local: usize) -> &[(SubseqRef, f64)] {
+        &self.members[local]
+    }
+
+    /// Member count of group `local`.
+    #[inline]
+    pub fn member_count(&self, local: usize) -> usize {
+        self.members[local].len()
+    }
+
+    /// Whether group `local` is finalized.
+    #[inline]
+    pub fn is_finalized(&self, local: usize) -> bool {
+        self.finalized[local]
+    }
+
+    /// Maximum raw ED of any member of group `local` to its final
+    /// representative (0 for a singleton).
+    pub fn max_member_ed(&self, local: usize) -> f64 {
+        self.members[local].last().map_or(0.0, |&(_, d)| d)
+    }
+
+    /// Total members across every group of the slab.
+    pub fn total_members(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// Clears the frozen representative and envelope rows of group `local`
+    /// (after a membership mutation; the caller must re-finalize).
+    fn clear_finalization(&mut self, local: usize) {
+        let row = self.row(local);
+        self.reps[row.clone()].fill(0.0);
+        self.env_lo[row.clone()].fill(0.0);
+        self.env_hi[row].fill(0.0);
+        self.env_radius[local] = 0;
+        self.finalized[local] = false;
+    }
+
+    /// Freezes group `local`'s representative at its current mean, computes
+    /// and sorts member EDs, and builds the envelope rows with the given
+    /// radius.
+    pub fn finalize(&mut self, local: usize, dataset: &Dataset, envelope_radius: usize) {
+        let mut rep = Vec::new();
+        self.mean_into(local, &mut rep);
+        for (r, d) in self.members[local].iter_mut() {
+            *d = onex_dist::ed(dataset.subseq_unchecked(*r), &rep);
+        }
+        self.members[local].sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let env = Envelope::build(&rep, envelope_radius);
+        let row = self.row(local);
+        self.env_lo[row.clone()].copy_from_slice(&env.lower);
+        self.env_hi[row.clone()].copy_from_slice(&env.upper);
+        self.reps[row].copy_from_slice(&rep);
+        self.env_radius[local] = envelope_radius as u32;
+        self.finalized[local] = true;
+    }
+
+    /// Finalizes every group of the slab (shared by construction,
+    /// refinement and the touched-length maintenance paths).
+    pub fn finalize_all(&mut self, dataset: &Dataset, envelope_radius: usize) {
+        for local in 0..self.group_count() {
+            self.finalize(local, dataset, envelope_radius);
+        }
+    }
+
+    /// Removes and returns members of group `local` whose raw ED to the
+    /// *current mean* exceeds `limit_raw` — the eviction step of
+    /// [`crate::BuildMode::Strict`].
+    pub fn evict_outside(
+        &mut self,
+        local: usize,
+        dataset: &Dataset,
+        limit_raw: f64,
+    ) -> Vec<SubseqRef> {
+        let mut mean = Vec::new();
+        self.mean_into(local, &mut mean);
+        let mut evicted = Vec::new();
+        let mut i = 0;
+        while i < self.members[local].len() {
+            let (r, _) = self.members[local][i];
+            let d = onex_dist::ed(dataset.subseq_unchecked(r), &mean);
+            if d > limit_raw && self.members[local].len() > 1 {
+                self.members[local].swap_remove(i);
+                let vals = dataset.subseq_unchecked(r);
+                let row = self.row(local);
+                for (s, v) in self.sums[row].iter_mut().zip(vals) {
+                    *s -= v;
+                }
+                evicted.push(r);
+                // mean changed; recompute for subsequent checks
+                self.mean_into(local, &mut mean);
+            } else {
+                i += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Removes every member of group `local` belonging to `series`,
+    /// subtracting its values from the running sum (resolved against the
+    /// dataset *before* the series is removed from it). Returns how many
+    /// members were dropped; when any were, the frozen representative and
+    /// envelope rows are cleared and the caller must re-finalize (or retire
+    /// the group if it is now empty). Member order is preserved.
+    pub(crate) fn drop_series_members(
+        &mut self,
+        local: usize,
+        dataset: &Dataset,
+        series: u32,
+    ) -> usize {
+        let before = self.members[local].len();
+        let row = self.row(local);
+        let sums = &mut self.sums[row];
+        self.members[local].retain(|&(r, _)| {
+            if r.series == series {
+                let values = dataset.subseq_unchecked(r);
+                for (s, v) in sums.iter_mut().zip(values) {
+                    *s -= v;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let dropped = before - self.members[local].len();
+        if dropped > 0 {
+            self.clear_finalization(local);
+        }
+        dropped
+    }
+
+    /// Shifts every member reference above a removed series index down by
+    /// one, across all groups. The remap is monotone, so the LSI's
+    /// ED-then-ref ordering is preserved and finalized groups stay
+    /// finalized.
+    pub(crate) fn remap_series_down(&mut self, removed: u32) {
+        for group in self.members.iter_mut() {
+            for (r, _) in group.iter_mut() {
+                if r.series > removed {
+                    r.series -= 1;
+                }
+            }
+        }
+    }
+
+    /// Merges group `src` into group `dst` *within this slab* (Algorithm
+    /// 2.C cascading merges): sums and members combine, `dst` loses its
+    /// finalization and must be re-finalized, and `src` is left empty for
+    /// the caller to retire (e.g. via [`LengthSlab::retain_groups`]).
+    pub fn absorb(&mut self, dst: usize, src: usize) {
+        debug_assert_ne!(dst, src);
+        let src_row = self.row(src);
+        let dst_row = self.row(dst);
+        for i in 0..self.len {
+            self.sums[dst_row.start + i] += self.sums[src_row.start + i];
+        }
+        let moved = std::mem::take(&mut self.members[src]);
+        self.members[dst].extend(moved);
+        self.clear_finalization(dst);
+        self.clear_finalization(src);
+    }
+
+    /// Keeps only the groups whose local position satisfies `keep`,
+    /// compacting every slab and metadata array in place while preserving
+    /// relative order (so surviving groups keep their scan order).
+    pub fn retain_groups(&mut self, keep: impl Fn(usize) -> bool) {
+        let mut write = 0usize;
+        for read in 0..self.group_count() {
+            if !keep(read) {
+                continue;
+            }
+            if write != read {
+                let (r_row, w_row) = (self.row(read), self.row(write));
+                self.sums.copy_within(r_row.clone(), w_row.start);
+                self.reps.copy_within(r_row.clone(), w_row.start);
+                self.env_lo.copy_within(r_row.clone(), w_row.start);
+                self.env_hi.copy_within(r_row, w_row.start);
+                self.env_radius[write] = self.env_radius[read];
+                self.members[write] = std::mem::take(&mut self.members[read]);
+                self.finalized[write] = self.finalized[read];
+            }
+            write += 1;
+        }
+        self.truncate_groups(write);
+    }
+
+    fn truncate_groups(&mut self, n: usize) {
+        self.sums.truncate(n * self.len);
+        self.reps.truncate(n * self.len);
+        self.env_lo.truncate(n * self.len);
+        self.env_hi.truncate(n * self.len);
+        self.env_radius.truncate(n);
+        self.members.truncate(n);
+        self.finalized.truncate(n);
+    }
+
+    /// Moves group `local` (rows + metadata) into `dst`, leaving this
+    /// slab's copy empty-membered. Used by the remove-series maintenance
+    /// path to split a length into untouched/shrunk slabs while preserving
+    /// group order.
+    pub(crate) fn move_group_into(&mut self, local: usize, dst: &mut LengthSlab) {
+        debug_assert_eq!(self.len, dst.len);
+        let row = self.row(local);
+        dst.sums.extend_from_slice(&self.sums[row.clone()]);
+        dst.reps.extend_from_slice(&self.reps[row.clone()]);
+        dst.env_lo.extend_from_slice(&self.env_lo[row.clone()]);
+        dst.env_hi.extend_from_slice(&self.env_hi[row]);
+        dst.env_radius.push(self.env_radius[local]);
+        dst.members.push(std::mem::take(&mut self.members[local]));
+        dst.finalized.push(self.finalized[local]);
+    }
+
+    /// Appends every group of `other` (same length) after this slab's,
+    /// preserving order — the concatenation step of refinement splits and
+    /// the shrunk-group maintenance path.
+    pub(crate) fn extend_from(&mut self, mut other: LengthSlab) {
+        debug_assert_eq!(self.len, other.len);
+        for local in 0..other.group_count() {
+            other.move_group_into(local, self);
+        }
+    }
+
+    /// Appends a *finalized* group reassembled from snapshot parts: the
+    /// members must already be ED-sorted and the representative frozen;
+    /// the envelope rows are rebuilt from the representative.
+    pub(crate) fn push_from_parts(
+        &mut self,
+        members: Vec<(SubseqRef, f64)>,
+        rep: Vec<f64>,
+        sum: Vec<f64>,
+        envelope_radius: usize,
+    ) {
+        debug_assert_eq!(rep.len(), self.len);
+        debug_assert_eq!(sum.len(), self.len);
+        let env = Envelope::build(&rep, envelope_radius);
+        self.sums.extend_from_slice(&sum);
+        self.reps.extend_from_slice(&rep);
+        self.env_lo.extend_from_slice(&env.lower);
+        self.env_hi.extend_from_slice(&env.upper);
+        self.env_radius.push(envelope_radius as u32);
+        self.members.push(members);
+        self.finalized.push(true);
+    }
+
+    /// Reassembles a whole *finalized* slab from bulk snapshot parts,
+    /// taking ownership of the already-contiguous representative and sum
+    /// blocks (the v3 columnar payload) — no per-group row copying. Member
+    /// lists must be ED-sorted; the envelope planes are rebuilt from the
+    /// representative rows.
+    pub(crate) fn from_bulk_parts(
+        len: usize,
+        members: Vec<Vec<(SubseqRef, f64)>>,
+        radii: Vec<usize>,
+        reps: Vec<f64>,
+        sums: Vec<f64>,
+    ) -> Self {
+        let g = members.len();
+        debug_assert_eq!(radii.len(), g);
+        debug_assert_eq!(reps.len(), g * len);
+        debug_assert_eq!(sums.len(), g * len);
+        let mut env_lo = vec![0.0; g * len];
+        let mut env_hi = vec![0.0; g * len];
+        for (local, &radius) in radii.iter().enumerate() {
+            let row = local * len..(local + 1) * len;
+            let env = Envelope::build(&reps[row.clone()], radius);
+            env_lo[row.clone()].copy_from_slice(&env.lower);
+            env_hi[row].copy_from_slice(&env.upper);
+        }
+        LengthSlab {
+            len,
+            reps,
+            env_lo,
+            env_hi,
+            sums,
+            env_radius: radii.into_iter().map(|r| r as u32).collect(),
+            members,
+            finalized: vec![true; g],
+        }
+    }
+
+    /// The envelope radius recorded for group `local` (0 until finalized).
+    #[inline]
+    pub(crate) fn env_radius(&self, local: usize) -> usize {
+        self.env_radius[local] as usize
+    }
+
+    /// Memory accounting for this slab (Table 4 quantities plus the
+    /// allocation counts the columnar layout is about).
+    pub fn footprint(&self) -> LengthFootprint {
+        const F64: usize = std::mem::size_of::<f64>();
+        let member_bytes: usize = self
+            .members
+            .iter()
+            .map(|m| m.capacity() * std::mem::size_of::<(SubseqRef, f64)>())
+            .sum();
+        LengthFootprint {
+            len: self.len,
+            groups: self.group_count(),
+            members: self.total_members(),
+            rep_slab_bytes: self.reps.capacity() * F64,
+            envelope_slab_bytes: (self.env_lo.capacity() + self.env_hi.capacity()) * F64,
+            sum_slab_bytes: self.sums.capacity() * F64,
+            member_bytes: member_bytes
+                + self.members.capacity() * std::mem::size_of::<Vec<(SubseqRef, f64)>>()
+                + self.env_radius.capacity() * std::mem::size_of::<u32>()
+                + self.finalized.capacity(),
+            // The four f64 slabs + radius/finalized/member-list arrays,
+            // plus one heap allocation per non-empty member list. (The
+            // pre-columnar layout paid ~5 allocations *per group*.)
+            allocations: 7 + self.members.iter().filter(|m| m.capacity() > 0).count(),
+        }
+    }
+}
+
+/// Per-length memory footprint of the columnar store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LengthFootprint {
+    /// The subsequence length.
+    pub len: usize,
+    /// Groups (= representatives) at this length.
+    pub groups: usize,
+    /// Members across those groups.
+    pub members: usize,
+    /// Bytes of the contiguous representative slab.
+    pub rep_slab_bytes: usize,
+    /// Bytes of the two contiguous envelope plane slabs.
+    pub envelope_slab_bytes: usize,
+    /// Bytes of the contiguous running-sum slab.
+    pub sum_slab_bytes: usize,
+    /// Bytes of the member lists and per-group metadata arrays.
+    pub member_bytes: usize,
+    /// Heap allocations backing this length's store.
+    pub allocations: usize,
+}
+
+impl LengthFootprint {
+    /// Bytes held in the contiguous f64 slabs (reps + envelopes + sums).
+    pub fn slab_bytes(&self) -> usize {
+        self.rep_slab_bytes + self.envelope_slab_bytes + self.sum_slab_bytes
+    }
+
+    /// Total bytes at this length (slabs + member lists + metadata).
+    pub fn total_bytes(&self) -> usize {
+        self.slab_bytes() + self.member_bytes
+    }
+}
+
+/// Whole-store memory footprint: one [`LengthFootprint`] per indexed
+/// length, plus totals. Returned by [`crate::OnexBase::footprint`] and
+/// [`crate::engine::Explorer::footprint`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreFootprint {
+    /// Per-length accounting, ascending by length.
+    pub per_length: Vec<LengthFootprint>,
+    /// Bytes of the store-level structures: the flat `GroupId → (slab,
+    /// local)` directory plus the slab table itself.
+    pub directory_bytes: usize,
+}
+
+impl StoreFootprint {
+    /// Total bytes in the contiguous f64 slabs.
+    pub fn slab_bytes(&self) -> usize {
+        self.per_length
+            .iter()
+            .map(LengthFootprint::slab_bytes)
+            .sum()
+    }
+
+    /// Total bytes across slabs, member lists, metadata and the store-level
+    /// directory.
+    pub fn total_bytes(&self) -> usize {
+        self.per_length
+            .iter()
+            .map(LengthFootprint::total_bytes)
+            .sum::<usize>()
+            + self.directory_bytes
+    }
+
+    /// Total heap allocations backing the store, including the directory
+    /// and slab-table vectors.
+    pub fn allocations(&self) -> usize {
+        self.per_length.iter().map(|l| l.allocations).sum::<usize>() + 2
+    }
+
+    /// Total groups across all lengths.
+    pub fn groups(&self) -> usize {
+        self.per_length.iter().map(|l| l.groups).sum()
+    }
+}
+
+/// The cross-length store: one [`LengthSlab`] per indexed length (ascending
+/// by length) plus the flat directory resolving a [`GroupId`] to its
+/// `(slab, local)` coordinates. Group ids are assigned contiguously per
+/// length in slab order, exactly as the pre-columnar flat group table did.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroupStore {
+    slabs: Vec<LengthSlab>,
+    /// `GroupId -> (slab position, local position)`.
+    dir: Vec<(u32, u32)>,
+}
+
+impl GroupStore {
+    /// Builds the store from per-length slabs, assigning [`GroupId`]s in
+    /// ascending-length, local order. Input slabs are sorted by length;
+    /// empty slabs are dropped.
+    pub(crate) fn from_slabs(mut slabs: Vec<LengthSlab>) -> Self {
+        slabs.retain(|s| !s.is_empty());
+        slabs.sort_by_key(LengthSlab::subseq_len);
+        let mut dir = Vec::new();
+        for (si, slab) in slabs.iter().enumerate() {
+            for local in 0..slab.group_count() {
+                dir.push((si as u32, local as u32));
+            }
+        }
+        GroupStore { slabs, dir }
+    }
+
+    /// The slabs, ascending by length.
+    #[inline]
+    pub fn slabs(&self) -> &[LengthSlab] {
+        &self.slabs
+    }
+
+    /// The slab covering subsequence length `len`, when one exists.
+    pub fn slab_for_len(&self, len: usize) -> Option<&LengthSlab> {
+        self.slabs
+            .binary_search_by_key(&len, LengthSlab::subseq_len)
+            .ok()
+            .map(|i| &self.slabs[i])
+    }
+
+    /// Total groups across every length.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// The `(slab position, local position)` coordinates of a group.
+    #[inline]
+    pub(crate) fn locate(&self, id: GroupId) -> (usize, usize) {
+        let (si, local) = self.dir[id as usize];
+        (si as usize, local as usize)
+    }
+
+    /// A view of one group by flat id.
+    #[inline]
+    pub fn group(&self, id: GroupId) -> Group<'_> {
+        let (si, local) = self.locate(id);
+        Group::new(&self.slabs[si], local)
+    }
+
+    /// Views of every group, in [`GroupId`] order.
+    pub fn groups(&self) -> impl Iterator<Item = Group<'_>> {
+        self.slabs
+            .iter()
+            .flat_map(|slab| (0..slab.group_count()).map(move |local| Group::new(slab, local)))
+    }
+
+    /// Consumes the store into its per-length slabs (maintenance paths
+    /// rebuild touched lengths and reassemble).
+    pub(crate) fn into_slabs(self) -> Vec<LengthSlab> {
+        self.slabs
+    }
+
+    /// Per-length memory accounting for the whole store, plus the
+    /// store-level directory and slab table.
+    pub fn footprint(&self) -> StoreFootprint {
+        StoreFootprint {
+            per_length: self.slabs.iter().map(LengthSlab::footprint).collect(),
+            directory_bytes: self.dir.capacity() * std::mem::size_of::<(u32, u32)>()
+                + self.slabs.capacity() * std::mem::size_of::<LengthSlab>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_ts::TimeSeries;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            "g",
+            vec![
+                TimeSeries::new(vec![0.0, 0.0, 0.0, 0.0]).unwrap(),
+                TimeSeries::new(vec![1.0, 1.0, 1.0, 1.0]).unwrap(),
+                TimeSeries::new(vec![0.5, 0.5, 0.5, 0.5]).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn seed_and_incremental_mean() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4);
+        let r1 = SubseqRef::new(1, 0, 4);
+        let mut slab = LengthSlab::new(4);
+        let g = slab.seed(r0, d.subseq_unchecked(r0));
+        assert_eq!(slab.member_count(g), 1);
+        slab.push_member(g, r1, d.subseq_unchecked(r1));
+        let mut mean = Vec::new();
+        slab.mean_into(g, &mut mean);
+        assert_eq!(mean, vec![0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn finalize_sorts_members_by_ed_and_freezes_rows() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4); // zeros: ED 1.0 to mean [0.5..]
+        let r1 = SubseqRef::new(1, 0, 4); // ones: ED 1.0
+        let r2 = SubseqRef::new(2, 0, 4); // halves: ED 0
+        let mut slab = LengthSlab::new(4);
+        let g = slab.seed(r0, d.subseq_unchecked(r0));
+        slab.push_member(g, r1, d.subseq_unchecked(r1));
+        slab.push_member(g, r2, d.subseq_unchecked(r2));
+        assert!(slab.envelope_ref(g).is_none());
+        slab.finalize(g, &d, 1);
+        assert_eq!(slab.rep_row(g), &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(slab.members(g)[0].0, r2);
+        assert_eq!(slab.members(g)[0].1, 0.0);
+        assert!((slab.max_member_ed(g) - 1.0).abs() < 1e-12);
+        let env = slab.envelope_ref(g).expect("finalized");
+        assert_eq!(env.radius, 1);
+        assert_eq!(env.len(), 4);
+    }
+
+    #[test]
+    fn eviction_restores_invariant() {
+        let d = dataset();
+        let r0 = SubseqRef::new(2, 0, 4); // halves
+        let r1 = SubseqRef::new(1, 0, 4); // ones — far away
+        let mut slab = LengthSlab::new(4);
+        let g = slab.seed(r0, d.subseq_unchecked(r0));
+        slab.push_member(g, r1, d.subseq_unchecked(r1));
+        // mean is 0.75; ones are at raw ED 0.5, halves at 0.5.
+        let evicted = slab.evict_outside(g, &d, 0.4);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(slab.member_count(g), 1);
+        let mut mean = Vec::new();
+        slab.mean_into(g, &mut mean);
+        let (r, _) = slab.members(g)[0];
+        assert!(onex_dist::ed(d.subseq_unchecked(r), &mean) <= 0.4);
+        // eviction never empties a group
+        let evicted = slab.evict_outside(g, &d, 0.0);
+        assert!(evicted.is_empty());
+        assert_eq!(slab.member_count(g), 1);
+    }
+
+    #[test]
+    fn absorb_merges_rows_and_members() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4);
+        let r1 = SubseqRef::new(1, 0, 4);
+        let mut slab = LengthSlab::new(4);
+        let a = slab.seed(r0, d.subseq_unchecked(r0));
+        let b = slab.seed(r1, d.subseq_unchecked(r1));
+        slab.finalize(a, &d, 1);
+        slab.absorb(a, b);
+        assert_eq!(slab.member_count(a), 2);
+        assert_eq!(slab.member_count(b), 0);
+        assert!(slab.envelope_ref(a).is_none(), "finalization cleared");
+        let mut mean = Vec::new();
+        slab.mean_into(a, &mut mean);
+        assert_eq!(mean, vec![0.5, 0.5, 0.5, 0.5]);
+        slab.retain_groups(|local| local == a);
+        assert_eq!(slab.group_count(), 1);
+        slab.finalize(0, &d, 1);
+        assert_eq!(slab.rep_row(0), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn drop_series_members_updates_sum_and_clears_finalization() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4); // zeros
+        let r1 = SubseqRef::new(1, 0, 4); // ones
+        let r2 = SubseqRef::new(2, 0, 4); // halves
+        let mut slab = LengthSlab::new(4);
+        let g = slab.seed(r0, d.subseq_unchecked(r0));
+        slab.push_member(g, r1, d.subseq_unchecked(r1));
+        slab.push_member(g, r2, d.subseq_unchecked(r2));
+        slab.finalize(g, &d, 1);
+        assert_eq!(slab.drop_series_members(g, &d, 1), 1);
+        assert_eq!(slab.member_count(g), 2);
+        assert!(slab.envelope_ref(g).is_none());
+        let mut mean = Vec::new();
+        slab.mean_into(g, &mut mean);
+        assert_eq!(mean, vec![0.25, 0.25, 0.25, 0.25]);
+        // dropping a series with no members is a no-op that keeps state
+        slab.finalize(g, &d, 1);
+        assert_eq!(slab.drop_series_members(g, &d, 1), 0);
+        assert!(slab.envelope_ref(g).is_some());
+        // dropping everything empties the group (caller retires it)
+        assert_eq!(slab.drop_series_members(g, &d, 0), 1);
+        assert_eq!(slab.drop_series_members(g, &d, 2), 1);
+        assert_eq!(slab.member_count(g), 0);
+    }
+
+    #[test]
+    fn remap_series_down_shifts_only_later_series() {
+        let d = dataset();
+        let r0 = SubseqRef::new(0, 0, 4);
+        let r2 = SubseqRef::new(2, 0, 4);
+        let mut slab = LengthSlab::new(4);
+        let g = slab.seed(r0, d.subseq_unchecked(r0));
+        slab.push_member(g, r2, d.subseq_unchecked(r2));
+        slab.remap_series_down(1);
+        assert_eq!(slab.members(g)[0].0.series, 0);
+        assert_eq!(slab.members(g)[1].0.series, 1);
+    }
+
+    #[test]
+    fn retain_groups_compacts_in_order() {
+        let d = dataset();
+        let mut slab = LengthSlab::new(4);
+        for s in 0..3u32 {
+            let r = SubseqRef::new(s, 0, 4);
+            let g = slab.seed(r, d.subseq_unchecked(r));
+            slab.finalize(g, &d, 1);
+        }
+        let rep2 = slab.rep_row(2).to_vec();
+        slab.retain_groups(|local| local != 1);
+        assert_eq!(slab.group_count(), 2);
+        assert_eq!(slab.members(0)[0].0.series, 0);
+        assert_eq!(slab.members(1)[0].0.series, 2);
+        assert_eq!(slab.rep_row(1), &rep2[..]);
+        assert!(slab.is_finalized(1));
+    }
+
+    #[test]
+    fn move_and_extend_preserve_rows() {
+        let d = dataset();
+        let mut slab = LengthSlab::new(4);
+        for s in 0..3u32 {
+            let r = SubseqRef::new(s, 0, 4);
+            let g = slab.seed(r, d.subseq_unchecked(r));
+            slab.finalize(g, &d, 1);
+        }
+        let mut a = LengthSlab::new(4);
+        let mut b = LengthSlab::new(4);
+        slab.move_group_into(0, &mut a);
+        slab.move_group_into(1, &mut b);
+        slab.move_group_into(2, &mut a);
+        assert_eq!(a.group_count(), 2);
+        assert_eq!(a.members(1)[0].0.series, 2);
+        assert!(a.is_finalized(0) && a.is_finalized(1));
+        a.extend_from(b);
+        assert_eq!(a.group_count(), 3);
+        assert_eq!(a.members(2)[0].0.series, 1);
+        assert_eq!(a.rep_row(2), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn store_directory_resolves_flat_ids() {
+        let d = dataset();
+        let mut s4 = LengthSlab::new(4);
+        let mut s2 = LengthSlab::new(2);
+        for s in 0..2u32 {
+            let r = SubseqRef::new(s, 0, 4);
+            let g = s4.seed(r, d.subseq_unchecked(r));
+            s4.finalize(g, &d, 1);
+            let r = SubseqRef::new(s, 0, 2);
+            let g = s2.seed(r, d.subseq_unchecked(r));
+            s2.finalize(g, &d, 1);
+        }
+        // out-of-order input: the store sorts by length
+        let store = GroupStore::from_slabs(vec![s4, s2]);
+        assert_eq!(store.group_count(), 4);
+        assert_eq!(store.slabs()[0].subseq_len(), 2);
+        assert_eq!(store.group(0).len_of_members(), 2);
+        assert_eq!(store.group(2).len_of_members(), 4);
+        assert_eq!(store.groups().count(), 4);
+        assert!(store.slab_for_len(4).is_some());
+        assert!(store.slab_for_len(3).is_none());
+    }
+
+    #[test]
+    fn footprint_accounts_slabs_and_allocations() {
+        let d = dataset();
+        let mut slab = LengthSlab::new(4);
+        for s in 0..3u32 {
+            let r = SubseqRef::new(s, 0, 4);
+            let g = slab.seed(r, d.subseq_unchecked(r));
+            slab.finalize(g, &d, 1);
+        }
+        let f = slab.footprint();
+        assert_eq!(f.len, 4);
+        assert_eq!(f.groups, 3);
+        assert_eq!(f.members, 3);
+        assert!(f.rep_slab_bytes >= 3 * 4 * 8);
+        assert!(f.envelope_slab_bytes >= 2 * 3 * 4 * 8);
+        assert!(f.slab_bytes() >= f.rep_slab_bytes + f.sum_slab_bytes);
+        // 7 columnar arrays + 3 member lists — far below the ~5/group of
+        // the old array-of-structs layout once groups number thousands.
+        assert_eq!(f.allocations, 10);
+        let store = GroupStore::from_slabs(vec![slab]);
+        let total = store.footprint();
+        assert_eq!(total.groups(), 3);
+        // slab allocations + the store-level directory and slab table
+        assert_eq!(total.allocations(), 12);
+        assert!(total.directory_bytes >= 3 * 8);
+        assert!(total.total_bytes() >= total.slab_bytes() + total.directory_bytes);
+    }
+}

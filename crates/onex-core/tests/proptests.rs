@@ -34,7 +34,7 @@ proptest! {
     fn base_partitions_all_subsequences(d in dataset(), seed in any::<u64>()) {
         let cfg = config(0.2, seed);
         let base = OnexBase::build_prenormalized(d.clone(), cfg).unwrap();
-        let covered: usize = base.groups().iter().map(|g| g.member_count()).sum();
+        let covered: usize = base.groups().map(|g| g.member_count()).sum();
         prop_assert_eq!(covered, d.subseq_count(&Decomposition::full()));
     }
 
@@ -259,7 +259,7 @@ proptest! {
             ..config(0.2, seed)
         };
         let base = OnexBase::build_prenormalized(d.clone(), cfg).unwrap();
-        let covered: usize = base.groups().iter().map(|g| g.member_count()).sum();
+        let covered: usize = base.groups().map(|g| g.member_count()).sum();
         prop_assert_eq!(covered, d.subseq_count(&Decomposition::full()));
     }
 

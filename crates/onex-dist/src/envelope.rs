@@ -22,7 +22,54 @@ pub struct Envelope {
     pub radius: usize,
 }
 
+/// A borrowed view of an envelope: upper/lower planes plus the radius they
+/// were built for. This is what the lower-bound kernels actually consume,
+/// so callers that store envelopes *columnar* (e.g. the ONEX group store's
+/// per-length lo/hi slabs) can hand out plane slices without materializing
+/// an owned [`Envelope`]. `&Envelope` converts via `From`, so existing
+/// call sites keep working unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeRef<'a> {
+    /// Point-wise upper envelope `U`.
+    pub upper: &'a [f64],
+    /// Point-wise lower envelope `L`.
+    pub lower: &'a [f64],
+    /// The band half-width the envelope was built for.
+    pub radius: usize,
+}
+
+impl EnvelopeRef<'_> {
+    /// Envelope length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// True for a view over an empty sequence.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+}
+
+impl<'a> From<&'a Envelope> for EnvelopeRef<'a> {
+    #[inline]
+    fn from(env: &'a Envelope) -> Self {
+        EnvelopeRef {
+            upper: &env.upper,
+            lower: &env.lower,
+            radius: env.radius,
+        }
+    }
+}
+
 impl Envelope {
+    /// A borrowed [`EnvelopeRef`] over this envelope.
+    #[inline]
+    pub fn view(&self) -> EnvelopeRef<'_> {
+        self.into()
+    }
+
     /// Builds the envelope of `y` for band half-width `r` in O(n).
     pub fn build(y: &[f64], r: usize) -> Self {
         let n = y.len();
@@ -41,7 +88,10 @@ impl Envelope {
         // Window end index (exclusive) we have pushed so far.
         let mut pushed = 0;
         for i in 0..n {
-            let hi = (i + r + 1).min(n);
+            // Saturating: a radius near usize::MAX (e.g. from hostile
+            // snapshot input) must degrade to the global min/max envelope,
+            // not overflow.
+            let hi = i.saturating_add(r).saturating_add(1).min(n);
             while pushed < hi {
                 while let Some(&b) = max_q.back() {
                     if y[b] <= y[pushed] {
@@ -159,6 +209,11 @@ mod tests {
         let env = Envelope::build(&y, 10);
         assert!(env.upper.iter().all(|&u| u == 3.0));
         assert!(env.lower.iter().all(|&l| l == -2.0));
+        // Absurd radii (hostile snapshot input) must not overflow — same
+        // global envelope, no panic.
+        let huge = Envelope::build(&y, usize::MAX);
+        assert_eq!(huge.upper, env.upper);
+        assert_eq!(huge.lower, env.lower);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!   consumed by [`crate::dtw::DtwBuffer::dist_early_abandon_with_suffix`]
 //!   to abandon DTW itself earlier.
 
-use crate::Envelope;
+use crate::EnvelopeRef;
 
 /// LB_Kim (first/last form): `√((x₀−y₀)² + (x_last−y_last)²)`.
 ///
@@ -65,10 +65,11 @@ fn keogh_contrib(c: f64, upper: f64, lower: f64) -> f64 {
 /// # Panics
 /// Panics when `c.len() != env.len()` — LB_Keogh is only defined for
 /// equal-length comparisons.
-pub fn lb_keogh(c: &[f64], env: &Envelope) -> f64 {
+pub fn lb_keogh<'a>(c: &[f64], env: impl Into<EnvelopeRef<'a>>) -> f64 {
+    let env = env.into();
     assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
     c.iter()
-        .zip(env.upper.iter().zip(&env.lower))
+        .zip(env.upper.iter().zip(env.lower))
         .map(|(&ci, (&u, &l))| keogh_contrib(ci, u, l))
         .sum::<f64>()
         .sqrt()
@@ -81,12 +82,13 @@ pub fn lb_keogh(c: &[f64], env: &Envelope) -> f64 {
 ///
 /// # Panics
 /// Panics on length mismatch between `c` and `env`.
-pub fn lb_keogh_sq_abandon(
+pub fn lb_keogh_sq_abandon<'a>(
     c: &[f64],
-    env: &Envelope,
+    env: impl Into<EnvelopeRef<'a>>,
     order: Option<&[usize]>,
     cutoff_sq: f64,
 ) -> Option<f64> {
+    let env = env.into();
     assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
     let mut acc = 0.0;
     match order {
@@ -114,7 +116,7 @@ pub fn lb_keogh_sq_abandon(
 /// contrib(c_k)`, with `out[c.len()] = 0`. During DTW on rows of `c`, the
 /// final cost is at least `(row-min at row i) + out[i+1]`, enabling earlier
 /// abandoning (the suite's "cascading" use of LB_Keogh inside DTW).
-pub fn lb_keogh_cumulative(c: &[f64], env: &Envelope) -> Vec<f64> {
+pub fn lb_keogh_cumulative<'a>(c: &[f64], env: impl Into<EnvelopeRef<'a>>) -> Vec<f64> {
     let mut out = Vec::new();
     lb_keogh_cumulative_into(c, env, &mut out);
     out
@@ -123,7 +125,12 @@ pub fn lb_keogh_cumulative(c: &[f64], env: &Envelope) -> Vec<f64> {
 /// [`lb_keogh_cumulative`] writing into a caller-provided buffer, so a query
 /// processor evaluating thousands of candidates per query allocates the
 /// suffix array once. The buffer is cleared and refilled to `c.len() + 1`.
-pub fn lb_keogh_cumulative_into(c: &[f64], env: &Envelope, out: &mut Vec<f64>) {
+pub fn lb_keogh_cumulative_into<'a>(
+    c: &[f64],
+    env: impl Into<EnvelopeRef<'a>>,
+    out: &mut Vec<f64>,
+) {
+    let env = env.into();
     assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
     let n = c.len();
     out.clear();
@@ -136,7 +143,7 @@ pub fn lb_keogh_cumulative_into(c: &[f64], env: &Envelope, out: &mut Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{dtw, Window};
+    use crate::{dtw, Envelope, Window};
 
     fn series(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
         (0..n).map(f).collect()

@@ -46,7 +46,7 @@ mod window;
 
 pub use dtw::{dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, DtwBuffer};
 pub use ed::{ed, ed_early_abandon_sq, ed_normalized, ed_sq};
-pub use envelope::Envelope;
+pub use envelope::{Envelope, EnvelopeRef};
 pub use lb::{
     lb_keogh, lb_keogh_cumulative, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl,
 };

@@ -17,8 +17,9 @@
 //!   refine <st>                       re-threshold live (Algo 2.C hot-swap)
 //!   append <v1,v2,...>                stream a new series in (raw units)
 //!   remove <series>                   drop a series from the base
-//!   save <path> | load <path>         snapshot v2 out / back in
+//!   save <path> | load <path>         snapshot v3 out / back in (v1/v2 load too)
 //!   stats                             base statistics + epoch
+//!   mem (alias: info)                 per-length columnar-store footprint
 //!   quit
 
 use onex::ts::synth;
@@ -67,7 +68,39 @@ fn print_help() {
     println!("  append <v1,v2,...>                append a new series (raw units)");
     println!("  remove <series>                   remove a series");
     println!("  save <path> | load <path>         persist / restore the base");
+    println!("  mem | info                        per-length store footprint (slabs, allocations)");
     println!("  stats | help | quit");
+}
+
+/// Prints the per-length memory accounting of the columnar group store:
+/// groups, members, contiguous slab bytes (reps / envelopes / sums), member
+/// bytes, and the heap-allocation count behind each length.
+fn run_mem(explorer: &Explorer) {
+    let fp = explorer.footprint();
+    println!(
+        "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "len", "groups", "members", "rep B", "env B", "sum B", "member B", "allocs"
+    );
+    for l in &fp.per_length {
+        println!(
+            "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            l.len,
+            l.groups,
+            l.members,
+            l.rep_slab_bytes,
+            l.envelope_slab_bytes,
+            l.sum_slab_bytes,
+            l.member_bytes,
+            l.allocations
+        );
+    }
+    println!(
+        "total: {} groups, {:.2} KB slabs + {:.2} KB members/metadata, {} allocations",
+        fp.groups(),
+        fp.slab_bytes() as f64 / 1024.0,
+        (fp.total_bytes() - fp.slab_bytes()) as f64 / 1024.0,
+        fp.allocations()
+    );
 }
 
 fn parse_values(csv: &str) -> Option<Vec<f64>> {
@@ -121,6 +154,7 @@ fn main() {
                     s.total_mb()
                 );
             }
+            ["mem" | "info"] => run_mem(&explorer),
             ["best", series, from, to, rest @ ..] => {
                 let (Ok(sid), Ok(a), Ok(b)) = (
                     series.parse::<usize>(),

@@ -88,13 +88,54 @@
 //! assert_eq!(session.epoch(), 2);                        // unaffected
 //! assert_eq!(explorer.epoch(), 3);
 //!
-//! // Persistence: checksummed snapshot v2 carrying the epoch.
+//! // Persistence: checksummed snapshot v3 carrying the epoch.
 //! let path = std::env::temp_dir().join(format!("onex-doc-lifecycle-{}.onex", std::process::id()));
 //! explorer.save(&path).unwrap();
 //! let reloaded = onex::Explorer::load(&path).unwrap();
 //! assert_eq!(reloaded.epoch(), 3);
 //! std::fs::remove_file(&path).ok();
 //! ```
+//!
+//! ## Architecture: the columnar group store
+//!
+//! The base's groups live in a **struct-of-arrays** store
+//! ([`core::store::GroupStore`]): one [`core::store::LengthSlab`] per
+//! indexed length, holding
+//!
+//! * every representative of that length packed **row-major in one
+//!   contiguous `Vec<f64>`** (stride = the length),
+//! * the LB_Keogh envelope lower/upper planes in two parallel slabs,
+//! * the running point-wise member sums in another,
+//! * and per-group metadata (ED-sorted member lists, envelope radii,
+//!   finalized flags) in parallel arrays indexed by local position.
+//!
+//! The query hot path — the per-length representative scan and the
+//! envelope tiers of the lower-bound cascade — therefore walks linear,
+//! cache-resident memory instead of chasing a heap pointer per group, and
+//! the whole store costs a handful of allocations per *length* rather than
+//! ~5 per *group*. [`core::Group`] survives as a two-word view over one
+//! slab row; construction, refinement and maintenance mutate the slabs in
+//! place. The footprint is observable: [`Explorer::footprint`] (and
+//! `base().stats()`) report per-length slab bytes, member bytes and
+//! allocation counts, and the `interactive_cli` example prints them via
+//! its `mem` command.
+//!
+//! ## Snapshot versions
+//!
+//! Snapshots are hand-rolled little-endian binary (module
+//! [`core::snapshot`]); indexes and envelopes are rebuilt on load. Three
+//! versions exist on disk:
+//!
+//! | version | layout | integrity | written by | read by |
+//! |---------|--------|-----------|------------|---------|
+//! | v1 | per-group records | structural checks only | `snapshot::encode_v1` (compat tests / downgrade feeds) | every revision |
+//! | v2 | per-group records + epoch | CRC-32 footer | `snapshot::encode_v2_with_epoch` (downgrade feeds; was the default before the columnar store) | this revision and the previous one |
+//! | v3 | **columnar**: per length, member counts / radii / member entries as bulk arrays, then the rep and sum slabs as contiguous `f64` blocks, + epoch | CRC-32 footer | [`Explorer::save`] and `snapshot::encode` (the default) | this revision |
+//!
+//! All current load paths ([`Explorer::load`],
+//! [`ExplorerBuilder::from_snapshot`], deprecated `snapshot::load`) accept
+//! any version; corrupt v2/v3 files (truncation, bit rot) are rejected as
+//! [`OnexError::SnapshotCorrupt`] before any structural parsing.
 //!
 //! ## Performance
 //!
@@ -124,17 +165,21 @@
 //! per-tier kills (`pruned_kim`, `pruned_keogh_eq`, `pruned_keogh_ec`),
 //! `early_abandons`, `members_lb_pruned`, and `lb_keogh_evals`.
 //!
-//! The machine-readable performance baseline lives in `BENCH_pr3.json`
+//! The machine-readable performance baseline lives in `BENCH_pr4.json`
 //! (per-query-class latency, DTW-evaluation, and prune-rate counters on
-//! the synthetic datasets). Regenerate or inspect it with:
+//! the synthetic datasets; `BENCH_pr3.json` is the pre-columnar record —
+//! its counters are identical, the byte-equivalence proof of the slab
+//! refactor). Regenerate or inspect it with:
 //!
 //! ```sh
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr3.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr4.json
 //! ```
 //!
-//! CI replays the same run with `--check-against BENCH_pr3.json` and
-//! fails when best-match DTW evaluations regress more than 2× — exact
-//! counters, not wall-clock, so the gate is stable on shared runners.
+//! CI replays the same run with `--check-against BENCH_pr4.json` and
+//! fails when best-match *or top-k* DTW evaluations regress more than 2×
+//! — exact counters, not wall-clock, so the gate is stable on shared
+//! runners. The `rep_scan` criterion bench times the columnar rep scan
+//! and envelope tier in isolation.
 //!
 //! ## Migrating from the per-class and free-function entry points
 //!
@@ -154,8 +199,8 @@
 //! The deprecated paths return bit-identical results; they differ only in
 //! taking the base by `&`/value (no epoch hot-swap, callers serialize
 //! themselves) and in lacking budgets/stats. Snapshots written by the
-//! deprecated `save` are v2 at epoch 0; v1 files from older builds still
-//! load everywhere.
+//! deprecated `save` are v3 at epoch 0; v1/v2 files from older builds
+//! still load everywhere.
 //!
 //! ## Crate map
 //!

@@ -274,3 +274,128 @@ fn remove_series_shrinks_the_live_base() {
     assert!(m.dist.is_finite());
     assert!(explorer.remove_series(7).is_err(), "index now out of range");
 }
+
+// ---- snapshot v3 (columnar payload) coverage ----
+
+/// Queries used to compare two bases for answer equivalence.
+fn probe_queries(b: &onex::OnexBase) -> Vec<Vec<f64>> {
+    (0..b.dataset().len().min(3))
+        .map(|s| {
+            let vals = b.dataset().series()[s].values();
+            vals[..vals.len().min(10)].to_vec()
+        })
+        .collect()
+}
+
+/// Asserts two bases answer best-match, top-k and range queries
+/// identically.
+fn assert_query_equivalent(a: &onex::OnexBase, b: &onex::OnexBase) {
+    let (ea, eb) = (
+        Explorer::from_base(a.clone()),
+        Explorer::from_base(b.clone()),
+    );
+    for q in probe_queries(a) {
+        for mode in [MatchMode::Any, MatchMode::Exact(q.len())] {
+            assert_eq!(
+                ea.best_match(&q, mode, QueryOptions::default()).unwrap(),
+                eb.best_match(&q, mode, QueryOptions::default()).unwrap(),
+            );
+            assert_eq!(
+                ea.top_k(&q, mode, 5, QueryOptions::default()).unwrap(),
+                eb.top_k(&q, mode, 5, QueryOptions::default()).unwrap(),
+            );
+            assert_eq!(
+                ea.within_threshold(&q, mode, true, QueryOptions::default())
+                    .unwrap(),
+                eb.within_threshold(&q, mode, true, QueryOptions::default())
+                    .unwrap(),
+            );
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+    /// v3 snapshots round-trip over random bases: the decoded base is
+    /// structurally equal, carries the epoch, and answers every Class I
+    /// query form identically.
+    #[test]
+    fn v3_round_trip_is_query_equivalent_over_random_bases(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0..1.0f64, 8..=13), 2..=4),
+        seed in proptest::prelude::any::<u64>(),
+        epoch in proptest::prelude::any::<u64>(),
+    ) {
+        let series: Vec<TimeSeries> =
+            rows.into_iter().map(|v| TimeSeries::new(v).unwrap()).collect();
+        let d = onex::Dataset::new("v3prop", series);
+        let cfg = OnexConfig { seed, ..OnexConfig::default() };
+        let b = OnexBase::build_prenormalized(d, cfg).unwrap();
+        let bytes = snapshot::encode_with_epoch(&b, epoch);
+        let (r, got_epoch) = snapshot::decode_with_epoch(&bytes).unwrap();
+        proptest::prop_assert_eq!(&b, &r);
+        proptest::prop_assert_eq!(got_epoch, epoch);
+        assert_query_equivalent(&b, &r);
+    }
+}
+
+#[test]
+fn v3_truncation_and_bit_flips_are_rejected_not_panics() {
+    let b = base();
+    let bytes = snapshot::encode_with_epoch(&b, 4).to_vec();
+    assert_eq!(bytes[4], 3, "current snapshots are v3");
+    // Truncation at every 7-byte stride (including mid-slab positions):
+    // clean SnapshotCorrupt, never a panic or a bogus base.
+    for cut in (0..bytes.len()).step_by(7) {
+        let err = snapshot::decode(&bytes[..cut]).unwrap_err();
+        assert!(matches!(err, onex::OnexError::SnapshotCorrupt(_)));
+    }
+    // Bit flips across header, epoch, columnar payload and CRC footer.
+    for at in (0..bytes.len()).step_by(41).chain([bytes.len() - 1]) {
+        for bit in [0u8, 3, 7] {
+            let mut mutated = bytes.clone();
+            mutated[at] ^= 1 << bit;
+            let err = snapshot::decode(&mutated).unwrap_err();
+            assert!(
+                matches!(err, onex::OnexError::SnapshotCorrupt(_)),
+                "flip at byte {at} bit {bit} must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn v1_and_v2_snapshots_load_equivalent_to_v3() {
+    let b = base();
+    let dir = test_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Byte-for-byte what the two previous revisions wrote.
+    let p_v1 = dir.join("cross-v1.onex");
+    let p_v2 = dir.join("cross-v2.onex");
+    let p_v3 = dir.join("cross-v3.onex");
+    std::fs::write(&p_v1, snapshot::encode_v1(&b)).unwrap();
+    std::fs::write(&p_v2, snapshot::encode_v2_with_epoch(&b, 6)).unwrap();
+    Explorer::from_base(b.clone()).save(&p_v3).unwrap();
+
+    let from_v1 = Explorer::load(&p_v1).unwrap();
+    let from_v2 = Explorer::load(&p_v2).unwrap();
+    let from_v3 = Explorer::load(&p_v3).unwrap();
+
+    // v1 predates epochs; v2 carries one just like v3.
+    assert_eq!(from_v1.epoch(), 0);
+    assert_eq!(from_v2.epoch(), 6);
+    assert_eq!(from_v3.epoch(), 0);
+
+    // All three decode to the same base — structurally and behaviourally.
+    assert_eq!(*from_v1.base(), *from_v3.base(), "v1 → v3 load equivalence");
+    assert_eq!(*from_v2.base(), *from_v3.base(), "v2 → v3 load equivalence");
+    assert_eq!(*from_v3.base(), b);
+    assert_query_equivalent(&from_v1.base(), &from_v3.base());
+    assert_query_equivalent(&from_v2.base(), &from_v3.base());
+
+    for p in [p_v1, p_v2, p_v3] {
+        std::fs::remove_file(&p).ok();
+    }
+}
