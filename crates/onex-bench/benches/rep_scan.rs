@@ -1,20 +1,24 @@
 //! Criterion micro-benchmarks for the per-length representative scan over
 //! the **columnar group store** — the layer the PR-4 slab refactor makes
-//! cache-resident. Three views of the same hot loop:
+//! cache-resident and the PR-5 sketch tier makes sub-linear. Groups:
 //!
-//! * `slab_ed` — a pure linear ED sweep over the contiguous rep slab
-//!   (`chunks_exact(len)`), the memory-bound lower bound of any scan.
-//! * `envelope_tier` — the LB_Keogh candidate-envelope tier read straight
-//!   off the slab's lo/hi planes via `EnvelopeRef` (no owned `Envelope`).
-//! * `best_match` — the full cascaded best-match query at the same length,
-//!   tying the micro numbers to the end-to-end path.
+//! * `rep_scan` — the slab-level hot loops: a pure linear ED sweep over
+//!   the contiguous rep slab, the O(n) LB_Keogh candidate-envelope tier,
+//!   and the O(w) tier-0 sketch sweep over the PAA'd envelope planes.
+//! * `kernels` — scalar reference loops vs the `chunks_exact(4)`-blocked
+//!   forms in `onex_dist::kernels` (ED, squared LB_Keogh, PAA fold), the
+//!   autovectorization wins in isolation.
+//! * `rep_scan_end_to_end` — full cascaded best-match queries with the
+//!   sketch tier on vs off (`cascade: false`), tying the micro numbers to
+//!   the end-to-end path.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use onex_core::{Explorer, MatchMode, OnexBase, OnexConfig, QueryOptions};
-use onex_dist::{ed, lb_keogh};
+use onex_dist::kernels::{keogh_contrib, keogh_sq_sum, sum_sq_diff};
+use onex_dist::{ed, lb_keogh, lb_paa_env_sq, paa, paa_into};
 use onex_ts::synth::PaperDataset;
 
-/// The baseline workload: ECG at the BENCH_pr4 scale/seed, multi-length.
+/// The baseline workload: ECG at the BENCH_pr5 scale/seed, multi-length.
 fn base() -> OnexBase {
     let data = PaperDataset::Ecg.generate_scaled(0.25, 7);
     OnexBase::build(&data, OnexConfig::default()).unwrap()
@@ -63,6 +67,102 @@ fn bench_rep_scan(c: &mut Criterion) {
                 })
             },
         );
+
+        // Sketch tier: the same representative sweep through the O(w)
+        // tier-0 bound — query sketch against each stored PAA'd envelope.
+        let w = slab.paa_width();
+        let mut q_sketch = Vec::new();
+        paa_into(&q, w.min(q.len()), &mut q_sketch);
+        let weights = slab.paa_weights().to_vec();
+        g.bench_with_input(
+            BenchmarkId::new(format!("sketch_tier_{groups}g"), len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for local in 0..slab.group_count() {
+                        let penv = slab.paa_envelope_ref(local).expect("finalized");
+                        acc +=
+                            lb_paa_env_sq(black_box(&q_sketch), penv.upper, penv.lower, &weights);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Straight-line sequential reference loops, to measure what the blocked
+/// forms buy over a plain fold. (`ed_sq` was blocked *before* the kernels
+/// module existed, so its scalar/blocked pair quantifies the blocking
+/// itself rather than a change this codebase made; the LB_Keogh and PAA
+/// loops are the ones the kernels module newly blocked.)
+mod scalar {
+    pub fn ed_sq(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    pub fn keogh_sq(c: &[f64], upper: &[f64], lower: &[f64]) -> f64 {
+        c.iter()
+            .zip(upper.iter().zip(lower))
+            .map(|(&ci, (&u, &l))| {
+                if ci > u {
+                    (ci - u) * (ci - u)
+                } else if ci < l {
+                    (ci - l) * (ci - l)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    for &n in &[64usize, 256, 1024] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+        let upper: Vec<f64> = y.iter().map(|v| v + 0.1).collect();
+        let lower: Vec<f64> = y.iter().map(|v| v - 0.1).collect();
+
+        g.bench_with_input(BenchmarkId::new("ed_scalar", n), &n, |b, _| {
+            b.iter(|| scalar::ed_sq(black_box(&x), black_box(&y)))
+        });
+        g.bench_with_input(BenchmarkId::new("ed_blocked", n), &n, |b, _| {
+            b.iter(|| sum_sq_diff(black_box(&x), black_box(&y)))
+        });
+
+        g.bench_with_input(BenchmarkId::new("keogh_sq_scalar", n), &n, |b, _| {
+            b.iter(|| scalar::keogh_sq(black_box(&x), &upper, &lower))
+        });
+        g.bench_with_input(BenchmarkId::new("keogh_sq_blocked", n), &n, |b, _| {
+            b.iter(|| keogh_sq_sum(black_box(&x), &upper, &lower))
+        });
+        // Branch-free contrib in a scalar loop, isolating the select win.
+        g.bench_with_input(BenchmarkId::new("keogh_sq_branchfree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..black_box(&x).len() {
+                    acc += keogh_contrib(x[i], upper[i], lower[i]);
+                }
+                acc
+            })
+        });
+
+        // PAA fold: the allocating reference reduction vs the
+        // allocation-free segment-bounded builder.
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::new("paa_alloc", n), &n, |b, _| {
+            b.iter(|| paa(black_box(&x), 16))
+        });
+        g.bench_with_input(BenchmarkId::new("paa_into", n), &n, |b, _| {
+            b.iter(|| {
+                paa_into(black_box(&x), 16, &mut out);
+                out[0]
+            })
+        });
     }
     g.finish();
 }
@@ -83,9 +183,29 @@ fn bench_end_to_end(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        // The same query with the cascade (and with it the sketch tier)
+        // off: the end-to-end cost of not having tier 0 + member tiers.
+        g.bench_with_input(
+            BenchmarkId::new("best_match_no_cascade", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    explorer
+                        .best_match(
+                            black_box(&q),
+                            MatchMode::Exact(len),
+                            QueryOptions {
+                                cascade: false,
+                                ..QueryOptions::default()
+                            },
+                        )
+                        .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_rep_scan, bench_end_to_end);
+criterion_group!(benches, bench_rep_scan, bench_kernels, bench_end_to_end);
 criterion_main!(benches);

@@ -11,15 +11,16 @@
 //! `--threads <usize>`, `--csv <dir>` (also write each table as CSV),
 //! `--json <path>` (perf: write the machine-readable counter baseline),
 //! `--check-against <path>` (perf: exit non-zero when best-match or top-k
-//! DTW evaluations regress >2x versus the checked-in baseline — the CI
+//! DTW or member evaluations regress >2x versus the checked-in baseline,
+//! or the tier-0 sketch prune rate falls below half of it — the CI
 //! smoke).
 //!
 //! ```sh
 //! # regenerate the checked-in perf baseline (the baseline records its
 //! # scale/seed; the check refuses to compare across different flags)
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr4.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr5.json
 //! # CI regression gate (counters, not wall-clock)
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --check-against BENCH_pr4.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --check-against BENCH_pr5.json
 //! ```
 
 use onex_bench::experiments::{self, Ctx};

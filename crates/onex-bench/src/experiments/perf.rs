@@ -1,19 +1,23 @@
 //! **Perf baseline** — the machine-readable performance record of the
 //! query engine: per-query-class latency, DTW-evaluation, and prune-rate
 //! counters on the synthetic datasets, emitted as JSON so future changes
-//! have a trajectory to compare against (`BENCH_pr4.json` is the current
-//! checked-in baseline, recorded over the columnar group store;
-//! `BENCH_pr3.json` is the pre-columnar record — their counters are
-//! identical, which is the byte-equivalence proof of the slab refactor)
-//! and CI can fail on counter regressions.
+//! have a trajectory to compare against (`BENCH_pr5.json` is the current
+//! checked-in baseline, recorded with the PAA sketch tier; `BENCH_pr4.json`
+//! / `BENCH_pr3.json` are the pre-sketch and pre-columnar records — their
+//! DTW/member-eval counters are identical to pr5's, which is the
+//! result-neutrality proof of both refactors) and CI can fail on counter
+//! regressions.
 //!
 //! Three variants per class isolate the lower-bound pipeline:
-//! `cascade` (the default full pipeline), `rep_only` (LB_Kim + the plain
-//! representative-envelope check, the pre-cascade engine), and
-//! `unpruned` (no lower bounds at all). Counters are exact and
-//! deterministic for a given `--scale`/`--seed`, which is what makes the
-//! CI check stable on shared runners; latency is reported for humans but
-//! never gated on.
+//! `cascade` (the default full pipeline, sketch tier included),
+//! `rep_only` (LB_Kim + the plain representative-envelope check, the
+//! pre-cascade engine), and `unpruned` (no lower bounds at all). Counters
+//! are exact and deterministic for a given `--scale`/`--seed`, which is
+//! what makes the CI check stable on shared runners; latency is reported
+//! for humans but never gated on. Each dataset block also records the
+//! parameters the engine actually *resolved* for it — the Sakoe-Chiba
+//! band radius per query length and the clamped sketch width — so a
+//! baseline is self-describing rather than an echo of the CLI flags.
 
 use super::Ctx;
 use crate::harness::{self, build_timed, fmt_secs, make_queries, Query};
@@ -26,10 +30,16 @@ use std::path::Path;
 /// smoke fast while still exercising multi-length bases).
 const DATASETS: [PaperDataset; 2] = [PaperDataset::ItalyPower, PaperDataset::Ecg];
 
-/// Maximum allowed growth in `cascade`-variant DTW evaluations (best-match
-/// and top-k classes) relative to the checked-in baseline before the CI
-/// check fails.
+/// Maximum allowed growth in `cascade`-variant DTW evaluations and member
+/// evaluations (best-match and top-k classes) relative to the checked-in
+/// baseline before the CI check fails.
 const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Minimum fraction of the baseline's tier-0 (PAA sketch) prune rate a
+/// fresh run must retain: the O(w) tier fronting the cascade is a perf
+/// contract, and silently losing it would re-expose every member to the
+/// O(len) tiers without changing any result-level counter.
+const PAA_RATE_FLOOR: f64 = 0.5;
 
 /// The query classes the `--check-against` gate compares. Best-match was
 /// the original gate; top-k joined once its k-th-best cutoff pruning
@@ -62,6 +72,16 @@ impl Cell {
         }
     }
 
+    /// Fraction of DTW candidates killed by the O(w) sketch tier alone.
+    fn paa_prune_rate(&self) -> f64 {
+        let total = self.stats.dtw_evals + self.stats.lb_prunes;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.pruned_paa as f64 / total as f64
+        }
+    }
+
     fn into_json(self, variant: &str) -> Json {
         Json::obj(vec![
             ("variant", Json::str(variant)),
@@ -71,16 +91,22 @@ impl Cell {
                 Json::Num((self.avg_latency_s * 1e6 * 100.0).round() / 100.0),
             ),
             ("dtw_evals", Json::num(self.stats.dtw_evals)),
+            ("members_examined", Json::num(self.stats.members_examined)),
             ("lb_prunes", Json::num(self.stats.lb_prunes)),
             ("members_lb_pruned", Json::num(self.stats.members_lb_pruned)),
             ("lb_keogh_evals", Json::num(self.stats.lb_keogh_evals)),
             ("early_abandons", Json::num(self.stats.early_abandons)),
+            ("pruned_paa", Json::num(self.stats.pruned_paa)),
             ("pruned_kim", Json::num(self.stats.pruned_kim)),
             ("pruned_keogh_eq", Json::num(self.stats.pruned_keogh_eq)),
             ("pruned_keogh_ec", Json::num(self.stats.pruned_keogh_ec)),
             (
                 "prune_rate",
                 Json::Num((self.prune_rate() * 1e4).round() / 1e4),
+            ),
+            (
+                "paa_prune_rate",
+                Json::Num((self.paa_prune_rate() * 1e4).round() / 1e4),
             ),
         ])
     }
@@ -160,7 +186,7 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
         stats.representatives,
         fmt_secs(build_time.as_secs_f64())
     );
-    let widths = [22, 9, 11, 10, 9, 9, 9, 9, 9];
+    let widths = [22, 9, 11, 10, 9, 9, 9, 9, 9, 9];
     let mut table = harness::Table::new(
         &format!("perf_{}", ds.name()),
         &[
@@ -168,6 +194,7 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
             "latency",
             "dtw evals",
             "prune %",
+            "paa",
             "kim",
             "keogh_eq",
             "keogh_ec",
@@ -196,6 +223,7 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
                 fmt_secs(cell.avg_latency_s),
                 format!("{}", cell.stats.dtw_evals),
                 format!("{:.1}", cell.prune_rate() * 100.0),
+                format!("{}", cell.stats.pruned_paa),
                 format!("{}", cell.stats.pruned_kim),
                 format!("{}", cell.stats.pruned_keogh_eq),
                 format!("{}", cell.stats.pruned_keogh_ec),
@@ -210,11 +238,35 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
         ]));
     }
     table.finish(ctx.csv());
+    // The parameters the engine actually *resolved* for this dataset —
+    // not the CLI-level config echo. Each distinct query length gets its
+    // concrete Sakoe-Chiba band radius (`Window::resolve(len, len)`, the
+    // radius every stored envelope at that length was built with) and its
+    // clamped sketch width, so the baseline pins what the counters were
+    // measured under even if the resolution rules ever change.
+    let config = base.config();
+    let mut qlens: Vec<usize> = queries.iter().map(|q| q.values.len()).collect();
+    qlens.sort_unstable();
+    qlens.dedup();
+    let resolved: Vec<Json> = qlens
+        .into_iter()
+        .map(|len| {
+            Json::obj(vec![
+                ("len", Json::num(len)),
+                ("band_radius", Json::num(config.window.resolve(len, len))),
+                ("paa_width", Json::num(config.paa_width.clamp(1, len))),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("name", Json::str(ds.name())),
         ("series", Json::num(base.dataset().len())),
         ("subsequences", Json::num(stats.subsequences)),
         ("representatives", Json::num(stats.representatives)),
+        ("window", Json::Str(format!("{:?}", config.window))),
+        ("st", Json::Num(config.st)),
+        ("paa_width", Json::num(config.paa_width)),
+        ("resolved_query_params", Json::Arr(resolved)),
         ("classes", Json::Arr(class_objs)),
     ])
 }
@@ -230,7 +282,7 @@ pub fn run(ctx: &Ctx) -> bool {
     }
     let config = ctx.config();
     let doc = Json::obj(vec![
-        ("version", Json::num(1)),
+        ("version", Json::num(2)),
         ("scale", Json::Num(ctx.scale)),
         ("seed", Json::num(ctx.seed as usize)),
         ("runs", Json::num(ctx.runs)),
@@ -272,10 +324,29 @@ fn find_cell<'a>(doc: &'a Json, name: &str, class: &str, variant: &str) -> Optio
         .find(|v| v.get("variant").and_then(Json::as_str) == Some(variant))
 }
 
-/// The CI regression gate: DTW evaluations of every [`GATED_CLASSES`]
-/// entry under the default cascade must not exceed [`REGRESSION_FACTOR`] ×
-/// the checked-in baseline. Counter-based, so it is immune to
-/// shared-runner noise.
+/// One gated quantity comparison: `fresh ≤ factor × baseline`.
+fn gate_leq(label: &str, fresh: f64, baseline: f64, factor: f64) -> bool {
+    let ratio = if baseline > 0.0 {
+        fresh / baseline
+    } else if fresh == 0.0 {
+        1.0
+    } else {
+        f64::INFINITY
+    };
+    let ok = ratio <= factor;
+    println!(
+        "    {label}: {fresh} vs {baseline} ({ratio:.2}x) {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    ok
+}
+
+/// The CI regression gate over every [`GATED_CLASSES`] entry under the
+/// default cascade: DTW evaluations and member evaluations must not
+/// exceed [`REGRESSION_FACTOR`] × the checked-in baseline, and the tier-0
+/// (PAA sketch) prune rate must retain at least [`PAA_RATE_FLOOR`] of the
+/// baseline's. Counter-based, so it is immune to shared-runner noise.
+/// Fields absent from an older baseline are skipped with a notice.
 fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -309,34 +380,47 @@ fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
     println!("\nperf check against {}:", baseline_path.display());
     for ds in DATASETS {
         for class in GATED_CLASSES.iter() {
-            let fresh_evals = find_cell(fresh, ds.name(), class, "cascade")
-                .and_then(|c| c.get("dtw_evals"))
-                .and_then(Json::as_f64);
-            let base_evals = find_cell(&baseline, ds.name(), class, "cascade")
-                .and_then(|c| c.get("dtw_evals"))
-                .and_then(Json::as_f64);
-            let (Some(fresh_evals), Some(base_evals)) = (fresh_evals, base_evals) else {
+            let fresh_cell = find_cell(fresh, ds.name(), class, "cascade");
+            let base_cell = find_cell(&baseline, ds.name(), class, "cascade");
+            let (Some(fresh_cell), Some(base_cell)) = (fresh_cell, base_cell) else {
                 eprintln!("  {}/{class}: missing from baseline — skipped", ds.name());
                 continue;
             };
+            let field = |cell: &Json, key: &str| cell.get(key).and_then(Json::as_f64);
+            let (Some(fresh_evals), Some(base_evals)) = (
+                field(fresh_cell, "dtw_evals"),
+                field(base_cell, "dtw_evals"),
+            ) else {
+                eprintln!("  {}/{class}: missing dtw_evals — skipped", ds.name());
+                continue;
+            };
             compared += 1;
-            let factor = if base_evals > 0.0 {
-                fresh_evals / base_evals
-            } else if fresh_evals == 0.0 {
-                1.0
-            } else {
-                f64::INFINITY
-            };
-            let verdict = if factor > REGRESSION_FACTOR {
-                ok = false;
-                "FAIL"
-            } else {
-                "ok"
-            };
-            println!(
-                "  {}/{class}: {fresh_evals} vs {base_evals} DTW evals ({factor:.2}x) {verdict}",
-                ds.name()
-            );
+            println!("  {}/{class}:", ds.name());
+            ok &= gate_leq("dtw_evals", fresh_evals, base_evals, REGRESSION_FACTOR);
+            // Member evaluations: the quantity the sketch tier protects.
+            match (
+                field(fresh_cell, "members_examined"),
+                field(base_cell, "members_examined"),
+            ) {
+                (Some(f), Some(b)) => ok &= gate_leq("members_examined", f, b, REGRESSION_FACTOR),
+                _ => println!("    members_examined: not in baseline — skipped"),
+            }
+            // Tier-0 prune rate: must not silently erode.
+            match (
+                field(fresh_cell, "paa_prune_rate"),
+                field(base_cell, "paa_prune_rate"),
+            ) {
+                (Some(f), Some(b)) => {
+                    let floor = b * PAA_RATE_FLOOR;
+                    let good = f >= floor;
+                    println!(
+                        "    paa_prune_rate: {f:.4} vs {b:.4} (floor {floor:.4}) {}",
+                        if good { "ok" } else { "FAIL" }
+                    );
+                    ok &= good;
+                }
+                _ => println!("    paa_prune_rate: not in baseline — skipped"),
+            }
         }
     }
     if compared == 0 {
@@ -345,7 +429,8 @@ fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
     }
     if !ok {
         eprintln!(
-            "perf check FAILED: gated DTW evaluations regressed more than {REGRESSION_FACTOR}x"
+            "perf check FAILED: gated counters regressed beyond {REGRESSION_FACTOR}x (or the \
+             tier-0 prune rate fell below {PAA_RATE_FLOOR} of baseline)"
         );
     }
     ok

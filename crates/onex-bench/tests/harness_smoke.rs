@@ -50,7 +50,7 @@ fn perf_baseline_emits_parseable_json_and_self_checks() {
     assert!(perf::run(&ctx), "perf run with --json must succeed");
     let text = std::fs::read_to_string(&path).unwrap();
     let doc = onex_bench::json::Json::parse(&text).unwrap();
-    assert_eq!(doc.get("version").and_then(|v| v.as_f64()), Some(1.0));
+    assert_eq!(doc.get("version").and_then(|v| v.as_f64()), Some(2.0));
     assert!(!doc.get("datasets").unwrap().as_arr().unwrap().is_empty());
     ctx.json_out = None;
     ctx.check_against = Some(path);

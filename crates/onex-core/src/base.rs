@@ -29,6 +29,10 @@ pub struct BaseStats {
     /// Bytes held in the contiguous per-length f64 slabs (representatives,
     /// envelope planes, running sums) — the cache-resident scan surface.
     pub slab_bytes: usize,
+    /// Bytes held in the PAA sketch planes (representative/envelope sketch
+    /// slabs plus per-group member sketch planes) — the cascade's tier-0
+    /// scan surface.
+    pub sketch_bytes: usize,
     /// Heap allocations backing the group store. The columnar layout pays
     /// a handful per *length*; the old array-of-structs layout paid ~5 per
     /// *group*.
@@ -233,6 +237,7 @@ impl OnexBase {
             gti_bytes,
             lsi_bytes: fp.total_bytes(),
             slab_bytes: fp.slab_bytes(),
+            sketch_bytes: fp.sketch_bytes(),
             store_allocations: fp.allocations(),
         }
     }
@@ -301,12 +306,14 @@ mod tests {
         assert!(stats.gti_bytes > 0 && stats.lsi_bytes > 0);
         assert!(stats.total_mb() > 0.0);
         assert!(stats.reduction_factor() >= 1.0);
-        // columnar accounting: slabs are a subset of the LSI bytes, and the
-        // whole store costs a handful of allocations per length plus one
-        // per member list.
+        // columnar accounting: slabs and sketches are subsets of the LSI
+        // bytes, and the whole store costs a handful of allocations per
+        // length plus one per member list and one per sketch plane.
         assert!(stats.slab_bytes > 0 && stats.slab_bytes <= stats.lsi_bytes);
-        assert!(stats.store_allocations >= 7 * stats.lengths);
-        assert!(stats.store_allocations <= 7 * stats.lengths + stats.representatives + 2);
+        assert!(stats.sketch_bytes > 0 && stats.sketch_bytes <= stats.lsi_bytes);
+        assert!(stats.slab_bytes + stats.sketch_bytes <= stats.lsi_bytes);
+        assert!(stats.store_allocations >= 12 * stats.lengths);
+        assert!(stats.store_allocations <= 12 * stats.lengths + 2 * stats.representatives + 2);
     }
 
     #[test]

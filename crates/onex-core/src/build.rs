@@ -18,7 +18,7 @@
 
 use crate::store::LengthSlab;
 use crate::{BuildMode, OnexConfig};
-use onex_dist::ed_early_abandon_sq;
+use onex_dist::{ed_early_abandon_sq, lb_paa_sq, paa_into};
 use onex_ts::{Dataset, SubseqRef};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -29,54 +29,99 @@ use std::sync::Mutex;
 /// forced into singleton groups.
 const STRICT_ROUNDS: usize = 4;
 
+/// Guard band for the assigner's LB_PAA prefilter: prune only when the
+/// sketch bound exceeds `cutoff × (1 + margin)`. The bound is mathematically
+/// ≤ the ED the scan keys on, but it is *computed* with a different
+/// floating-point association (blocked weighted sum vs the sequential ED
+/// fold), so at an exact tie — where the Jensen slack is zero — it could
+/// overshoot the cutoff by a few ulps and flip a near-tie group assignment.
+/// A relative margin orders of magnitude above any accumulated rounding
+/// (~n·ε ≈ 1e-13 for the longest subsequences) makes the prefilter provably
+/// conservative: it can only skip work, never change which group wins, so
+/// the built base stays bit-identical to the unfiltered scan's.
+const PAA_PREFILTER_MARGIN: f64 = 1e-9;
+
 /// Incremental assignment state for one length: the group slab under
 /// construction plus the *live* means, kept in a parallel flat slab so the
-/// ED hot loop walks contiguous rows.
+/// ED hot loop walks contiguous rows — and the means' PAA sketches in a
+/// second flat slab, so an O(w) LB_PAA prefilter can skip the O(len) ED
+/// for candidates that provably cannot join a group.
 pub(crate) struct Assigner {
     pub(crate) slab: LengthSlab,
     /// Live means, row-major with the same stride/order as the slab.
     means: Vec<f64>,
+    /// PAA sketches of the live means, row-major with stride `paa_w`.
+    /// Always recomputed *from the mean row* after a mean moves (never
+    /// updated incrementally in sketch space), so each row is exactly
+    /// `PAA(mean)` and `LB_PAA(candidate, mean) ≤ ED(candidate, mean)`
+    /// holds — the prefilter can only skip work, never change assignment.
+    means_paa: Vec<f64>,
+    /// Sketch scratch for the candidate of the current [`Assigner::assign`].
+    cand_paa: Vec<f64>,
+    /// Sketch scratch for mean-row recomputes.
+    row_paa: Vec<f64>,
     len: usize,
+    /// Sketch width (the slab's `min(paa_width, len)`).
+    paa_w: usize,
     /// Raw-space admission threshold `√L · ST/2`.
     limit_raw: f64,
 }
 
 impl Assigner {
-    pub(crate) fn new(len: usize, st: f64) -> Self {
-        Assigner {
-            slab: LengthSlab::new(len),
-            means: Vec::new(),
-            len,
-            limit_raw: (len as f64).sqrt() * st / 2.0,
-        }
+    pub(crate) fn new(len: usize, st: f64, paa_width: usize) -> Self {
+        Self::with_slab(st, LengthSlab::new(len, paa_width))
     }
 
     /// Seeds the assigner with an existing slab (used by refinement and
     /// maintenance, which extend an already-built base).
     pub(crate) fn with_slab(st: f64, slab: LengthSlab) -> Self {
         let len = slab.subseq_len();
-        let mut means = Vec::with_capacity(slab.group_count() * len);
-        let mut row = Vec::new();
-        for local in 0..slab.group_count() {
-            slab.mean_into(local, &mut row);
-            means.extend_from_slice(&row);
-        }
-        Assigner {
+        let paa_w = slab.paa_width();
+        let mut asg = Assigner {
             slab,
-            means,
+            means: Vec::new(),
+            means_paa: Vec::new(),
+            cand_paa: Vec::new(),
+            row_paa: Vec::new(),
             len,
+            paa_w,
             limit_raw: (len as f64).sqrt() * st / 2.0,
-        }
+        };
+        asg.rebuild_means();
+        asg
     }
 
     /// Assigns one subsequence: joins the closest qualifying group or seeds
     /// a new one (Algorithm 1, lines 12–20). Returns the group index.
+    ///
+    /// When the sketch genuinely reduces (`w < len`), each existing group
+    /// is first tested with the O(w) LB_PAA bound — guard-banded by
+    /// [`PAA_PREFILTER_MARGIN`] — against the running cutoff; only
+    /// survivors pay the O(len) early-abandoning ED. The prefilter can
+    /// only skip work, never change which group wins, so the built base is
+    /// identical to the unfiltered scan's. (At `w == len` the sketch *is*
+    /// the sequence — zero reduction, zero slack — so the prefilter is
+    /// skipped outright.)
     pub(crate) fn assign(&mut self, dataset: &Dataset, r: SubseqRef) -> usize {
         let values = dataset.subseq_unchecked(r);
+        paa_into(values, self.paa_w, &mut self.cand_paa);
+        let weights = self.slab.paa_weights();
+        let prefilter = self.paa_w < self.len;
         let limit_sq = self.limit_raw * self.limit_raw;
         let mut best: Option<(usize, f64)> = None;
         let mut cutoff = limit_sq;
-        for (k, mean) in self.means.chunks_exact(self.len).enumerate() {
+        for (k, (mean, mean_paa)) in self
+            .means
+            .chunks_exact(self.len)
+            .zip(self.means_paa.chunks_exact(self.paa_w))
+            .enumerate()
+        {
+            if prefilter
+                && lb_paa_sq(&self.cand_paa, mean_paa, weights)
+                    > cutoff * (1.0 + PAA_PREFILTER_MARGIN)
+            {
+                continue;
+            }
             if let Some(d_sq) = ed_early_abandon_sq(values, mean, cutoff) {
                 if d_sq <= cutoff {
                     best = Some((k, d_sq));
@@ -93,11 +138,17 @@ impl Assigner {
                 for (m, &v) in row.iter_mut().zip(values) {
                     *m += (v - *m) / n;
                 }
+                // Re-sketch the moved mean from its row (see `means_paa`).
+                paa_into(row, self.paa_w, &mut self.row_paa);
+                self.means_paa[k * self.paa_w..(k + 1) * self.paa_w].copy_from_slice(&self.row_paa);
                 k
             }
             None => {
                 let k = self.slab.seed(r, values);
                 self.means.extend_from_slice(values);
+                // A singleton's mean is the candidate itself, so its
+                // sketch is the candidate's — bit-identical to a recompute.
+                self.means_paa.extend_from_slice(&self.cand_paa);
                 k
             }
         }
@@ -124,6 +175,8 @@ impl Assigner {
                     let values = dataset.subseq_unchecked(r);
                     self.slab.seed(r, values);
                     self.means.extend_from_slice(values);
+                    paa_into(values, self.paa_w, &mut self.row_paa);
+                    self.means_paa.extend_from_slice(&self.row_paa);
                 }
                 return;
             }
@@ -133,11 +186,20 @@ impl Assigner {
         }
     }
 
+    /// Rebuilds the mean slab (and its sketch slab) from the group sums —
+    /// used after construction from an existing slab and after evictions,
+    /// both of which move means non-incrementally.
     fn rebuild_means(&mut self) {
+        let g = self.slab.group_count();
+        self.means.resize(g * self.len, 0.0);
+        self.means_paa.resize(g * self.paa_w, 0.0);
         let mut row = Vec::new();
-        for local in 0..self.slab.group_count() {
+        for local in 0..g {
             self.slab.mean_into(local, &mut row);
             self.means[local * self.len..(local + 1) * self.len].copy_from_slice(&row);
+            paa_into(&row, self.paa_w, &mut self.row_paa);
+            self.means_paa[local * self.paa_w..(local + 1) * self.paa_w]
+                .copy_from_slice(&self.row_paa);
         }
     }
 }
@@ -156,7 +218,7 @@ pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -
         refs.swap(i, j);
     }
 
-    let mut asg = Assigner::new(len, config.st);
+    let mut asg = Assigner::new(len, config.st, config.paa_width);
     for &r in &refs {
         asg.assign(dataset, r);
     }
@@ -213,7 +275,7 @@ fn lloyd_refine(
             buckets[best].push(r);
         }
         // Rebuild the slab from the buckets (dropping empties).
-        let mut slab = LengthSlab::new(len);
+        let mut slab = LengthSlab::new(len, config.paa_width);
         for bucket in buckets {
             let mut members = bucket.into_iter();
             let Some(first) = members.next() else {

@@ -84,6 +84,16 @@ pub struct OnexConfig {
     /// grows like n); with it, accurate any-length search must visit every
     /// length. See DESIGN.md §5.
     pub rank_normalized: bool,
+    /// Width (segment count) of the precomputed PAA sketches the store
+    /// keeps for every representative, member and representative envelope —
+    /// the cascade's O(w) tier-0 prune and the construction assigner's ED
+    /// prefilter. Clamped per length to `min(paa_width, len)`.
+    /// **Accuracy-neutral**: every sketch test is a proven lower bound used
+    /// with strictly-greater pruning, so any width returns byte-identical
+    /// query results — the knob only trades sketch memory (`2·w`-per-group
+    /// planes plus `w` per member) against how much O(len) tier work the
+    /// O(w) tier skips. Default 16.
+    pub paa_width: usize,
     /// Seed for the construction-time randomization (RANDOMIZE-IN-PLACE and
     /// first-representative selection).
     pub seed: u64,
@@ -105,6 +115,7 @@ impl Default for OnexConfig {
             stop_at_first_qualifying: true,
             explore_top_groups: 1,
             rank_normalized: false,
+            paa_width: 16,
             seed: 0xA11CE,
             threads: 1,
         }
@@ -129,6 +140,11 @@ impl OnexConfig {
         if self.explore_top_groups == 0 {
             return Err(OnexError::InvalidRefinement(
                 "explore_top_groups must be ≥ 1".to_string(),
+            ));
+        }
+        if self.paa_width == 0 {
+            return Err(OnexError::InvalidRefinement(
+                "paa_width must be ≥ 1".to_string(),
             ));
         }
         Ok(())
@@ -162,5 +178,15 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_paa_width() {
+        let c = OnexConfig {
+            paa_width: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        assert_eq!(OnexConfig::default().paa_width, 16);
     }
 }

@@ -153,9 +153,10 @@ pub struct QueryOptions {
     /// `cascade` for the per-tier pipeline it enables.
     pub lb_pruning: bool,
     /// Run every DTW candidate — representative *and* member — through the
-    /// full cascaded pipeline: LB_Kim → query-envelope LB_Keogh
-    /// (reordered, squared, early-abandoning) → candidate-envelope
-    /// LB_Keogh → suffix-seeded early-abandoned DTW (default `true`).
+    /// full cascaded pipeline: the O(w) PAA sketch bound (tier 0) →
+    /// LB_Kim → query-envelope LB_Keogh (reordered, squared,
+    /// early-abandoning) → candidate-envelope LB_Keogh → suffix-seeded
+    /// early-abandoned DTW (default `true`).
     /// With `cascade: false` (and `lb_pruning` on) only the pre-cascade
     /// representative-level LB_Kim + envelope check runs — the ablation
     /// point isolating the member-level tiers. Results are identical
@@ -361,7 +362,7 @@ pub struct QueryStats {
     /// Total DTW evaluations (against representatives and members).
     pub dtw_evals: usize,
     /// Candidates (representatives + members) skipped by the lower-bound
-    /// cascade; always the sum of the three per-tier counters below.
+    /// cascade; always the sum of the four per-tier counters below.
     pub lb_prunes: usize,
     /// Similarity groups visited (representatives considered).
     pub groups_visited: usize,
@@ -375,6 +376,10 @@ pub struct QueryStats {
     /// DTW evaluations abandoned early (cutoff or suffix bound); these
     /// still count inside `dtw_evals`.
     pub early_abandons: usize,
+    /// Candidates killed by cascade tier 0, the O(w) PAA sketch bound
+    /// (member sketch vs the query's PAA'd envelope; query sketch vs the
+    /// representative's stored PAA'd envelope).
+    pub pruned_paa: usize,
     /// Candidates killed by cascade tier 1, LB_Kim.
     pub pruned_kim: usize,
     /// Candidates killed by tier 2, LB_Keogh against the query envelope.
@@ -412,6 +417,7 @@ impl QueryStats {
             members_lb_pruned: counters.members_lb_pruned,
             lb_keogh_evals: counters.lb_keogh_evals,
             early_abandons: counters.early_abandons,
+            pruned_paa: counters.pruned_paa,
             pruned_kim: counters.pruned_kim,
             pruned_keogh_eq: counters.pruned_keogh_eq,
             pruned_keogh_ec: counters.pruned_keogh_ec,
@@ -434,6 +440,7 @@ impl QueryStats {
         self.members_lb_pruned += other.members_lb_pruned;
         self.lb_keogh_evals += other.lb_keogh_evals;
         self.early_abandons += other.early_abandons;
+        self.pruned_paa += other.pruned_paa;
         self.pruned_kim += other.pruned_kim;
         self.pruned_keogh_eq += other.pruned_keogh_eq;
         self.pruned_keogh_ec += other.pruned_keogh_ec;

@@ -19,26 +19,46 @@
 //!
 //! Every DTW candidate — representative *and* group member — runs through
 //! [`cascade_eval`], the UCR-suite filter cascade ported from the trillion
-//! baseline: (1) O(1) LB_Kim, (2) LB_Keogh of the candidate against the
-//! *query's* envelope in squared space with contribution-ordered early
-//! abandoning, (3) LB_Keogh of the query against the *candidate's* stored
-//! envelope where one exists (group representatives), (4) early-abandoned
-//! DTW seeded with the query-envelope suffix bound. The query's envelope
-//! and contribution order are built lazily once per `(query, resolved
-//! radius)` in a [`SearchCtx`]-owned cache, so the per-candidate cost of
-//! tiers 2 and 4 is O(n) with zero allocation. Tiers 2–4 require equal
-//! lengths (LB_Keogh is undefined otherwise) and only fire when the
-//! running cutoff is finite; every prune uses a strictly-greater test, so
-//! a pruned candidate can never be (or tie into) the true answer — the
-//! cascade changes work done, never results.
+//! baseline, fronted by a dimensionality-reduced **sketch tier**:
+//! (0) the O(w) PAA sketch bound, where the sketch genuinely reduces
+//! (`w < len`): the candidate's precomputed sketch (member or
+//! representative) against the PAA'd envelope of the query, plus, for a
+//! representative, the query's sketch against the representative's
+//! *stored* PAA'd envelope (each
+//! `lb_paa_env_sq ≤ LB_Keogh² ≤ banded DTW²`); then (1) O(1) LB_Kim,
+//! (2) LB_Keogh of the
+//! candidate against the *query's* envelope in squared space with
+//! contribution-ordered early abandoning, (3) LB_Keogh of the query
+//! against the *candidate's* stored envelope where one exists (group
+//! representatives), (4) early-abandoned DTW seeded with the
+//! query-envelope suffix bound. The query's envelope, contribution order,
+//! PAA sketch and PAA'd envelope are built lazily once per `(query,
+//! resolved radius)` in a [`SearchCtx`]-owned cache, so the per-candidate
+//! cost of tier 0 is O(w), of tiers 2 and 4 O(n), all with zero
+//! allocation. Tiers 0 and 2–4 require equal lengths (LB_Keogh is
+//! undefined otherwise) and only fire when the running cutoff is finite;
+//! every prune uses a strictly-greater test (tier 0 additionally
+//! guard-banded by [`PAA_TIER0_MARGIN`]), so a pruned candidate can never
+//! be (or tie into) the true answer — the cascade changes work done,
+//! never results.
 
 use super::validate_query;
+
+/// Guard band for the tier-0 sketch prune, mirroring the construction
+/// assigner's `PAA_PREFILTER_MARGIN`: the sketch bound is computed with a
+/// different floating-point association (blocked weighted sum) than the
+/// DTW-family values the cutoff comes from, so where its mathematical
+/// slack is small an exact-tie candidate could be overshot by a few ulps.
+/// Pruning only beyond `cutoff² × (1 + margin)` makes the tier provably
+/// conservative — accumulated rounding is ~n·ε ≈ 1e-13 — while giving up
+/// only boundary-noise prunes.
+const PAA_TIER0_MARGIN: f64 = 1e-9;
 use crate::index::LengthIndex;
 use crate::store::LengthSlab;
 use crate::{GroupId, OnexBase, OnexConfig, OnexError, Result};
 use onex_dist::{
-    lb_keogh, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl, DtwBuffer, Envelope,
-    EnvelopeRef, Window,
+    lb_keogh, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl, lb_paa_env_sq,
+    paa_envelope_into, paa_into, paa_segment_weights, DtwBuffer, Envelope, EnvelopeRef, Window,
 };
 use onex_ts::SubseqRef;
 use std::time::Instant;
@@ -88,6 +108,9 @@ pub struct QueryStats {
     /// DTW evaluations abandoned early (cutoff or suffix bound), counted
     /// inside `rep_dtw_evals`/`members_examined`.
     pub early_abandons: usize,
+    /// Candidates (representatives + members) killed by tier 0, the O(w)
+    /// PAA sketch bound.
+    pub pruned_paa: usize,
     /// Candidates (representatives + members) killed by tier 1, LB_Kim.
     pub pruned_kim: usize,
     /// Candidates killed by tier 2, LB_Keogh against the query's envelope.
@@ -106,7 +129,8 @@ impl QueryStats {
     }
 
     /// Total candidates killed by the LB cascade (representatives +
-    /// members); always equals the sum of the per-tier prune counters.
+    /// members); always equals the sum of the per-tier prune counters
+    /// (`pruned_paa + pruned_kim + pruned_keogh_eq + pruned_keogh_ec`).
     pub fn lb_pruned(&self) -> usize {
         self.reps_lb_pruned + self.members_lb_pruned
     }
@@ -130,6 +154,9 @@ pub(crate) struct SearchParams {
     /// `false` falls back to LB_Kim plus the plain representative-envelope
     /// check only. Ignored when `lb_pruning` is off.
     pub cascade: bool,
+    /// Sketch width of the base's stored PAA planes (the cascade's tier-0
+    /// stride; resolved per length as `min(paa_width, len)`).
+    pub paa_width: usize,
     /// Absolute deadline; the search returns its best-so-far once passed.
     pub deadline: Option<Instant>,
     /// Cap on total DTW evaluations (representatives + members).
@@ -155,6 +182,7 @@ impl SearchParams {
             window: config.window,
             lb_pruning: true,
             cascade: true,
+            paa_width: config.paa_width,
             deadline: None,
             max_dtw_evals: None,
             explore_top_groups: config.explore_top_groups,
@@ -167,13 +195,14 @@ impl SearchParams {
 }
 
 /// Lazily built, per-query envelope state for the cascade's query-side
-/// tiers: the query's LB_Keogh envelope plus the UCR-suite contribution
-/// order (indices sorted by |deviation from the query mean|, largest
-/// first). The query-side tiers only fire for candidates of the query's
-/// own length, so one search resolves exactly one band radius and a
-/// single slot suffices; the build cost amortizes across every group and
-/// member evaluated at that length. The slot rebuilds defensively if a
-/// different radius is ever requested.
+/// tiers: the query's LB_Keogh envelope, the UCR-suite contribution order
+/// (indices sorted by |deviation from the query mean|, largest first),
+/// and the tier-0 sketch state — the query's PAA sketch, its PAA'd
+/// envelope, and the segment weights. The query-side tiers only fire for
+/// candidates of the query's own length, so one search resolves exactly
+/// one band radius and a single slot suffices; the build cost amortizes
+/// across every group and member evaluated at that length. The slot
+/// rebuilds defensively if a different radius is ever requested.
 #[derive(Debug, Default)]
 pub(crate) struct QueryEnvelopeCache {
     entry: Option<QueryEnvelope>,
@@ -184,6 +213,14 @@ struct QueryEnvelope {
     radius: usize,
     env: Envelope,
     order: Vec<usize>,
+    /// The query's PAA sketch, width `min(paa_width, q.len())`.
+    paa: Vec<f64>,
+    /// Segment-max of the query envelope's upper plane (tier 0, members).
+    paa_env_hi: Vec<f64>,
+    /// Segment-min of the query envelope's lower plane (tier 0, members).
+    paa_env_lo: Vec<f64>,
+    /// Per-segment sample counts as tier-0 kernel weights.
+    weights: Vec<f64>,
 }
 
 impl QueryEnvelopeCache {
@@ -192,8 +229,10 @@ impl QueryEnvelopeCache {
         self.entry = None;
     }
 
-    /// The entry for `radius`, building it on first request.
-    fn entry(&mut self, q: &[f64], radius: usize) -> &QueryEnvelope {
+    /// The entry for `radius`, building it on first request. `paa_width`
+    /// is the base's configured sketch width (clamped here to the query
+    /// length, matching the slab-side clamp for equal-length candidates).
+    fn entry(&mut self, q: &[f64], radius: usize, paa_width: usize) -> &QueryEnvelope {
         if self.entry.as_ref().is_none_or(|e| e.radius != radius) {
             let env = Envelope::build(q, radius);
             let mean = q.iter().sum::<f64>() / q.len().max(1) as f64;
@@ -203,7 +242,20 @@ impl QueryEnvelopeCache {
                 let db = (q[b] - mean).abs();
                 db.total_cmp(&da)
             });
-            self.entry = Some(QueryEnvelope { radius, env, order });
+            let w = paa_width.clamp(1, q.len().max(1));
+            let mut paa = Vec::with_capacity(w);
+            paa_into(q, w, &mut paa);
+            let (mut hi, mut lo) = (Vec::with_capacity(w), Vec::with_capacity(w));
+            paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
+            self.entry = Some(QueryEnvelope {
+                radius,
+                env,
+                order,
+                paa,
+                paa_env_hi: hi,
+                paa_env_lo: lo,
+                weights: paa_segment_weights(q.len().max(1), w),
+            });
         }
         self.entry.as_ref().expect("just built")
     }
@@ -278,6 +330,14 @@ enum Candidate {
 
 /// Evaluates one candidate through the cascaded lower-bound pipeline:
 ///
+/// 0. **PAA sketch bound** (O(w), equal lengths, `cascade` only, skipped
+///    at the degenerate `w == len` where it cannot beat tier 2): the
+///    candidate's precomputed sketch (`cand_paa` — members and
+///    representatives alike) against the query's PAA'd envelope, and for
+///    representatives additionally the query's sketch against the stored
+///    PAA'd envelope (`cand_paa_env`, when at least as wide as the band)
+///    — each `≤ LB_Keogh ≤ banded DTW`, guard-banded by
+///    [`PAA_TIER0_MARGIN`],
 /// 1. **LB_Kim** (O(1), any lengths),
 /// 2. **query-envelope LB_Keogh** — candidate against the cached query
 ///    envelope, squared space, contribution-ordered early abandoning
@@ -302,10 +362,13 @@ enum Candidate {
 /// see [`best_in_group`] — which is the one deliberate heuristic change
 /// from the pre-cascade engine; it is what makes the walk's trajectory
 /// independent of pruning.)
+#[allow(clippy::too_many_arguments)]
 fn cascade_eval(
     q: &[f64],
     cand: &[f64],
     cand_env: Option<EnvelopeRef<'_>>,
+    cand_paa: Option<&[f64]>,
+    cand_paa_env: Option<EnvelopeRef<'_>>,
     cutoff: f64,
     p: &SearchParams,
     ctx: &mut SearchCtx,
@@ -327,6 +390,51 @@ fn cascade_eval(
     // all-zero suffix, which can never tighten the in-matrix abandon.
     let mut suffix_useful = false;
     if lb_active {
+        // Tier 0: the O(w) PAA sketch bound, in front of the whole
+        // cascade — but only where the sketch genuinely reduces
+        // (`w < len`; at `w == len` it would be a full-length,
+        // non-abandoning duplicate of tier 2 with zero Jensen slack).
+        // Every candidate with a stored sketch (`cand_paa`: members *and*
+        // representatives) tests it against the query's PAA'd envelope —
+        // valid at any stored-envelope radius, since the query envelope
+        // is built at the resolved band. Representatives additionally
+        // test the query's sketch against their *stored* PAA'd envelope
+        // (`cand_paa_env`, valid only when at least as wide as the band,
+        // like tier 3) — two independent O(w) bounds on the same DTW.
+        // Prunes are guard-banded like the construction prefilter
+        // (`PAA_TIER0_MARGIN`): the bound is computed with a different
+        // float association than the DTW it stands in for, and the margin
+        // makes an ulp-level overshoot at an exact tie provably unable to
+        // drop a qualifying candidate. The width checks skip a test
+        // rather than panic if a caller ever hands sketches of a
+        // different reduction.
+        let sketch_reduces = p.paa_width.clamp(1, q.len().max(1)) < q.len();
+        if p.cascade
+            && equal_len
+            && sketch_reduces
+            && (cand_paa.is_some() || cand_paa_env.is_some())
+        {
+            let entry = qenv.entry(q, radius, p.paa_width);
+            let limit_sq = cutoff * cutoff * (1.0 + PAA_TIER0_MARGIN);
+            let vs_query_env = cand_paa
+                .filter(|cp| cp.len() == entry.paa_env_hi.len())
+                .map(|cp| lb_paa_env_sq(cp, &entry.paa_env_hi, &entry.paa_env_lo, &entry.weights));
+            let pruned = match vs_query_env {
+                Some(lb0_sq) if lb0_sq > limit_sq => true,
+                _ => cand_paa_env
+                    .filter(|e| e.radius >= radius && e.len() == entry.paa.len())
+                    .map(|e| lb_paa_env_sq(&entry.paa, e.upper, e.lower, &entry.weights))
+                    .is_some_and(|lb0_sq| lb0_sq > limit_sq),
+            };
+            if pruned {
+                stats.pruned_paa += 1;
+                match kind {
+                    Candidate::Rep => stats.reps_lb_pruned += 1,
+                    Candidate::Member => stats.members_lb_pruned += 1,
+                }
+                return None;
+            }
+        }
         // Tier 1: LB_Kim.
         if lb_kim_fl(q, cand) > cutoff {
             stats.pruned_kim += 1;
@@ -340,7 +448,7 @@ fn cascade_eval(
         // Tier 2: candidate vs the query's envelope (reordered, squared,
         // early-abandoning). Built at most once per (query, radius).
         if p.cascade && equal_len {
-            let entry = qenv.entry(q, radius);
+            let entry = qenv.entry(q, radius, p.paa_width);
             stats.lb_keogh_evals += 1;
             match lb_keogh_sq_abandon(cand, &entry.env, Some(&entry.order), cutoff_sq) {
                 Some(eq_sq) if eq_sq <= cutoff_sq => suffix_useful = eq_sq > 0.0,
@@ -461,7 +569,7 @@ pub(crate) fn top_k(
             if norm <= p.st / 2.0 {
                 qualified = true;
             }
-            for &(r, _) in slab.members(c.local) {
+            for (idx, &(r, _)) in slab.members(c.local).iter().enumerate() {
                 if ctx.out_of_budget(p) {
                     break;
                 }
@@ -476,8 +584,17 @@ pub(crate) fn top_k(
                 } else {
                     topk_keys[k - 1]
                 };
-                let Some(raw) = cascade_eval(q, vals, None, cutoff, p, ctx, Candidate::Member)
-                else {
+                let Some(raw) = cascade_eval(
+                    q,
+                    vals,
+                    None,
+                    Some(slab.member_paa_row(c.local, idx)),
+                    None,
+                    cutoff,
+                    p,
+                    ctx,
+                    Candidate::Member,
+                ) else {
                     continue;
                 };
                 let dist = raw / scale;
@@ -585,6 +702,8 @@ pub(crate) fn within_threshold(
                 q,
                 slab.rep_row(local),
                 slab.envelope_ref(local),
+                slab.is_finalized(local).then(|| slab.paa_rep_row(local)),
+                slab.paa_envelope_ref(local),
                 scan_limit * norm,
                 p,
                 ctx,
@@ -606,14 +725,22 @@ pub(crate) fn within_threshold(
                     });
                 }
             } else if rep_norm <= scan_limit && verify {
-                for &(r, _) in slab.members(local) {
+                for (idx, &(r, _)) in slab.members(local).iter().enumerate() {
                     if ctx.out_of_budget(p) {
                         break 'lengths;
                     }
                     let vals = base.dataset().subseq_unchecked(r);
-                    let Some(member_raw) =
-                        cascade_eval(q, vals, None, st * norm, p, ctx, Candidate::Member)
-                    else {
+                    let Some(member_raw) = cascade_eval(
+                        q,
+                        vals,
+                        None,
+                        Some(slab.member_paa_row(local, idx)),
+                        None,
+                        st * norm,
+                        p,
+                        ctx,
+                        Candidate::Member,
+                    ) else {
                         continue;
                     };
                     let d = member_raw / norm;
@@ -789,6 +916,8 @@ fn best_reps(
             q,
             rep,
             slab.envelope_ref(local),
+            slab.is_finalized(local).then(|| slab.paa_rep_row(local)),
+            slab.paa_envelope_ref(local),
             cutoff,
             p,
             ctx,
@@ -862,7 +991,17 @@ fn best_in_group(
         // evaluation cannot reproduce, so it had to go for pruning to be
         // trajectory-neutral. The walk was always a patience-bounded
         // heuristic; which members it probes is not part of any contract.
-        match cascade_eval(q, vals, None, *cutoff, p, ctx, Candidate::Member) {
+        match cascade_eval(
+            q,
+            vals,
+            None,
+            Some(slab.member_paa_row(local, i)),
+            None,
+            *cutoff,
+            p,
+            ctx,
+            Candidate::Member,
+        ) {
             Some(raw) if raw < *cutoff => {
                 *best = Some((r, raw));
                 *cutoff = raw;
@@ -1320,21 +1459,25 @@ mod tests {
     fn cascade_tier_counters_are_consistent_and_fire() {
         let d = synth::face(24, 32, 5);
         let b = OnexBase::build(&d, OnexConfig::default()).unwrap();
-        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[4..20].to_vec();
+        // Longer than the default paa_width so the sketch genuinely
+        // reduces and tier 0 is active (it skips at w == len).
+        let q: Vec<f64> = b.dataset().get(0).unwrap().values()[4..24].to_vec();
         let p = SearchParams::from_config(b.config(), None);
         let mut ctx = SearchCtx::default();
-        let _ = top_k(&b, &q, MatchMode::Exact(16), 3, &p, &mut ctx).unwrap();
+        let _ = top_k(&b, &q, MatchMode::Exact(20), 3, &p, &mut ctx).unwrap();
         let s = ctx.stats;
         // Per-tier counts always account exactly for the aggregate prunes.
         assert_eq!(
             s.lb_pruned(),
-            s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec,
+            s.pruned_paa + s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec,
             "{s:?}"
         );
         assert_eq!(s.lb_pruned(), s.reps_lb_pruned + s.members_lb_pruned);
-        // On this workload the pipeline does real work at both levels.
+        // On this workload the pipeline does real work at both levels,
+        // including the sketch tier in front of everything O(n).
         assert!(s.lb_keogh_evals > 0, "{s:?}");
         assert!(s.lb_pruned() > 0, "{s:?}");
+        assert!(s.pruned_paa > 0, "tier 0 must fire on this workload: {s:?}");
         assert!(s.early_abandons <= s.dtw_evals());
         // And disabling LB zeroes every cascade counter.
         let mut off = SearchCtx::default();
@@ -1342,11 +1485,14 @@ mod tests {
             lb_pruning: false,
             ..p
         };
-        let _ = top_k(&b, &q, MatchMode::Exact(16), 3, &p_off, &mut off).unwrap();
+        let _ = top_k(&b, &q, MatchMode::Exact(20), 3, &p_off, &mut off).unwrap();
         let s = off.stats;
         assert_eq!(s.lb_pruned(), 0);
         assert_eq!(s.lb_keogh_evals, 0);
-        assert_eq!(s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec, 0);
+        assert_eq!(
+            s.pruned_paa + s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec,
+            0
+        );
     }
 
     #[test]

@@ -93,9 +93,9 @@ fn split_groups(
     config: &crate::OnexConfig,
 ) -> LengthSlab {
     let len = slab.subseq_len();
-    let mut out = LengthSlab::new(len);
+    let mut out = LengthSlab::new(len, config.paa_width);
     for local in 0..slab.group_count() {
-        let mut asg = Assigner::new(len, config.st);
+        let mut asg = Assigner::new(len, config.st, config.paa_width);
         for &(r, _) in slab.members(local) {
             asg.assign(dataset, r);
         }

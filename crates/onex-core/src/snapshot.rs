@@ -11,7 +11,7 @@
 //! keeps snapshots small (the paper's Table 4 sizes count exactly these
 //! reconstructible structures).
 //!
-//! Three versions exist on disk:
+//! Four versions exist on disk:
 //!
 //! * **v1** — `magic · version · payload`. Per-group records, no integrity
 //!   protection beyond structural validation; still fully readable.
@@ -21,13 +21,21 @@
 //!   header) that turns silent bit rot into a clean
 //!   [`OnexError::SnapshotCorrupt`]. Still fully readable; write it with
 //!   [`encode_v2_with_epoch`] for downgrade scenarios.
-//! * **v3** (current) — v2's envelope (epoch + CRC-32 footer) around a
-//!   *columnar* payload mirroring the in-memory
-//!   [`crate::store::GroupStore`]: per length, the member counts, envelope
-//!   radii and member entries as bulk arrays followed by the representative
-//!   and running-sum slabs as single contiguous `f64` blocks. Decoding
-//!   reassembles each [`crate::store::LengthSlab`] with bulk extends
-//!   instead of thousands of per-group vector builds.
+//! * **v3** — v2's envelope (epoch + CRC-32 footer) around a *columnar*
+//!   payload mirroring the in-memory [`crate::store::GroupStore`]: per
+//!   length, the member counts, envelope radii and member entries as bulk
+//!   arrays followed by the representative and running-sum slabs as single
+//!   contiguous `f64` blocks. Decoding reassembles each
+//!   [`crate::store::LengthSlab`] with bulk extends instead of thousands
+//!   of per-group vector builds. Write it with [`encode_v3_with_epoch`]
+//!   for downgrade scenarios.
+//! * **v4** (current) — v3 plus the **PAA sketch planes** as bulk blocks
+//!   per length (sketch width, representative sketch slab, PAA'd envelope
+//!   lo/hi slabs, and the flat member-sketch planes in member-list order),
+//!   and the `paa_width` knob in the config header. Loading installs the
+//!   planes directly; loading any *older* version recomputes every sketch
+//!   from the decoded groups (bit-identical by construction) and defaults
+//!   `paa_width` to 16.
 //!
 //! The file-level entry points are [`crate::engine::Explorer::save`] /
 //! [`crate::engine::Explorer::load`]; the free functions [`save`]/[`load`]
@@ -45,23 +53,40 @@ const MAGIC: &[u8; 4] = b"ONEX";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 const VERSION_V3: u8 = 3;
-/// v2/v3 fixed overhead: magic + version + epoch + crc footer.
+const VERSION_V4: u8 = 4;
+/// v2+ fixed overhead: magic + version + epoch + crc footer.
 const FOOTER_OVERHEAD: usize = 4 + 1 + 8 + 4;
 
-/// Serializes a base to bytes in the current (v3) format with epoch 0.
+/// Serializes a base to bytes in the current (v4) format with epoch 0.
 pub fn encode(base: &OnexBase) -> Bytes {
     encode_with_epoch(base, 0)
 }
 
-/// Serializes a base to bytes in the current (v3, columnar) format,
-/// stamping the writer's epoch and appending the CRC-32 integrity footer.
+/// Serializes a base to bytes in the current (v4, columnar + sketch
+/// planes) format, stamping the writer's epoch and appending the CRC-32
+/// integrity footer.
 pub fn encode_with_epoch(base: &OnexBase, epoch: u64) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 << 16);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION_V4);
+    out.put_u64_le(epoch);
+    encode_header(&mut out, base, true);
+    encode_store_columnar(&mut out, base, true);
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out.freeze()
+}
+
+/// Serializes a base in the legacy v3 format (columnar payload without
+/// sketch planes, epoch + CRC-32 footer). Kept so a v3 consumer can still
+/// be fed and the cross-version load-equivalence tests have a writer.
+pub fn encode_v3_with_epoch(base: &OnexBase, epoch: u64) -> Bytes {
     let mut out = BytesMut::with_capacity(1 << 16);
     out.put_slice(MAGIC);
     out.put_u8(VERSION_V3);
     out.put_u64_le(epoch);
-    encode_header(&mut out, base);
-    encode_store_v3(&mut out, base);
+    encode_header(&mut out, base, false);
+    encode_store_columnar(&mut out, base, false);
     let crc = crc32(&out);
     out.put_u32_le(crc);
     out.freeze()
@@ -98,7 +123,7 @@ pub fn decode(buf: &[u8]) -> Result<OnexBase> {
 }
 
 /// Deserializes a base from bytes, returning the stored epoch (0 for v1
-/// snapshots, which predate epochs). v2/v3 inputs are checksum-verified
+/// snapshots, which predate epochs). v2+ inputs are checksum-verified
 /// before any structural parsing; a mismatch is reported as
 /// [`OnexError::SnapshotCorrupt`].
 pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
@@ -109,7 +134,7 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
     }
     match get_u8(&mut cur)? {
         VERSION_V1 => Ok((decode_payload_grouped(&mut cur)?, 0)),
-        version @ (VERSION_V2 | VERSION_V3) => {
+        version @ (VERSION_V2 | VERSION_V3 | VERSION_V4) => {
             if buf.len() < FOOTER_OVERHEAD {
                 return Err(OnexError::SnapshotCorrupt(format!(
                     "truncated v{version} snapshot: {} bytes, need at least {FOOTER_OVERHEAD}",
@@ -129,7 +154,7 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
             let base = if version == VERSION_V2 {
                 decode_payload_grouped(&mut payload)?
             } else {
-                decode_payload_v3(&mut payload)?
+                decode_payload_columnar(&mut payload, version == VERSION_V4)?
             };
             Ok((base, epoch))
         }
@@ -179,9 +204,10 @@ pub(crate) fn read_snapshot(path: impl AsRef<Path>) -> Result<(OnexBase, u64)> {
 }
 
 /// Encodes the shared prefix of every payload version: config, normalizer
-/// and dataset.
-fn encode_header(out: &mut BytesMut, base: &OnexBase) {
-    encode_config(out, base.config());
+/// and dataset. `with_paa` selects the v4 config layout (which carries the
+/// `paa_width` knob; v1–v3 predate it).
+fn encode_header(out: &mut BytesMut, base: &OnexBase, with_paa: bool) {
+    encode_config(out, base.config(), with_paa);
     match base.normalizer() {
         Some(p) => {
             out.put_u8(1);
@@ -194,8 +220,11 @@ fn encode_header(out: &mut BytesMut, base: &OnexBase) {
 }
 
 /// Decodes the shared payload prefix.
-fn decode_header(buf: &mut &[u8]) -> Result<(OnexConfig, Option<MinMaxParams>, Dataset)> {
-    let config = decode_config(buf)?;
+fn decode_header(
+    buf: &mut &[u8],
+    with_paa: bool,
+) -> Result<(OnexConfig, Option<MinMaxParams>, Dataset)> {
+    let config = decode_config(buf, with_paa)?;
     let norm = match get_u8(buf)? {
         0 => None,
         1 => Some(MinMaxParams {
@@ -217,7 +246,7 @@ fn decode_header(buf: &mut &[u8]) -> Result<(OnexConfig, Option<MinMaxParams>, D
 /// Encodes the legacy per-group payload (v1 and v2): header, then for each
 /// length its groups one record at a time.
 fn encode_payload_grouped(out: &mut BytesMut, base: &OnexBase) {
-    encode_header(out, base);
+    encode_header(out, base, false);
     let lengths: Vec<usize> = base.indexed_lengths().collect();
     out.put_u64_le(lengths.len() as u64);
     for len in lengths {
@@ -246,7 +275,7 @@ fn encode_payload_grouped(out: &mut BytesMut, base: &OnexBase) {
 /// Decodes a legacy per-group payload (v1/v2), requiring it to be fully
 /// consumed.
 fn decode_payload_grouped(buf: &mut &[u8]) -> Result<OnexBase> {
-    let (config, norm, dataset) = decode_header(buf)?;
+    let (config, norm, dataset) = decode_header(buf, false)?;
     // Each length entry needs at least its 16-byte header.
     let n_lengths = {
         let c = get_u64(buf)?;
@@ -260,7 +289,7 @@ fn decode_payload_grouped(buf: &mut &[u8]) -> Result<OnexBase> {
             let c = get_u64(buf)?;
             checked_count(buf, c, 32)?
         };
-        let mut slab = LengthSlab::new(len);
+        let mut slab = LengthSlab::new(len, config.paa_width);
         for _ in 0..n_groups {
             decode_group_into(buf, len, &dataset, &mut slab)?;
         }
@@ -323,17 +352,20 @@ fn decode_group_into(
         sum.push(get_finite_f64(buf)?);
     }
     let radius = get_radius(buf)?;
-    slab.push_from_parts(members, rep, sum, radius);
+    slab.push_from_parts(dataset, members, rep, sum, radius);
     Ok(())
 }
 
-// ---- v3 payload: columnar slab blocks ----
+// ---- v3/v4 payload: columnar slab blocks ----
 
 /// Encodes the store as bulk per-length blocks: member counts, envelope
 /// radii and member entries as arrays, then the representative and
 /// running-sum slabs as single contiguous `f64` blocks — the on-disk mirror
-/// of the in-memory columnar layout.
-fn encode_store_v3(out: &mut BytesMut, base: &OnexBase) {
+/// of the in-memory columnar layout. With `with_sketches` (v4) each length
+/// block is followed by its sketch planes: the resolved sketch width, the
+/// representative sketch slab, the PAA'd envelope lo/hi slabs, and the
+/// flat member-sketch planes in member-list order.
+fn encode_store_columnar(out: &mut BytesMut, base: &OnexBase, with_sketches: bool) {
     let slabs = base.store().slabs();
     out.put_u64_le(slabs.len() as u64);
     for slab in slabs {
@@ -362,12 +394,31 @@ fn encode_store_v3(out: &mut BytesMut, base: &OnexBase) {
                 out.put_f64_le(v);
             }
         }
+        if with_sketches {
+            out.put_u64_le(slab.paa_width() as u64);
+            for &v in slab.paa_rep_slab() {
+                out.put_f64_le(v);
+            }
+            for &v in slab.paa_env_lo_slab() {
+                out.put_f64_le(v);
+            }
+            for &v in slab.paa_env_hi_slab() {
+                out.put_f64_le(v);
+            }
+            for local in 0..g {
+                for &v in slab.member_paa_plane(local) {
+                    out.put_f64_le(v);
+                }
+            }
+        }
     }
 }
 
-/// Decodes a v3 columnar payload, requiring it to be fully consumed.
-fn decode_payload_v3(buf: &mut &[u8]) -> Result<OnexBase> {
-    let (config, norm, dataset) = decode_header(buf)?;
+/// Decodes a v3/v4 columnar payload, requiring it to be fully consumed.
+/// v4 (`with_sketches`) installs the persisted sketch planes; v3 recomputes
+/// them from the decoded groups.
+fn decode_payload_columnar(buf: &mut &[u8], with_sketches: bool) -> Result<OnexBase> {
+    let (config, norm, dataset) = decode_header(buf, with_sketches)?;
     // Each length block needs at least len + group count.
     let n_lengths = {
         let c = get_u64(buf)?;
@@ -423,13 +474,63 @@ fn decode_payload_v3(buf: &mut &[u8]) -> Result<OnexBase> {
         for _ in 0..cells {
             sums.push(get_finite_f64(buf)?);
         }
-        slabs.push(LengthSlab::from_bulk_parts(
-            len,
-            member_lists,
-            radii,
-            reps,
-            sums,
-        ));
+        if with_sketches {
+            // The sketch width is derived state (min(config.paa_width,
+            // len)); a different stored value means the writer and this
+            // payload disagree — corruption, not a tunable.
+            let expect_w = config.paa_width.clamp(1, len);
+            let stored_w = get_u64(buf)?;
+            if stored_w != expect_w as u64 {
+                return Err(OnexError::SnapshotCorrupt(format!(
+                    "sketch width {stored_w} does not match min(paa_width, len) = {expect_w}"
+                )));
+            }
+            let w = expect_w;
+            let sketch_cells = n_groups.checked_mul(w).ok_or_else(|| {
+                OnexError::SnapshotCorrupt("sketch cell count overflow".to_string())
+            })?;
+            let sketch_cells = checked_count(buf, sketch_cells as u64, 8)?;
+            fn read_plane(buf: &mut &[u8], cells: usize) -> Result<Vec<f64>> {
+                let mut plane = Vec::with_capacity(cells);
+                for _ in 0..cells {
+                    plane.push(get_finite_f64(buf)?);
+                }
+                Ok(plane)
+            }
+            let paa_reps = read_plane(buf, sketch_cells)?;
+            let paa_env_lo = read_plane(buf, sketch_cells)?;
+            let paa_env_hi = read_plane(buf, sketch_cells)?;
+            let mut member_paa = Vec::with_capacity(n_groups);
+            for &count in &counts {
+                let cells = count.checked_mul(w).ok_or_else(|| {
+                    OnexError::SnapshotCorrupt("sketch cell count overflow".to_string())
+                })?;
+                let cells = checked_count(buf, cells as u64, 8)?;
+                member_paa.push(read_plane(buf, cells)?);
+            }
+            slabs.push(LengthSlab::from_bulk_parts_with_sketches(
+                len,
+                config.paa_width,
+                member_lists,
+                radii,
+                reps,
+                sums,
+                paa_reps,
+                paa_env_lo,
+                paa_env_hi,
+                member_paa,
+            ));
+        } else {
+            slabs.push(LengthSlab::from_bulk_parts(
+                &dataset,
+                len,
+                config.paa_width,
+                member_lists,
+                radii,
+                reps,
+                sums,
+            ));
+        }
     }
     if buf.has_remaining() {
         return Err(OnexError::SnapshotCorrupt(format!(
@@ -473,7 +574,9 @@ const fn crc32_table() -> [u32; 256] {
 
 // ---- component encoders/decoders ----
 
-fn encode_config(out: &mut BytesMut, c: &OnexConfig) {
+/// Encodes the config. `with_paa` selects the v4 layout, which appends the
+/// `paa_width` knob after the fields every older version wrote.
+fn encode_config(out: &mut BytesMut, c: &OnexConfig, with_paa: bool) {
     out.put_f64_le(c.st);
     match c.window {
         Window::Unconstrained => out.put_u8(0),
@@ -514,9 +617,12 @@ fn encode_config(out: &mut BytesMut, c: &OnexConfig) {
     out.put_u8(c.rank_normalized as u8);
     out.put_u64_le(c.seed);
     out.put_u64_le(c.threads as u64);
+    if with_paa {
+        out.put_u64_le(c.paa_width as u64);
+    }
 }
 
-fn decode_config(buf: &mut &[u8]) -> Result<OnexConfig> {
+fn decode_config(buf: &mut &[u8], with_paa: bool) -> Result<OnexConfig> {
     let st = get_f64(buf)?;
     let window = match get_u8(buf)? {
         0 => Window::Unconstrained,
@@ -544,6 +650,26 @@ fn decode_config(buf: &mut &[u8]) -> Result<OnexConfig> {
         },
         t => return Err(OnexError::SnapshotCorrupt(format!("bad cluster tag {t}"))),
     };
+    let walk_patience = get_u64(buf)? as usize;
+    let exhaustive_group_search = get_u8(buf)? != 0;
+    let stop_at_first_qualifying = get_u8(buf)? != 0;
+    let explore_top_groups = get_u64(buf)? as usize;
+    let rank_normalized = get_u8(buf)? != 0;
+    let seed = get_u64(buf)?;
+    let threads = get_u64(buf)? as usize;
+    // v4 appends the sketch-width knob; older versions predate sketches
+    // and load with the default width (their sketches are recomputed).
+    let paa_width = if with_paa {
+        let w = get_u64(buf)?;
+        if w == 0 || w > u32::MAX as u64 {
+            return Err(OnexError::SnapshotCorrupt(format!(
+                "paa_width {w} out of range"
+            )));
+        }
+        w as usize
+    } else {
+        OnexConfig::default().paa_width
+    };
     Ok(OnexConfig {
         st,
         window,
@@ -555,13 +681,14 @@ fn decode_config(buf: &mut &[u8]) -> Result<OnexConfig> {
         },
         build_mode,
         cluster,
-        walk_patience: get_u64(buf)? as usize,
-        exhaustive_group_search: get_u8(buf)? != 0,
-        stop_at_first_qualifying: get_u8(buf)? != 0,
-        explore_top_groups: get_u64(buf)? as usize,
-        rank_normalized: get_u8(buf)? != 0,
-        seed: get_u64(buf)?,
-        threads: get_u64(buf)? as usize,
+        walk_patience,
+        exhaustive_group_search,
+        stop_at_first_qualifying,
+        explore_top_groups,
+        rank_normalized,
+        paa_width,
+        seed,
+        threads,
     })
 }
 
@@ -721,7 +848,7 @@ mod tests {
     fn round_trip_preserves_base() {
         let b = base();
         let bytes = encode(&b);
-        assert_eq!(bytes[4], VERSION_V3);
+        assert_eq!(bytes[4], VERSION_V4);
         let r = decode(&bytes).unwrap();
         assert_eq!(b, r);
     }
@@ -776,10 +903,21 @@ mod tests {
     }
 
     #[test]
-    fn checksum_catches_every_single_bit_flip_in_v2_and_v3() {
+    fn v3_snapshots_still_load() {
+        let b = base();
+        let v3 = encode_v3_with_epoch(&b, 9);
+        assert_eq!(v3[4], VERSION_V3);
+        let (r, epoch) = decode_with_epoch(&v3).unwrap();
+        assert_eq!(b, r, "v3 load recomputes sketches bit-identically");
+        assert_eq!(epoch, 9);
+    }
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip_in_checksummed_versions() {
         let b = base();
         for bytes in [
             encode_with_epoch(&b, 3).to_vec(),
+            encode_v3_with_epoch(&b, 3).to_vec(),
             encode_v2_with_epoch(&b, 3).to_vec(),
         ] {
             // CRC-32 detects all single-bit errors; sample positions across
@@ -826,10 +964,12 @@ mod tests {
         let b = base();
         let from_v1 = decode(&encode_v1(&b)).unwrap();
         let from_v2 = decode(&encode_v2_with_epoch(&b, 0)).unwrap();
-        let from_v3 = decode(&encode(&b)).unwrap();
-        assert_eq!(from_v1, from_v3, "v1 → v3 load equivalence");
-        assert_eq!(from_v2, from_v3, "v2 → v3 load equivalence");
-        assert_eq!(b, from_v3);
+        let from_v3 = decode(&encode_v3_with_epoch(&b, 0)).unwrap();
+        let from_v4 = decode(&encode(&b)).unwrap();
+        assert_eq!(from_v1, from_v4, "v1 → v4 load equivalence");
+        assert_eq!(from_v2, from_v4, "v2 → v4 load equivalence");
+        assert_eq!(from_v3, from_v4, "v3 → v4 load equivalence");
+        assert_eq!(b, from_v4);
     }
 
     #[test]
@@ -866,8 +1006,8 @@ mod tests {
     }
 
     #[test]
-    fn v3_rejects_hostile_slab_length_with_valid_crc() {
-        // A crafted v3 snapshot whose CRC is *valid* but whose first slab
+    fn columnar_decoder_rejects_hostile_slab_length_with_valid_crc() {
+        // A crafted v4 snapshot whose CRC is *valid* but whose first slab
         // length is absurd must be rejected as corrupt, not overflow the
         // cell-count multiply or panic slicing the rep slab. (`len as u32`
         // can still alias a real subsequence length, which is exactly why
@@ -878,7 +1018,7 @@ mod tests {
         // (magic + version + epoch), the config/norm/dataset prefix, and
         // the u64 length count.
         let mut prefix = BytesMut::with_capacity(1 << 12);
-        encode_header(&mut prefix, &b);
+        encode_header(&mut prefix, &b, true);
         let len_at = 4 + 1 + 8 + prefix.len() + 8;
         let huge = (1u64 << 62) + 2; // `as u32` == 2, a real indexed length
         bytes[len_at..len_at + 8].copy_from_slice(&huge.to_le_bytes());
@@ -892,7 +1032,7 @@ mod tests {
     }
 
     #[test]
-    fn no_valid_crc_u64_patch_can_panic_the_v3_decoder() {
+    fn no_valid_crc_u64_patch_can_panic_the_columnar_decoder() {
         // Adversarial robustness sweep: overwrite every u64-aligned payload
         // position with u64::MAX, *recompute the CRC* (so the integrity
         // footer passes), and decode. Every outcome must be a clean

@@ -12,8 +12,30 @@
 //! running point-wise sums in another, and the per-group metadata (member
 //! lists, envelope radii, finalized flags) in parallel arrays indexed by
 //! the group's *local* position. Tier scans become linear walks over
-//! contiguous memory — cache-resident, prefetchable, and ready for future
-//! SIMD kernels.
+//! contiguous memory — cache-resident, prefetchable, and consumed by the
+//! blocked SIMD-friendly kernels in `onex_dist::kernels`.
+//!
+//! ## The PAA sketch planes
+//!
+//! Parallel to the full-resolution slabs, every slab keeps **fixed-width
+//! PAA sketches** (width `w = min(config.paa_width, len)`, see
+//! [`crate::OnexConfig::paa_width`]):
+//!
+//! * `paa_reps` — the sketch of each frozen representative (stride `w`),
+//! * `paa_env_lo` / `paa_env_hi` — the representative envelope reduced
+//!   conservatively per segment (min of the lower plane, max of the upper
+//!   — [`onex_dist::paa_envelope_into`]), the candidate side of the
+//!   cascade's O(w) tier-0 bound,
+//! * one flat member-sketch plane per group (stride `w`, indexed exactly
+//!   like the member list), the member side of tier 0.
+//!
+//! The planes are maintained **incrementally**: member sketches are
+//! computed once when a subsequence first enters a group and then carried
+//! through every sort, merge, split, eviction and move; representative and
+//! envelope sketches are rebuilt only when [`LengthSlab::finalize`]
+//! re-elects the representative. A from-scratch recompute is always
+//! bit-identical (property-tested), because the sketch builders share the
+//! reference reduction's arithmetic.
 //!
 //! [`crate::Group`] survives as a lightweight **view** over one slab row
 //! (see [`crate::group`]); construction, refinement and maintenance mutate
@@ -21,6 +43,8 @@
 //! the exact order of the previous per-group implementation so results
 //! stay byte-identical.
 
+use onex_dist::kernels::{add_assign, sub_assign};
+use onex_dist::{paa_envelope_into, paa_extend, paa_into, paa_segment_weights};
 use onex_dist::{Envelope, EnvelopeRef};
 use onex_ts::{Dataset, SubseqRef};
 use serde::{Deserialize, Serialize};
@@ -34,15 +58,22 @@ use crate::group::{Group, GroupId};
 ///
 /// * `reps` — the frozen representative (zeros until finalized),
 /// * `env_lo` / `env_hi` — the representative's LB_Keogh envelope planes,
-/// * `sums` — the running point-wise member sum (construction state).
+/// * `sums` — the running point-wise member sum (construction state),
 ///
-/// Per-group metadata sits in parallel arrays: the member list (the LSI's
-/// ED-sorted `(ref, ED)` pairs), the envelope radius, and the finalized
-/// flag.
+/// plus three sketch slabs of stride [`LengthSlab::paa_width`]
+/// (`paa_reps`, `paa_env_lo`, `paa_env_hi`) and one flat member-sketch
+/// plane per group. Per-group metadata sits in parallel arrays: the member
+/// list (the LSI's ED-sorted `(ref, ED)` pairs), the envelope radius, and
+/// the finalized flag.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LengthSlab {
     /// Subsequence length shared by every member (the slab stride).
     len: usize,
+    /// Sketch width: `min(config.paa_width, len)`, ≥ 1 (the sketch stride).
+    paa_w: usize,
+    /// Per-segment sample counts of the `(len, paa_w)` reduction, as `f64`
+    /// weights for the tier-0 kernels.
+    paa_weights: Vec<f64>,
     /// Representative rows, row-major; a row is all zeros until its group
     /// is finalized.
     reps: Vec<f64>,
@@ -52,26 +83,45 @@ pub struct LengthSlab {
     env_hi: Vec<f64>,
     /// Running point-wise sum rows.
     sums: Vec<f64>,
+    /// Representative sketch rows, stride `paa_w` (zeros until finalized).
+    paa_reps: Vec<f64>,
+    /// Segment-min of the lower envelope plane, stride `paa_w` (zeros until
+    /// finalized).
+    paa_env_lo: Vec<f64>,
+    /// Segment-max of the upper envelope plane, stride `paa_w` (zeros until
+    /// finalized).
+    paa_env_hi: Vec<f64>,
     /// Envelope band half-width per group (meaningful once finalized).
     env_radius: Vec<u32>,
     /// Member lists: after finalization, pairs of (subsequence, raw ED to
     /// the representative) sorted ascending by ED.
     members: Vec<Vec<(SubseqRef, f64)>>,
+    /// Member sketch planes, one flat `Vec` per group with stride `paa_w`,
+    /// index-aligned with `members`.
+    member_paa: Vec<Vec<f64>>,
     /// Whether the group's representative/envelope rows are frozen.
     finalized: Vec<bool>,
 }
 
 impl LengthSlab {
-    /// An empty slab for groups of length `len`.
-    pub fn new(len: usize) -> Self {
+    /// An empty slab for groups of length `len` with sketches of width
+    /// `min(paa_width, len)` (at least 1).
+    pub fn new(len: usize, paa_width: usize) -> Self {
+        let paa_w = paa_width.clamp(1, len.max(1));
         LengthSlab {
             len,
+            paa_w,
+            paa_weights: paa_segment_weights(len.max(1), paa_w),
             reps: Vec::new(),
             env_lo: Vec::new(),
             env_hi: Vec::new(),
             sums: Vec::new(),
+            paa_reps: Vec::new(),
+            paa_env_lo: Vec::new(),
+            paa_env_hi: Vec::new(),
             env_radius: Vec::new(),
             members: Vec::new(),
+            member_paa: Vec::new(),
             finalized: Vec::new(),
         }
     }
@@ -80,6 +130,20 @@ impl LengthSlab {
     #[inline]
     pub fn subseq_len(&self) -> usize {
         self.len
+    }
+
+    /// The resolved sketch width `min(config.paa_width, len)` — the stride
+    /// of the sketch planes.
+    #[inline]
+    pub fn paa_width(&self) -> usize {
+        self.paa_w
+    }
+
+    /// Per-segment sample counts of this slab's `(len, paa_width)`
+    /// reduction, as the `f64` weights the tier-0 kernels consume.
+    #[inline]
+    pub fn paa_weights(&self) -> &[f64] {
+        &self.paa_weights
     }
 
     /// Number of groups in the slab.
@@ -99,6 +163,12 @@ impl LengthSlab {
         local * self.len..(local + 1) * self.len
     }
 
+    /// The sketch-plane row of group `local` (stride `paa_w`).
+    #[inline]
+    fn prow(&self, local: usize) -> std::ops::Range<usize> {
+        local * self.paa_w..(local + 1) * self.paa_w
+    }
+
     /// Seeds a new group with its first member, which doubles as the
     /// initial representative (Algorithm 1, lines 7–10). Returns the new
     /// group's local position.
@@ -108,21 +178,29 @@ impl LengthSlab {
         self.reps.resize(self.reps.len() + self.len, 0.0);
         self.env_lo.resize(self.env_lo.len() + self.len, 0.0);
         self.env_hi.resize(self.env_hi.len() + self.len, 0.0);
+        self.paa_reps.resize(self.paa_reps.len() + self.paa_w, 0.0);
+        self.paa_env_lo
+            .resize(self.paa_env_lo.len() + self.paa_w, 0.0);
+        self.paa_env_hi
+            .resize(self.paa_env_hi.len() + self.paa_w, 0.0);
         self.env_radius.push(0);
         self.members.push(vec![(r, 0.0)]);
+        let mut plane = Vec::with_capacity(self.paa_w);
+        paa_extend(values, self.paa_w, &mut plane);
+        self.member_paa.push(plane);
         self.finalized.push(false);
         self.members.len() - 1
     }
 
     /// Adds a member to group `local`, updating its running sum row
-    /// (Algorithm 1, lines 16–17).
+    /// (Algorithm 1, lines 16–17) and appending the member's sketch to the
+    /// group's sketch plane.
     pub fn push_member(&mut self, local: usize, r: SubseqRef, values: &[f64]) {
         debug_assert_eq!(values.len(), self.len);
         let row = self.row(local);
-        for (s, v) in self.sums[row].iter_mut().zip(values) {
-            *s += v;
-        }
+        add_assign(&mut self.sums[row], values);
         self.members[local].push((r, 0.0));
+        paa_extend(values, self.paa_w, &mut self.member_paa[local]);
     }
 
     /// The current mean of group `local` (the live representative during
@@ -144,10 +222,52 @@ impl LengthSlab {
 
     /// The whole representative slab, row-major with stride
     /// [`LengthSlab::subseq_len`] — the contiguous scan surface the
-    /// rep-scan benchmarks and future SIMD kernels walk.
+    /// rep-scan benchmarks and the blocked kernels walk.
     #[inline]
     pub fn rep_slab(&self) -> &[f64] {
         &self.reps
+    }
+
+    /// The representative sketch row of group `local` (zeros until
+    /// finalized), stride [`LengthSlab::paa_width`].
+    #[inline]
+    pub fn paa_rep_row(&self, local: usize) -> &[f64] {
+        &self.paa_reps[self.prow(local)]
+    }
+
+    /// The whole representative sketch slab, row-major with stride
+    /// [`LengthSlab::paa_width`].
+    #[inline]
+    pub fn paa_rep_slab(&self) -> &[f64] {
+        &self.paa_reps
+    }
+
+    /// The member sketch of member `idx` of group `local` (index-aligned
+    /// with [`LengthSlab::members`]), stride [`LengthSlab::paa_width`].
+    #[inline]
+    pub fn member_paa_row(&self, local: usize, idx: usize) -> &[f64] {
+        &self.member_paa[local][idx * self.paa_w..(idx + 1) * self.paa_w]
+    }
+
+    /// The whole flat member-sketch plane of group `local` (stride
+    /// [`LengthSlab::paa_width`], index-aligned with the member list).
+    #[inline]
+    pub(crate) fn member_paa_plane(&self, local: usize) -> &[f64] {
+        &self.member_paa[local]
+    }
+
+    /// The whole lower PAA'd-envelope slab, row-major with stride
+    /// [`LengthSlab::paa_width`] (snapshot support).
+    #[inline]
+    pub(crate) fn paa_env_lo_slab(&self) -> &[f64] {
+        &self.paa_env_lo
+    }
+
+    /// The whole upper PAA'd-envelope slab, row-major with stride
+    /// [`LengthSlab::paa_width`] (snapshot support).
+    #[inline]
+    pub(crate) fn paa_env_hi_slab(&self) -> &[f64] {
+        &self.paa_env_hi
     }
 
     /// The running point-wise sum row of group `local`.
@@ -165,6 +285,24 @@ impl LengthSlab {
             Some(EnvelopeRef {
                 upper: &self.env_hi[row.clone()],
                 lower: &self.env_lo[row],
+                radius: self.env_radius[local] as usize,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The representative's **PAA'd** envelope (segment-max upper /
+    /// segment-min lower, width [`LengthSlab::paa_width`]) as a borrowed
+    /// view, available once finalized — the candidate side of the
+    /// cascade's tier-0 bound. The radius is the stored envelope's.
+    #[inline]
+    pub fn paa_envelope_ref(&self, local: usize) -> Option<EnvelopeRef<'_>> {
+        if self.finalized[local] {
+            let prow = self.prow(local);
+            Some(EnvelopeRef {
+                upper: &self.paa_env_hi[prow.clone()],
+                lower: &self.paa_env_lo[prow],
                 radius: self.env_radius[local] as usize,
             })
         } else {
@@ -203,32 +341,71 @@ impl LengthSlab {
         self.members.iter().map(Vec::len).sum()
     }
 
-    /// Clears the frozen representative and envelope rows of group `local`
-    /// (after a membership mutation; the caller must re-finalize).
+    /// Clears the frozen representative, envelope and sketch rows of group
+    /// `local` (after a membership mutation; the caller must re-finalize).
     fn clear_finalization(&mut self, local: usize) {
         let row = self.row(local);
         self.reps[row.clone()].fill(0.0);
         self.env_lo[row.clone()].fill(0.0);
         self.env_hi[row].fill(0.0);
+        let prow = self.prow(local);
+        self.paa_reps[prow.clone()].fill(0.0);
+        self.paa_env_lo[prow.clone()].fill(0.0);
+        self.paa_env_hi[prow].fill(0.0);
         self.env_radius[local] = 0;
         self.finalized[local] = false;
     }
 
     /// Freezes group `local`'s representative at its current mean, computes
-    /// and sorts member EDs, and builds the envelope rows with the given
-    /// radius.
+    /// and sorts member EDs (co-permuting the member sketch plane), and
+    /// builds the envelope rows plus the representative/envelope sketch
+    /// rows with the given radius.
     pub fn finalize(&mut self, local: usize, dataset: &Dataset, envelope_radius: usize) {
         let mut rep = Vec::new();
         self.mean_into(local, &mut rep);
         for (r, d) in self.members[local].iter_mut() {
             *d = onex_dist::ed(dataset.subseq_unchecked(*r), &rep);
         }
-        self.members[local].sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        // Sort members by (ED, ref) through an index permutation so the
+        // sketch plane follows without recomputing a single sketch. The
+        // key is unique per entry (refs are distinct), so this reorders
+        // exactly like the previous direct sort.
+        let n = self.members[local].len();
+        let w = self.paa_w;
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        {
+            let ms = &self.members[local];
+            perm.sort_unstable_by(|&a, &b| {
+                let (ra, da) = ms[a as usize];
+                let (rb, db) = ms[b as usize];
+                da.total_cmp(&db).then(ra.cmp(&rb))
+            });
+        }
+        let ms = &self.members[local];
+        let plane = &self.member_paa[local];
+        let mut sorted_members = Vec::with_capacity(n);
+        let mut sorted_plane = Vec::with_capacity(n * w);
+        for &i in &perm {
+            let i = i as usize;
+            sorted_members.push(ms[i]);
+            sorted_plane.extend_from_slice(&plane[i * w..(i + 1) * w]);
+        }
+        self.members[local] = sorted_members;
+        self.member_paa[local] = sorted_plane;
+
         let env = Envelope::build(&rep, envelope_radius);
         let row = self.row(local);
         self.env_lo[row.clone()].copy_from_slice(&env.lower);
         self.env_hi[row.clone()].copy_from_slice(&env.upper);
         self.reps[row].copy_from_slice(&rep);
+        let mut sketch = Vec::with_capacity(w);
+        paa_into(&rep, w, &mut sketch);
+        let prow = self.prow(local);
+        self.paa_reps[prow.clone()].copy_from_slice(&sketch);
+        let (mut hi, mut lo) = (Vec::with_capacity(w), Vec::with_capacity(w));
+        paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
+        self.paa_env_hi[prow.clone()].copy_from_slice(&hi);
+        self.paa_env_lo[prow].copy_from_slice(&lo);
         self.env_radius[local] = envelope_radius as u32;
         self.finalized[local] = true;
     }
@@ -243,7 +420,8 @@ impl LengthSlab {
 
     /// Removes and returns members of group `local` whose raw ED to the
     /// *current mean* exceeds `limit_raw` — the eviction step of
-    /// [`crate::BuildMode::Strict`].
+    /// [`crate::BuildMode::Strict`]. The sketch plane mirrors every
+    /// `swap_remove`.
     pub fn evict_outside(
         &mut self,
         local: usize,
@@ -259,11 +437,10 @@ impl LengthSlab {
             let d = onex_dist::ed(dataset.subseq_unchecked(r), &mean);
             if d > limit_raw && self.members[local].len() > 1 {
                 self.members[local].swap_remove(i);
+                Self::swap_remove_sketch(&mut self.member_paa[local], i, self.paa_w);
                 let vals = dataset.subseq_unchecked(r);
                 let row = self.row(local);
-                for (s, v) in self.sums[row].iter_mut().zip(vals) {
-                    *s -= v;
-                }
+                sub_assign(&mut self.sums[row], vals);
                 evicted.push(r);
                 // mean changed; recompute for subsequent checks
                 self.mean_into(local, &mut mean);
@@ -274,33 +451,51 @@ impl LengthSlab {
         evicted
     }
 
+    /// Mirrors `Vec::swap_remove(i)` on a flat sketch plane of stride `w`:
+    /// the last `w`-block overwrites block `i`, then the plane shrinks.
+    fn swap_remove_sketch(plane: &mut Vec<f64>, i: usize, w: usize) {
+        let last = plane.len() / w - 1;
+        if i != last {
+            plane.copy_within(last * w..(last + 1) * w, i * w);
+        }
+        plane.truncate(last * w);
+    }
+
     /// Removes every member of group `local` belonging to `series`,
     /// subtracting its values from the running sum (resolved against the
     /// dataset *before* the series is removed from it). Returns how many
     /// members were dropped; when any were, the frozen representative and
     /// envelope rows are cleared and the caller must re-finalize (or retire
-    /// the group if it is now empty). Member order is preserved.
+    /// the group if it is now empty). Member order — and the index-aligned
+    /// sketch plane — is preserved.
     pub(crate) fn drop_series_members(
         &mut self,
         local: usize,
         dataset: &Dataset,
         series: u32,
     ) -> usize {
-        let before = self.members[local].len();
+        let w = self.paa_w;
         let row = self.row(local);
         let sums = &mut self.sums[row];
-        self.members[local].retain(|&(r, _)| {
+        let members = &mut self.members[local];
+        let plane = &mut self.member_paa[local];
+        let before = members.len();
+        let mut write = 0usize;
+        for read in 0..before {
+            let (r, d) = members[read];
             if r.series == series {
-                let values = dataset.subseq_unchecked(r);
-                for (s, v) in sums.iter_mut().zip(values) {
-                    *s -= v;
-                }
-                false
+                sub_assign(sums, dataset.subseq_unchecked(r));
             } else {
-                true
+                if write != read {
+                    members[write] = (r, d);
+                    plane.copy_within(read * w..(read + 1) * w, write * w);
+                }
+                write += 1;
             }
-        });
-        let dropped = before - self.members[local].len();
+        }
+        members.truncate(write);
+        plane.truncate(write * w);
+        let dropped = before - write;
         if dropped > 0 {
             self.clear_finalization(local);
         }
@@ -310,7 +505,7 @@ impl LengthSlab {
     /// Shifts every member reference above a removed series index down by
     /// one, across all groups. The remap is monotone, so the LSI's
     /// ED-then-ref ordering is preserved and finalized groups stay
-    /// finalized.
+    /// finalized (sketches reference values, which do not change).
     pub(crate) fn remap_series_down(&mut self, removed: u32) {
         for group in self.members.iter_mut() {
             for (r, _) in group.iter_mut() {
@@ -322,9 +517,10 @@ impl LengthSlab {
     }
 
     /// Merges group `src` into group `dst` *within this slab* (Algorithm
-    /// 2.C cascading merges): sums and members combine, `dst` loses its
-    /// finalization and must be re-finalized, and `src` is left empty for
-    /// the caller to retire (e.g. via [`LengthSlab::retain_groups`]).
+    /// 2.C cascading merges): sums, members and sketch planes combine,
+    /// `dst` loses its finalization and must be re-finalized, and `src` is
+    /// left empty for the caller to retire (e.g. via
+    /// [`LengthSlab::retain_groups`]).
     pub fn absorb(&mut self, dst: usize, src: usize) {
         debug_assert_ne!(dst, src);
         let src_row = self.row(src);
@@ -334,6 +530,8 @@ impl LengthSlab {
         }
         let moved = std::mem::take(&mut self.members[src]);
         self.members[dst].extend(moved);
+        let moved = std::mem::take(&mut self.member_paa[src]);
+        self.member_paa[dst].extend(moved);
         self.clear_finalization(dst);
         self.clear_finalization(src);
     }
@@ -353,8 +551,13 @@ impl LengthSlab {
                 self.reps.copy_within(r_row.clone(), w_row.start);
                 self.env_lo.copy_within(r_row.clone(), w_row.start);
                 self.env_hi.copy_within(r_row, w_row.start);
+                let (r_prow, w_prow) = (self.prow(read), self.prow(write));
+                self.paa_reps.copy_within(r_prow.clone(), w_prow.start);
+                self.paa_env_lo.copy_within(r_prow.clone(), w_prow.start);
+                self.paa_env_hi.copy_within(r_prow, w_prow.start);
                 self.env_radius[write] = self.env_radius[read];
                 self.members[write] = std::mem::take(&mut self.members[read]);
+                self.member_paa[write] = std::mem::take(&mut self.member_paa[read]);
                 self.finalized[write] = self.finalized[read];
             }
             write += 1;
@@ -367,24 +570,36 @@ impl LengthSlab {
         self.reps.truncate(n * self.len);
         self.env_lo.truncate(n * self.len);
         self.env_hi.truncate(n * self.len);
+        self.paa_reps.truncate(n * self.paa_w);
+        self.paa_env_lo.truncate(n * self.paa_w);
+        self.paa_env_hi.truncate(n * self.paa_w);
         self.env_radius.truncate(n);
         self.members.truncate(n);
+        self.member_paa.truncate(n);
         self.finalized.truncate(n);
     }
 
-    /// Moves group `local` (rows + metadata) into `dst`, leaving this
-    /// slab's copy empty-membered. Used by the remove-series maintenance
-    /// path to split a length into untouched/shrunk slabs while preserving
-    /// group order.
+    /// Moves group `local` (rows + metadata + sketches) into `dst`, leaving
+    /// this slab's copy empty-membered. Used by the remove-series
+    /// maintenance path to split a length into untouched/shrunk slabs while
+    /// preserving group order.
     pub(crate) fn move_group_into(&mut self, local: usize, dst: &mut LengthSlab) {
         debug_assert_eq!(self.len, dst.len);
+        debug_assert_eq!(self.paa_w, dst.paa_w);
         let row = self.row(local);
         dst.sums.extend_from_slice(&self.sums[row.clone()]);
         dst.reps.extend_from_slice(&self.reps[row.clone()]);
         dst.env_lo.extend_from_slice(&self.env_lo[row.clone()]);
         dst.env_hi.extend_from_slice(&self.env_hi[row]);
+        let prow = self.prow(local);
+        dst.paa_reps.extend_from_slice(&self.paa_reps[prow.clone()]);
+        dst.paa_env_lo
+            .extend_from_slice(&self.paa_env_lo[prow.clone()]);
+        dst.paa_env_hi.extend_from_slice(&self.paa_env_hi[prow]);
         dst.env_radius.push(self.env_radius[local]);
         dst.members.push(std::mem::take(&mut self.members[local]));
+        dst.member_paa
+            .push(std::mem::take(&mut self.member_paa[local]));
         dst.finalized.push(self.finalized[local]);
     }
 
@@ -400,9 +615,12 @@ impl LengthSlab {
 
     /// Appends a *finalized* group reassembled from snapshot parts: the
     /// members must already be ED-sorted and the representative frozen;
-    /// the envelope rows are rebuilt from the representative.
+    /// the envelope rows and every sketch are rebuilt from the
+    /// representative and the dataset (pre-v4 snapshots carry no sketch
+    /// planes).
     pub(crate) fn push_from_parts(
         &mut self,
+        dataset: &Dataset,
         members: Vec<(SubseqRef, f64)>,
         rep: Vec<f64>,
         sum: Vec<f64>,
@@ -410,32 +628,102 @@ impl LengthSlab {
     ) {
         debug_assert_eq!(rep.len(), self.len);
         debug_assert_eq!(sum.len(), self.len);
+        let w = self.paa_w;
         let env = Envelope::build(&rep, envelope_radius);
         self.sums.extend_from_slice(&sum);
+        paa_extend(&rep, w, &mut self.paa_reps);
+        let (mut hi, mut lo) = (Vec::with_capacity(w), Vec::with_capacity(w));
+        paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
+        self.paa_env_hi.extend_from_slice(&hi);
+        self.paa_env_lo.extend_from_slice(&lo);
         self.reps.extend_from_slice(&rep);
         self.env_lo.extend_from_slice(&env.lower);
         self.env_hi.extend_from_slice(&env.upper);
+        let mut plane = Vec::with_capacity(members.len() * w);
+        for &(r, _) in &members {
+            paa_extend(dataset.subseq_unchecked(r), w, &mut plane);
+        }
         self.env_radius.push(envelope_radius as u32);
         self.members.push(members);
+        self.member_paa.push(plane);
         self.finalized.push(true);
     }
 
     /// Reassembles a whole *finalized* slab from bulk snapshot parts,
     /// taking ownership of the already-contiguous representative and sum
     /// blocks (the v3 columnar payload) — no per-group row copying. Member
-    /// lists must be ED-sorted; the envelope planes are rebuilt from the
-    /// representative rows.
+    /// lists must be ED-sorted; the envelope planes and every PAA sketch
+    /// are rebuilt from the representative rows and the dataset.
     pub(crate) fn from_bulk_parts(
+        dataset: &Dataset,
         len: usize,
+        paa_width: usize,
         members: Vec<Vec<(SubseqRef, f64)>>,
         radii: Vec<usize>,
         reps: Vec<f64>,
         sums: Vec<f64>,
     ) -> Self {
         let g = members.len();
+        debug_assert_eq!(reps.len(), g * len);
+        let w = paa_width.clamp(1, len.max(1));
+        // Recompute the sketch planes this pre-v4 payload lacks, then
+        // assemble through the same constructor the v4 path uses — one
+        // field-install sequence to keep correct.
+        let mut paa_reps = Vec::with_capacity(g * w);
+        let mut paa_env_lo = Vec::with_capacity(g * w);
+        let mut paa_env_hi = Vec::with_capacity(g * w);
+        let (mut hi, mut lo) = (Vec::with_capacity(w), Vec::with_capacity(w));
+        for (local, &radius) in radii.iter().enumerate() {
+            let row = local * len..(local + 1) * len;
+            let env = Envelope::build(&reps[row.clone()], radius);
+            paa_extend(&reps[row], w, &mut paa_reps);
+            paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
+            paa_env_hi.extend_from_slice(&hi);
+            paa_env_lo.extend_from_slice(&lo);
+        }
+        let member_paa = members
+            .iter()
+            .map(|list| {
+                let mut plane = Vec::with_capacity(list.len() * w);
+                for &(r, _) in list {
+                    paa_extend(dataset.subseq_unchecked(r), w, &mut plane);
+                }
+                plane
+            })
+            .collect();
+        Self::from_bulk_parts_with_sketches(
+            len, paa_width, members, radii, reps, sums, paa_reps, paa_env_lo, paa_env_hi,
+            member_paa,
+        )
+    }
+
+    /// Reassembles a *finalized* slab from bulk v4 snapshot parts,
+    /// installing the persisted sketch planes directly — only the
+    /// full-resolution envelope planes are rebuilt (they are not stored in
+    /// any snapshot version). Sizes must already be validated by the
+    /// decoder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_bulk_parts_with_sketches(
+        len: usize,
+        paa_width: usize,
+        members: Vec<Vec<(SubseqRef, f64)>>,
+        radii: Vec<usize>,
+        reps: Vec<f64>,
+        sums: Vec<f64>,
+        paa_reps: Vec<f64>,
+        paa_env_lo: Vec<f64>,
+        paa_env_hi: Vec<f64>,
+        member_paa: Vec<Vec<f64>>,
+    ) -> Self {
+        let g = members.len();
         debug_assert_eq!(radii.len(), g);
         debug_assert_eq!(reps.len(), g * len);
         debug_assert_eq!(sums.len(), g * len);
+        let mut slab = LengthSlab::new(len, paa_width);
+        let w = slab.paa_w;
+        debug_assert_eq!(paa_reps.len(), g * w);
+        debug_assert_eq!(paa_env_lo.len(), g * w);
+        debug_assert_eq!(paa_env_hi.len(), g * w);
         let mut env_lo = vec![0.0; g * len];
         let mut env_hi = vec![0.0; g * len];
         for (local, &radius) in radii.iter().enumerate() {
@@ -444,16 +732,18 @@ impl LengthSlab {
             env_lo[row.clone()].copy_from_slice(&env.lower);
             env_hi[row].copy_from_slice(&env.upper);
         }
-        LengthSlab {
-            len,
-            reps,
-            env_lo,
-            env_hi,
-            sums,
-            env_radius: radii.into_iter().map(|r| r as u32).collect(),
-            members,
-            finalized: vec![true; g],
-        }
+        slab.reps = reps;
+        slab.env_lo = env_lo;
+        slab.env_hi = env_hi;
+        slab.sums = sums;
+        slab.paa_reps = paa_reps;
+        slab.paa_env_lo = paa_env_lo;
+        slab.paa_env_hi = paa_env_hi;
+        slab.env_radius = radii.into_iter().map(|r| r as u32).collect();
+        slab.member_paa = member_paa;
+        slab.members = members;
+        slab.finalized = vec![true; g];
+        slab
     }
 
     /// The envelope radius recorded for group `local` (0 until finalized).
@@ -471,21 +761,33 @@ impl LengthSlab {
             .iter()
             .map(|m| m.capacity() * std::mem::size_of::<(SubseqRef, f64)>())
             .sum();
+        let member_sketch_bytes: usize = self.member_paa.iter().map(|p| p.capacity() * F64).sum();
         LengthFootprint {
             len: self.len,
+            paa_width: self.paa_w,
             groups: self.group_count(),
             members: self.total_members(),
             rep_slab_bytes: self.reps.capacity() * F64,
             envelope_slab_bytes: (self.env_lo.capacity() + self.env_hi.capacity()) * F64,
             sum_slab_bytes: self.sums.capacity() * F64,
+            sketch_bytes: (self.paa_reps.capacity()
+                + self.paa_env_lo.capacity()
+                + self.paa_env_hi.capacity()
+                + self.paa_weights.capacity())
+                * F64
+                + member_sketch_bytes
+                + self.member_paa.capacity() * std::mem::size_of::<Vec<f64>>(),
             member_bytes: member_bytes
                 + self.members.capacity() * std::mem::size_of::<Vec<(SubseqRef, f64)>>()
                 + self.env_radius.capacity() * std::mem::size_of::<u32>()
                 + self.finalized.capacity(),
-            // The four f64 slabs + radius/finalized/member-list arrays,
-            // plus one heap allocation per non-empty member list. (The
-            // pre-columnar layout paid ~5 allocations *per group*.)
-            allocations: 7 + self.members.iter().filter(|m| m.capacity() > 0).count(),
+            // The seven fixed f64 slabs + the weights vector +
+            // radius/finalized/member-list/member-sketch arrays, plus one
+            // heap allocation per non-empty member list and sketch plane.
+            // (The pre-columnar layout paid ~5 allocations *per group*.)
+            allocations: 12
+                + self.members.iter().filter(|m| m.capacity() > 0).count()
+                + self.member_paa.iter().filter(|p| p.capacity() > 0).count(),
         }
     }
 }
@@ -495,6 +797,8 @@ impl LengthSlab {
 pub struct LengthFootprint {
     /// The subsequence length.
     pub len: usize,
+    /// The resolved sketch width at this length.
+    pub paa_width: usize,
     /// Groups (= representatives) at this length.
     pub groups: usize,
     /// Members across those groups.
@@ -505,6 +809,9 @@ pub struct LengthFootprint {
     pub envelope_slab_bytes: usize,
     /// Bytes of the contiguous running-sum slab.
     pub sum_slab_bytes: usize,
+    /// Bytes of the PAA sketch planes: representative/envelope sketch
+    /// slabs, segment weights, and the per-group member sketch planes.
+    pub sketch_bytes: usize,
     /// Bytes of the member lists and per-group metadata arrays.
     pub member_bytes: usize,
     /// Heap allocations backing this length's store.
@@ -512,14 +819,17 @@ pub struct LengthFootprint {
 }
 
 impl LengthFootprint {
-    /// Bytes held in the contiguous f64 slabs (reps + envelopes + sums).
+    /// Bytes held in the contiguous full-resolution f64 slabs (reps +
+    /// envelopes + sums; sketches are accounted separately in
+    /// [`LengthFootprint::sketch_bytes`]).
     pub fn slab_bytes(&self) -> usize {
         self.rep_slab_bytes + self.envelope_slab_bytes + self.sum_slab_bytes
     }
 
-    /// Total bytes at this length (slabs + member lists + metadata).
+    /// Total bytes at this length (slabs + sketches + member lists +
+    /// metadata).
     pub fn total_bytes(&self) -> usize {
-        self.slab_bytes() + self.member_bytes
+        self.slab_bytes() + self.sketch_bytes + self.member_bytes
     }
 }
 
@@ -536,7 +846,7 @@ pub struct StoreFootprint {
 }
 
 impl StoreFootprint {
-    /// Total bytes in the contiguous f64 slabs.
+    /// Total bytes in the contiguous full-resolution f64 slabs.
     pub fn slab_bytes(&self) -> usize {
         self.per_length
             .iter()
@@ -544,8 +854,13 @@ impl StoreFootprint {
             .sum()
     }
 
-    /// Total bytes across slabs, member lists, metadata and the store-level
-    /// directory.
+    /// Total bytes in the PAA sketch planes across all lengths.
+    pub fn sketch_bytes(&self) -> usize {
+        self.per_length.iter().map(|l| l.sketch_bytes).sum()
+    }
+
+    /// Total bytes across slabs, sketches, member lists, metadata and the
+    /// store-level directory.
     pub fn total_bytes(&self) -> usize {
         self.per_length
             .iter()
@@ -656,6 +971,10 @@ mod tests {
     use super::*;
     use onex_ts::TimeSeries;
 
+    /// Sketch width used by the unit tests (wider than the test lengths, so
+    /// sketches degenerate to the full rows — easy to reason about).
+    const W: usize = 16;
+
     fn dataset() -> Dataset {
         Dataset::new(
             "g",
@@ -667,18 +986,49 @@ mod tests {
         )
     }
 
+    /// Recomputes every sketch of `slab` from scratch and asserts
+    /// bit-equality with the incrementally-maintained planes.
+    fn assert_sketches_consistent(slab: &LengthSlab, dataset: &Dataset) {
+        let w = slab.paa_width();
+        for local in 0..slab.group_count() {
+            for (idx, &(r, _)) in slab.members(local).iter().enumerate() {
+                let mut fresh = Vec::new();
+                paa_into(dataset.subseq_unchecked(r), w, &mut fresh);
+                assert_eq!(
+                    slab.member_paa_row(local, idx),
+                    &fresh[..],
+                    "member sketch {local}/{idx}"
+                );
+            }
+            if slab.is_finalized(local) {
+                let mut fresh = Vec::new();
+                paa_into(slab.rep_row(local), w, &mut fresh);
+                assert_eq!(slab.paa_rep_row(local), &fresh[..], "rep sketch {local}");
+                let env = slab.envelope_ref(local).unwrap();
+                let (mut hi, mut lo) = (Vec::new(), Vec::new());
+                paa_envelope_into(env.upper, env.lower, w, &mut hi, &mut lo);
+                let penv = slab.paa_envelope_ref(local).unwrap();
+                assert_eq!(penv.upper, &hi[..], "paa env hi {local}");
+                assert_eq!(penv.lower, &lo[..], "paa env lo {local}");
+                assert_eq!(penv.radius, env.radius);
+            }
+        }
+    }
+
     #[test]
     fn seed_and_incremental_mean() {
         let d = dataset();
         let r0 = SubseqRef::new(0, 0, 4);
         let r1 = SubseqRef::new(1, 0, 4);
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
+        assert_eq!(slab.paa_width(), 4, "width clamps to the length");
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         assert_eq!(slab.member_count(g), 1);
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         let mut mean = Vec::new();
         slab.mean_into(g, &mut mean);
         assert_eq!(mean, vec![0.5, 0.5, 0.5, 0.5]);
+        assert_sketches_consistent(&slab, &d);
     }
 
     #[test]
@@ -687,11 +1037,12 @@ mod tests {
         let r0 = SubseqRef::new(0, 0, 4); // zeros: ED 1.0 to mean [0.5..]
         let r1 = SubseqRef::new(1, 0, 4); // ones: ED 1.0
         let r2 = SubseqRef::new(2, 0, 4); // halves: ED 0
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         slab.push_member(g, r2, d.subseq_unchecked(r2));
         assert!(slab.envelope_ref(g).is_none());
+        assert!(slab.paa_envelope_ref(g).is_none());
         slab.finalize(g, &d, 1);
         assert_eq!(slab.rep_row(g), &[0.5, 0.5, 0.5, 0.5]);
         assert_eq!(slab.members(g)[0].0, r2);
@@ -700,6 +1051,9 @@ mod tests {
         let env = slab.envelope_ref(g).expect("finalized");
         assert_eq!(env.radius, 1);
         assert_eq!(env.len(), 4);
+        // The sort co-permuted the sketch plane: member 0 is now r2 (halves).
+        assert_eq!(slab.member_paa_row(g, 0), &[0.5, 0.5, 0.5, 0.5]);
+        assert_sketches_consistent(&slab, &d);
     }
 
     #[test]
@@ -707,7 +1061,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(2, 0, 4); // halves
         let r1 = SubseqRef::new(1, 0, 4); // ones — far away
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         // mean is 0.75; ones are at raw ED 0.5, halves at 0.5.
@@ -722,6 +1076,7 @@ mod tests {
         let evicted = slab.evict_outside(g, &d, 0.0);
         assert!(evicted.is_empty());
         assert_eq!(slab.member_count(g), 1);
+        assert_sketches_consistent(&slab, &d);
     }
 
     #[test]
@@ -729,7 +1084,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(0, 0, 4);
         let r1 = SubseqRef::new(1, 0, 4);
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         let a = slab.seed(r0, d.subseq_unchecked(r0));
         let b = slab.seed(r1, d.subseq_unchecked(r1));
         slab.finalize(a, &d, 1);
@@ -737,6 +1092,7 @@ mod tests {
         assert_eq!(slab.member_count(a), 2);
         assert_eq!(slab.member_count(b), 0);
         assert!(slab.envelope_ref(a).is_none(), "finalization cleared");
+        assert!(slab.paa_envelope_ref(a).is_none(), "sketch cleared too");
         let mut mean = Vec::new();
         slab.mean_into(a, &mut mean);
         assert_eq!(mean, vec![0.5, 0.5, 0.5, 0.5]);
@@ -744,6 +1100,7 @@ mod tests {
         assert_eq!(slab.group_count(), 1);
         slab.finalize(0, &d, 1);
         assert_eq!(slab.rep_row(0), &[0.5, 0.5, 0.5, 0.5]);
+        assert_sketches_consistent(&slab, &d);
     }
 
     #[test]
@@ -752,7 +1109,7 @@ mod tests {
         let r0 = SubseqRef::new(0, 0, 4); // zeros
         let r1 = SubseqRef::new(1, 0, 4); // ones
         let r2 = SubseqRef::new(2, 0, 4); // halves
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         slab.push_member(g, r2, d.subseq_unchecked(r2));
@@ -763,6 +1120,7 @@ mod tests {
         let mut mean = Vec::new();
         slab.mean_into(g, &mut mean);
         assert_eq!(mean, vec![0.25, 0.25, 0.25, 0.25]);
+        assert_sketches_consistent(&slab, &d);
         // dropping a series with no members is a no-op that keeps state
         slab.finalize(g, &d, 1);
         assert_eq!(slab.drop_series_members(g, &d, 1), 0);
@@ -778,7 +1136,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(0, 0, 4);
         let r2 = SubseqRef::new(2, 0, 4);
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r2, d.subseq_unchecked(r2));
         slab.remap_series_down(1);
@@ -789,32 +1147,35 @@ mod tests {
     #[test]
     fn retain_groups_compacts_in_order() {
         let d = dataset();
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         for s in 0..3u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = slab.seed(r, d.subseq_unchecked(r));
             slab.finalize(g, &d, 1);
         }
         let rep2 = slab.rep_row(2).to_vec();
+        let paa2 = slab.paa_rep_row(2).to_vec();
         slab.retain_groups(|local| local != 1);
         assert_eq!(slab.group_count(), 2);
         assert_eq!(slab.members(0)[0].0.series, 0);
         assert_eq!(slab.members(1)[0].0.series, 2);
         assert_eq!(slab.rep_row(1), &rep2[..]);
+        assert_eq!(slab.paa_rep_row(1), &paa2[..]);
         assert!(slab.is_finalized(1));
+        assert_sketches_consistent(&slab, &d);
     }
 
     #[test]
     fn move_and_extend_preserve_rows() {
         let d = dataset();
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         for s in 0..3u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = slab.seed(r, d.subseq_unchecked(r));
             slab.finalize(g, &d, 1);
         }
-        let mut a = LengthSlab::new(4);
-        let mut b = LengthSlab::new(4);
+        let mut a = LengthSlab::new(4, W);
+        let mut b = LengthSlab::new(4, W);
         slab.move_group_into(0, &mut a);
         slab.move_group_into(1, &mut b);
         slab.move_group_into(2, &mut a);
@@ -825,13 +1186,15 @@ mod tests {
         assert_eq!(a.group_count(), 3);
         assert_eq!(a.members(2)[0].0.series, 1);
         assert_eq!(a.rep_row(2), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a.paa_rep_row(2), &[1.0, 1.0, 1.0, 1.0]);
+        assert_sketches_consistent(&a, &d);
     }
 
     #[test]
     fn store_directory_resolves_flat_ids() {
         let d = dataset();
-        let mut s4 = LengthSlab::new(4);
-        let mut s2 = LengthSlab::new(2);
+        let mut s4 = LengthSlab::new(4, W);
+        let mut s2 = LengthSlab::new(2, W);
         for s in 0..2u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = s4.seed(r, d.subseq_unchecked(r));
@@ -854,7 +1217,7 @@ mod tests {
     #[test]
     fn footprint_accounts_slabs_and_allocations() {
         let d = dataset();
-        let mut slab = LengthSlab::new(4);
+        let mut slab = LengthSlab::new(4, W);
         for s in 0..3u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = slab.seed(r, d.subseq_unchecked(r));
@@ -862,20 +1225,46 @@ mod tests {
         }
         let f = slab.footprint();
         assert_eq!(f.len, 4);
+        assert_eq!(f.paa_width, 4);
         assert_eq!(f.groups, 3);
         assert_eq!(f.members, 3);
         assert!(f.rep_slab_bytes >= 3 * 4 * 8);
         assert!(f.envelope_slab_bytes >= 2 * 3 * 4 * 8);
+        // 3 rep/envelope sketch rows + weights + 3 member sketch planes
+        assert!(f.sketch_bytes >= (3 * 3 * 4 + 4 + 3 * 4) * 8);
         assert!(f.slab_bytes() >= f.rep_slab_bytes + f.sum_slab_bytes);
-        // 7 columnar arrays + 3 member lists — far below the ~5/group of
-        // the old array-of-structs layout once groups number thousands.
-        assert_eq!(f.allocations, 10);
+        assert!(f.total_bytes() >= f.slab_bytes() + f.sketch_bytes);
+        // 12 columnar arrays + 3 member lists + 3 member sketch planes —
+        // still far below the ~5/group of the old array-of-structs layout
+        // once groups number thousands.
+        assert_eq!(f.allocations, 18);
         let store = GroupStore::from_slabs(vec![slab]);
         let total = store.footprint();
         assert_eq!(total.groups(), 3);
         // slab allocations + the store-level directory and slab table
-        assert_eq!(total.allocations(), 12);
+        assert_eq!(total.allocations(), 20);
         assert!(total.directory_bytes >= 3 * 8);
         assert!(total.total_bytes() >= total.slab_bytes() + total.directory_bytes);
+        assert_eq!(total.sketch_bytes(), f.sketch_bytes);
+    }
+
+    #[test]
+    fn paa_envelope_ref_bounds_the_stored_envelope() {
+        // On a non-trivial length the PAA'd envelope must sandwich the
+        // stored one segment-wise: Û_j ≥ every U_i, L̂_j ≤ every L_i.
+        let series = TimeSeries::new((0..12).map(|i| (i as f64 * 0.8).sin()).collect()).unwrap();
+        let d = Dataset::new("wide", vec![series]);
+        let mut slab = LengthSlab::new(12, 4);
+        let r = SubseqRef::new(0, 0, 12);
+        let g = slab.seed(r, d.subseq_unchecked(r));
+        slab.finalize(g, &d, 2);
+        assert_eq!(slab.paa_width(), 4);
+        let env = slab.envelope_ref(g).unwrap();
+        let penv = slab.paa_envelope_ref(g).unwrap();
+        for (i, (&u, &l)) in env.upper.iter().zip(env.lower).enumerate() {
+            let j = i * 4 / 12;
+            assert!(penv.upper[j] >= u - 1e-15, "i={i}");
+            assert!(penv.lower[j] <= l + 1e-15, "i={i}");
+        }
     }
 }

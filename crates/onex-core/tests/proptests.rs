@@ -4,9 +4,46 @@
 
 use onex_core::engine::{Explorer, QueryOptions};
 use onex_core::{snapshot, BuildMode, MatchMode, OnexBase, OnexConfig};
-use onex_dist::{dtw_normalized, ed_normalized};
+use onex_dist::{dtw_normalized, ed_normalized, paa_envelope_into, paa_into};
 use onex_ts::{Dataset, Decomposition, TimeSeries};
 use proptest::prelude::*;
+
+/// Recomputes every PAA sketch of `base` from scratch — member sketches
+/// from the dataset values, representative sketches from the frozen rep
+/// rows, PAA'd envelopes from the stored envelope planes — and asserts
+/// bit-equality with the incrementally-maintained planes.
+fn assert_sketches_match_recompute(base: &OnexBase) {
+    for slab in base.store().slabs() {
+        let w = slab.paa_width();
+        let mut fresh = Vec::new();
+        for local in 0..slab.group_count() {
+            for (idx, &(r, _)) in slab.members(local).iter().enumerate() {
+                paa_into(base.dataset().subseq_unchecked(r), w, &mut fresh);
+                assert_eq!(
+                    slab.member_paa_row(local, idx),
+                    &fresh[..],
+                    "member sketch drifted: len {} group {local} member {idx}",
+                    slab.subseq_len()
+                );
+            }
+            if slab.is_finalized(local) {
+                paa_into(slab.rep_row(local), w, &mut fresh);
+                assert_eq!(
+                    slab.paa_rep_row(local),
+                    &fresh[..],
+                    "rep sketch drifted: len {} group {local}",
+                    slab.subseq_len()
+                );
+                let env = slab.envelope_ref(local).expect("finalized");
+                let (mut hi, mut lo) = (Vec::new(), Vec::new());
+                paa_envelope_into(env.upper, env.lower, w, &mut hi, &mut lo);
+                let penv = slab.paa_envelope_ref(local).expect("finalized");
+                assert_eq!(penv.upper, &hi[..], "paa env hi drifted");
+                assert_eq!(penv.lower, &lo[..], "paa env lo drifted");
+            }
+        }
+    }
+}
 
 /// A random dataset of 2–6 series, lengths 6–14, values in [0, 1].
 fn dataset() -> impl Strategy<Value = Dataset> {
@@ -261,6 +298,48 @@ proptest! {
         let base = OnexBase::build_prenormalized(d.clone(), cfg).unwrap();
         let covered: usize = base.groups().map(|g| g.member_count()).sum();
         prop_assert_eq!(covered, d.subseq_count(&Decomposition::full()));
+    }
+
+    #[test]
+    fn incremental_sketches_equal_recompute_after_random_lifecycle(
+        d in dataset(), seed in any::<u64>(),
+        ops in prop::collection::vec(0u8..4, 1..6),
+        extra in prop::collection::vec(0.0..1.0f64, 6..=12),
+        st_delta in -0.1..0.25f64,
+    ) {
+        // The store maintains its sketch planes *incrementally* — member
+        // sketches are computed once and carried through sorts, merges,
+        // splits, evictions and moves; rep/envelope sketches rebuild only
+        // on re-finalization. After an arbitrary append / remove / refine
+        // sequence every plane must still equal a from-scratch recompute,
+        // bit for bit.
+        let base = OnexBase::build_prenormalized(d, config(0.2, seed)).unwrap();
+        assert_sketches_match_recompute(&base);
+        let explorer = Explorer::from_base(base);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let shifted: Vec<f64> =
+                        extra.iter().map(|v| (v + 0.07 * i as f64).fract()).collect();
+                    explorer
+                        .append_series(TimeSeries::new(shifted).unwrap())
+                        .unwrap();
+                }
+                1 => {
+                    let n = explorer.base().dataset().len();
+                    if n > 2 {
+                        explorer.remove_series((seed as usize + i) % n).unwrap();
+                    }
+                }
+                2 => {
+                    explorer.refine_to((0.2 + st_delta).max(0.02)).unwrap();
+                }
+                _ => {
+                    explorer.refine_to(0.2).unwrap();
+                }
+            }
+            assert_sketches_match_recompute(&explorer.base());
+        }
     }
 
     #[test]

@@ -8,30 +8,16 @@
 //! job) and panic on mismatch, which is a programming error rather than a
 //! data error.
 
-/// Squared Euclidean distance `Σ (x_i − y_i)²`.
+/// Squared Euclidean distance `Σ (x_i − y_i)²`, via the shared blocked
+/// kernel ([`crate::kernels::sum_sq_diff`]): LLVM vectorizes the four
+/// independent lanes per accumulator update.
 ///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
 pub fn ed_sq(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "ED requires equal lengths");
-    let mut acc = 0.0;
-    // Chunked loop: lets LLVM vectorize without a reduction dependency on
-    // every element.
-    let mut xi = x.chunks_exact(4);
-    let mut yi = y.chunks_exact(4);
-    for (cx, cy) in (&mut xi).zip(&mut yi) {
-        let d0 = cx[0] - cy[0];
-        let d1 = cx[1] - cy[1];
-        let d2 = cx[2] - cy[2];
-        let d3 = cx[3] - cy[3];
-        acc += d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
-    }
-    for (a, b) in xi.remainder().iter().zip(yi.remainder()) {
-        let d = a - b;
-        acc += d * d;
-    }
-    acc
+    crate::kernels::sum_sq_diff(x, y)
 }
 
 /// Euclidean distance `√(Σ (x_i − y_i)²)` (paper Def. 2).
@@ -57,6 +43,12 @@ pub fn ed_normalized(x: &[f64], y: &[f64]) -> f64 {
 /// Early-abandoning squared ED: returns `None` as soon as the running sum
 /// exceeds `limit_sq`, otherwise `Some(ed²)`. Used in the construction loop
 /// where most candidates are far from most representatives.
+///
+/// The accumulation here is deliberately **sequential** (not the blocked
+/// [`crate::kernels`] shape): the base construction keys group assignment
+/// on these exact sums, so reassociating them would change rounding and
+/// with it which group wins a near-tie — the built base must stay
+/// bit-identical across revisions.
 ///
 /// # Panics
 /// Panics if the slices differ in length.

@@ -1,0 +1,283 @@
+//! Shared vectorization-friendly inner loops for the distance kernels.
+//!
+//! Every function here is written in the same `chunks_exact(4)`-blocked
+//! shape: four independent lane computations per iteration feeding one
+//! accumulator update, which removes the loop-carried dependency on every
+//! element and lets LLVM autovectorize without `unsafe` or intrinsics. The
+//! scalar remainders handle the final `len % 4` elements.
+//!
+//! The blocked forms **reassociate** floating-point sums (four partial
+//! products per accumulator update instead of one), so a blocked total may
+//! differ from a sequential fold in the last ulps. That is fine for the
+//! lower-bound kernels — a bound is compared against a cutoff, and the
+//! query pipeline's equivalence tests pin that pruning never changes
+//! results — but it is exactly why [`crate::ed::ed_early_abandon_sq`]
+//! (whose running sums the base *construction* keys group assignment on)
+//! keeps its original sequential accumulation order.
+
+/// Blocked `Σ (x_i − y_i)²` — the shared core of [`crate::ed::ed_sq`] and
+/// the per-length representative sweeps.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn sum_sq_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sum_sq_diff requires equal lengths");
+    let mut acc = 0.0;
+    let mut xi = x.chunks_exact(4);
+    let mut yi = y.chunks_exact(4);
+    for (cx, cy) in (&mut xi).zip(&mut yi) {
+        let d0 = cx[0] - cy[0];
+        let d1 = cx[1] - cy[1];
+        let d2 = cx[2] - cy[2];
+        let d3 = cx[3] - cy[3];
+        acc += d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+    }
+    for (a, b) in xi.remainder().iter().zip(yi.remainder()) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Branch-free squared LB_Keogh contribution of one candidate point
+/// against an envelope band `[lower, upper]`: `(c−U)²` above, `(L−c)²`
+/// below, 0 inside. For any valid band (`L ≤ U`) at most one of the two
+/// clamped terms is non-zero, so the value is identical to the branchy
+/// form — but the select compiles to `maxsd`, keeping the summation loops
+/// free of unpredictable branches.
+#[inline(always)]
+pub fn keogh_contrib(c: f64, upper: f64, lower: f64) -> f64 {
+    let above = (c - upper).max(0.0);
+    let below = (lower - c).max(0.0);
+    above * above + below * below
+}
+
+/// Blocked `Σ keogh_contrib(c_i; U_i, L_i)` — the full (non-abandoning)
+/// squared LB_Keogh sum behind [`crate::lb::lb_keogh`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn keogh_sq_sum(c: &[f64], upper: &[f64], lower: &[f64]) -> f64 {
+    assert_eq!(c.len(), upper.len(), "LB_Keogh requires equal lengths");
+    assert_eq!(c.len(), lower.len(), "LB_Keogh requires equal lengths");
+    let mut acc = 0.0;
+    let mut ci = c.chunks_exact(4);
+    let mut ui = upper.chunks_exact(4);
+    let mut li = lower.chunks_exact(4);
+    for ((cc, cu), cl) in (&mut ci).zip(&mut ui).zip(&mut li) {
+        acc += keogh_contrib(cc[0], cu[0], cl[0])
+            + keogh_contrib(cc[1], cu[1], cl[1])
+            + keogh_contrib(cc[2], cu[2], cl[2])
+            + keogh_contrib(cc[3], cu[3], cl[3]);
+    }
+    for ((&cv, &uv), &lv) in ci
+        .remainder()
+        .iter()
+        .zip(ui.remainder())
+        .zip(li.remainder())
+    {
+        acc += keogh_contrib(cv, uv, lv);
+    }
+    acc
+}
+
+/// Blocked weighted squared distance between two PAA sketches:
+/// `Σ_j w_j (x̄_j − ȳ_j)²`. With `w_j` the segment sample counts this is
+/// the squared LB_PAA bound on ED (see [`crate::paa::lb_paa_sq`]).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn weighted_sq_diff(x: &[f64], y: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sketch widths must match");
+    assert_eq!(x.len(), weights.len(), "sketch widths must match");
+    let mut acc = 0.0;
+    let mut xi = x.chunks_exact(4);
+    let mut yi = y.chunks_exact(4);
+    let mut wi = weights.chunks_exact(4);
+    for ((cx, cy), cw) in (&mut xi).zip(&mut yi).zip(&mut wi) {
+        let d0 = cx[0] - cy[0];
+        let d1 = cx[1] - cy[1];
+        let d2 = cx[2] - cy[2];
+        let d3 = cx[3] - cy[3];
+        acc += cw[0] * d0 * d0 + cw[1] * d1 * d1 + cw[2] * d2 * d2 + cw[3] * d3 * d3;
+    }
+    for ((&a, &b), &w) in xi
+        .remainder()
+        .iter()
+        .zip(yi.remainder())
+        .zip(wi.remainder())
+    {
+        let d = a - b;
+        acc += w * d * d;
+    }
+    acc
+}
+
+/// Blocked weighted squared envelope distance of a PAA sketch against a
+/// PAA'd envelope: `Σ_j w_j · keogh_contrib(x̄_j; Û_j, L̂_j)` — the squared
+/// LB_PAA-over-envelope bound (see [`crate::paa::lb_paa_env_sq`]).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn weighted_keogh_sq_sum(x: &[f64], upper: &[f64], lower: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(x.len(), upper.len(), "sketch widths must match");
+    assert_eq!(x.len(), lower.len(), "sketch widths must match");
+    assert_eq!(x.len(), weights.len(), "sketch widths must match");
+    let mut acc = 0.0;
+    let mut xi = x.chunks_exact(4);
+    let mut ui = upper.chunks_exact(4);
+    let mut li = lower.chunks_exact(4);
+    let mut wi = weights.chunks_exact(4);
+    for (((cx, cu), cl), cw) in (&mut xi).zip(&mut ui).zip(&mut li).zip(&mut wi) {
+        acc += cw[0] * keogh_contrib(cx[0], cu[0], cl[0])
+            + cw[1] * keogh_contrib(cx[1], cu[1], cl[1])
+            + cw[2] * keogh_contrib(cx[2], cu[2], cl[2])
+            + cw[3] * keogh_contrib(cx[3], cu[3], cl[3]);
+    }
+    for (((&xv, &uv), &lv), &wv) in xi
+        .remainder()
+        .iter()
+        .zip(ui.remainder())
+        .zip(li.remainder())
+        .zip(wi.remainder())
+    {
+        acc += wv * keogh_contrib(xv, uv, lv);
+    }
+    acc
+}
+
+/// Blocked element-wise `dst[i] += src[i]`. Element operations are
+/// independent, so this is bit-identical to the scalar loop at any block
+/// size — safe for the construction-state running sums.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "add_assign requires equal lengths");
+    let mut di = dst.chunks_exact_mut(4);
+    let mut si = src.chunks_exact(4);
+    for (d, s) in (&mut di).zip(&mut si) {
+        d[0] += s[0];
+        d[1] += s[1];
+        d[2] += s[2];
+        d[3] += s[3];
+    }
+    for (d, s) in di.into_remainder().iter_mut().zip(si.remainder()) {
+        *d += s;
+    }
+}
+
+/// Blocked element-wise `dst[i] -= src[i]`; see [`add_assign`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn sub_assign(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "sub_assign requires equal lengths");
+    let mut di = dst.chunks_exact_mut(4);
+    let mut si = src.chunks_exact(4);
+    for (d, s) in (&mut di).zip(&mut si) {
+        d[0] -= s[0];
+        d[1] -= s[1];
+        d[2] -= s[2];
+        d[3] -= s[3];
+    }
+    for (d, s) in di.into_remainder().iter_mut().zip(si.remainder()) {
+        *d -= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn sum_sq_diff_matches_scalar_for_all_remainders() {
+        for n in 0..=11usize {
+            let x = series(n, |i| i as f64 * 0.7 - 1.0);
+            let y = series(n, |i| 2.0 - i as f64 * 0.3);
+            let scalar: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!((sum_sq_diff(&x, &y) - scalar).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn keogh_contrib_matches_branchy_form() {
+        for (c, u, l) in [
+            (2.0, 1.0, 0.0),
+            (-1.0, 1.0, 0.0),
+            (0.5, 1.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (0.0, 1.0, 0.0),
+        ] {
+            let branchy = if c > u {
+                (c - u) * (c - u)
+            } else if c < l {
+                (c - l) * (c - l)
+            } else {
+                0.0
+            };
+            assert_eq!(keogh_contrib(c, u, l), branchy, "c={c}");
+        }
+    }
+
+    #[test]
+    fn keogh_sq_sum_matches_scalar_for_all_remainders() {
+        for n in 0..=11usize {
+            let c = series(n, |i| (i as f64 * 0.9).sin() * 2.0);
+            let u = series(n, |i| (i as f64 * 0.5).cos() + 0.5);
+            let l = series(n, |i| (i as f64 * 0.5).cos() - 0.5);
+            let scalar: f64 = (0..n).map(|i| keogh_contrib(c[i], u[i], l[i])).sum();
+            assert!((keogh_sq_sum(&c, &u, &l) - scalar).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn weighted_kernels_match_scalar_for_all_remainders() {
+        for n in 0..=9usize {
+            let x = series(n, |i| i as f64 * 0.4);
+            let y = series(n, |i| 1.0 - i as f64 * 0.2);
+            let u = series(n, |i| i as f64 * 0.3 + 0.2);
+            let l = series(n, |i| i as f64 * 0.3 - 0.2);
+            let w = series(n, |i| (i + 1) as f64);
+            let scalar: f64 = (0..n).map(|i| w[i] * (x[i] - y[i]) * (x[i] - y[i])).sum();
+            assert!(
+                (weighted_sq_diff(&x, &y, &w) - scalar).abs() < 1e-12,
+                "n={n}"
+            );
+            let scalar: f64 = (0..n).map(|i| w[i] * keogh_contrib(x[i], u[i], l[i])).sum();
+            assert!(
+                (weighted_keogh_sq_sum(&x, &u, &l, &w) - scalar).abs() < 1e-12,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_sub_assign_are_bit_identical_to_scalar() {
+        for n in 0..=11usize {
+            let src = series(n, |i| (i as f64 * 0.37).sin());
+            let mut blocked = series(n, |i| i as f64 * 0.1);
+            let mut scalar = blocked.clone();
+            add_assign(&mut blocked, &src);
+            for (d, s) in scalar.iter_mut().zip(&src) {
+                *d += s;
+            }
+            assert_eq!(blocked, scalar, "add n={n}");
+            sub_assign(&mut blocked, &src);
+            for (d, s) in scalar.iter_mut().zip(&src) {
+                *d -= s;
+            }
+            assert_eq!(blocked, scalar, "sub n={n}");
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //!   consumed by [`crate::dtw::DtwBuffer::dist_early_abandon_with_suffix`]
 //!   to abandon DTW itself earlier.
 
+use crate::kernels::{keogh_contrib, keogh_sq_sum};
 use crate::EnvelopeRef;
 
 /// LB_Kim (first/last form): `√((x₀−y₀)² + (x_last−y_last)²)`.
@@ -44,23 +45,9 @@ pub fn lb_kim_fl(x: &[f64], y: &[f64]) -> f64 {
     }
 }
 
-/// Per-index LB_Keogh contribution of `c[i]` against the envelope, in
-/// squared space.
-#[inline]
-fn keogh_contrib(c: f64, upper: f64, lower: f64) -> f64 {
-    if c > upper {
-        let d = c - upper;
-        d * d
-    } else if c < lower {
-        let d = c - lower;
-        d * d
-    } else {
-        0.0
-    }
-}
-
 /// LB_Keogh: `√(Σ_i contrib(c_i))` where points above the upper envelope pay
-/// `(c_i − U_i)²`, below the lower pay `(c_i − L_i)²`, inside pay 0.
+/// `(c_i − U_i)²`, below the lower pay `(c_i − L_i)²`, inside pay 0. The sum
+/// runs through the blocked [`crate::kernels::keogh_sq_sum`] kernel.
 ///
 /// # Panics
 /// Panics when `c.len() != env.len()` — LB_Keogh is only defined for
@@ -68,11 +55,7 @@ fn keogh_contrib(c: f64, upper: f64, lower: f64) -> f64 {
 pub fn lb_keogh<'a>(c: &[f64], env: impl Into<EnvelopeRef<'a>>) -> f64 {
     let env = env.into();
     assert_eq!(c.len(), env.len(), "LB_Keogh requires equal lengths");
-    c.iter()
-        .zip(env.upper.iter().zip(env.lower))
-        .map(|(&ci, (&u, &l))| keogh_contrib(ci, u, l))
-        .sum::<f64>()
-        .sqrt()
+    keogh_sq_sum(c, env.upper, env.lower).sqrt()
 }
 
 /// LB_Keogh in *squared* space with early abandoning and an optional index

@@ -16,7 +16,11 @@
 //!   LB_Keogh in both query/data roles, plus the cumulative variant that
 //!   powers reordered early abandoning.
 //! * [`paa()`](paa::paa) — Piecewise Aggregate Approximation and PDTW (Keogh & Pazzani
-//!   2000), the paper's "PAA" baseline.
+//!   2000), the paper's "PAA" baseline — plus the exact O(m) PAA lower
+//!   bounds ([`paa::lb_paa`] on ED, [`paa::lb_paa_env_sq`] on LB_Keogh and
+//!   therefore banded DTW) behind the ONEX cascade's sketch tier.
+//! * [`kernels`] — the shared `chunks_exact(4)`-blocked inner loops
+//!   (autovectorization-friendly) the hot kernels above are built on.
 //! * [`lcss`] / [`erp`] — the related-work elastic measures (LCSS,
 //!   Edit distance with Real Penalty), provided for the extension surface.
 //!
@@ -38,6 +42,7 @@ pub mod dtw;
 pub mod ed;
 pub mod envelope;
 pub mod erp;
+pub mod kernels;
 pub mod lb;
 pub mod lcss;
 pub mod lp;
@@ -50,5 +55,8 @@ pub use envelope::{Envelope, EnvelopeRef};
 pub use lb::{
     lb_keogh, lb_keogh_cumulative, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl,
 };
-pub use paa::{paa, pdtw, Paa};
+pub use paa::{
+    lb_paa, lb_paa_env_sq, lb_paa_sq, paa, paa_envelope_into, paa_extend, paa_into,
+    paa_segment_weights, pdtw, Paa,
+};
 pub use window::Window;

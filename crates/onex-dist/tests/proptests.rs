@@ -4,8 +4,8 @@
 
 use onex_dist::{
     dtw, dtw_early_abandon, dtw_normalized, dtw_with_path, ed, ed_early_abandon_sq, ed_normalized,
-    ed_sq, lb_keogh, lb_keogh_cumulative, lb_keogh_sq_abandon, lb_kim_fl, paa, pdtw, DtwBuffer,
-    Envelope, Window,
+    ed_sq, lb_keogh, lb_keogh_cumulative, lb_keogh_sq_abandon, lb_kim_fl, lb_paa_env_sq, lb_paa_sq,
+    paa, paa_envelope_into, paa_into, paa_segment_weights, pdtw, DtwBuffer, Envelope, Window,
 };
 use proptest::prelude::*;
 
@@ -210,6 +210,55 @@ proptest! {
         for (i, &v) in y.iter().enumerate() {
             prop_assert!(env.lower[i] <= v && v <= env.upper[i]);
         }
+    }
+
+    // ---- PAA sketch tier (cascade tier 0) soundness ----
+
+    #[test]
+    fn lb_paa_lower_bounds_ed((x, y) in seq_pair_equal(48), m in 1..48usize) {
+        // The O(m) sketch distance never exceeds the O(n) ED it stands in
+        // for — the soundness obligation of LB_PAA wherever ED is the
+        // pruning metric (the construction assigner's prefilter).
+        let m = m.min(x.len());
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        paa_into(&x, m, &mut xs);
+        paa_into(&y, m, &mut ys);
+        let w = paa_segment_weights(x.len(), m);
+        let lb = lb_paa_sq(&xs, &ys, &w).sqrt();
+        prop_assert!(lb <= ed(&x, &y) + 1e-9, "LB_PAA {} > ED {}", lb, ed(&x, &y));
+    }
+
+    #[test]
+    fn sketch_tier_chain_is_monotone_to_banded_dtw(
+        (x, y) in seq_pair_equal(32), r in 1..32usize, m in 1..32usize,
+    ) {
+        // The full tier chain the cascade relies on, on random inputs:
+        // tier 0 (PAA sketch vs PAA'd envelope) ≤ tier 2/3 (LB_Keogh) ≤
+        // banded DTW — so a tier-0 prune can never kill a candidate a
+        // later tier (or the DTW itself) would have kept.
+        let m = m.min(x.len());
+        let env = Envelope::build(&y, r);
+        let mut xs = Vec::new();
+        paa_into(&x, m, &mut xs);
+        let (mut hi, mut lo) = (Vec::new(), Vec::new());
+        paa_envelope_into(&env.upper, &env.lower, m, &mut hi, &mut lo);
+        let w = paa_segment_weights(x.len(), m);
+        let tier0 = lb_paa_env_sq(&xs, &hi, &lo, &w).sqrt();
+        let tier2 = lb_keogh(&x, &env);
+        let d = dtw(&x, &y, Window::Band(r));
+        prop_assert!(tier0 <= tier2 + 1e-9, "tier0 {} > LB_Keogh {}", tier0, tier2);
+        prop_assert!(tier0 <= d + 1e-9, "tier0 {} > banded DTW {}", tier0, d);
+    }
+
+    #[test]
+    fn paa_incremental_builders_match_reference(x in seq(48), m in 1..48usize) {
+        // The allocation-free sketch builder is bit-identical to the
+        // reference reduction — the store's incremental sketches and a
+        // from-scratch recompute can never drift apart.
+        let m = m.min(x.len());
+        let mut out = Vec::new();
+        paa_into(&x, m, &mut out);
+        prop_assert_eq!(out, paa(&x, m).segments);
     }
 
     // ---- Paper Lemma 1 (pairwise bound inside a group) ----

@@ -48,9 +48,9 @@ fn run_best(explorer: &Explorer, q: Vec<f64>, mode: MatchMode) {
                 s.elapsed
             );
             println!(
-                "      {} DTW evals ({} abandoned early) | pruned kim/keogh_eq/keogh_ec = {}/{}/{} | {} LB_Keogh evals",
-                s.dtw_evals, s.early_abandons, s.pruned_kim, s.pruned_keogh_eq, s.pruned_keogh_ec,
-                s.lb_keogh_evals
+                "      {} DTW evals ({} abandoned early) | pruned paa/kim/keogh_eq/keogh_ec = {}/{}/{}/{} | {} LB_Keogh evals",
+                s.dtw_evals, s.early_abandons, s.pruned_paa, s.pruned_kim, s.pruned_keogh_eq,
+                s.pruned_keogh_ec, s.lb_keogh_evals
             );
         }
         Err(e) => println!("error: {e}"),
@@ -73,32 +73,35 @@ fn print_help() {
 }
 
 /// Prints the per-length memory accounting of the columnar group store:
-/// groups, members, contiguous slab bytes (reps / envelopes / sums), member
-/// bytes, and the heap-allocation count behind each length.
+/// groups, members, contiguous slab bytes (reps / envelopes / sums), the
+/// PAA sketch-plane bytes, member bytes, and the heap-allocation count
+/// behind each length.
 fn run_mem(explorer: &Explorer) {
     let fp = explorer.footprint();
     println!(
-        "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}",
-        "len", "groups", "members", "rep B", "env B", "sum B", "member B", "allocs"
+        "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "len", "groups", "members", "rep B", "env B", "sum B", "sketch B", "member B", "allocs"
     );
     for l in &fp.per_length {
         println!(
-            "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
             l.len,
             l.groups,
             l.members,
             l.rep_slab_bytes,
             l.envelope_slab_bytes,
             l.sum_slab_bytes,
+            l.sketch_bytes,
             l.member_bytes,
             l.allocations
         );
     }
     println!(
-        "total: {} groups, {:.2} KB slabs + {:.2} KB members/metadata, {} allocations",
+        "total: {} groups, {:.2} KB slabs + {:.2} KB sketches + {:.2} KB members/metadata, {} allocations",
         fp.groups(),
         fp.slab_bytes() as f64 / 1024.0,
-        (fp.total_bytes() - fp.slab_bytes()) as f64 / 1024.0,
+        fp.sketch_bytes() as f64 / 1024.0,
+        (fp.total_bytes() - fp.slab_bytes() - fp.sketch_bytes()) as f64 / 1024.0,
         fp.allocations()
     );
 }

@@ -106,35 +106,51 @@
 //!   contiguous `Vec<f64>`** (stride = the length),
 //! * the LB_Keogh envelope lower/upper planes in two parallel slabs,
 //! * the running point-wise member sums in another,
+//! * **PAA sketch planes** (width `w = min(paa_width, len)`, default 16 —
+//!   see below): every representative's sketch, the representative
+//!   envelopes reduced conservatively per segment, and one flat
+//!   member-sketch plane per group, index-aligned with the member list,
 //! * and per-group metadata (ED-sorted member lists, envelope radii,
 //!   finalized flags) in parallel arrays indexed by local position.
 //!
 //! The query hot path — the per-length representative scan and the
-//! envelope tiers of the lower-bound cascade — therefore walks linear,
-//! cache-resident memory instead of chasing a heap pointer per group, and
-//! the whole store costs a handful of allocations per *length* rather than
-//! ~5 per *group*. [`core::Group`] survives as a two-word view over one
-//! slab row; construction, refinement and maintenance mutate the slabs in
-//! place. The footprint is observable: [`Explorer::footprint`] (and
-//! `base().stats()`) report per-length slab bytes, member bytes and
+//! sketch/envelope tiers of the lower-bound cascade — therefore walks
+//! linear, cache-resident memory instead of chasing a heap pointer per
+//! group, and the whole store costs a handful of allocations per *length*
+//! rather than ~5 per *group*. The scan loops themselves run through the
+//! blocked, autovectorization-friendly kernels of `onex_dist::kernels`.
+//! [`core::Group`] survives as a two-word view over one slab row;
+//! construction, refinement and maintenance mutate the slabs — sketch
+//! planes included, incrementally, never by recompute — in place. The
+//! footprint is observable: [`Explorer::footprint`] (and `base().stats()`)
+//! report per-length slab bytes, sketch bytes, member bytes and
 //! allocation counts, and the `interactive_cli` example prints them via
 //! its `mem` command.
+//!
+//! The `paa_width` knob ([`OnexConfig::paa_width`]) is **accuracy-
+//! neutral**: every sketch test is a proven lower bound applied with a
+//! strictly-greater prune, so any width returns byte-identical results —
+//! it only trades sketch memory against how much O(len) tier work the
+//! O(w) tier skips.
 //!
 //! ## Snapshot versions
 //!
 //! Snapshots are hand-rolled little-endian binary (module
-//! [`core::snapshot`]); indexes and envelopes are rebuilt on load. Three
+//! [`core::snapshot`]); indexes and envelopes are rebuilt on load. Four
 //! versions exist on disk:
 //!
 //! | version | layout | integrity | written by | read by |
 //! |---------|--------|-----------|------------|---------|
 //! | v1 | per-group records | structural checks only | `snapshot::encode_v1` (compat tests / downgrade feeds) | every revision |
-//! | v2 | per-group records + epoch | CRC-32 footer | `snapshot::encode_v2_with_epoch` (downgrade feeds; was the default before the columnar store) | this revision and the previous one |
-//! | v3 | **columnar**: per length, member counts / radii / member entries as bulk arrays, then the rep and sum slabs as contiguous `f64` blocks, + epoch | CRC-32 footer | [`Explorer::save`] and `snapshot::encode` (the default) | this revision |
+//! | v2 | per-group records + epoch | CRC-32 footer | `snapshot::encode_v2_with_epoch` (downgrade feeds; was the default before the columnar store) | every revision since the columnar store |
+//! | v3 | **columnar**: per length, member counts / radii / member entries as bulk arrays, then the rep and sum slabs as contiguous `f64` blocks, + epoch | CRC-32 footer | `snapshot::encode_v3_with_epoch` (downgrade feeds; was the default before the sketch planes) | this revision and the previous one |
+//! | v4 | v3 + the **PAA sketch planes** as bulk blocks per length (sketch width, rep sketch slab, PAA'd envelope lo/hi slabs, flat member-sketch planes) and the `paa_width` knob in the config header | CRC-32 footer | [`Explorer::save`] and `snapshot::encode` (the default) | this revision |
 //!
 //! All current load paths ([`Explorer::load`],
 //! [`ExplorerBuilder::from_snapshot`], deprecated `snapshot::load`) accept
-//! any version; corrupt v2/v3 files (truncation, bit rot) are rejected as
+//! any version; loading v1–v3 recomputes the sketch planes from the
+//! decoded groups (bit-identical to the incrementally-maintained ones);
+//! corrupt v2+ files (truncation, bit rot) are rejected as
 //! [`OnexError::SnapshotCorrupt`] before any structural parsing.
 //!
 //! ## Performance
@@ -142,44 +158,51 @@
 //! The Class I hot path runs **every** DTW candidate — representative
 //! *and* group member, across best-match, top-k, and verified range
 //! queries — through a cascaded lower-bound pipeline (the UCR-suite
-//! cascade the paper adopts in §5.3, applied engine-wide):
+//! cascade the paper adopts in §5.3, applied engine-wide, fronted by a
+//! dimensionality-reduced sketch tier):
 //!
-//! 1. **LB_Kim** — O(1), valid for any pair of lengths.
-//! 2. **Query-envelope LB_Keogh** — the candidate against the query's
-//!    envelope, in squared space with contribution-ordered early
-//!    abandoning. The envelope and index order are built lazily once per
-//!    `(query, resolved band radius)` and reused for every representative
-//!    and member met at that length.
-//! 3. **Candidate-envelope LB_Keogh** — the query against the stored
-//!    representative envelope, where one exists.
-//! 4. **Early-abandoned DTW**, seeded with the query-envelope suffix
-//!    bound so hopeless evaluations stop mid-matrix.
+//! | tier | bound | cost | prune counter |
+//! |------|-------|------|---------------|
+//! | 0 | **PAA sketch** — the candidate's precomputed sketch against the query's PAA'd envelope; for representatives additionally the query's sketch against the stored PAA'd envelope (`lb_paa_env_sq ≤ LB_Keogh² ≤ banded DTW²`); skipped at the degenerate `w == len`, guard-banded against ulp-level cutoff ties | O(w) | `pruned_paa` |
+//! | 1 | **LB_Kim** — first/last cells, valid for any pair of lengths | O(1) | `pruned_kim` |
+//! | 2 | **Query-envelope LB_Keogh** — the candidate against the query's envelope, squared space, contribution-ordered early abandoning; envelope, order, sketch and PAA'd envelope built lazily once per `(query, resolved band radius)` | O(n) | `pruned_keogh_eq` |
+//! | 3 | **Candidate-envelope LB_Keogh** — the query against the stored representative envelope, where one exists | O(n) | `pruned_keogh_ec` |
+//! | 4 | **Early-abandoned DTW**, seeded with the query-envelope suffix bound so hopeless evaluations stop mid-matrix | O(n·r) | — (`early_abandons`) |
 //!
 //! Every prune tests strictly-greater against the running cutoff, so
 //! answers are byte-identical with the pipeline on or off — proven by
-//! equivalence tests and property tests over random bases; only the work
-//! changes. Two [`QueryOptions`] knobs expose the ablation points:
-//! `lb_pruning: false` disables every lower bound, and `cascade: false`
-//! keeps only the pre-cascade representative-level check. Each
-//! [`QueryStats`] reports what the pipeline did: `dtw_evals`, the
-//! per-tier kills (`pruned_kim`, `pruned_keogh_eq`, `pruned_keogh_ec`),
-//! `early_abandons`, `members_lb_pruned`, and `lb_keogh_evals`.
+//! equivalence tests and property tests over random bases (including the
+//! tier-0 ≤ LB_Keogh ≤ banded-DTW soundness chain in `onex-dist`); only
+//! the work changes. Two [`QueryOptions`] knobs expose the ablation
+//! points: `lb_pruning: false` disables every lower bound, and
+//! `cascade: false` keeps only the pre-cascade representative-level
+//! check. Each [`QueryStats`] reports what the pipeline did: `dtw_evals`,
+//! the per-tier kills (`pruned_paa`, `pruned_kim`, `pruned_keogh_eq`,
+//! `pruned_keogh_ec`), `early_abandons`, `members_lb_pruned`, and
+//! `lb_keogh_evals`. The same sketch bound accelerates the *offline*
+//! side: the construction assigner prefilters its ED scan with
+//! `lb_paa_sq` against a live mean-sketch slab.
 //!
-//! The machine-readable performance baseline lives in `BENCH_pr4.json`
-//! (per-query-class latency, DTW-evaluation, and prune-rate counters on
-//! the synthetic datasets; `BENCH_pr3.json` is the pre-columnar record —
-//! its counters are identical, the byte-equivalence proof of the slab
-//! refactor). Regenerate or inspect it with:
+//! The machine-readable performance baseline lives in `BENCH_pr5.json`
+//! (per-query-class latency, DTW/member-evaluation, and per-tier
+//! prune-rate counters on the synthetic datasets, plus the window/band
+//! parameters actually resolved per dataset; `BENCH_pr4.json` /
+//! `BENCH_pr3.json` are the pre-sketch and pre-columnar records — their
+//! DTW and member-eval counters are identical, the result-neutrality
+//! proof of both refactors). Regenerate or inspect it with:
 //!
 //! ```sh
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr4.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr5.json
 //! ```
 //!
-//! CI replays the same run with `--check-against BENCH_pr4.json` and
-//! fails when best-match *or top-k* DTW evaluations regress more than 2×
-//! — exact counters, not wall-clock, so the gate is stable on shared
-//! runners. The `rep_scan` criterion bench times the columnar rep scan
-//! and envelope tier in isolation.
+//! CI replays the same run with `--check-against BENCH_pr5.json` and
+//! fails when best-match *or top-k* DTW or member evaluations regress
+//! more than 2×, or the tier-0 prune rate falls below half the
+//! baseline's — exact counters, not wall-clock, so the gate is stable on
+//! shared runners. The `rep_scan` criterion bench times the columnar rep
+//! scan, envelope tier, sketch tier, and the scalar-vs-blocked kernels in
+//! isolation (`cargo bench --no-run` compiles in CI so the benches can't
+//! rot).
 //!
 //! ## Migrating from the per-class and free-function entry points
 //!
@@ -199,7 +222,7 @@
 //! The deprecated paths return bit-identical results; they differ only in
 //! taking the base by `&`/value (no epoch hot-swap, callers serialize
 //! themselves) and in lacking budgets/stats. Snapshots written by the
-//! deprecated `save` are v3 at epoch 0; v1/v2 files from older builds
+//! deprecated `save` are v4 at epoch 0; v1–v3 files from older builds
 //! still load everywhere.
 //!
 //! ## Crate map

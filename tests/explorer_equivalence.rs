@@ -168,7 +168,10 @@ fn cascade_reduces_dtw_evaluations() {
             *evals += resp.stats.dtw_evals;
             assert_eq!(
                 resp.stats.lb_prunes,
-                resp.stats.pruned_kim + resp.stats.pruned_keogh_eq + resp.stats.pruned_keogh_ec
+                resp.stats.pruned_paa
+                    + resp.stats.pruned_kim
+                    + resp.stats.pruned_keogh_eq
+                    + resp.stats.pruned_keogh_ec
             );
         }
     }

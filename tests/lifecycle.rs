@@ -275,7 +275,7 @@ fn remove_series_shrinks_the_live_base() {
     assert!(explorer.remove_series(7).is_err(), "index now out of range");
 }
 
-// ---- snapshot v3 (columnar payload) coverage ----
+// ---- snapshot v4 (columnar payload + sketch planes) coverage ----
 
 /// Queries used to compare two bases for answer equivalence.
 fn probe_queries(b: &onex::OnexBase) -> Vec<Vec<f64>> {
@@ -317,11 +317,11 @@ fn assert_query_equivalent(a: &onex::OnexBase, b: &onex::OnexBase) {
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
 
-    /// v3 snapshots round-trip over random bases: the decoded base is
-    /// structurally equal, carries the epoch, and answers every Class I
-    /// query form identically.
+    /// v4 snapshots round-trip over random bases: the decoded base is
+    /// structurally equal (including every sketch plane), carries the
+    /// epoch, and answers every Class I query form identically.
     #[test]
-    fn v3_round_trip_is_query_equivalent_over_random_bases(
+    fn v4_round_trip_is_query_equivalent_over_random_bases(
         rows in proptest::collection::vec(
             proptest::collection::vec(0.0..1.0f64, 8..=13), 2..=4),
         seed in proptest::prelude::any::<u64>(),
@@ -329,7 +329,7 @@ proptest::proptest! {
     ) {
         let series: Vec<TimeSeries> =
             rows.into_iter().map(|v| TimeSeries::new(v).unwrap()).collect();
-        let d = onex::Dataset::new("v3prop", series);
+        let d = onex::Dataset::new("v4prop", series);
         let cfg = OnexConfig { seed, ..OnexConfig::default() };
         let b = OnexBase::build_prenormalized(d, cfg).unwrap();
         let bytes = snapshot::encode_with_epoch(&b, epoch);
@@ -341,10 +341,10 @@ proptest::proptest! {
 }
 
 #[test]
-fn v3_truncation_and_bit_flips_are_rejected_not_panics() {
+fn v4_truncation_and_bit_flips_are_rejected_not_panics() {
     let b = base();
     let bytes = snapshot::encode_with_epoch(&b, 4).to_vec();
-    assert_eq!(bytes[4], 3, "current snapshots are v3");
+    assert_eq!(bytes[4], 4, "current snapshots are v4");
     // Truncation at every 7-byte stride (including mid-slab positions):
     // clean SnapshotCorrupt, never a panic or a bogus base.
     for cut in (0..bytes.len()).step_by(7) {
@@ -366,36 +366,42 @@ fn v3_truncation_and_bit_flips_are_rejected_not_panics() {
 }
 
 #[test]
-fn v1_and_v2_snapshots_load_equivalent_to_v3() {
+fn v1_v2_and_v3_snapshots_load_equivalent_to_v4() {
     let b = base();
     let dir = test_dir();
     std::fs::create_dir_all(&dir).unwrap();
 
-    // Byte-for-byte what the two previous revisions wrote.
+    // Byte-for-byte what the three previous revisions wrote.
     let p_v1 = dir.join("cross-v1.onex");
     let p_v2 = dir.join("cross-v2.onex");
     let p_v3 = dir.join("cross-v3.onex");
+    let p_v4 = dir.join("cross-v4.onex");
     std::fs::write(&p_v1, snapshot::encode_v1(&b)).unwrap();
     std::fs::write(&p_v2, snapshot::encode_v2_with_epoch(&b, 6)).unwrap();
-    Explorer::from_base(b.clone()).save(&p_v3).unwrap();
+    std::fs::write(&p_v3, snapshot::encode_v3_with_epoch(&b, 8)).unwrap();
+    Explorer::from_base(b.clone()).save(&p_v4).unwrap();
 
     let from_v1 = Explorer::load(&p_v1).unwrap();
     let from_v2 = Explorer::load(&p_v2).unwrap();
     let from_v3 = Explorer::load(&p_v3).unwrap();
+    let from_v4 = Explorer::load(&p_v4).unwrap();
 
-    // v1 predates epochs; v2 carries one just like v3.
+    // v1 predates epochs; v2 and v3 carry one just like v4.
     assert_eq!(from_v1.epoch(), 0);
     assert_eq!(from_v2.epoch(), 6);
-    assert_eq!(from_v3.epoch(), 0);
+    assert_eq!(from_v3.epoch(), 8);
+    assert_eq!(from_v4.epoch(), 0);
 
-    // All three decode to the same base — structurally and behaviourally.
-    assert_eq!(*from_v1.base(), *from_v3.base(), "v1 → v3 load equivalence");
-    assert_eq!(*from_v2.base(), *from_v3.base(), "v2 → v3 load equivalence");
-    assert_eq!(*from_v3.base(), b);
-    assert_query_equivalent(&from_v1.base(), &from_v3.base());
-    assert_query_equivalent(&from_v2.base(), &from_v3.base());
+    // All four decode to the same base — structurally (legacy loads
+    // recompute the sketch planes bit-identically) and behaviourally.
+    assert_eq!(*from_v1.base(), *from_v4.base(), "v1 → v4 load equivalence");
+    assert_eq!(*from_v2.base(), *from_v4.base(), "v2 → v4 load equivalence");
+    assert_eq!(*from_v3.base(), *from_v4.base(), "v3 → v4 load equivalence");
+    assert_eq!(*from_v4.base(), b);
+    assert_query_equivalent(&from_v1.base(), &from_v4.base());
+    assert_query_equivalent(&from_v3.base(), &from_v4.base());
 
-    for p in [p_v1, p_v2, p_v3] {
+    for p in [p_v1, p_v2, p_v3, p_v4] {
         std::fs::remove_file(&p).ok();
     }
 }
