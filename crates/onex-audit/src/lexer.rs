@@ -1,0 +1,550 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! The audit pass does not need a full parse of the source — it needs to
+//! scan *code* tokens while ignoring everything that merely looks like
+//! code (comments, string literals, char literals) and everything that is
+//! compiled out of the shipped library (`#[cfg(test)]` regions). The
+//! strategy is masking: produce a byte-for-byte copy of the source where
+//! non-code regions are blanked with spaces, preserving newlines so line
+//! numbers survive, then run a trivial token scanner over the result.
+//!
+//! Handled: line/doc comments, nested block comments, string literals,
+//! raw strings (`r"…"`, `r#"…"#`, arbitrary hash depth), byte strings,
+//! char literals (including escapes and multi-byte chars), and the
+//! char-vs-lifetime ambiguity (`'a'` vs `<'a>`).
+
+/// A comment extracted during masking, with the 1-based line it starts on.
+/// Comments carry the `audit:allow(...)` escape-hatch directives.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// Source with comments/strings/chars blanked out and comments collected.
+#[derive(Debug)]
+pub struct Masked {
+    /// Same byte length as the input; blanked bytes are spaces, newlines
+    /// are preserved, so byte offsets and line numbers match the input.
+    pub text: String,
+    pub comments: Vec<Comment>,
+}
+
+/// Blank comments, strings and char literals out of `src`.
+pub fn mask(src: &str) -> Masked {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blank bytes in [from, to): every non-newline byte becomes a space.
+    // Blanking per byte is safe because the region is discarded wholesale.
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in out.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                });
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let end = scan_plain_string(bytes, i, &mut line);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                if let Some(end) = scan_prefixed_literal(bytes, i, &mut line) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if let Some(end) = scan_char_literal(bytes, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    // Lifetime: keep the identifier, drop only the quote so
+                    // the token scanner sees a plain ident.
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Masked {
+        // The input was valid UTF-8 and we only overwrote whole regions
+        // with ASCII spaces byte-by-byte; a multi-byte char is only ever
+        // replaced in full, so the result is still valid UTF-8.
+        text: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Scan a `"..."` string starting at the opening quote; returns the index
+/// one past the closing quote. Updates `line` for embedded newlines.
+fn scan_plain_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` starting at the `r`/`b`
+/// prefix. Returns `None` when the prefix is just a plain identifier.
+fn scan_prefixed_literal(bytes: &[u8], start: usize, line: &mut usize) -> Option<usize> {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'\'' {
+            // Byte char literal b'x' / b'\n'.
+            let mut j = i + 1;
+            if j < bytes.len() && bytes[j] == b'\\' {
+                j += 2;
+            } else {
+                j += 1;
+            }
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            return Some((j + 1).min(bytes.len()));
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            return Some(scan_plain_string(bytes, i, line));
+        }
+        if i >= bytes.len() || bytes[i] != b'r' {
+            return None;
+        }
+        i += 1;
+    } else {
+        i += 1; // past 'r'
+    }
+    // Raw string: count hashes, then require a quote.
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < bytes.len() && bytes[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(i + 1 + hashes);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Some(i)
+}
+
+/// Distinguish a char literal from a lifetime. Returns the end index of a
+/// char literal, or `None` for a lifetime (`'a`, `'static`).
+fn scan_char_literal(bytes: &[u8], start: usize) -> Option<usize> {
+    let i = start + 1;
+    if i >= bytes.len() {
+        return None;
+    }
+    if bytes[i] == b'\\' {
+        // Escape: scan to the closing quote ('\n', '\'', '\u{1F600}').
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return Some((j + 1).min(bytes.len()));
+    }
+    // A lifetime starts with an ASCII ident char NOT followed by a closing
+    // quote; anything else after `'` is a char literal (covers ' ', '%',
+    // and multi-byte chars whose lead byte is non-ASCII).
+    if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+            return Some(i + 2);
+        }
+        return None;
+    }
+    // Char literal with arbitrary (possibly multi-byte) content.
+    let mut j = i;
+    while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+        j += 1;
+    }
+    Some((j + 1).min(bytes.len()))
+}
+
+/// Blank every `#[cfg(test)]` item (attribute plus the item it gates,
+/// through the matching close brace or terminating semicolon) out of
+/// already-masked text. Must run on masked text: brace matching relies on
+/// strings and comments having been blanked first.
+pub fn strip_test_regions(masked: &mut String) {
+    let needle = "#[cfg(test)]";
+    let mut buf = std::mem::take(masked).into_bytes();
+    while let Some(pos) = find_bytes(&buf, needle.as_bytes()) {
+        let bytes = &buf[..];
+        let mut i = pos + needle.len();
+        // Skip whitespace and any further attributes before the item.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'#' {
+                // Skip a bracketed attribute `#[...]`.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The gated item ends at a `;` seen before any `{` (use/static
+        // declarations) or at the brace matching its first `{`.
+        let mut end = bytes.len();
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b';' => {
+                    end = j + 1;
+                    break;
+                }
+                b'{' => {
+                    let mut depth = 0usize;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = (j + 1).min(bytes.len());
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        // Blank the attribute and the whole item, preserving newlines.
+        for b in buf.iter_mut().take(end.max(pos)).skip(pos) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    // Everything written was an ASCII space over text that was valid
+    // UTF-8 and ASCII in the blanked region (non-ASCII content was
+    // already blanked during masking), so this cannot fail in practice;
+    // fall back to lossy conversion rather than panicking in the linter.
+    *masked = String::from_utf8_lossy(&buf).into_owned();
+}
+
+fn find_bytes(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Token kinds the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Int,
+    Float,
+    Punct,
+}
+
+/// A scanned token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// Scan masked text into a flat token stream. Multi-char operators that
+/// the rules match on (`==`, `!=`, `::`, `->`, `=>`, `..`, `<=`, `>=`,
+/// `&&`, `||`) are kept as single tokens.
+pub fn scan(masked: &str) -> Vec<Tok> {
+    let bytes = masked.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: masked[start..i].to_string(),
+                line,
+            });
+        } else if b.is_ascii_digit() {
+            let (end, kind) = scan_number(bytes, i);
+            toks.push(Tok {
+                kind,
+                text: masked[i..end].to_string(),
+                line,
+            });
+            i = end;
+        } else if b.is_ascii() {
+            let two = if i + 1 < bytes.len() {
+                &masked[i..i + 2]
+            } else {
+                ""
+            };
+            let text = match two {
+                "==" | "!=" | "<=" | ">=" | "->" | "=>" | "::" | ".." | "&&" | "||" => {
+                    i += 2;
+                    two.to_string()
+                }
+                _ => {
+                    i += 1;
+                    (b as char).to_string()
+                }
+            };
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text,
+                line,
+            });
+        } else {
+            // Non-ASCII outside comments/strings: skip the byte.
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Scan a numeric literal; classify as float when it has a fractional
+/// part, a decimal exponent, or an explicit f32/f64 suffix.
+fn scan_number(bytes: &[u8], start: usize) -> (usize, TokKind) {
+    let mut i = start;
+    let mut is_float = false;
+    if bytes[i] == b'0' && i + 1 < bytes.len() && matches!(bytes[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokKind::Int);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part — but `0..n` is a range, and `1.max(x)` is a method
+    // call, so the dot only counts when followed by a digit.
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (1f64, 3usize, 2.5f32).
+    let suffix_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    let suffix = &bytes[suffix_start..i];
+    if suffix == b"f32" || suffix == b"f64" {
+        is_float = true;
+    }
+    (
+        i,
+        if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings_preserving_lines() {
+        let src = "let a = \"x // y\"; // trailing\nlet b = 2; /* block\nstill */ let c = 3;";
+        let m = mask(src);
+        assert_eq!(m.text.len(), src.len());
+        assert!(!m.text.contains("x // y"));
+        assert!(!m.text.contains("trailing"));
+        assert!(!m.text.contains("still"));
+        assert_eq!(m.text.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(m.comments[0].text.contains("trailing"));
+        assert_eq!(m.comments[1].line, 2);
+    }
+
+    #[test]
+    fn masks_raw_strings_and_char_literals() {
+        let src = r##"let s = r#"panic!("inside")"#; let c = '"'; let l: &'static str = "x";"##;
+        let m = mask(src);
+        assert!(!m.text.contains("inside"));
+        assert!(!m.text.contains("panic"));
+        // The lifetime identifier survives (quote blanked).
+        assert!(m.text.contains("static"));
+    }
+
+    #[test]
+    fn distinguishes_char_from_lifetime() {
+        let m = mask("fn f<'a>(x: &'a str) -> char { 'a' }");
+        // The char literal 'a' is blanked; the lifetime ident remains.
+        let toks = scan(&m.text);
+        let a_idents = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "a")
+            .count();
+        assert_eq!(a_idents, 2); // the two lifetime positions, not the char
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("a /* outer /* inner */ still-comment */ b");
+        assert!(!m.text.contains("inner"));
+        assert!(!m.text.contains("still-comment"));
+        assert!(m.text.contains('a'));
+        assert!(m.text.contains('b'));
+    }
+
+    #[test]
+    fn strips_cfg_test_mod_and_use() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"boom\") }\n}\nfn also_live() {}\n#[cfg(test)]\nuse std::collections::HashMap;\nfn tail() {}\n";
+        let mut m = mask(src).text;
+        strip_test_regions(&mut m);
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("live"));
+        assert!(m.contains("also_live"));
+        assert!(m.contains("tail"));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strip_handles_extra_attributes_between_cfg_and_item() {
+        let src =
+            "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { x.unwrap() } }\nfn live() {}";
+        let mut m = mask(src).text;
+        strip_test_regions(&mut m);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("live"));
+    }
+
+    #[test]
+    fn scans_numbers() {
+        let toks = scan("1.0 == x != 2e-3 + 0x1F + 4usize + 7f64 + 0..n");
+        let kinds: Vec<(TokKind, &str)> = toks.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        assert!(kinds.contains(&(TokKind::Float, "1.0")));
+        assert!(kinds.contains(&(TokKind::Float, "2e-3")));
+        assert!(kinds.contains(&(TokKind::Int, "0x1F")));
+        assert!(kinds.contains(&(TokKind::Int, "4usize")));
+        assert!(kinds.contains(&(TokKind::Float, "7f64")));
+        assert!(kinds.contains(&(TokKind::Int, "0")));
+        assert!(kinds.contains(&(TokKind::Punct, "..")));
+    }
+}

@@ -1,0 +1,181 @@
+//! # onex-audit — repo-local static analysis for the ONEX workspace
+//!
+//! A dependency-free lint pass that enforces the correctness contracts
+//! the engine's byte-identical-results guarantee rests on. It ships its
+//! own minimal Rust lexer ([`lexer`]) that blanks comments, strings and
+//! `#[cfg(test)]` regions, then runs token-level rules ([`rules`]) over
+//! the remaining library code:
+//!
+//! | rule | scope | what it catches |
+//! |---|---|---|
+//! | `no-panic-in-lib` | onex-core, onex-dist, onex-ts | `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!`, `unreachable!` |
+//! | `determinism` | onex-core, onex-dist, onex-ts | any `HashMap`/`HashSet` use |
+//! | `float-discipline` | onex-dist + the query cascade | `as f32` casts, bare `==`/`!=` on float literals |
+//! | `safety-comments` | all library crates | `unsafe` without a `// SAFETY:` comment |
+//! | `counter-coverage` | engine ↔ bench | `QueryStats` counters missing from the perf JSON writer |
+//!
+//! Genuinely infallible sites are waived inline with
+//! `// audit:allow(<rule>): <justification>`; a directive without a
+//! justification is itself a finding.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p onex-audit -- check      # lint the tree, exit 1 on findings
+//! cargo run -p onex-audit -- selftest   # prove each rule fires on seeded fixtures
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Scope of the `no-panic-in-lib` and `determinism` rules: the crates
+/// whose code can affect query results or serve queries.
+const RESULT_CRATES: &[&str] = &[
+    "crates/onex-core/src",
+    "crates/onex-dist/src",
+    "crates/onex-ts/src",
+];
+
+/// Scope of `float-discipline`: the distance kernels and the pruning
+/// cascade, where a lossy cast or an implicit float compare breaks the
+/// cross-tier byte-identity guarantee.
+const FLOAT_SCOPE: &[&str] = &[
+    "crates/onex-dist/src",
+    "crates/onex-core/src/engine.rs",
+    "crates/onex-core/src/query",
+];
+
+/// Scope of `safety-comments`: every library crate plus the facade.
+const SAFETY_SCOPE: &[&str] = &[
+    "crates/onex-core/src",
+    "crates/onex-dist/src",
+    "crates/onex-ts/src",
+    "crates/onex-baselines/src",
+    "src",
+];
+
+/// The cross-file counter-coverage pair: the engine `QueryStats`
+/// definition and the perf experiment JSON writer.
+const STATS_FILE: &str = "crates/onex-core/src/engine.rs";
+const PERF_FILE: &str = "crates/onex-bench/src/experiments/perf.rs";
+
+/// Run the full audit over the workspace rooted at `root`.
+/// Returns all violations, sorted by (file, line, rule).
+pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+
+    // Build the union of files to scan, remembering which rules apply.
+    let mut files: std::collections::BTreeMap<PathBuf, FileRules> =
+        std::collections::BTreeMap::new();
+    for scope in RESULT_CRATES {
+        for f in rust_files(&root.join(scope))? {
+            let e = files.entry(f).or_default();
+            e.no_panic = true;
+            e.determinism = true;
+        }
+    }
+    for scope in FLOAT_SCOPE {
+        for f in rust_files(&root.join(scope))? {
+            files.entry(f).or_default().float = true;
+        }
+    }
+    for scope in SAFETY_SCOPE {
+        for f in rust_files(&root.join(scope))? {
+            files.entry(f).or_default().safety = true;
+        }
+    }
+
+    for (path, which) in &files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        let mut masked = lexer::mask(&src);
+        lexer::strip_test_regions(&mut masked.text);
+        let toks = lexer::scan(&masked.text);
+
+        let (allows, mut malformed) = rules::parse_allows(&rel, &masked.text, &masked.comments);
+        out.append(&mut malformed);
+
+        let mut found = Vec::new();
+        if which.no_panic {
+            found.extend(rules::no_panic(&rel, &toks));
+        }
+        if which.determinism {
+            found.extend(rules::determinism(&rel, &toks));
+        }
+        if which.float {
+            found.extend(rules::float_discipline(&rel, &toks));
+        }
+        if which.safety {
+            found.extend(rules::safety_comments(&rel, &toks, &masked.comments));
+        }
+        out.extend(rules::apply_allows(found, &allows));
+    }
+
+    // Cross-file: counter coverage. Skipped when either side is absent
+    // (fixture trees exercising only the token rules).
+    let stats_path = root.join(STATS_FILE);
+    let perf_path = root.join(PERF_FILE);
+    if stats_path.is_file() && perf_path.is_file() {
+        let stats_src = std::fs::read_to_string(&stats_path)
+            .map_err(|e| format!("read {}: {e}", stats_path.display()))?;
+        let perf_src = std::fs::read_to_string(&perf_path)
+            .map_err(|e| format!("read {}: {e}", perf_path.display()))?;
+        let mut masked = lexer::mask(&stats_src);
+        lexer::strip_test_regions(&mut masked.text);
+        let (allows, _) = rules::parse_allows(STATS_FILE, &masked.text, &masked.comments);
+        let found = rules::counter_coverage(STATS_FILE, &masked.text, PERF_FILE, &perf_src);
+        out.extend(rules::apply_allows(found, &allows));
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+#[derive(Default)]
+struct FileRules {
+    no_panic: bool,
+    determinism: bool,
+    float: bool,
+    safety: bool,
+}
+
+/// Recursively collect `.rs` files under `path`; a missing path yields an
+/// empty set (fixture roots need not mirror the whole workspace), and a
+/// single-file path yields just that file.
+fn rust_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(out);
+    }
+    if !path.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![path.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,52 @@
+//! CLI for the ONEX audit pass.
+//!
+//! ```text
+//! onex-audit check [ROOT]   lint the workspace (default: cwd); exit 1 on findings
+//! onex-audit selftest       prove each rule fires on seeded fixtures
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            match onex_audit::run_check(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("onex-audit: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        println!("{v}");
+                    }
+                    println!("onex-audit: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("onex-audit: error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("selftest") => match onex_audit::selftest::run() {
+            Ok(()) => {
+                println!("onex-audit selftest: all rules fire on seeded violations");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("onex-audit selftest: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: onex-audit <check [ROOT] | selftest>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The ONEX lint rules.
+//!
+//! Each rule scans the token stream of one masked file (test regions
+//! already stripped) and yields [`Violation`]s. A violation is suppressed
+//! by an inline escape hatch on the same or the preceding line:
+//!
+//! ```text
+//! // audit:allow(<rule>): <non-empty justification>
+//! ```
+//!
+//! A directive without a justification is itself reported, so the escape
+//! hatch cannot silently rot into a blanket waiver.
+
+use crate::lexer::{Comment, Tok, TokKind};
+
+/// Rule identifiers — these are the names used inside `audit:allow(...)`.
+pub const RULE_NO_PANIC: &str = "no-panic-in-lib";
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_FLOAT: &str = "float-discipline";
+pub const RULE_SAFETY: &str = "safety-comments";
+pub const RULE_COUNTER: &str = "counter-coverage";
+/// Meta-rule for malformed `audit:allow` directives themselves.
+pub const RULE_ALLOW: &str = "audit-allow";
+
+/// All token-level rules (counter-coverage is cross-file and handled
+/// separately by the driver).
+pub const TOKEN_RULES: &[&str] = &[RULE_NO_PANIC, RULE_DETERMINISM, RULE_FLOAT, RULE_SAFETY];
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Panicking constructs banned from library code. `debug_assert!` is
+/// deliberately permitted (compiled out of release builds), as are
+/// `assert!`-family macros (used for caller-contract checks in builders).
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// no-panic-in-lib: `.unwrap()` / `.expect(...)` calls and panicking
+/// macros in non-test library code.
+pub fn no_panic(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+        if PANIC_METHODS.contains(&t.text.as_str()) {
+            let after_dot = matches!(prev, Some(p) if p.kind == TokKind::Punct && p.text == ".");
+            let called = matches!(next, Some(n) if n.kind == TokKind::Punct && n.text == "(");
+            if after_dot && called {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: RULE_NO_PANIC,
+                    message: format!(
+                        ".{}() in library code — return a typed error or justify with audit:allow",
+                        t.text
+                    ),
+                });
+            }
+        } else if PANIC_MACROS.contains(&t.text.as_str()) {
+            let is_macro = matches!(next, Some(n) if n.kind == TokKind::Punct && n.text == "!");
+            if is_macro {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: RULE_NO_PANIC,
+                    message: format!(
+                        "{}! in library code — return a typed error or justify with audit:allow",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// determinism: any use of `HashMap`/`HashSet` in result-affecting
+/// crates. Iteration order of std hash collections is randomized per
+/// process, so even a single innocuous-looking loop can leak
+/// nondeterminism into results; the blanket ban forces `BTreeMap`/
+/// `BTreeSet` (or an explicit sort) with an audit:allow for the rare
+/// provably-unordered use.
+pub fn determinism(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: RULE_DETERMINISM,
+                message: format!(
+                    "{} in a result-affecting crate — iteration order is nondeterministic; \
+                     use BTreeMap/BTreeSet or sort before use",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// float-discipline: lossy `as f32` casts and bare `==`/`!=` against
+/// float literals in distance kernels and the query cascade. (Bit-exact
+/// comparisons must go through `total_cmp`, `to_bits`, or a named
+/// tolerance helper so intent is explicit.)
+pub fn float_discipline(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == TokKind::Ident && n.text == "f32" {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: RULE_FLOAT,
+                        message: "lossy `as f32` cast in a float-discipline scope — kernels \
+                                  compute in f64 end to end"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_adjacent = [i.checked_sub(1).map(|j| &toks[j]), toks.get(i + 1)]
+                .into_iter()
+                .flatten()
+                .any(|n| n.kind == TokKind::Float);
+            if float_adjacent {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: RULE_FLOAT,
+                    message: format!(
+                        "bare `{}` against a float literal — use total_cmp/to_bits or a named \
+                         tolerance, or justify with audit:allow",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// safety-comments: every `unsafe` keyword must be preceded (within three
+/// lines) by a comment containing `SAFETY:`. This is the guardrail that
+/// lets a later PR relax `#![forbid(unsafe_code)]` for SIMD kernels.
+pub fn safety_comments(file: &str, toks: &[Tok], comments: &[Comment]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let documented = comments
+                .iter()
+                .any(|c| c.text.contains("SAFETY:") && c.line + 3 >= t.line && c.line <= t.line);
+            if !documented {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: RULE_SAFETY,
+                    message: "unsafe without a preceding `// SAFETY:` comment".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// counter-coverage: every `pub <name>: usize` counter field of the
+/// engine's `QueryStats` must be emitted (as a `"<name>"` JSON key) by
+/// the perf experiment writer, so a new pruning tier cannot silently
+/// escape the BENCH regression gates.
+///
+/// `stats_masked` is the masked engine source; `perf_raw` is the *raw*
+/// perf writer source (the keys live inside string literals).
+pub fn counter_coverage(
+    stats_file: &str,
+    stats_masked: &str,
+    perf_file: &str,
+    perf_raw: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (name, line) in query_stats_counters(stats_masked) {
+        let key = format!("\"{name}\"");
+        if !perf_raw.contains(&key) {
+            out.push(Violation {
+                file: stats_file.to_string(),
+                line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "QueryStats counter `{name}` is not emitted by {perf_file} — add it to the \
+                     perf JSON writer"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extract `pub <ident>: usize` fields from the `pub struct QueryStats`
+/// block of masked source, with their line numbers.
+pub fn query_stats_counters(masked: &str) -> Vec<(String, usize)> {
+    let toks = crate::lexer::scan(masked);
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_struct_kw = toks[i].kind == TokKind::Ident && toks[i].text == "struct";
+        let is_query_stats = toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "QueryStats");
+        if is_struct_kw && is_query_stats {
+            // Walk to the opening brace, then collect fields until the
+            // matching close (struct bodies have no nested braces).
+            let mut j = i + 2;
+            while j < toks.len() && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+                j += 1;
+            }
+            j += 1;
+            while j < toks.len() && !(toks[j].kind == TokKind::Punct && toks[j].text == "}") {
+                let is_pub = toks[j].kind == TokKind::Ident && toks[j].text == "pub";
+                let name = toks.get(j + 1);
+                let colon = toks.get(j + 2);
+                let ty = toks.get(j + 3);
+                if is_pub {
+                    if let (Some(name), Some(colon), Some(ty)) = (name, colon, ty) {
+                        if name.kind == TokKind::Ident
+                            && colon.kind == TokKind::Punct
+                            && colon.text == ":"
+                            && ty.kind == TokKind::Ident
+                            && ty.text == "usize"
+                        {
+                            fields.push((name.text.clone(), name.line));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Parsed `audit:allow` directive.
+#[derive(Debug)]
+pub struct Allow {
+    pub line: usize,
+    pub rule: String,
+    pub justified: bool,
+    /// True when the comment is the only thing on its line — only then
+    /// does the directive extend to the line below it. A trailing
+    /// same-line allow covers its own line exclusively, so it can never
+    /// accidentally waive the statement underneath.
+    pub standalone: bool,
+}
+
+/// Extract `audit:allow(rule): justification` directives from comments.
+/// `masked` is the comment-blanked source, used to decide whether each
+/// directive sits on its own line. Returns the directives plus
+/// violations for malformed ones (unknown rule name, or missing/empty
+/// justification).
+pub fn parse_allows(
+    file: &str,
+    masked: &str,
+    comments: &[Comment],
+) -> (Vec<Allow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    const NEEDLE: &str = "audit:allow(";
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find(NEEDLE) {
+            rest = &rest[pos + NEEDLE.len()..];
+            let Some(close) = rest.find(')') else {
+                bad.push(Violation {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: RULE_ALLOW,
+                    message: "malformed audit:allow — missing `)`".to_string(),
+                });
+                break;
+            };
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let justified = after
+                .strip_prefix(':')
+                .map(|j| !j.trim().is_empty())
+                .unwrap_or(false);
+            let known = TOKEN_RULES.contains(&rule.as_str()) || rule == RULE_COUNTER;
+            if !known {
+                bad.push(Violation {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: RULE_ALLOW,
+                    message: format!("audit:allow names unknown rule `{rule}`"),
+                });
+            } else if !justified {
+                bad.push(Violation {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: RULE_ALLOW,
+                    message: format!(
+                        "audit:allow({rule}) without a justification — write \
+                         `audit:allow({rule}): <why this is safe>`"
+                    ),
+                });
+            }
+            allows.push(Allow {
+                line: c.line,
+                rule,
+                justified,
+                standalone: masked_lines
+                    .get(c.line - 1)
+                    .is_none_or(|l| l.trim().is_empty()),
+            });
+            rest = &rest[close + 1..];
+        }
+    }
+    (allows, bad)
+}
+
+/// Drop violations covered by a justified `audit:allow` on the same line
+/// or the immediately preceding line.
+pub fn apply_allows(violations: Vec<Violation>, allows: &[Allow]) -> Vec<Violation> {
+    violations
+        .into_iter()
+        .filter(|v| {
+            !allows.iter().any(|a| {
+                a.justified
+                    && a.rule == v.rule
+                    && (a.line == v.line || (a.standalone && a.line + 1 == v.line))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask, scan, strip_test_regions};
+
+    fn toks_of(src: &str) -> Vec<Tok> {
+        let mut m = mask(src);
+        strip_test_regions(&mut m.text);
+        scan(&m.text)
+    }
+
+    #[test]
+    fn no_panic_flags_unwrap_expect_and_macros() {
+        let v = no_panic(
+            "f.rs",
+            &toks_of("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); todo!() }"),
+        );
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn no_panic_skips_lookalikes() {
+        let v = no_panic(
+            "f.rs",
+            &toks_of("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); expect_fn(); my_unwrap(); debug_assert!(true); }"),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn determinism_flags_hash_collections() {
+        let v = determinism(
+            "f.rs",
+            &toks_of("use std::collections::HashMap; fn f(s: HashSet<u32>) {}"),
+        );
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn float_discipline_flags_cast_and_literal_compare() {
+        let v = float_discipline(
+            "f.rs",
+            &toks_of("fn f(a: f64) -> bool { let b = a as f32; a == 0.0 }"),
+        );
+        assert_eq!(v.len(), 2);
+        let v = float_discipline("f.rs", &toks_of("fn f(a: f64) -> bool { a != 1e-9 }"));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn float_discipline_permits_int_compares_and_total_cmp() {
+        let v = float_discipline(
+            "f.rs",
+            &toks_of(
+                "fn f(a: usize, b: f64, c: f64) -> bool { a == 0 && b.total_cmp(&c).is_eq() }",
+            ),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_within_three_lines_passes() {
+        let src = "// SAFETY: aligned and in-bounds by construction\nfn f() { let _ = 1; unsafe { g() } }";
+        let m = mask(src);
+        let v = safety_comments("f.rs", &scan(&m.text), &m.comments);
+        assert!(v.is_empty(), "{v:?}");
+        let src2 = "fn f() { unsafe { g() } }";
+        let m2 = mask(src2);
+        let v2 = safety_comments("f.rs", &scan(&m2.text), &m2.comments);
+        assert_eq!(v2.len(), 1);
+    }
+
+    #[test]
+    fn counter_coverage_reports_missing_keys() {
+        let stats = "pub struct QueryStats { pub dtw_evals: usize, pub truncated: bool, pub missing_one: usize }";
+        let v = counter_coverage("e.rs", stats, "p.rs", "json.push(\"dtw_evals\");");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("missing_one"));
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line_only_when_justified() {
+        let src = "fn f() {\n    // audit:allow(no-panic-in-lib): slot lock cannot poison\n    x.unwrap();\n    y.unwrap(); // audit:allow(no-panic-in-lib): checked above\n    z.unwrap();\n}";
+        let m = mask(src);
+        let toks = scan(&m.text);
+        let (allows, bad) = parse_allows("f.rs", &m.text, &m.comments);
+        assert!(bad.is_empty(), "{bad:?}");
+        let v = apply_allows(no_panic("f.rs", &toks), &allows);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn unjustified_allow_is_reported_and_does_not_suppress() {
+        let src = "// audit:allow(no-panic-in-lib)\nfn f() { x.unwrap(); }";
+        let m = mask(src);
+        let (allows, bad) = parse_allows("f.rs", &m.text, &m.comments);
+        assert_eq!(bad.len(), 1);
+        let v = apply_allows(no_panic("f.rs", &scan(&m.text)), &allows);
+        assert_eq!(v.len(), 1);
+    }
+}

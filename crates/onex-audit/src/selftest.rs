@@ -1,0 +1,215 @@
+//! Self-test: prove each lint rule actually fires.
+//!
+//! CI runs `onex-audit check` and requires exit 0 — which would also be
+//! the exit code of a linter whose rules silently stopped matching. The
+//! self-test closes that hole: it writes a fixture workspace with one
+//! seeded violation per rule (plus allow-annotated and test-gated copies
+//! that must NOT fire) into a scratch directory, runs the real
+//! [`crate::run_check`] on it, and asserts the exact findings.
+
+use crate::rules;
+use std::path::{Path, PathBuf};
+
+/// Run the self-test. Returns `Ok(())` when every rule fired where
+/// expected and nowhere else; `Err` describes the first discrepancy.
+pub fn run() -> Result<(), String> {
+    let root = scratch_dir()?;
+    // Start from a clean slate; a previous failed run may have left files.
+    if root.exists() {
+        std::fs::remove_dir_all(&root).map_err(|e| format!("clean {}: {e}", root.display()))?;
+    }
+    let result = build_and_check(&root);
+    // Best-effort cleanup either way.
+    let _ = std::fs::remove_dir_all(&root);
+    result
+}
+
+fn scratch_dir() -> Result<PathBuf, String> {
+    Ok(std::env::temp_dir().join(format!("onex-audit-selftest-{}", std::process::id())))
+}
+
+fn write(root: &Path, rel: &str, content: &str) -> Result<(), String> {
+    let path = root.join(rel);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn build_and_check(root: &Path) -> Result<(), String> {
+    // --- no-panic-in-lib + determinism fixtures (onex-core scope) ------
+    write(
+        root,
+        "crates/onex-core/src/lib.rs",
+        r#"
+pub fn seeded_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn seeded_panic() {
+    panic!("seeded");
+}
+
+pub fn seeded_hash() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}
+
+pub fn allowed_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture") // audit:allow(no-panic-in-lib): selftest fixture, provably Some
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only() {
+        Option::<u32>::None.unwrap();
+        panic!("test-only code is out of scope");
+    }
+}
+"#,
+    )?;
+
+    // --- float-discipline + safety-comments fixtures (onex-dist scope) -
+    write(
+        root,
+        "crates/onex-dist/src/lib.rs",
+        r#"
+pub fn seeded_lossy(a: f64) -> f32 {
+    a as f32
+}
+
+pub fn seeded_float_eq(a: f64) -> bool {
+    a == 0.0
+}
+
+pub fn total_cmp_is_fine(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_eq()
+}
+
+pub fn seeded_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented_unsafe(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees p is valid and aligned.
+    unsafe { *p }
+}
+"#,
+    )?;
+
+    // --- counter-coverage fixture: one emitted, one missing ------------
+    write(
+        root,
+        "crates/onex-core/src/engine.rs",
+        r#"
+pub struct QueryStats {
+    pub dtw_evals: usize,
+    pub seeded_missing_counter: usize,
+    pub elapsed_not_a_counter: bool,
+}
+"#,
+    )?;
+    write(
+        root,
+        "crates/onex-bench/src/experiments/perf.rs",
+        r#"
+pub fn emit() -> Vec<(&'static str, u64)> {
+    vec![("dtw_evals", 1)]
+}
+"#,
+    )?;
+
+    let violations = crate::run_check(root)?;
+
+    // Every expected (rule, file-suffix, needle) must be present…
+    let expected: &[(&str, &str, &str)] = &[
+        (rules::RULE_NO_PANIC, "onex-core/src/lib.rs", "unwrap"),
+        (rules::RULE_NO_PANIC, "onex-core/src/lib.rs", "panic!"),
+        (rules::RULE_DETERMINISM, "onex-core/src/lib.rs", "HashMap"),
+        (rules::RULE_FLOAT, "onex-dist/src/lib.rs", "as f32"),
+        (rules::RULE_FLOAT, "onex-dist/src/lib.rs", "=="),
+        (rules::RULE_SAFETY, "onex-dist/src/lib.rs", "SAFETY"),
+        (
+            rules::RULE_COUNTER,
+            "onex-core/src/engine.rs",
+            "seeded_missing_counter",
+        ),
+    ];
+    for (rule, file, needle) in expected {
+        let hit = violations
+            .iter()
+            .any(|v| v.rule == *rule && v.file.ends_with(file) && v.message.contains(needle));
+        if !hit {
+            return Err(format!(
+                "rule `{rule}` did not fire on seeded fixture {file} (needle `{needle}`)\nfindings:\n{}",
+                render(&violations)
+            ));
+        }
+    }
+
+    // …and nothing may fire where the fixture says it must not.
+    let forbidden: &[(&str, &str)] = &[
+        // audit:allow must suppress the annotated expect.
+        (rules::RULE_NO_PANIC, "expect"),
+        // #[cfg(test)] regions are out of scope.
+        (rules::RULE_NO_PANIC, "test-only"),
+        // unwrap_or is not unwrap.
+        (rules::RULE_NO_PANIC, "unwrap_or"),
+        // Emitted and non-usize fields are not findings.
+        (rules::RULE_COUNTER, "dtw_evals"),
+        (rules::RULE_COUNTER, "elapsed_not_a_counter"),
+    ];
+    for (rule, needle) in forbidden {
+        if violations
+            .iter()
+            .any(|v| v.rule == *rule && v.message.contains(needle))
+        {
+            return Err(format!(
+                "rule `{rule}` fired on `{needle}`, which the fixture marks as clean\nfindings:\n{}",
+                render(&violations)
+            ));
+        }
+    }
+
+    // The documented unsafe block must not be reported (exactly one
+    // safety finding: the undocumented one).
+    let safety_hits = violations
+        .iter()
+        .filter(|v| v.rule == rules::RULE_SAFETY)
+        .count();
+    if safety_hits != 1 {
+        return Err(format!(
+            "expected exactly 1 safety-comments finding, got {safety_hits}\nfindings:\n{}",
+            render(&violations)
+        ));
+    }
+
+    // An unjustified allow is itself a finding.
+    write(
+        root,
+        "crates/onex-core/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // audit:allow(no-panic-in-lib)\n",
+    )?;
+    let v2 = crate::run_check(root)?;
+    let has_malformed = v2.iter().any(|v| v.rule == rules::RULE_ALLOW);
+    let still_fires = v2.iter().any(|v| v.rule == rules::RULE_NO_PANIC);
+    if !has_malformed || !still_fires {
+        return Err(format!(
+            "unjustified audit:allow must be reported and must not suppress\nfindings:\n{}",
+            render(&v2)
+        ));
+    }
+
+    Ok(())
+}
+
+fn render(violations: &[rules::Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

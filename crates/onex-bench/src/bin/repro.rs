@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation
-//! perf datasets all
+//! perf audit datasets all
 //! Flags: `--scale <f64>` (default 0.05), `--seed <u64>`, `--runs <usize>`,
 //! `--threads <usize>`, `--csv <dir>` (also write each table as CSV),
 //! `--json <path>` (perf: write the machine-readable counter baseline),
@@ -29,7 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale f] [--seed n] [--runs n] [--threads n] [--csv dir]\n\
          \x20                     [--json path] [--check-against path]\n\
-         experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation perf datasets all"
+         experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation perf audit datasets all"
     );
     std::process::exit(2);
 }
@@ -79,6 +79,7 @@ fn main() {
         "table23" | "table2" | "table3" => experiments::table23::run(&ctx),
         "table4" => experiments::table4::run(&ctx),
         "ablation" => experiments::ablation::run(&ctx),
+        "audit" => ok = experiments::audit::run(&ctx),
         "datasets" => experiments::datasets::run(&ctx),
         "all" => {
             experiments::datasets::run(&ctx);

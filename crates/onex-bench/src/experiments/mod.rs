@@ -1,6 +1,7 @@
 //! One module per paper table/figure (the experiment index of DESIGN.md §6).
 
 pub mod ablation;
+pub mod audit;
 pub mod datasets;
 pub mod fig2;
 pub mod fig3;

@@ -91,6 +91,8 @@ impl Cell {
                 Json::Num((self.avg_latency_s * 1e6 * 100.0).round() / 100.0),
             ),
             ("dtw_evals", Json::num(self.stats.dtw_evals)),
+            ("groups_visited", Json::num(self.stats.groups_visited)),
+            ("lengths_visited", Json::num(self.stats.lengths_visited)),
             ("members_examined", Json::num(self.stats.members_examined)),
             ("lb_prunes", Json::num(self.stats.lb_prunes)),
             ("members_lb_pruned", Json::num(self.stats.members_lb_pruned)),

@@ -225,6 +225,140 @@ impl OnexBase {
         }
     }
 
+    /// Deep structural audit of the whole base — the runtime half of the
+    /// correctness tooling (the static half is the `onex-audit` lint pass).
+    ///
+    /// Where the snapshot CRC detects *transport* corruption, this detects
+    /// *logic* corruption: state that is internally decodable but violates
+    /// the invariants the query path assumes. It validates, from the bottom
+    /// up:
+    ///
+    /// * every [`LengthSlab`] via [`crate::store::GroupStore::validate`] —
+    ///   plane strides, member resolution, running sums, and bit-exact
+    ///   recomputes of representatives, member EDs, envelopes and every PAA
+    ///   sketch plane (see [`LengthSlab::validate`] for the catalog);
+    /// * the store directory is the contiguous ascending-length walk;
+    /// * the GTI map covers exactly the slab lengths, each entry rebuilt
+    ///   and compared bit-exactly (`Dc`, sum order, critical thresholds);
+    /// * group ids ascend contiguously across lengths in slab order;
+    /// * every group of an assembled base is finalized;
+    /// * each slab's sketch width is `clamp(config.paa_width, 1, len)`;
+    /// * the SP-Space's per-length and global thresholds equal the GTI's;
+    /// * **membership partition**: the member references at each length are
+    ///   exactly the dataset's decomposed subsequences of that length — no
+    ///   subsequence lost, duplicated, or invented.
+    ///
+    /// Callable from tests and the `repro audit` subcommand; snapshot
+    /// loading runs it after the CRC check, and the maintenance paths
+    /// re-run it in debug builds. Cost is roughly a base rebuild — use it
+    /// at trust boundaries, not on the per-query path.
+    ///
+    /// [`LengthSlab::validate`]: crate::store::LengthSlab::validate
+    pub fn validate_invariants(&self) -> Result<()> {
+        let viol = |msg: String| OnexError::InvariantViolation(msg);
+        self.store.validate(&self.dataset)?;
+        let slab_lens: Vec<usize> = self
+            .store
+            .slabs()
+            .iter()
+            .map(LengthSlab::subseq_len)
+            .collect();
+        let idx_lens: Vec<usize> = self.lengths.keys().copied().collect();
+        if slab_lens != idx_lens {
+            return Err(viol(format!(
+                "GTI lengths {idx_lens:?} disagree with slab lengths {slab_lens:?}"
+            )));
+        }
+        let mut first_id: GroupId = 0;
+        for slab in self.store.slabs() {
+            let len = slab.subseq_len();
+            let want_w = self.config.paa_width.clamp(1, len.max(1));
+            if slab.paa_width() != want_w {
+                return Err(viol(format!(
+                    "slab len {len}: sketch width {} but config resolves to {want_w}",
+                    slab.paa_width()
+                )));
+            }
+            let idx = &self.lengths[&len];
+            for (k, &id) in idx.group_ids.iter().enumerate() {
+                if id != first_id + k as GroupId {
+                    return Err(viol(format!(
+                        "length {len}: group id {id} at position {k} breaks the contiguous walk"
+                    )));
+                }
+            }
+            first_id += slab.group_count() as GroupId;
+            for local in 0..slab.group_count() {
+                if !slab.is_finalized(local) {
+                    return Err(viol(format!(
+                        "length {len}: group {local} of an assembled base is not finalized"
+                    )));
+                }
+            }
+            idx.validate(slab, self.config.st)?;
+            match self.sp.local(len) {
+                Some((h, f))
+                    if h.to_bits() == idx.st_half.to_bits()
+                        && f.to_bits() == idx.st_final.to_bits() => {}
+                other => {
+                    return Err(viol(format!(
+                        "length {len}: SP-Space holds {other:?} but the GTI says ({}, {})",
+                        idx.st_half, idx.st_final
+                    )))
+                }
+            }
+            let mut have: Vec<onex_ts::SubseqRef> = (0..slab.group_count())
+                .flat_map(|local| slab.members(local).iter().map(|&(r, _)| r))
+                .collect();
+            have.sort_unstable();
+            let mut want: Vec<onex_ts::SubseqRef> = self
+                .dataset
+                .subseqs_of_len(len, &self.config.decomposition)
+                .collect();
+            want.sort_unstable();
+            if have != want {
+                return Err(viol(format!(
+                    "length {len}: groups hold {} members but the dataset decomposes into {} \
+                     subsequences (or the sets differ)",
+                    have.len(),
+                    want.len()
+                )));
+            }
+        }
+        let covered: usize = self
+            .store
+            .slabs()
+            .iter()
+            .map(LengthSlab::total_members)
+            .sum();
+        let expected = self.dataset.subseq_count(&self.config.decomposition);
+        if covered != expected {
+            return Err(viol(format!(
+                "store covers {covered} subsequences but the decomposition yields {expected}"
+            )));
+        }
+        let half = self
+            .lengths
+            .values()
+            .map(|i| i.st_half)
+            .fold(0.0f64, f64::max);
+        let fin = self
+            .lengths
+            .values()
+            .map(|i| i.st_final)
+            .fold(0.0f64, f64::max);
+        if self.sp.global_half().to_bits() != half.to_bits()
+            || self.sp.global_final().to_bits() != fin.to_bits()
+        {
+            return Err(viol(format!(
+                "global SP-Space ({}, {}) disagrees with per-length maxima ({half}, {fin})",
+                self.sp.global_half(),
+                self.sp.global_final()
+            )));
+        }
+        Ok(())
+    }
+
     /// Base statistics (Table 4 / Figs. 5–6 quantities plus store
     /// accounting).
     pub fn stats(&self) -> BaseStats {
@@ -355,6 +489,41 @@ mod tests {
             }
         }
         assert!(base.slab(999).is_none());
+    }
+
+    #[test]
+    fn fresh_base_passes_deep_validation() {
+        small_base().validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn validation_names_the_broken_invariant() {
+        // Corrupt a base by pairing its store with a dataset missing a
+        // series: member references stop resolving, which the validator —
+        // not the type system, not the CRC — must catch.
+        let base = small_base();
+        let mut series: Vec<onex_ts::TimeSeries> = (0..base.dataset().len() - 1)
+            .map(|i| base.dataset().get(i).unwrap().clone())
+            .collect();
+        series.pop();
+        let (_, norm, config, store, lengths) = base.into_parts();
+        let sp = SpSpace::new(
+            lengths
+                .iter()
+                .map(|(&len, idx)| (len, (idx.st_half, idx.st_final)))
+                .collect(),
+        );
+        let broken = OnexBase {
+            dataset: Dataset::new("truncated", series),
+            norm,
+            config,
+            store,
+            lengths,
+            sp,
+        };
+        let err = broken.validate_invariants().unwrap_err();
+        assert!(matches!(err, OnexError::InvariantViolation(_)), "{err}");
+        assert!(err.to_string().contains("invariant violation"), "{err}");
     }
 
     #[test]

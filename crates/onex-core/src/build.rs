@@ -310,11 +310,18 @@ pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthSlab> {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&len) = lengths.get(i) else { break };
                     let built = build_length_groups(dataset, len, config);
-                    results.lock().expect("construction lock").push(built);
+                    // A sibling worker panicking while holding the lock
+                    // poisons it; the Vec itself is still coherent (push
+                    // is the only mutation), so recover rather than
+                    // cascade the panic through every worker.
+                    results
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(built);
                 });
             }
         });
-        results.into_inner().expect("construction lock")
+        results.into_inner().unwrap_or_else(|p| p.into_inner())
     };
     out.sort_by_key(LengthSlab::subseq_len);
     out

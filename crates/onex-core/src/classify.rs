@@ -9,11 +9,12 @@
 //! * [`nearest_label`] — 1-NN: the label of the best-match subsequence's
 //!   parent series (ONEX query machinery end to end).
 //! * [`knn_label`] — k-NN with majority vote over the top-k matches,
-//!   ties broken toward the nearer neighbour.
+//!   ties broken toward the nearer neighbour, then toward the smaller
+//!   label, so the prediction is a pure function of the match set.
 
 use crate::query::similarity::{self, SearchCtx, SearchParams};
 use crate::{MatchMode, OnexBase, OnexError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Predicts the label of `query` (normalized space, same length protocol as
 /// the UCR evaluation: `MatchMode::Exact(query.len())`) by 1-NN.
@@ -32,7 +33,11 @@ pub fn nearest_label(base: &OnexBase, query: &[f64]) -> Result<i32> {
 
 /// Predicts by majority vote over the `k` nearest subsequences (their
 /// parent series' labels). Vote weight is the count; ties break toward the
-/// label whose nearest member is closer.
+/// label whose nearest member is closer, and an exact (count, distance)
+/// tie breaks toward the smaller label. The tie-break chain is total, so
+/// the prediction is deterministic for a given match set — previously a
+/// full tie resolved by `HashMap` iteration order and could flip between
+/// runs.
 pub fn knn_label(base: &OnexBase, query: &[f64], k: usize) -> Result<i32> {
     let p = SearchParams::from_config(base.config(), None);
     let mut ctx = SearchCtx::default();
@@ -44,7 +49,7 @@ pub fn knn_label(base: &OnexBase, query: &[f64], k: usize) -> Result<i32> {
         &p,
         &mut ctx,
     )?;
-    let mut votes: HashMap<i32, (usize, f64)> = HashMap::new();
+    let mut votes: BTreeMap<i32, (usize, f64)> = BTreeMap::new();
     for m in &matches {
         let label = base
             .dataset()
@@ -60,7 +65,10 @@ pub fn knn_label(base: &OnexBase, query: &[f64], k: usize) -> Result<i32> {
     votes
         .into_iter()
         .max_by(|a, b| {
-            (a.1 .0).cmp(&b.1 .0).then(b.1 .1.total_cmp(&a.1 .1)) // smaller distance wins ties
+            (a.1 .0)
+                .cmp(&b.1 .0) // more votes wins
+                .then(b.1 .1.total_cmp(&a.1 .1)) // smaller distance wins ties
+                .then(b.0.cmp(&a.0)) // exact tie: smaller label wins
         })
         .map(|(label, _)| label)
         .ok_or(OnexError::EmptyBase)
@@ -158,6 +166,24 @@ mod tests {
         let q = base.dataset().series()[0].values().to_vec();
         assert!(nearest_label(&base, &q).is_err());
         assert!(knn_label(&base, &q, 3).is_err());
+    }
+
+    #[test]
+    fn exact_tie_breaks_toward_smaller_label() {
+        // Two bit-identical series with different labels: one vote each
+        // and bit-equal nearest distances, so neither the count nor the
+        // distance tie-break can decide — only the explicit label order
+        // does. Under the old HashMap vote the winner depended on
+        // per-process hash seeding; now the smaller label must win, every
+        // run.
+        let values: Vec<f64> = (0..24)
+            .map(|t| (t as f64 * 0.7).sin() + 0.05 * t as f64)
+            .collect();
+        let mk = |label| TimeSeries::with_label(values.clone(), label).unwrap();
+        let d = Dataset::new("tie", vec![mk(7), mk(3)]);
+        let base = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let q = base.dataset().series()[0].values().to_vec();
+        assert_eq!(knn_label(&base, &q, 2).unwrap(), 3);
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub enum OnexError {
     /// A lifecycle file operation (snapshot save/load, CSV ingest) failed at
     /// the filesystem level; the message carries the path and OS error.
     Io(String),
+    /// A deep structural invariant of the base failed to hold (see
+    /// [`crate::OnexBase::validate_invariants`]): slab strides, envelope
+    /// ordering, sketch-plane recomputes, membership reconciliation. The
+    /// message names the invariant and its location.
+    InvariantViolation(String),
 }
 
 impl fmt::Display for OnexError {
@@ -73,6 +78,9 @@ impl fmt::Display for OnexError {
             OnexError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
             OnexError::InvalidRefinement(msg) => write!(f, "invalid refinement: {msg}"),
             OnexError::Io(msg) => write!(f, "i/o error: {msg}"),
+            OnexError::InvariantViolation(msg) => {
+                write!(f, "invariant violation: {msg}")
+            }
         }
     }
 }

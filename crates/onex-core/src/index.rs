@@ -149,6 +149,58 @@ impl LengthIndex {
         }
     }
 
+    /// Deep audit of this GTI entry against its slab: since
+    /// [`LengthIndex::build`] is deterministic for a given `(slab, st)` —
+    /// the sparse path seeds its sampling RNG from `(len, g)` — the whole
+    /// entry (dense `Dc` matrix, sum order, critical thresholds) must
+    /// reproduce **bit-exactly** from a rebuild. Field-by-field comparison
+    /// so the violation message names what drifted. `group_ids` are checked
+    /// by the caller ([`crate::OnexBase::validate_invariants`]), which owns
+    /// the cross-length contiguity invariant.
+    pub(crate) fn validate(&self, slab: &LengthSlab, st: f64) -> crate::Result<()> {
+        let viol = |msg: String| {
+            crate::OnexError::InvariantViolation(format!("length index {}: {msg}", self.len))
+        };
+        if self.len != slab.subseq_len() {
+            return Err(viol(format!("covers slab of length {}", slab.subseq_len())));
+        }
+        if self.group_ids.len() != slab.group_count() {
+            return Err(viol(format!(
+                "{} group ids for {} slab groups",
+                self.group_ids.len(),
+                slab.group_count()
+            )));
+        }
+        let fresh = LengthIndex::build(self.len, self.group_ids.clone(), slab, st);
+        if self.dc.len() != fresh.dc.len()
+            || self
+                .dc
+                .iter()
+                .zip(&fresh.dc)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err(viol("Dc matrix differs from rebuild".into()));
+        }
+        if self.sum_order != fresh.sum_order {
+            return Err(viol("sum order differs from rebuild".into()));
+        }
+        if self.st_half.to_bits() != fresh.st_half.to_bits()
+            || self.st_final.to_bits() != fresh.st_final.to_bits()
+        {
+            return Err(viol(format!(
+                "critical thresholds ({}, {}) differ from rebuilt ({}, {})",
+                self.st_half, self.st_final, fresh.st_half, fresh.st_final
+            )));
+        }
+        if self.st_half.total_cmp(&self.st_final).is_gt() {
+            return Err(viol(format!(
+                "ST_half {} exceeds ST_final {}",
+                self.st_half, self.st_final
+            )));
+        }
+        Ok(())
+    }
+
     /// Approximate heap footprint in bytes: id vector + `Dc` matrix + sum
     /// array + the two thresholds.
     pub fn size_bytes(&self) -> usize {

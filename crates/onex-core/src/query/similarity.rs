@@ -257,6 +257,8 @@ impl QueryEnvelopeCache {
                 weights: paa_segment_weights(q.len().max(1), w),
             });
         }
+        // The branch above just stored Some(..) when the entry was absent.
+        // audit:allow(no-panic-in-lib): infallible, see above
         self.entry.as_ref().expect("just built")
     }
 }
@@ -559,7 +561,7 @@ pub(crate) fn top_k(
             }
             continue;
         };
-        let slab = base.slab(len).expect("indexed length has a slab");
+        let slab = base.slab(len).ok_or(OnexError::NoGroupsForLength(len))?;
         ctx.stats.lengths_visited += 1;
         let choices = best_reps(q, idx, slab, p.explore_top_groups.max(1), p, ctx);
         let mut qualified = false;
@@ -685,7 +687,7 @@ pub(crate) fn within_threshold(
         let Some(idx) = base.length_index(len) else {
             continue;
         };
-        let slab = base.slab(len).expect("indexed length has a slab");
+        let slab = base.slab(len).ok_or(OnexError::NoGroupsForLength(len))?;
         ctx.stats.lengths_visited += 1;
         let norm = 2.0 * q.len().max(len) as f64;
         for local in idx.median_out_order() {
@@ -935,8 +937,10 @@ fn best_reps(
         });
         kept.sort_by(|a, b| a.raw.total_cmp(&b.raw));
         kept.truncate(top);
-        if kept.len() == top {
-            cutoff = kept.last().expect("non-empty").raw;
+        if let [.., last] = kept.as_slice() {
+            if kept.len() == top {
+                cutoff = last.raw;
+            }
         }
     }
     kept

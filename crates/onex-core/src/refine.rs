@@ -126,10 +126,11 @@ fn merge_groups(mut slab: LengthSlab, st: f64, st_prime: f64, rng: &mut SmallRng
         let mut candidates = Vec::new();
         for (ai, &i) in live.iter().enumerate() {
             for &j in &live[ai + 1..] {
-                let (mi, mj) = (
-                    means[i].as_ref().expect("alive"),
-                    means[j].as_ref().expect("alive"),
-                );
+                // `means[x]` is Some for every alive group (loop
+                // invariant: merging clears `alive` and `means` together).
+                let (Some(mi), Some(mj)) = (means[i].as_ref(), means[j].as_ref()) else {
+                    continue;
+                };
                 if ed_normalized(mi, mj) <= margin {
                     candidates.push((i, j));
                 }

@@ -122,6 +122,21 @@ pub fn decode(buf: &[u8]) -> Result<OnexBase> {
     decode_with_epoch(buf).map(|(base, _)| base)
 }
 
+/// Post-decode deep audit: a snapshot can be bit-intact (the CRC passes)
+/// yet structurally wrong — stale sums, out-of-order member lists, sketch
+/// planes that drifted from their sources. Every decode path runs
+/// [`OnexBase::validate_invariants`] after the structural parse and
+/// reports failures as [`OnexError::SnapshotCorrupt`], so loading is a
+/// trust boundary in both senses: transport (CRC) and logic (invariants).
+fn validated(base: OnexBase) -> Result<OnexBase> {
+    match base.validate_invariants() {
+        Ok(()) => Ok(base),
+        Err(e) => Err(OnexError::SnapshotCorrupt(format!(
+            "post-load validation failed: {e}"
+        ))),
+    }
+}
+
 /// Deserializes a base from bytes, returning the stored epoch (0 for v1
 /// snapshots, which predate epochs). v2+ inputs are checksum-verified
 /// before any structural parsing; a mismatch is reported as
@@ -133,7 +148,7 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
         return Err(OnexError::SnapshotCorrupt("bad magic".to_string()));
     }
     match get_u8(&mut cur)? {
-        VERSION_V1 => Ok((decode_payload_grouped(&mut cur)?, 0)),
+        VERSION_V1 => Ok((validated(decode_payload_grouped(&mut cur)?)?, 0)),
         version @ (VERSION_V2 | VERSION_V3 | VERSION_V4) => {
             if buf.len() < FOOTER_OVERHEAD {
                 return Err(OnexError::SnapshotCorrupt(format!(
@@ -142,6 +157,8 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
                 )));
             }
             let (body, footer) = buf.split_at(buf.len() - 4);
+            // split_at over a >= FOOTER_OVERHEAD buffer yields exactly 4 bytes.
+            // audit:allow(no-panic-in-lib): infallible, see above
             let stored = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
             let computed = crc32(body);
             if stored != computed {
@@ -156,7 +173,7 @@ pub fn decode_with_epoch(buf: &[u8]) -> Result<(OnexBase, u64)> {
             } else {
                 decode_payload_columnar(&mut payload, version == VERSION_V4)?
             };
-            Ok((base, epoch))
+            Ok((validated(base)?, epoch))
         }
         version => Err(OnexError::SnapshotCorrupt(format!(
             "unsupported version {version}"
@@ -247,11 +264,10 @@ fn decode_header(
 /// length its groups one record at a time.
 fn encode_payload_grouped(out: &mut BytesMut, base: &OnexBase) {
     encode_header(out, base, false);
-    let lengths: Vec<usize> = base.indexed_lengths().collect();
-    out.put_u64_le(lengths.len() as u64);
-    for len in lengths {
-        let idx = base.length_index(len).expect("indexed length");
-        out.put_u64_le(len as u64);
+    let indexes: Vec<_> = base.length_indexes().collect();
+    out.put_u64_le(indexes.len() as u64);
+    for idx in indexes {
+        out.put_u64_le(idx.len as u64);
         out.put_u64_le(idx.group_ids.len() as u64);
         for &gid in &idx.group_ids {
             let g = base.group(gid);
@@ -783,24 +799,32 @@ fn get_u8(buf: &mut &[u8]) -> Result<u8> {
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     Ok(u32::from_le_bytes(
+        // take() just returned exactly 4 bytes.
+        // audit:allow(no-panic-in-lib): infallible, see above
         take(buf, 4)?.try_into().expect("4 bytes"),
     ))
 }
 
 fn get_i32(buf: &mut &[u8]) -> Result<i32> {
     Ok(i32::from_le_bytes(
+        // take() just returned exactly 4 bytes.
+        // audit:allow(no-panic-in-lib): infallible, see above
         take(buf, 4)?.try_into().expect("4 bytes"),
     ))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64> {
     Ok(u64::from_le_bytes(
+        // take() just returned exactly 8 bytes.
+        // audit:allow(no-panic-in-lib): infallible, see above
         take(buf, 8)?.try_into().expect("8 bytes"),
     ))
 }
 
 fn get_f64(buf: &mut &[u8]) -> Result<f64> {
     Ok(f64::from_le_bytes(
+        // take() just returned exactly 8 bytes.
+        // audit:allow(no-panic-in-lib): infallible, see above
         take(buf, 8)?.try_into().expect("8 bytes"),
     ))
 }
@@ -1029,6 +1053,89 @@ mod tests {
             decode_with_epoch(&bytes),
             Err(OnexError::SnapshotCorrupt(_))
         ));
+    }
+
+    /// Flips the low mantissa bit of the (single) occurrence of `value` in
+    /// `bytes` — a 1-ulp nudge the structural parser cannot notice. Returns
+    /// `false` when the 8-byte pattern is absent or ambiguous, so callers
+    /// can fall back to a different probe value.
+    fn flip_unique_f64(bytes: &mut [u8], value: f64) -> bool {
+        let pat = value.to_le_bytes();
+        let hits: Vec<usize> = (0..bytes.len().saturating_sub(7))
+            .filter(|&i| bytes[i..i + 8] == pat)
+            .collect();
+        let [at] = hits[..] else { return false };
+        bytes[at..at + 8].copy_from_slice(&f64::from_bits(value.to_bits() ^ 1).to_le_bytes());
+        true
+    }
+
+    /// Re-seals a mutated snapshot body with a freshly computed CRC, then
+    /// asserts the decoder rejects it *for invariant reasons* — proving the
+    /// corruption sailed past both the checksum and the structural parse
+    /// and was caught by `OnexBase::validate_invariants` alone.
+    fn assert_rejected_by_validator(mut bytes: Vec<u8>) {
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        match decode_with_epoch(&bytes) {
+            Err(OnexError::SnapshotCorrupt(msg)) => {
+                assert!(
+                    msg.contains("post-load validation"),
+                    "rejected, but not by the validator: {msg}"
+                );
+            }
+            Ok(_) => panic!("hostile snapshot decoded cleanly"),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+
+    #[test]
+    fn validator_rejects_crc_valid_snapshot_with_corrupt_member_ed() {
+        // Nudge one stored member ED by 1 ulp: the payload stays perfectly
+        // decodable and the CRC is re-sealed, so only the bit-exact
+        // ED-vs-recompute invariant can catch it.
+        let b = base();
+        let bytes = encode_with_epoch(&b, 1).to_vec();
+        let mut flipped = None;
+        'outer: for g in b.groups() {
+            for &(_, d) in g.members() {
+                if d > 0.0 {
+                    let mut attempt = bytes.clone();
+                    if flip_unique_f64(&mut attempt, d) {
+                        flipped = Some(attempt);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert_rejected_by_validator(flipped.expect("some member ED has a unique byte pattern"));
+    }
+
+    #[test]
+    fn validator_rejects_crc_valid_snapshot_with_corrupt_sum() {
+        // Same trick against a running-sum cell: the representative was
+        // frozen as `sum · (1/n)`, so a 1-ulp drift in the sum breaks that
+        // bit-exact relation (and nothing else the parser checks).
+        let b = base();
+        let bytes = encode_with_epoch(&b, 1).to_vec();
+        let mut flipped = None;
+        'outer: for slab in b.store().slabs() {
+            for local in 0..slab.group_count() {
+                if slab.member_count(local) < 2 {
+                    continue; // singleton sums equal raw values elsewhere
+                }
+                for &s in slab.sum_row(local) {
+                    if s != 0.0 {
+                        let mut attempt = bytes.clone();
+                        if flip_unique_f64(&mut attempt, s) {
+                            flipped = Some(attempt);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert_rejected_by_validator(flipped.expect("some sum cell has a unique byte pattern"));
     }
 
     #[test]

@@ -50,6 +50,7 @@ use onex_ts::{Dataset, SubseqRef};
 use serde::{Deserialize, Serialize};
 
 use crate::group::{Group, GroupId};
+use crate::{OnexError, Result};
 
 /// All similarity groups of one subsequence length, stored columnar.
 ///
@@ -963,6 +964,244 @@ impl GroupStore {
             directory_bytes: self.dir.capacity() * std::mem::size_of::<(u32, u32)>()
                 + self.slabs.capacity() * std::mem::size_of::<LengthSlab>(),
         }
+    }
+}
+
+/// `true` when both slices hold exactly the same f64 bit patterns — the
+/// equality the deep validator uses everywhere a from-scratch recompute is
+/// guaranteed to reproduce stored values exactly (NaN-safe, `-0.0`-strict,
+/// unlike `==`).
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// `true` when every value is bit-pattern `+0.0` — the state `seed` /
+/// `clear_finalization` leave non-finalized rows in.
+fn bits_zero(xs: &[f64]) -> bool {
+    xs.iter().all(|x| x.to_bits() == 0)
+}
+
+impl LengthSlab {
+    /// Deep structural audit of this slab against the dataset it indexes
+    /// (see [`crate::OnexBase::validate_invariants`] for the full catalog).
+    /// Checks, per group:
+    ///
+    /// * plane strides and lengths (`g·len` f64 slabs, `g·paa_w` sketch
+    ///   slabs, `g` metadata arrays, `n·paa_w` member sketch planes);
+    /// * every member reference resolves in the dataset at this slab's
+    ///   length, with a finite non-negative stored ED;
+    /// * member sketches equal a from-scratch [`onex_dist::paa_into`]
+    ///   recompute **bit-exactly** (they are computed once on insert and
+    ///   carried through every sort/merge/move — drift means a carry bug);
+    /// * running sums match a re-accumulation over the members within a
+    ///   relative `1e-9` tolerance per point (bit-exactness is impossible
+    ///   here: float addition is order-sensitive and the original insertion
+    ///   order is lost once members are ED-sorted);
+    /// * finalized groups: the representative row equals `sum · (1/n)`
+    ///   bit-exactly (how [`LengthSlab::finalize`] froze it), member EDs
+    ///   equal [`fn@onex_dist::ed`] against that row bit-exactly and ascend
+    ///   strictly by `(ED, ref)`, the envelope planes equal
+    ///   [`Envelope::build`] at the stored radius bit-exactly with
+    ///   `lo ≤ rep ≤ hi` pointwise, and all three PAA sketch rows equal
+    ///   their reference reductions bit-exactly;
+    /// * non-finalized groups: representative/envelope/sketch rows are
+    ///   all-zero bits and the radius is 0.
+    pub fn validate(&self, dataset: &Dataset) -> Result<()> {
+        let viol =
+            |msg: String| OnexError::InvariantViolation(format!("slab len {}: {msg}", self.len));
+        if self.len == 0 {
+            return Err(viol("zero subsequence length".into()));
+        }
+        let (len, w, g) = (self.len, self.paa_w, self.group_count());
+        if w == 0 || w > len {
+            return Err(viol(format!("paa width {w} outside 1..={len}")));
+        }
+        if !bits_eq(&self.paa_weights, &paa_segment_weights(len, w)) {
+            return Err(viol("paa segment weights differ from recompute".into()));
+        }
+        for (name, plane, stride) in [
+            ("reps", &self.reps, len),
+            ("env_lo", &self.env_lo, len),
+            ("env_hi", &self.env_hi, len),
+            ("sums", &self.sums, len),
+            ("paa_reps", &self.paa_reps, w),
+            ("paa_env_lo", &self.paa_env_lo, w),
+            ("paa_env_hi", &self.paa_env_hi, w),
+        ] {
+            if plane.len() != g * stride {
+                return Err(viol(format!(
+                    "{name} plane holds {} f64s, want {g} rows of stride {stride}",
+                    plane.len()
+                )));
+            }
+        }
+        if self.env_radius.len() != g || self.member_paa.len() != g || self.finalized.len() != g {
+            return Err(viol("metadata arrays disagree on group count".into()));
+        }
+        let mut sketch = Vec::with_capacity(w);
+        let mut fresh_sum = vec![0.0f64; len];
+        for local in 0..g {
+            let gviol = |msg: String| viol(format!("group {local}: {msg}"));
+            let members = &self.members[local];
+            let n = members.len();
+            if n == 0 {
+                return Err(gviol("empty member list".into()));
+            }
+            if self.member_paa[local].len() != n * w {
+                return Err(gviol(format!(
+                    "member sketch plane holds {} f64s, want {n}·{w}",
+                    self.member_paa[local].len()
+                )));
+            }
+            fresh_sum.fill(0.0);
+            for (idx, &(r, d)) in members.iter().enumerate() {
+                if r.len as usize != len {
+                    return Err(gviol(format!("member {idx} has length {}", r.len)));
+                }
+                let vals = dataset.subseq(r).map_err(|e| {
+                    gviol(format!(
+                        "member {idx} ({}, {}, {}) does not resolve: {e}",
+                        r.series, r.start, r.len
+                    ))
+                })?;
+                if !d.is_finite() || d < 0.0 {
+                    return Err(gviol(format!("member {idx} stored ED {d} not finite ≥ 0")));
+                }
+                paa_into(vals, w, &mut sketch);
+                if !bits_eq(&sketch, self.member_paa_row(local, idx)) {
+                    return Err(gviol(format!("member {idx} sketch differs from recompute")));
+                }
+                for (s, v) in fresh_sum.iter_mut().zip(vals) {
+                    *s += v;
+                }
+            }
+            let sums = self.sum_row(local);
+            for (i, (&s, &f)) in sums.iter().zip(&fresh_sum).enumerate() {
+                if !s.is_finite() || (s - f).abs() > 1e-9 * (1.0 + f.abs()) {
+                    return Err(gviol(format!("sum[{i}] = {s} but members re-sum to {f}")));
+                }
+            }
+            if self.finalized[local] {
+                self.validate_finalized(dataset, local, &mut sketch)
+                    .map_err(&gviol)?;
+            } else {
+                let row = self.row(local);
+                let prow = self.prow(local);
+                if !bits_zero(&self.reps[row.clone()])
+                    || !bits_zero(&self.env_lo[row.clone()])
+                    || !bits_zero(&self.env_hi[row])
+                    || !bits_zero(&self.paa_reps[prow.clone()])
+                    || !bits_zero(&self.paa_env_lo[prow.clone()])
+                    || !bits_zero(&self.paa_env_hi[prow])
+                {
+                    return Err(gviol("non-finalized rows are not all-zero".into()));
+                }
+                if self.env_radius[local] != 0 {
+                    return Err(gviol("non-finalized group has a nonzero radius".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The finalized-group half of [`LengthSlab::validate`]: representative
+    /// freeze, member ED order, envelope planes and all sketch rows, each
+    /// checked bit-exactly against a from-scratch recompute.
+    fn validate_finalized(
+        &self,
+        dataset: &Dataset,
+        local: usize,
+        sketch: &mut Vec<f64>,
+    ) -> std::result::Result<(), String> {
+        let members = &self.members[local];
+        let rep = self.rep_row(local);
+        let sums = self.sum_row(local);
+        let inv = 1.0 / members.len() as f64;
+        for (i, (&r, &s)) in rep.iter().zip(sums).enumerate() {
+            if r.to_bits() != (s * inv).to_bits() {
+                return Err(format!("rep[{i}] = {r} but sum·(1/n) = {}", s * inv));
+            }
+        }
+        let mut prev: Option<(SubseqRef, f64)> = None;
+        for (idx, &(r, d)) in members.iter().enumerate() {
+            let fresh = onex_dist::ed(dataset.subseq_unchecked(r), rep);
+            if d.to_bits() != fresh.to_bits() {
+                return Err(format!("member {idx} ED {d} but recompute gives {fresh}"));
+            }
+            if let Some((pr, pd)) = prev {
+                if pd.total_cmp(&d).then(pr.cmp(&r)).is_ge() {
+                    return Err(format!("members not strictly (ED, ref)-sorted at {idx}"));
+                }
+            }
+            prev = Some((r, d));
+        }
+        let radius = self.env_radius[local] as usize;
+        let env = Envelope::build(rep, radius);
+        let row = self.row(local);
+        if !bits_eq(&env.lower, &self.env_lo[row.clone()])
+            || !bits_eq(&env.upper, &self.env_hi[row])
+        {
+            return Err(format!(
+                "envelope planes differ from rebuild at radius {radius}"
+            ));
+        }
+        for (i, ((&lo, &r), &hi)) in env.lower.iter().zip(rep).zip(&env.upper).enumerate() {
+            if !(lo <= r && r <= hi) {
+                return Err(format!("envelope order lo ≤ rep ≤ hi broken at {i}"));
+            }
+        }
+        let w = self.paa_w;
+        let prow = self.prow(local);
+        paa_into(rep, w, sketch);
+        if !bits_eq(sketch, &self.paa_reps[prow.clone()]) {
+            return Err("representative sketch differs from recompute".into());
+        }
+        let (mut hi, mut lo) = (Vec::with_capacity(w), Vec::with_capacity(w));
+        paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
+        if !bits_eq(&hi, &self.paa_env_hi[prow.clone()]) || !bits_eq(&lo, &self.paa_env_lo[prow]) {
+            return Err("envelope sketch differs from recompute".into());
+        }
+        Ok(())
+    }
+}
+
+impl GroupStore {
+    /// Deep structural audit of the whole store: the slab table is
+    /// non-empty-per-slab and strictly ascending by length, the flat
+    /// [`GroupId`] directory is exactly the contiguous
+    /// ascending-length/local walk `GroupStore::from_slabs` assigns, and
+    /// every slab passes [`LengthSlab::validate`].
+    pub fn validate(&self, dataset: &Dataset) -> Result<()> {
+        let viol = |msg: String| OnexError::InvariantViolation(format!("store: {msg}"));
+        let mut prev_len = 0usize;
+        let mut want_dir = Vec::with_capacity(self.dir.len());
+        for (si, slab) in self.slabs.iter().enumerate() {
+            if slab.is_empty() {
+                return Err(viol(format!(
+                    "slab {si} (len {}) is empty",
+                    slab.subseq_len()
+                )));
+            }
+            if si > 0 && slab.subseq_len() <= prev_len {
+                return Err(viol(format!(
+                    "slab lengths not strictly ascending at {si} ({} after {prev_len})",
+                    slab.subseq_len()
+                )));
+            }
+            prev_len = slab.subseq_len();
+            for local in 0..slab.group_count() {
+                want_dir.push((si as u32, local as u32));
+            }
+            slab.validate(dataset)?;
+        }
+        if self.dir != want_dir {
+            return Err(viol(format!(
+                "directory holds {} entries and diverges from the contiguous walk of {} groups",
+                self.dir.len(),
+                want_dir.len()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -312,9 +312,13 @@ proptest! {
         // splits, evictions and moves; rep/envelope sketches rebuild only
         // on re-finalization. After an arbitrary append / remove / refine
         // sequence every plane must still equal a from-scratch recompute,
-        // bit for bit.
+        // bit for bit — and the *whole* deep invariant catalog
+        // (OnexBase::validate_invariants: strides, sums, rep freezes,
+        // ED order, envelopes, GTI/SP reconciliation, membership
+        // partition) must hold after every step.
         let base = OnexBase::build_prenormalized(d, config(0.2, seed)).unwrap();
         assert_sketches_match_recompute(&base);
+        base.validate_invariants().unwrap();
         let explorer = Explorer::from_base(base);
         for (i, op) in ops.iter().enumerate() {
             match op {
@@ -339,6 +343,7 @@ proptest! {
                 }
             }
             assert_sketches_match_recompute(&explorer.base());
+            explorer.base().validate_invariants().unwrap();
         }
     }
 

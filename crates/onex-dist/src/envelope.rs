@@ -126,7 +126,11 @@ impl Envelope {
                     break;
                 }
             }
+            // Index i itself was pushed this iteration and survives the
+            // eviction passes, so both deques hold at least one element.
+            // audit:allow(no-panic-in-lib): infallible, see above
             upper[i] = y[*max_q.front().expect("window never empty")];
+            // audit:allow(no-panic-in-lib): infallible, see above
             lower[i] = y[*min_q.front().expect("window never empty")];
         }
         Envelope {

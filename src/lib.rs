@@ -204,6 +204,53 @@
 //! isolation (`cargo bench --no-run` compiles in CI so the benches can't
 //! rot).
 //!
+//! ## Correctness tooling
+//!
+//! Two audit layers guard the invariants the result-equivalence story
+//! rests on — one static, one at runtime:
+//!
+//! **Static: the `onex-audit` lint pass.** A dependency-free analyzer
+//! (crate `onex-audit`, not part of this facade) with its own minimal
+//! Rust lexer — comments, strings and `#[cfg(test)]` regions are masked
+//! out before matching, so the rules see only live library code. It
+//! enforces: no `unwrap`/`expect`/`panic!`-family calls in non-test code
+//! of the result-affecting crates (**no-panic-in-lib**), no
+//! `HashMap`/`HashSet` where iteration order could leak into results
+//! (**determinism** — ordered containers only), no `as f32` narrowing or
+//! bare `==`/`!=` against float literals in the distance kernels and
+//! cascade (**float-discipline**), a `SAFETY:` comment within three lines
+//! of every `unsafe` (**safety-comments**), and every `QueryStats`
+//! counter present in the perf baseline writer (**counter-coverage**).
+//! Deliberate exceptions carry an inline allow directive naming the rule
+//! and the reason, e.g.
+//! `// audit:allow(no-panic-in-lib): slot is filled by construction` —
+//! an unjustified or unknown-rule directive is itself a violation. Run it (and its
+//! self-test, which seeds violations into a fixture tree and asserts
+//! every rule fires) with:
+//!
+//! ```sh
+//! cargo run -p onex-audit -- check     # exits non-zero on any violation
+//! cargo run -p onex-audit -- selftest
+//! ```
+//!
+//! **Runtime: the deep invariant validator.**
+//! [`OnexBase::validate_invariants`](core::OnexBase::validate_invariants)
+//! audits a live base bottom-up: slab strides and plane lengths, member
+//! references resolving in the dataset, running sums against
+//! re-accumulation, and — bit-exactly — frozen representatives
+//! (`rep = sum · (1/n)`), member ED order, envelope planes, every PAA
+//! sketch, the GTI entries (rebuilt and compared), the SP-Space
+//! thresholds, and the membership partition against the decomposition.
+//! It runs automatically after every snapshot decode (a CRC-valid but
+//! logically corrupt file is rejected as
+//! [`OnexError::SnapshotCorrupt`]), after every maintenance hot-swap in
+//! debug builds, after every step of the randomized lifecycle property
+//! test, and across all evaluation datasets via:
+//!
+//! ```sh
+//! cargo run -p onex-bench --release --bin repro -- audit
+//! ```
+//!
 //! ## Migrating from the per-class and free-function entry points
 //!
 //! The pre-engine entry points still compile but are deprecated shims over
