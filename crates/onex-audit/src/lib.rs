@@ -12,6 +12,7 @@
 //! | `determinism` | onex-core, onex-dist, onex-ts | any `HashMap`/`HashSet` use |
 //! | `float-discipline` | onex-dist + the query cascade | `as f32` casts, bare `==`/`!=` on float literals |
 //! | `safety-comments` | all library crates | `unsafe` without a `// SAFETY:` comment |
+//! | `symindex-soundness-comment` | the symbolic word index | skip/prune/certify fns without a nearby `// sound:` argument |
 //! | `counter-coverage` | engine ↔ bench | `QueryStats` counters missing from the perf JSON writer |
 //!
 //! Genuinely infallible sites are waived inline with
@@ -58,6 +59,12 @@ const SAFETY_SCOPE: &[&str] = &[
     "src",
 ];
 
+/// Scope of `symindex-soundness-comment`: the symbolic word index, the
+/// only module allowed to discard candidates before the exact cascade
+/// sees them — its pruning functions must carry their soundness argument
+/// in a `// sound:` comment.
+const SYMINDEX_SCOPE: &[&str] = &["crates/onex-core/src/symindex.rs"];
+
 /// The cross-file counter-coverage pair: the engine `QueryStats`
 /// definition and the perf experiment JSON writer.
 const STATS_FILE: &str = "crates/onex-core/src/engine.rs";
@@ -86,6 +93,11 @@ pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
     for scope in SAFETY_SCOPE {
         for f in rust_files(&root.join(scope))? {
             files.entry(f).or_default().safety = true;
+        }
+    }
+    for scope in SYMINDEX_SCOPE {
+        for f in rust_files(&root.join(scope))? {
+            files.entry(f).or_default().symindex = true;
         }
     }
 
@@ -117,6 +129,9 @@ pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
         if which.safety {
             found.extend(rules::safety_comments(&rel, &toks, &masked.comments));
         }
+        if which.symindex {
+            found.extend(rules::symindex_soundness(&rel, &toks, &masked.comments));
+        }
         out.extend(rules::apply_allows(found, &allows));
     }
 
@@ -146,6 +161,7 @@ struct FileRules {
     determinism: bool,
     float: bool,
     safety: bool,
+    symindex: bool,
 }
 
 /// Recursively collect `.rs` files under `path`; a missing path yields an

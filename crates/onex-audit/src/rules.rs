@@ -19,12 +19,19 @@ pub const RULE_DETERMINISM: &str = "determinism";
 pub const RULE_FLOAT: &str = "float-discipline";
 pub const RULE_SAFETY: &str = "safety-comments";
 pub const RULE_COUNTER: &str = "counter-coverage";
+pub const RULE_SYMINDEX: &str = "symindex-soundness-comment";
 /// Meta-rule for malformed `audit:allow` directives themselves.
 pub const RULE_ALLOW: &str = "audit-allow";
 
 /// All token-level rules (counter-coverage is cross-file and handled
 /// separately by the driver).
-pub const TOKEN_RULES: &[&str] = &[RULE_NO_PANIC, RULE_DETERMINISM, RULE_FLOAT, RULE_SAFETY];
+pub const TOKEN_RULES: &[&str] = &[
+    RULE_NO_PANIC,
+    RULE_DETERMINISM,
+    RULE_FLOAT,
+    RULE_SAFETY,
+    RULE_SYMINDEX,
+];
 
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,6 +189,68 @@ pub fn safety_comments(file: &str, toks: &[Tok], comments: &[Comment]) -> Vec<Vi
                     message: "unsafe without a preceding `// SAFETY:` comment".to_string(),
                 });
             }
+        }
+    }
+    out
+}
+
+/// How far above a pruning fn's name its `sound:` argument may sit.
+/// Generous enough for a function-level soundness essay plus doc
+/// comments between it and the signature, tight enough that an argument
+/// for one function cannot silently cover the next.
+const SOUNDNESS_WINDOW: usize = 25;
+
+/// Name fragments that mark a symbolic-index fn as result-pruning.
+const PRUNING_FRAGMENTS: &[&str] = &["skip", "prune", "certif"];
+
+/// symindex-soundness-comment: every fn in the symbolic word index whose
+/// name says it skips, prunes, or certifies must carry a comment
+/// containing `sound:` within `SOUNDNESS_WINDOW` lines above its name —
+/// the written argument for why dropping candidates cannot change
+/// results. The index is the one subsystem allowed to discard work
+/// before the exact cascade sees it, so the burden of proof travels with
+/// the code.
+pub fn symindex_soundness(file: &str, toks: &[Tok], comments: &[Comment]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut prev_fn_line = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        let fn_line = name.line;
+        let lower = name.text.to_lowercase();
+        if !PRUNING_FRAGMENTS.iter().any(|frag| lower.contains(frag)) {
+            prev_fn_line = fn_line;
+            continue;
+        }
+        // The argument must sit between the previous fn and this one (so
+        // one essay cannot silently cover two functions) and within the
+        // window.
+        let documented = comments.iter().any(|c| {
+            c.text.contains("sound:")
+                && c.line > prev_fn_line
+                && c.line <= fn_line
+                && c.line + SOUNDNESS_WINDOW >= fn_line
+        });
+        prev_fn_line = fn_line;
+        if !documented {
+            out.push(Violation {
+                file: file.to_string(),
+                line: name.line,
+                rule: RULE_SYMINDEX,
+                message: format!(
+                    "pruning fn `{}` without a `// sound:` argument within \
+                     {SOUNDNESS_WINDOW} lines above — state why skipping candidates \
+                     cannot change results",
+                    name.text
+                ),
+            });
         }
     }
     out
@@ -427,6 +496,28 @@ mod tests {
         let m2 = mask(src2);
         let v2 = safety_comments("f.rs", &scan(&m2.text), &m2.comments);
         assert_eq!(v2.len(), 1);
+    }
+
+    #[test]
+    fn symindex_soundness_requires_a_nearby_sound_comment() {
+        let src = "// sound: bucket bound dominates every member bound\npub fn mark_skips() {}\n\npub fn certify_bucket() {}\n\npub fn unrelated_helper() {}";
+        let m = mask(src);
+        let v = symindex_soundness("s.rs", &scan(&m.text), &m.comments);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("certify_bucket"));
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn symindex_soundness_window_is_bounded() {
+        // A `sound:` argument 26 lines up is too far to count.
+        let src = format!(
+            "// sound: stale argument\n{}pub fn prune_all() {{}}",
+            "\n".repeat(25)
+        );
+        let m = mask(&src);
+        let v = symindex_soundness("s.rs", &scan(&m.text), &m.comments);
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 
     #[test]

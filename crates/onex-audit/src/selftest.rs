@@ -100,6 +100,31 @@ pub fn documented_unsafe(p: *const u8) -> u8 {
 "#,
     )?;
 
+    // --- symindex-soundness fixture: one argued, one bare --------------
+    write(
+        root,
+        "crates/onex-core/src/symindex.rs",
+        r#"
+pub fn seeded_skip_without_argument(mask: &mut [bool]) {
+    for m in mask.iter_mut() {
+        *m = true;
+    }
+}
+
+// sound: fixture — the bucket bound provably dominates every member
+// group's tier-0 bound, so dropping the bucket cannot change results.
+pub fn documented_certified_skip(mask: &mut [bool]) {
+    for m in mask.iter_mut() {
+        *m = false;
+    }
+}
+
+pub fn unrelated_helper() -> usize {
+    3
+}
+"#,
+    )?;
+
     // --- counter-coverage fixture: one emitted, one missing ------------
     write(
         root,
@@ -133,6 +158,11 @@ pub fn emit() -> Vec<(&'static str, u64)> {
         (rules::RULE_FLOAT, "onex-dist/src/lib.rs", "=="),
         (rules::RULE_SAFETY, "onex-dist/src/lib.rs", "SAFETY"),
         (
+            rules::RULE_SYMINDEX,
+            "onex-core/src/symindex.rs",
+            "seeded_skip_without_argument",
+        ),
+        (
             rules::RULE_COUNTER,
             "onex-core/src/engine.rs",
             "seeded_missing_counter",
@@ -161,6 +191,10 @@ pub fn emit() -> Vec<(&'static str, u64)> {
         // Emitted and non-usize fields are not findings.
         (rules::RULE_COUNTER, "dtw_evals"),
         (rules::RULE_COUNTER, "elapsed_not_a_counter"),
+        // A `// sound:` argument above the fn satisfies the rule, and
+        // fns whose names claim no pruning are out of scope.
+        (rules::RULE_SYMINDEX, "documented_certified_skip"),
+        (rules::RULE_SYMINDEX, "unrelated_helper"),
     ];
     for (rule, needle) in forbidden {
         if violations

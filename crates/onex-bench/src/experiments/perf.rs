@@ -1,20 +1,25 @@
 //! **Perf baseline** — the machine-readable performance record of the
 //! query engine: per-query-class latency, DTW-evaluation, and prune-rate
 //! counters on the synthetic datasets, emitted as JSON so future changes
-//! have a trajectory to compare against (`BENCH_pr5.json` is the current
-//! checked-in baseline, recorded with the PAA sketch tier; `BENCH_pr4.json`
-//! / `BENCH_pr3.json` are the pre-sketch and pre-columnar records — their
-//! DTW/member-eval counters are identical to pr5's, which is the
-//! result-neutrality proof of both refactors) and CI can fail on counter
-//! regressions.
+//! have a trajectory to compare against (`BENCH_pr7.json` is the current
+//! checked-in baseline, recorded with the symbolic word index in front of
+//! the cascade; `BENCH_pr5.json` / `BENCH_pr4.json` / `BENCH_pr3.json`
+//! are the pre-index, pre-sketch and pre-columnar records — their
+//! DTW/member-eval counters are identical to pr7's, which is the
+//! result-neutrality proof of all three refactors) and CI can fail on
+//! counter regressions.
 //!
 //! Three variants per class isolate the lower-bound pipeline:
-//! `cascade` (the default full pipeline, sketch tier included),
-//! `rep_only` (LB_Kim + the plain representative-envelope check, the
-//! pre-cascade engine), and `unpruned` (no lower bounds at all). Counters
-//! are exact and deterministic for a given `--scale`/`--seed`, which is
-//! what makes the CI check stable on shared runners; latency is reported
-//! for humans but never gated on. Each dataset block also records the
+//! `cascade` (the default full pipeline, symbolic index + sketch tier
+//! included), `rep_only` (LB_Kim + the plain representative-envelope
+//! check, the pre-cascade engine), and `unpruned` (no lower bounds at
+//! all). Counters are exact and deterministic for a given
+//! `--scale`/`--seed`, which is what makes the CI check stable on shared
+//! runners; latency is reported for humans, with one deliberately loose
+//! exception — the per-class p50 may not regress beyond
+//! `LATENCY_REGRESSION_FACTOR`× baseline, a guard against
+//! order-of-magnitude slowdowns counters cannot see. Each dataset block
+//! also records the
 //! parameters the engine actually *resolved* for it — the Sakoe-Chiba
 //! band radius per query length and the clamped sketch width — so a
 //! baseline is self-describing rather than an echo of the CLI flags.
@@ -26,9 +31,15 @@ use onex_core::{Explorer, MatchMode, QueryOptions, QueryRequest, QueryStats};
 use onex_ts::synth::PaperDataset;
 use std::path::Path;
 
-/// The datasets the baseline records (small + mid-sized keeps the CI
-/// smoke fast while still exercising multi-length bases).
-const DATASETS: [PaperDataset; 2] = [PaperDataset::ItalyPower, PaperDataset::Ecg];
+/// The datasets the baseline records: small + mid-sized keeps the CI
+/// smoke fast while still exercising multi-length bases, and
+/// `NearDuplicates` stresses the symbolic index's worst case (whole
+/// clusters collapsing onto one SAX word).
+const DATASETS: [PaperDataset; 3] = [
+    PaperDataset::ItalyPower,
+    PaperDataset::Ecg,
+    PaperDataset::NearDuplicates,
+];
 
 /// Maximum allowed growth in `cascade`-variant DTW evaluations and member
 /// evaluations (best-match and top-k classes) relative to the checked-in
@@ -41,6 +52,14 @@ const REGRESSION_FACTOR: f64 = 2.0;
 /// O(len) tiers without changing any result-level counter.
 const PAA_RATE_FLOOR: f64 = 0.5;
 
+/// Wall-clock guardrail: a fresh run's per-class p50 latency (`cascade`
+/// variant) may not exceed this multiple of the baseline's. Latency on
+/// shared runners is noisy, so the factor is deliberately loose — the
+/// exact counters above remain the primary gate; this only catches
+/// order-of-magnitude slowdowns invisible to counters (e.g. an index
+/// probe gone accidentally quadratic).
+const LATENCY_REGRESSION_FACTOR: f64 = 3.0;
+
 /// The query classes the `--check-against` gate compares. Best-match was
 /// the original gate; top-k joined once its k-th-best cutoff pruning
 /// became part of the contract worth defending.
@@ -48,11 +67,12 @@ const GATED_CLASSES: [&str; 3] = ["best_match_exact", "best_match_any", "top_k_1
 
 /// One (class, variant) cell: counters summed over all queries (via
 /// [`QueryStats::absorb`], the same roll-up the batch path uses), latency
-/// averaged.
+/// averaged plus the p50 the wall-clock gate compares.
 #[derive(Default, Clone, Copy)]
 struct Cell {
     queries: usize,
     avg_latency_s: f64,
+    p50_latency_s: f64,
     stats: QueryStats,
 }
 
@@ -90,6 +110,10 @@ impl Cell {
                 "avg_latency_us",
                 Json::Num((self.avg_latency_s * 1e6 * 100.0).round() / 100.0),
             ),
+            (
+                "p50_latency_us",
+                Json::Num((self.p50_latency_s * 1e6 * 100.0).round() / 100.0),
+            ),
             ("dtw_evals", Json::num(self.stats.dtw_evals)),
             ("groups_visited", Json::num(self.stats.groups_visited)),
             ("lengths_visited", Json::num(self.stats.lengths_visited)),
@@ -102,6 +126,13 @@ impl Cell {
             ("pruned_kim", Json::num(self.stats.pruned_kim)),
             ("pruned_keogh_eq", Json::num(self.stats.pruned_keogh_eq)),
             ("pruned_keogh_ec", Json::num(self.stats.pruned_keogh_ec)),
+            ("index_probes", Json::num(self.stats.index_probes)),
+            ("index_candidates", Json::num(self.stats.index_candidates)),
+            ("index_fallbacks", Json::num(self.stats.index_fallbacks)),
+            (
+                "groups_skipped_by_index",
+                Json::num(self.stats.groups_skipped_by_index),
+            ),
             (
                 "prune_rate",
                 Json::Num((self.prune_rate() * 1e4).round() / 1e4),
@@ -188,7 +219,7 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
         stats.representatives,
         fmt_secs(build_time.as_secs_f64())
     );
-    let widths = [22, 9, 11, 10, 9, 9, 9, 9, 9, 9];
+    let widths = [22, 9, 11, 10, 9, 9, 9, 9, 9, 9, 9];
     let mut table = harness::Table::new(
         &format!("perf_{}", ds.name()),
         &[
@@ -196,6 +227,7 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
             "latency",
             "dtw evals",
             "prune %",
+            "idx_skip",
             "paa",
             "kim",
             "keogh_eq",
@@ -220,11 +252,13 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
                 }));
             }
             cell.avg_latency_s = harness::mean(&latencies);
+            cell.p50_latency_s = harness::p50(&latencies);
             table.row(vec![
                 format!("{class}/{variant}"),
                 fmt_secs(cell.avg_latency_s),
                 format!("{}", cell.stats.dtw_evals),
                 format!("{:.1}", cell.prune_rate() * 100.0),
+                format!("{}", cell.stats.groups_skipped_by_index),
                 format!("{}", cell.stats.pruned_paa),
                 format!("{}", cell.stats.pruned_kim),
                 format!("{}", cell.stats.pruned_keogh_eq),
@@ -277,7 +311,9 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
 /// `ctx.check_against` names a checked-in baseline, compares against it.
 /// Returns `false` when the regression check fails.
 pub fn run(ctx: &Ctx) -> bool {
-    println!("\n== Perf baseline (counters are exact; latency informational) ==");
+    println!(
+        "\n== Perf baseline (counters are exact; latency informational, p50 loosely gated) =="
+    );
     let mut datasets = Vec::new();
     for ds in DATASETS {
         datasets.push(measure_dataset(ds, ctx));
@@ -345,10 +381,15 @@ fn gate_leq(label: &str, fresh: f64, baseline: f64, factor: f64) -> bool {
 
 /// The CI regression gate over every [`GATED_CLASSES`] entry under the
 /// default cascade: DTW evaluations and member evaluations must not
-/// exceed [`REGRESSION_FACTOR`] × the checked-in baseline, and the tier-0
+/// exceed [`REGRESSION_FACTOR`] × the checked-in baseline, the tier-0
 /// (PAA sketch) prune rate must retain at least [`PAA_RATE_FLOOR`] of the
-/// baseline's. Counter-based, so it is immune to shared-runner noise.
-/// Fields absent from an older baseline are skipped with a notice.
+/// baseline's, and the per-class p50 wall-clock latency must stay within
+/// `LATENCY_REGRESSION_FACTOR` × baseline. On top of the comparisons,
+/// the fresh run itself must show `groups_skipped_by_index > 0` on every
+/// dataset — proof the symbolic index engaged rather than silently
+/// degrading to a full-scan no-op. Counter gates are exact and immune to
+/// shared-runner noise; fields absent from an older baseline are skipped
+/// with a notice.
 fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -423,7 +464,38 @@ fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
                 }
                 _ => println!("    paa_prune_rate: not in baseline — skipped"),
             }
+            // Wall-clock p50: a deliberately loose guard (latency on
+            // shared runners is noisy; counters remain the primary gate)
+            // that still catches order-of-magnitude slowdowns.
+            match (
+                field(fresh_cell, "p50_latency_us"),
+                field(base_cell, "p50_latency_us"),
+            ) {
+                (Some(f), Some(b)) => {
+                    ok &= gate_leq("p50_latency_us", f, b, LATENCY_REGRESSION_FACTOR)
+                }
+                _ => println!("    p50_latency_us: not in baseline — skipped"),
+            }
         }
+    }
+    // Index engagement: every dataset's cascade cells, summed over all
+    // query classes, must certify at least one group skip in the fresh
+    // run — a zero means the symbolic index never fired and the cascade
+    // silently absorbed its work.
+    println!("  index engagement (fresh run, cascade, all classes):");
+    for ds in DATASETS {
+        let skipped: f64 = CLASSES
+            .iter()
+            .filter_map(|class| find_cell(fresh, ds.name(), class, "cascade"))
+            .filter_map(|cell| cell.get("groups_skipped_by_index").and_then(Json::as_f64))
+            .sum();
+        let good = skipped > 0.0;
+        println!(
+            "    {}: groups_skipped_by_index = {skipped} {}",
+            ds.name(),
+            if good { "ok" } else { "FAIL" }
+        );
+        ok &= good;
     }
     if compared == 0 {
         eprintln!("perf check: nothing compared — baseline format mismatch?");
@@ -431,8 +503,10 @@ fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
     }
     if !ok {
         eprintln!(
-            "perf check FAILED: gated counters regressed beyond {REGRESSION_FACTOR}x (or the \
-             tier-0 prune rate fell below {PAA_RATE_FLOOR} of baseline)"
+            "perf check FAILED: gated counters regressed beyond {REGRESSION_FACTOR}x, the \
+             tier-0 prune rate fell below {PAA_RATE_FLOOR} of baseline, a query class's p50 \
+             latency regressed beyond {LATENCY_REGRESSION_FACTOR}x, or the symbolic index \
+             certified zero skips on some dataset"
         );
     }
     ok

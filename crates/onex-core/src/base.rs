@@ -4,6 +4,7 @@
 
 use crate::index::LengthIndex;
 use crate::store::{GroupStore, LengthSlab, StoreFootprint};
+use crate::symindex::SymIndex;
 use crate::{Group, GroupId, OnexConfig, OnexError, Result, SpSpace};
 use onex_ts::normalize::{min_max, MinMaxParams};
 use onex_ts::Dataset;
@@ -33,6 +34,10 @@ pub struct BaseStats {
     /// slabs plus per-group member sketch planes) — the cascade's tier-0
     /// scan surface.
     pub sketch_bytes: usize,
+    /// Bytes held in the symbolic layer: the per-slab SAX word planes plus
+    /// the per-length [`crate::symindex::SymIndex`] probe structures
+    /// (sorted order, prefix hierarchy, bucket envelopes).
+    pub symindex_bytes: usize,
     /// Heap allocations backing the group store. The columnar layout pays
     /// a handful per *length*; the old array-of-structs layout paid ~5 per
     /// *group*.
@@ -68,6 +73,7 @@ pub struct OnexBase {
     config: OnexConfig,
     store: GroupStore,
     lengths: BTreeMap<usize, LengthIndex>,
+    sym: BTreeMap<usize, SymIndex>,
     sp: SpSpace,
 }
 
@@ -104,6 +110,7 @@ impl OnexBase {
     ) -> Self {
         let store = GroupStore::from_slabs(slabs);
         let mut lengths = BTreeMap::new();
+        let mut sym = BTreeMap::new();
         let mut local = BTreeMap::new();
         let mut first_id: GroupId = 0;
         for slab in store.slabs() {
@@ -115,6 +122,7 @@ impl OnexBase {
             let idx = LengthIndex::build(len, ids, slab, config.st);
             local.insert(len, (idx.st_half, idx.st_final));
             lengths.insert(len, idx);
+            sym.insert(len, SymIndex::build(slab));
         }
         OnexBase {
             dataset,
@@ -122,6 +130,7 @@ impl OnexBase {
             config,
             store,
             lengths,
+            sym,
             sp: SpSpace::new(local),
         }
     }
@@ -183,6 +192,13 @@ impl OnexBase {
         self.lengths.get(&len)
     }
 
+    /// The symbolic word index for a length — the coarse-to-fine SAX
+    /// hierarchy over that slab's sketch planes.
+    #[inline]
+    pub fn sym_index(&self, len: usize) -> Option<&SymIndex> {
+        self.sym.get(&len)
+    }
+
     /// All indexed lengths, ascending.
     pub fn indexed_lengths(&self) -> impl Iterator<Item = usize> + '_ {
         self.lengths.keys().copied()
@@ -240,6 +256,11 @@ impl OnexBase {
     /// * the store directory is the contiguous ascending-length walk;
     /// * the GTI map covers exactly the slab lengths, each entry rebuilt
     ///   and compared bit-exactly (`Dc`, sum order, critical thresholds);
+    /// * the symbolic index map covers exactly the slab lengths, each
+    ///   [`SymIndex`] rebuilt from its slab's word planes and compared
+    ///   bit-exactly (word spec, sorted order, prefix hierarchy, bucket
+    ///   envelopes), and each slab's word plane recomputed word-by-word
+    ///   from the sketch planes (see [`LengthSlab::validate`]);
     /// * group ids ascend contiguously across lengths in slab order;
     /// * every group of an assembled base is finalized;
     /// * each slab's sketch width is `clamp(config.paa_width, 1, len)`;
@@ -269,6 +290,12 @@ impl OnexBase {
                 "GTI lengths {idx_lens:?} disagree with slab lengths {slab_lens:?}"
             )));
         }
+        let sym_lens: Vec<usize> = self.sym.keys().copied().collect();
+        if slab_lens != sym_lens {
+            return Err(viol(format!(
+                "symbolic-index lengths {sym_lens:?} disagree with slab lengths {slab_lens:?}"
+            )));
+        }
         let mut first_id: GroupId = 0;
         for slab in self.store.slabs() {
             let len = slab.subseq_len();
@@ -277,6 +304,13 @@ impl OnexBase {
                 return Err(viol(format!(
                     "slab len {len}: sketch width {} but config resolves to {want_w}",
                     slab.paa_width()
+                )));
+            }
+            if slab.word_spec().alphabet() != self.config.sax_alphabet {
+                return Err(viol(format!(
+                    "slab len {len}: word alphabet {} but config says {}",
+                    slab.word_spec().alphabet(),
+                    self.config.sax_alphabet
                 )));
             }
             let idx = &self.lengths[&len];
@@ -296,6 +330,7 @@ impl OnexBase {
                 }
             }
             idx.validate(slab, self.config.st)?;
+            self.sym[&len].validate(slab)?;
             match self.sp.local(len) {
                 Some((h, f))
                     if h.to_bits() == idx.st_half.to_bits()
@@ -372,6 +407,8 @@ impl OnexBase {
             lsi_bytes: fp.total_bytes(),
             slab_bytes: fp.slab_bytes(),
             sketch_bytes: fp.sketch_bytes(),
+            symindex_bytes: fp.word_bytes()
+                + self.sym.values().map(SymIndex::size_bytes).sum::<usize>(),
             store_allocations: fp.allocations(),
         }
     }
@@ -446,8 +483,9 @@ mod tests {
         assert!(stats.slab_bytes > 0 && stats.slab_bytes <= stats.lsi_bytes);
         assert!(stats.sketch_bytes > 0 && stats.sketch_bytes <= stats.lsi_bytes);
         assert!(stats.slab_bytes + stats.sketch_bytes <= stats.lsi_bytes);
-        assert!(stats.store_allocations >= 12 * stats.lengths);
-        assert!(stats.store_allocations <= 12 * stats.lengths + 2 * stats.representatives + 2);
+        assert!(stats.symindex_bytes > 0);
+        assert!(stats.store_allocations >= 15 * stats.lengths);
+        assert!(stats.store_allocations <= 15 * stats.lengths + 3 * stats.representatives + 2);
     }
 
     #[test]
@@ -519,6 +557,7 @@ mod tests {
             config,
             store,
             lengths,
+            sym: BTreeMap::new(),
             sp,
         };
         let err = broken.validate_invariants().unwrap_err();

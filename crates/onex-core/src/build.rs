@@ -68,8 +68,8 @@ pub(crate) struct Assigner {
 }
 
 impl Assigner {
-    pub(crate) fn new(len: usize, st: f64, paa_width: usize) -> Self {
-        Self::with_slab(st, LengthSlab::new(len, paa_width))
+    pub(crate) fn new(len: usize, st: f64, paa_width: usize, sax_alphabet: usize) -> Self {
+        Self::with_slab(st, LengthSlab::new(len, paa_width, sax_alphabet))
     }
 
     /// Seeds the assigner with an existing slab (used by refinement and
@@ -218,7 +218,7 @@ pub fn build_length_groups(dataset: &Dataset, len: usize, config: &OnexConfig) -
         refs.swap(i, j);
     }
 
-    let mut asg = Assigner::new(len, config.st, config.paa_width);
+    let mut asg = Assigner::new(len, config.st, config.paa_width, config.sax_alphabet);
     for &r in &refs {
         asg.assign(dataset, r);
     }
@@ -275,7 +275,7 @@ fn lloyd_refine(
             buckets[best].push(r);
         }
         // Rebuild the slab from the buckets (dropping empties).
-        let mut slab = LengthSlab::new(len, config.paa_width);
+        let mut slab = LengthSlab::new(len, config.paa_width, config.sax_alphabet);
         for bucket in buckets {
             let mut members = bucket.into_iter();
             let Some(first) = members.next() else {

@@ -94,6 +94,16 @@ pub struct OnexConfig {
     /// planes plus `w` per member) against how much O(len) tier work the
     /// O(w) tier skips. Default 16.
     pub paa_width: usize,
+    /// Alphabet size of the SAX words the symbolic index
+    /// ([`crate::symindex`]) derives from the PAA sketch planes — how many
+    /// Gaussian-breakpoint bins each sketch segment is discretized into.
+    /// Must lie in `2..=64`. **Accuracy-neutral** like `paa_width`: the
+    /// index only *proposes* candidates and certifies skips through the same
+    /// strictly-greater tier-0 bound the cascade already applies, so any
+    /// alphabet returns byte-identical query results — the knob trades word
+    /// resolution (finer buckets, more discriminating skips) against
+    /// hierarchy depth. Default 4.
+    pub sax_alphabet: usize,
     /// Seed for the construction-time randomization (RANDOMIZE-IN-PLACE and
     /// first-representative selection).
     pub seed: u64,
@@ -116,6 +126,7 @@ impl Default for OnexConfig {
             explore_top_groups: 1,
             rank_normalized: false,
             paa_width: 16,
+            sax_alphabet: 4,
             seed: 0xA11CE,
             threads: 1,
         }
@@ -145,6 +156,11 @@ impl OnexConfig {
         if self.paa_width == 0 {
             return Err(OnexError::InvalidRefinement(
                 "paa_width must be ≥ 1".to_string(),
+            ));
+        }
+        if !(2..=64).contains(&self.sax_alphabet) {
+            return Err(OnexError::InvalidRefinement(
+                "sax_alphabet must be in 2..=64".to_string(),
             ));
         }
         Ok(())
@@ -188,5 +204,24 @@ mod tests {
         };
         assert!(c.validate().is_err());
         assert_eq!(OnexConfig::default().paa_width, 16);
+    }
+
+    #[test]
+    fn rejects_out_of_range_sax_alphabet() {
+        for bad in [0usize, 1, 65, 1000] {
+            let c = OnexConfig {
+                sax_alphabet: bad,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "alphabet {bad} must be rejected");
+        }
+        for ok in [2usize, 4, 16, 64] {
+            let c = OnexConfig {
+                sax_alphabet: ok,
+                ..Default::default()
+            };
+            assert!(c.validate().is_ok(), "alphabet {ok} must be accepted");
+        }
+        assert_eq!(OnexConfig::default().sax_alphabet, 4);
     }
 }

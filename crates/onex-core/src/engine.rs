@@ -70,8 +70,9 @@
 
 use crate::query::similarity::{self, SearchCtx, SearchParams};
 use crate::query::{recommend_impl, seasonal_all_impl, seasonal_for_series_impl};
+use crate::symindex::NavNode;
 use crate::{maintain, refine, snapshot};
-use crate::{Match, MatchMode, OnexBase, OnexConfig, Result, SeasonalResult};
+use crate::{GroupId, Match, MatchMode, OnexBase, OnexConfig, Result, SeasonalResult};
 use crate::{SimilarityDegree, ThresholdRange};
 use onex_dist::{DtwBuffer, Window};
 use onex_ts::{Dataset, Decomposition, TimeSeries};
@@ -168,6 +169,13 @@ pub struct QueryOptions {
     /// point isolating the member-level tiers. Results are identical
     /// either way.
     pub cascade: bool,
+    /// Consult the per-length symbolic word index for certified group
+    /// skips ahead of each rep scan (default `true`). The index only
+    /// *proposes*: every skip is certified equivalent to a tier-0 sketch
+    /// prune, so answers — and the cascade counters — are byte-identical
+    /// with the toggle off; only the `index_*` counters and wall-clock
+    /// change.
+    pub symindex: bool,
     /// Override the base's `explore_top_groups` (how many best groups to
     /// descend into per length).
     pub explore_top_groups: Option<usize>,
@@ -187,6 +195,7 @@ impl Default for QueryOptions {
             max_dtw_evals: None,
             lb_pruning: true,
             cascade: true,
+            symindex: true,
             explore_top_groups: None,
             exhaustive_group_search: None,
             stop_at_first_qualifying: None,
@@ -219,6 +228,7 @@ impl QueryOptions {
             window: self.window.unwrap_or(defaults.window),
             lb_pruning: self.lb_pruning,
             cascade: self.cascade,
+            symindex: self.symindex,
             deadline: self.time_budget.map(|b| Instant::now() + b),
             max_dtw_evals: self.max_dtw_evals,
             explore_top_groups: self
@@ -395,6 +405,17 @@ pub struct QueryStats {
     pub pruned_keogh_ec: usize,
     /// Distinct lengths visited.
     pub lengths_visited: usize,
+    /// Symbolic-index bucket bounds evaluated (hierarchy nodes probed).
+    pub index_probes: usize,
+    /// Groups the symbolic index left as candidates at probe time.
+    pub index_candidates: usize,
+    /// Per-length rep scans where the symbolic index could not engage and
+    /// the full slab scan ran instead.
+    pub index_fallbacks: usize,
+    /// Groups skipped wholesale by a certified index bucket bound; each
+    /// is also counted inside `groups_visited`, `lb_prunes` and
+    /// `pruned_paa` exactly as the tier-0 prune it stands in for.
+    pub groups_skipped_by_index: usize,
     /// Wall-clock time spent answering.
     pub elapsed: Duration,
     /// Whether a time/evaluation budget stopped the search early (the
@@ -428,6 +449,10 @@ impl QueryStats {
             pruned_keogh_eq: counters.pruned_keogh_eq,
             pruned_keogh_ec: counters.pruned_keogh_ec,
             lengths_visited: counters.lengths_visited,
+            index_probes: counters.index_probes,
+            index_candidates: counters.index_candidates,
+            index_fallbacks: counters.index_fallbacks,
+            groups_skipped_by_index: counters.groups_skipped_by_index,
             elapsed,
             truncated,
             epoch,
@@ -451,8 +476,24 @@ impl QueryStats {
         self.pruned_keogh_eq += other.pruned_keogh_eq;
         self.pruned_keogh_ec += other.pruned_keogh_ec;
         self.lengths_visited += other.lengths_visited;
+        self.index_probes += other.index_probes;
+        self.index_candidates += other.index_candidates;
+        self.index_fallbacks += other.index_fallbacks;
+        self.groups_skipped_by_index += other.groups_skipped_by_index;
         self.truncated |= other.truncated;
     }
+}
+
+/// One bucket of the symbolic word index's coarse-to-fine hierarchy, as
+/// returned by [`Explorer::navigate`] / [`PinnedExplorer::navigate`]: the
+/// bucket itself (level, symbol ranges, child count) plus the global ids
+/// of the groups under it. Owned — valid across maintenance hot-swaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavView {
+    /// The bucket reached by the navigation path.
+    pub node: NavNode,
+    /// Global ids of every group under the bucket, in word order.
+    pub groups: Vec<GroupId>,
 }
 
 /// The payload of a [`QueryResponse`], one variant per request class.
@@ -690,9 +731,17 @@ impl Explorer {
         self.base().footprint()
     }
 
+    /// Drills into the symbolic word index at `len`: `path` picks a child
+    /// bucket at each level starting from the root (`&[]` is the root
+    /// itself). Returns `None` when the length is not indexed or the path
+    /// walks off the hierarchy. See [`PinnedExplorer::navigate`].
+    pub fn navigate(&self, len: usize, path: &[usize]) -> Option<NavView> {
+        self.pin().navigate(len, path)
+    }
+
     // ---- persistence ----
 
-    /// Writes the current base to `path` as a v3 snapshot: checksummed
+    /// Writes the current base to `path` as a v5 snapshot: checksummed
     /// (CRC-32 footer) and stamped with the current epoch, so
     /// [`Explorer::load`] resumes the generation count.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
@@ -700,8 +749,9 @@ impl Explorer {
         snapshot::write_snapshot(&base, epoch, path)
     }
 
-    /// Loads a snapshot (v1, v2 or v3) from `path`, restoring the recorded
-    /// epoch (0 for v1 snapshots, which predate epochs).
+    /// Loads a snapshot (any version, v1 through v5) from `path`,
+    /// restoring the recorded epoch (0 for v1 snapshots, which predate
+    /// epochs).
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let (base, epoch) = snapshot::read_snapshot(path)?;
         Ok(Self::with_epoch(Arc::new(base), epoch))
@@ -910,6 +960,29 @@ impl PinnedExplorer {
         len: Option<usize>,
     ) -> Result<Vec<ThresholdRange>> {
         recommend_impl(&self.base, degree, len)
+    }
+
+    /// Coarse-to-fine drill-down into the symbolic word index at `len`
+    /// (the interactive exploration surface over the same hierarchy the
+    /// query path probes): `path` selects a child bucket at each level
+    /// starting from the root — `&[]` is the root, `&[2]` its third
+    /// child, `&[2, 0]` that bucket's first child, and so on. Returns the
+    /// reached bucket's symbol ranges and the groups under it, or `None`
+    /// when the length is not indexed or the path walks off the
+    /// hierarchy.
+    pub fn navigate(&self, len: usize, path: &[usize]) -> Option<NavView> {
+        let sym = self.base.sym_index(len)?;
+        let idx = self.base.length_index(len)?;
+        let mut node = sym.root();
+        for &i in path {
+            node = sym.child(&node, i)?;
+        }
+        let groups = sym
+            .node_groups(&node)
+            .iter()
+            .map(|&local| idx.group_ids[local as usize])
+            .collect();
+        Some(NavView { node, groups })
     }
 }
 
@@ -1141,7 +1214,7 @@ impl ExplorerBuilder {
         Ok(Explorer::from_base(base))
     }
 
-    /// Loads a snapshot (v1 or v2) instead of building: the configuration
+    /// Loads a snapshot (any version) instead of building: the configuration
     /// recorded in the snapshot wins over the builder's knobs (they
     /// configure *construction*, which a snapshot already did), and the
     /// recorded epoch is restored.
@@ -1502,6 +1575,69 @@ mod tests {
             }
             Err(e) => assert_eq!(e, OnexError::BudgetExhausted),
         }
+    }
+
+    #[test]
+    fn navigate_drills_into_the_symbolic_index() {
+        let e = explorer();
+        let len = 12;
+        let root = e.navigate(len, &[]).unwrap();
+        let total = e.base().length_index(len).unwrap().group_count();
+        assert_eq!(root.node.level, 0);
+        assert_eq!(root.groups.len(), total);
+        // Children partition the parent's groups; drilling one level
+        // narrows the bucket without losing anyone overall.
+        if root.node.child_count > 0 {
+            let mut covered = 0;
+            for i in 0..root.node.child_count {
+                let child = e.navigate(len, &[i]).unwrap();
+                assert!(child.node.level > root.node.level);
+                covered += child.groups.len();
+            }
+            assert_eq!(covered, total);
+            assert!(e.navigate(len, &[root.node.child_count]).is_none());
+        }
+        // Unindexed lengths and paths off the hierarchy return None.
+        assert!(e.navigate(999, &[]).is_none());
+        assert!(e.navigate(len, &[usize::MAX]).is_none());
+        // The view is owned: still valid after a maintenance hot-swap.
+        e.refine_to(0.3).unwrap();
+        assert_eq!(root.groups.len(), total);
+    }
+
+    #[test]
+    fn symindex_counters_flow_through_engine_stats() {
+        let d = synth::face(24, 32, 5);
+        let e = Explorer::build(&d, OnexConfig::default()).unwrap();
+        let q = e.base().dataset().series()[0].values()[4..24].to_vec();
+        let on = e
+            .query(QueryRequest::WithinThreshold {
+                values: q.clone(),
+                mode: MatchMode::Exact(20),
+                verify: true,
+                options: QueryOptions::default(),
+            })
+            .unwrap();
+        assert!(on.stats.index_probes > 0, "{:?}", on.stats);
+        let off = e
+            .query(QueryRequest::WithinThreshold {
+                values: q,
+                mode: MatchMode::Exact(20),
+                verify: true,
+                options: QueryOptions {
+                    symindex: false,
+                    ..Default::default()
+                },
+            })
+            .unwrap();
+        assert_eq!(off.stats.index_probes, 0);
+        assert_eq!(off.stats.index_fallbacks, 0);
+        assert_eq!(off.stats.groups_skipped_by_index, 0);
+        // Index on or off, the answers and cascade counters agree.
+        assert_eq!(on.result.matches().unwrap(), off.result.matches().unwrap());
+        assert_eq!(on.stats.dtw_evals, off.stats.dtw_evals);
+        assert_eq!(on.stats.lb_prunes, off.stats.lb_prunes);
+        assert_eq!(on.stats.pruned_paa, off.stats.pruned_paa);
     }
 
     #[test]

@@ -106,7 +106,7 @@ mod tests {
         );
         let r0 = SubseqRef::new(0, 0, 4);
         let r1 = SubseqRef::new(1, 0, 4);
-        let mut slab = LengthSlab::new(4, 16);
+        let mut slab = LengthSlab::new(4, 16, 4);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         // Before finalization the view reports an empty rep / no envelope.

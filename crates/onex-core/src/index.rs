@@ -318,7 +318,7 @@ mod tests {
             .map(|r| TimeSeries::new(r.clone()).unwrap())
             .collect();
         let d = Dataset::new("idx", series);
-        let mut slab = LengthSlab::new(reps[0].len(), 16);
+        let mut slab = LengthSlab::new(reps[0].len(), 16, 4);
         for (i, r) in reps.iter().enumerate() {
             let rf = SubseqRef::new(i as u32, 0, r.len() as u32);
             let local = slab.seed(rf, d.subseq_unchecked(rf));

@@ -59,6 +59,11 @@
 //! * [`snapshot`] — a versioned binary snapshot of the base (pure `bytes`,
 //!   no external format dependency); v2 adds an epoch stamp and a CRC-32
 //!   integrity footer, and v1 snapshots still load.
+//! * [`symindex`] — the symbolic word index above the cascade: SAX words
+//!   over the PAA sketch planes, a coarse-to-fine prefix hierarchy for
+//!   certified group skips and interactive drill-down navigation. **Index
+//!   proposes, cascade disposes** — results stay byte-identical with the
+//!   index on or off.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -78,6 +83,7 @@ pub mod refine;
 pub mod snapshot;
 pub mod spspace;
 pub mod store;
+pub mod symindex;
 
 pub use base::{BaseStats, OnexBase};
 pub use config::{BuildMode, ClusterStrategy, OnexConfig};
@@ -92,6 +98,7 @@ pub use query::SimilarityQuery;
 pub use query::{Match, MatchMode, SeasonalResult};
 pub use spspace::{SimilarityDegree, SpSpace, ThresholdRange};
 pub use store::{GroupStore, LengthFootprint, LengthSlab, StoreFootprint};
+pub use symindex::{NavNode, ProbeOutcome, SymIndex, WordSpec};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, OnexError>;

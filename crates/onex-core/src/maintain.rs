@@ -82,7 +82,7 @@ pub(crate) fn append_series_impl(base: OnexBase, series: TimeSeries) -> Result<(
     for len in all_lengths {
         let existing = per_length
             .remove(&len)
-            .unwrap_or_else(|| LengthSlab::new(len, config.paa_width));
+            .unwrap_or_else(|| LengthSlab::new(len, config.paa_width, config.sax_alphabet));
         if !touched.remove(&len) {
             // Untouched length: the slab passes through unchanged (already
             // finalized).
@@ -135,8 +135,8 @@ pub(crate) fn remove_series_impl(base: OnexBase, index: usize) -> Result<(OnexBa
     for mut slab in store.into_slabs() {
         let len = slab.subseq_len();
         let (mut untouched, mut shrunk) = (
-            LengthSlab::new(len, config.paa_width),
-            LengthSlab::new(len, config.paa_width),
+            LengthSlab::new(len, config.paa_width, config.sax_alphabet),
+            LengthSlab::new(len, config.paa_width, config.sax_alphabet),
         );
         for local in 0..slab.group_count() {
             let dropped = slab.drop_series_members(local, &dataset, series);

@@ -55,6 +55,7 @@ use super::validate_query;
 const PAA_TIER0_MARGIN: f64 = 1e-9;
 use crate::index::LengthIndex;
 use crate::store::LengthSlab;
+use crate::symindex::SymIndex;
 use crate::{GroupId, OnexBase, OnexConfig, OnexError, Result};
 use onex_dist::{
     lb_keogh, lb_keogh_cumulative_into, lb_keogh_sq_abandon, lb_kim_fl, lb_paa_env_sq,
@@ -120,6 +121,18 @@ pub struct QueryStats {
     pub pruned_keogh_ec: usize,
     /// Lengths visited (any-length queries).
     pub lengths_visited: usize,
+    /// Symbolic-index bucket bounds evaluated (hierarchy nodes probed).
+    pub index_probes: usize,
+    /// Groups the symbolic index left as candidates at probe time.
+    pub index_candidates: usize,
+    /// Per-length rep scans where the symbolic index could not engage
+    /// (toggle off conditions unmet, or no finite cutoff materialized)
+    /// and the full slab scan ran instead.
+    pub index_fallbacks: usize,
+    /// Groups skipped wholesale by a certified index bucket bound —
+    /// each counted exactly as the tier-0 prune it stands in for (it
+    /// also increments `reps_examined`, `reps_lb_pruned`, `pruned_paa`).
+    pub groups_skipped_by_index: usize,
 }
 
 impl QueryStats {
@@ -157,6 +170,12 @@ pub(crate) struct SearchParams {
     /// Sketch width of the base's stored PAA planes (the cascade's tier-0
     /// stride; resolved per length as `min(paa_width, len)`).
     pub paa_width: usize,
+    /// Consult the per-length symbolic word index for certified group
+    /// skips ahead of the rep scan. The index only proposes: every skip
+    /// is certified equivalent to a tier-0 prune, so results — and the
+    /// cascade counters — are identical with the toggle off; only the
+    /// `index_*` counters and work done change.
+    pub symindex: bool,
     /// Absolute deadline; the search returns its best-so-far once passed.
     pub deadline: Option<Instant>,
     /// Cap on total DTW evaluations (representatives + members).
@@ -183,6 +202,7 @@ impl SearchParams {
             lb_pruning: true,
             cascade: true,
             paa_width: config.paa_width,
+            symindex: true,
             deadline: None,
             max_dtw_evals: None,
             explore_top_groups: config.explore_top_groups,
@@ -279,6 +299,11 @@ pub(crate) struct SearchCtx {
     pub qenv: QueryEnvelopeCache,
     /// Scratch for the per-candidate LB_Keogh suffix array.
     pub suffix: Vec<f64>,
+    /// Per-group certified-skip mask from the symbolic index (scratch,
+    /// valid only for the length scan that filled it).
+    pub skip: Vec<bool>,
+    /// Scratch for the index probe's per-segment proxy sketch.
+    pub proxy: Vec<f64>,
 }
 
 impl SearchCtx {
@@ -310,6 +335,72 @@ impl SearchCtx {
         }
         false
     }
+}
+
+/// Gate for the symbolic-index fast path over one length's rep scan: the
+/// index may only *propose* skips where its certified bound provably
+/// reproduces a tier-0 prune, which requires the whole tier-0 context to
+/// be live — cascade pruning on, equal lengths, a genuinely reducing
+/// sketch whose width matches the index's bucket envelopes, and a fully
+/// finalized slab (non-finalized groups have zeroed sketch rows the
+/// envelopes would misdescribe). Returns the index when every structural
+/// condition holds; the remaining condition — a finite cutoff — is
+/// per-scan and checked at engagement time.
+fn symindex_applicable<'s>(
+    sym: Option<&'s SymIndex>,
+    q: &[f64],
+    slab: &LengthSlab,
+    p: &SearchParams,
+) -> Option<&'s SymIndex> {
+    let sym = sym?;
+    let w = p.paa_width.clamp(1, q.len().max(1));
+    (p.symindex
+        && p.lb_pruning
+        && p.cascade
+        && q.len() == slab.subseq_len()
+        && w < q.len()
+        && w == slab.paa_width()
+        && sym.width() == w
+        && sym.subseq_len() == q.len()
+        && sym.all_finalized())
+    .then_some(sym)
+}
+
+/// Probes the symbolic index at `cutoff` and fills `ctx.skip` with the
+/// certified-skip mask, folding the probe counts into the query stats.
+/// `cutoff` must be finite; `limit_sq` is exactly tier 0's pruning limit,
+/// so a marked group is one tier 0 would provably prune right now.
+fn mark_index_skips(sym: &SymIndex, q: &[f64], cutoff: f64, p: &SearchParams, ctx: &mut SearchCtx) {
+    let radius = p.window.resolve(q.len(), q.len());
+    let SearchCtx {
+        ref mut stats,
+        ref mut qenv,
+        ref mut skip,
+        ref mut proxy,
+        ..
+    } = *ctx;
+    let entry = qenv.entry(q, radius, p.paa_width);
+    let limit_sq = cutoff * cutoff * (1.0 + PAA_TIER0_MARGIN);
+    let out = sym.mark_skips(
+        &entry.paa_env_hi,
+        &entry.paa_env_lo,
+        &entry.weights,
+        limit_sq,
+        skip,
+        proxy,
+    );
+    stats.index_probes += out.probes;
+    stats.index_candidates += out.candidates;
+}
+
+/// Charges one index-certified group skip to the counters exactly as the
+/// tier-0 prune it replaces (plus the index's own attribution counter), so
+/// the per-query statistics are bit-identical with the index on or off.
+fn charge_index_skip(stats: &mut QueryStats) {
+    stats.reps_examined += 1;
+    stats.reps_lb_pruned += 1;
+    stats.pruned_paa += 1;
+    stats.groups_skipped_by_index += 1;
 }
 
 /// Best-representative search result for one length.
@@ -563,7 +654,8 @@ pub(crate) fn top_k(
         };
         let slab = base.slab(len).ok_or(OnexError::NoGroupsForLength(len))?;
         ctx.stats.lengths_visited += 1;
-        let choices = best_reps(q, idx, slab, p.explore_top_groups.max(1), p, ctx);
+        let sym = base.sym_index(len);
+        let choices = best_reps(q, idx, slab, sym, p.explore_top_groups.max(1), p, ctx);
         let mut qualified = false;
         for c in &choices {
             let scale = 2.0 * q.len().max(len) as f64;
@@ -690,16 +782,38 @@ pub(crate) fn within_threshold(
         let slab = base.slab(len).ok_or(OnexError::NoGroupsForLength(len))?;
         ctx.stats.lengths_visited += 1;
         let norm = 2.0 * q.len().max(len) as f64;
+        // Reps beyond 1.5·ST can contain no qualifying member even
+        // under verification (member ≤ ST and Lemma-2-style bounds
+        // keep everything near the rep), so bound the scan there.
+        let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
+        // The rep cutoff is fixed for the whole length, so the symbolic
+        // index (where applicable) can mark its certified skips up front.
+        let scan_cutoff = scan_limit * norm;
+        let masked = match symindex_applicable(base.sym_index(len), q, slab, p) {
+            Some(sym) if scan_cutoff.is_finite() => {
+                mark_index_skips(sym, q, scan_cutoff, p, ctx);
+                true
+            }
+            _ => false,
+        };
+        if p.symindex && !masked {
+            ctx.stats.index_fallbacks += 1;
+        }
         for local in idx.median_out_order() {
             if ctx.out_of_budget(p) {
                 break 'lengths;
             }
+            if masked && ctx.skip[local] {
+                // sound: certified by the bucket bound at exactly this
+                // scan's cutoff — tier 0 would prune this rep with the
+                // same strictly-greater test (see SymIndex::mark_skips),
+                // so no member of the group can be certified or survive
+                // verification; charge the identical counters and skip.
+                charge_index_skip(&mut ctx.stats);
+                continue;
+            }
             let gid = idx.group_ids[local];
             ctx.stats.reps_examined += 1;
-            // Reps beyond 1.5·ST can contain no qualifying member even
-            // under verification (member ≤ ST and Lemma-2-style bounds
-            // keep everything near the rep), so bound the scan there.
-            let scan_limit = if verify { st * 1.5 } else { st / 2.0 };
             let Some(raw) = cascade_eval(
                 q,
                 slab.rep_row(local),
@@ -777,7 +891,7 @@ fn best_match_at_length(
     let slab = base.slab(len).ok_or(OnexError::NoGroupsForLength(len))?;
     ctx.stats.lengths_visited += 1;
     let top = p.explore_top_groups.max(1);
-    let choices = best_reps(q, idx, slab, top, p, ctx);
+    let choices = best_reps(q, idx, slab, base.sym_index(len), top, p, ctx);
     let mut best: Option<Match> = None;
     let mut cutoff = cutoff_raw.unwrap_or(f64::INFINITY);
     for c in &choices {
@@ -901,15 +1015,40 @@ fn best_reps(
     q: &[f64],
     idx: &LengthIndex,
     slab: &LengthSlab,
+    sym: Option<&SymIndex>,
     top: usize,
     p: &SearchParams,
     ctx: &mut SearchCtx,
 ) -> Vec<RepChoice> {
     let mut kept: Vec<RepChoice> = Vec::with_capacity(top + 1);
     let mut cutoff = f64::INFINITY;
+    let sym = symindex_applicable(sym, q, slab, p);
+    let mut masked = false;
     for local in idx.median_out_order() {
         if ctx.out_of_budget(p) {
             break;
+        }
+        // Engage the index once, at the first finite cutoff. The mask is
+        // *not* recomputed as the cutoff tightens: a group certified at
+        // cutoff `C` has its tier-0 bound above `C²·(1+margin)`, which
+        // only grows relative to any later `C' ≤ C` — tier 0 would still
+        // prune it with the same strictly-greater test, so a stale mask
+        // stays sound (it merely skips fewer groups than a fresh one).
+        if !masked && cutoff.is_finite() {
+            if let Some(sym) = sym {
+                mark_index_skips(sym, q, cutoff, p, ctx);
+                masked = true;
+            }
+        }
+        if masked && ctx.skip[local] {
+            // sound: the mask only marks groups whose bucket bound — a
+            // bit-for-bit lower bound on the group's own tier-0 bound,
+            // see SymIndex::mark_skips — exceeded tier 0's pruning limit
+            // at a cutoff no tighter than the current one. Tier 0 would
+            // prune this rep right here; charge the identical counters
+            // and move on without touching the kept set or the cutoff.
+            charge_index_skip(&mut ctx.stats);
+            continue;
         }
         let gid = idx.group_ids[local];
         let rep = slab.rep_row(local);
@@ -942,6 +1081,9 @@ fn best_reps(
                 cutoff = last.raw;
             }
         }
+    }
+    if p.symindex && !masked {
+        ctx.stats.index_fallbacks += 1;
     }
     kept
 }
@@ -1497,6 +1639,64 @@ mod tests {
             s.pruned_paa + s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec,
             0
         );
+    }
+
+    #[test]
+    fn symindex_toggle_preserves_results_and_counters() {
+        // The symbolic index only proposes skips that tier 0 would have
+        // pruned anyway, so every query class must return identical
+        // results AND identical cascade counters with the index on or
+        // off — only the index's own counters may differ.
+        let d = synth::face(24, 32, 5);
+        let b = OnexBase::build(&d, OnexConfig::default()).unwrap();
+        let p_on = SearchParams::from_config(b.config(), None);
+        let p_off = SearchParams {
+            symindex: false,
+            ..p_on
+        };
+        let mut any_skips = false;
+        for (sid, lo, hi) in [(0usize, 4usize, 24usize), (5, 0, 20), (11, 8, 28)] {
+            let q: Vec<f64> = b.dataset().get(sid).unwrap().values()[lo..hi].to_vec();
+            for mode in [MatchMode::Exact(q.len()), MatchMode::Any] {
+                for op in 0..4usize {
+                    let mut on = SearchCtx::default();
+                    let mut off = SearchCtx::default();
+                    match op {
+                        0 => assert_eq!(
+                            best_match(&b, &q, mode, &p_on, &mut on).unwrap(),
+                            best_match(&b, &q, mode, &p_off, &mut off).unwrap(),
+                            "best_match, {mode:?}"
+                        ),
+                        1 => assert_eq!(
+                            top_k(&b, &q, mode, 5, &p_on, &mut on).unwrap(),
+                            top_k(&b, &q, mode, 5, &p_off, &mut off).unwrap(),
+                            "top_k, {mode:?}"
+                        ),
+                        2 => assert_eq!(
+                            within_threshold(&b, &q, mode, true, &p_on, &mut on).unwrap(),
+                            within_threshold(&b, &q, mode, true, &p_off, &mut off).unwrap(),
+                            "range verified, {mode:?}"
+                        ),
+                        _ => assert_eq!(
+                            within_threshold(&b, &q, mode, false, &p_on, &mut on).unwrap(),
+                            within_threshold(&b, &q, mode, false, &p_off, &mut off).unwrap(),
+                            "range certified, {mode:?}"
+                        ),
+                    }
+                    let mut s = on.stats;
+                    any_skips |= s.groups_skipped_by_index > 0;
+                    s.index_probes = 0;
+                    s.index_candidates = 0;
+                    s.index_fallbacks = 0;
+                    s.groups_skipped_by_index = 0;
+                    assert_eq!(s, off.stats, "cascade counters, op {op}, {mode:?}");
+                    assert_eq!(off.stats.groups_skipped_by_index, 0);
+                    assert_eq!(off.stats.index_probes, 0);
+                    assert_eq!(off.stats.index_fallbacks, 0);
+                }
+            }
+        }
+        assert!(any_skips, "the index must certify skips on this workload");
     }
 
     #[test]

@@ -93,9 +93,9 @@ fn split_groups(
     config: &crate::OnexConfig,
 ) -> LengthSlab {
     let len = slab.subseq_len();
-    let mut out = LengthSlab::new(len, config.paa_width);
+    let mut out = LengthSlab::new(len, config.paa_width, config.sax_alphabet);
     for local in 0..slab.group_count() {
-        let mut asg = Assigner::new(len, config.st, config.paa_width);
+        let mut asg = Assigner::new(len, config.st, config.paa_width, config.sax_alphabet);
         for &(r, _) in slab.members(local) {
             asg.assign(dataset, r);
         }

@@ -50,6 +50,7 @@ use onex_ts::{Dataset, SubseqRef};
 use serde::{Deserialize, Serialize};
 
 use crate::group::{Group, GroupId};
+use crate::symindex::WordSpec;
 use crate::{OnexError, Result};
 
 /// All similarity groups of one subsequence length, stored columnar.
@@ -100,14 +101,25 @@ pub struct LengthSlab {
     /// Member sketch planes, one flat `Vec` per group with stride `paa_w`,
     /// index-aligned with `members`.
     member_paa: Vec<Vec<f64>>,
+    /// How SAX words are derived from the sketch planes (alphabet
+    /// breakpoints, packed segment count) — see [`crate::symindex`].
+    word_spec: WordSpec,
+    /// Packed SAX word of each representative sketch (0 until finalized) —
+    /// the storage tier of the symbolic index, maintained through every
+    /// mutation exactly like `paa_reps`.
+    rep_words: Vec<u64>,
+    /// Packed member words, one `Vec` per group, index-aligned with the
+    /// member list (and therefore with `member_paa`).
+    member_words: Vec<Vec<u64>>,
     /// Whether the group's representative/envelope rows are frozen.
     finalized: Vec<bool>,
 }
 
 impl LengthSlab {
     /// An empty slab for groups of length `len` with sketches of width
-    /// `min(paa_width, len)` (at least 1).
-    pub fn new(len: usize, paa_width: usize) -> Self {
+    /// `min(paa_width, len)` (at least 1) and SAX words over a
+    /// `sax_alphabet`-symbol alphabet.
+    pub fn new(len: usize, paa_width: usize, sax_alphabet: usize) -> Self {
         let paa_w = paa_width.clamp(1, len.max(1));
         LengthSlab {
             len,
@@ -123,6 +135,9 @@ impl LengthSlab {
             env_radius: Vec::new(),
             members: Vec::new(),
             member_paa: Vec::new(),
+            word_spec: WordSpec::new(sax_alphabet, paa_w),
+            rep_words: Vec::new(),
+            member_words: Vec::new(),
             finalized: Vec::new(),
         }
     }
@@ -188,7 +203,10 @@ impl LengthSlab {
         self.members.push(vec![(r, 0.0)]);
         let mut plane = Vec::with_capacity(self.paa_w);
         paa_extend(values, self.paa_w, &mut plane);
+        let word = self.word_spec.word_of(&plane);
         self.member_paa.push(plane);
+        self.rep_words.push(0);
+        self.member_words.push(vec![word]);
         self.finalized.push(false);
         self.members.len() - 1
     }
@@ -202,6 +220,9 @@ impl LengthSlab {
         add_assign(&mut self.sums[row], values);
         self.members[local].push((r, 0.0));
         paa_extend(values, self.paa_w, &mut self.member_paa[local]);
+        let start = self.member_paa[local].len() - self.paa_w;
+        let word = self.word_spec.word_of(&self.member_paa[local][start..]);
+        self.member_words[local].push(word);
     }
 
     /// The current mean of group `local` (the live representative during
@@ -241,6 +262,34 @@ impl LengthSlab {
     #[inline]
     pub fn paa_rep_slab(&self) -> &[f64] {
         &self.paa_reps
+    }
+
+    /// How this slab discretizes sketches into SAX words — shared with the
+    /// per-length [`crate::symindex::SymIndex`] built over the slab.
+    #[inline]
+    pub fn word_spec(&self) -> &WordSpec {
+        &self.word_spec
+    }
+
+    /// The packed SAX word of group `local`'s representative sketch (0
+    /// until finalized).
+    #[inline]
+    pub fn rep_word(&self, local: usize) -> u64 {
+        self.rep_words[local]
+    }
+
+    /// The whole representative word plane, one packed word per group
+    /// (snapshot support).
+    #[inline]
+    pub(crate) fn rep_words_slab(&self) -> &[u64] {
+        &self.rep_words
+    }
+
+    /// The packed SAX words of group `local`'s members, index-aligned with
+    /// the member list (snapshot support).
+    #[inline]
+    pub(crate) fn member_words(&self, local: usize) -> &[u64] {
+        &self.member_words[local]
     }
 
     /// The member sketch of member `idx` of group `local` (index-aligned
@@ -354,6 +403,7 @@ impl LengthSlab {
         self.paa_env_lo[prow.clone()].fill(0.0);
         self.paa_env_hi[prow].fill(0.0);
         self.env_radius[local] = 0;
+        self.rep_words[local] = 0;
         self.finalized[local] = false;
     }
 
@@ -384,15 +434,19 @@ impl LengthSlab {
         }
         let ms = &self.members[local];
         let plane = &self.member_paa[local];
+        let words = &self.member_words[local];
         let mut sorted_members = Vec::with_capacity(n);
         let mut sorted_plane = Vec::with_capacity(n * w);
+        let mut sorted_words = Vec::with_capacity(n);
         for &i in &perm {
             let i = i as usize;
             sorted_members.push(ms[i]);
             sorted_plane.extend_from_slice(&plane[i * w..(i + 1) * w]);
+            sorted_words.push(words[i]);
         }
         self.members[local] = sorted_members;
         self.member_paa[local] = sorted_plane;
+        self.member_words[local] = sorted_words;
 
         let env = Envelope::build(&rep, envelope_radius);
         let row = self.row(local);
@@ -407,6 +461,7 @@ impl LengthSlab {
         paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
         self.paa_env_hi[prow.clone()].copy_from_slice(&hi);
         self.paa_env_lo[prow].copy_from_slice(&lo);
+        self.rep_words[local] = self.word_spec.word_of(&sketch);
         self.env_radius[local] = envelope_radius as u32;
         self.finalized[local] = true;
     }
@@ -439,6 +494,7 @@ impl LengthSlab {
             if d > limit_raw && self.members[local].len() > 1 {
                 self.members[local].swap_remove(i);
                 Self::swap_remove_sketch(&mut self.member_paa[local], i, self.paa_w);
+                self.member_words[local].swap_remove(i);
                 let vals = dataset.subseq_unchecked(r);
                 let row = self.row(local);
                 sub_assign(&mut self.sums[row], vals);
@@ -480,6 +536,7 @@ impl LengthSlab {
         let sums = &mut self.sums[row];
         let members = &mut self.members[local];
         let plane = &mut self.member_paa[local];
+        let words = &mut self.member_words[local];
         let before = members.len();
         let mut write = 0usize;
         for read in 0..before {
@@ -490,12 +547,14 @@ impl LengthSlab {
                 if write != read {
                     members[write] = (r, d);
                     plane.copy_within(read * w..(read + 1) * w, write * w);
+                    words[write] = words[read];
                 }
                 write += 1;
             }
         }
         members.truncate(write);
         plane.truncate(write * w);
+        words.truncate(write);
         let dropped = before - write;
         if dropped > 0 {
             self.clear_finalization(local);
@@ -533,6 +592,8 @@ impl LengthSlab {
         self.members[dst].extend(moved);
         let moved = std::mem::take(&mut self.member_paa[src]);
         self.member_paa[dst].extend(moved);
+        let moved = std::mem::take(&mut self.member_words[src]);
+        self.member_words[dst].extend(moved);
         self.clear_finalization(dst);
         self.clear_finalization(src);
     }
@@ -559,6 +620,8 @@ impl LengthSlab {
                 self.env_radius[write] = self.env_radius[read];
                 self.members[write] = std::mem::take(&mut self.members[read]);
                 self.member_paa[write] = std::mem::take(&mut self.member_paa[read]);
+                self.rep_words[write] = self.rep_words[read];
+                self.member_words[write] = std::mem::take(&mut self.member_words[read]);
                 self.finalized[write] = self.finalized[read];
             }
             write += 1;
@@ -577,6 +640,8 @@ impl LengthSlab {
         self.env_radius.truncate(n);
         self.members.truncate(n);
         self.member_paa.truncate(n);
+        self.rep_words.truncate(n);
+        self.member_words.truncate(n);
         self.finalized.truncate(n);
     }
 
@@ -597,10 +662,14 @@ impl LengthSlab {
         dst.paa_env_lo
             .extend_from_slice(&self.paa_env_lo[prow.clone()]);
         dst.paa_env_hi.extend_from_slice(&self.paa_env_hi[prow]);
+        debug_assert_eq!(self.word_spec.alphabet(), dst.word_spec.alphabet());
         dst.env_radius.push(self.env_radius[local]);
         dst.members.push(std::mem::take(&mut self.members[local]));
         dst.member_paa
             .push(std::mem::take(&mut self.member_paa[local]));
+        dst.rep_words.push(self.rep_words[local]);
+        dst.member_words
+            .push(std::mem::take(&mut self.member_words[local]));
         dst.finalized.push(self.finalized[local]);
     }
 
@@ -632,7 +701,10 @@ impl LengthSlab {
         let w = self.paa_w;
         let env = Envelope::build(&rep, envelope_radius);
         self.sums.extend_from_slice(&sum);
+        let sketch_start = self.paa_reps.len();
         paa_extend(&rep, w, &mut self.paa_reps);
+        self.rep_words
+            .push(self.word_spec.word_of(&self.paa_reps[sketch_start..]));
         let (mut hi, mut lo) = (Vec::with_capacity(w), Vec::with_capacity(w));
         paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
         self.paa_env_hi.extend_from_slice(&hi);
@@ -644,6 +716,12 @@ impl LengthSlab {
         for &(r, _) in &members {
             paa_extend(dataset.subseq_unchecked(r), w, &mut plane);
         }
+        self.member_words.push(
+            plane
+                .chunks_exact(w)
+                .map(|c| self.word_spec.word_of(c))
+                .collect(),
+        );
         self.env_radius.push(envelope_radius as u32);
         self.members.push(members);
         self.member_paa.push(plane);
@@ -655,10 +733,12 @@ impl LengthSlab {
     /// blocks (the v3 columnar payload) — no per-group row copying. Member
     /// lists must be ED-sorted; the envelope planes and every PAA sketch
     /// are rebuilt from the representative rows and the dataset.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_bulk_parts(
         dataset: &Dataset,
         len: usize,
         paa_width: usize,
+        sax_alphabet: usize,
         members: Vec<Vec<(SubseqRef, f64)>>,
         radii: Vec<usize>,
         reps: Vec<f64>,
@@ -693,7 +773,16 @@ impl LengthSlab {
             })
             .collect();
         Self::from_bulk_parts_with_sketches(
-            len, paa_width, members, radii, reps, sums, paa_reps, paa_env_lo, paa_env_hi,
+            len,
+            paa_width,
+            sax_alphabet,
+            members,
+            radii,
+            reps,
+            sums,
+            paa_reps,
+            paa_env_lo,
+            paa_env_hi,
             member_paa,
         )
     }
@@ -707,6 +796,7 @@ impl LengthSlab {
     pub(crate) fn from_bulk_parts_with_sketches(
         len: usize,
         paa_width: usize,
+        sax_alphabet: usize,
         members: Vec<Vec<(SubseqRef, f64)>>,
         radii: Vec<usize>,
         reps: Vec<f64>,
@@ -720,7 +810,7 @@ impl LengthSlab {
         debug_assert_eq!(radii.len(), g);
         debug_assert_eq!(reps.len(), g * len);
         debug_assert_eq!(sums.len(), g * len);
-        let mut slab = LengthSlab::new(len, paa_width);
+        let mut slab = LengthSlab::new(len, paa_width, sax_alphabet);
         let w = slab.paa_w;
         debug_assert_eq!(paa_reps.len(), g * w);
         debug_assert_eq!(paa_env_lo.len(), g * w);
@@ -741,10 +831,36 @@ impl LengthSlab {
         slab.paa_env_lo = paa_env_lo;
         slab.paa_env_hi = paa_env_hi;
         slab.env_radius = radii.into_iter().map(|r| r as u32).collect();
+        slab.rep_words = slab
+            .paa_reps
+            .chunks_exact(w)
+            .map(|c| slab.word_spec.word_of(c))
+            .collect();
+        slab.member_words = member_paa
+            .iter()
+            .map(|plane| {
+                plane
+                    .chunks_exact(w)
+                    .map(|c| slab.word_spec.word_of(c))
+                    .collect()
+            })
+            .collect();
         slab.member_paa = member_paa;
         slab.members = members;
         slab.finalized = vec![true; g];
         slab
+    }
+
+    /// Overwrites the word planes with decoded snapshot blocks (the v5
+    /// payload). Shapes must already match the member lists; content is
+    /// re-verified bit-exactly by [`LengthSlab::validate`], so a tampered
+    /// block fails the post-decode validation rather than silently
+    /// installing.
+    pub(crate) fn install_words(&mut self, rep_words: Vec<u64>, member_words: Vec<Vec<u64>>) {
+        debug_assert_eq!(rep_words.len(), self.group_count());
+        debug_assert_eq!(member_words.len(), self.group_count());
+        self.rep_words = rep_words;
+        self.member_words = member_words;
     }
 
     /// The envelope radius recorded for group `local` (0 until finalized).
@@ -763,6 +879,15 @@ impl LengthSlab {
             .map(|m| m.capacity() * std::mem::size_of::<(SubseqRef, f64)>())
             .sum();
         let member_sketch_bytes: usize = self.member_paa.iter().map(|p| p.capacity() * F64).sum();
+        const U64: usize = std::mem::size_of::<u64>();
+        let word_bytes = self.word_spec.size_bytes()
+            + self.rep_words.capacity() * U64
+            + self
+                .member_words
+                .iter()
+                .map(|w| w.capacity() * U64)
+                .sum::<usize>()
+            + self.member_words.capacity() * std::mem::size_of::<Vec<u64>>();
         LengthFootprint {
             len: self.len,
             paa_width: self.paa_w,
@@ -782,13 +907,21 @@ impl LengthSlab {
                 + self.members.capacity() * std::mem::size_of::<Vec<(SubseqRef, f64)>>()
                 + self.env_radius.capacity() * std::mem::size_of::<u32>()
                 + self.finalized.capacity(),
+            word_bytes,
             // The seven fixed f64 slabs + the weights vector +
-            // radius/finalized/member-list/member-sketch arrays, plus one
-            // heap allocation per non-empty member list and sketch plane.
-            // (The pre-columnar layout paid ~5 allocations *per group*.)
-            allocations: 12
+            // radius/finalized/member-list/member-sketch arrays + the three
+            // word-plane vectors (breakpoints, rep words, member-word
+            // table), plus one heap allocation per non-empty member list,
+            // sketch plane and member-word list. (The pre-columnar layout
+            // paid ~5 allocations *per group*.)
+            allocations: 15
                 + self.members.iter().filter(|m| m.capacity() > 0).count()
-                + self.member_paa.iter().filter(|p| p.capacity() > 0).count(),
+                + self.member_paa.iter().filter(|p| p.capacity() > 0).count()
+                + self
+                    .member_words
+                    .iter()
+                    .filter(|w| w.capacity() > 0)
+                    .count(),
         }
     }
 }
@@ -815,6 +948,9 @@ pub struct LengthFootprint {
     pub sketch_bytes: usize,
     /// Bytes of the member lists and per-group metadata arrays.
     pub member_bytes: usize,
+    /// Bytes of the symbolic word planes: alphabet breakpoints, the
+    /// representative word plane, and the per-group member word lists.
+    pub word_bytes: usize,
     /// Heap allocations backing this length's store.
     pub allocations: usize,
 }
@@ -827,10 +963,10 @@ impl LengthFootprint {
         self.rep_slab_bytes + self.envelope_slab_bytes + self.sum_slab_bytes
     }
 
-    /// Total bytes at this length (slabs + sketches + member lists +
-    /// metadata).
+    /// Total bytes at this length (slabs + sketches + word planes + member
+    /// lists + metadata).
     pub fn total_bytes(&self) -> usize {
-        self.slab_bytes() + self.sketch_bytes + self.member_bytes
+        self.slab_bytes() + self.sketch_bytes + self.word_bytes + self.member_bytes
     }
 }
 
@@ -858,6 +994,11 @@ impl StoreFootprint {
     /// Total bytes in the PAA sketch planes across all lengths.
     pub fn sketch_bytes(&self) -> usize {
         self.per_length.iter().map(|l| l.sketch_bytes).sum()
+    }
+
+    /// Total bytes in the symbolic word planes across all lengths.
+    pub fn word_bytes(&self) -> usize {
+        self.per_length.iter().map(|l| l.word_bytes).sum()
     }
 
     /// Total bytes across slabs, sketches, member lists, metadata and the
@@ -1035,8 +1176,22 @@ impl LengthSlab {
                 )));
             }
         }
-        if self.env_radius.len() != g || self.member_paa.len() != g || self.finalized.len() != g {
+        if self.env_radius.len() != g
+            || self.member_paa.len() != g
+            || self.rep_words.len() != g
+            || self.member_words.len() != g
+            || self.finalized.len() != g
+        {
             return Err(viol("metadata arrays disagree on group count".into()));
+        }
+        {
+            let fresh_spec = WordSpec::new(self.word_spec.alphabet(), w);
+            if self.word_spec.segs() != fresh_spec.segs()
+                || self.word_spec.bits() != fresh_spec.bits()
+                || !bits_eq(self.word_spec.breakpoints(), fresh_spec.breakpoints())
+            {
+                return Err(viol("word spec differs from recompute".into()));
+            }
         }
         let mut sketch = Vec::with_capacity(w);
         let mut fresh_sum = vec![0.0f64; len];
@@ -1051,6 +1206,12 @@ impl LengthSlab {
                 return Err(gviol(format!(
                     "member sketch plane holds {} f64s, want {n}·{w}",
                     self.member_paa[local].len()
+                )));
+            }
+            if self.member_words[local].len() != n {
+                return Err(gviol(format!(
+                    "member word list holds {} words, want {n}",
+                    self.member_words[local].len()
                 )));
             }
             fresh_sum.fill(0.0);
@@ -1070,6 +1231,9 @@ impl LengthSlab {
                 paa_into(vals, w, &mut sketch);
                 if !bits_eq(&sketch, self.member_paa_row(local, idx)) {
                     return Err(gviol(format!("member {idx} sketch differs from recompute")));
+                }
+                if self.member_words[local][idx] != self.word_spec.word_of(&sketch) {
+                    return Err(gviol(format!("member {idx} word differs from recompute")));
                 }
                 for (s, v) in fresh_sum.iter_mut().zip(vals) {
                     *s += v;
@@ -1098,6 +1262,9 @@ impl LengthSlab {
                 }
                 if self.env_radius[local] != 0 {
                     return Err(gviol("non-finalized group has a nonzero radius".into()));
+                }
+                if self.rep_words[local] != 0 {
+                    return Err(gviol("non-finalized group has a nonzero rep word".into()));
                 }
             }
         }
@@ -1160,6 +1327,9 @@ impl LengthSlab {
         paa_envelope_into(&env.upper, &env.lower, w, &mut hi, &mut lo);
         if !bits_eq(&hi, &self.paa_env_hi[prow.clone()]) || !bits_eq(&lo, &self.paa_env_lo[prow]) {
             return Err("envelope sketch differs from recompute".into());
+        }
+        if self.rep_words[local] != self.word_spec.word_of(sketch) {
+            return Err("representative word differs from recompute".into());
         }
         Ok(())
     }
@@ -1238,11 +1408,21 @@ mod tests {
                     &fresh[..],
                     "member sketch {local}/{idx}"
                 );
+                assert_eq!(
+                    slab.member_words(local)[idx],
+                    slab.word_spec().word_of(&fresh),
+                    "member word {local}/{idx}"
+                );
             }
             if slab.is_finalized(local) {
                 let mut fresh = Vec::new();
                 paa_into(slab.rep_row(local), w, &mut fresh);
                 assert_eq!(slab.paa_rep_row(local), &fresh[..], "rep sketch {local}");
+                assert_eq!(
+                    slab.rep_word(local),
+                    slab.word_spec().word_of(&fresh),
+                    "rep word {local}"
+                );
                 let env = slab.envelope_ref(local).unwrap();
                 let (mut hi, mut lo) = (Vec::new(), Vec::new());
                 paa_envelope_into(env.upper, env.lower, w, &mut hi, &mut lo);
@@ -1259,7 +1439,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(0, 0, 4);
         let r1 = SubseqRef::new(1, 0, 4);
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         assert_eq!(slab.paa_width(), 4, "width clamps to the length");
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         assert_eq!(slab.member_count(g), 1);
@@ -1276,7 +1456,7 @@ mod tests {
         let r0 = SubseqRef::new(0, 0, 4); // zeros: ED 1.0 to mean [0.5..]
         let r1 = SubseqRef::new(1, 0, 4); // ones: ED 1.0
         let r2 = SubseqRef::new(2, 0, 4); // halves: ED 0
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         slab.push_member(g, r2, d.subseq_unchecked(r2));
@@ -1300,7 +1480,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(2, 0, 4); // halves
         let r1 = SubseqRef::new(1, 0, 4); // ones — far away
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         // mean is 0.75; ones are at raw ED 0.5, halves at 0.5.
@@ -1323,7 +1503,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(0, 0, 4);
         let r1 = SubseqRef::new(1, 0, 4);
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         let a = slab.seed(r0, d.subseq_unchecked(r0));
         let b = slab.seed(r1, d.subseq_unchecked(r1));
         slab.finalize(a, &d, 1);
@@ -1348,7 +1528,7 @@ mod tests {
         let r0 = SubseqRef::new(0, 0, 4); // zeros
         let r1 = SubseqRef::new(1, 0, 4); // ones
         let r2 = SubseqRef::new(2, 0, 4); // halves
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r1, d.subseq_unchecked(r1));
         slab.push_member(g, r2, d.subseq_unchecked(r2));
@@ -1375,7 +1555,7 @@ mod tests {
         let d = dataset();
         let r0 = SubseqRef::new(0, 0, 4);
         let r2 = SubseqRef::new(2, 0, 4);
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         let g = slab.seed(r0, d.subseq_unchecked(r0));
         slab.push_member(g, r2, d.subseq_unchecked(r2));
         slab.remap_series_down(1);
@@ -1386,7 +1566,7 @@ mod tests {
     #[test]
     fn retain_groups_compacts_in_order() {
         let d = dataset();
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         for s in 0..3u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = slab.seed(r, d.subseq_unchecked(r));
@@ -1407,14 +1587,14 @@ mod tests {
     #[test]
     fn move_and_extend_preserve_rows() {
         let d = dataset();
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         for s in 0..3u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = slab.seed(r, d.subseq_unchecked(r));
             slab.finalize(g, &d, 1);
         }
-        let mut a = LengthSlab::new(4, W);
-        let mut b = LengthSlab::new(4, W);
+        let mut a = LengthSlab::new(4, W, 4);
+        let mut b = LengthSlab::new(4, W, 4);
         slab.move_group_into(0, &mut a);
         slab.move_group_into(1, &mut b);
         slab.move_group_into(2, &mut a);
@@ -1432,8 +1612,8 @@ mod tests {
     #[test]
     fn store_directory_resolves_flat_ids() {
         let d = dataset();
-        let mut s4 = LengthSlab::new(4, W);
-        let mut s2 = LengthSlab::new(2, W);
+        let mut s4 = LengthSlab::new(4, W, 4);
+        let mut s2 = LengthSlab::new(2, W, 4);
         for s in 0..2u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = s4.seed(r, d.subseq_unchecked(r));
@@ -1456,7 +1636,7 @@ mod tests {
     #[test]
     fn footprint_accounts_slabs_and_allocations() {
         let d = dataset();
-        let mut slab = LengthSlab::new(4, W);
+        let mut slab = LengthSlab::new(4, W, 4);
         for s in 0..3u32 {
             let r = SubseqRef::new(s, 0, 4);
             let g = slab.seed(r, d.subseq_unchecked(r));
@@ -1472,19 +1652,22 @@ mod tests {
         // 3 rep/envelope sketch rows + weights + 3 member sketch planes
         assert!(f.sketch_bytes >= (3 * 3 * 4 + 4 + 3 * 4) * 8);
         assert!(f.slab_bytes() >= f.rep_slab_bytes + f.sum_slab_bytes);
-        assert!(f.total_bytes() >= f.slab_bytes() + f.sketch_bytes);
-        // 12 columnar arrays + 3 member lists + 3 member sketch planes —
-        // still far below the ~5/group of the old array-of-structs layout
-        // once groups number thousands.
-        assert_eq!(f.allocations, 18);
+        assert!(f.total_bytes() >= f.slab_bytes() + f.sketch_bytes + f.word_bytes);
+        // 3 rep words + 3 singleton member-word lists + the breakpoints
+        assert!(f.word_bytes >= 3 * 8 + 3 * 8 + 3 * 8);
+        // 15 columnar arrays + 3 member lists + 3 member sketch planes +
+        // 3 member word lists — still far below the ~5/group of the old
+        // array-of-structs layout once groups number thousands.
+        assert_eq!(f.allocations, 24);
         let store = GroupStore::from_slabs(vec![slab]);
         let total = store.footprint();
         assert_eq!(total.groups(), 3);
         // slab allocations + the store-level directory and slab table
-        assert_eq!(total.allocations(), 20);
+        assert_eq!(total.allocations(), 26);
         assert!(total.directory_bytes >= 3 * 8);
         assert!(total.total_bytes() >= total.slab_bytes() + total.directory_bytes);
         assert_eq!(total.sketch_bytes(), f.sketch_bytes);
+        assert_eq!(total.word_bytes(), f.word_bytes);
     }
 
     #[test]
@@ -1493,7 +1676,7 @@ mod tests {
         // stored one segment-wise: Û_j ≥ every U_i, L̂_j ≤ every L_i.
         let series = TimeSeries::new((0..12).map(|i| (i as f64 * 0.8).sin()).collect()).unwrap();
         let d = Dataset::new("wide", vec![series]);
-        let mut slab = LengthSlab::new(12, 4);
+        let mut slab = LengthSlab::new(12, 4, 4);
         let r = SubseqRef::new(0, 0, 12);
         let g = slab.seed(r, d.subseq_unchecked(r));
         slab.finalize(g, &d, 2);

@@ -1,0 +1,839 @@
+//! Symbolic word index: SAX words over the PAA sketch planes for
+//! sub-linear candidate generation (ROADMAP item 2).
+//!
+//! Tiers 0–4 of the cascade prune *per candidate*: every query still
+//! touches every group of a length, even when the tier-0 sketch kills a
+//! candidate in O(w). This module adds the layer above the cascade: each
+//! group representative's PAA sketch is discretized into a packed **SAX
+//! word** (Gaussian breakpoints, [`crate::OnexConfig::sax_alphabet`]
+//! symbols per segment), the words are sorted into a coarse-to-fine prefix
+//! hierarchy (iSAX-style: level ℓ fixes the top ℓ bits of every symbol),
+//! and each hierarchy bucket carries the min/max envelope of its member
+//! representatives' sketches.
+//!
+//! At query time [`SymIndex::mark_skips`] walks the hierarchy once and
+//! *certifies* whole buckets as prunable: a bucket is skipped only when a
+//! conservative bound — computed by the **same kernel** tier 0 uses —
+//! already exceeds the cascade's tier-0 pruning limit, so tier 0 would
+//! have pruned every group inside it anyway. The surviving groups are the
+//! candidate set handed to the cascade in its usual order: **index
+//! proposes, cascade disposes** — query results (and every pre-existing
+//! counter) stay byte-identical with the index on or off. Whenever the
+//! engagement conditions fail (length mismatch, degenerate sketch,
+//! infinite cutoff, …) the query falls back to the full slab scan and
+//! counts an `index_fallbacks`.
+//!
+//! The packed word planes themselves live in the columnar
+//! [`LengthSlab`] (`rep_words` / `member_words`), are maintained
+//! incrementally through every lifecycle mutation exactly like the sketch
+//! planes they discretize, and are persisted as bulk blocks in snapshot
+//! v5. The probe structure here is a deterministic pure function of the
+//! slab and is rebuilt at assembly; [`SymIndex::validate`] re-derives it
+//! bit-for-bit.
+
+use crate::store::LengthSlab;
+use crate::{OnexError, Result};
+use onex_dist::lb_paa_env_sq;
+use serde::{Deserialize, Serialize};
+
+/// How a SAX word is derived from a PAA sketch: alphabet, per-symbol bit
+/// width, segment count, and the Gaussian breakpoints that partition the
+/// value axis into symbols.
+///
+/// Breakpoints are the quantiles of a Gaussian fitted to the engine's
+/// min-max-normalized value space: `β_i = 1/2 + Φ⁻¹(i/a)/4` (mean 1/2,
+/// σ = 1/4, so ±2σ spans the unit interval). The classic SAX table assumes
+/// z-normalized data; this is the same construction re-centered on `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WordSpec {
+    alphabet: usize,
+    bits: u32,
+    segs: usize,
+    breakpoints: Vec<f64>,
+}
+
+impl WordSpec {
+    /// Builds the spec for an alphabet of `alphabet` symbols over sketches
+    /// of `paa_width` segments. The word packs `min(paa_width, 64/bits)`
+    /// segments into one `u64`, segment 0 in the highest bits.
+    ///
+    /// # Panics
+    /// Panics when `alphabet` is outside `2..=64` (callers validate via
+    /// [`crate::OnexConfig::validate`]) or `paa_width` is 0.
+    pub fn new(alphabet: usize, paa_width: usize) -> Self {
+        assert!(
+            (2..=64).contains(&alphabet),
+            "sax alphabet {alphabet} outside 2..=64"
+        );
+        assert!(paa_width >= 1, "paa_width must be ≥ 1");
+        let bits = usize::BITS - (alphabet - 1).leading_zeros();
+        let segs = paa_width.min((64 / bits) as usize);
+        let breakpoints = (1..alphabet)
+            .map(|i| 0.5 + 0.25 * probit(i as f64 / alphabet as f64))
+            .collect();
+        WordSpec {
+            alphabet,
+            bits,
+            segs,
+            breakpoints,
+        }
+    }
+
+    /// Alphabet size (symbols per segment).
+    #[inline]
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Bits per symbol (`⌈log₂ alphabet⌉`).
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Segments packed into the word (`min(paa_width, 64/bits)`).
+    #[inline]
+    pub fn segs(&self) -> usize {
+        self.segs
+    }
+
+    /// The ascending breakpoint table (`alphabet − 1` values).
+    #[inline]
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// The symbol of one sketch value: the number of breakpoints ≤ `v`
+    /// (so symbol `i` covers `[β_i, β_{i+1})`). NaN maps to symbol 0; the
+    /// mapping is irrelevant for correctness — words only route candidates.
+    #[inline]
+    pub fn symbol(&self, v: f64) -> u64 {
+        self.breakpoints.partition_point(|&b| b <= v) as u64
+    }
+
+    /// Discretizes the first [`Self::segs`] values of a sketch into a
+    /// packed word, segment 0 in the highest `bits` of the used span.
+    ///
+    /// # Panics
+    /// Panics when the sketch is narrower than [`Self::segs`].
+    pub fn word_of(&self, sketch: &[f64]) -> u64 {
+        assert!(
+            sketch.len() >= self.segs,
+            "sketch width {} below word segment count {}",
+            sketch.len(),
+            self.segs
+        );
+        let mut word = 0u64;
+        for &v in &sketch[..self.segs] {
+            word = (word << self.bits) | self.symbol(v);
+        }
+        word
+    }
+
+    /// The bit-plane-transposed sort key of a word: the MSBs of all
+    /// symbols first, then the next bit-plane, … down to the LSBs. Its
+    /// length-`segs·ℓ` prefix is exactly the level-ℓ iSAX word (top ℓ bits
+    /// of every symbol), so sorting by this key makes every hierarchy
+    /// bucket — at *every* level — a contiguous run. (Sorting by the raw
+    /// packed word would not: masking low-order bits is not monotone in
+    /// packed-word order.)
+    pub fn hier_key(&self, word: u64) -> u64 {
+        let mut key = 0u64;
+        for plane in (0..self.bits).rev() {
+            for j in 0..self.segs {
+                let shift = self.bits * (self.segs - 1 - j) as u32 + plane;
+                key = (key << 1) | ((word >> shift) & 1);
+            }
+        }
+        key
+    }
+
+    /// Total key bits (`segs · bits`).
+    #[inline]
+    fn key_bits(&self) -> u32 {
+        self.bits * self.segs as u32
+    }
+
+    /// The level-ℓ prefix of a hierarchy key (top `segs·ℓ` key bits).
+    #[inline]
+    fn key_prefix(&self, key: u64, level: u32) -> u64 {
+        let drop = self.key_bits() - (self.segs as u32 * level).min(self.key_bits());
+        if drop >= 64 {
+            0
+        } else {
+            key >> drop
+        }
+    }
+
+    /// Extracts the symbol of segment `j` from a packed word.
+    #[inline]
+    fn segment_symbol(&self, word: u64, j: usize) -> u64 {
+        let shift = self.bits * (self.segs - 1 - j) as u32;
+        (word >> shift) & ((1u64 << self.bits) - 1)
+    }
+
+    /// Heap bytes behind the spec.
+    pub fn size_bytes(&self) -> usize {
+        self.breakpoints.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Inverse standard-normal CDF (probit) via Acklam's rational
+/// approximation — pure f64 arithmetic, deterministic, |rel err| < 1.2e-9
+/// over (0, 1). Only breakpoint construction calls it (p = i/a, a ≤ 64),
+/// never the query path.
+fn probit(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e1,
+        2.209460984245205e2,
+        -2.759285104469687e2,
+        1.38357751867269e2,
+        -3.066479806614716e1,
+        2.506628277459239e0,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e1,
+        1.615858368580409e2,
+        -1.556989798598866e2,
+        6.680131188771972e1,
+        -1.328068155288572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-3,
+        -3.223964580411365e-1,
+        -2.400758277161838e0,
+        -2.549732539343734e0,
+        4.374664141464968e0,
+        2.938163982698783e0,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-3,
+        3.224671290700398e-1,
+        2.445134137142996e0,
+        3.754408661907416e0,
+    ];
+    const P_LOW: f64 = 0.02425;
+    debug_assert!(p > 0.0 && p < 1.0, "probit domain is (0, 1)");
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+/// One bucket of the prefix hierarchy: a contiguous run of the sorted
+/// group order, its level (how many bit-planes of every symbol are
+/// fixed), and its children (contiguous in the node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Node {
+    /// Start of the bucket's run in [`SymIndex::order`].
+    start: u32,
+    /// One past the end of the run.
+    end: u32,
+    /// Fixed bit-planes per symbol (0 = root, `bits` = exact word).
+    level: u8,
+    /// Index of the first child in the node table (children contiguous).
+    first_child: u32,
+    /// Number of children (0 = leaf).
+    n_children: u32,
+}
+
+/// Outcome of one [`SymIndex::mark_skips`] walk, ready to fold into the
+/// query counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeOutcome {
+    /// Hierarchy buckets whose bound was evaluated.
+    pub probes: usize,
+    /// Groups inside certified (skipped) buckets.
+    pub skipped: usize,
+    /// Groups the index proposes to the cascade (total − skipped).
+    pub candidates: usize,
+}
+
+/// A navigation view of one hierarchy bucket — the coarse-to-fine
+/// drill-down surface (the interactive half of SAX Navigator / PSEUDo).
+/// Obtained from [`SymIndex::root`] and refined via [`SymIndex::child`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavNode {
+    /// Internal node id (stable within one index build).
+    pub id: usize,
+    /// Fixed bit-planes per symbol (0 = root).
+    pub level: u8,
+    /// Number of groups under this bucket.
+    pub group_count: usize,
+    /// Number of child buckets (0 = leaf).
+    pub child_count: usize,
+    /// Per-segment lowest symbol still covered by the bucket.
+    pub symbol_lo: Vec<u8>,
+    /// Per-segment highest symbol still covered by the bucket.
+    pub symbol_hi: Vec<u8>,
+}
+
+/// The per-length symbolic word index: group locals sorted by the
+/// bit-plane-transposed word key, a path-compressed prefix hierarchy over
+/// the sorted run, and per-bucket min/max envelopes of the member
+/// representatives' PAA sketches (full sketch width, not just the word
+/// segments — the envelopes are what certify skips; the words only shape
+/// the tree).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymIndex {
+    len: usize,
+    width: usize,
+    spec: WordSpec,
+    all_finalized: bool,
+    /// Packed rep word per group local (copied from the slab's word plane).
+    words: Vec<u64>,
+    order: Vec<u32>,
+    nodes: Vec<Node>,
+    env_lo: Vec<f64>,
+    env_hi: Vec<f64>,
+}
+
+impl SymIndex {
+    /// Builds the index for one slab — a deterministic pure function of
+    /// the slab's rep word plane and rep sketch plane, so an incremental
+    /// maintenance path can always be checked against this rebuild.
+    pub fn build(slab: &LengthSlab) -> Self {
+        let g = slab.group_count();
+        let w = slab.paa_width();
+        let spec = slab.word_spec().clone();
+        let all_finalized = (0..g).all(|local| slab.is_finalized(local));
+        let words: Vec<u64> = (0..g).map(|local| slab.rep_word(local)).collect();
+        let keys: Vec<u64> = words.iter().map(|&wd| spec.hier_key(wd)).collect();
+        let mut order: Vec<u32> = (0..g as u32).collect();
+        order.sort_by_key(|&local| (keys[local as usize], local));
+        let mut nodes = vec![Node {
+            start: 0,
+            end: g as u32,
+            level: 0,
+            first_child: 0,
+            n_children: 0,
+        }];
+        split_node(0, &spec, &order, &keys, &mut nodes);
+        let n = nodes.len();
+        let mut env_lo = vec![f64::INFINITY; n * w];
+        let mut env_hi = vec![f64::NEG_INFINITY; n * w];
+        for (ni, node) in nodes.iter().enumerate() {
+            let base = ni * w;
+            for &local in &order[node.start as usize..node.end as usize] {
+                let row = slab.paa_rep_row(local as usize);
+                for (j, &v) in row.iter().enumerate() {
+                    if v < env_lo[base + j] {
+                        env_lo[base + j] = v;
+                    }
+                    if v > env_hi[base + j] {
+                        env_hi[base + j] = v;
+                    }
+                }
+            }
+        }
+        SymIndex {
+            len: slab.subseq_len(),
+            width: w,
+            spec,
+            all_finalized,
+            words,
+            order,
+            nodes,
+            env_lo,
+            env_hi,
+        }
+    }
+
+    /// The subsequence length this index covers.
+    #[inline]
+    pub fn subseq_len(&self) -> usize {
+        self.len
+    }
+
+    /// The sketch width the bucket envelopes span.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The word derivation spec.
+    #[inline]
+    pub fn spec(&self) -> &WordSpec {
+        &self.spec
+    }
+
+    /// Whether every group was finalized when the index was built — the
+    /// precondition for certified skips (non-finalized groups have zeroed
+    /// sketch rows, so their envelopes would not describe the real reps).
+    #[inline]
+    pub fn all_finalized(&self) -> bool {
+        self.all_finalized
+    }
+
+    /// Number of groups indexed.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.order.len()
+    }
+
+    // sound: a bucket is skipped only when `lb_paa_env_sq(proxy, q_hi, q_lo,
+    // weights)` — the exact tier-0 kernel — exceeds `limit_sq`, the exact
+    // tier-0 pruning limit. `proxy[j]` is the point of the bucket's rep-sketch
+    // range `[blo_j, bhi_j]` nearest the query band `[q_lo_j, q_hi_j]`
+    // (computed with exact min/max, no rounding), so per segment its Keogh
+    // contribution is ≤ that of every member rep's sketch value; IEEE-754
+    // subtraction, squaring of non-negatives, multiplication by the same
+    // non-negative weight, and summation in the same kernel association are
+    // all monotone, hence the bucket bound ≤ every member group's tier-0
+    // bound bit-for-bit. bound > limit_sq therefore certifies that tier 0
+    // would prune every group in the bucket with the same strictly-greater
+    // comparison — skipping them changes no result and no cutoff trajectory.
+    /// Walks the hierarchy and marks every group inside a certified bucket
+    /// in `skip` (resized to the group count, reset to `false`). `q_hi` /
+    /// `q_lo` / `weights` are the query's PAA envelope exactly as tier 0
+    /// consumes it; `limit_sq` is tier 0's pruning limit
+    /// (`cutoff² · (1 + PAA_TIER0_MARGIN)`). `proxy` is caller scratch.
+    /// Returns probe/skip/candidate counts for the query counters.
+    pub fn mark_skips(
+        &self,
+        q_hi: &[f64],
+        q_lo: &[f64],
+        weights: &[f64],
+        limit_sq: f64,
+        skip: &mut Vec<bool>,
+        proxy: &mut Vec<f64>,
+    ) -> ProbeOutcome {
+        let g = self.order.len();
+        skip.clear();
+        skip.resize(g, false);
+        let mut out = ProbeOutcome::default();
+        if g == 0 || q_hi.len() != self.width || q_lo.len() != self.width {
+            out.candidates = g;
+            return out;
+        }
+        let w = self.width;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            let node = self.nodes[ni as usize];
+            if node.end == node.start {
+                continue;
+            }
+            proxy.clear();
+            let lo = &self.env_lo[ni as usize * w..(ni as usize + 1) * w];
+            let hi = &self.env_hi[ni as usize * w..(ni as usize + 1) * w];
+            for ((&l, &h), &ql) in lo.iter().zip(hi).zip(q_lo) {
+                // Nearest point of [l, h] to the band [ql, q_hi_j].
+                proxy.push(h.min(l.max(ql)));
+            }
+            out.probes += 1;
+            let bound = lb_paa_env_sq(proxy, q_hi, q_lo, weights);
+            if bound > limit_sq {
+                // sound: see the function-level argument — the bound above
+                // lower-bounds every member group's tier-0 bound, so the
+                // strictly-greater test certifies each as tier-0 prunable.
+                for &local in &self.order[node.start as usize..node.end as usize] {
+                    skip[local as usize] = true;
+                }
+                out.skipped += (node.end - node.start) as usize;
+            } else if node.n_children > 0 {
+                for c in 0..node.n_children {
+                    stack.push(node.first_child + c);
+                }
+            }
+            // Finest non-certifiable bucket: its groups stay candidates.
+        }
+        out.candidates = g - out.skipped;
+        out
+    }
+
+    /// The root navigation bucket (all groups, nothing fixed).
+    pub fn root(&self) -> NavNode {
+        self.nav_node(0)
+    }
+
+    /// Drills one level down: the `i`-th child bucket of `parent`, or
+    /// `None` past the child count (or for a leaf).
+    pub fn child(&self, parent: &NavNode, i: usize) -> Option<NavNode> {
+        let node = self.nodes.get(parent.id)?;
+        if i >= node.n_children as usize {
+            return None;
+        }
+        Some(self.nav_node(node.first_child as usize + i))
+    }
+
+    /// The group locals under a navigation bucket, in word order.
+    pub fn node_groups(&self, node: &NavNode) -> &[u32] {
+        match self.nodes.get(node.id) {
+            Some(n) => &self.order[n.start as usize..n.end as usize],
+            None => &[],
+        }
+    }
+
+    fn nav_node(&self, id: usize) -> NavNode {
+        let node = self.nodes[id];
+        let segs = self.spec.segs();
+        let bits = self.spec.bits();
+        let top = self.spec.alphabet() as u64 - 1;
+        let mut symbol_lo = Vec::with_capacity(segs);
+        let mut symbol_hi = Vec::with_capacity(segs);
+        if node.end > node.start && node.level > 0 {
+            // All groups in the bucket share the top `level` bits of every
+            // symbol; read them off the first member's key prefix.
+            let free = bits - u32::from(node.level);
+            let mask_low = (1u64 << free) - 1;
+            let first = self.order[node.start as usize];
+            let word = self.words[first as usize];
+            for j in 0..segs {
+                let sym = self.spec.segment_symbol(word, j);
+                let lo = sym & !mask_low;
+                symbol_lo.push(lo as u8);
+                symbol_hi.push((lo | mask_low).min(top) as u8);
+            }
+        } else {
+            for _ in 0..segs {
+                symbol_lo.push(0);
+                symbol_hi.push(top as u8);
+            }
+        }
+        NavNode {
+            id,
+            level: node.level,
+            group_count: (node.end - node.start) as usize,
+            child_count: node.n_children as usize,
+            symbol_lo,
+            symbol_hi,
+        }
+    }
+
+    /// Bit-exact structural audit: rebuilds the index from the slab and
+    /// compares every field (envelope planes by bit pattern). The runtime
+    /// validator calls this per length.
+    pub fn validate(&self, slab: &LengthSlab) -> Result<()> {
+        let want = SymIndex::build(slab);
+        let viol = |what: &str| {
+            Err(OnexError::InvariantViolation(format!(
+                "symbolic index for length {}: {what} differs from a fresh rebuild",
+                self.len
+            )))
+        };
+        if self.len != want.len || self.width != want.width {
+            return viol("shape");
+        }
+        if self.spec != want.spec
+            || self
+                .spec
+                .breakpoints
+                .iter()
+                .zip(&want.spec.breakpoints)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return viol("word spec");
+        }
+        if self.all_finalized != want.all_finalized {
+            return viol("finalization flag");
+        }
+        if self.words != want.words {
+            return viol("word plane copy");
+        }
+        if self.order != want.order {
+            return viol("group order");
+        }
+        if self.nodes != want.nodes {
+            return viol("hierarchy");
+        }
+        let bits_ne = |a: &[f64], b: &[f64]| {
+            a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+        };
+        if bits_ne(&self.env_lo, &want.env_lo) || bits_ne(&self.env_hi, &want.env_hi) {
+            return viol("bucket envelopes");
+        }
+        Ok(())
+    }
+
+    /// Heap bytes behind the probe structure (order, nodes, envelopes,
+    /// breakpoints) — the in-memory index cost on top of the slab's word
+    /// planes.
+    pub fn size_bytes(&self) -> usize {
+        self.order.len() * std::mem::size_of::<u32>()
+            + self.words.len() * std::mem::size_of::<u64>()
+            + self.nodes.len() * std::mem::size_of::<Node>()
+            + (self.env_lo.len() + self.env_hi.len()) * std::mem::size_of::<f64>()
+            + self.spec.size_bytes()
+    }
+}
+
+/// Recursively splits `nodes[idx]` by the first deeper level at which its
+/// key run diverges (path compression), appending children contiguously.
+/// Depth is bounded by `spec.bits()` ≤ 6, so recursion is safe.
+fn split_node(idx: usize, spec: &WordSpec, order: &[u32], keys: &[u64], nodes: &mut Vec<Node>) {
+    let node = nodes[idx];
+    let (s, e) = (node.start as usize, node.end as usize);
+    if e - s <= 1 || u32::from(node.level) >= spec.bits() {
+        return;
+    }
+    let key_at = |i: usize| keys[order[i] as usize];
+    // Path compression: find the shallowest deeper level where the run's
+    // first and last key prefixes differ (keys are sorted, so equal ends
+    // mean an undivided run).
+    let mut level = u32::from(node.level) + 1;
+    while level <= spec.bits()
+        && spec.key_prefix(key_at(s), level) == spec.key_prefix(key_at(e - 1), level)
+    {
+        level += 1;
+    }
+    if level > spec.bits() {
+        return; // word-identical run — leaf
+    }
+    // Carve the run into children: maximal sub-runs of equal level prefix.
+    let first_child = nodes.len() as u32;
+    let mut run_start = s;
+    let mut run_prefix = spec.key_prefix(key_at(s), level);
+    let mut child_ranges: Vec<(usize, usize)> = Vec::new();
+    for i in s + 1..e {
+        let p = spec.key_prefix(key_at(i), level);
+        if p != run_prefix {
+            child_ranges.push((run_start, i));
+            run_start = i;
+            run_prefix = p;
+        }
+    }
+    child_ranges.push((run_start, e));
+    nodes[idx].first_child = first_child;
+    nodes[idx].n_children = child_ranges.len() as u32;
+    for &(cs, ce) in &child_ranges {
+        nodes.push(Node {
+            start: cs as u32,
+            end: ce as u32,
+            level: level as u8,
+            first_child: 0,
+            n_children: 0,
+        });
+    }
+    for i in 0..child_ranges.len() {
+        split_node(first_child as usize + i, spec, order, keys, nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::LengthSlab;
+    use onex_ts::{Dataset, SubseqRef, TimeSeries};
+
+    fn sketch_slab(rows: &[Vec<f64>], len: usize, w: usize, alphabet: usize) -> LengthSlab {
+        // One singleton group per row: seeding with `len`-sample values
+        // whose PAA equals the desired sketch (constant blocks of each
+        // sketch value, so segment means reproduce the row exactly).
+        let series: Vec<TimeSeries> = rows
+            .iter()
+            .map(|row| {
+                let values: Vec<f64> = (0..len).map(|j| row[j * w / len.max(1)]).collect();
+                TimeSeries::new(values).expect("non-empty series")
+            })
+            .collect();
+        let dataset = Dataset::new("symindex-fixture", series);
+        let mut slab = LengthSlab::new(len, w, alphabet);
+        for i in 0..rows.len() {
+            let r = SubseqRef::new(i as u32, 0, len as u32);
+            let local = slab.seed(r, dataset.subseq_unchecked(r));
+            slab.finalize(local, &dataset, 1);
+        }
+        slab
+    }
+
+    #[test]
+    fn breakpoints_are_monotone_and_centered() {
+        for a in [2usize, 3, 4, 8, 16, 64] {
+            let spec = WordSpec::new(a, 8);
+            let bp = spec.breakpoints();
+            assert_eq!(bp.len(), a - 1);
+            for pair in bp.windows(2) {
+                assert!(pair[0] < pair[1], "breakpoints must ascend for a={a}");
+            }
+            if a % 2 == 0 {
+                // Median breakpoint is the Gaussian mean, i.e. 1/2.
+                assert!((bp[a / 2 - 1] - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn probit_matches_known_quantiles() {
+        assert!(probit(0.5).abs() < 1e-12);
+        assert!((probit(0.975) - 1.959_963_984_540_054).abs() < 1e-6);
+        assert!((probit(0.025) + 1.959_963_984_540_054).abs() < 1e-6);
+        for p in [0.001, 0.01, 0.1, 0.3, 0.7, 0.99, 0.999] {
+            assert!(
+                (probit(p) + probit(1.0 - p)).abs() < 1e-7,
+                "symmetry at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn symbols_partition_the_axis() {
+        let spec = WordSpec::new(4, 4);
+        assert_eq!(spec.bits(), 2);
+        assert_eq!(spec.segs(), 4);
+        assert_eq!(spec.symbol(f64::NEG_INFINITY), 0);
+        assert_eq!(spec.symbol(f64::INFINITY), 3);
+        assert_eq!(spec.symbol(0.5), 2, "values at the median go right");
+        let bp = spec.breakpoints().to_vec();
+        for (i, &b) in bp.iter().enumerate() {
+            assert_eq!(spec.symbol(b), i as u64 + 1, "breakpoint belongs right");
+            assert_eq!(spec.symbol(b - 1e-9), i as u64);
+        }
+    }
+
+    #[test]
+    fn word_packs_segment_zero_highest() {
+        let spec = WordSpec::new(4, 2);
+        // symbols: 0.0 → 0, 1.0 → 3
+        let w = spec.word_of(&[1.0, 0.0]);
+        assert_eq!(w, 0b1100);
+        assert_eq!(spec.segment_symbol(w, 0), 3);
+        assert_eq!(spec.segment_symbol(w, 1), 0);
+    }
+
+    #[test]
+    fn hier_key_prefixes_group_shared_high_bits() {
+        let spec = WordSpec::new(4, 3);
+        // Exhaustive over all 3-segment words: equal level-ℓ key prefixes
+        // must coincide with equal top-ℓ bits of every symbol.
+        let words: Vec<u64> = (0..64u64).collect();
+        for &x in &words {
+            for &y in &words {
+                for level in 0..=spec.bits() {
+                    let same_prefix = spec.key_prefix(spec.hier_key(x), level)
+                        == spec.key_prefix(spec.hier_key(y), level);
+                    let same_high = (0..spec.segs()).all(|j| {
+                        let a = spec.segment_symbol(x, j) >> (spec.bits() - level).min(63);
+                        let b = spec.segment_symbol(y, j) >> (spec.bits() - level).min(63);
+                        level == 0 || a == b
+                    });
+                    assert_eq!(same_prefix, same_high, "x={x:#b} y={y:#b} level={level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_partitions_groups_and_nests_envelopes() {
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                (0..4)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let slab = sketch_slab(&rows, 8, 4, 4);
+        let idx = SymIndex::build(&slab);
+        assert_eq!(idx.group_count(), 12);
+        assert!(idx.all_finalized());
+        // Children partition their parent's run exactly.
+        for node in &idx.nodes {
+            if node.n_children > 0 {
+                let mut cursor = node.start;
+                for c in 0..node.n_children {
+                    let child = idx.nodes[(node.first_child + c) as usize];
+                    assert_eq!(child.start, cursor);
+                    assert!(u32::from(child.level) > u32::from(node.level));
+                    cursor = child.end;
+                }
+                assert_eq!(cursor, node.end);
+            }
+        }
+        // Every group's sketch lies inside every enclosing bucket envelope.
+        let w = idx.width();
+        for (ni, node) in idx.nodes.iter().enumerate() {
+            for &local in &idx.order[node.start as usize..node.end as usize] {
+                let row = slab.paa_rep_row(local as usize);
+                for (j, &v) in row.iter().enumerate().take(w) {
+                    assert!(idx.env_lo[ni * w + j] <= v);
+                    assert!(idx.env_hi[ni * w + j] >= v);
+                }
+            }
+        }
+        idx.validate(&slab).unwrap();
+    }
+
+    #[test]
+    fn mark_skips_only_certifies_tier0_prunable_groups() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                (0..4)
+                    .map(|j| ((i * 13 + j * 5) % 17) as f64 / 16.0)
+                    .collect()
+            })
+            .collect();
+        let slab = sketch_slab(&rows, 8, 4, 4);
+        let idx = SymIndex::build(&slab);
+        let weights = vec![2.0; 4];
+        let mut skip = Vec::new();
+        let mut proxy = Vec::new();
+        for (qc, limit) in [(0.1f64, 0.05f64), (0.5, 0.2), (0.9, 0.01), (0.4, 1.0)] {
+            let q_hi = vec![qc + 0.05; 4];
+            let q_lo = vec![qc - 0.05; 4];
+            let out = idx.mark_skips(&q_hi, &q_lo, &weights, limit, &mut skip, &mut proxy);
+            assert_eq!(out.skipped + out.candidates, 20);
+            assert!(out.probes >= 1);
+            for (local, &s) in skip.iter().enumerate() {
+                let bound =
+                    onex_dist::lb_paa_env_sq(slab.paa_rep_row(local), &q_hi, &q_lo, &weights);
+                if s {
+                    assert!(bound > limit, "skip of group {local} must be certified");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn navigation_drills_down_and_covers_all_groups() {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| (0..4).map(|j| ((i + j) % 10) as f64 / 9.0).collect())
+            .collect();
+        let slab = sketch_slab(&rows, 8, 4, 4);
+        let idx = SymIndex::build(&slab);
+        let root = idx.root();
+        assert_eq!(root.group_count, 10);
+        assert_eq!(root.level, 0);
+        assert_eq!(root.symbol_lo, vec![0; 4]);
+        assert_eq!(root.symbol_hi, vec![3; 4]);
+        let mut seen = 0usize;
+        for i in 0..root.child_count {
+            let child = idx.child(&root, i).unwrap();
+            assert!(child.level > 0);
+            seen += child.group_count;
+            for (lo, hi) in child.symbol_lo.iter().zip(&child.symbol_hi) {
+                assert!(lo <= hi);
+            }
+            for &local in idx.node_groups(&child) {
+                let word = idx.spec().word_of(slab.paa_rep_row(local as usize));
+                for j in 0..idx.spec().segs() {
+                    let sym = idx.spec().segment_symbol(word, j) as u8;
+                    assert!(child.symbol_lo[j] <= sym && sym <= child.symbol_hi[j]);
+                }
+            }
+        }
+        assert_eq!(seen, 10, "children partition the root");
+        assert!(idx.child(&root, root.child_count).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_a_tampered_index() {
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..4).map(|j| ((i * 3 + j) % 7) as f64 / 6.0).collect())
+            .collect();
+        let slab = sketch_slab(&rows, 8, 4, 4);
+        let mut idx = SymIndex::build(&slab);
+        idx.validate(&slab).unwrap();
+        idx.env_lo[0] += 1e-9;
+        let err = idx.validate(&slab).unwrap_err();
+        assert!(err.to_string().contains("bucket envelopes"), "{err}");
+    }
+}

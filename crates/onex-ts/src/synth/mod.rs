@@ -13,6 +13,7 @@
 mod ecg;
 mod face;
 mod helpers;
+mod near_duplicates;
 mod power;
 mod starlight;
 mod symbols;
@@ -22,6 +23,7 @@ mod walks;
 pub use ecg::ecg;
 pub use face::face;
 pub use helpers::{add_noise, gaussian, linspace, smooth};
+pub use near_duplicates::near_duplicates;
 pub use power::italy_power;
 pub use starlight::star_light_curves;
 pub use symbols::symbols;
@@ -50,6 +52,10 @@ pub enum PaperDataset {
     /// StarLightCurves subsets: length-100 series, N chosen per experiment
     /// (the scalability study of Fig. 3 uses N ∈ 1000..=5000).
     StarLightCurves,
+    /// Not from the paper: dense clusters of near-identical subsequences
+    /// (200 series × 64 samples), stressing symbolic word-bucket skew —
+    /// see [`near_duplicates`].
+    NearDuplicates,
 }
 
 impl PaperDataset {
@@ -74,6 +80,7 @@ impl PaperDataset {
             PaperDataset::Symbols => "Symbols",
             PaperDataset::TwoPattern => "TwoPattern",
             PaperDataset::StarLightCurves => "StarLightCurves",
+            PaperDataset::NearDuplicates => "NearDuplicates",
         }
     }
 
@@ -87,6 +94,7 @@ impl PaperDataset {
             PaperDataset::Symbols => (995, 398),
             PaperDataset::TwoPattern => (4000, 128),
             PaperDataset::StarLightCurves => (1000, 100),
+            PaperDataset::NearDuplicates => (200, 64),
         }
     }
 
@@ -131,6 +139,7 @@ impl PaperDataset {
             PaperDataset::Symbols => symbols(n_series, len, seed),
             PaperDataset::TwoPattern => two_patterns(n_series, len, seed),
             PaperDataset::StarLightCurves => star_light_curves(n_series, len, seed),
+            PaperDataset::NearDuplicates => near_duplicates(n_series, len, seed),
         };
         // Generators emit finite, non-constant values by construction.
         // audit:allow(no-panic-in-lib): infallible, see above

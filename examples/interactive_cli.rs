@@ -17,7 +17,7 @@
 //!   refine <st>                       re-threshold live (Algo 2.C hot-swap)
 //!   append <v1,v2,...>                stream a new series in (raw units)
 //!   remove <series>                   drop a series from the base
-//!   save <path> | load <path>         snapshot v3 out / back in (v1/v2 load too)
+//!   save <path> | load <path>         snapshot v5 out / back in (v1–v4 load too)
 //!   stats                             base statistics + epoch
 //!   mem (alias: info)                 per-length columnar-store footprint
 //!   quit
@@ -52,6 +52,10 @@ fn run_best(explorer: &Explorer, q: Vec<f64>, mode: MatchMode) {
                 s.dtw_evals, s.early_abandons, s.pruned_paa, s.pruned_kim, s.pruned_keogh_eq,
                 s.pruned_keogh_ec, s.lb_keogh_evals
             );
+            println!(
+                "      index: {} probes → {} candidates, {} groups skipped, {} fallback scans",
+                s.index_probes, s.index_candidates, s.groups_skipped_by_index, s.index_fallbacks
+            );
         }
         Err(e) => println!("error: {e}"),
     }
@@ -74,17 +78,27 @@ fn print_help() {
 
 /// Prints the per-length memory accounting of the columnar group store:
 /// groups, members, contiguous slab bytes (reps / envelopes / sums), the
-/// PAA sketch-plane bytes, member bytes, and the heap-allocation count
-/// behind each length.
+/// PAA sketch-plane bytes, the symbolic word-plane bytes, member bytes,
+/// and the heap-allocation count behind each length — plus the symbolic
+/// index total (word planes + prefix hierarchy).
 fn run_mem(explorer: &Explorer) {
     let fp = explorer.footprint();
     println!(
-        "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
-        "len", "groups", "members", "rep B", "env B", "sum B", "sketch B", "member B", "allocs"
+        "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10} {:>7}",
+        "len",
+        "groups",
+        "members",
+        "rep B",
+        "env B",
+        "sum B",
+        "sketch B",
+        "word B",
+        "member B",
+        "allocs"
     );
     for l in &fp.per_length {
         println!(
-            "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "{:>5} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10} {:>7}",
             l.len,
             l.groups,
             l.members,
@@ -92,17 +106,23 @@ fn run_mem(explorer: &Explorer) {
             l.envelope_slab_bytes,
             l.sum_slab_bytes,
             l.sketch_bytes,
+            l.word_bytes,
             l.member_bytes,
             l.allocations
         );
     }
     println!(
-        "total: {} groups, {:.2} KB slabs + {:.2} KB sketches + {:.2} KB members/metadata, {} allocations",
+        "total: {} groups, {:.2} KB slabs + {:.2} KB sketches + {:.2} KB words + {:.2} KB members/metadata, {} allocations",
         fp.groups(),
         fp.slab_bytes() as f64 / 1024.0,
         fp.sketch_bytes() as f64 / 1024.0,
-        (fp.total_bytes() - fp.slab_bytes() - fp.sketch_bytes()) as f64 / 1024.0,
+        fp.word_bytes() as f64 / 1024.0,
+        (fp.total_bytes() - fp.slab_bytes() - fp.sketch_bytes() - fp.word_bytes()) as f64 / 1024.0,
         fp.allocations()
+    );
+    println!(
+        "symbolic index: {:.2} KB (word planes + coarse-to-fine hierarchy)",
+        explorer.base().stats().symindex_bytes as f64 / 1024.0
     );
 }
 

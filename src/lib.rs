@@ -88,7 +88,7 @@
 //! assert_eq!(session.epoch(), 2);                        // unaffected
 //! assert_eq!(explorer.epoch(), 3);
 //!
-//! // Persistence: checksummed snapshot v3 carrying the epoch.
+//! // Persistence: checksummed snapshot v5 carrying the epoch.
 //! let path = std::env::temp_dir().join(format!("onex-doc-lifecycle-{}.onex", std::process::id()));
 //! explorer.save(&path).unwrap();
 //! let reloaded = onex::Explorer::load(&path).unwrap();
@@ -110,6 +110,9 @@
 //!   see below): every representative's sketch, the representative
 //!   envelopes reduced conservatively per segment, and one flat
 //!   member-sketch plane per group, index-aligned with the member list,
+//! * **symbolic word planes** (SAX words over the sketch planes, alphabet
+//!   [`OnexConfig::sax_alphabet`], default 4): one packed word per
+//!   representative and per member, feeding the symbolic index below,
 //! * and per-group metadata (ED-sorted member lists, envelope radii,
 //!   finalized flags) in parallel arrays indexed by local position.
 //!
@@ -133,10 +136,25 @@
 //! it only trades sketch memory against how much O(len) tier work the
 //! O(w) tier skips.
 //!
+//! On top of the word planes sits the **symbolic word index**
+//! ([`core::SymIndex`], one per length): representatives and members are
+//! discretized into SAX words over Gaussian breakpoints, bucketed in an
+//! inverted map, and organized into an iSAX-style coarse-to-fine prefix
+//! hierarchy (browsable via [`Explorer::navigate`]). At query time the
+//! index probes each bucket with an exact per-bucket tier-0 bound; buckets
+//! it can *certify* as hopeless are skipped before the per-representative
+//! scan even starts, and whenever coverage cannot be certified the engine
+//! falls back to the full slab scan. The contract is **"index proposes,
+//! cascade disposes"**: the index only ever narrows which candidates the
+//! exact cascade examines, never what it decides, so results stay
+//! byte-identical with the index on or off. It is maintained
+//! incrementally through append/remove/refine and verified against a
+//! from-scratch rebuild by the lifecycle tests.
+//!
 //! ## Snapshot versions
 //!
 //! Snapshots are hand-rolled little-endian binary (module
-//! [`core::snapshot`]); indexes and envelopes are rebuilt on load. Four
+//! [`core::snapshot`]); indexes and envelopes are rebuilt on load. Five
 //! versions exist on disk:
 //!
 //! | version | layout | integrity | written by | read by |
@@ -144,12 +162,14 @@
 //! | v1 | per-group records | structural checks only | `snapshot::encode_v1` (compat tests / downgrade feeds) | every revision |
 //! | v2 | per-group records + epoch | CRC-32 footer | `snapshot::encode_v2_with_epoch` (downgrade feeds; was the default before the columnar store) | every revision since the columnar store |
 //! | v3 | **columnar**: per length, member counts / radii / member entries as bulk arrays, then the rep and sum slabs as contiguous `f64` blocks, + epoch | CRC-32 footer | `snapshot::encode_v3_with_epoch` (downgrade feeds; was the default before the sketch planes) | this revision and the previous one |
-//! | v4 | v3 + the **PAA sketch planes** as bulk blocks per length (sketch width, rep sketch slab, PAA'd envelope lo/hi slabs, flat member-sketch planes) and the `paa_width` knob in the config header | CRC-32 footer | [`Explorer::save`] and `snapshot::encode` (the default) | this revision |
+//! | v4 | v3 + the **PAA sketch planes** as bulk blocks per length (sketch width, rep sketch slab, PAA'd envelope lo/hi slabs, flat member-sketch planes) and the `paa_width` knob in the config header | CRC-32 footer | `snapshot::encode_v4_with_epoch` (downgrade feeds; was the default before the word planes) | this revision and the previous one |
+//! | v5 | v4 + the **symbolic word planes** as bulk blocks per length (rep word slab, flat member-word planes) and the `sax_alphabet` knob in the config header | CRC-32 footer | [`Explorer::save`] and `snapshot::encode` (the default) | this revision |
 //!
 //! All current load paths ([`Explorer::load`],
 //! [`ExplorerBuilder::from_snapshot`], deprecated `snapshot::load`) accept
-//! any version; loading v1–v3 recomputes the sketch planes from the
-//! decoded groups (bit-identical to the incrementally-maintained ones);
+//! any version; loading v1–v4 recomputes the missing sketch and/or word
+//! planes from the decoded groups (bit-identical to the
+//! incrementally-maintained ones);
 //! corrupt v2+ files (truncation, bit rot) are rejected as
 //! [`OnexError::SnapshotCorrupt`] before any structural parsing.
 //!
@@ -159,7 +179,9 @@
 //! *and* group member, across best-match, top-k, and verified range
 //! queries — through a cascaded lower-bound pipeline (the UCR-suite
 //! cascade the paper adopts in §5.3, applied engine-wide, fronted by a
-//! dimensionality-reduced sketch tier):
+//! dimensionality-reduced sketch tier). In front of the cascade, the
+//! symbolic word index (see above) skips whole certified-hopeless word
+//! buckets before the per-representative scan begins:
 //!
 //! | tier | bound | cost | prune counter |
 //! |------|-------|------|---------------|
@@ -176,29 +198,36 @@
 //! the work changes. Two [`QueryOptions`] knobs expose the ablation
 //! points: `lb_pruning: false` disables every lower bound, and
 //! `cascade: false` keeps only the pre-cascade representative-level
-//! check. Each [`QueryStats`] reports what the pipeline did: `dtw_evals`,
+//! check (a third, `symindex: false`, turns the word-index front-end
+//! off). Each [`QueryStats`] reports what the pipeline did: `dtw_evals`,
 //! the per-tier kills (`pruned_paa`, `pruned_kim`, `pruned_keogh_eq`,
-//! `pruned_keogh_ec`), `early_abandons`, `members_lb_pruned`, and
-//! `lb_keogh_evals`. The same sketch bound accelerates the *offline*
-//! side: the construction assigner prefilters its ED scan with
-//! `lb_paa_sq` against a live mean-sketch slab.
+//! `pruned_keogh_ec`), `early_abandons`, `members_lb_pruned`,
+//! `lb_keogh_evals`, and the index front-end counters (`index_probes`,
+//! `index_candidates`, `index_fallbacks`, `groups_skipped_by_index`). The
+//! same sketch bound accelerates the *offline* side: the construction
+//! assigner prefilters its ED scan with `lb_paa_sq` against a live
+//! mean-sketch slab.
 //!
-//! The machine-readable performance baseline lives in `BENCH_pr5.json`
-//! (per-query-class latency, DTW/member-evaluation, and per-tier
-//! prune-rate counters on the synthetic datasets, plus the window/band
-//! parameters actually resolved per dataset; `BENCH_pr4.json` /
-//! `BENCH_pr3.json` are the pre-sketch and pre-columnar records — their
-//! DTW and member-eval counters are identical, the result-neutrality
-//! proof of both refactors). Regenerate or inspect it with:
+//! The machine-readable performance baseline lives in `BENCH_pr7.json`
+//! (per-query-class latency — average and p50 — DTW/member-evaluation,
+//! per-tier prune-rate, and word-index counters on the synthetic
+//! datasets, plus the window/band parameters actually resolved per
+//! dataset; `BENCH_pr5.json` / `BENCH_pr4.json` / `BENCH_pr3.json` are
+//! the pre-index, pre-sketch and pre-columnar records — their DTW and
+//! member-eval counters are identical, the result-neutrality proof of
+//! all three refactors). Regenerate or inspect it with:
 //!
 //! ```sh
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr5.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr7.json
 //! ```
 //!
-//! CI replays the same run with `--check-against BENCH_pr5.json` and
+//! CI replays the same run with `--check-against BENCH_pr7.json` and
 //! fails when best-match *or top-k* DTW or member evaluations regress
-//! more than 2×, or the tier-0 prune rate falls below half the
-//! baseline's — exact counters, not wall-clock, so the gate is stable on
+//! more than 2×, the tier-0 prune rate falls below half the baseline's,
+//! the p50 latency regresses more than 3× (the one loose wall-clock
+//! gate), or the word index stops engaging (zero
+//! `groups_skipped_by_index` on any dataset) — otherwise exact counters,
+//! not wall-clock, so the gate is stable on
 //! shared runners. The `rep_scan` criterion bench times the columnar rep
 //! scan, envelope tier, sketch tier, and the scalar-vs-blocked kernels in
 //! isolation (`cargo bench --no-run` compiles in CI so the benches can't
@@ -219,7 +248,9 @@
 //! (**determinism** — ordered containers only), no `as f32` narrowing or
 //! bare `==`/`!=` against float literals in the distance kernels and
 //! cascade (**float-discipline**), a `SAFETY:` comment within three lines
-//! of every `unsafe` (**safety-comments**), and every `QueryStats`
+//! of every `unsafe` (**safety-comments**), a `// sound:` soundness
+//! argument above every skip/prune/certify function of the symbolic word
+//! index (**symindex-soundness-comment**), and every `QueryStats`
 //! counter present in the perf baseline writer (**counter-coverage**).
 //! Deliberate exceptions carry an inline allow directive naming the rule
 //! and the reason, e.g.
@@ -269,7 +300,7 @@
 //! The deprecated paths return bit-identical results; they differ only in
 //! taking the base by `&`/value (no epoch hot-swap, callers serialize
 //! themselves) and in lacking budgets/stats. Snapshots written by the
-//! deprecated `save` are v4 at epoch 0; v1–v3 files from older builds
+//! deprecated `save` are v5 at epoch 0; v1–v4 files from older builds
 //! still load everywhere.
 //!
 //! ## Crate map

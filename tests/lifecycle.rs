@@ -8,8 +8,10 @@
 //! 2. **Shim equivalence** — the deprecated lifecycle free functions
 //!    (`maintain::append_series`, `refine::refine`, `snapshot::save`) must
 //!    produce results *byte-identical* to the new `Explorer` methods.
-//! 3. **Snapshot compatibility** — a v1 snapshot written before this
-//!    format revision still loads, and v2 round-trips carry the epoch.
+//! 3. **Snapshot compatibility** — every legacy format (v1 through v4)
+//!    still loads equivalent to the current v5, epochs survive where the
+//!    format carries them, and the persisted symbolic word index always
+//!    matches a from-scratch rebuild bit for bit.
 
 use onex::core::{maintain, refine, snapshot};
 use onex::ts::synth;
@@ -275,7 +277,7 @@ fn remove_series_shrinks_the_live_base() {
     assert!(explorer.remove_series(7).is_err(), "index now out of range");
 }
 
-// ---- snapshot v4 (columnar payload + sketch planes) coverage ----
+// ---- snapshot v5 (columnar payload + sketch planes + word planes) ----
 
 /// Queries used to compare two bases for answer equivalence.
 fn probe_queries(b: &onex::OnexBase) -> Vec<Vec<f64>> {
@@ -317,11 +319,13 @@ fn assert_query_equivalent(a: &onex::OnexBase, b: &onex::OnexBase) {
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
 
-    /// v4 snapshots round-trip over random bases: the decoded base is
-    /// structurally equal (including every sketch plane), carries the
-    /// epoch, and answers every Class I query form identically.
+    /// v5 snapshots round-trip over random bases: the decoded base is
+    /// structurally equal (including every sketch and word plane),
+    /// carries the epoch, answers every Class I query form identically,
+    /// and its incrementally-maintained symbolic index matches a
+    /// from-scratch rebuild bit for bit.
     #[test]
-    fn v4_round_trip_is_query_equivalent_over_random_bases(
+    fn v5_round_trip_is_query_equivalent_over_random_bases(
         rows in proptest::collection::vec(
             proptest::collection::vec(0.0..1.0f64, 8..=13), 2..=4),
         seed in proptest::prelude::any::<u64>(),
@@ -329,7 +333,7 @@ proptest::proptest! {
     ) {
         let series: Vec<TimeSeries> =
             rows.into_iter().map(|v| TimeSeries::new(v).unwrap()).collect();
-        let d = onex::Dataset::new("v4prop", series);
+        let d = onex::Dataset::new("v5prop", series);
         let cfg = OnexConfig { seed, ..OnexConfig::default() };
         let b = OnexBase::build_prenormalized(d, cfg).unwrap();
         let bytes = snapshot::encode_with_epoch(&b, epoch);
@@ -337,16 +341,49 @@ proptest::proptest! {
         proptest::prop_assert_eq!(&b, &r);
         proptest::prop_assert_eq!(got_epoch, epoch);
         assert_query_equivalent(&b, &r);
+        assert_symindex_matches_rebuild(&r);
+    }
+}
+
+/// Asserts every length's symbolic index equals a from-scratch
+/// [`onex::core::SymIndex::build`] over the live slab — the incremental
+/// maintenance paths and the builder must agree bit for bit.
+fn assert_symindex_matches_rebuild(b: &onex::OnexBase) {
+    for slab in b.store().slabs() {
+        let len = slab.subseq_len();
+        let sym = b
+            .sym_index(len)
+            .unwrap_or_else(|| panic!("length {len} has no symbolic index"));
+        assert_eq!(
+            *sym,
+            onex::core::SymIndex::build(slab),
+            "length {len}: incremental index != from-scratch rebuild"
+        );
     }
 }
 
 #[test]
-fn v4_truncation_and_bit_flips_are_rejected_not_panics() {
+fn lifecycle_mutations_keep_the_symbolic_index_equal_to_a_rebuild() {
+    let explorer = Explorer::from_base(base());
+    assert_symindex_matches_rebuild(&explorer.base());
+    explorer.append_series(novel_series(0)).unwrap();
+    assert_symindex_matches_rebuild(&explorer.base());
+    explorer.refine_to(0.3).unwrap();
+    assert_symindex_matches_rebuild(&explorer.base());
+    explorer.remove_series(2).unwrap();
+    assert_symindex_matches_rebuild(&explorer.base());
+    explorer.refine_to(0.2).unwrap();
+    assert_symindex_matches_rebuild(&explorer.base());
+}
+
+#[test]
+fn v5_truncation_and_bit_flips_are_rejected_not_panics() {
     let b = base();
     let bytes = snapshot::encode_with_epoch(&b, 4).to_vec();
-    assert_eq!(bytes[4], 4, "current snapshots are v4");
-    // Truncation at every 7-byte stride (including mid-slab positions):
-    // clean SnapshotCorrupt, never a panic or a bogus base.
+    assert_eq!(bytes[4], 5, "current snapshots are v5");
+    // Truncation at every 7-byte stride (including mid-slab and mid-word-
+    // block positions): clean SnapshotCorrupt, never a panic or a bogus
+    // base.
     for cut in (0..bytes.len()).step_by(7) {
         let err = snapshot::decode(&bytes[..cut]).unwrap_err();
         assert!(matches!(err, onex::OnexError::SnapshotCorrupt(_)));
@@ -363,45 +400,69 @@ fn v4_truncation_and_bit_flips_are_rejected_not_panics() {
             );
         }
     }
+    // Dense flips over the tail of the payload — the symbolic word
+    // planes land just before the CRC footer, so this sweep hits every
+    // byte of the index blocks the stride above may have skipped.
+    let tail = bytes.len().saturating_sub(96);
+    for at in tail..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[at] ^= 0x40;
+        let err = snapshot::decode(&mutated).unwrap_err();
+        assert!(
+            matches!(err, onex::OnexError::SnapshotCorrupt(_)),
+            "word-plane flip at byte {at} must be rejected"
+        );
+    }
 }
 
 #[test]
-fn v1_v2_and_v3_snapshots_load_equivalent_to_v4() {
+fn v1_through_v4_snapshots_load_equivalent_to_v5() {
     let b = base();
     let dir = test_dir();
     std::fs::create_dir_all(&dir).unwrap();
 
-    // Byte-for-byte what the three previous revisions wrote.
+    // Byte-for-byte what the four previous revisions wrote.
     let p_v1 = dir.join("cross-v1.onex");
     let p_v2 = dir.join("cross-v2.onex");
     let p_v3 = dir.join("cross-v3.onex");
     let p_v4 = dir.join("cross-v4.onex");
+    let p_v5 = dir.join("cross-v5.onex");
     std::fs::write(&p_v1, snapshot::encode_v1(&b)).unwrap();
     std::fs::write(&p_v2, snapshot::encode_v2_with_epoch(&b, 6)).unwrap();
     std::fs::write(&p_v3, snapshot::encode_v3_with_epoch(&b, 8)).unwrap();
-    Explorer::from_base(b.clone()).save(&p_v4).unwrap();
+    std::fs::write(&p_v4, snapshot::encode_v4_with_epoch(&b, 9)).unwrap();
+    Explorer::from_base(b.clone()).save(&p_v5).unwrap();
+    assert_eq!(std::fs::read(&p_v4).unwrap()[4], 4, "legacy writer is v4");
+    assert_eq!(std::fs::read(&p_v5).unwrap()[4], 5, "current writer is v5");
 
     let from_v1 = Explorer::load(&p_v1).unwrap();
     let from_v2 = Explorer::load(&p_v2).unwrap();
     let from_v3 = Explorer::load(&p_v3).unwrap();
     let from_v4 = Explorer::load(&p_v4).unwrap();
+    let from_v5 = Explorer::load(&p_v5).unwrap();
 
-    // v1 predates epochs; v2 and v3 carry one just like v4.
+    // v1 predates epochs; v2 through v4 carry one just like v5.
     assert_eq!(from_v1.epoch(), 0);
     assert_eq!(from_v2.epoch(), 6);
     assert_eq!(from_v3.epoch(), 8);
-    assert_eq!(from_v4.epoch(), 0);
+    assert_eq!(from_v4.epoch(), 9);
+    assert_eq!(from_v5.epoch(), 0);
 
-    // All four decode to the same base — structurally (legacy loads
-    // recompute the sketch planes bit-identically) and behaviourally.
-    assert_eq!(*from_v1.base(), *from_v4.base(), "v1 → v4 load equivalence");
-    assert_eq!(*from_v2.base(), *from_v4.base(), "v2 → v4 load equivalence");
-    assert_eq!(*from_v3.base(), *from_v4.base(), "v3 → v4 load equivalence");
-    assert_eq!(*from_v4.base(), b);
-    assert_query_equivalent(&from_v1.base(), &from_v4.base());
-    assert_query_equivalent(&from_v3.base(), &from_v4.base());
+    // All five decode to the same base — structurally (legacy loads
+    // recompute the sketch and word planes bit-identically, so the
+    // rebuilt symbolic index matches the persisted one) and
+    // behaviourally.
+    assert_eq!(*from_v1.base(), *from_v5.base(), "v1 → v5 load equivalence");
+    assert_eq!(*from_v2.base(), *from_v5.base(), "v2 → v5 load equivalence");
+    assert_eq!(*from_v3.base(), *from_v5.base(), "v3 → v5 load equivalence");
+    assert_eq!(*from_v4.base(), *from_v5.base(), "v4 → v5 load equivalence");
+    assert_eq!(*from_v5.base(), b);
+    assert_query_equivalent(&from_v1.base(), &from_v5.base());
+    assert_query_equivalent(&from_v4.base(), &from_v5.base());
+    assert_symindex_matches_rebuild(&from_v4.base());
+    assert_symindex_matches_rebuild(&from_v5.base());
 
-    for p in [p_v1, p_v2, p_v3, p_v4] {
+    for p in [p_v1, p_v2, p_v3, p_v4, p_v5] {
         std::fs::remove_file(&p).ok();
     }
 }
