@@ -13,6 +13,7 @@
 //! | `float-discipline` | onex-dist + the query cascade | `as f32` casts, bare `==`/`!=` on float literals |
 //! | `safety-comments` | all library crates | `unsafe` without a `// SAFETY:` comment |
 //! | `symindex-soundness-comment` | the symbolic word index | skip/prune/certify fns without a nearby `// sound:` argument |
+//! | `atomic-ordering-comment` | all library crates | atomic `Ordering::` uses without a nearby `// ordering:` justification |
 //! | `counter-coverage` | engine ↔ bench | `QueryStats` counters missing from the perf JSON writer |
 //!
 //! Genuinely infallible sites are waived inline with
@@ -92,7 +93,12 @@ pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
     }
     for scope in SAFETY_SCOPE {
         for f in rust_files(&root.join(scope))? {
-            files.entry(f).or_default().safety = true;
+            // `atomic-ordering-comment` shares the safety scope: both
+            // rules demand a written argument wherever library code
+            // steps outside the compiler's guarantees.
+            let e = files.entry(f).or_default();
+            e.safety = true;
+            e.atomic = true;
         }
     }
     for scope in SYMINDEX_SCOPE {
@@ -132,6 +138,9 @@ pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
         if which.symindex {
             found.extend(rules::symindex_soundness(&rel, &toks, &masked.comments));
         }
+        if which.atomic {
+            found.extend(rules::atomic_ordering(&rel, &toks, &masked.comments));
+        }
         out.extend(rules::apply_allows(found, &allows));
     }
 
@@ -162,6 +171,7 @@ struct FileRules {
     float: bool,
     safety: bool,
     symindex: bool,
+    atomic: bool,
 }
 
 /// Recursively collect `.rs` files under `path`; a missing path yields an

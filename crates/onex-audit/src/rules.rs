@@ -20,6 +20,7 @@ pub const RULE_FLOAT: &str = "float-discipline";
 pub const RULE_SAFETY: &str = "safety-comments";
 pub const RULE_COUNTER: &str = "counter-coverage";
 pub const RULE_SYMINDEX: &str = "symindex-soundness-comment";
+pub const RULE_ATOMIC: &str = "atomic-ordering-comment";
 /// Meta-rule for malformed `audit:allow` directives themselves.
 pub const RULE_ALLOW: &str = "audit-allow";
 
@@ -31,6 +32,7 @@ pub const TOKEN_RULES: &[&str] = &[
     RULE_FLOAT,
     RULE_SAFETY,
     RULE_SYMINDEX,
+    RULE_ATOMIC,
 ];
 
 /// A single lint finding.
@@ -249,6 +251,57 @@ pub fn symindex_soundness(file: &str, toks: &[Tok], comments: &[Comment]) -> Vec
                      {SOUNDNESS_WINDOW} lines above — state why skipping candidates \
                      cannot change results",
                     name.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// How far above an atomic `Ordering::` use its `ordering:` justification
+/// may sit — room for a short multi-line argument directly over the call,
+/// tight enough that one comment cannot cover a distant second use.
+const ORDERING_WINDOW: usize = 4;
+
+/// The memory-ordering variants of `std::sync::atomic::Ordering`.
+/// Disjoint from `std::cmp::Ordering`'s `Less`/`Equal`/`Greater`, so the
+/// token match never fires on comparator code.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// atomic-ordering-comment: every atomic `Ordering::<variant>` use in
+/// library code must carry a comment containing `ordering:` within
+/// `ORDERING_WINDOW` lines above it — the written argument for why that
+/// memory ordering is sufficient. Lock-free code is exactly where a
+/// too-weak ordering compiles, passes tests on x86, and corrupts results
+/// on ARM; the burden of proof travels with the code.
+pub fn atomic_ordering(file: &str, toks: &[Tok], comments: &[Comment]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "Ordering") {
+            continue;
+        }
+        let sep_ok =
+            matches!(toks.get(i + 1), Some(s) if s.kind == TokKind::Punct && s.text == "::");
+        let variant = match toks.get(i + 2) {
+            Some(v) if sep_ok && v.kind == TokKind::Ident => v,
+            _ => continue,
+        };
+        if !ATOMIC_ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        let documented = comments.iter().any(|c| {
+            c.text.contains("ordering:") && c.line + ORDERING_WINDOW >= t.line && c.line <= t.line
+        });
+        if !documented {
+            out.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: RULE_ATOMIC,
+                message: format!(
+                    "Ordering::{} without a `// ordering:` justification within \
+                     {ORDERING_WINDOW} lines above — state why this memory ordering \
+                     is sufficient",
+                    variant.text
                 ),
             });
         }
@@ -518,6 +571,39 @@ mod tests {
         let m = mask(&src);
         let v = symindex_soundness("s.rs", &scan(&m.text), &m.comments);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_requires_a_nearby_ordering_comment() {
+        // The justified use passes; a second use outside the comment's
+        // window does not ride along on it.
+        let src = format!(
+            "// ordering: Relaxed — standalone ticket counter\n\
+             let i = next.fetch_add(1, Ordering::Relaxed);\n{}\
+             let j = flag.load(Ordering::Acquire);\n",
+            "\n".repeat(4)
+        );
+        let m = mask(&src);
+        let v = atomic_ordering("a.rs", &scan(&m.text), &m.comments);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Ordering::Acquire"));
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn atomic_ordering_window_is_bounded_and_ignores_cmp_ordering() {
+        // A justification 5 lines up is too far to count…
+        let src = format!(
+            "// ordering: stale\n{}x.store(1, Ordering::SeqCst);",
+            "\n".repeat(4)
+        );
+        let m = mask(&src);
+        let v = atomic_ordering("a.rs", &scan(&m.text), &m.comments);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // …and cmp::Ordering variants never fire the rule.
+        let src = "match a.cmp(&b) { Ordering::Less => {} Ordering::Equal => {} Ordering::Greater => {} }";
+        let m = mask(src);
+        assert!(atomic_ordering("a.rs", &scan(&m.text), &m.comments).is_empty());
     }
 
     #[test]

@@ -125,6 +125,29 @@ pub fn unrelated_helper() -> usize {
 "#,
     )?;
 
+    // --- atomic-ordering fixture: one justified, one bare --------------
+    write(
+        root,
+        "crates/onex-ts/src/atomics.rs",
+        r#"
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn seeded_bare_ordering(n: &AtomicUsize) -> usize {
+    n.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn documented_ordering(n: &AtomicUsize) -> usize {
+    // ordering: Relaxed — fixture; a standalone ticket counter that
+    // guards no other memory.
+    n.load(Ordering::Relaxed)
+}
+
+pub fn cmp_ordering_is_out_of_scope(a: u32, b: u32) -> bool {
+    matches!(a.cmp(&b), std::cmp::Ordering::Less)
+}
+"#,
+    )?;
+
     // --- counter-coverage fixture: one emitted, one missing ------------
     write(
         root,
@@ -166,6 +189,11 @@ pub fn emit() -> Vec<(&'static str, u64)> {
             rules::RULE_COUNTER,
             "onex-core/src/engine.rs",
             "seeded_missing_counter",
+        ),
+        (
+            rules::RULE_ATOMIC,
+            "onex-ts/src/atomics.rs",
+            "Ordering::Relaxed",
         ),
     ];
     for (rule, file, needle) in expected {
@@ -217,6 +245,20 @@ pub fn emit() -> Vec<(&'static str, u64)> {
     if safety_hits != 1 {
         return Err(format!(
             "expected exactly 1 safety-comments finding, got {safety_hits}\nfindings:\n{}",
+            render(&violations)
+        ));
+    }
+
+    // Likewise the `// ordering:`-justified atomic and the cmp::Ordering
+    // match must not be reported (exactly one atomic finding: the bare
+    // one).
+    let atomic_hits = violations
+        .iter()
+        .filter(|v| v.rule == rules::RULE_ATOMIC)
+        .count();
+    if atomic_hits != 1 {
+        return Err(format!(
+            "expected exactly 1 atomic-ordering-comment finding, got {atomic_hits}\nfindings:\n{}",
             render(&violations)
         ));
     }

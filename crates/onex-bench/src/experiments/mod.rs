@@ -73,6 +73,12 @@ impl Ctx {
     /// knob is accuracy-neutral, so every counter stays comparable across
     /// widths; the resolved per-length widths are recorded in the
     /// baseline.
+    /// `query_threads` is pinned to 1: the baseline's work counters are a
+    /// machine-independent contract, and only the sequential scan keeps
+    /// them exactly reproducible (the parallel scan's counters depend on
+    /// how fast the shared cutoff tightened). The serving section measures
+    /// multi-client throughput instead — parallelism across queries, each
+    /// query still on the sequential scan.
     pub fn config(&self) -> OnexConfig {
         OnexConfig {
             st: 0.2,
@@ -80,6 +86,7 @@ impl Ctx {
             paa_width: 8,
             threads: self.threads,
             seed: self.seed,
+            query_threads: 1,
             ..OnexConfig::default()
         }
     }

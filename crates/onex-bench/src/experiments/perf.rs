@@ -1,13 +1,22 @@
 //! **Perf baseline** — the machine-readable performance record of the
 //! query engine: per-query-class latency, DTW-evaluation, and prune-rate
 //! counters on the synthetic datasets, emitted as JSON so future changes
-//! have a trajectory to compare against (`BENCH_pr7.json` is the current
-//! checked-in baseline, recorded with the symbolic word index in front of
-//! the cascade; `BENCH_pr5.json` / `BENCH_pr4.json` / `BENCH_pr3.json`
-//! are the pre-index, pre-sketch and pre-columnar records — their
-//! DTW/member-eval counters are identical to pr7's, which is the
-//! result-neutrality proof of all three refactors) and CI can fail on
+//! have a trajectory to compare against (`BENCH_pr8.json` is the current
+//! checked-in baseline, recorded with the parallel query engine in place
+//! and `query_threads` pinned to 1; `BENCH_pr7.json` / `BENCH_pr5.json` /
+//! `BENCH_pr4.json` / `BENCH_pr3.json` are the pre-parallelism,
+//! pre-index, pre-sketch and pre-columnar records — their
+//! DTW/member-eval counters are identical to pr8's, which is the
+//! result-neutrality proof of all four refactors) and CI can fail on
 //! counter regressions.
+//!
+//! The work counters are recorded under `query_threads = 1` (see
+//! [`Ctx::config`]): only the sequential scan's counters are a
+//! machine-independent contract. Parallelism is measured separately by
+//! the **serving** section — N client threads against one shared
+//! `Explorer`, qps plus p50/p95/p99 tail latency per query class — with a
+//! self-relative gate (multi-client qps ≥ 1.5× single-client on ECG,
+//! skipped on single-core machines) rather than a cross-machine one.
 //!
 //! Three variants per class isolate the lower-bound pipeline:
 //! `cascade` (the default full pipeline, symbolic index + sketch tier
@@ -30,6 +39,7 @@ use crate::json::Json;
 use onex_core::{Explorer, MatchMode, QueryOptions, QueryRequest, QueryStats};
 use onex_ts::synth::PaperDataset;
 use std::path::Path;
+use std::time::Instant;
 
 /// The datasets the baseline records: small + mid-sized keeps the CI
 /// smoke fast while still exercising multi-length bases, and
@@ -64,6 +74,23 @@ const LATENCY_REGRESSION_FACTOR: f64 = 3.0;
 /// the original gate; top-k joined once its k-th-best cutoff pruning
 /// became part of the contract worth defending.
 const GATED_CLASSES: [&str; 3] = ["best_match_exact", "best_match_any", "top_k_10_exact"];
+
+/// Client-thread counts the serving bench drives one shared `Explorer`
+/// with (every client issues sequential-scan queries; parallelism comes
+/// from concurrency across queries, the interactive-exploration serving
+/// shape).
+const SERVING_CLIENTS: [usize; 2] = [1, 4];
+
+/// Serving throughput gate: within one fresh run, the multi-client qps on
+/// the gate dataset must reach this multiple of the same run's
+/// single-client qps. Self-relative — both sides come from the same
+/// process on the same machine — so cross-machine noise cannot trip it;
+/// it is skipped (with a notice) when the machine has fewer than 2 cores.
+const SERVING_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// The dataset the serving speedup gate reads (mid-sized: large enough
+/// for per-query work to dominate scheduling overhead).
+const SERVING_GATE_DATASET: PaperDataset = PaperDataset::Ecg;
 
 /// One (class, variant) cell: counters summed over all queries (via
 /// [`QueryStats::absorb`], the same roll-up the batch path uses), latency
@@ -202,6 +229,108 @@ const CLASSES: [&str; 4] = [
     "range_verified_exact",
 ];
 
+/// Drives one shared explorer from `clients` threads, each issuing
+/// `ops_per_client` queries of `class` round-robin over the query mix
+/// (offset by client index so concurrent clients do not march in
+/// lockstep). Returns the wall-clock seconds of the whole run and every
+/// per-query latency, merged across clients.
+fn serve_class(
+    explorer: &Explorer,
+    queries: &[Query],
+    class: &str,
+    clients: usize,
+    ops_per_client: usize,
+) -> (f64, Vec<f64>) {
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(ops_per_client);
+                    for i in 0..ops_per_client {
+                        let q = &queries[(c + i) % queries.len()];
+                        let req = request(class, q, QueryOptions::default());
+                        let t = Instant::now();
+                        let _ = explorer.query(req).expect("serving query answers");
+                        latencies.push(t.elapsed().as_secs_f64());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving client thread"))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    (elapsed, per_client.into_iter().flatten().collect())
+}
+
+/// The serving section of one dataset block: for every query class and
+/// every [`SERVING_CLIENTS`] count, throughput (qps) and p50/p95/p99
+/// latency of N client threads hammering the one shared explorer.
+fn serve_dataset(explorer: &Explorer, queries: &[Query], ctx: &Ctx, ds: PaperDataset) -> Json {
+    let ops_per_client = queries.len() * ctx.runs.max(1);
+    let widths = [22, 8, 8, 10, 11, 11, 11];
+    let mut table = harness::Table::new(
+        &format!("serving_{}", ds.name()),
+        &["class", "clients", "ops", "qps", "p50", "p95", "p99"],
+        &widths,
+    );
+    let mut class_objs = Vec::new();
+    for class in CLASSES {
+        let mut client_objs = Vec::new();
+        for &clients in &SERVING_CLIENTS {
+            let (elapsed, latencies) =
+                serve_class(explorer, queries, class, clients, ops_per_client);
+            let ops = latencies.len();
+            let qps = if elapsed > 0.0 {
+                ops as f64 / elapsed
+            } else {
+                0.0
+            };
+            let (p50, p95, p99) = (
+                harness::percentile(&latencies, 50.0),
+                harness::percentile(&latencies, 95.0),
+                harness::percentile(&latencies, 99.0),
+            );
+            table.row(vec![
+                class.to_string(),
+                format!("{clients}"),
+                format!("{ops}"),
+                format!("{qps:.0}"),
+                fmt_secs(p50),
+                fmt_secs(p95),
+                fmt_secs(p99),
+            ]);
+            client_objs.push(Json::obj(vec![
+                ("clients", Json::num(clients)),
+                ("ops", Json::num(ops)),
+                ("qps", Json::Num((qps * 100.0).round() / 100.0)),
+                (
+                    "p50_latency_us",
+                    Json::Num((p50 * 1e6 * 100.0).round() / 100.0),
+                ),
+                (
+                    "p95_latency_us",
+                    Json::Num((p95 * 1e6 * 100.0).round() / 100.0),
+                ),
+                (
+                    "p99_latency_us",
+                    Json::Num((p99 * 1e6 * 100.0).round() / 100.0),
+                ),
+            ]));
+        }
+        class_objs.push(Json::obj(vec![
+            ("class", Json::str(class)),
+            ("clients", Json::Arr(client_objs)),
+        ]));
+    }
+    table.finish(ctx.csv());
+    Json::Arr(class_objs)
+}
+
 fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
     let data = ds.generate_scaled(ctx.scale, ctx.seed);
     let (base, build_time) = build_timed(&data, ctx.config());
@@ -274,6 +403,11 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
         ]));
     }
     table.finish(ctx.csv());
+    println!("\n  serving ({} clients on one explorer):", {
+        let counts: Vec<String> = SERVING_CLIENTS.iter().map(|c| c.to_string()).collect();
+        counts.join("/")
+    });
+    let serving = serve_dataset(&explorer, &queries, ctx, ds);
     // The parameters the engine actually *resolved* for this dataset —
     // not the CLI-level config echo. Each distinct query length gets its
     // concrete Sakoe-Chiba band radius (`Window::resolve(len, len)`, the
@@ -304,6 +438,7 @@ fn measure_dataset(ds: PaperDataset, ctx: &Ctx) -> Json {
         ("paa_width", Json::num(config.paa_width)),
         ("resolved_query_params", Json::Arr(resolved)),
         ("classes", Json::Arr(class_objs)),
+        ("serving", serving),
     ])
 }
 
@@ -319,11 +454,15 @@ pub fn run(ctx: &Ctx) -> bool {
         datasets.push(measure_dataset(ds, ctx));
     }
     let config = ctx.config();
+    let cores = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     let doc = Json::obj(vec![
-        ("version", Json::num(2)),
+        ("version", Json::num(3)),
         ("scale", Json::Num(ctx.scale)),
         ("seed", Json::num(ctx.seed as usize)),
         ("runs", Json::num(ctx.runs)),
+        ("cores", Json::num(cores)),
         ("window", Json::Str(format!("{:?}", config.window))),
         ("st", Json::Num(config.st)),
         ("datasets", Json::Arr(datasets)),
@@ -497,6 +636,59 @@ fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
         );
         ok &= good;
     }
+    // Serving throughput: self-relative within the fresh run (the
+    // baseline is never consulted, so recording machines and CI runners
+    // with different core counts cannot conflict) — the multi-client qps
+    // on the gate dataset, ops-weighted across all query classes, must
+    // reach [`SERVING_SPEEDUP_FLOOR`] × the same run's single-client qps.
+    // Skipped with a notice on single-core machines, where there is no
+    // parallelism to measure.
+    let fresh_cores = fresh.get("cores").and_then(Json::as_f64).unwrap_or(1.0);
+    let gate_ds = SERVING_GATE_DATASET.name();
+    if fresh_cores < 2.0 {
+        println!("  serving speedup: skipped ({fresh_cores} core(s) — no parallelism to measure)");
+    } else {
+        // Aggregate qps per client count: total ops over total seconds,
+        // with per-cell seconds recovered as ops/qps.
+        let qps_at = |clients: usize| -> Option<f64> {
+            let serving = fresh
+                .get("datasets")?
+                .as_arr()?
+                .iter()
+                .find(|d| d.get("name").and_then(Json::as_str) == Some(gate_ds))?
+                .get("serving")?
+                .as_arr()?;
+            let mut ops = 0.0;
+            let mut secs = 0.0;
+            for class in serving {
+                let cell =
+                    class.get("clients")?.as_arr()?.iter().find(|c| {
+                        c.get("clients").and_then(Json::as_f64) == Some(clients as f64)
+                    })?;
+                let o = cell.get("ops").and_then(Json::as_f64)?;
+                let q = cell.get("qps").and_then(Json::as_f64)?;
+                if q > 0.0 {
+                    ops += o;
+                    secs += o / q;
+                }
+            }
+            (secs > 0.0).then(|| ops / secs)
+        };
+        let multi = SERVING_CLIENTS[SERVING_CLIENTS.len() - 1];
+        match (qps_at(1), qps_at(multi)) {
+            (Some(q1), Some(qn)) => {
+                let speedup = qn / q1;
+                let good = speedup >= SERVING_SPEEDUP_FLOOR;
+                println!(
+                    "  serving speedup ({gate_ds}, {multi} vs 1 clients): {qn:.0} / {q1:.0} qps \
+                     = {speedup:.2}x (floor {SERVING_SPEEDUP_FLOOR}x) {}",
+                    if good { "ok" } else { "FAIL" }
+                );
+                ok &= good;
+            }
+            _ => println!("  serving speedup: serving section missing from fresh run — skipped"),
+        }
+    }
     if compared == 0 {
         eprintln!("perf check: nothing compared — baseline format mismatch?");
         return false;
@@ -505,8 +697,9 @@ fn check_against(fresh: &Json, baseline_path: &Path) -> bool {
         eprintln!(
             "perf check FAILED: gated counters regressed beyond {REGRESSION_FACTOR}x, the \
              tier-0 prune rate fell below {PAA_RATE_FLOOR} of baseline, a query class's p50 \
-             latency regressed beyond {LATENCY_REGRESSION_FACTOR}x, or the symbolic index \
-             certified zero skips on some dataset"
+             latency regressed beyond {LATENCY_REGRESSION_FACTOR}x, the symbolic index \
+             certified zero skips on some dataset, or multi-client serving throughput fell \
+             below {SERVING_SPEEDUP_FLOOR}x single-client"
         );
     }
     ok

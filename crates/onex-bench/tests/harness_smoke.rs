@@ -50,8 +50,15 @@ fn perf_baseline_emits_parseable_json_and_self_checks() {
     assert!(perf::run(&ctx), "perf run with --json must succeed");
     let text = std::fs::read_to_string(&path).unwrap();
     let doc = onex_bench::json::Json::parse(&text).unwrap();
-    assert_eq!(doc.get("version").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(doc.get("version").and_then(|v| v.as_f64()), Some(3.0));
     assert!(!doc.get("datasets").unwrap().as_arr().unwrap().is_empty());
+    // every dataset block carries the serving section
+    for ds in doc.get("datasets").unwrap().as_arr().unwrap() {
+        assert!(
+            !ds.get("serving").unwrap().as_arr().unwrap().is_empty(),
+            "serving section must be recorded per dataset"
+        );
+    }
     ctx.json_out = None;
     ctx.check_against = Some(path);
     assert!(perf::run(&ctx), "self-check must never regress");

@@ -307,6 +307,9 @@ pub fn build_base(dataset: &Dataset, config: &OnexConfig) -> Vec<LengthSlab> {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // ordering: Relaxed — a pure work-stealing ticket: the
+                    // counter guards no other memory, and thread::scope's
+                    // join synchronizes the results before any read.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&len) = lengths.get(i) else { break };
                     let built = build_length_groups(dataset, len, config);

@@ -110,6 +110,19 @@ pub struct OnexConfig {
     /// Worker threads for construction; lengths are built independently.
     /// `1` = sequential.
     pub threads: usize,
+    /// Worker threads for the per-length group/member scans of a *single*
+    /// query (the intra-query fan-out in the similarity cascade). `1` runs
+    /// the exact sequential scan; `0` (default) resolves automatically: the
+    /// `ONEX_QUERY_THREADS` environment variable when set to a positive
+    /// integer, otherwise [`std::thread::available_parallelism`].
+    /// **Accuracy-neutral**: the parallel scan keeps every prune strictly
+    /// greater than a shared cutoff and merges per-worker finalists in
+    /// deterministic index order, so query *results* are byte-identical at
+    /// any value — only the work counters (how much each tier pruned) may
+    /// differ above 1, because the shared cutoff tightens with
+    /// scheduling-dependent timing. Runtime-only: snapshots do not persist
+    /// this knob and always load with the auto setting.
+    pub query_threads: usize,
 }
 
 impl Default for OnexConfig {
@@ -129,6 +142,7 @@ impl Default for OnexConfig {
             sax_alphabet: 4,
             seed: 0xA11CE,
             threads: 1,
+            query_threads: 0,
         }
     }
 }
@@ -140,6 +154,14 @@ impl OnexConfig {
             st,
             ..Default::default()
         }
+    }
+
+    /// The effective intra-query worker count for this configuration:
+    /// `query_threads` itself when positive, otherwise the
+    /// `ONEX_QUERY_THREADS` environment override (read once per process),
+    /// otherwise the machine's available parallelism. Always ≥ 1.
+    pub fn resolved_query_threads(&self) -> usize {
+        resolve_query_threads(self.query_threads, env_query_threads())
     }
 
     /// Validates the configuration.
@@ -165,6 +187,34 @@ impl OnexConfig {
         }
         Ok(())
     }
+}
+
+/// The `ONEX_QUERY_THREADS` override, parsed once per process. Invalid or
+/// non-positive values are ignored (auto falls through to the machine's
+/// parallelism) rather than erroring: the variable is an operational
+/// convenience for CI matrices, not part of the config contract.
+fn env_query_threads() -> Option<usize> {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("ONEX_QUERY_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Pure resolution rule for [`OnexConfig::resolved_query_threads`], split
+/// out so the precedence (explicit config > env override > machine
+/// parallelism) is unit-testable without mutating the process environment.
+fn resolve_query_threads(configured: usize, env_override: Option<usize>) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    env_override.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 #[cfg(test)]
@@ -223,5 +273,19 @@ mod tests {
             assert!(c.validate().is_ok(), "alphabet {ok} must be accepted");
         }
         assert_eq!(OnexConfig::default().sax_alphabet, 4);
+    }
+
+    #[test]
+    fn query_threads_resolution_precedence() {
+        // Explicit config value wins over any env override.
+        assert_eq!(resolve_query_threads(3, Some(8)), 3);
+        assert_eq!(resolve_query_threads(1, Some(8)), 1);
+        // Auto (0) takes the env override when present…
+        assert_eq!(resolve_query_threads(0, Some(4)), 4);
+        // …and the machine's parallelism otherwise (always ≥ 1).
+        assert!(resolve_query_threads(0, None) >= 1);
+        // The default config resolves to something usable.
+        assert!(OnexConfig::default().resolved_query_threads() >= 1);
+        assert_eq!(OnexConfig::default().query_threads, 0);
     }
 }

@@ -112,6 +112,9 @@ where
             scope.spawn(|| {
                 let mut state = make_state();
                 loop {
+                    // ordering: Relaxed — a pure work-stealing ticket: the
+                    // counter guards no other memory; result slots are
+                    // synchronized by their own mutexes and scope join.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -184,6 +187,13 @@ pub struct QueryOptions {
     /// Override the base's `stop_at_first_qualifying` toggle (§5.3 early
     /// stop across lengths).
     pub stop_at_first_qualifying: Option<bool>,
+    /// Override the resolved intra-query worker count
+    /// ([`OnexConfig::query_threads`]): `Some(1)` pins this query to the
+    /// exact sequential scan, `Some(n)` fans its per-length scans over `n`
+    /// scoped workers, `None` uses the config's resolution (explicit value,
+    /// then `ONEX_QUERY_THREADS`, then available parallelism). Results are
+    /// byte-identical at any value; see the crate's threading-model notes.
+    pub query_threads: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -199,6 +209,7 @@ impl Default for QueryOptions {
             explore_top_groups: None,
             exhaustive_group_search: None,
             stop_at_first_qualifying: None,
+            query_threads: None,
         }
     }
 }
@@ -240,6 +251,10 @@ impl QueryOptions {
             stop_at_first_qualifying: self
                 .stop_at_first_qualifying
                 .unwrap_or(defaults.stop_at_first_qualifying),
+            query_threads: self
+                .query_threads
+                .map(|n| n.max(1))
+                .unwrap_or(defaults.query_threads),
             ..defaults
         }
     }
@@ -311,17 +326,60 @@ pub enum QueryRequest {
         /// surface uniformity).
         options: QueryOptions,
     },
-    /// Several requests answered as one unit, fanned out across threads.
+    /// Several requests answered as one unit, fanned out across a bounded
+    /// worker pool over one pinned epoch (every child sees the same base).
+    ///
+    /// When the pool runs more than one worker, each child whose
+    /// [`QueryOptions::query_threads`] is `None` is pinned to a sequential
+    /// intra-query scan: batch-level parallelism *replaces* intra-query
+    /// parallelism, so the total thread count stays bounded by the pool
+    /// and every child's work counters are the deterministic sequential
+    /// ones. An explicit `query_threads` on a child is honoured as given.
+    ///
+    /// The batch response's aggregate [`QueryStats`] is well-defined under
+    /// concurrency:
+    /// * every counter is the field-wise **sum** over successful children,
+    ///   accumulated in request order (failures contribute nothing);
+    /// * `elapsed` is the batch's own wall-clock time, **not** a sum —
+    ///   each child carries its own `elapsed`;
+    /// * `epoch` is the single pinned epoch all children ran against;
+    /// * `truncated` is the **OR** over children (any budgeted child that
+    ///   truncated marks the batch).
     Batch {
         /// The requests; the response preserves order.
         requests: Vec<QueryRequest>,
-        /// Worker threads (clamped to the batch size; `0`/`1` =
-        /// sequential).
+        /// Worker threads, clamped to the batch size. `0` = auto (the
+        /// machine's available parallelism), `1` = sequential.
         threads: usize,
     },
 }
 
 impl QueryRequest {
+    /// Pins this request's intra-query scan to the exact sequential path
+    /// unless the caller set [`QueryOptions::query_threads`] explicitly.
+    /// Applied to every child of a concurrent [`QueryRequest::Batch`]:
+    /// batch-level parallelism replaces intra-query parallelism, keeping
+    /// the total thread count bounded by the batch pool and each child's
+    /// work counters deterministic. Nested batches inherit the rule.
+    fn pin_sequential_scan(&mut self) {
+        match self {
+            QueryRequest::BestMatch { options, .. }
+            | QueryRequest::TopK { options, .. }
+            | QueryRequest::WithinThreshold { options, .. }
+            | QueryRequest::Seasonal { options, .. }
+            | QueryRequest::Recommend { options, .. } => {
+                if options.query_threads.is_none() {
+                    options.query_threads = Some(1);
+                }
+            }
+            QueryRequest::Batch { requests, .. } => {
+                for r in requests {
+                    r.pin_sequential_scan();
+                }
+            }
+        }
+    }
+
     /// A best-match request with default options.
     pub fn best_match(values: Vec<f64>, mode: MatchMode) -> Self {
         QueryRequest::BestMatch {
@@ -460,9 +518,12 @@ impl QueryStats {
     }
 
     /// Merges another response's counters into this one (batch roll-up;
-    /// also used by the bench harness to aggregate across queries).
-    /// `elapsed` is deliberately not summed: the batch response reports the
-    /// batch's own wall-clock time, and each child carries its own.
+    /// also used by the bench harness to aggregate across queries). This
+    /// is the batch aggregation rule documented on [`QueryRequest::Batch`]:
+    /// every counter is field-wise summed, `truncated` ORs in, and
+    /// `elapsed`/`epoch` are deliberately untouched — the batch response
+    /// reports its own wall-clock time and pinned epoch, and each child
+    /// carries its own.
     pub fn absorb(&mut self, other: &QueryStats) {
         self.dtw_evals += other.dtw_evals;
         self.lb_prunes += other.lb_prunes;
@@ -1085,15 +1146,32 @@ where
 
 /// Fans a batch out across scoped worker threads, every child on the same
 /// pinned base. Results are index-aligned with the requests; each failure
-/// stays in its slot.
+/// stays in its slot. See [`QueryRequest::Batch`] for the pool-sizing and
+/// stats-aggregation contract.
 fn run_batch(
     base: &OnexBase,
     epoch: u64,
     started: Instant,
-    requests: Vec<QueryRequest>,
+    mut requests: Vec<QueryRequest>,
     threads: usize,
 ) -> Result<QueryResponse> {
     let n = requests.len();
+    // `0` = auto: size the pool to the machine (fan_out clamps to `n`).
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads.min(n) > 1 {
+        // Concurrent batch: children default to sequential intra-query
+        // scans so batch-level parallelism replaces — not multiplies —
+        // intra-query parallelism (see the variant docs).
+        for r in &mut requests {
+            r.pin_sequential_scan();
+        }
+    }
     // Requests are handed to workers by index; the Mutex<Option<_>>
     // wrapper lets each be taken by value exactly once.
     let requests: Vec<Mutex<Option<QueryRequest>>> =
@@ -1500,6 +1578,83 @@ mod tests {
                 s.as_ref().unwrap().result.best_match().unwrap(),
                 p.as_ref().unwrap().result.best_match().unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn batch_stats_aggregation_rule_is_pinned() {
+        // Pins the aggregation contract documented on QueryRequest::Batch:
+        // counters are the field-wise sum over successful children in
+        // request order, elapsed is the batch's own wall clock, epoch is
+        // the pinned epoch, truncated ORs over children.
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[0..10].to_vec();
+        let reqs = vec![
+            QueryRequest::best_match(q.clone(), MatchMode::Any),
+            QueryRequest::best_match(vec![], MatchMode::Any), // fails — contributes nothing
+            QueryRequest::top_k(q.clone(), MatchMode::Any, 3),
+        ];
+        let resp = e
+            .query(QueryRequest::Batch {
+                requests: reqs,
+                threads: 0, // auto pool sizing
+            })
+            .unwrap();
+        let children = resp.result.batch().unwrap();
+        assert_eq!(children.len(), 3);
+        let mut expected = QueryStats {
+            epoch: e.epoch(),
+            ..QueryStats::default()
+        };
+        for child in children.iter().flatten() {
+            assert_eq!(
+                child.stats.epoch,
+                e.epoch(),
+                "children share the pinned epoch"
+            );
+            expected.absorb(&child.stats);
+        }
+        expected.elapsed = resp.stats.elapsed; // wall clock, never a sum
+        assert_eq!(resp.stats, expected);
+        assert!(!resp.stats.truncated);
+        assert!(resp.stats.dtw_evals > 0);
+    }
+
+    #[test]
+    fn concurrent_batch_children_run_deterministic_sequential_scans() {
+        // A concurrent batch pins each child (without an explicit
+        // query_threads) to the sequential scan, so child counters equal a
+        // direct sequential query's counters exactly.
+        let e = explorer();
+        let q = e.base().dataset().series()[0].values()[0..10].to_vec();
+        let direct = e
+            .query(QueryRequest::BestMatch {
+                values: q.clone(),
+                mode: MatchMode::Any,
+                options: QueryOptions {
+                    query_threads: Some(1),
+                    ..Default::default()
+                },
+            })
+            .unwrap();
+        let reqs: Vec<QueryRequest> = (0..4)
+            .map(|_| QueryRequest::best_match(q.clone(), MatchMode::Any))
+            .collect();
+        let resp = e
+            .query(QueryRequest::Batch {
+                requests: reqs,
+                threads: 4,
+            })
+            .unwrap();
+        for child in resp.result.batch().unwrap() {
+            let child = child.as_ref().unwrap();
+            assert_eq!(
+                child.result.best_match().unwrap(),
+                direct.result.best_match().unwrap()
+            );
+            let mut want = direct.stats;
+            want.elapsed = child.stats.elapsed;
+            assert_eq!(child.stats, want, "pinned children count like sequential");
         }
     }
 

@@ -16,6 +16,7 @@
 //! * [`recommend`] — Class III: similarity-threshold recommendations.
 
 mod batch;
+pub(crate) mod par;
 mod recommend;
 mod seasonal;
 pub(crate) mod similarity;

@@ -799,6 +799,11 @@ fn decode_config(buf: &mut &[u8], with_paa: bool, with_sax: bool) -> Result<Onex
         sax_alphabet,
         seed,
         threads,
+        // Runtime-only serving knob, deliberately not persisted: a snapshot
+        // moved across machines should query with the *host's* parallelism,
+        // not the builder's, and the knob is accuracy-neutral so the loaded
+        // base answers byte-identically either way.
+        query_threads: 0,
     })
 }
 

@@ -1,0 +1,154 @@
+//! Readers-vs-maintenance stress: N reader threads issue queries (at
+//! mixed `query_threads` settings) nonstop while the main thread drives
+//! live append / refine / remove hot-swaps through the same `Explorer`.
+//! Every response must stay well-formed — a real answer, conserved
+//! per-tier counters, a coherent epoch — and a pinned session must keep
+//! answering from its pinned generation while swaps land around it.
+//!
+//! CI runs this three ways: the dev-profile `cargo test` legs (with
+//! `ONEX_QUERY_THREADS` pinned to 1 and 4) and the
+//! release-with-debug-assertions leg, where the engine's
+//! validate-after-hot-swap hook deep-checks every successor base under
+//! the same optimizer the perf gates use.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use onex_core::engine::{Explorer, QueryOptions, QueryRequest, QueryStats};
+use onex_core::{MatchMode, OnexConfig};
+use onex_ts::{synth, TimeSeries};
+
+const READERS: usize = 4;
+const SWAP_CYCLES: usize = 2;
+
+fn conserved(s: &QueryStats) {
+    assert_eq!(
+        s.lb_prunes,
+        s.pruned_paa + s.pruned_kim + s.pruned_keogh_eq + s.pruned_keogh_ec,
+        "per-tier prunes must sum to the aggregate: {s:?}"
+    );
+    assert!(s.early_abandons <= s.dtw_evals, "{s:?}");
+}
+
+#[test]
+fn readers_survive_live_hot_swaps() {
+    let d = synth::random_walk(12, 12, 0x5EED);
+    let cfg = OnexConfig {
+        st: 0.1,
+        paa_width: 8,
+        ..Default::default()
+    };
+    let e = Explorer::build(&d, cfg).unwrap();
+    // Query material is snapshotted up front: series indices shift under
+    // remove_series, so readers never touch the live dataset directly.
+    let queries: Vec<Vec<f64>> = {
+        let base = e.base();
+        (0..4)
+            .map(|i| base.dataset().series()[i * 3].values()[1..11].to_vec())
+            .collect()
+    };
+    let done = AtomicBool::new(false);
+    let initial_epoch = e.epoch();
+
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            let (e, done, queries) = (&e, &done, &queries);
+            scope.spawn(move || {
+                let mut ops = 0usize;
+                let mut i = 0usize;
+                // ordering: Relaxed — the flag is a pure stop signal; no
+                // other memory is published through it, and thread::scope
+                // joins before the writer reads anything of ours.
+                while !done.load(Ordering::Relaxed) || ops == 0 {
+                    let q = queries[(r + i) % queries.len()].clone();
+                    let options = QueryOptions {
+                        query_threads: Some([1, 2, 4][i % 3]),
+                        ..Default::default()
+                    };
+                    let resp = match i % 3 {
+                        0 => e
+                            .query(QueryRequest::BestMatch {
+                                values: q,
+                                mode: MatchMode::Any,
+                                options,
+                            })
+                            .unwrap(),
+                        1 => e
+                            .query(QueryRequest::TopK {
+                                values: q,
+                                mode: MatchMode::Any,
+                                k: 5,
+                                options,
+                            })
+                            .unwrap(),
+                        _ => e
+                            .query(QueryRequest::WithinThreshold {
+                                values: q,
+                                mode: MatchMode::Any,
+                                verify: true,
+                                options,
+                            })
+                            .unwrap(),
+                    };
+                    conserved(&resp.stats);
+                    if let Some(m) = resp.result.best_match() {
+                        assert!(m.dist.is_finite() && m.dist >= 0.0);
+                    }
+                    // A pinned session keeps its generation across swaps:
+                    // two queries through one pin report one epoch.
+                    if i.is_multiple_of(5) {
+                        let pin = e.pin();
+                        let a = pin
+                            .query(QueryRequest::best_match(queries[0].clone(), MatchMode::Any))
+                            .unwrap();
+                        let b = pin
+                            .query(QueryRequest::best_match(queries[1].clone(), MatchMode::Any))
+                            .unwrap();
+                        assert_eq!(a.stats.epoch, pin.epoch());
+                        assert_eq!(b.stats.epoch, pin.epoch());
+                    }
+                    ops += 1;
+                    i += 1;
+                }
+                assert!(ops > 0, "reader {r} never completed a query");
+            });
+        }
+
+        // The writer: append / tighten / loosen / remove, each one an
+        // atomic hot-swap (and, under debug assertions, a deep
+        // validate_invariants pass on the successor before it goes live).
+        for cycle in 0..SWAP_CYCLES {
+            let extra = TimeSeries::new(
+                (0..14)
+                    .map(|i| ((i + cycle) as f64 * 0.37).sin() * 0.5 + 0.5)
+                    .collect(),
+            )
+            .unwrap();
+            let appended = e.append_series(extra).unwrap();
+            e.refine_to(0.08).unwrap();
+            e.refine_to(0.15).unwrap();
+            e.remove_series(appended).unwrap();
+        }
+        // ordering: Relaxed — stop signal only; the scope join is the
+        // synchronization point for everything the readers asserted.
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        e.epoch(),
+        initial_epoch + 4 * SWAP_CYCLES as u64,
+        "every maintenance op must have produced exactly one hot-swap"
+    );
+    // The surviving base answers a full sequential query correctly.
+    let final_resp = e
+        .query(QueryRequest::BestMatch {
+            values: queries[0].clone(),
+            mode: MatchMode::Any,
+            options: QueryOptions {
+                query_threads: Some(1),
+                ..Default::default()
+            },
+        })
+        .unwrap();
+    assert!(final_resp.result.best_match().is_some());
+    conserved(&final_resp.stats);
+}

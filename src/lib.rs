@@ -173,6 +173,56 @@
 //! corrupt v2+ files (truncation, bit rot) are rejected as
 //! [`OnexError::SnapshotCorrupt`] before any structural parsing.
 //!
+//! ## Threading model
+//!
+//! The engine layers three independent kinds of parallelism over one
+//! invariant — **results are byte-identical at any thread count**:
+//!
+//! * **Serving.** [`Explorer`] is `Send + Sync` and answers from
+//!   `&self`. Each query begins by *pinning* the current generation:
+//!   one brief lock clones the `(Arc<base>, epoch)` pair, after which
+//!   the entire scan reads immutable columnar data with no further
+//!   synchronization — maintenance hot-swaps ([`Explorer::append_series`],
+//!   [`Explorer::refine_to`], …) build a successor base off-line and swap
+//!   the slot, so queries in flight simply finish on the generation they
+//!   pinned. Every [`QueryStats`] reports which epoch answered.
+//! * **Batch fan-out.** [`QueryRequest::Batch`] schedules whole queries
+//!   over a bounded work-stealing pool (`threads: 0` sizes it to the
+//!   machine) against one pinned epoch. Children of a concurrent batch
+//!   default to sequential intra-query scans — batch parallelism
+//!   *replaces* intra-query parallelism rather than multiplying it — and
+//!   the aggregate stats follow a pinned rule: counters are field-wise
+//!   sums in request order, `elapsed` is the batch's wall clock, and
+//!   `truncated` ORs over children.
+//! * **Intra-query striping.** [`OnexConfig::query_threads`] (or the
+//!   per-query [`QueryOptions`] override; `ONEX_QUERY_THREADS` and the
+//!   machine's parallelism fill in the `0 = auto` default) fans the
+//!   per-length group and member scans of a *single* query across scoped
+//!   workers. Worker `w` owns stripe positions `w, w+W, w+2W, …` of the
+//!   deterministic scan order, carries its own scratch context, and
+//!   shares only a **monotone-decreasing cutoff** — an `AtomicU64` over
+//!   non-negative `f64` bits, lowered exclusively to exact DTW values via
+//!   `fetch_min`.
+//!
+//! The soundness argument for the shared cutoff is short: every prune in
+//! the cascade tests *strictly greater than* the cutoff, and the cutoff
+//! is at every instant an upper bound on the final k-th-best key — so a
+//! worker reading a stale (larger) value prunes *less*, never more, and
+//! no candidate belonging to the answer can be discarded under any
+//! scheduling. Survivors carry exact DTW values (early abandonment never
+//! returns an approximation), and per-worker finalists merge by
+//! `(distance, deterministic scan rank)` — never arrival order — which
+//! reproduces the sequential result bit for bit. Queries carrying an
+//! anytime budget (`time_budget` / `max_dtw_evals`) always run the
+//! sequential path, keeping their truncation point deterministic too.
+//! Only the *work counters* are scheduling-dependent above one worker
+//! (each worker's tier counts depend on how fast the cutoff tightened);
+//! they are summed per worker — never shared — so the totals stay exactly
+//! conserved, and the fixed-cutoff range scan's counters equal the
+//! sequential scan's exactly. The equivalence suite pins all of this at
+//! `query_threads ∈ {1, 2, 4, 8}`, and CI runs the whole test suite under
+//! `ONEX_QUERY_THREADS=1` and `=4`.
+//!
 //! ## Performance
 //!
 //! The Class I hot path runs **every** DTW candidate — representative
@@ -208,30 +258,40 @@
 //! assigner prefilters its ED scan with `lb_paa_sq` against a live
 //! mean-sketch slab.
 //!
-//! The machine-readable performance baseline lives in `BENCH_pr7.json`
+//! The machine-readable performance baseline lives in `BENCH_pr8.json`
 //! (per-query-class latency — average and p50 — DTW/member-evaluation,
 //! per-tier prune-rate, and word-index counters on the synthetic
 //! datasets, plus the window/band parameters actually resolved per
-//! dataset; `BENCH_pr5.json` / `BENCH_pr4.json` / `BENCH_pr3.json` are
-//! the pre-index, pre-sketch and pre-columnar records — their DTW and
-//! member-eval counters are identical, the result-neutrality proof of
-//! all three refactors). Regenerate or inspect it with:
+//! dataset, plus the **serving section**: multi-client throughput and
+//! tail latency, below; `BENCH_pr7.json` / `BENCH_pr5.json` /
+//! `BENCH_pr4.json` / `BENCH_pr3.json` are the pre-parallel, pre-index,
+//! pre-sketch and pre-columnar records — their DTW and member-eval
+//! counters are identical, the result-neutrality proof of all four
+//! refactors; the perf run pins `query_threads: 1` so the counters stay
+//! machine-independent). Regenerate or inspect it with:
 //!
 //! ```sh
-//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr7.json
+//! cargo run -p onex-bench --release --bin repro -- perf --scale 0.25 --json BENCH_pr8.json
 //! ```
 //!
-//! CI replays the same run with `--check-against BENCH_pr7.json` and
+//! The serving section drives one shared [`Explorer`] from N client
+//! threads (N ∈ {1, 4}) over a fixed query mix and reports throughput
+//! (qps) plus p50/p95/p99 latency per query class and dataset — the
+//! interactive-exploration story of the paper measured end to end.
+//! CI replays the same run with `--check-against BENCH_pr8.json` and
 //! fails when best-match *or top-k* DTW or member evaluations regress
 //! more than 2×, the tier-0 prune rate falls below half the baseline's,
-//! the p50 latency regresses more than 3× (the one loose wall-clock
-//! gate), or the word index stops engaging (zero
-//! `groups_skipped_by_index` on any dataset) — otherwise exact counters,
-//! not wall-clock, so the gate is stable on
-//! shared runners. The `rep_scan` criterion bench times the columnar rep
-//! scan, envelope tier, sketch tier, and the scalar-vs-blocked kernels in
-//! isolation (`cargo bench --no-run` compiles in CI so the benches can't
-//! rot).
+//! the p50 latency regresses more than 3× (one of the two loose
+//! wall-clock gates), the word index stops engaging (zero
+//! `groups_skipped_by_index` on any dataset), or — on machines with ≥ 2
+//! cores — the fresh run's 4-client throughput fails to reach 1.5× its
+//! own single-client throughput on the ECG dataset (the second
+//! wall-clock gate, self-relative so cross-machine noise cannot trip
+//! it) — otherwise exact counters, not wall-clock, so the gate is stable
+//! on shared runners. The `rep_scan` criterion bench times the columnar
+//! rep scan, envelope tier, sketch tier, and the scalar-vs-blocked
+//! kernels in isolation (`cargo bench --no-run` compiles in CI so the
+//! benches can't rot).
 //!
 //! ## Correctness tooling
 //!
@@ -250,7 +310,11 @@
 //! cascade (**float-discipline**), a `SAFETY:` comment within three lines
 //! of every `unsafe` (**safety-comments**), a `// sound:` soundness
 //! argument above every skip/prune/certify function of the symbolic word
-//! index (**symindex-soundness-comment**), and every `QueryStats`
+//! index (**symindex-soundness-comment**), a `// ordering:` justification
+//! above every atomic `Ordering::` use in library code
+//! (**atomic-ordering-comment** — lock-free code is exactly where a
+//! too-weak ordering passes tests on x86 and corrupts results on ARM),
+//! and every `QueryStats`
 //! counter present in the perf baseline writer (**counter-coverage**).
 //! Deliberate exceptions carry an inline allow directive naming the rule
 //! and the reason, e.g.
