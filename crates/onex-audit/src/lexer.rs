@@ -138,7 +138,15 @@ fn scan_plain_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
     let mut i = start + 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line continuation) still ends a
+                // source line — losing it would shift every comment and
+                // token line after the literal.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -479,6 +487,17 @@ mod tests {
         assert_eq!(m.comments[0].line, 1);
         assert!(m.comments[0].text.contains("trailing"));
         assert_eq!(m.comments[1].line, 2);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_as_a_line() {
+        // A `\`-continued string literal spans two source lines; comments
+        // after it must keep their physical line numbers (the allow
+        // adjacency check depends on them).
+        let src = "let s = \"first \\\n second\";\n// after\nlet t = 1;";
+        let m = mask(src);
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 3, "{:?}", m.comments[0]);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `safety-comments` | all library crates | `unsafe` without a `// SAFETY:` comment |
 //! | `symindex-soundness-comment` | the symbolic word index | skip/prune/certify fns without a nearby `// sound:` argument |
 //! | `atomic-ordering-comment` | all library crates | atomic `Ordering::` uses without a nearby `// ordering:` justification |
+//! | `io-error-context` | onex-core | `OnexError::Io` constructions that do not interpolate the path they failed on |
 //! | `counter-coverage` | engine ↔ bench | `QueryStats` counters missing from the perf JSON writer |
 //!
 //! Genuinely infallible sites are waived inline with
@@ -59,6 +60,12 @@ const SAFETY_SCOPE: &[&str] = &[
     "crates/onex-baselines/src",
     "src",
 ];
+
+/// Scope of `io-error-context`: the crate that owns `OnexError` — every
+/// construction of its `Io` variant must carry the path it failed on
+/// (an IO error without its path is undebuggable once it crosses the
+/// serving boundary).
+const IO_CONTEXT_SCOPE: &[&str] = &["crates/onex-core/src"];
 
 /// Scope of `symindex-soundness-comment`: the symbolic word index, the
 /// only module allowed to discard candidates before the exact cascade
@@ -106,6 +113,11 @@ pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
             files.entry(f).or_default().symindex = true;
         }
     }
+    for scope in IO_CONTEXT_SCOPE {
+        for f in rust_files(&root.join(scope))? {
+            files.entry(f).or_default().io_context = true;
+        }
+    }
 
     for (path, which) in &files {
         let src =
@@ -141,6 +153,9 @@ pub fn run_check(root: &Path) -> Result<Vec<Violation>, String> {
         if which.atomic {
             found.extend(rules::atomic_ordering(&rel, &toks, &masked.comments));
         }
+        if which.io_context {
+            found.extend(rules::io_error_context(&rel, &toks));
+        }
         out.extend(rules::apply_allows(found, &allows));
     }
 
@@ -172,6 +187,7 @@ struct FileRules {
     safety: bool,
     symindex: bool,
     atomic: bool,
+    io_context: bool,
 }
 
 /// Recursively collect `.rs` files under `path`; a missing path yields an

@@ -21,6 +21,7 @@ pub const RULE_SAFETY: &str = "safety-comments";
 pub const RULE_COUNTER: &str = "counter-coverage";
 pub const RULE_SYMINDEX: &str = "symindex-soundness-comment";
 pub const RULE_ATOMIC: &str = "atomic-ordering-comment";
+pub const RULE_IO_CONTEXT: &str = "io-error-context";
 /// Meta-rule for malformed `audit:allow` directives themselves.
 pub const RULE_ALLOW: &str = "audit-allow";
 
@@ -33,6 +34,7 @@ pub const TOKEN_RULES: &[&str] = &[
     RULE_SAFETY,
     RULE_SYMINDEX,
     RULE_ATOMIC,
+    RULE_IO_CONTEXT,
 ];
 
 /// A single lint finding.
@@ -305,6 +307,77 @@ pub fn atomic_ordering(file: &str, toks: &[Tok], comments: &[Comment]) -> Vec<Vi
                 ),
             });
         }
+    }
+    out
+}
+
+/// io-error-context: every `OnexError::Io(...)` *construction* must
+/// interpolate the path (or file/directory handle) it failed on — an IO
+/// error without its path is undebuggable the moment it crosses a serving
+/// boundary. The check is token-level: the argument span must mention an
+/// identifier containing `path`, `dir` or `file`, or call `.display()`
+/// (string literals are masked before the rules run, so context carried
+/// only inside a literal does not count). Match/let *patterns*
+/// (`OnexError::Io(msg) => …`, `OnexError::Io(_)`) destructure rather
+/// than construct and are skipped. Genuinely pathless sites (e.g. a
+/// fault injected at a memory-only boundary) name their operation
+/// context and justify with `audit:allow(io-error-context)`.
+pub fn io_error_context(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let site = toks[i].kind == TokKind::Ident
+            && toks[i].text == "OnexError"
+            && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct && t.text == "::")
+            && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Ident && t.text == "Io")
+            && matches!(toks.get(i + 3), Some(t) if t.kind == TokKind::Punct && t.text == "(");
+        if !site {
+            i += 1;
+            continue;
+        }
+        let open = i + 3;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, t) in toks.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct && t.text == "(" {
+                depth += 1;
+            } else if t.kind == TokKind::Punct && t.text == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+        }
+        let Some(close) = close else { break };
+        let span = &toks[open + 1..close];
+        // `=> …` after the close paren, or a lone `_` inside it, is a
+        // destructuring pattern, not a construction.
+        let is_pattern = matches!(
+            toks.get(close + 1),
+            Some(t) if t.kind == TokKind::Punct && (t.text == "=>" || t.text == "=")
+        ) || (span.len() == 1 && span[0].text == "_");
+        let has_context = span.iter().any(|t| {
+            t.kind == TokKind::Ident && {
+                let lower = t.text.to_ascii_lowercase();
+                lower == "display"
+                    || lower.contains("path")
+                    || lower.contains("dir")
+                    || lower.contains("file")
+            }
+        });
+        if !is_pattern && !has_context {
+            out.push(Violation {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: RULE_IO_CONTEXT,
+                message: "OnexError::Io constructed without path context — interpolate the \
+                          path/file it failed on (e.g. `path.display()`), or justify a \
+                          genuinely pathless site with audit:allow"
+                    .to_string(),
+            });
+        }
+        i = close + 1;
     }
     out
 }
@@ -604,6 +677,41 @@ mod tests {
         let src = "match a.cmp(&b) { Ordering::Less => {} Ordering::Equal => {} Ordering::Greater => {} }";
         let m = mask(src);
         assert!(atomic_ordering("a.rs", &scan(&m.text), &m.comments).is_empty());
+    }
+
+    #[test]
+    fn io_error_context_requires_a_path_in_the_construction() {
+        // Context only inside the (masked) string literal does not count…
+        let v = io_error_context(
+            "a.rs",
+            &toks_of("return Err(OnexError::Io(format!(\"it broke: {e}\")));"),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("path context"));
+        // …while interpolating the path (any of the context idents) does.
+        for good in [
+            "Err(OnexError::Io(format!(\"reading {}: {e}\", path.display())))",
+            "Err(OnexError::Io(format!(\"syncing {}: {e}\", self.path.display())))",
+            "Err(OnexError::Io(format!(\"scanning {}: {e}\", dir.display())))",
+            "Err(OnexError::Io(format!(\"opening {}: {e}\", file_name)))",
+        ] {
+            assert!(
+                io_error_context("a.rs", &toks_of(good)).is_empty(),
+                "{good}"
+            );
+        }
+    }
+
+    #[test]
+    fn io_error_context_skips_destructuring_patterns() {
+        for pattern in [
+            "match e { OnexError::Io(msg) => msg.len(), _ => 0 }",
+            "assert!(matches!(e, OnexError::Io(_)));",
+            "if let OnexError::Io(msg) = e { use_it(msg); }",
+        ] {
+            let v = io_error_context("a.rs", &toks_of(pattern));
+            assert!(v.is_empty(), "{pattern}: {v:?}");
+        }
     }
 
     #[test]

@@ -148,6 +148,35 @@ pub fn cmp_ordering_is_out_of_scope(a: u32, b: u32) -> bool {
 "#,
     )?;
 
+    // --- io-error-context fixture: one bare construction (fires), one
+    //     with the path interpolated, one allow-waived pathless site, and
+    //     destructuring patterns (all clean) ------------------------------
+    write(
+        root,
+        "crates/onex-core/src/io_fixture.rs",
+        r#"
+pub fn seeded_bare_io(e: std::io::Error) -> OnexError {
+    OnexError::Io(format!("it broke: {e}"))
+}
+
+pub fn io_with_path(e: std::io::Error, path: &std::path::Path) -> OnexError {
+    OnexError::Io(format!("reading {}: {e}", path.display()))
+}
+
+pub fn waived_pathless_io() -> OnexError {
+    // audit:allow(io-error-context): fixture — memory-only pathless boundary
+    OnexError::Io("nothing on disk was involved".to_string())
+}
+
+pub fn patterns_are_clean(e: &OnexError) -> usize {
+    match e {
+        OnexError::Io(msg) => msg.len(),
+        _ => 0,
+    }
+}
+"#,
+    )?;
+
     // --- counter-coverage fixture: one emitted, one missing ------------
     write(
         root,
@@ -194,6 +223,11 @@ pub fn emit() -> Vec<(&'static str, u64)> {
             rules::RULE_ATOMIC,
             "onex-ts/src/atomics.rs",
             "Ordering::Relaxed",
+        ),
+        (
+            rules::RULE_IO_CONTEXT,
+            "onex-core/src/io_fixture.rs",
+            "path context",
         ),
     ];
     for (rule, file, needle) in expected {
@@ -259,6 +293,20 @@ pub fn emit() -> Vec<(&'static str, u64)> {
     if atomic_hits != 1 {
         return Err(format!(
             "expected exactly 1 atomic-ordering-comment finding, got {atomic_hits}\nfindings:\n{}",
+            render(&violations)
+        ));
+    }
+
+    // And the path-carrying, allow-waived and destructuring Io sites must
+    // not be reported (exactly one io-error-context finding: the bare
+    // construction).
+    let io_hits = violations
+        .iter()
+        .filter(|v| v.rule == rules::RULE_IO_CONTEXT)
+        .count();
+    if io_hits != 1 {
+        return Err(format!(
+            "expected exactly 1 io-error-context finding, got {io_hits}\nfindings:\n{}",
             render(&violations)
         ));
     }

@@ -6,7 +6,13 @@
 //! ```
 //!
 //! Experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation
-//! perf audit datasets all
+//! perf audit chaos datasets all
+//!
+//! `chaos` runs the seeded fault-injection suite (`--seed` drives the
+//! torn-write prefixes): every registered fault point is fired, the crash
+//! simulated, and the recovered base checked for validated invariants and
+//! byte-identical answers — the CI chaos leg runs it under a
+//! debug-assertions build.
 //! Flags: `--scale <f64>` (default 0.05), `--seed <u64>`, `--runs <usize>`,
 //! `--threads <usize>`, `--csv <dir>` (also write each table as CSV),
 //! `--json <path>` (perf: write the machine-readable counter baseline),
@@ -30,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale f] [--seed n] [--runs n] [--threads n] [--csv dir]\n\
          \x20                     [--json path] [--check-against path]\n\
-         experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation perf audit datasets all"
+         experiments: fig2 fig3 fig4 fig56 fig78 table1 table23 table4 ablation perf audit chaos datasets all"
     );
     std::process::exit(2);
 }
@@ -81,6 +87,7 @@ fn main() {
         "table4" => experiments::table4::run(&ctx),
         "ablation" => experiments::ablation::run(&ctx),
         "audit" => ok = experiments::audit::run(&ctx),
+        "chaos" => ok = experiments::chaos::run(&ctx),
         "datasets" => experiments::datasets::run(&ctx),
         "all" => {
             experiments::datasets::run(&ctx);

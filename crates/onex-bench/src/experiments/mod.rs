@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod audit;
+pub mod chaos;
 pub mod datasets;
 pub mod fig2;
 pub mod fig3;

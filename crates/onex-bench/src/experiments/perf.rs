@@ -229,32 +229,52 @@ const CLASSES: [&str; 4] = [
     "range_verified_exact",
 ];
 
+/// One `serve_class` run: wall clock, merged per-query latencies, and the
+/// two degradation tallies the robustness layer can raise — queries shed
+/// by admission control ([`onex_core::OnexError::Overloaded`]) and
+/// answers that lost their parallel fast path (`stats.degraded`). Both
+/// are 0 in a healthy bench run; the baseline records them so a serving
+/// regression that starts shedding is visible, not silent.
+struct ServeRun {
+    elapsed: f64,
+    latencies: Vec<f64>,
+    shed: usize,
+    degraded: usize,
+}
+
 /// Drives one shared explorer from `clients` threads, each issuing
 /// `ops_per_client` queries of `class` round-robin over the query mix
 /// (offset by client index so concurrent clients do not march in
-/// lockstep). Returns the wall-clock seconds of the whole run and every
-/// per-query latency, merged across clients.
+/// lockstep). Shed queries (admission control) count toward `shed`
+/// rather than panicking the bench; any other error still does.
 fn serve_class(
     explorer: &Explorer,
     queries: &[Query],
     class: &str,
     clients: usize,
     ops_per_client: usize,
-) -> (f64, Vec<f64>) {
+) -> ServeRun {
     let t0 = Instant::now();
-    let per_client: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let per_client: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
                     let mut latencies = Vec::with_capacity(ops_per_client);
+                    let (mut shed, mut degraded) = (0, 0);
                     for i in 0..ops_per_client {
                         let q = &queries[(c + i) % queries.len()];
                         let req = request(class, q, QueryOptions::default());
                         let t = Instant::now();
-                        let _ = explorer.query(req).expect("serving query answers");
-                        latencies.push(t.elapsed().as_secs_f64());
+                        match explorer.query(req) {
+                            Ok(resp) => {
+                                latencies.push(t.elapsed().as_secs_f64());
+                                degraded += resp.stats.degraded as usize;
+                            }
+                            Err(onex_core::OnexError::Overloaded { .. }) => shed += 1,
+                            Err(e) => panic!("serving query failed: {e}"),
+                        }
                     }
-                    latencies
+                    (latencies, shed, degraded)
                 })
             })
             .collect();
@@ -264,7 +284,18 @@ fn serve_class(
             .collect()
     });
     let elapsed = t0.elapsed().as_secs_f64();
-    (elapsed, per_client.into_iter().flatten().collect())
+    let mut run = ServeRun {
+        elapsed,
+        latencies: Vec::new(),
+        shed: 0,
+        degraded: 0,
+    };
+    for (lat, shed, degraded) in per_client {
+        run.latencies.extend(lat);
+        run.shed += shed;
+        run.degraded += degraded;
+    }
+    run
 }
 
 /// The serving section of one dataset block: for every query class and
@@ -282,18 +313,17 @@ fn serve_dataset(explorer: &Explorer, queries: &[Query], ctx: &Ctx, ds: PaperDat
     for class in CLASSES {
         let mut client_objs = Vec::new();
         for &clients in &SERVING_CLIENTS {
-            let (elapsed, latencies) =
-                serve_class(explorer, queries, class, clients, ops_per_client);
-            let ops = latencies.len();
-            let qps = if elapsed > 0.0 {
-                ops as f64 / elapsed
+            let run = serve_class(explorer, queries, class, clients, ops_per_client);
+            let ops = run.latencies.len();
+            let qps = if run.elapsed > 0.0 {
+                ops as f64 / run.elapsed
             } else {
                 0.0
             };
             let (p50, p95, p99) = (
-                harness::percentile(&latencies, 50.0),
-                harness::percentile(&latencies, 95.0),
-                harness::percentile(&latencies, 99.0),
+                harness::percentile(&run.latencies, 50.0),
+                harness::percentile(&run.latencies, 95.0),
+                harness::percentile(&run.latencies, 99.0),
             );
             table.row(vec![
                 class.to_string(),
@@ -320,6 +350,8 @@ fn serve_dataset(explorer: &Explorer, queries: &[Query], ctx: &Ctx, ds: PaperDat
                     "p99_latency_us",
                     Json::Num((p99 * 1e6 * 100.0).round() / 100.0),
                 ),
+                ("shed", Json::num(run.shed)),
+                ("degraded", Json::num(run.degraded)),
             ]));
         }
         class_objs.push(Json::obj(vec![

@@ -123,6 +123,14 @@ pub struct OnexConfig {
     /// scheduling-dependent timing. Runtime-only: snapshots do not persist
     /// this knob and always load with the auto setting.
     pub query_threads: usize,
+    /// Admission-control ceiling on concurrently executing queries per
+    /// [`crate::Explorer`]. `0` (default) disables shedding. When positive,
+    /// a query arriving while `max_inflight` queries are already executing
+    /// is rejected immediately with [`crate::OnexError::Overloaded`] instead
+    /// of queueing unboundedly — overload degrades to fast typed errors,
+    /// never to unbounded latency. Runtime-only: snapshots do not persist
+    /// this knob.
+    pub max_inflight: usize,
 }
 
 impl Default for OnexConfig {
@@ -143,6 +151,7 @@ impl Default for OnexConfig {
             seed: 0xA11CE,
             threads: 1,
             query_threads: 0,
+            max_inflight: 0,
         }
     }
 }
@@ -189,18 +198,41 @@ impl OnexConfig {
     }
 }
 
-/// The `ONEX_QUERY_THREADS` override, parsed once per process. Invalid or
-/// non-positive values are ignored (auto falls through to the machine's
-/// parallelism) rather than erroring: the variable is an operational
-/// convenience for CI matrices, not part of the config contract.
+/// The `ONEX_QUERY_THREADS` override, parsed once per process. Malformed or
+/// non-positive values fall back to the config default (auto falls through
+/// to the machine's parallelism) with a warning on stderr rather than being
+/// silently accepted or erroring: the variable is an operational convenience
+/// for CI matrices, not part of the config contract, but a typo'd value in a
+/// serving deployment must be diagnosable from the logs.
 fn env_query_threads() -> Option<usize> {
     static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("ONEX_QUERY_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+    *CACHE.get_or_init(|| match std::env::var("ONEX_QUERY_THREADS") {
+        Ok(raw) => {
+            let (parsed, warning) = parse_env_query_threads(&raw);
+            if let Some(msg) = warning {
+                eprintln!("warning: {msg}");
+            }
+            parsed
+        }
+        Err(_) => None,
     })
+}
+
+/// Pure parse rule for the `ONEX_QUERY_THREADS` value: `Some(n)` for a
+/// positive integer, otherwise `None` plus a warning message describing the
+/// rejected value. Split out so the malformed-value fallback is
+/// unit-testable without mutating the process environment.
+pub(crate) fn parse_env_query_threads(raw: &str) -> (Option<usize>, Option<String>) {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => (Some(n), None),
+        _ => (
+            None,
+            Some(format!(
+                "ONEX_QUERY_THREADS={raw:?} is not a positive integer; \
+                 falling back to the configured default"
+            )),
+        ),
+    }
 }
 
 /// Pure resolution rule for [`OnexConfig::resolved_query_threads`], split
@@ -287,5 +319,38 @@ mod tests {
         // The default config resolves to something usable.
         assert!(OnexConfig::default().resolved_query_threads() >= 1);
         assert_eq!(OnexConfig::default().query_threads, 0);
+    }
+
+    #[test]
+    fn malformed_query_threads_env_warns_and_falls_back() {
+        // Well-formed positive integers parse cleanly, whitespace tolerated.
+        assert_eq!(parse_env_query_threads("4"), (Some(4), None));
+        assert_eq!(parse_env_query_threads(" 8 "), (Some(8), None));
+        // Malformed or non-positive values fall back to the config default
+        // (None feeds resolve_query_threads's auto path) and carry a
+        // warning naming the rejected value — never silent acceptance.
+        for bad in ["0", "-2", "four", "4.5", "", "  ", "1e3"] {
+            let (parsed, warning) = parse_env_query_threads(bad);
+            assert_eq!(parsed, None, "value {bad:?} must be rejected");
+            let msg = warning.expect("malformed value must produce a warning");
+            assert!(msg.contains("ONEX_QUERY_THREADS"), "warning names the var");
+            assert!(msg.contains(bad.trim()), "warning quotes the value");
+        }
+        // Fallback composes with resolution: auto path still engages.
+        let (parsed, _) = parse_env_query_threads("not-a-number");
+        assert!(resolve_query_threads(0, parsed) >= 1);
+    }
+
+    #[test]
+    fn max_inflight_defaults_to_unlimited() {
+        let c = OnexConfig::default();
+        assert_eq!(c.max_inflight, 0);
+        c.validate().unwrap();
+        // Any ceiling is a valid configuration.
+        let c = OnexConfig {
+            max_inflight: 2,
+            ..Default::default()
+        };
+        c.validate().unwrap();
     }
 }

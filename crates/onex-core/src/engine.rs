@@ -71,8 +71,8 @@
 use crate::query::similarity::{self, SearchCtx, SearchParams};
 use crate::query::{recommend_impl, seasonal_all_impl, seasonal_for_series_impl};
 use crate::symindex::NavNode;
-use crate::{maintain, refine, snapshot};
-use crate::{GroupId, Match, MatchMode, OnexBase, OnexConfig, Result, SeasonalResult};
+use crate::{fault, maintain, refine, snapshot, wal};
+use crate::{GroupId, Match, MatchMode, OnexBase, OnexConfig, OnexError, Result, SeasonalResult};
 use crate::{SimilarityDegree, ThresholdRange};
 use onex_dist::{DtwBuffer, Window};
 use onex_ts::{Dataset, Decomposition, TimeSeries};
@@ -479,6 +479,12 @@ pub struct QueryStats {
     /// Whether a time/evaluation budget stopped the search early (the
     /// result is then the best found within budget).
     pub truncated: bool,
+    /// Whether the parallel scan degraded to its sequential twin because a
+    /// query worker panicked. The answer is still exact and byte-identical
+    /// to a normal run (the panicked scan's partial state is discarded
+    /// wholesale and the whole scan re-runs sequentially) — this flag only
+    /// records that the fast path was lost, so a serving tier can alert.
+    pub degraded: bool,
     /// Generation of the base that answered: starts at 0 and is bumped by
     /// every maintenance hot-swap ([`Explorer::append_series`],
     /// [`Explorer::remove_series`], [`Explorer::refine_to`]). All children
@@ -491,6 +497,7 @@ impl QueryStats {
     fn from_search(
         counters: similarity::QueryStats,
         truncated: bool,
+        degraded: bool,
         elapsed: Duration,
         epoch: u64,
     ) -> Self {
@@ -513,6 +520,7 @@ impl QueryStats {
             groups_skipped_by_index: counters.groups_skipped_by_index,
             elapsed,
             truncated,
+            degraded,
             epoch,
         }
     }
@@ -542,6 +550,7 @@ impl QueryStats {
         self.index_fallbacks += other.index_fallbacks;
         self.groups_skipped_by_index += other.groups_skipped_by_index;
         self.truncated |= other.truncated;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -653,6 +662,45 @@ pub struct Explorer {
     /// construction so concurrent writers can't lose each other's updates);
     /// never touched by the query path.
     writer: Arc<Mutex<()>>,
+    /// Queries currently in flight through [`Explorer::query`] and its
+    /// convenience wrappers — the admission-control gauge behind
+    /// [`OnexConfig::max_inflight`]. Shared by clones, untouched (and
+    /// zero-cost) when shedding is disabled.
+    inflight: Arc<AtomicUsize>,
+    /// The attached write-ahead journal, if any (see
+    /// [`Explorer::attach_wal`]). Appends happen under the `writer` lock,
+    /// so this mutex is uncontended; it exists so clones share the writer.
+    wal: Arc<Mutex<Option<wal::WalWriter>>>,
+}
+
+/// RAII decrement for the in-flight gauge: admission is released when the
+/// query returns, on every path including errors.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        // ordering: Relaxed — the gauge is a saturating counter consulted
+        // only for shedding decisions; no data is published through it.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Admission control: reserves one in-flight slot, or sheds with
+/// [`OnexError::Overloaded`] when `max` are already running. `max == 0`
+/// disables shedding entirely — no atomic traffic at all.
+fn admit(gauge: &AtomicUsize, max: usize) -> Result<Option<InflightGuard<'_>>> {
+    if max == 0 {
+        return Ok(None);
+    }
+    // ordering: Relaxed — see InflightGuard::drop; the reserve/undo pair
+    // only needs atomicity of the counter itself.
+    let prior = gauge.fetch_add(1, Ordering::Relaxed);
+    if prior >= max {
+        // ordering: Relaxed — undoing our own reservation.
+        gauge.fetch_sub(1, Ordering::Relaxed);
+        return Err(OnexError::Overloaded { max_inflight: max });
+    }
+    Ok(Some(InflightGuard(gauge)))
 }
 
 impl Explorer {
@@ -683,6 +731,8 @@ impl Explorer {
         Explorer {
             slot: Arc::new(Mutex::new(Slot { base, epoch })),
             writer: Arc::new(Mutex::new(())),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            wal: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -733,20 +783,48 @@ impl Explorer {
 
     // ---- live maintenance ----
 
+    /// Journals a successful maintenance op to the attached WAL (if any),
+    /// then fires the `hot-swap` fault point. Called under the writer
+    /// lock, after the successor is built and validated but **before**
+    /// [`Explorer::install`] — the write-ahead ordering: an op is durable
+    /// before it is served, and a crash between the two replays it on
+    /// load. On any error the install is skipped and the live base is
+    /// untouched.
+    fn journal(&self, op: &wal::WalOp, next_epoch: u64) -> Result<()> {
+        {
+            let mut wal = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(writer) = wal.as_mut() {
+                writer.append(op, next_epoch)?;
+            }
+        }
+        if fault::probe(fault::HOT_SWAP, 0).is_some() {
+            // Simulated crash after the journal fsync and before the
+            // epoch swap: the op is durable but was never served.
+            // audit:allow(io-error-context): memory-only boundary — no path exists; the epoch being installed is the context
+            return Err(OnexError::Io(format!(
+                "installing epoch {next_epoch}: injected fault before hot-swap"
+            )));
+        }
+        Ok(())
+    }
+
     /// Appends a series (raw units if the base was built from raw data),
     /// returning its index in the dataset. The successor base is
     /// constructed off-line — only the new series' subsequences are
     /// re-assigned, against the existing representatives — and then
     /// atomically hot-swapped: queries in flight finish on the old base,
-    /// queries issued afterwards see the new series.
+    /// queries issued afterwards see the new series. With a WAL attached
+    /// ([`Explorer::attach_wal`]) the op is journaled before the swap.
     pub fn append_series(&self, series: TimeSeries) -> Result<usize> {
         let _writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        let current = self.base();
+        let (current, epoch) = self.pin_parts();
+        let op = wal::WalOp::Append(series.clone());
         let (next, index) = maintain::append_series_impl((*current).clone(), series)?;
         // Deep self-check of the successor before it goes live — debug
         // builds only; see OnexBase::validate_invariants for the catalog.
         #[cfg(debug_assertions)]
         next.validate_invariants()?;
+        self.journal(&op, epoch + 1)?;
         self.install(next);
         Ok(index)
     }
@@ -756,14 +834,16 @@ impl Explorer {
     /// groups, emptied groups are retired, shrunk groups re-elect their
     /// representative, and surviving references are remapped — then the
     /// successor is atomically hot-swapped. Note that series indices above
-    /// `index` shift down by one, exactly as in `Vec::remove`.
+    /// `index` shift down by one, exactly as in `Vec::remove`. With a WAL
+    /// attached the op is journaled before the swap.
     pub fn remove_series(&self, index: usize) -> Result<TimeSeries> {
         let _writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        let current = self.base();
+        let (current, epoch) = self.pin_parts();
         let (next, removed) = maintain::remove_series_impl((*current).clone(), index)?;
         // Deep self-check of the successor before it goes live (debug only).
         #[cfg(debug_assertions)]
         next.validate_invariants()?;
+        self.journal(&wal::WalOp::Remove(index), epoch + 1)?;
         self.install(next);
         Ok(removed)
     }
@@ -771,14 +851,16 @@ impl Explorer {
     /// Re-thresholds the base to `st_prime` (the paper's Algorithm 2.C:
     /// groups split under a tighter threshold, cascade-merge under a looser
     /// one — no raw-data re-clustering), then atomically hot-swaps the
-    /// refined base. Returns the new epoch.
+    /// refined base. Returns the new epoch. With a WAL attached the op is
+    /// journaled before the swap.
     pub fn refine_to(&self, st_prime: f64) -> Result<u64> {
         let _writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        let current = self.base();
+        let (current, epoch) = self.pin_parts();
         let next = refine::refine_impl(&current, st_prime)?;
         // Deep self-check of the successor before it goes live (debug only).
         #[cfg(debug_assertions)]
         next.validate_invariants()?;
+        self.journal(&wal::WalOp::Refine(st_prime), epoch + 1)?;
         Ok(self.install(next))
     }
 
@@ -802,20 +884,90 @@ impl Explorer {
 
     // ---- persistence ----
 
+    /// Attaches a write-ahead journal at `path` (conventionally
+    /// [`crate::wal::sidecar_path`] of the snapshot): from now on every
+    /// maintenance op is appended and fsynced there **before** its
+    /// hot-swap, so ops between snapshots survive a crash and are replayed
+    /// by [`Explorer::load`]. If the file already holds records they are
+    /// *not* replayed here (attach is for journaling, load is for
+    /// recovery) — any torn tail is truncated and appends resume after the
+    /// intact prefix.
+    pub fn attach_wal(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let _writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let resume_len = match std::fs::read(path) {
+            Ok(bytes) => wal::decode_log(&bytes)?.valid_len as u64,
+            Err(_) => 0,
+        };
+        let writer = wal::WalWriter::open(path, resume_len)?;
+        let mut wal = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        *wal = Some(writer);
+        Ok(())
+    }
+
+    /// Detaches the write-ahead journal, if one is attached; subsequent
+    /// maintenance ops are no longer journaled. The file is left intact.
+    pub fn detach_wal(&self) {
+        let _writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let mut wal = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        *wal = None;
+    }
+
     /// Writes the current base to `path` as a v5 snapshot: checksummed
     /// (CRC-32 footer) and stamped with the current epoch, so
-    /// [`Explorer::load`] resumes the generation count.
+    /// [`Explorer::load`] resumes the generation count. The write is
+    /// atomic (temp file → fsync → rename): a crash mid-save leaves the
+    /// previous snapshot intact. If the attached WAL is the sidecar of
+    /// `path`, a successful save checkpoints it: every journaled op is now
+    /// folded into the snapshot, so the journal is reset to empty. (A
+    /// crash between the rename and the reset is safe — replay skips
+    /// records at or below the snapshot's epoch.)
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let _writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
         let (base, epoch) = self.pin_parts();
-        snapshot::write_snapshot(&base, epoch, path)
+        snapshot::write_snapshot(&base, epoch, path)?;
+        let mut wal = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(writer) = wal.as_mut() {
+            if writer.path() == wal::sidecar_path(path) {
+                writer.reset()?;
+            }
+        }
+        Ok(())
     }
 
     /// Loads a snapshot (any version, v1 through v5) from `path`,
     /// restoring the recorded epoch (0 for v1 snapshots, which predate
-    /// epochs).
+    /// epochs). If a WAL sidecar ([`crate::wal::sidecar_path`]) exists
+    /// next to the snapshot, every journaled maintenance op past the
+    /// snapshot's epoch is **replayed** (a torn final record — the
+    /// signature of an append interrupted by a crash — is dropped), the
+    /// recovered base is re-validated, and the journal stays attached so
+    /// further ops keep journaling.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
         let (base, epoch) = snapshot::read_snapshot(path)?;
-        Ok(Self::with_epoch(Arc::new(base), epoch))
+        let sidecar = wal::sidecar_path(path);
+        if !sidecar.exists() {
+            return Ok(Self::with_epoch(Arc::new(base), epoch));
+        }
+        let recovery = wal::replay(&sidecar, base, epoch)?;
+        if recovery.torn_bytes > 0 {
+            eprintln!(
+                "warning: wal {}: dropped {} byte(s) of torn tail (crash-interrupted \
+                 append); {} op(s) replayed",
+                sidecar.display(),
+                recovery.torn_bytes,
+                recovery.applied
+            );
+        }
+        let explorer = Self::with_epoch(Arc::new(recovery.base), recovery.epoch);
+        let writer = wal::WalWriter::open(&sidecar, recovery.valid_len)?;
+        {
+            let mut wal = explorer.wal.lock().unwrap_or_else(|p| p.into_inner());
+            *wal = Some(writer);
+        }
+        Ok(explorer)
     }
 
     // ---- queries ----
@@ -828,8 +980,18 @@ impl Explorer {
     /// class goes through; the typed convenience methods below are thin
     /// wrappers. The whole request — including every child of a
     /// [`QueryRequest::Batch`] — is answered on one pinned base.
+    ///
+    /// With [`OnexConfig::max_inflight`] set, this method (and every
+    /// wrapper) passes admission control first: when that many queries are
+    /// already running through this explorer or its clones, the call is
+    /// shed immediately with [`OnexError::Overloaded`] instead of queueing
+    /// — the serving tier decides whether to retry or fail over. Pinned
+    /// sessions ([`Explorer::pin`]) bypass the gauge: a pin is an explicit
+    /// reservation.
     pub fn query(&self, request: QueryRequest) -> Result<QueryResponse> {
-        self.pin().query(request)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.query(request)
     }
 
     /// Class I convenience: single best match. Borrows the query — no
@@ -840,7 +1002,9 @@ impl Explorer {
         mode: MatchMode,
         options: QueryOptions,
     ) -> Result<Match> {
-        self.pin().best_match(values, mode, options)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.best_match(values, mode, options)
     }
 
     /// Class I convenience: top-`k` matches. Borrows the query.
@@ -851,7 +1015,9 @@ impl Explorer {
         k: usize,
         options: QueryOptions,
     ) -> Result<Vec<Match>> {
-        self.pin().top_k(values, mode, k, options)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.top_k(values, mode, k, options)
     }
 
     /// Class I convenience: range query. Borrows the query.
@@ -862,12 +1028,16 @@ impl Explorer {
         verify: bool,
         options: QueryOptions,
     ) -> Result<Vec<Match>> {
-        self.pin().within_threshold(values, mode, verify, options)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.within_threshold(values, mode, verify, options)
     }
 
     /// Class II convenience: data-driven seasonal patterns.
     pub fn seasonal_all(&self, len: usize, min_members: usize) -> Result<Vec<SeasonalResult>> {
-        self.pin().seasonal_all(len, min_members)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.seasonal_all(len, min_members)
     }
 
     /// Class II convenience: seasonal patterns within one series.
@@ -877,7 +1047,9 @@ impl Explorer {
         len: usize,
         min_recurrence: usize,
     ) -> Result<Vec<SeasonalResult>> {
-        self.pin().seasonal_for_series(series, len, min_recurrence)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.seasonal_for_series(series, len, min_recurrence)
     }
 
     /// Class III convenience: threshold recommendations.
@@ -886,7 +1058,9 @@ impl Explorer {
         degree: Option<SimilarityDegree>,
         len: Option<usize>,
     ) -> Result<Vec<ThresholdRange>> {
-        self.pin().recommend(degree, len)
+        let pinned = self.pin();
+        let _admit = admit(&self.inflight, pinned.base().config().max_inflight)?;
+        pinned.recommend(degree, len)
     }
 }
 
@@ -1138,7 +1312,13 @@ where
             ..SearchCtx::default()
         };
         let outcome = body(base, &params, &mut ctx);
-        let stats = QueryStats::from_search(ctx.stats, ctx.truncated, started.elapsed(), epoch);
+        let stats = QueryStats::from_search(
+            ctx.stats,
+            ctx.truncated,
+            ctx.degraded,
+            started.elapsed(),
+            epoch,
+        );
         cell.replace(ctx.buf);
         outcome.map(|result| QueryResponse { result, stats })
     })
@@ -1328,6 +1508,41 @@ mod tests {
         assert_send_sync::<ExplorerBuilder>();
         assert_send_sync::<QueryRequest>();
         assert_send_sync::<QueryResponse>();
+    }
+
+    #[test]
+    fn admission_control_sheds_at_the_inflight_ceiling() {
+        let d = synth::sine_mix(8, 24, 2, 11);
+        let config = OnexConfig {
+            max_inflight: 2,
+            ..OnexConfig::default()
+        };
+        let e = Explorer::build(&d, config).unwrap();
+        let q = e.base().dataset().series()[0].values()[2..14].to_vec();
+        // Under the ceiling: admitted normally.
+        assert!(e
+            .query(QueryRequest::best_match(q.clone(), MatchMode::Any))
+            .is_ok());
+        // Park two phantom queries on the gauge: the next call is shed with
+        // the typed overload error instead of queueing.
+        // ordering: Relaxed — test-only gauge manipulation, single thread.
+        e.inflight.fetch_add(2, Ordering::Relaxed);
+        let err = e
+            .query(QueryRequest::best_match(q.clone(), MatchMode::Any))
+            .unwrap_err();
+        assert_eq!(err, OnexError::Overloaded { max_inflight: 2 });
+        assert!(err.to_string().contains("2 queries already in flight"));
+        // Pinned sessions bypass admission — a pin is a reservation.
+        assert!(e
+            .pin()
+            .best_match(&q, MatchMode::Any, QueryOptions::default())
+            .is_ok());
+        // Slots free again: admitted, and the shed attempt left no residue.
+        // ordering: Relaxed — test-only gauge manipulation, single thread.
+        e.inflight.fetch_sub(2, Ordering::Relaxed);
+        assert!(e.query(QueryRequest::best_match(q, MatchMode::Any)).is_ok());
+        // ordering: Relaxed — test-only gauge read, single thread.
+        assert_eq!(e.inflight.load(Ordering::Relaxed), 0);
     }
 
     #[test]

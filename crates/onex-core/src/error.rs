@@ -43,6 +43,14 @@ pub enum OnexError {
     /// A lifecycle file operation (snapshot save/load, CSV ingest) failed at
     /// the filesystem level; the message carries the path and OS error.
     Io(String),
+    /// Admission control shed this query: the engine already had
+    /// [`crate::OnexConfig::max_inflight`] queries in flight. Overload is
+    /// surfaced immediately and typed — never queued unboundedly — so a
+    /// serving tier can retry, back off, or fail over.
+    Overloaded {
+        /// The configured in-flight ceiling that was hit.
+        max_inflight: usize,
+    },
     /// A deep structural invariant of the base failed to hold (see
     /// [`crate::OnexBase::validate_invariants`]): slab strides, envelope
     /// ordering, sketch-plane recomputes, membership reconciliation. The
@@ -78,6 +86,10 @@ impl fmt::Display for OnexError {
             OnexError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
             OnexError::InvalidRefinement(msg) => write!(f, "invalid refinement: {msg}"),
             OnexError::Io(msg) => write!(f, "i/o error: {msg}"),
+            OnexError::Overloaded { max_inflight } => write!(
+                f,
+                "query shed by admission control: {max_inflight} queries already in flight"
+            ),
             OnexError::InvariantViolation(msg) => {
                 write!(f, "invariant violation: {msg}")
             }

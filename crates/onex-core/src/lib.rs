@@ -64,6 +64,12 @@
 //!   certified group skips and interactive drill-down navigation. **Index
 //!   proposes, cascade disposes** — results stay byte-identical with the
 //!   index on or off.
+//! * [`wal`] + [`fault`] — the fault-tolerance layer: a CRC-framed
+//!   write-ahead journal makes maintenance between snapshots crash-safe
+//!   (sidecar log, replayed by [`engine::Explorer::load`]), snapshot
+//!   writes are atomic (temp file → fsync → rename), and a deterministic
+//!   chaos harness ([`fault`], armed via `ONEX_FAULTS`) injects crashes at
+//!   every durability and isolation boundary to prove recovery.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -75,6 +81,7 @@ mod error;
 pub mod build;
 pub mod classify;
 pub mod engine;
+pub mod fault;
 pub mod group;
 pub mod index;
 pub mod maintain;
@@ -84,6 +91,7 @@ pub mod snapshot;
 pub mod spspace;
 pub mod store;
 pub mod symindex;
+pub mod wal;
 
 pub use base::{BaseStats, OnexBase};
 pub use config::{BuildMode, ClusterStrategy, OnexConfig};

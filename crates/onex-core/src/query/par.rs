@@ -56,25 +56,36 @@ pub(crate) fn plan_workers(query_threads: usize, budgeted: bool, units: usize) -
 
 /// Runs `run(w)` for each worker `w in 0..workers` on scoped threads and
 /// returns the results **in worker order** — the deterministic merge
-/// order every striped scan relies on. Panics in a worker propagate to
-/// the caller (as `std::thread::scope` guarantees).
-pub(crate) fn fan_stripes<R, F>(workers: usize, run: F) -> Vec<R>
+/// order every striped scan relies on.
+///
+/// A panic in any worker is **contained**: every handle is joined (so the
+/// scope never re-raises), the panic payload is dropped, and the call
+/// returns `None` with no partial results. Callers must then discard all
+/// shared scan state and fall back to the sequential twin — re-running
+/// only the dead worker's stripe is unsound, because its surviving
+/// siblings already pushed keys into shared structures and a re-run would
+/// admit them twice. The sequential re-scan reproduces the answer bit for
+/// bit (see the module soundness notes), so a panic costs the fast path,
+/// never correctness — and can never poison the `Explorer`.
+pub(crate) fn fan_stripes<R, F>(workers: usize, run: F) -> Option<Vec<R>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     let run = &run;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || run(w))).collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                // A worker panicked: re-raise on the caller thread rather
-                // than fabricating a partial result.
-                Err(payload) => std::panic::resume_unwind(payload),
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    crate::fault::maybe_panic_worker();
+                    run(w)
+                })
             })
-            .collect()
+            .collect();
+        // Join every handle unconditionally before deciding the outcome:
+        // an unjoined panicked handle would re-raise when the scope exits.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined.into_iter().map(|r| r.ok()).collect()
     })
 }
 
@@ -210,7 +221,23 @@ mod tests {
     #[test]
     fn fan_stripes_returns_worker_order() {
         let got = fan_stripes(4, |w| w * 10);
-        assert_eq!(got, vec![0, 10, 20, 30]);
+        assert_eq!(got, Some(vec![0, 10, 20, 30]));
+    }
+
+    #[test]
+    fn fan_stripes_contains_a_panicking_worker() {
+        // Silence the panicking worker's default backtrace print.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = fan_stripes(4, |w| {
+            // audit:allow(no-panic-in-lib): test-only injected panic.
+            assert!(w != 2, "injected worker panic");
+            w
+        });
+        std::panic::set_hook(prev);
+        // No partial results escape, and the caller thread survives to
+        // run the sequential fallback.
+        assert_eq!(got, None);
     }
 
     #[test]

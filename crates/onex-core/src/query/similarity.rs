@@ -331,6 +331,10 @@ pub(crate) struct SearchCtx {
     /// Set when a deadline or evaluation cap stopped the search early; the
     /// result is the best found within budget (anytime semantics).
     pub truncated: bool,
+    /// Set when a striped scan lost a worker to a panic and the whole scan
+    /// re-ran on the sequential twin. The answer is still exact — only the
+    /// fast path degraded.
+    pub degraded: bool,
     /// Query envelope + contribution order, built lazily per query.
     pub qenv: QueryEnvelopeCache,
     /// Scratch for the per-candidate LB_Keogh suffix array.
@@ -347,6 +351,7 @@ impl SearchCtx {
     pub fn begin(&mut self) {
         self.stats = QueryStats::default();
         self.truncated = false;
+        self.degraded = false;
         self.qenv.begin();
     }
 
@@ -696,8 +701,8 @@ pub(crate) fn top_k(
         let qualified = choices.iter().any(|c| c.raw / scale <= p.st / 2.0);
         let units: usize = choices.iter().map(|c| slab.members(c.local).len()).sum();
         let workers = plan_workers(p.query_threads, p.budgeted(), units);
-        if workers > 1 {
-            topk_members_striped(
+        let striped_ok = workers > 1
+            && topk_members_striped(
                 base,
                 q,
                 slab,
@@ -710,7 +715,7 @@ pub(crate) fn top_k(
                 ctx,
                 workers,
             );
-        } else {
+        if !striped_ok {
             for c in &choices {
                 let norm = c.raw / scale;
                 for (mi, &(r, _)) in slab.members(c.local).iter().enumerate() {
@@ -855,10 +860,11 @@ pub(crate) fn within_threshold(
         // result-identical but *counter*-identical to the sequential one:
         // each group's evaluation sees exactly the same cutoffs either way.
         let workers = plan_workers(p.query_threads, p.budgeted(), idx.group_count());
-        if workers > 1 {
-            range_scan_striped(
+        if workers > 1
+            && range_scan_striped(
                 base, q, slab, idx, verify, st, norm, scan_limit, masked, &mut out, p, ctx, workers,
-            );
+            )
+        {
             continue;
         }
         for local in idx.median_out_order() {
@@ -949,6 +955,11 @@ pub(crate) fn within_threshold(
 /// counters exactly at any worker count. Matches are appended in worker
 /// order; the caller's total-order sort on `(dist, subseq)` erases the
 /// difference from the sequential append order.
+///
+/// Returns `false` — with `ctx.degraded` latched, no matches appended and
+/// no counters charged — when a worker panicked; the caller must then run
+/// the sequential twin for this length, which reproduces the striped
+/// scan's would-be answer exactly.
 #[allow(clippy::too_many_arguments)]
 fn range_scan_striped(
     base: &OnexBase,
@@ -964,7 +975,7 @@ fn range_scan_striped(
     p: &SearchParams,
     ctx: &mut SearchCtx,
     workers: usize,
-) {
+) -> bool {
     let order: Vec<usize> = idx.median_out_order().collect();
     let order = order.as_slice();
     // The mask was filled in the caller's context; lend it to the workers
@@ -1045,11 +1056,18 @@ fn range_scan_striped(
         (local_out, wctx)
     });
     ctx.skip = skip;
+    let Some(results) = results else {
+        // A worker panicked: every partial result is discarded and the
+        // caller re-runs this length sequentially.
+        ctx.degraded = true;
+        return false;
+    };
     for (local_out, wctx) in results {
         out.extend(local_out);
         ctx.stats.merge_counts(&wctx.stats);
         ctx.truncated |= wctx.truncated;
     }
+    true
 }
 
 fn best_match_at_length(
@@ -1197,7 +1215,11 @@ fn best_reps(
 ) -> Vec<RepChoice> {
     let workers = plan_workers(p.query_threads, p.budgeted(), idx.group_count());
     if workers > 1 {
-        return best_reps_striped(q, idx, slab, sym, top, p, ctx, workers);
+        if let Some(kept) = best_reps_striped(q, idx, slab, sym, top, p, ctx, workers) {
+            return kept;
+        }
+        // A worker panicked: fall through to the sequential scan below,
+        // which recomputes the choice set from scratch.
     }
     let mut kept: Vec<RepChoice> = Vec::with_capacity(top + 1);
     let mut cutoff = f64::INFINITY;
@@ -1281,6 +1303,9 @@ fn best_reps(
 /// symbolic index independently at its first finite cutoff (the mask
 /// stays sound for any tighter cutoff, as in the sequential scan);
 /// per-worker counters are merged by field-wise sum.
+///
+/// Returns `None` — with `ctx.degraded` latched, no counters charged —
+/// when a worker panicked; the caller must then run the sequential twin.
 #[allow(clippy::too_many_arguments)]
 fn best_reps_striped(
     q: &[f64],
@@ -1291,7 +1316,7 @@ fn best_reps_striped(
     p: &SearchParams,
     ctx: &mut SearchCtx,
     workers: usize,
-) -> Vec<RepChoice> {
+) -> Option<Vec<RepChoice>> {
     let order: Vec<usize> = idx.median_out_order().collect();
     let order = order.as_slice();
     let sym = symindex_applicable(sym, q, slab, p);
@@ -1358,6 +1383,15 @@ fn best_reps_striped(
         }
         (kept, wctx, masked)
     });
+    let results = match results {
+        Some(results) => results,
+        None => {
+            // A worker panicked: discard every partial finalist and fall
+            // back to the sequential scan.
+            ctx.degraded = true;
+            return None;
+        }
+    };
     let mut merged: Vec<(f64, usize, RepChoice)> = Vec::new();
     let mut any_masked = false;
     for (kept, wctx, masked) in results {
@@ -1371,7 +1405,7 @@ fn best_reps_striped(
     }
     merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     merged.truncate(top);
-    merged.into_iter().map(|(_, _, c)| c).collect()
+    Some(merged.into_iter().map(|(_, _, c)| c).collect())
 }
 
 /// The striped-parallel member scan of [`top_k`] for one length: the
@@ -1386,6 +1420,11 @@ fn best_reps_striped(
 /// total-order sort on `(key, subseq)` plus `truncate(k)` then yields the
 /// sequential result bit for bit. Survivors are appended to `all` in
 /// worker order and per-worker counters merged by field-wise sum.
+///
+/// Returns `false` — with `ctx.degraded` latched, `topk_keys` restored to
+/// its pre-call state, nothing appended to `all` and no counters charged
+/// — when a worker panicked; the caller must then run the sequential twin
+/// for this length.
 #[allow(clippy::too_many_arguments)]
 fn topk_members_striped(
     base: &OnexBase,
@@ -1399,7 +1438,7 @@ fn topk_members_striped(
     p: &SearchParams,
     ctx: &mut SearchCtx,
     workers: usize,
-) {
+) -> bool {
     let mut units: Vec<(usize, usize)> = Vec::new();
     for (ci, c) in choices.iter().enumerate() {
         for mi in 0..slab.members(c.local).len() {
@@ -1407,6 +1446,10 @@ fn topk_members_striped(
         }
     }
     let units = units.as_slice();
+    // Keep a pristine copy of the carried keys: if a worker panics, the
+    // shared set may hold a partial admixture of this length's keys and
+    // must be thrown away wholesale before the sequential re-scan.
+    let saved_keys = topk_keys.clone();
     // Carry the keys accumulated at earlier lengths into the shared set so
     // the cross-length cutoff semantics match the sequential scan.
     let shared = SharedTopK::new(std::mem::take(topk_keys), k);
@@ -1450,12 +1493,20 @@ fn topk_members_striped(
         }
         (local, wctx)
     });
+    let Some(results) = results else {
+        // A worker panicked: restore the carried keys exactly as they
+        // were and let the caller re-run this length sequentially.
+        *topk_keys = saved_keys;
+        ctx.degraded = true;
+        return false;
+    };
     for (local, wctx) in results {
         all.extend(local);
         ctx.stats.merge_counts(&wctx.stats);
         ctx.truncated |= wctx.truncated;
     }
     *topk_keys = shared.into_keys();
+    true
 }
 
 /// Best member inside a group (§5.3, third optimization): members are

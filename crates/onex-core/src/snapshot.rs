@@ -59,6 +59,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use onex_dist::Window;
 use onex_ts::normalize::MinMaxParams;
 use onex_ts::{Dataset, Decomposition, SubseqRef, TimeSeries};
+use std::fs::File;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ONEX";
@@ -235,15 +236,84 @@ pub fn load(path: impl AsRef<Path>) -> Result<OnexBase> {
 }
 
 /// Shared file writer behind [`save`] and [`crate::engine::Explorer::save`].
+///
+/// The write is **atomic**: bytes go to a `.tmp` sibling first, are fsynced,
+/// and only then renamed over the destination (followed by a best-effort
+/// parent-directory fsync so the rename itself is durable). A crash at any
+/// instant leaves either the complete old snapshot or the complete new one
+/// — never a torn file — which the `snapshot-write` fault point proves by
+/// tearing the temp file and checking the destination still loads.
 pub(crate) fn write_snapshot(base: &OnexBase, epoch: u64, path: impl AsRef<Path>) -> Result<()> {
+    use std::io::Write;
+
     let path = path.as_ref();
-    std::fs::write(path, encode_with_epoch(base, epoch))
-        .map_err(|e| OnexError::Io(format!("writing snapshot {}: {e}", path.display())))
+    let io = |what: &str, e: std::io::Error| {
+        OnexError::Io(format!("{what} snapshot {}: {e}", path.display()))
+    };
+    let bytes = encode_with_epoch(base, epoch);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    match crate::fault::probe(crate::fault::SNAPSHOT_WRITE, bytes.len()) {
+        None => {}
+        Some(crate::fault::Injection::Fail) => {
+            return Err(OnexError::Io(format!(
+                "writing snapshot {}: injected fault before write",
+                path.display()
+            )));
+        }
+        Some(crate::fault::Injection::Torn { keep }) => {
+            // Simulated crash mid-write: a torn temp file is left behind
+            // and the rename never happens, so the destination is intact.
+            let keep = keep.min(bytes.len());
+            if let Ok(mut f) = File::create(&tmp) {
+                let _ = f.write_all(&bytes[..keep]);
+                let _ = f.sync_all();
+            }
+            return Err(OnexError::Io(format!(
+                "writing snapshot {}: injected fault tore the write after {keep} of {} bytes",
+                path.display(),
+                bytes.len()
+            )));
+        }
+    }
+    let mut file = File::create(&tmp).map_err(|e| io("creating temp file for", e))?;
+    file.write_all(&bytes).map_err(|e| io("writing", e))?;
+    file.sync_all().map_err(|e| io("syncing", e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io("renaming temp file into", e))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Best-effort: make the rename itself durable. Some platforms
+        // refuse to fsync a directory handle; the data is already synced.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Shared file reader behind [`load`] and [`crate::engine::Explorer::load`].
+///
+/// Misuse that `std::fs::read` reports confusingly (or not at all) is
+/// pre-checked into typed [`OnexError::Io`] values naming the path: a
+/// directory, or a zero-length file (which can never be a snapshot and
+/// usually means a botched copy).
 pub(crate) fn read_snapshot(path: impl AsRef<Path>) -> Result<(OnexBase, u64)> {
     let path = path.as_ref();
+    if let Ok(meta) = std::fs::metadata(path) {
+        if meta.is_dir() {
+            return Err(OnexError::Io(format!(
+                "reading snapshot {}: path is a directory, not a snapshot file",
+                path.display()
+            )));
+        }
+        if meta.len() == 0 {
+            return Err(OnexError::Io(format!(
+                "reading snapshot {}: file is empty (zero bytes)",
+                path.display()
+            )));
+        }
+    }
     let data = std::fs::read(path)
         .map_err(|e| OnexError::Io(format!("reading snapshot {}: {e}", path.display())))?;
     decode_with_epoch(&data)
@@ -633,8 +703,9 @@ fn decode_payload_columnar(buf: &mut &[u8], version: u8) -> Result<OnexBase> {
 }
 
 /// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), table-driven with the
-/// table computed at compile time — no dependency needed.
-fn crc32(data: &[u8]) -> u32 {
+/// table computed at compile time — no dependency needed. Shared with the
+/// [`crate::wal`] record framing so both durability formats use one CRC.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
@@ -799,11 +870,13 @@ fn decode_config(buf: &mut &[u8], with_paa: bool, with_sax: bool) -> Result<Onex
         sax_alphabet,
         seed,
         threads,
-        // Runtime-only serving knob, deliberately not persisted: a snapshot
-        // moved across machines should query with the *host's* parallelism,
-        // not the builder's, and the knob is accuracy-neutral so the loaded
-        // base answers byte-identically either way.
+        // Runtime-only serving knobs, deliberately not persisted: a snapshot
+        // moved across machines should query with the *host's* parallelism
+        // and overload policy, not the builder's, and both knobs are
+        // accuracy-neutral so the loaded base answers byte-identically
+        // either way.
         query_threads: 0,
+        max_inflight: 0,
     })
 }
 

@@ -223,6 +223,61 @@
 //! `query_threads ∈ {1, 2, 4, 8}`, and CI runs the whole test suite under
 //! `ONEX_QUERY_THREADS=1` and `=4`.
 //!
+//! ## Failure model & durability
+//!
+//! The engine's robustness contract has two halves — nothing on disk is
+//! ever half-applied, and nothing at runtime fails wider than one query:
+//!
+//! * **Durability.** [`Explorer::save`] writes snapshots atomically
+//!   (temp file → fsync → rename → directory fsync), so a crash mid-save
+//!   leaves the previous snapshot intact, never a torn file. Between
+//!   snapshots, an attached **write-ahead log**
+//!   ([`Explorer::attach_wal`], module [`core::wal`]) journals every
+//!   maintenance op (append / remove / refine) as a CRC-framed record
+//!   and fsyncs *before* the epoch hot-swap: an op either fails before
+//!   it is visible or survives a crash. [`Explorer::load`] replays the
+//!   sidecar journal on top of the snapshot — a torn final record
+//!   (crash mid-append) is dropped with a warning, never fatal; damage
+//!   anywhere else is rejected as [`core::OnexError::SnapshotCorrupt`];
+//!   every recovered base must pass the deep invariant validator before
+//!   it serves. Saving checkpoints the journal back to empty, and
+//!   replay is idempotent (records at or below the snapshot's epoch are
+//!   skipped), so a crash at any point of the save-then-reset sequence
+//!   recovers exactly.
+//! * **Isolation & degradation.** A panic in an intra-query worker is
+//!   contained: the scan discards all partial state, re-runs
+//!   sequentially, returns the byte-identical answer, and raises the
+//!   [`QueryStats::degraded`] flag (the answer is still exact — only
+//!   the parallel fast path was lost). Under overload, admission
+//!   control (`max_inflight`) sheds excess queries immediately with a
+//!   typed [`OnexError::Overloaded`] instead of queueing unboundedly,
+//!   and per-query deadlines (`time_budget`) bound tail latency with a
+//!   deterministic truncation point. The serving perf baseline records
+//!   both tallies (`shed` / `degraded`), which stay 0 in healthy runs.
+//! * **Chaos coverage.** Module [`core::fault`] registers a named fault
+//!   point at every one of these boundaries (snapshot write, WAL
+//!   append, worker spawn, hot-swap), armed deterministically via the
+//!   `ONEX_FAULTS` environment variable (e.g.
+//!   `ONEX_FAULTS="seed=7,wal-append@2:torn"`) or programmatically —
+//!   zero-cost when unset. `repro chaos --seed 7` drives every point
+//!   through crash-and-recover and asserts validated, byte-identical
+//!   recovery; CI runs it under a debug-assertions build next to the
+//!   seeded crash-recovery test suite.
+//!
+//! The serving-robustness knobs in one place:
+//!
+//! | knob | where | default | effect |
+//! |------|-------|---------|--------|
+//! | `max_inflight` | [`OnexConfig`] | 0 (off) | shed queries beyond N in flight with [`OnexError::Overloaded`] |
+//! | `time_budget` | [`QueryOptions`] | none | wall-clock deadline; truncates deterministically, sets `stats.truncated` |
+//! | `max_dtw_evals` | [`QueryOptions`] | none | work-budget twin of `time_budget` |
+//! | `query_threads` | [`OnexConfig`] / [`QueryOptions`] | 0 (auto) | intra-query workers; panic in one degrades to sequential, sets `stats.degraded` |
+//! | `ONEX_FAULTS` | environment | unset | arm deterministic fault injection (chaos harness) |
+//!
+//! `ONEX_FAULTS` and `ONEX_QUERY_THREADS` are hardened against
+//! operational typos: a malformed value logs a warning and falls back to
+//! the safe default (disabled / auto) rather than half-applying.
+//!
 //! ## Performance
 //!
 //! The Class I hot path runs **every** DTW candidate — representative

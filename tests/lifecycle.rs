@@ -415,6 +415,143 @@ fn v5_truncation_and_bit_flips_are_rejected_not_panics() {
     }
 }
 
+// ---- WAL hostile inputs & typed IO errors ----
+
+/// Sets up a saved snapshot with an attached sidecar WAL holding `ops`
+/// successful appends, returning `(dir, snapshot path, wal path)`. The
+/// explorer is dropped (simulated crash) so the files are the only state.
+fn snapshot_with_wal(tag: &str, ops: usize) -> (std::path::PathBuf, std::path::PathBuf) {
+    let dir = test_dir().join(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("base.onex");
+    let e = Explorer::from_base(base());
+    e.save(&snap).unwrap();
+    e.attach_wal(onex::core::wal::sidecar_path(&snap)).unwrap();
+    for i in 0..ops {
+        e.append_series(novel_series(i)).unwrap();
+    }
+    drop(e);
+    (snap.clone(), onex::core::wal::sidecar_path(&snap))
+}
+
+/// The reference state after `ops` appends, built without any journaling.
+fn reference_after(ops: usize) -> Explorer {
+    let e = Explorer::from_base(base());
+    for i in 0..ops {
+        e.append_series(novel_series(i)).unwrap();
+    }
+    e
+}
+
+#[test]
+fn wal_torn_tail_is_dropped_and_the_intact_prefix_replays() {
+    let (snap, wal_path) = snapshot_with_wal("torn", 2);
+    let bytes = std::fs::read(&wal_path).unwrap();
+    // Locate the first record's frame: header (5 bytes), then
+    // [len u32][payload][crc u32].
+    let len = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+    let first_end = 5 + 4 + len + 4;
+    assert!(first_end < bytes.len(), "fixture needs two records");
+    // Tear the log at three points inside the second record: right after
+    // the first record, mid-payload, and one byte short of complete.
+    for cut in [first_end, first_end + 7, bytes.len() - 1] {
+        std::fs::write(&wal_path, &bytes[..cut]).unwrap();
+        let recovered = Explorer::load(&snap).unwrap();
+        recovered.base().validate_invariants().unwrap();
+        assert_eq!(recovered.epoch(), 1, "cut at {cut}: one op must replay");
+        assert_eq!(
+            *recovered.base(),
+            *reference_after(1).base(),
+            "cut at {cut}"
+        );
+    }
+    std::fs::remove_dir_all(snap.parent().unwrap()).ok();
+}
+
+#[test]
+fn wal_mid_record_bit_flip_is_corruption_not_silent_replay() {
+    let (snap, wal_path) = snapshot_with_wal("bitflip", 2);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    // Flip one payload bit of the FIRST record (damage before the final
+    // record cannot come from a torn append — it is disk damage).
+    bytes[5 + 4 + 3] ^= 0x08;
+    std::fs::write(&wal_path, &bytes).unwrap();
+    let err = Explorer::load(&snap).unwrap_err();
+    assert!(
+        matches!(err, onex::OnexError::SnapshotCorrupt(_)),
+        "expected SnapshotCorrupt, got {err:?}"
+    );
+    std::fs::remove_dir_all(snap.parent().unwrap()).ok();
+}
+
+#[test]
+fn wal_records_at_or_below_the_snapshot_epoch_are_skipped() {
+    let (snap, wal_path) = snapshot_with_wal("dup", 2);
+    // Re-checkpoint: load (replays both ops to epoch 2), save the
+    // snapshot — then put the OLD journal back, so every record it holds
+    // is already covered by the snapshot.
+    let stale_wal = std::fs::read(&wal_path).unwrap();
+    let live = {
+        let e = Explorer::load(&snap).unwrap();
+        assert_eq!(e.epoch(), 2);
+        e.save(&snap).unwrap();
+        e.base()
+    };
+    std::fs::write(&wal_path, &stale_wal).unwrap();
+    // Duplicate-epoch replay: both records are ≤ the snapshot's epoch and
+    // must be skipped idempotently, not re-applied.
+    let recovered = Explorer::load(&snap).unwrap();
+    recovered.base().validate_invariants().unwrap();
+    assert_eq!(recovered.epoch(), 2);
+    assert_eq!(*recovered.base(), *live, "stale records must not re-apply");
+    std::fs::remove_dir_all(snap.parent().unwrap()).ok();
+}
+
+#[test]
+fn empty_and_header_only_wal_sidecars_recover_as_no_ops() {
+    let (snap, wal_path) = snapshot_with_wal("empty", 0);
+    // Header-only log (what attach_wal leaves before any op).
+    assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), 5);
+    let e = Explorer::load(&snap).unwrap();
+    assert_eq!(e.epoch(), 0);
+    assert_eq!(*e.base(), base());
+    drop(e);
+    // Zero-byte log (crash before the header landed): recovered as empty.
+    std::fs::write(&wal_path, []).unwrap();
+    let e = Explorer::load(&snap).unwrap();
+    assert_eq!(e.epoch(), 0);
+    assert_eq!(*e.base(), base());
+    std::fs::remove_dir_all(snap.parent().unwrap()).ok();
+}
+
+#[test]
+#[allow(deprecated)]
+fn loading_a_directory_or_empty_snapshot_is_a_typed_io_error_with_the_path() {
+    let dir = test_dir().join("typed-io");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A directory path.
+    let err = Explorer::load(&dir).unwrap_err();
+    match &err {
+        onex::OnexError::Io(msg) => {
+            assert!(msg.contains("directory"), "{msg}");
+            assert!(msg.contains(dir.to_str().unwrap()), "{msg}");
+        }
+        other => panic!("expected Io, got {other:?}"),
+    }
+    // A zero-length file.
+    let empty = dir.join("empty.onex");
+    std::fs::write(&empty, []).unwrap();
+    let err = snapshot::load(&empty).unwrap_err();
+    match &err {
+        onex::OnexError::Io(msg) => {
+            assert!(msg.contains("empty"), "{msg}");
+            assert!(msg.contains(empty.to_str().unwrap()), "{msg}");
+        }
+        other => panic!("expected Io, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn v1_through_v4_snapshots_load_equivalent_to_v5() {
     let b = base();
